@@ -1,0 +1,122 @@
+//! Criterion benches for the experiment regenerators: one group per paper
+//! artifact (E1–E7), measuring the full virtual-time campaign replay and its
+//! per-policy variants. These anchor the claim that the whole 16-hour
+//! Grid'5000 experiment replays in milliseconds of wall-clock.
+
+use cosmogrid::campaign::{run_campaign, CampaignConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use diet_core::sched::{MinQueue, RandomSched, RoundRobin, WeightedSpeed};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_e1_campaign(c: &mut Criterion) {
+    c.bench_function("E1_campaign_round_robin", |b| {
+        b.iter(|| black_box(run_campaign(CampaignConfig::default()).makespan))
+    });
+}
+
+fn bench_e2_e3_fig4(c: &mut Criterion) {
+    c.bench_function("E2_fig4_gantt_render", |b| {
+        let r = run_campaign(CampaignConfig::default());
+        b.iter(|| black_box(r.part2_gantt().render_ascii(100).len()))
+    });
+    c.bench_function("E3_fig4_sed_summaries", |b| {
+        let r = run_campaign(CampaignConfig::default());
+        b.iter(|| black_box(r.gantt.sed_summaries().len()))
+    });
+}
+
+fn bench_e4_e5_fig5(c: &mut Criterion) {
+    c.bench_function("E4_fig5_finding_series", |b| {
+        let r = run_campaign(CampaignConfig::default());
+        b.iter(|| black_box(r.gantt.per_request(gridsim::trace::TraceKind::Finding).len()))
+    });
+    c.bench_function("E5_fig5_latency_series", |b| {
+        let r = run_campaign(CampaignConfig::default());
+        b.iter(|| {
+            black_box(
+                r.gantt
+                    .per_request(gridsim::trace::TraceKind::Submission)
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_e7_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7_scheduler_ablation");
+    g.bench_function("round_robin", |b| {
+        b.iter(|| {
+            black_box(
+                run_campaign(CampaignConfig {
+                    scheduler: Arc::new(RoundRobin::new()),
+                    ..CampaignConfig::default()
+                })
+                .makespan,
+            )
+        })
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| {
+            black_box(
+                run_campaign(CampaignConfig {
+                    scheduler: Arc::new(RandomSched::new(2007)),
+                    ..CampaignConfig::default()
+                })
+                .makespan,
+            )
+        })
+    });
+    g.bench_function("min_queue", |b| {
+        b.iter(|| {
+            black_box(
+                run_campaign(CampaignConfig {
+                    scheduler: Arc::new(MinQueue),
+                    ..CampaignConfig::default()
+                })
+                .makespan,
+            )
+        })
+    });
+    g.bench_function("weighted_speed", |b| {
+        b.iter(|| {
+            black_box(
+                run_campaign(CampaignConfig {
+                    scheduler: Arc::new(WeightedSpeed),
+                    ..CampaignConfig::default()
+                })
+                .makespan,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Campaign cost as the request count grows (ablation beyond the paper).
+    let mut g = c.benchmark_group("campaign_scaling");
+    for n in [25u32, 100, 400] {
+        g.bench_function(format!("n_zoom_{n}"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_campaign(CampaignConfig {
+                        n_zoom: n,
+                        ..CampaignConfig::default()
+                    })
+                    .makespan,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_campaign,
+    bench_e2_e3_fig4,
+    bench_e4_e5_fig5,
+    bench_e7_schedulers,
+    bench_scaling
+);
+criterion_main!(benches);

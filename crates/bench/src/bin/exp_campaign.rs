@@ -1,0 +1,41 @@
+//! E1 — the campaign headline numbers of Section 5.2.
+//!
+//! Regenerates the paper's reported totals: part-1 duration, part-2 mean,
+//! the 16h18m43s makespan, the >141h sequential baseline and the implied
+//! speedup, plus the ~70 ms overhead decomposition.
+
+use bench::{duration_row, ms_row, render_rows, Row};
+use cosmogrid::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let r = run_campaign(CampaignConfig::default());
+
+    let rows = vec![
+        duration_row("part 1 duration", 4511.0, r.part1_s, 0.20),
+        duration_row("part 2 mean duration", 5041.0, r.part2_mean_s, 0.10),
+        duration_row("campaign makespan", 58723.0, r.makespan, 0.10),
+        Row {
+            quantity: "sequential baseline",
+            paper: ">141h".into(),
+            measured: cosmogrid::campaign::fmt_hms(r.sequential_s),
+            ok: r.sequential_s > 141.0 * 3600.0,
+        },
+        Row {
+            quantity: "speedup",
+            paper: "~8.6x".into(),
+            measured: format!("{:.1}x", r.speedup()),
+            ok: r.speedup() > 7.0,
+        },
+        ms_row("finding time mean", 49.8, r.finding_mean, 0.10),
+        ms_row("overhead per request", 70.6, r.overhead_mean, 0.25),
+        Row {
+            quantity: "total overhead (101 req)",
+            paper: "~7 s".into(),
+            measured: format!("{:.1} s", r.overhead_mean * 101.0),
+            ok: r.overhead_mean * 101.0 < 15.0,
+        },
+    ];
+    print!("{}", render_rows("E1: campaign totals (Section 5.2)", &rows));
+    assert!(rows.iter().all(|r| r.ok), "E1 shape check failed");
+    println!("\nall E1 shape checks passed");
+}

@@ -1,0 +1,50 @@
+//! E9 (extension) — middleware fault recovery, beyond the paper's
+//! failure-free run: a SeD dies mid-campaign; its queued and in-flight
+//! requests are resubmitted through the Master Agent and absorbed by the
+//! surviving servers. Reports the makespan cost of losing each cluster type.
+
+use cosmogrid::campaign::{fmt_hms, run_campaign, CampaignConfig, SedFailure};
+
+fn main() {
+    println!("E9: fault injection — one SeD dies 2h into the campaign\n");
+    let baseline = run_campaign(CampaignConfig::default());
+    println!(
+        "  {:<26} {:>11} {:>9} {:>12}",
+        "failure", "makespan", "delta", "refindings"
+    );
+    println!(
+        "  {:<26} {:>11} {:>9} {:>12}",
+        "(none)",
+        fmt_hms(baseline.makespan),
+        "-",
+        baseline.finding.len()
+    );
+
+    for victim in ["nancy-grelon/0", "lyon-sagittaire/0", "toulouse-violette/0"] {
+        let r = run_campaign(CampaignConfig {
+            failure: Some(SedFailure {
+                label_contains: victim.into(),
+                at: 2.0 * 3600.0,
+            }),
+            ..CampaignConfig::default()
+        });
+        let done: usize = r.sed_rows.iter().map(|(_, c, _)| *c).sum();
+        assert_eq!(done, 100, "lost requests after killing {victim}");
+        println!(
+            "  {:<26} {:>11} {:>8.1}% {:>12}",
+            victim,
+            fmt_hms(r.makespan),
+            (r.makespan / baseline.makespan - 1.0) * 100.0,
+            r.finding.len()
+        );
+        assert!(r.makespan >= baseline.makespan * 0.99);
+    }
+
+    println!(
+        "\nevery campaign drains to 100/100 completed sub-simulations; losing\n\
+         a fast (Nancy) SeD costs more than losing a slow (Toulouse) one only\n\
+         when the surviving queues were balanced around it — the re-submitted\n\
+         orphans always land on live servers via fresh MA findings."
+    );
+    println!("E9 shape checks passed (no request lost under SeD failure)");
+}

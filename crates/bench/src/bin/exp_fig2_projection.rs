@@ -1,0 +1,85 @@
+//! E10 — Figure 2 (qualitative): "Time sequence (from left to right) of the
+//! projected density field in a cosmological simulation (large scale
+//! periodic box)." Runs the real pipeline and renders the projected density
+//! at three epochs as ASCII maps, checking that structure (density contrast)
+//! grows through cosmic time — the visual the paper opens with.
+
+use grafic::CosmoParams;
+use ramses::nbody::{RunParams, Simulation};
+use ramses::particles::cic_deposit;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn render_projection(snap: &ramses::nbody::Snapshot, n: usize) -> (String, f64) {
+    // Project the CIC density along z.
+    let rho = cic_deposit(&snap.particles, n);
+    let mut proj = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                proj[i * n + j] += rho.get(i, j, k);
+            }
+        }
+    }
+    for v in proj.iter_mut() {
+        *v /= n as f64;
+    }
+    let max = proj.iter().cloned().fold(0.0f64, f64::max);
+    let mut art = String::new();
+    for j in 0..n {
+        for i in 0..n {
+            // Log stretch like the paper's grayscale images.
+            let v = proj[i * n + j].max(1e-3);
+            let frac = (v.ln() - (1e-3f64).ln()) / (max.max(1.0).ln() - (1e-3f64).ln());
+            let idx = ((frac.clamp(0.0, 1.0)) * (SHADES.len() - 1) as f64) as usize;
+            art.push(SHADES[idx] as char);
+            art.push(SHADES[idx] as char);
+        }
+        art.push('\n');
+    }
+    (art, max)
+}
+
+fn main() {
+    println!("E10: Figure 2 — time sequence of the projected density field\n");
+    let cosmo = CosmoParams {
+        a_init: 0.1,
+        ..CosmoParams::default()
+    };
+    let n = 16;
+    let mesh = 32;
+    let ics = grafic::generate_single_level(&cosmo, n, 100.0, 2007);
+    let params = RunParams {
+        cosmo,
+        box_mpc_h: 100.0,
+        mesh_n: mesh,
+        a_end: 1.0,
+        aout: vec![0.3, 0.6],
+        max_steps: 800,
+        ..RunParams::default()
+    };
+    let mut sim = Simulation::from_ics(params, &ics.particles);
+    let snaps = sim.run();
+
+    let mut contrasts = Vec::new();
+    for snap in &snaps {
+        let (art, max) = render_projection(snap, 16);
+        let z = 1.0 / snap.a - 1.0;
+        println!("-- a = {:.2} (z = {:.1}), projected density max = {max:.1} --", snap.a, z);
+        println!("{art}");
+        contrasts.push(max);
+    }
+
+    println!("density contrast sequence: {contrasts:?}");
+    assert!(snaps.len() >= 3, "expected three epochs");
+    assert!(
+        contrasts.windows(2).all(|w| w[1] > w[0]),
+        "projected density contrast must grow through the sequence"
+    );
+    println!(
+        "\nhigh-density peaks emerge from the near-uniform initial field —\n\
+         the paper's Figure 2 sequence; those peaks are the dark-matter halos\n\
+         the zoom step re-simulates."
+    );
+    println!("E10 shape checks passed (structure grows left to right)");
+}

@@ -1,0 +1,54 @@
+//! E3 — Figure 4 (right): total execution time of the sub-simulations per
+//! SeD. The paper reads "about 15h for Toulouse and 10h30 for Nancy": the
+//! equal request split meets heterogeneous Opterons, so totals spread.
+
+use cosmogrid::campaign::{fmt_hms, run_campaign, CampaignConfig};
+
+fn main() {
+    let r = run_campaign(CampaignConfig::default());
+    println!("E3: Figure 4 (right) — per-SeD execution time of the 100 sub-simulations\n");
+    println!("  {:<22} {:>8} {:>12}  bar", "SeD", "requests", "busy");
+    let max_busy = r
+        .sed_rows
+        .iter()
+        .map(|(_, _, b)| *b)
+        .fold(0.0f64, f64::max);
+    for (label, requests, busy) in &r.sed_rows {
+        let bar = "#".repeat((busy / max_busy * 40.0).round() as usize);
+        println!("  {label:<22} {requests:>8} {:>12}  {bar}", fmt_hms(*busy));
+    }
+
+    let busiest = r
+        .sed_rows
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .unwrap();
+    let idlest = r
+        .sed_rows
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .unwrap();
+    println!(
+        "\npaper: ~15h (Toulouse) vs ~10h30 (Nancy); measured: {} ({}) vs {} ({})",
+        fmt_hms(busiest.2),
+        busiest.0,
+        fmt_hms(idlest.2),
+        idlest.0
+    );
+    println!(
+        "imbalance ratio: paper ~1.43, measured {:.2}",
+        busiest.2 / idlest.2
+    );
+    assert!(
+        busiest.0.contains("toulouse") || busiest.0.contains("capricorne"),
+        "busiest SeD should be an Opteron-246 cluster, got {}",
+        busiest.0
+    );
+    assert!(idlest.0.contains("nancy"), "idlest should be Nancy");
+    assert!(
+        busiest.2 / idlest.2 > 1.25 && busiest.2 / idlest.2 < 1.7,
+        "imbalance ratio diverges: {:.2}",
+        busiest.2 / idlest.2
+    );
+    println!("E3 shape checks passed (slow clusters run ~1.3-1.5x longer)");
+}

@@ -1,0 +1,31 @@
+//! E4 — Figure 5 (top series): the time needed to find a suitable SeD for
+//! each of the 101 requests. The paper measures it "low and nearly constant
+//! (49.8 ms on average)".
+
+use bench::downsample;
+use cosmogrid::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let r = run_campaign(CampaignConfig::default());
+    println!("E4: Figure 5 — finding time per request\n");
+    println!("  {:>8} {:>14}", "request", "finding (ms)");
+    for (req, f) in downsample(&r.finding, 20) {
+        println!("  {req:>8} {:>14.1}", f * 1e3);
+    }
+    let mean = r.finding_mean * 1e3;
+    let min = r.finding.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min) * 1e3;
+    let max = r.finding.iter().map(|(_, f)| *f).fold(0.0f64, f64::max) * 1e3;
+    println!("\nmean {mean:.1} ms (paper 49.8 ms), min {min:.1} ms, max {max:.1} ms");
+    assert!((mean - 49.8).abs() < 5.0, "finding mean diverges: {mean}");
+    assert!(
+        max / min < 1.5,
+        "finding time should be nearly constant, spread {min}..{max}"
+    );
+    if let Some(p) = bench::write_artifact(
+        "fig5_finding.csv",
+        &bench::series_csv(("request", "finding_s"), &r.finding),
+    ) {
+        println!("series written to {}", p.display());
+    }
+    println!("E4 shape checks passed (near-constant, ~50 ms)");
+}

@@ -1,0 +1,141 @@
+//! Shared helpers for the experiment regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's evaluation
+//! artifacts (see DESIGN.md §4 for the experiment index); this library holds
+//! the little table/report plumbing they share so the binaries stay focused
+//! on the experiment itself.
+
+use cosmogrid::campaign::fmt_hms;
+use std::path::PathBuf;
+
+/// Directory where regenerators drop machine-readable figure data.
+pub fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Write a CSV artifact; returns its path. Failures are non-fatal for the
+/// experiment itself (a read-only checkout still prints the tables).
+pub fn write_artifact(name: &str, contents: &str) -> Option<PathBuf> {
+    let path = artifact_dir().join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+/// Render an (x, y) series as CSV text.
+pub fn series_csv(header: (&str, &str), series: &[(u32, f64)]) -> String {
+    let mut out = format!("{},{}
+", header.0, header.1);
+    for (x, y) in series {
+        out.push_str(&format!("{x},{y:.9}
+"));
+    }
+    out
+}
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub quantity: &'static str,
+    pub paper: String,
+    pub measured: String,
+    pub ok: bool,
+}
+
+/// Render a paper-vs-measured table.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!(
+        "  {:<28} {:>16} {:>16} {:>7}\n",
+        "quantity", "paper", "measured", "shape"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<28} {:>16} {:>16} {:>7}\n",
+            r.quantity,
+            r.paper,
+            r.measured,
+            if r.ok { "OK" } else { "DIVERGES" }
+        ));
+    }
+    out
+}
+
+/// Convenience: a duration row checked against a relative tolerance band.
+pub fn duration_row(
+    quantity: &'static str,
+    paper_s: f64,
+    measured_s: f64,
+    rel_tol: f64,
+) -> Row {
+    Row {
+        quantity,
+        paper: fmt_hms(paper_s),
+        measured: fmt_hms(measured_s),
+        ok: (measured_s - paper_s).abs() <= rel_tol * paper_s,
+    }
+}
+
+/// Convenience: a milliseconds row.
+pub fn ms_row(quantity: &'static str, paper_ms: f64, measured_s: f64, rel_tol: f64) -> Row {
+    let measured_ms = measured_s * 1e3;
+    Row {
+        quantity,
+        paper: format!("{paper_ms:.1} ms"),
+        measured: format!("{measured_ms:.1} ms"),
+        ok: (measured_ms - paper_ms).abs() <= rel_tol * paper_ms,
+    }
+}
+
+/// Simple fixed-width series printer for figure data (request, value).
+pub fn render_series(header: (&str, &str), series: &[(u32, f64)], scale: f64, unit: &str) -> String {
+    let mut out = format!("  {:>8} {:>16}\n", header.0, header.1);
+    for (x, y) in series {
+        out.push_str(&format!("  {x:>8} {:>13.3} {unit}\n", y * scale));
+    }
+    out
+}
+
+/// Downsample a series to at most `n` points (keeps first/last).
+pub fn downsample(series: &[(u32, f64)], n: usize) -> Vec<(u32, f64)> {
+    if series.len() <= n || n < 2 {
+        return series.to_vec();
+    }
+    let step = (series.len() - 1) as f64 / (n - 1) as f64;
+    (0..n)
+        .map(|i| series[(i as f64 * step).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_row_band() {
+        assert!(duration_row("x", 100.0, 104.0, 0.05).ok);
+        assert!(!duration_row("x", 100.0, 120.0, 0.05).ok);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let s: Vec<(u32, f64)> = (0..100).map(|i| (i, i as f64)).collect();
+        let d = downsample(&s, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].0, 0);
+        assert_eq!(d[9].0, 99);
+    }
+
+    #[test]
+    fn render_rows_marks_divergence() {
+        let txt = render_rows(
+            "t",
+            &[duration_row("a", 100.0, 100.0, 0.1), duration_row("b", 100.0, 200.0, 0.1)],
+        );
+        assert!(txt.contains("OK"));
+        assert!(txt.contains("DIVERGES"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The agent hierarchy.
+//!
+//! "When a Master Agent receives a computation request from a client, agents
+//! collect computation abilities from servers (through the hierarchy) and
+//! chooses the best one according to some scheduling heuristics. The MA
+//! sends back a reference to the chosen server."
+//!
+//! [`MasterAgent`] sits at the root; [`AgentNode`]s form the tree below it
+//! (Local Agents, possibly nested, exactly like DIET's MA/LA hierarchy —
+//! Figure 1 of the paper). A submit walks the tree gathering [`Estimate`]s
+//! from every SeD declaring the service, then the plug-in [`Scheduler`]
+//! picks the winner.
+
+use crate::error::DietError;
+use crate::monitor::Estimate;
+use crate::sched::Scheduler;
+use crate::sed::SedHandle;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An interior node of the hierarchy: a Local Agent with SeDs and/or child
+/// agents below it.
+pub struct AgentNode {
+    pub name: String,
+    pub seds: Vec<Arc<SedHandle>>,
+    pub children: Vec<Arc<AgentNode>>,
+}
+
+impl AgentNode {
+    pub fn leaf(name: &str, seds: Vec<Arc<SedHandle>>) -> Arc<Self> {
+        Arc::new(AgentNode {
+            name: name.to_string(),
+            seds,
+            children: vec![],
+        })
+    }
+
+    pub fn interior(name: &str, children: Vec<Arc<AgentNode>>) -> Arc<Self> {
+        Arc::new(AgentNode {
+            name: name.to_string(),
+            seds: vec![],
+            children,
+        })
+    }
+
+    /// Depth-first collection of estimates for a service.
+    fn collect(&self, service: &str, out: &mut Vec<(Estimate, Arc<SedHandle>)>) {
+        for sed in &self.seds {
+            if let Some(e) = sed.estimate(service) {
+                out.push((e, sed.clone()));
+            }
+        }
+        for child in &self.children {
+            child.collect(service, out);
+        }
+    }
+
+    /// Total number of SeDs in this subtree (agent bookkeeping: "the number
+    /// of servers that can solve a given problem").
+    pub fn sed_count(&self) -> usize {
+        self.seds.len() + self.children.iter().map(|c| c.sed_count()).sum::<usize>()
+    }
+
+    /// How many SeDs in this subtree declare `service`.
+    pub fn solver_count(&self, service: &str) -> usize {
+        self.seds
+            .iter()
+            .filter(|s| s.declares(service))
+            .count()
+            + self
+                .children
+                .iter()
+                .map(|c| c.solver_count(service))
+                .sum::<usize>()
+    }
+}
+
+/// Statistics of one submit, kept by the MA ("the information stored on an
+/// agent is the list of requests ...").
+#[derive(Debug, Clone)]
+pub struct SubmitRecord {
+    pub request_id: u64,
+    pub service: String,
+    pub chosen: Option<String>,
+    /// The paper's "finding time": hierarchy traversal + scheduling decision.
+    pub finding_time: f64,
+    pub candidates: usize,
+}
+
+/// The Master Agent.
+pub struct MasterAgent {
+    pub name: String,
+    children: Vec<Arc<AgentNode>>,
+    scheduler: Arc<dyn Scheduler>,
+    requests: Mutex<Vec<SubmitRecord>>,
+    next_id: Mutex<u64>,
+}
+
+impl MasterAgent {
+    pub fn new(name: &str, children: Vec<Arc<AgentNode>>, scheduler: Arc<dyn Scheduler>) -> Arc<Self> {
+        Arc::new(MasterAgent {
+            name: name.to_string(),
+            children,
+            scheduler,
+            requests: Mutex::new(Vec::new()),
+            next_id: Mutex::new(0),
+        })
+    }
+
+    /// Swap the scheduling policy (plug-in scheduler hot swap).
+    pub fn with_scheduler(self: &Arc<Self>, scheduler: Arc<dyn Scheduler>) -> Arc<Self> {
+        Arc::new(MasterAgent {
+            name: self.name.clone(),
+            children: self.children.clone(),
+            scheduler,
+            requests: Mutex::new(Vec::new()),
+            next_id: Mutex::new(0),
+        })
+    }
+
+    /// Handle a client submit: traverse, schedule, return the chosen SeD.
+    pub fn submit(&self, service: &str) -> Result<Arc<SedHandle>, DietError> {
+        let started = Instant::now();
+        let request_id = {
+            let mut id = self.next_id.lock();
+            *id += 1;
+            *id
+        };
+        let mut candidates: Vec<(Estimate, Arc<SedHandle>)> = Vec::new();
+        for child in &self.children {
+            child.collect(service, &mut candidates);
+        }
+        let record_base = SubmitRecord {
+            request_id,
+            service: service.to_string(),
+            chosen: None,
+            finding_time: 0.0,
+            candidates: candidates.len(),
+        };
+        if candidates.is_empty() {
+            let any_declared = self
+                .children
+                .iter()
+                .any(|c| c.solver_count(service) > 0);
+            let mut rec = record_base;
+            rec.finding_time = started.elapsed().as_secs_f64();
+            self.requests.lock().push(rec);
+            return Err(if any_declared {
+                DietError::NoServerAvailable(service.to_string())
+            } else {
+                DietError::ServiceNotFound(service.to_string())
+            });
+        }
+        let ests: Vec<Estimate> = candidates.iter().map(|(e, _)| e.clone()).collect();
+        let pick = self.scheduler.select(&ests);
+        let chosen = candidates
+            .get(pick)
+            .ok_or_else(|| {
+                DietError::Rejected(format!(
+                    "scheduler {} returned out-of-range index {pick}",
+                    self.scheduler.name()
+                ))
+            })?
+            .1
+            .clone();
+        let mut rec = record_base;
+        rec.chosen = Some(chosen.config.label.clone());
+        rec.finding_time = started.elapsed().as_secs_f64();
+        self.requests.lock().push(rec);
+        Ok(chosen)
+    }
+
+    /// All submit records so far (the Figure 5 "finding time" series).
+    pub fn submit_records(&self) -> Vec<SubmitRecord> {
+        self.requests.lock().clone()
+    }
+
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    pub fn sed_count(&self) -> usize {
+        self.children.iter().map(|c| c.sed_count()).sum()
+    }
+
+    /// Total SeDs declaring `service` ("the number of servers that can solve
+    /// a given problem").
+    pub fn solver_count(&self, service: &str) -> usize {
+        self.children
+            .iter()
+            .map(|c| c.solver_count(service))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DietValue, Persistence};
+    use crate::profile::{ArgTag, Profile, ProfileDesc};
+    use crate::sched::{MinQueue, RoundRobin};
+    use crate::sed::{SedConfig, ServiceTable, SolveFn};
+
+    fn echo_table() -> ServiceTable {
+        let mut d = ProfileDesc::alloc("echo", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|p: &mut Profile| {
+            let x = p.get_i32(0)?;
+            p.set(1, DietValue::ScalarI32(x), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(4);
+        t.add(d, solve).unwrap();
+        t
+    }
+
+    fn hierarchy(n_seds_per_la: &[usize]) -> (Arc<MasterAgent>, Vec<Arc<SedHandle>>) {
+        let mut all = Vec::new();
+        let mut las = Vec::new();
+        for (li, &n) in n_seds_per_la.iter().enumerate() {
+            let mut seds = Vec::new();
+            for s in 0..n {
+                let sed = SedHandle::spawn(
+                    SedConfig::new(&format!("la{li}/sed{s}"), 1.0),
+                    echo_table(),
+                );
+                all.push(sed.clone());
+                seds.push(sed);
+            }
+            las.push(AgentNode::leaf(&format!("LA{li}"), seds));
+        }
+        let ma = MasterAgent::new("MA", las, Arc::new(RoundRobin::new()));
+        (ma, all)
+    }
+
+    #[test]
+    fn submit_traverses_whole_hierarchy() {
+        let (ma, seds) = hierarchy(&[2, 3, 1]);
+        assert_eq!(ma.sed_count(), 6);
+        assert_eq!(ma.solver_count("echo"), 6);
+        let chosen = ma.submit("echo").unwrap();
+        assert!(seds.iter().any(|s| s.config.label == chosen.config.label));
+        let recs = ma.submit_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].candidates, 6);
+        assert!(recs[0].finding_time >= 0.0);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_requests() {
+        let (ma, seds) = hierarchy(&[2, 2]);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..8 {
+            let c = ma.submit("echo").unwrap();
+            *counts.entry(c.config.label.clone()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        assert!(counts.values().all(|&v| v == 2));
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn unknown_service_is_not_found() {
+        let (ma, seds) = hierarchy(&[1]);
+        assert!(matches!(
+            ma.submit("nosuch"),
+            Err(DietError::ServiceNotFound(_))
+        ));
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn nested_agents_are_traversed() {
+        let sed_a = SedHandle::spawn(SedConfig::new("deep/a", 1.0), echo_table());
+        let sed_b = SedHandle::spawn(SedConfig::new("deep/b", 1.0), echo_table());
+        let leaf_a = AgentNode::leaf("leafA", vec![sed_a.clone()]);
+        let leaf_b = AgentNode::leaf("leafB", vec![sed_b.clone()]);
+        let mid = AgentNode::interior("mid", vec![leaf_a, leaf_b]);
+        let ma = MasterAgent::new("MA", vec![mid], Arc::new(RoundRobin::new()));
+        assert_eq!(ma.sed_count(), 2);
+        let c1 = ma.submit("echo").unwrap().config.label.clone();
+        let c2 = ma.submit("echo").unwrap().config.label.clone();
+        assert_ne!(c1, c2);
+        sed_a.shutdown();
+        sed_b.shutdown();
+    }
+
+    #[test]
+    fn min_queue_prefers_idle_sed() {
+        let busy = SedHandle::spawn(SedConfig::new("busy", 1.0), {
+            let mut d = ProfileDesc::alloc("echo", 0, 0, 1);
+            d.set_arg(0, ArgTag::Scalar).unwrap();
+            let solve: SolveFn = Arc::new(|p: &mut Profile| {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+                let x = p.get_i32(0)?;
+                p.set(1, DietValue::ScalarI32(x), Persistence::Volatile)?;
+                Ok(0)
+            });
+            let mut t = ServiceTable::init(1);
+            t.add(d, solve).unwrap();
+            t
+        });
+        let idle = SedHandle::spawn(SedConfig::new("idle", 1.0), echo_table());
+        let la = AgentNode::leaf("LA", vec![busy.clone(), idle.clone()]);
+        let ma = MasterAgent::new("MA", vec![la], Arc::new(MinQueue));
+
+        // Fill busy's queue.
+        let d = ProfileDesc::alloc("echo", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(1), Persistence::Volatile)
+            .unwrap();
+        let _pending = busy.submit(p).unwrap();
+
+        let chosen = ma.submit("echo").unwrap();
+        assert_eq!(chosen.config.label, "idle");
+        busy.shutdown();
+        idle.shutdown();
+    }
+
+    #[test]
+    fn records_accumulate_with_ids() {
+        let (ma, seds) = hierarchy(&[1, 1]);
+        for _ in 0..5 {
+            ma.submit("echo").unwrap();
+        }
+        let recs = ma.submit_records();
+        assert_eq!(recs.len(), 5);
+        let ids: Vec<u64> = recs.iter().map(|r| r.request_id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+}

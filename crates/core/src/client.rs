@@ -1,0 +1,392 @@
+//! The client API.
+//!
+//! "In the DIET architecture, a client is an application which uses DIET to
+//! request a service. The goal of the client is to connect to a Master Agent
+//! in order to dispose of a SeD which will be able to solve the problem.
+//! Then the client sends input data to the chosen SED and, after the end of
+//! computation, retrieve output data."
+//!
+//! The API follows the GridRPC shape the paper highlights:
+//! `initialize` / `call` / `async_call` + wait / `finalize`, with per-call
+//! measurements of *finding time* (MA traversal) and *latency* (data send +
+//! service initiation + queue wait) — the two quantities of Figure 5.
+
+use crate::agent::MasterAgent;
+use crate::error::DietError;
+use crate::profile::Profile;
+use crate::sed::SolveOutcome;
+use crossbeam::channel::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-call measurements — the client-side view the paper instruments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallStats {
+    /// Time for the MA to return a suitable SeD ("finding time").
+    pub finding: f64,
+    /// Client → SeD submission (data send) time.
+    pub send: f64,
+    /// Time the request waited in the SeD queue before starting.
+    pub queue_wait: f64,
+    /// Solve execution time on the SeD.
+    pub solve: f64,
+    /// End-to-end wall time of the call.
+    pub total: f64,
+}
+
+impl CallStats {
+    /// The paper's "latency": everything between submission and the start of
+    /// service execution (data transfer + initiation + queue wait).
+    pub fn latency(&self) -> f64 {
+        self.send + self.queue_wait
+    }
+
+    /// Middleware overhead excluding queue wait (finding + send) — the
+    /// ≈70 ms/request quantity of Section 5.2.
+    pub fn overhead(&self) -> f64 {
+        self.finding + self.send
+    }
+}
+
+/// Handle for an asynchronous call (the GridRPC `grpc_call_async` analog).
+pub struct CallHandle {
+    server: String,
+    issued: Instant,
+    stats: CallStats,
+    rx: Receiver<SolveOutcome>,
+}
+
+impl CallHandle {
+    /// Which SeD the request was mapped to.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// Block until the result arrives (the `grpc_wait` analog).
+    pub fn wait(self) -> Result<(Profile, CallStats), DietError> {
+        let outcome = self
+            .rx
+            .recv()
+            .map_err(|_| DietError::Transport("SeD dropped the reply channel".into()))?;
+        self.finish(outcome)
+    }
+
+    /// Wait with a timeout.
+    pub fn wait_timeout(self, d: Duration) -> Result<(Profile, CallStats), DietError> {
+        match self.rx.recv_timeout(d) {
+            Ok(outcome) => self.finish(outcome),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(DietError::Timeout {
+                after_secs: d.as_secs_f64(),
+            }),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(DietError::Transport("SeD dropped the reply channel".into()))
+            }
+        }
+    }
+
+    /// Non-blocking probe (the `grpc_probe` analog): Some when complete.
+    pub fn try_wait(self) -> Result<Result<(Profile, CallStats), DietError>, CallHandle> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Ok(self.finish(outcome)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Err(self),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Ok(Err(
+                DietError::Transport("SeD dropped the reply channel".into()),
+            )),
+        }
+    }
+
+    fn finish(mut self, outcome: SolveOutcome) -> Result<(Profile, CallStats), DietError> {
+        self.stats.queue_wait = outcome.queue_wait;
+        self.stats.solve = outcome.solve_time;
+        self.stats.total = self.issued.elapsed().as_secs_f64();
+        outcome.result.map(|p| (p, self.stats))
+    }
+}
+
+/// A DIET client session (the `diet_initialize` … `diet_finalize` span).
+pub struct DietClient {
+    ma: Option<Arc<MasterAgent>>,
+    /// Completed calls' stats, in completion order.
+    history: parking_lot::Mutex<Vec<(String, CallStats)>>,
+}
+
+impl DietClient {
+    /// `diet_initialize(configuration_file, ...)` — the configuration here
+    /// is simply the MA reference that the config file would name.
+    pub fn initialize(ma: Arc<MasterAgent>) -> Self {
+        DietClient {
+            ma: Some(ma),
+            history: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The full `diet_initialize` path: parse the configuration file text,
+    /// resolve its `MAName` through the name server, open the session.
+    pub fn initialize_from_config(
+        config_text: &str,
+        names: &crate::naming::NameServer,
+    ) -> Result<Self, DietError> {
+        let cfg = crate::config::DietConfig::parse(config_text)?;
+        let ma = names.resolve(cfg.ma_name()?)?;
+        Ok(Self::initialize(ma))
+    }
+
+    fn ma(&self) -> Result<&Arc<MasterAgent>, DietError> {
+        self.ma.as_ref().ok_or(DietError::NotInitialized)
+    }
+
+    /// Submit a problem asynchronously: find a SeD, ship the data, return a
+    /// handle. The profile's service name selects the problem.
+    pub fn async_call(&self, profile: Profile) -> Result<CallHandle, DietError> {
+        let ma = self.ma()?;
+        let t0 = Instant::now();
+        let sed = ma.submit(&profile.service)?;
+        let finding = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let rx = sed.submit(profile)?;
+        let send = t1.elapsed().as_secs_f64();
+
+        Ok(CallHandle {
+            server: sed.config.label.clone(),
+            issued: t0,
+            stats: CallStats {
+                finding,
+                send,
+                ..Default::default()
+            },
+            rx,
+        })
+    }
+
+    /// Synchronous call (the `diet_call` analog): the profile is consumed
+    /// and returned with OUT arguments filled by the server.
+    pub fn call(&self, profile: Profile) -> Result<(Profile, CallStats), DietError> {
+        let service = profile.service.clone();
+        let handle = self.async_call(profile)?;
+        let server = handle.server().to_string();
+        let res = handle.wait();
+        if let Ok((_, stats)) = &res {
+            self.history.lock().push((server, *stats));
+        } else {
+            let _ = service;
+        }
+        res
+    }
+
+    /// Record an async call's stats into the session history (callers of
+    /// `async_call`/`wait` do this by hand; `call` does it automatically).
+    pub fn record(&self, server: &str, stats: CallStats) {
+        self.history.lock().push((server.to_string(), stats));
+    }
+
+    /// Completed-call history: (server label, stats).
+    pub fn history(&self) -> Vec<(String, CallStats)> {
+        self.history.lock().clone()
+    }
+
+    /// `diet_finalize()` — drops the MA reference; further calls error.
+    pub fn finalize(&mut self) {
+        self.ma = None;
+    }
+
+    pub fn is_initialized(&self) -> bool {
+        self.ma.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentNode;
+    use crate::data::{DietValue, Persistence};
+    use crate::profile::{ArgTag, ProfileDesc};
+    use crate::sched::RoundRobin;
+    use crate::sed::{SedConfig, SedHandle, ServiceTable, SolveFn};
+
+    fn square_table(delay_ms: u64) -> ServiceTable {
+        let mut d = ProfileDesc::alloc("square", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(move |p: &mut Profile| {
+            if delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            let x = p.get_i32(0)?;
+            p.set(1, DietValue::ScalarI32(x * x), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(2);
+        t.add(d, solve).unwrap();
+        t
+    }
+
+    fn session(delay_ms: u64, n_seds: usize) -> (DietClient, Vec<Arc<SedHandle>>) {
+        let seds: Vec<Arc<SedHandle>> = (0..n_seds)
+            .map(|i| {
+                SedHandle::spawn(
+                    SedConfig::new(&format!("sed{i}"), 1.0),
+                    square_table(delay_ms),
+                )
+            })
+            .collect();
+        let la = AgentNode::leaf("LA", seds.clone());
+        let ma = MasterAgent::new("MA", vec![la], Arc::new(RoundRobin::new()));
+        (DietClient::initialize(ma), seds)
+    }
+
+    fn square_profile(x: i32) -> Profile {
+        let d = ProfileDesc::alloc("square", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(x), Persistence::Volatile)
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn sync_call_returns_out_args_and_stats() {
+        let (client, seds) = session(0, 1);
+        let (p, stats) = client.call(square_profile(9)).unwrap();
+        assert_eq!(p.get_i32(1).unwrap(), 81);
+        assert!(stats.total >= stats.solve);
+        assert!(stats.finding >= 0.0 && stats.send >= 0.0);
+        assert_eq!(client.history().len(), 1);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn async_calls_overlap() {
+        let (client, seds) = session(50, 2);
+        let t0 = Instant::now();
+        let h1 = client.async_call(square_profile(2)).unwrap();
+        let h2 = client.async_call(square_profile(3)).unwrap();
+        let (p1, _) = h1.wait().unwrap();
+        let (p2, _) = h2.wait().unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(p1.get_i32(1).unwrap(), 4);
+        assert_eq!(p2.get_i32(1).unwrap(), 9);
+        // Two 50 ms solves on two SeDs should take well under 100 ms.
+        assert!(
+            elapsed < Duration::from_millis(95),
+            "calls did not overlap: {elapsed:?}"
+        );
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn queueing_shows_up_in_latency() {
+        let (client, seds) = session(40, 1);
+        let h1 = client.async_call(square_profile(1)).unwrap();
+        let h2 = client.async_call(square_profile(2)).unwrap();
+        let (_, s1) = h1.wait().unwrap();
+        let (_, s2) = h2.wait().unwrap();
+        assert!(
+            s2.latency() > s1.latency() + 0.03,
+            "second call should queue behind the first: {} vs {}",
+            s2.latency(),
+            s1.latency()
+        );
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn try_wait_polls() {
+        let (client, seds) = session(30, 1);
+        let h = client.async_call(square_profile(4)).unwrap();
+        let mut h = match h.try_wait() {
+            Err(h) => h, // not ready yet
+            Ok(done) => {
+                // Extremely fast machine: accept immediate completion.
+                assert_eq!(done.unwrap().0.get_i32(1).unwrap(), 16);
+                for s in seds {
+                    s.shutdown();
+                }
+                return;
+            }
+        };
+        loop {
+            match h.try_wait() {
+                Ok(done) => {
+                    assert_eq!(done.unwrap().0.get_i32(1).unwrap(), 16);
+                    break;
+                }
+                Err(again) => {
+                    h = again;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_fires() {
+        let (client, seds) = session(200, 1);
+        let h = client.async_call(square_profile(5)).unwrap();
+        match h.wait_timeout(Duration::from_millis(20)) {
+            Err(DietError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn initialize_from_config_resolves_the_ma() {
+        let (client0, seds) = session(0, 1);
+        // Re-register the same MA under a name server and connect via config.
+        let ma = client0.ma().unwrap().clone();
+        let ns = crate::naming::NameServer::new();
+        ns.register(ma);
+        let client = DietClient::initialize_from_config(
+            "MAName = MA\ntraceLevel = 2\n",
+            &ns,
+        )
+        .unwrap();
+        let (p, _) = client.call(square_profile(6)).unwrap();
+        assert_eq!(p.get_i32(1).unwrap(), 36);
+        // Bad config / unknown MA both error.
+        assert!(DietClient::initialize_from_config("traceLevel = 2", &ns).is_err());
+        assert!(DietClient::initialize_from_config("MAName = nope", &ns).is_err());
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn finalize_blocks_further_calls() {
+        let (mut client, seds) = session(0, 1);
+        assert!(client.is_initialized());
+        client.finalize();
+        assert!(!client.is_initialized());
+        assert!(matches!(
+            client.call(square_profile(1)),
+            Err(DietError::NotInitialized)
+        ));
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn unknown_service_surfaces_not_found() {
+        let (client, seds) = session(0, 1);
+        let d = ProfileDesc::alloc("missing", -1, -1, 0);
+        let p = Profile::alloc(&d);
+        assert!(matches!(
+            client.call(p),
+            Err(DietError::ServiceNotFound(_))
+        ));
+        for s in seds {
+            s.shutdown();
+        }
+    }
+}

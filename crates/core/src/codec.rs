@@ -1,0 +1,446 @@
+//! Binary wire codec.
+//!
+//! DIET rode CORBA's CDR marshalling; we define our own compact framing so
+//! the TCP transport is self-contained. Every message is
+//! `[u32 length][u8 tag][payload]`; values and profiles use a tag-prefixed
+//! recursive encoding. All integers are little-endian.
+
+use crate::data::{DietValue, Persistence};
+use crate::error::DietError;
+use crate::profile::Profile;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Control messages exchanged between client, agents and SeDs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → MA: where can `service` run? (the "finding" phase).
+    Submit { service: String, request_id: u64 },
+    /// MA → client: chosen server (label) or failure.
+    SubmitReply {
+        request_id: u64,
+        server: Option<String>,
+    },
+    /// Client → SeD: run this profile.
+    Call { request_id: u64, profile: Profile },
+    /// SeD → client: the completed profile (OUT args filled) or error status.
+    CallReply {
+        request_id: u64,
+        result: Result<Profile, String>,
+    },
+    /// Liveness probe.
+    Ping,
+    Pong,
+    /// Orderly shutdown of a worker.
+    Shutdown,
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_I32: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_CHAR: u8 = 4;
+const TAG_VF64: u8 = 5;
+const TAG_VI32: u8 = 6;
+const TAG_STR: u8 = 7;
+const TAG_FILE: u8 = 8;
+
+const MSG_SUBMIT: u8 = 10;
+const MSG_SUBMIT_REPLY: u8 = 11;
+const MSG_CALL: u8 = 12;
+const MSG_CALL_REPLY: u8 = 13;
+const MSG_PING: u8 = 14;
+const MSG_PONG: u8 = 15;
+const MSG_SHUTDOWN: u8 = 16;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, DietError> {
+    if buf.remaining() < 4 {
+        return Err(DietError::Codec("truncated string length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(DietError::Codec("truncated string body".into()));
+    }
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|e| DietError::Codec(format!("utf8: {e}")))
+}
+
+fn put_value(buf: &mut BytesMut, v: &DietValue) {
+    match v {
+        DietValue::Null => buf.put_u8(TAG_NULL),
+        DietValue::ScalarI32(x) => {
+            buf.put_u8(TAG_I32);
+            buf.put_i32_le(*x);
+        }
+        DietValue::ScalarI64(x) => {
+            buf.put_u8(TAG_I64);
+            buf.put_i64_le(*x);
+        }
+        DietValue::ScalarF64(x) => {
+            buf.put_u8(TAG_F64);
+            buf.put_f64_le(*x);
+        }
+        DietValue::ScalarChar(x) => {
+            buf.put_u8(TAG_CHAR);
+            buf.put_u8(*x);
+        }
+        DietValue::VectorF64(xs) => {
+            buf.put_u8(TAG_VF64);
+            buf.put_u32_le(xs.len() as u32);
+            for x in xs {
+                buf.put_f64_le(*x);
+            }
+        }
+        DietValue::VectorI32(xs) => {
+            buf.put_u8(TAG_VI32);
+            buf.put_u32_le(xs.len() as u32);
+            for x in xs {
+                buf.put_i32_le(*x);
+            }
+        }
+        DietValue::Str(s) => {
+            buf.put_u8(TAG_STR);
+            put_str(buf, s);
+        }
+        DietValue::File { name, data } => {
+            buf.put_u8(TAG_FILE);
+            put_str(buf, name);
+            buf.put_u32_le(data.len() as u32);
+            buf.put_slice(data);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<DietValue, DietError> {
+    if buf.remaining() < 1 {
+        return Err(DietError::Codec("truncated value tag".into()));
+    }
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(DietError::Codec("truncated value body".into()))
+        } else {
+            Ok(())
+        }
+    };
+    match buf.get_u8() {
+        TAG_NULL => Ok(DietValue::Null),
+        TAG_I32 => {
+            need(buf, 4)?;
+            Ok(DietValue::ScalarI32(buf.get_i32_le()))
+        }
+        TAG_I64 => {
+            need(buf, 8)?;
+            Ok(DietValue::ScalarI64(buf.get_i64_le()))
+        }
+        TAG_F64 => {
+            need(buf, 8)?;
+            Ok(DietValue::ScalarF64(buf.get_f64_le()))
+        }
+        TAG_CHAR => {
+            need(buf, 1)?;
+            Ok(DietValue::ScalarChar(buf.get_u8()))
+        }
+        TAG_VF64 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n * 8)?;
+            Ok(DietValue::VectorF64(
+                (0..n).map(|_| buf.get_f64_le()).collect(),
+            ))
+        }
+        TAG_VI32 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n * 4)?;
+            Ok(DietValue::VectorI32(
+                (0..n).map(|_| buf.get_i32_le()).collect(),
+            ))
+        }
+        TAG_STR => Ok(DietValue::Str(get_str(buf)?)),
+        TAG_FILE => {
+            let name = get_str(buf)?;
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n)?;
+            Ok(DietValue::File {
+                name,
+                data: buf.copy_to_bytes(n),
+            })
+        }
+        t => Err(DietError::Codec(format!("unknown value tag {t}"))),
+    }
+}
+
+fn put_persistence(buf: &mut BytesMut, p: Persistence) {
+    buf.put_u8(match p {
+        Persistence::Volatile => 0,
+        Persistence::Persistent => 1,
+        Persistence::Sticky => 2,
+    });
+}
+
+fn get_persistence(buf: &mut Bytes) -> Result<Persistence, DietError> {
+    if buf.remaining() < 1 {
+        return Err(DietError::Codec("truncated persistence".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(Persistence::Volatile),
+        1 => Ok(Persistence::Persistent),
+        2 => Ok(Persistence::Sticky),
+        t => Err(DietError::Codec(format!("unknown persistence {t}"))),
+    }
+}
+
+/// Encode a profile (service, values, persistence).
+pub fn encode_profile(buf: &mut BytesMut, p: &Profile) {
+    put_str(buf, &p.service);
+    buf.put_u32_le(p.values.len() as u32);
+    for (v, m) in p.values.iter().zip(&p.persistence) {
+        put_persistence(buf, *m);
+        put_value(buf, v);
+    }
+}
+
+/// Decode a profile.
+pub fn decode_profile(buf: &mut Bytes) -> Result<Profile, DietError> {
+    let service = get_str(buf)?;
+    if buf.remaining() < 4 {
+        return Err(DietError::Codec("truncated profile arity".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut values = Vec::with_capacity(n);
+    let mut persistence = Vec::with_capacity(n);
+    for _ in 0..n {
+        persistence.push(get_persistence(buf)?);
+        values.push(get_value(buf)?);
+    }
+    Ok(Profile {
+        service,
+        values,
+        persistence,
+    })
+}
+
+/// Encode a full message (without the outer length frame; transports add it).
+pub fn encode_message(m: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match m {
+        Message::Submit {
+            service,
+            request_id,
+        } => {
+            buf.put_u8(MSG_SUBMIT);
+            buf.put_u64_le(*request_id);
+            put_str(&mut buf, service);
+        }
+        Message::SubmitReply { request_id, server } => {
+            buf.put_u8(MSG_SUBMIT_REPLY);
+            buf.put_u64_le(*request_id);
+            match server {
+                Some(s) => {
+                    buf.put_u8(1);
+                    put_str(&mut buf, s);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Message::Call {
+            request_id,
+            profile,
+        } => {
+            buf.put_u8(MSG_CALL);
+            buf.put_u64_le(*request_id);
+            encode_profile(&mut buf, profile);
+        }
+        Message::CallReply { request_id, result } => {
+            buf.put_u8(MSG_CALL_REPLY);
+            buf.put_u64_le(*request_id);
+            match result {
+                Ok(p) => {
+                    buf.put_u8(1);
+                    encode_profile(&mut buf, p);
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Message::Ping => buf.put_u8(MSG_PING),
+        Message::Pong => buf.put_u8(MSG_PONG),
+        Message::Shutdown => buf.put_u8(MSG_SHUTDOWN),
+    }
+    buf.freeze()
+}
+
+/// Decode a message.
+pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
+    if buf.remaining() < 1 {
+        return Err(DietError::Codec("empty message".into()));
+    }
+    let tag = buf.get_u8();
+    let need_u64 = |buf: &mut Bytes| -> Result<u64, DietError> {
+        if buf.remaining() < 8 {
+            Err(DietError::Codec("truncated request id".into()))
+        } else {
+            Ok(buf.get_u64_le())
+        }
+    };
+    match tag {
+        MSG_SUBMIT => {
+            let request_id = need_u64(&mut buf)?;
+            Ok(Message::Submit {
+                request_id,
+                service: get_str(&mut buf)?,
+            })
+        }
+        MSG_SUBMIT_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated reply flag".into()));
+            }
+            let server = if buf.get_u8() == 1 {
+                Some(get_str(&mut buf)?)
+            } else {
+                None
+            };
+            Ok(Message::SubmitReply { request_id, server })
+        }
+        MSG_CALL => {
+            let request_id = need_u64(&mut buf)?;
+            Ok(Message::Call {
+                request_id,
+                profile: decode_profile(&mut buf)?,
+            })
+        }
+        MSG_CALL_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated result flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                Ok(decode_profile(&mut buf)?)
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::CallReply { request_id, result })
+        }
+        MSG_PING => Ok(Message::Ping),
+        MSG_PONG => Ok(Message::Pong),
+        MSG_SHUTDOWN => Ok(Message::Shutdown),
+        t => Err(DietError::Codec(format!("unknown message tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ramses_zoom2_desc, Profile};
+
+    fn sample_profile() -> Profile {
+        let d = ramses_zoom2_desc();
+        let mut p = Profile::alloc(&d);
+        p.set(
+            0,
+            DietValue::File {
+                name: "n.nml".into(),
+                data: Bytes::from_static(b"&RUN/"),
+            },
+            Persistence::Volatile,
+        )
+        .unwrap();
+        p.set(1, DietValue::ScalarI32(128), Persistence::Persistent)
+            .unwrap();
+        p.set(2, DietValue::ScalarF64(100.0), Persistence::Sticky)
+            .unwrap();
+        p.set(3, DietValue::Str("cx".into()), Persistence::Volatile)
+            .unwrap();
+        p.set(4, DietValue::VectorF64(vec![1.0, 2.5]), Persistence::Volatile)
+            .unwrap();
+        p.set(5, DietValue::VectorI32(vec![-3, 7]), Persistence::Volatile)
+            .unwrap();
+        p.set(6, DietValue::ScalarChar(b'z'), Persistence::Volatile)
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn profile_roundtrip() {
+        let p = sample_profile();
+        let mut buf = BytesMut::new();
+        encode_profile(&mut buf, &p);
+        let back = decode_profile(&mut buf.freeze()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn message_roundtrips() {
+        let msgs = vec![
+            Message::Submit {
+                service: "ramsesZoom2".into(),
+                request_id: 42,
+            },
+            Message::SubmitReply {
+                request_id: 42,
+                server: Some("toulouse-violette/0".into()),
+            },
+            Message::SubmitReply {
+                request_id: 43,
+                server: None,
+            },
+            Message::Call {
+                request_id: 42,
+                profile: sample_profile(),
+            },
+            Message::CallReply {
+                request_id: 42,
+                result: Ok(sample_profile()),
+            },
+            Message::CallReply {
+                request_id: 42,
+                result: Err("solve failed".into()),
+            },
+            Message::Ping,
+            Message::Pong,
+            Message::Shutdown,
+        ];
+        for m in msgs {
+            let enc = encode_message(&m);
+            let dec = decode_message(enc).unwrap();
+            assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let enc = encode_message(&Message::Call {
+            request_id: 7,
+            profile: sample_profile(),
+        });
+        for cut in [0, 1, 5, 9, enc.len() / 2, enc.len() - 1] {
+            let sliced = enc.slice(0..cut);
+            assert!(
+                decode_message(sliced).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let raw = Bytes::from_static(&[99u8, 0, 0, 0]);
+        assert!(matches!(decode_message(raw), Err(DietError::Codec(_))));
+    }
+
+    #[test]
+    fn i64_value_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &DietValue::ScalarI64(-1234567890123));
+        let v = get_value(&mut buf.freeze()).unwrap();
+        assert_eq!(v, DietValue::ScalarI64(-1234567890123));
+    }
+}

@@ -1,0 +1,151 @@
+//! Client/agent configuration files.
+//!
+//! "The client program must open its DIET session with a call to
+//! `diet_initialize()`. It parses the configuration file given as the first
+//! argument, to set all options and get a reference to the DIET Master
+//! Agent." DIET config files are `key = value` lines; the keys this crate
+//! understands mirror the original's (`MAName`, `traceLevel`, …) plus the
+//! name-server address our transports need.
+
+use crate::error::DietError;
+use std::collections::BTreeMap;
+
+/// A parsed configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DietConfig {
+    entries: BTreeMap<String, String>,
+}
+
+impl DietConfig {
+    /// Parse DIET-style config text: `key = value` lines, `#` comments.
+    pub fn parse(text: &str) -> Result<Self, DietError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once('=').ok_or_else(|| {
+                DietError::Deployment(format!("config line {}: expected key = value", i + 1))
+            })?;
+            let k = k.trim();
+            let v = v.trim();
+            if k.is_empty() || v.is_empty() {
+                return Err(DietError::Deployment(format!(
+                    "config line {}: empty key or value",
+                    i + 1
+                )));
+            }
+            entries.insert(k.to_string(), v.to_string());
+        }
+        Ok(DietConfig { entries })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|s| s.as_str())
+    }
+
+    /// The Master Agent this client should attach to (`MAName`).
+    pub fn ma_name(&self) -> Result<&str, DietError> {
+        self.get("MAName")
+            .ok_or_else(|| DietError::Deployment("config missing MAName".into()))
+    }
+
+    /// Trace level (0 = quiet), defaulting like DIET to 0.
+    pub fn trace_level(&self) -> u32 {
+        self.get("traceLevel")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Client max concurrent requests (`maxConcJobs`), default unlimited.
+    pub fn max_concurrent(&self) -> Option<usize> {
+        self.get("maxConcJobs").and_then(|v| v.parse().ok())
+    }
+
+    /// Render back to config-file text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(&format!("{k} = {v}\n"));
+        }
+        out
+    }
+
+    pub fn set(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The canonical client config for the paper's deployment.
+pub fn paper_client_config() -> DietConfig {
+    let mut c = DietConfig::default();
+    c.set("MAName", "MA");
+    c.set("traceLevel", 1);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# client configuration, as shipped to diet_initialize()
+MAName = MA1          # master agent to contact
+traceLevel = 5
+maxConcJobs = 11
+"#;
+
+    #[test]
+    fn parses_keys_and_comments() {
+        let c = DietConfig::parse(SAMPLE).unwrap();
+        assert_eq!(c.ma_name().unwrap(), "MA1");
+        assert_eq!(c.trace_level(), 5);
+        assert_eq!(c.max_concurrent(), Some(11));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn missing_ma_name_is_an_error() {
+        let c = DietConfig::parse("traceLevel = 1").unwrap();
+        assert!(matches!(c.ma_name(), Err(DietError::Deployment(_))));
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_line_number() {
+        match DietConfig::parse("MAName = MA\nnonsense line") {
+            Err(DietError::Deployment(msg)) => assert!(msg.contains("line 2")),
+            other => panic!("expected Deployment error, got {other:?}"),
+        }
+        assert!(DietConfig::parse("key =").is_err());
+        assert!(DietConfig::parse("= value").is_err());
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let c = DietConfig::parse(SAMPLE).unwrap();
+        let again = DietConfig::parse(&c.render()).unwrap();
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn defaults_are_dietlike() {
+        let c = DietConfig::parse("MAName = MA").unwrap();
+        assert_eq!(c.trace_level(), 0);
+        assert_eq!(c.max_concurrent(), None);
+        let p = paper_client_config();
+        assert_eq!(p.ma_name().unwrap(), "MA");
+    }
+}

@@ -1,0 +1,167 @@
+//! Server-side data management.
+//!
+//! DIET's data manager (DTM/DAGDA lineage) keeps `PERSISTENT` and `STICKY`
+//! arguments on the server between calls, so a client can reference data by
+//! id instead of re-shipping it. `VOLATILE` data — everything in the paper's
+//! `ramsesZoom2` — is freed right after the solve.
+
+use crate::data::{DietValue, Persistence};
+use crate::error::DietError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A stored item.
+#[derive(Debug, Clone)]
+struct Stored {
+    value: DietValue,
+    mode: Persistence,
+    /// Access counter (eviction / diagnostics).
+    hits: u64,
+}
+
+/// One server's data store.
+#[derive(Debug, Default)]
+pub struct DataManager {
+    items: RwLock<HashMap<String, Stored>>,
+}
+
+impl DataManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a value after a solve, honouring its persistence mode.
+    /// Volatile data is dropped (returns false).
+    pub fn retain(&self, id: &str, value: DietValue, mode: Persistence) -> bool {
+        match mode {
+            Persistence::Volatile => false,
+            Persistence::Persistent | Persistence::Sticky => {
+                self.items.write().insert(
+                    id.to_string(),
+                    Stored {
+                        value,
+                        mode,
+                        hits: 0,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Fetch by id, bumping the hit counter.
+    pub fn get(&self, id: &str) -> Result<DietValue, DietError> {
+        let mut w = self.items.write();
+        match w.get_mut(id) {
+            Some(s) => {
+                s.hits += 1;
+                Ok(s.value.clone())
+            }
+            None => Err(DietError::DataNotFound(id.to_string())),
+        }
+    }
+
+    /// Take data *away* from this server (migration). Sticky data refuses to
+    /// move — that is its contract.
+    pub fn take_for_migration(&self, id: &str) -> Result<DietValue, DietError> {
+        let mut w = self.items.write();
+        match w.get(id) {
+            Some(s) if s.mode == Persistence::Sticky => Err(DietError::Rejected(format!(
+                "data {id} is sticky and cannot migrate"
+            ))),
+            Some(_) => Ok(w.remove(id).unwrap().value),
+            None => Err(DietError::DataNotFound(id.to_string())),
+        }
+    }
+
+    /// Client-driven free (the `diet_free_data` analog).
+    pub fn free(&self, id: &str) -> Result<(), DietError> {
+        self.items
+            .write()
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| DietError::DataNotFound(id.to_string()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.read().is_empty()
+    }
+
+    pub fn hits(&self, id: &str) -> Option<u64> {
+        self.items.read().get(id).map(|s| s.hits)
+    }
+
+    /// Total bytes held (capacity accounting).
+    pub fn stored_bytes(&self) -> u64 {
+        self.items
+            .read()
+            .values()
+            .map(|s| s.value.payload_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatile_is_not_retained() {
+        let dm = DataManager::new();
+        assert!(!dm.retain("a", DietValue::ScalarI32(1), Persistence::Volatile));
+        assert!(dm.is_empty());
+        assert!(matches!(dm.get("a"), Err(DietError::DataNotFound(_))));
+    }
+
+    #[test]
+    fn persistent_is_retained_and_fetchable() {
+        let dm = DataManager::new();
+        assert!(dm.retain("ic", DietValue::ScalarF64(2.5), Persistence::Persistent));
+        assert_eq!(dm.get("ic").unwrap(), DietValue::ScalarF64(2.5));
+        assert_eq!(dm.hits("ic"), Some(1));
+        dm.get("ic").unwrap();
+        assert_eq!(dm.hits("ic"), Some(2));
+    }
+
+    #[test]
+    fn sticky_refuses_migration_but_persistent_moves() {
+        let dm = DataManager::new();
+        dm.retain("p", DietValue::ScalarI32(1), Persistence::Persistent);
+        dm.retain("s", DietValue::ScalarI32(2), Persistence::Sticky);
+        assert_eq!(
+            dm.take_for_migration("p").unwrap(),
+            DietValue::ScalarI32(1)
+        );
+        assert_eq!(dm.len(), 1);
+        assert!(matches!(
+            dm.take_for_migration("s"),
+            Err(DietError::Rejected(_))
+        ));
+        assert_eq!(dm.get("s").unwrap(), DietValue::ScalarI32(2));
+    }
+
+    #[test]
+    fn free_removes() {
+        let dm = DataManager::new();
+        dm.retain("x", DietValue::Str("abc".into()), Persistence::Persistent);
+        dm.free("x").unwrap();
+        assert!(dm.is_empty());
+        assert!(dm.free("x").is_err());
+    }
+
+    #[test]
+    fn stored_bytes_accounts_payloads() {
+        let dm = DataManager::new();
+        dm.retain(
+            "v",
+            DietValue::VectorF64(vec![0.0; 16]),
+            Persistence::Persistent,
+        );
+        dm.retain("s", DietValue::Str("abcd".into()), Persistence::Sticky);
+        assert_eq!(dm.stored_bytes(), 128 + 4);
+    }
+}

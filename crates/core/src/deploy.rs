@@ -1,0 +1,180 @@
+//! Deployment descriptions.
+//!
+//! "For performance reasons, the hierarchy of agents should be deployed
+//! depending on the underlying network topology." A [`DeploymentSpec`]
+//! captures the mapping the paper used on Grid'5000 — one MA, one LA per
+//! cluster, two SeDs per cluster (one for a restricted cluster) — validates
+//! it, and instantiates the live hierarchy given a service-table factory.
+
+use crate::agent::{AgentNode, MasterAgent};
+use crate::error::DietError;
+use crate::sched::Scheduler;
+use crate::sed::{SedConfig, SedHandle, ServiceTable};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// One SeD placement.
+#[derive(Debug, Clone)]
+pub struct SedSpec {
+    pub label: String,
+    pub speed_factor: f64,
+}
+
+/// One Local Agent with its SeDs.
+#[derive(Debug, Clone)]
+pub struct LaSpec {
+    pub name: String,
+    pub seds: Vec<SedSpec>,
+}
+
+/// A full deployment: MA + LAs.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    pub ma_name: String,
+    pub las: Vec<LaSpec>,
+}
+
+impl DeploymentSpec {
+    /// The paper's deployment shape: 6 LAs (2 Lyon clusters, Lille, Nancy,
+    /// Toulouse, Sophia), 11 SeDs with the given per-cluster speed factors.
+    pub fn paper_shape(speeds: &[(&str, f64, usize)]) -> Self {
+        let las = speeds
+            .iter()
+            .map(|(name, speed, n_seds)| LaSpec {
+                name: format!("LA-{name}"),
+                seds: (0..*n_seds)
+                    .map(|i| SedSpec {
+                        label: format!("{name}/{i}"),
+                        speed_factor: *speed,
+                    })
+                    .collect(),
+            })
+            .collect();
+        DeploymentSpec {
+            ma_name: "MA".into(),
+            las,
+        }
+    }
+
+    pub fn total_seds(&self) -> usize {
+        self.las.iter().map(|l| l.seds.len()).sum()
+    }
+
+    /// Validate: non-empty, unique labels, positive speeds, every LA serves.
+    pub fn validate(&self) -> Result<(), DietError> {
+        if self.las.is_empty() {
+            return Err(DietError::Deployment("no local agents".into()));
+        }
+        let mut labels = HashSet::new();
+        for la in &self.las {
+            if la.seds.is_empty() {
+                return Err(DietError::Deployment(format!(
+                    "local agent {} has no SeDs",
+                    la.name
+                )));
+            }
+            for sed in &la.seds {
+                if sed.speed_factor <= 0.0 {
+                    return Err(DietError::Deployment(format!(
+                        "SeD {} has non-positive speed",
+                        sed.label
+                    )));
+                }
+                if !labels.insert(sed.label.clone()) {
+                    return Err(DietError::Deployment(format!(
+                        "duplicate SeD label {}",
+                        sed.label
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiate the hierarchy: spawn every SeD with a service table from
+    /// `table_for`, group them under their LAs, and stand up the MA with the
+    /// given scheduler. Returns the MA and all SeD handles (for shutdown).
+    pub fn instantiate(
+        &self,
+        scheduler: Arc<dyn Scheduler>,
+        mut table_for: impl FnMut(&SedSpec) -> ServiceTable,
+    ) -> Result<(Arc<MasterAgent>, Vec<Arc<SedHandle>>), DietError> {
+        self.validate()?;
+        let mut all = Vec::new();
+        let mut las = Vec::new();
+        for la in &self.las {
+            let mut seds = Vec::new();
+            for spec in &la.seds {
+                let sed = SedHandle::spawn(
+                    SedConfig::new(&spec.label, spec.speed_factor),
+                    table_for(spec),
+                );
+                all.push(sed.clone());
+                seds.push(sed);
+            }
+            las.push(AgentNode::leaf(&la.name, seds));
+        }
+        Ok((MasterAgent::new(&self.ma_name, las, scheduler), all))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::RoundRobin;
+
+    fn paper_spec() -> DeploymentSpec {
+        DeploymentSpec::paper_shape(&[
+            ("lyon-capricorne", 0.80, 2),
+            ("lyon-sagittaire", 1.00, 1),
+            ("lille-chti", 0.90, 2),
+            ("nancy-grelon", 1.15, 2),
+            ("toulouse-violette", 0.80, 2),
+            ("sophia-helios", 1.10, 2),
+        ])
+    }
+
+    #[test]
+    fn paper_shape_has_eleven_seds_and_six_las() {
+        let d = paper_spec();
+        assert_eq!(d.las.len(), 6);
+        assert_eq!(d.total_seds(), 11);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut d = paper_spec();
+        d.las[0].seds[0].label = d.las[1].seds[0].label.clone();
+        assert!(matches!(d.validate(), Err(DietError::Deployment(_))));
+    }
+
+    #[test]
+    fn empty_la_rejected() {
+        let mut d = paper_spec();
+        d.las[2].seds.clear();
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn non_positive_speed_rejected() {
+        let mut d = paper_spec();
+        d.las[0].seds[0].speed_factor = 0.0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn instantiate_builds_working_hierarchy() {
+        let d = paper_spec();
+        let (ma, seds) = d
+            .instantiate(Arc::new(RoundRobin::new()), |_| ServiceTable::init(1))
+            .unwrap();
+        assert_eq!(ma.sed_count(), 11);
+        assert_eq!(seds.len(), 11);
+        // No services registered: submit must say not-found.
+        assert!(ma.submit("anything").is_err());
+        for s in seds {
+            s.shutdown();
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared across the middleware.
+
+use std::fmt;
+
+/// All the ways a DIET operation can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DietError {
+    /// No server declares the requested service.
+    ServiceNotFound(String),
+    /// A server declared the service but none is currently reachable.
+    NoServerAvailable(String),
+    /// Profile does not match the service's declared description.
+    ProfileMismatch {
+        service: String,
+        detail: String,
+    },
+    /// Argument index out of the profile's declared range.
+    BadArgIndex { index: usize, last_out: usize },
+    /// Type error when reading an argument.
+    TypeMismatch {
+        index: usize,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// The solve function reported a failure (the paper's "integer for error
+    /// control" convention: non-zero status means the tarball is invalid).
+    SolveFailed { service: String, status: i32 },
+    /// Transport-level failure.
+    Transport(String),
+    /// Wire-format decode failure.
+    Codec(String),
+    /// Persistent data id not found on the server.
+    DataNotFound(String),
+    /// The SeD rejected the request (e.g. draining / shutting down).
+    Rejected(String),
+    /// Client used before `initialize` or after `finalize`.
+    NotInitialized,
+    /// Deployment description inconsistent.
+    Deployment(String),
+    /// Request timed out.
+    Timeout { after_secs: f64 },
+}
+
+impl fmt::Display for DietError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DietError::ServiceNotFound(s) => write!(f, "service not found: {s}"),
+            DietError::NoServerAvailable(s) => {
+                write!(f, "no server available for service: {s}")
+            }
+            DietError::ProfileMismatch { service, detail } => {
+                write!(f, "profile mismatch for {service}: {detail}")
+            }
+            DietError::BadArgIndex { index, last_out } => {
+                write!(f, "argument index {index} beyond last_out {last_out}")
+            }
+            DietError::TypeMismatch {
+                index,
+                expected,
+                got,
+            } => write!(f, "argument {index}: expected {expected}, got {got}"),
+            DietError::SolveFailed { service, status } => {
+                write!(f, "solve of {service} failed with status {status}")
+            }
+            DietError::Transport(s) => write!(f, "transport error: {s}"),
+            DietError::Codec(s) => write!(f, "codec error: {s}"),
+            DietError::DataNotFound(id) => write!(f, "persistent data not found: {id}"),
+            DietError::Rejected(s) => write!(f, "request rejected: {s}"),
+            DietError::NotInitialized => write!(f, "DIET session not initialized"),
+            DietError::Deployment(s) => write!(f, "deployment error: {s}"),
+            DietError::Timeout { after_secs } => {
+                write!(f, "request timed out after {after_secs}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DietError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DietError::ServiceNotFound("ramsesZoom2".into());
+        assert!(e.to_string().contains("ramsesZoom2"));
+        let e = DietError::SolveFailed {
+            service: "ramsesZoom2".into(),
+            status: 3,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = DietError::TypeMismatch {
+            index: 4,
+            expected: "scalar i32",
+            got: "file",
+        };
+        assert!(e.to_string().contains("scalar i32"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # diet-core — a GridRPC middleware in Rust
+//!
+//! A re-implementation of the DIET middleware architecture the paper builds
+//! on: "DIET is built upon the client/agent/server paradigm": **clients**
+//! submit problems, a hierarchy of **agents** (one Master Agent, several
+//! Local Agents) routes each request to the best **Server Daemon (SeD)**,
+//! which runs the registered solve function and ships results back.
+//!
+//! Where the original used CORBA (omniORB) for its messaging layer, this
+//! crate provides its own transport abstraction ([`transport`]): a loss-free
+//! in-process channel transport for deterministic tests and experiments, and
+//! a TCP transport built on `std::net` for genuinely distributed
+//! deployments. The observable middleware behaviour — typed profiles with
+//! IN/INOUT/OUT arguments, service registration, hierarchy traversal,
+//! scheduling, data staging — matches the paper's Section 4 walk-through.
+//!
+//! Module map:
+//!
+//! * [`data`] — typed values and persistence modes (`DIET_VOLATILE`, …).
+//! * [`profile`] — problem profiles: the `diet_profile_desc_t` analog.
+//! * [`codec`] — binary wire codec for profiles and control messages.
+//! * [`transport`] — in-process and TCP duplex message channels.
+//! * [`monitor`] — per-SeD load estimates (the FAST/CoRI role).
+//! * [`sched`] — plug-in schedulers (the paper's reference \[2\] extension).
+//! * [`sed`] — the Server Daemon: service table + worker loop.
+//! * [`agent`] — Master/Local Agent hierarchy and request routing.
+//! * [`client`] — the GridRPC-style client API (`diet_call` analog).
+//! * [`datamgr`] — persistent data management on the server side.
+//! * [`deploy`] — deployment descriptions mapping a hierarchy onto a
+//!   platform, following the paper's Grid'5000 deployment.
+//! * [`error`] — the crate's error type.
+
+pub mod agent;
+pub mod client;
+pub mod codec;
+pub mod config;
+pub mod data;
+pub mod datamgr;
+pub mod deploy;
+pub mod error;
+pub mod gridrpc;
+pub mod monitor;
+pub mod naming;
+pub mod probe;
+pub mod profile;
+pub mod sched;
+pub mod sed;
+pub mod transport;
+
+pub use agent::{AgentNode, MasterAgent};
+pub use client::{CallHandle, DietClient};
+pub use config::DietConfig;
+pub use data::{BaseType, DietValue, Persistence};
+pub use error::DietError;
+pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
+pub use monitor::Estimate;
+pub use naming::NameServer;
+pub use profile::{ArgDesc, ArgMode, Profile, ProfileDesc};
+pub use sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
+pub use sed::{SedConfig, SedHandle, ServiceTable};

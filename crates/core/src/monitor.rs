@@ -1,0 +1,174 @@
+//! Server monitoring and performance estimation.
+//!
+//! "The information stored by a SeD is a list of the data available on its
+//! server, all information concerning its load (for example available memory
+//! and processor) and the list of problems that it can solve."
+//!
+//! [`Estimate`] is the vector a SeD returns when an agent probes it during
+//! request submission — DIET's `estVector_t`. Schedulers consume these.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time performance estimate for one SeD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// SeD label (unique across the deployment).
+    pub server: String,
+    /// Relative processor speed (1.0 = reference).
+    pub speed_factor: f64,
+    /// Free memory, bytes.
+    pub free_memory: u64,
+    /// Jobs queued + running on this SeD right now.
+    pub queue_length: usize,
+    /// Completed solves since boot (freshness/experience signal).
+    pub completed: u64,
+    /// Mean duration of past solves of the requested service, seconds;
+    /// `None` when the SeD has never run it — exactly the paper's situation
+    /// ("the second part of the simulation has never been executed, hence
+    /// DIET doesn't know anything on its processing time").
+    pub known_mean_duration: Option<f64>,
+    /// Round-trip probe time, seconds (network proximity signal).
+    pub probe_rtt: f64,
+}
+
+impl Estimate {
+    /// Expected completion heuristic: queue backlog × expected task time.
+    /// Falls back to speed-only when the duration is unknown.
+    pub fn expected_finish(&self) -> f64 {
+        let per_task = self.known_mean_duration.unwrap_or(1.0) / self.speed_factor;
+        (self.queue_length as f64 + 1.0) * per_task
+    }
+}
+
+/// Shared mutable load tracker each SeD updates as it works; probes snapshot
+/// it into [`Estimate`]s. Lock-free so the solver threads never contend with
+/// the probe path.
+#[derive(Debug, Default)]
+pub struct LoadTracker {
+    queue: AtomicUsize,
+    completed: AtomicU64,
+    /// Sum of solve durations in microseconds (for the mean).
+    busy_us: AtomicU64,
+}
+
+impl LoadTracker {
+    pub fn new() -> Arc<Self> {
+        Arc::new(LoadTracker::default())
+    }
+
+    pub fn enqueue(&self) {
+        self.queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn start(&self) {}
+
+    pub fn finish(&self, duration_secs: f64) {
+        self.queue.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add((duration_secs * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    pub fn queue_length(&self) -> usize {
+        self.queue.load(Ordering::Relaxed)
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Mean past solve duration, if any solves completed.
+    pub fn mean_duration(&self) -> Option<f64> {
+        let c = self.completed();
+        if c == 0 {
+            None
+        } else {
+            Some(self.busy_us.load(Ordering::Relaxed) as f64 / 1e6 / c as f64)
+        }
+    }
+
+    /// Snapshot into an estimate.
+    pub fn estimate(&self, server: &str, speed_factor: f64, free_memory: u64) -> Estimate {
+        Estimate {
+            server: server.to_string(),
+            speed_factor,
+            free_memory,
+            queue_length: self.queue_length(),
+            completed: self.completed(),
+            known_mean_duration: self.mean_duration(),
+            probe_rtt: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_queue_and_completions() {
+        let t = LoadTracker::new();
+        t.enqueue();
+        t.enqueue();
+        assert_eq!(t.queue_length(), 2);
+        t.finish(2.0);
+        assert_eq!(t.queue_length(), 1);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.mean_duration(), Some(2.0));
+        t.finish(4.0);
+        assert_eq!(t.mean_duration(), Some(3.0));
+    }
+
+    #[test]
+    fn fresh_tracker_has_unknown_duration() {
+        let t = LoadTracker::new();
+        assert_eq!(t.mean_duration(), None);
+        let e = t.estimate("sed", 1.0, 1 << 30);
+        assert_eq!(e.known_mean_duration, None);
+        assert_eq!(e.queue_length, 0);
+    }
+
+    #[test]
+    fn expected_finish_prefers_fast_empty_servers() {
+        let idle_fast = Estimate {
+            server: "a".into(),
+            speed_factor: 1.2,
+            free_memory: 0,
+            queue_length: 0,
+            completed: 5,
+            known_mean_duration: Some(100.0),
+            probe_rtt: 0.0,
+        };
+        let busy_slow = Estimate {
+            server: "b".into(),
+            speed_factor: 0.8,
+            free_memory: 0,
+            queue_length: 3,
+            completed: 5,
+            known_mean_duration: Some(100.0),
+            probe_rtt: 0.0,
+        };
+        assert!(idle_fast.expected_finish() < busy_slow.expected_finish());
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        let t = LoadTracker::new();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    t.enqueue();
+                    t.finish(0.001);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.queue_length(), 0);
+        assert_eq!(t.completed(), 8000);
+    }
+}

@@ -1,0 +1,196 @@
+//! Naming service.
+//!
+//! "A client can be connected to a MA by a specific name server or by a web
+//! page which stores the various MA locations (and the available problems)."
+//! In the original system this was omniNames (the CORBA naming service);
+//! here [`NameServer`] is a thread-safe registry mapping Master Agent names
+//! to live references, together with the problems each one can currently
+//! solve — exactly what the paper's "web page" published.
+
+use crate::agent::MasterAgent;
+use crate::error::DietError;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A registry of Master Agents.
+#[derive(Default)]
+pub struct NameServer {
+    agents: RwLock<BTreeMap<String, Arc<MasterAgent>>>,
+}
+
+/// A catalog row: one MA and the services reachable through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    pub ma_name: String,
+    /// (service name, number of SeDs currently declaring it).
+    pub services: Vec<(String, usize)>,
+}
+
+impl NameServer {
+    pub fn new() -> Arc<Self> {
+        Arc::new(NameServer::default())
+    }
+
+    /// Register (or replace) a Master Agent under its name.
+    pub fn register(&self, ma: Arc<MasterAgent>) {
+        self.agents.write().insert(ma.name.clone(), ma);
+    }
+
+    /// Remove a Master Agent; true when it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.agents.write().remove(name).is_some()
+    }
+
+    /// Resolve a name to a live MA reference — the `diet_initialize`
+    /// configuration-file lookup.
+    pub fn resolve(&self, name: &str) -> Result<Arc<MasterAgent>, DietError> {
+        self.agents
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DietError::Deployment(format!("no master agent named {name}")))
+    }
+
+    /// Which registered MA can solve `service`? Returns the one with the
+    /// most declaring SeDs (the "web page" selection rule).
+    pub fn find_service(&self, service: &str) -> Result<Arc<MasterAgent>, DietError> {
+        self.agents
+            .read()
+            .values()
+            .map(|ma| (ma.solver_count(service), ma.clone()))
+            .filter(|(n, _)| *n > 0)
+            .max_by_key(|(n, _)| *n)
+            .map(|(_, ma)| ma)
+            .ok_or_else(|| DietError::ServiceNotFound(service.to_string()))
+    }
+
+    /// Publish the full catalog: every MA with its available problems.
+    pub fn catalog(&self, known_services: &[&str]) -> Vec<CatalogEntry> {
+        self.agents
+            .read()
+            .values()
+            .map(|ma| CatalogEntry {
+                ma_name: ma.name.clone(),
+                services: known_services
+                    .iter()
+                    .map(|s| (s.to_string(), ma.solver_count(s)))
+                    .filter(|(_, n)| *n > 0)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.agents.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.agents.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentNode;
+    use crate::profile::{ArgTag, ProfileDesc};
+    use crate::sched::RoundRobin;
+    use crate::sed::{SedConfig, SedHandle, ServiceTable, SolveFn};
+
+    fn ma_with_service(ma_name: &str, service: &str, n_seds: usize) -> (Arc<MasterAgent>, Vec<Arc<SedHandle>>) {
+        let mut desc = ProfileDesc::alloc(service, 0, 0, 0);
+        desc.set_arg(0, ArgTag::Scalar).unwrap();
+        let seds: Vec<Arc<SedHandle>> = (0..n_seds)
+            .map(|i| {
+                let solve: SolveFn = Arc::new(|_| Ok(0));
+                let mut t = ServiceTable::init(1);
+                t.add(desc.clone(), solve).unwrap();
+                SedHandle::spawn(SedConfig::new(&format!("{ma_name}/sed{i}"), 1.0), t)
+            })
+            .collect();
+        let la = AgentNode::leaf("LA", seds.clone());
+        (
+            MasterAgent::new(ma_name, vec![la], Arc::new(RoundRobin::new())),
+            seds,
+        )
+    }
+
+    #[test]
+    fn register_resolve_unregister() {
+        let ns = NameServer::new();
+        let (ma, seds) = ma_with_service("MA-eu", "ramsesZoom2", 1);
+        ns.register(ma);
+        assert_eq!(ns.len(), 1);
+        let got = ns.resolve("MA-eu").unwrap();
+        assert_eq!(got.name, "MA-eu");
+        assert!(ns.resolve("MA-us").is_err());
+        assert!(ns.unregister("MA-eu"));
+        assert!(!ns.unregister("MA-eu"));
+        assert!(ns.is_empty());
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn find_service_prefers_best_endowed_ma() {
+        let ns = NameServer::new();
+        let (small, s1) = ma_with_service("MA-small", "zoom", 1);
+        let (big, s2) = ma_with_service("MA-big", "zoom", 3);
+        ns.register(small);
+        ns.register(big);
+        let found = ns.find_service("zoom").unwrap();
+        assert_eq!(found.name, "MA-big");
+        assert!(matches!(
+            ns.find_service("unknown"),
+            Err(DietError::ServiceNotFound(_))
+        ));
+        for s in s1.into_iter().chain(s2) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn catalog_lists_available_problems() {
+        let ns = NameServer::new();
+        let (ma1, s1) = ma_with_service("MA-1", "ramsesZoom1", 2);
+        let (ma2, s2) = ma_with_service("MA-2", "ramsesZoom2", 1);
+        ns.register(ma1);
+        ns.register(ma2);
+        let cat = ns.catalog(&["ramsesZoom1", "ramsesZoom2"]);
+        assert_eq!(cat.len(), 2);
+        let e1 = cat.iter().find(|e| e.ma_name == "MA-1").unwrap();
+        assert_eq!(e1.services, vec![("ramsesZoom1".to_string(), 2)]);
+        let e2 = cat.iter().find(|e| e.ma_name == "MA-2").unwrap();
+        assert_eq!(e2.services, vec![("ramsesZoom2".to_string(), 1)]);
+        for s in s1.into_iter().chain(s2) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn dead_seds_disappear_from_catalog_counts() {
+        let ns = NameServer::new();
+        let (ma, seds) = ma_with_service("MA", "zoom", 2);
+        ns.register(ma);
+        for s in &seds {
+            s.shutdown();
+        }
+        // Wait for workers to drain.
+        for s in &seds {
+            while s.is_alive() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let cat = ns.catalog(&["zoom"]);
+        // solver_count counts declarations (static); estimates (dynamic) are
+        // what submission uses — verify the submit path reports no server.
+        assert!(!cat.is_empty());
+        let ma = ns.resolve("MA").unwrap();
+        assert!(matches!(
+            ma.submit("zoom"),
+            Err(DietError::NoServerAvailable(_))
+        ));
+    }
+}

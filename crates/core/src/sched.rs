@@ -1,0 +1,255 @@
+//! Plug-in schedulers.
+//!
+//! The paper's conclusion about its own experiment: "the schedule is not
+//! optimal. The equal distribution of the requests does not take into
+//! account the machines processing power ... A better makespan could be
+//! attained by writing a plug-in scheduler \[2\]." This module provides the
+//! plug-in interface and four concrete policies:
+//!
+//! * [`RoundRobin`] — DIET's observed default behaviour in the paper: with
+//!   no execution history, requests are spread evenly over the SeDs
+//!   (9 each, one getting 10).
+//! * [`RandomSched`] — uniform random pick (a common baseline).
+//! * [`MinQueue`] — pick the shortest queue; with heterogeneous speeds this
+//!   already beats round-robin on makespan once queues drain unevenly.
+//! * [`WeightedSpeed`] — pick the minimum expected-finish-time estimate
+//!   (queue backlog / speed), the plug-in the paper hints at.
+//!
+//! Schedulers are deliberately pure: `select` reads estimates and returns an
+//! index, so the same implementations drive both the live middleware and the
+//! campaign simulator — and can be benchmarked head-to-head (experiment E7).
+
+use crate::monitor::Estimate;
+use parking_lot::Mutex;
+
+/// The plug-in interface.
+pub trait Scheduler: Send + Sync {
+    /// Choose one of `candidates` (guaranteed non-empty, all declaring the
+    /// service). Returns an index into the slice.
+    fn select(&self, candidates: &[Estimate]) -> usize;
+
+    /// Human-readable name for traces and experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Even spreading in arrival order.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    counter: Mutex<usize>,
+}
+
+impl RoundRobin {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn select(&self, candidates: &[Estimate]) -> usize {
+        let mut c = self.counter.lock();
+        let pick = *c % candidates.len();
+        *c += 1;
+        pick
+    }
+
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+}
+
+/// Uniform random selection with an internal deterministic PRNG (xorshift):
+/// reproducible experiments without threading a RNG through the call path.
+#[derive(Debug)]
+pub struct RandomSched {
+    state: Mutex<u64>,
+}
+
+impl RandomSched {
+    pub fn new(seed: u64) -> Self {
+        RandomSched {
+            state: Mutex::new(seed.max(1)),
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn select(&self, candidates: &[Estimate]) -> usize {
+        let mut s = self.state.lock();
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        (x % candidates.len() as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Shortest queue first; ties broken by server label for determinism.
+#[derive(Debug, Default)]
+pub struct MinQueue;
+
+impl Scheduler for MinQueue {
+    fn select(&self, candidates: &[Estimate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.queue_length
+                    .cmp(&b.queue_length)
+                    .then_with(|| a.server.cmp(&b.server))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "min_queue"
+    }
+}
+
+/// Minimum expected finish time: `(queue+1) · task_time / speed`. Uses the
+/// observed mean duration when available, otherwise falls back to pure
+/// speed ranking — so it behaves sensibly even on the paper's cold start.
+#[derive(Debug, Default)]
+pub struct WeightedSpeed;
+
+impl Scheduler for WeightedSpeed {
+    fn select(&self, candidates: &[Estimate]) -> usize {
+        // Durations from different servers are only comparable when every
+        // candidate has one; on a (partially) cold start fall back to the
+        // unit-cost ranking (queue+1)/speed for all of them, otherwise the
+        // one server that happens to have history is ranked in different
+        // units from the rest.
+        let all_known = candidates.iter().all(|c| c.known_mean_duration.is_some());
+        let key = |c: &Estimate| -> f64 {
+            if all_known {
+                c.expected_finish()
+            } else {
+                (c.queue_length as f64 + 1.0) / c.speed_factor
+            }
+        };
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                key(a)
+                    .partial_cmp(&key(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.server.cmp(&b.server))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted_speed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(server: &str, speed: f64, queue: usize) -> Estimate {
+        Estimate {
+            server: server.into(),
+            speed_factor: speed,
+            free_memory: 1 << 30,
+            queue_length: queue,
+            completed: 0,
+            known_mean_duration: None,
+            probe_rtt: 0.0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let s = RoundRobin::new();
+        let c = vec![est("a", 1.0, 0), est("b", 1.0, 0), est("c", 1.0, 0)];
+        let picks: Vec<usize> = (0..9).map(|_| s.select(&c)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_100_over_11_gives_paper_distribution() {
+        // The paper's Figure 4: "each SED received 9 requests (one of them
+        // received 10)".
+        let s = RoundRobin::new();
+        let c: Vec<Estimate> = (0..11).map(|i| est(&format!("s{i}"), 1.0, 0)).collect();
+        let mut counts = vec![0usize; 11];
+        for _ in 0..100 {
+            counts[s.select(&c)] += 1;
+        }
+        counts.sort_unstable();
+        assert_eq!(counts[..10], [9; 10]);
+        assert_eq!(counts[10], 10);
+    }
+
+    #[test]
+    fn min_queue_picks_shortest() {
+        let s = MinQueue;
+        let c = vec![est("a", 1.0, 5), est("b", 1.0, 1), est("c", 1.0, 3)];
+        assert_eq!(s.select(&c), 1);
+    }
+
+    #[test]
+    fn min_queue_breaks_ties_by_label() {
+        let s = MinQueue;
+        let c = vec![est("zz", 1.0, 2), est("aa", 1.0, 2)];
+        assert_eq!(s.select(&c), 1);
+    }
+
+    #[test]
+    fn weighted_speed_prefers_fast_server_on_cold_start() {
+        let s = WeightedSpeed;
+        let c = vec![est("slow", 0.8, 0), est("fast", 1.15, 0)];
+        assert_eq!(s.select(&c), 1);
+    }
+
+    #[test]
+    fn weighted_speed_accounts_for_backlog() {
+        let s = WeightedSpeed;
+        // fast but deep queue vs slow but idle: (4+1)/1.15 = 4.3 vs 1/0.8 = 1.25.
+        let c = vec![est("fast", 1.15, 4), est("slow", 0.8, 0)];
+        assert_eq!(s.select(&c), 1);
+    }
+
+    #[test]
+    fn weighted_speed_uses_known_durations() {
+        let s = WeightedSpeed;
+        let mut a = est("a", 1.0, 1);
+        a.known_mean_duration = Some(100.0); // (1+1)*100 = 200
+        let mut b = est("b", 1.0, 0);
+        b.known_mean_duration = Some(300.0); // (0+1)*300 = 300
+        assert_eq!(s.select(&[a, b]), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let c: Vec<Estimate> = (0..5).map(|i| est(&format!("s{i}"), 1.0, 0)).collect();
+        let a: Vec<usize> = {
+            let s = RandomSched::new(7);
+            (0..20).map(|_| s.select(&c)).collect()
+        };
+        let b: Vec<usize> = {
+            let s = RandomSched::new(7);
+            (0..20).map(|_| s.select(&c)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 5));
+        // Not all identical (it does spread).
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn schedulers_have_names() {
+        assert_eq!(RoundRobin::new().name(), "round_robin");
+        assert_eq!(MinQueue.name(), "min_queue");
+        assert_eq!(WeightedSpeed.name(), "weighted_speed");
+        assert_eq!(RandomSched::new(1).name(), "random");
+    }
+}

@@ -1,0 +1,611 @@
+//! The Server Daemon (SeD).
+//!
+//! "A SeD encapsulates a computational server ... The information stored by
+//! a SeD is a list of the data available on its server, all information
+//! concerning its load and the list of problems that it can solve."
+//!
+//! A [`ServiceTable`] maps service names to solve functions (the
+//! `diet_service_table_add` analog); [`SedHandle::spawn`] starts the daemon:
+//! a worker thread that executes queued solve requests one at a time —
+//! matching the paper's constraint that "each server cannot compute more
+//! than one simulation at the same time".
+
+use crate::data::DietValue;
+use crate::datamgr::DataManager;
+use crate::error::DietError;
+use crate::monitor::{Estimate, LoadTracker};
+use crate::profile::{ProfileDesc, Profile};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A solve function: receives the profile with IN arguments filled, writes
+/// its OUT arguments, and returns the service status code (0 = success —
+/// the paper's "integer for error controls").
+pub type SolveFn = Arc<dyn Fn(&mut Profile) -> Result<i32, DietError> + Send + Sync>;
+
+/// The service table (the `diet_service_table_*` API).
+#[derive(Clone, Default)]
+pub struct ServiceTable {
+    entries: HashMap<String, (ProfileDesc, SolveFn)>,
+    max_size: usize,
+}
+
+impl ServiceTable {
+    /// `diet_service_table_init(max_size)`.
+    pub fn init(max_size: usize) -> Self {
+        ServiceTable {
+            entries: HashMap::with_capacity(max_size),
+            max_size,
+        }
+    }
+
+    /// `diet_service_table_add(profile, convertor=NULL, solve_func)`.
+    pub fn add(&mut self, desc: ProfileDesc, solve: SolveFn) -> Result<(), DietError> {
+        if self.max_size > 0 && self.entries.len() >= self.max_size {
+            return Err(DietError::Rejected(format!(
+                "service table full ({} entries)",
+                self.max_size
+            )));
+        }
+        self.entries.insert(desc.service.clone(), (desc, solve));
+        Ok(())
+    }
+
+    pub fn lookup(&self, service: &str) -> Option<&(ProfileDesc, SolveFn)> {
+        self.entries.get(service)
+    }
+
+    pub fn declares(&self, service: &str) -> bool {
+        self.entries.contains_key(service)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `diet_print_service_table` — rendered to a string.
+    pub fn render(&self) -> String {
+        let mut names: Vec<&String> = self.entries.keys().collect();
+        names.sort();
+        let mut out = String::from("service table:\n");
+        for n in names {
+            let (d, _) = &self.entries[n];
+            out.push_str(&format!(
+                "  {n} (last_in={}, last_inout={}, last_out={})\n",
+                d.last_in, d.last_inout, d.last_out
+            ));
+        }
+        out
+    }
+}
+
+/// Static configuration of one SeD.
+#[derive(Debug, Clone)]
+pub struct SedConfig {
+    /// Unique label (e.g. "toulouse-violette/0").
+    pub label: String,
+    /// Relative machine speed (feeds estimates).
+    pub speed_factor: f64,
+    /// Advertised free memory, bytes.
+    pub free_memory: u64,
+}
+
+impl SedConfig {
+    pub fn new(label: &str, speed_factor: f64) -> Self {
+        SedConfig {
+            label: label.to_string(),
+            speed_factor,
+            free_memory: 32 << 30,
+        }
+    }
+}
+
+/// One queued solve request.
+struct Job {
+    profile: Profile,
+    submitted: Instant,
+    reply: Sender<SolveOutcome>,
+}
+
+/// What the worker sends back.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    pub result: Result<Profile, DietError>,
+    /// Time the job waited in the SeD queue, seconds.
+    pub queue_wait: f64,
+    /// Solve execution time, seconds.
+    pub solve_time: f64,
+}
+
+enum Command {
+    Run(Job),
+    Shutdown,
+}
+
+/// Clears the liveness flag when the worker exits for any reason,
+/// including a panic inside a solve function.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// A live SeD: configuration + queue endpoint + load tracker. Cloneable
+/// handles share the same daemon.
+pub struct SedHandle {
+    pub config: SedConfig,
+    table: Arc<RwLock<ServiceTable>>,
+    load: Arc<LoadTracker>,
+    pub datamgr: Arc<DataManager>,
+    tx: Sender<Command>,
+    alive: Arc<AtomicBool>,
+    /// Optional host probe feeding free-memory into estimates (FAST/CoRI).
+    probe: RwLock<Option<Arc<dyn crate::probe::Probe>>>,
+}
+
+impl SedHandle {
+    /// Launch the daemon (the `diet_SeD()` analog — but returning a handle
+    /// instead of never returning). The worker owns the receive side and
+    /// executes jobs strictly one at a time.
+    pub fn spawn(config: SedConfig, table: ServiceTable) -> Arc<SedHandle> {
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+        let table = Arc::new(RwLock::new(table));
+        let load = LoadTracker::new();
+        let datamgr = Arc::new(DataManager::new());
+        let alive = Arc::new(AtomicBool::new(true));
+        let handle = Arc::new(SedHandle {
+            config,
+            table: table.clone(),
+            load: load.clone(),
+            datamgr: datamgr.clone(),
+            tx,
+            alive: alive.clone(),
+            probe: RwLock::new(None),
+        });
+
+        let worker_table = table;
+        let worker_load = load;
+        let worker_alive = alive;
+        let worker_dm = datamgr;
+        std::thread::spawn(move || {
+            let _guard = AliveGuard(worker_alive);
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Command::Shutdown => break,
+                    Command::Run(mut job) => {
+                        let queue_wait = job.submitted.elapsed().as_secs_f64();
+                        let started = Instant::now();
+                        let solved = {
+                            let t = worker_table.read();
+                            match t.lookup(&job.profile.service) {
+                                None => Err(DietError::ServiceNotFound(
+                                    job.profile.service.clone(),
+                                )),
+                                Some((desc, solve)) => match desc.validate(&job.profile) {
+                                    Err(e) => Err(e),
+                                    Ok(()) => {
+                                        let solve = solve.clone();
+                                        drop(t);
+                                        match solve(&mut job.profile) {
+                                            Ok(0) => {
+                                                // Retain PERSISTENT/STICKY
+                                                // arguments (DTM behaviour);
+                                                // VOLATILE data is dropped
+                                                // with the job.
+                                                retain_persistent_args(
+                                                    &worker_dm,
+                                                    &job.profile,
+                                                );
+                                                Ok(job.profile.clone())
+                                            }
+                                            Ok(status) => Err(DietError::SolveFailed {
+                                                service: job.profile.service.clone(),
+                                                status,
+                                            }),
+                                            Err(e) => Err(e),
+                                        }
+                                    }
+                                },
+                            }
+                        };
+                        let solve_time = started.elapsed().as_secs_f64();
+                        worker_load.finish(queue_wait + solve_time);
+                        // Ignore send failure: the client may have abandoned
+                        // the call (timeout); the SeD must keep serving.
+                        let _ = job.reply.send(SolveOutcome {
+                            result: solved,
+                            queue_wait,
+                            solve_time,
+                        });
+                    }
+                }
+            }
+        });
+        handle
+    }
+
+    /// Liveness probe: true while the worker loop is running. Flips to
+    /// false after `shutdown()` drains (or if the worker panics) — agents
+    /// use this to drop dead servers from candidate sets.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Does this SeD declare the service? Used during hierarchy traversal.
+    pub fn declares(&self, service: &str) -> bool {
+        self.table.read().declares(service)
+    }
+
+    /// Attach a host probe: subsequent estimates report its live
+    /// free-memory figure instead of the static configuration value.
+    pub fn set_probe(&self, probe: Arc<dyn crate::probe::Probe>) {
+        *self.probe.write() = Some(probe);
+    }
+
+    /// Monitoring probe: snapshot the load into an estimate, or None if the
+    /// SeD is dead or the service is not declared here.
+    pub fn estimate(&self, service: &str) -> Option<Estimate> {
+        if !self.is_alive() || !self.declares(service) {
+            return None;
+        }
+        let free_memory = match self.probe.read().as_ref() {
+            Some(p) => p.report().free_memory,
+            None => self.config.free_memory,
+        };
+        Some(self.load.estimate(
+            &self.config.label,
+            self.config.speed_factor,
+            free_memory,
+        ))
+    }
+
+    /// Enqueue a solve; returns the receiver for the outcome. The queue
+    /// length is bumped immediately so estimates see the pending job.
+    pub fn submit(&self, profile: Profile) -> Result<Receiver<SolveOutcome>, DietError> {
+        let (rtx, rrx) = unbounded();
+        self.load.enqueue();
+        self.tx
+            .send(Command::Run(Job {
+                profile,
+                submitted: Instant::now(),
+                reply: rtx,
+            }))
+            .map_err(|_| DietError::Transport(format!("SeD {} is down", self.config.label)))?;
+        Ok(rrx)
+    }
+
+    /// Current queue length (jobs pending + running).
+    pub fn queue_length(&self) -> usize {
+        self.load.queue_length()
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.load.completed()
+    }
+
+    /// Orderly shutdown. Pending jobs ahead of the shutdown command still run.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Command::Shutdown);
+    }
+
+    /// Register an extra service on a running SeD.
+    pub fn add_service(&self, desc: ProfileDesc, solve: SolveFn) -> Result<(), DietError> {
+        self.table.write().add(desc, solve)
+    }
+
+    /// Fetch previously retained persistent data by id (`service#index`).
+    pub fn persistent_data(&self, id: &str) -> Result<DietValue, DietError> {
+        self.datamgr.get(id)
+    }
+}
+
+/// Retain every non-null PERSISTENT/STICKY argument of a completed profile
+/// under the id `service#index` — the data-manager side of a solve.
+pub fn retain_persistent_args(dm: &DataManager, profile: &Profile) {
+    for (i, (v, m)) in profile
+        .values
+        .iter()
+        .zip(&profile.persistence)
+        .enumerate()
+    {
+        if !matches!(v, DietValue::Null) {
+            let id = format!("{}#{}", profile.service, i);
+            dm.retain(&id, v.clone(), *m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Persistence;
+    use crate::profile::{ArgTag, ProfileDesc};
+
+    /// A toy service: doubles an i32 (arg 0 IN, arg 1 OUT).
+    fn doubler_table() -> ServiceTable {
+        let mut d = ProfileDesc::alloc("double", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        d.set_arg(1, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|p: &mut Profile| {
+            let x = p.get_i32(0)?;
+            p.set(1, DietValue::ScalarI32(2 * x), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(10);
+        t.add(d, solve).unwrap();
+        t
+    }
+
+    fn call(sed: &SedHandle, x: i32) -> SolveOutcome {
+        let d = ProfileDesc::alloc("double", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(x), Persistence::Volatile)
+            .unwrap();
+        sed.submit(p).unwrap().recv().unwrap()
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let sed = SedHandle::spawn(SedConfig::new("test/0", 1.0), doubler_table());
+        let out = call(&sed, 21);
+        let p = out.result.unwrap();
+        assert_eq!(p.get_i32(1).unwrap(), 42);
+        assert!(out.solve_time >= 0.0);
+        sed.shutdown();
+    }
+
+    #[test]
+    fn jobs_run_serially_in_order() {
+        // A slow service records execution order.
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        let mut d = ProfileDesc::alloc("slow", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(move |p: &mut Profile| {
+            let x = p.get_i32(0)?;
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            log2.lock().push(x);
+            p.set(1, DietValue::ScalarI32(x), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(4);
+        t.add(d.clone(), solve).unwrap();
+        let sed = SedHandle::spawn(SedConfig::new("test/1", 1.0), t);
+
+        let mut receivers = Vec::new();
+        for x in 0..4 {
+            let mut p = Profile::alloc(&d);
+            p.set(0, DietValue::ScalarI32(x), Persistence::Volatile)
+                .unwrap();
+            receivers.push(sed.submit(p).unwrap());
+        }
+        // While running, queue length reflects backlog.
+        assert!(sed.queue_length() >= 1);
+        for r in receivers {
+            r.recv().unwrap().result.unwrap();
+        }
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+        assert_eq!(sed.queue_length(), 0);
+        assert_eq!(sed.completed(), 4);
+        sed.shutdown();
+    }
+
+    #[test]
+    fn later_jobs_accumulate_queue_wait() {
+        let mut d = ProfileDesc::alloc("slow", 0, 0, 0);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|_p: &mut Profile| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(2);
+        t.add(d.clone(), solve).unwrap();
+        let sed = SedHandle::spawn(SedConfig::new("test/2", 1.0), t);
+        let mk = || {
+            let mut p = Profile::alloc(&d);
+            p.set(0, DietValue::ScalarI32(0), Persistence::Volatile)
+                .unwrap();
+            p
+        };
+        let r1 = sed.submit(mk()).unwrap();
+        let r2 = sed.submit(mk()).unwrap();
+        let o1 = r1.recv().unwrap();
+        let o2 = r2.recv().unwrap();
+        assert!(
+            o2.queue_wait > o1.queue_wait + 0.02,
+            "second job should wait behind the first: {} vs {}",
+            o2.queue_wait,
+            o1.queue_wait
+        );
+        sed.shutdown();
+    }
+
+    #[test]
+    fn nonzero_status_becomes_solve_failed() {
+        let mut d = ProfileDesc::alloc("fail", 0, 0, 0);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|_| Ok(7));
+        let mut t = ServiceTable::init(1);
+        t.add(d.clone(), solve).unwrap();
+        let sed = SedHandle::spawn(SedConfig::new("test/3", 1.0), t);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(0), Persistence::Volatile)
+            .unwrap();
+        let out = sed.submit(p).unwrap().recv().unwrap();
+        assert!(matches!(
+            out.result,
+            Err(DietError::SolveFailed { status: 7, .. })
+        ));
+        sed.shutdown();
+    }
+
+    #[test]
+    fn invalid_profile_rejected_by_validation() {
+        let sed = SedHandle::spawn(SedConfig::new("test/4", 1.0), doubler_table());
+        let d = ProfileDesc::alloc("double", 0, 0, 1);
+        let p = Profile::alloc(&d); // IN arg left Null
+        let out = sed.submit(p).unwrap().recv().unwrap();
+        assert!(matches!(
+            out.result,
+            Err(DietError::ProfileMismatch { .. })
+        ));
+        sed.shutdown();
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        let sed = SedHandle::spawn(SedConfig::new("test/5", 1.0), doubler_table());
+        let d = ProfileDesc::alloc("nope", -1, -1, 0);
+        let p = Profile::alloc(&d);
+        let out = sed.submit(p).unwrap().recv().unwrap();
+        assert!(matches!(out.result, Err(DietError::ServiceNotFound(_))));
+        sed.shutdown();
+    }
+
+    #[test]
+    fn estimates_reflect_declared_services_and_load() {
+        let sed = SedHandle::spawn(SedConfig::new("test/6", 1.15), doubler_table());
+        assert!(sed.estimate("nope").is_none());
+        let e = sed.estimate("double").unwrap();
+        assert_eq!(e.server, "test/6");
+        assert!((e.speed_factor - 1.15).abs() < 1e-12);
+        assert_eq!(e.queue_length, 0);
+        assert_eq!(e.known_mean_duration, None);
+        // After a call the mean duration is known.
+        call(&sed, 1);
+        let e = sed.estimate("double").unwrap();
+        assert!(e.known_mean_duration.is_some());
+        assert_eq!(e.completed, 1);
+        sed.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_worker_but_queued_jobs_finish() {
+        let sed = SedHandle::spawn(SedConfig::new("test/7", 1.0), doubler_table());
+        let d = ProfileDesc::alloc("double", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(5), Persistence::Volatile)
+            .unwrap();
+        let r = sed.submit(p).unwrap();
+        sed.shutdown();
+        // The queued job still completes (shutdown is behind it in the queue).
+        let out = r.recv().unwrap();
+        assert_eq!(out.result.unwrap().get_i32(1).unwrap(), 10);
+    }
+
+    #[test]
+    fn persistent_out_args_are_retained_on_the_server() {
+        // A service producing a PERSISTENT OUT value: after the call the
+        // data survives on the SeD under "service#index" while volatile
+        // arguments are not retained.
+        let mut d = ProfileDesc::alloc("makeic", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|p: &mut Profile| {
+            let x = p.get_i32(0)?;
+            p.set(
+                1,
+                DietValue::VectorI32(vec![x; 4]),
+                Persistence::Persistent,
+            )?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(1);
+        t.add(d.clone(), solve).unwrap();
+        let sed = SedHandle::spawn(SedConfig::new("dm/0", 1.0), t);
+
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(7), Persistence::Volatile)
+            .unwrap();
+        let out = sed.submit(p).unwrap().recv().unwrap();
+        out.result.unwrap();
+
+        // The OUT vector persisted; the volatile IN scalar did not.
+        assert_eq!(
+            sed.persistent_data("makeic#1").unwrap(),
+            DietValue::VectorI32(vec![7; 4])
+        );
+        assert!(sed.persistent_data("makeic#0").is_err());
+        assert_eq!(sed.datamgr.len(), 1);
+        sed.shutdown();
+    }
+
+    #[test]
+    fn attached_probe_feeds_estimates() {
+        use crate::probe::{HostReport, StaticProbe};
+        let sed = SedHandle::spawn(SedConfig::new("probe/0", 1.0), doubler_table());
+        let before = sed.estimate("double").unwrap();
+        assert_eq!(before.free_memory, sed.config.free_memory);
+        sed.set_probe(Arc::new(StaticProbe(HostReport {
+            load1: 1.0,
+            free_memory: 12345,
+            total_memory: 99999,
+        })));
+        let after = sed.estimate("double").unwrap();
+        assert_eq!(after.free_memory, 12345);
+        sed.shutdown();
+    }
+
+    #[test]
+    fn is_alive_tracks_worker_lifetime() {
+        let sed = SedHandle::spawn(SedConfig::new("alive/0", 1.0), doubler_table());
+        assert!(sed.is_alive());
+        sed.shutdown();
+        // The worker drains and flips the flag.
+        for _ in 0..200 {
+            if !sed.is_alive() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(!sed.is_alive());
+        // Dead SeDs stop producing estimates.
+        assert!(sed.estimate("double").is_none());
+    }
+
+    #[test]
+    fn service_table_renders_and_limits() {
+        let t = doubler_table();
+        let s = t.render();
+        assert!(s.contains("double"));
+        assert!(s.contains("last_out=1"));
+
+        let mut small = ServiceTable::init(1);
+        let d1 = ProfileDesc::alloc("a", -1, -1, 0);
+        let d2 = ProfileDesc::alloc("b", -1, -1, 0);
+        let nop: SolveFn = Arc::new(|_| Ok(0));
+        small.add(d1, nop.clone()).unwrap();
+        assert!(small.add(d2, nop).is_err());
+    }
+
+    #[test]
+    fn add_service_on_running_sed() {
+        let sed = SedHandle::spawn(SedConfig::new("test/8", 1.0), doubler_table());
+        let mut d = ProfileDesc::alloc("triple", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        sed.add_service(
+            d.clone(),
+            Arc::new(|p: &mut Profile| {
+                let x = p.get_i32(0)?;
+                p.set(1, DietValue::ScalarI32(3 * x), Persistence::Volatile)?;
+                Ok(0)
+            }),
+        )
+        .unwrap();
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(3), Persistence::Volatile)
+            .unwrap();
+        let out = sed.submit(p).unwrap().recv().unwrap();
+        assert_eq!(out.result.unwrap().get_i32(1).unwrap(), 9);
+        sed.shutdown();
+    }
+}

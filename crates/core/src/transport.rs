@@ -1,0 +1,317 @@
+//! Transport abstraction.
+//!
+//! DIET used CORBA; GridSolve and Ninf used raw sockets (with the
+//! portability and descriptor-exhaustion problems the paper points out).
+//! Here a small [`Duplex`] trait covers both of this crate's transports:
+//!
+//! * [`InProcTransport`] — crossbeam channels; zero-copy, deterministic,
+//!   used by tests and the campaign simulator.
+//! * [`TcpTransport`] — `std::net::TcpStream` with `[u32 length][payload]`
+//!   frames; one OS thread per connection on the server side.
+
+use crate::codec::{decode_message, encode_message, Message};
+use crate::error::DietError;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A bidirectional message channel.
+pub trait Duplex: Send {
+    fn send(&self, m: &Message) -> Result<(), DietError>;
+    fn recv(&self) -> Result<Message, DietError>;
+    /// Receive with a timeout; `Ok(None)` on expiry.
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Message>, DietError>;
+}
+
+// ---------------------------------------------------------------- in-process
+
+/// One end of an in-process duplex pair.
+pub struct InProcTransport {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+/// Create a connected pair of in-process endpoints. Messages still pass
+/// through the codec so the wire format is exercised identically to TCP.
+pub fn inproc_pair() -> (InProcTransport, InProcTransport) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        InProcTransport { tx: atx, rx: brx },
+        InProcTransport { tx: btx, rx: arx },
+    )
+}
+
+/// Create a bounded pair (used to test back-pressure handling).
+pub fn inproc_pair_bounded(cap: usize) -> (InProcTransport, InProcTransport) {
+    let (atx, arx) = bounded(cap);
+    let (btx, brx) = bounded(cap);
+    (
+        InProcTransport { tx: atx, rx: brx },
+        InProcTransport { tx: btx, rx: arx },
+    )
+}
+
+impl Duplex for InProcTransport {
+    fn send(&self, m: &Message) -> Result<(), DietError> {
+        self.tx
+            .send(encode_message(m))
+            .map_err(|_| DietError::Transport("peer disconnected".into()))
+    }
+
+    fn recv(&self) -> Result<Message, DietError> {
+        let raw = self
+            .rx
+            .recv()
+            .map_err(|_| DietError::Transport("peer disconnected".into()))?;
+        decode_message(raw)
+    }
+
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Message>, DietError> {
+        match self.rx.recv_timeout(d) {
+            Ok(raw) => Ok(Some(decode_message(raw)?)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(DietError::Transport("peer disconnected".into()))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------- tcp
+
+/// A framed TCP endpoint.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, DietError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| DietError::Transport(format!("connect: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpTransport { stream })
+    }
+
+    pub fn from_stream(stream: TcpStream) -> Self {
+        stream.set_nodelay(true).ok();
+        TcpTransport { stream }
+    }
+
+    fn write_frame(&self, payload: &[u8]) -> Result<(), DietError> {
+        let mut s = &self.stream;
+        s.write_all(&(payload.len() as u32).to_le_bytes())
+            .and_then(|_| s.write_all(payload))
+            .map_err(|e| DietError::Transport(format!("write: {e}")))
+    }
+
+    fn read_frame(&self) -> Result<Bytes, std::io::Error> {
+        let mut s = &self.stream;
+        let mut len = [0u8; 4];
+        s.read_exact(&mut len)?;
+        let n = u32::from_le_bytes(len) as usize;
+        // Guard against absurd frames (a corrupted peer shouldn't OOM us).
+        if n > 1 << 30 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("oversized frame: {n}"),
+            ));
+        }
+        let mut body = vec![0u8; n];
+        s.read_exact(&mut body)?;
+        Ok(Bytes::from(body))
+    }
+}
+
+impl Duplex for TcpTransport {
+    fn send(&self, m: &Message) -> Result<(), DietError> {
+        self.write_frame(&encode_message(m))
+    }
+
+    fn recv(&self) -> Result<Message, DietError> {
+        let raw = self
+            .read_frame()
+            .map_err(|e| DietError::Transport(format!("read: {e}")))?;
+        decode_message(raw)
+    }
+
+    fn recv_timeout(&self, d: Duration) -> Result<Option<Message>, DietError> {
+        self.stream
+            .set_read_timeout(Some(d))
+            .map_err(|e| DietError::Transport(format!("set timeout: {e}")))?;
+        let res = match self.read_frame() {
+            Ok(raw) => decode_message(raw).map(Some),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(DietError::Transport(format!("read: {e}"))),
+        };
+        self.stream.set_read_timeout(None).ok();
+        res
+    }
+}
+
+/// A minimal TCP acceptor: spawns `handler` on its own thread per connection.
+/// Returns the bound local address (useful with port 0) and a guard whose
+/// drop stops accepting.
+pub struct TcpServer {
+    pub local_addr: std::net::SocketAddr,
+    stop: Sender<()>,
+}
+
+impl TcpServer {
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        handler: impl Fn(TcpTransport) + Send + Sync + 'static,
+    ) -> Result<Self, DietError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DietError::Transport(format!("bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DietError::Transport(format!("local_addr: {e}")))?;
+        listener.set_nonblocking(true).ok();
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let handler = std::sync::Arc::new(handler);
+        std::thread::spawn(move || loop {
+            if stop_rx.try_recv().is_ok() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    let h = handler.clone();
+                    std::thread::spawn(move || h(TcpTransport::from_stream(stream)));
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        });
+        Ok(TcpServer {
+            local_addr,
+            stop: stop_tx,
+        })
+    }
+
+    pub fn stop(&self) {
+        self.stop.try_send(()).ok();
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inproc_roundtrip() {
+        let (a, b) = inproc_pair();
+        a.send(&Message::Ping).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Ping);
+        b.send(&Message::Pong).unwrap();
+        assert_eq!(a.recv().unwrap(), Message::Pong);
+    }
+
+    #[test]
+    fn inproc_timeout_expires() {
+        let (a, _b) = inproc_pair();
+        let r = a.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn inproc_disconnect_detected() {
+        let (a, b) = inproc_pair();
+        drop(b);
+        assert!(a.send(&Message::Ping).is_err());
+        assert!(a.recv().is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_echo() {
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            while let Ok(m) = conn.recv() {
+                match m {
+                    Message::Ping => conn.send(&Message::Pong).unwrap(),
+                    Message::Shutdown => break,
+                    other => conn.send(&other).unwrap(),
+                }
+            }
+        })
+        .unwrap();
+
+        let client = TcpTransport::connect(server.local_addr).unwrap();
+        client.send(&Message::Ping).unwrap();
+        assert_eq!(client.recv().unwrap(), Message::Pong);
+
+        let m = Message::Submit {
+            service: "ramsesZoom1".into(),
+            request_id: 9,
+        };
+        client.send(&m).unwrap();
+        assert_eq!(client.recv().unwrap(), m);
+        client.send(&Message::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn tcp_timeout_returns_none() {
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            // Never answer; just hold the connection open long enough.
+            let _ = conn.recv_timeout(Duration::from_millis(300));
+        })
+        .unwrap();
+        let client = TcpTransport::connect(server.local_addr).unwrap();
+        let r = client.recv_timeout(Duration::from_millis(30)).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn tcp_large_file_payload() {
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            if let Ok(m) = conn.recv() {
+                conn.send(&m).unwrap();
+            }
+        })
+        .unwrap();
+        let client = TcpTransport::connect(server.local_addr).unwrap();
+        let desc = crate::profile::ramses_zoom1_desc();
+        let mut p = crate::profile::Profile::alloc(&desc);
+        p.set(
+            0,
+            crate::data::DietValue::File {
+                name: "big.bin".into(),
+                data: Bytes::from(vec![0xAB; 3 << 20]),
+            },
+            Default::default(),
+        )
+        .unwrap();
+        p.set(
+            1,
+            crate::data::DietValue::ScalarI32(128),
+            Default::default(),
+        )
+        .unwrap();
+        let m = Message::Call {
+            request_id: 1,
+            profile: p.clone(),
+        };
+        client.send(&m).unwrap();
+        match client.recv().unwrap() {
+            Message::Call { profile, .. } => assert_eq!(profile, p),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

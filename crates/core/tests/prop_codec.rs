@@ -1,0 +1,188 @@
+//! Property tests: the wire codec round-trips arbitrary profiles and
+//! messages, and never panics on corrupted input.
+
+use bytes::Bytes;
+use diet_core::codec::{decode_message, encode_message, Message};
+use diet_core::data::{DietValue, Persistence};
+use diet_core::monitor::Estimate;
+use diet_core::profile::Profile;
+use diet_core::sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = DietValue> {
+    prop_oneof![
+        Just(DietValue::Null),
+        any::<i32>().prop_map(DietValue::ScalarI32),
+        any::<i64>().prop_map(DietValue::ScalarI64),
+        (-1e300f64..1e300).prop_map(DietValue::ScalarF64),
+        any::<u8>().prop_map(DietValue::ScalarChar),
+        prop::collection::vec(-1e12f64..1e12, 0..50).prop_map(DietValue::VectorF64),
+        prop::collection::vec(any::<i32>(), 0..50).prop_map(DietValue::VectorI32),
+        ".*".prop_map(DietValue::Str),
+        ("[a-z./_-]{0,40}", prop::collection::vec(any::<u8>(), 0..256)).prop_map(
+            |(name, data)| DietValue::File {
+                name,
+                data: Bytes::from(data),
+            }
+        ),
+    ]
+}
+
+fn arb_persistence() -> impl Strategy<Value = Persistence> {
+    prop_oneof![
+        Just(Persistence::Volatile),
+        Just(Persistence::Persistent),
+        Just(Persistence::Sticky),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        "[a-zA-Z][a-zA-Z0-9_]{0,30}",
+        prop::collection::vec((arb_value(), arb_persistence()), 0..12),
+    )
+        .prop_map(|(service, args)| {
+            let (values, persistence) = args.into_iter().unzip();
+            Profile {
+                service,
+                values,
+                persistence,
+            }
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        ("[a-z]{1,20}", any::<u64>()).prop_map(|(service, request_id)| Message::Submit {
+            service,
+            request_id
+        }),
+        (any::<u64>(), prop::option::of("[a-z/0-9]{1,20}")).prop_map(
+            |(request_id, server)| Message::SubmitReply { request_id, server }
+        ),
+        (any::<u64>(), arb_profile()).prop_map(|(request_id, profile)| Message::Call {
+            request_id,
+            profile
+        }),
+        (any::<u64>(), arb_profile()).prop_map(|(request_id, p)| Message::CallReply {
+            request_id,
+            result: Ok(p)
+        }),
+        (any::<u64>(), ".*").prop_map(|(request_id, e)| Message::CallReply {
+            request_id,
+            result: Err(e)
+        }),
+        Just(Message::Ping),
+        Just(Message::Pong),
+        Just(Message::Shutdown),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode → decode is the identity for every message.
+    #[test]
+    fn message_roundtrip(m in arb_message()) {
+        let enc = encode_message(&m);
+        let dec = decode_message(enc).unwrap();
+        prop_assert_eq!(dec, m);
+    }
+
+    /// Decoding arbitrary bytes errors or succeeds — never panics.
+    #[test]
+    fn decode_never_panics(raw in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_message(Bytes::from(raw));
+    }
+
+    /// Decoding a truncated valid message reports an error (no garbage).
+    #[test]
+    fn truncation_always_detected(m in arb_message(), frac in 0.0f64..1.0) {
+        let enc = encode_message(&m);
+        if enc.len() > 1 {
+            let cut = ((enc.len() - 1) as f64 * frac) as usize;
+            let sliced = enc.slice(0..cut);
+            // Either an error, or (for multi-frame-safe prefixes) equality is
+            // impossible because the payload is shorter — decode of a strict
+            // prefix must never return the original message.
+            match decode_message(sliced) {
+                Err(_) => {}
+                Ok(other) => prop_assert_ne!(other, m),
+            }
+        }
+    }
+}
+
+fn arb_estimates() -> impl Strategy<Value = Vec<Estimate>> {
+    prop::collection::vec(
+        (
+            "[a-z]{1,8}",
+            0.1f64..4.0,
+            0usize..50,
+            prop::option::of(1.0f64..1e4),
+        ),
+        1..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (name, speed, queue, known))| Estimate {
+                server: format!("{name}{i}"),
+                speed_factor: speed,
+                free_memory: 1 << 30,
+                queue_length: queue,
+                completed: queue as u64,
+                known_mean_duration: known,
+                probe_rtt: 0.0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every scheduler returns an in-range index for any candidate set.
+    #[test]
+    fn schedulers_select_in_range(ests in arb_estimates(), seed in 1u64..1000) {
+        let scheds: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(RandomSched::new(seed)),
+            Box::new(MinQueue),
+            Box::new(WeightedSpeed),
+        ];
+        for s in &scheds {
+            for _ in 0..5 {
+                let pick = s.select(&ests);
+                prop_assert!(pick < ests.len(), "{} out of range", s.name());
+            }
+        }
+    }
+
+    /// Round-robin over k calls hits every candidate floor(k/n) or
+    /// ceil(k/n) times — the paper's 9-or-10 distribution, generalised.
+    #[test]
+    fn round_robin_balanced(n in 1usize..20, k in 1usize..200) {
+        let ests: Vec<Estimate> = (0..n)
+            .map(|i| Estimate {
+                server: format!("s{i}"),
+                speed_factor: 1.0,
+                free_memory: 0,
+                queue_length: 0,
+                completed: 0,
+                known_mean_duration: None,
+                probe_rtt: 0.0,
+            })
+            .collect();
+        let rr = RoundRobin::new();
+        let mut counts = vec![0usize; n];
+        for _ in 0..k {
+            counts[rr.select(&ests)] += 1;
+        }
+        let lo = k / n;
+        let hi = k.div_ceil(n);
+        for c in counts {
+            prop_assert!(c == lo || c == hi, "count {c} outside {{{lo},{hi}}}");
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Friends-of-friends percolation.
+//!
+//! Two particles are "friends" when their periodic separation is below the
+//! linking length `b · n̄^{-1/3}` (b ≈ 0.2 of the mean inter-particle
+//! spacing); halos are the transitive closures — exactly the high-density
+//! peaks of the paper's Figure 2 that HaloMaker extracts.
+//!
+//! The implementation uses a linked-cell grid (cell size = linking length) so
+//! the pair search is O(N) for roughly uniform loads, and a union–find with
+//! path compression for the closure.
+
+use ramses::particles::Particles;
+
+/// FoF parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FofParams {
+    /// Linking length in units of the mean inter-particle spacing.
+    pub b: f64,
+    /// Discard groups below this many particles.
+    pub min_members: usize,
+}
+
+impl Default for FofParams {
+    fn default() -> Self {
+        FofParams {
+            b: 0.2,
+            min_members: 10,
+        }
+    }
+}
+
+/// Union–find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    pub fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Periodic squared distance in the unit box.
+#[inline]
+fn dist2_periodic(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..3 {
+        let mut dx = (a[d] - b[d]).abs();
+        if dx > 0.5 {
+            dx = 1.0 - dx;
+        }
+        s += dx * dx;
+    }
+    s
+}
+
+/// Run FoF on a particle set in the unit box. Returns the groups (lists of
+/// particle indices), largest first, filtered by `min_members`.
+///
+/// ```
+/// use galics::fof::{friends_of_friends, FofParams};
+/// use ramses::particles::Particles;
+/// let mut parts = Particles::default();
+/// for i in 0..10u64 {
+///     parts.push([0.5 + i as f64 * 1e-4, 0.5, 0.5], [0.0; 3], 0.1, i);
+/// }
+/// let groups = friends_of_friends(&parts, &FofParams { b: 0.2, min_members: 5 });
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].len(), 10);
+/// ```
+pub fn friends_of_friends(parts: &Particles, params: &FofParams) -> Vec<Vec<u32>> {
+    let n = parts.len();
+    if n == 0 {
+        return vec![];
+    }
+    // Linking length relative to mean spacing of THIS particle load.
+    let mean_spacing = (1.0 / n as f64).cbrt();
+    let ll = params.b * mean_spacing;
+    let ll2 = ll * ll;
+
+    // Linked-cell grid with cell edge ≥ ll so only 27 neighbour cells are
+    // candidates. Cap the grid to keep memory sane for tiny lls.
+    let ncell = ((1.0 / ll).floor() as usize).clamp(1, 128);
+    let cell_of = |p: [f64; 3]| -> (usize, usize, usize) {
+        let f = |x: f64| (((x * ncell as f64) as usize).min(ncell - 1)) as usize;
+        (f(p[0]), f(p[1]), f(p[2]))
+    };
+    let cidx = |c: (usize, usize, usize)| (c.0 * ncell + c.1) * ncell + c.2;
+
+    let mut heads: Vec<i64> = vec![-1; ncell * ncell * ncell];
+    let mut next: Vec<i64> = vec![-1; n];
+    for i in 0..n {
+        let c = cidx(cell_of(parts.pos[i]));
+        next[i] = heads[c];
+        heads[c] = i as i64;
+    }
+
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        let (ci, cj, ck) = cell_of(parts.pos[i]);
+        for di in -1i64..=1 {
+            for dj in -1i64..=1 {
+                for dk in -1i64..=1 {
+                    let nb = (
+                        (ci as i64 + di).rem_euclid(ncell as i64) as usize,
+                        (cj as i64 + dj).rem_euclid(ncell as i64) as usize,
+                        (ck as i64 + dk).rem_euclid(ncell as i64) as usize,
+                    );
+                    let mut j = heads[cidx(nb)];
+                    while j >= 0 {
+                        let ju = j as usize;
+                        if ju > i && dist2_periodic(parts.pos[i], parts.pos[ju]) <= ll2 {
+                            uf.union(i as u32, j as u32);
+                        }
+                        j = next[ju];
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect groups.
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<u32>> = groups
+        .into_values()
+        .filter(|g| g.len() >= params.min_members)
+        .collect();
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts_from(pos: &[[f64; 3]]) -> Particles {
+        let mut p = Particles::default();
+        for (i, &x) in pos.iter().enumerate() {
+            p.push(x, [0.0; 3], 1.0 / pos.len() as f64, i as u64);
+        }
+        p
+    }
+
+    /// Build a tight clump of `k` points around `c` with spacing `eps`.
+    fn clump(c: [f64; 3], k: usize, eps: f64) -> Vec<[f64; 3]> {
+        (0..k)
+            .map(|i| {
+                let f = i as f64;
+                [
+                    (c[0] + eps * (f * 0.17).sin() * 0.5).rem_euclid(1.0),
+                    (c[1] + eps * (f * 0.31).cos() * 0.5).rem_euclid(1.0),
+                    (c[2] + eps * (f * 0.53).sin() * 0.5).rem_euclid(1.0),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_separated_clumps_give_two_groups() {
+        let mut pos = clump([0.2, 0.2, 0.2], 20, 0.001);
+        pos.extend(clump([0.8, 0.8, 0.8], 15, 0.001));
+        let parts = parts_from(&pos);
+        let groups = friends_of_friends(
+            &parts,
+            &FofParams {
+                b: 0.2,
+                min_members: 5,
+            },
+        );
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 20);
+        assert_eq!(groups[1].len(), 15);
+    }
+
+    #[test]
+    fn min_members_filters_field_particles() {
+        let mut pos = clump([0.5, 0.5, 0.5], 30, 0.001);
+        // isolated singles
+        pos.push([0.1, 0.9, 0.3]);
+        pos.push([0.9, 0.1, 0.7]);
+        let parts = parts_from(&pos);
+        let groups = friends_of_friends(&parts, &FofParams::default());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 30);
+    }
+
+    #[test]
+    fn group_links_across_periodic_boundary() {
+        // A clump straddling the box corner must come out whole.
+        let pos: Vec<[f64; 3]> = (0..20)
+            .map(|i| {
+                let f = i as f64 * 0.0004;
+                [
+                    (0.999 + f).rem_euclid(1.0),
+                    (0.999 + f * 0.5).rem_euclid(1.0),
+                    (0.001 - f * 0.3).rem_euclid(1.0),
+                ]
+            })
+            .collect();
+        let parts = parts_from(&pos);
+        let groups = friends_of_friends(
+            &parts,
+            &FofParams {
+                b: 0.3,
+                min_members: 5,
+            },
+        );
+        assert_eq!(groups.len(), 1, "clump split across boundary");
+        assert_eq!(groups[0].len(), 20);
+    }
+
+    #[test]
+    fn groups_partition_no_particle_twice() {
+        let mut pos = clump([0.3, 0.3, 0.3], 25, 0.002);
+        pos.extend(clump([0.7, 0.7, 0.7], 25, 0.002));
+        let parts = parts_from(&pos);
+        let groups = friends_of_friends(
+            &parts,
+            &FofParams {
+                b: 0.2,
+                min_members: 1,
+            },
+        );
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &i in g {
+                assert!(seen.insert(i), "particle {i} in two groups");
+            }
+        }
+        assert_eq!(seen.len(), parts.len());
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        uf.union(1, 3);
+        assert!(uf.same(0, 4));
+    }
+
+    #[test]
+    fn linking_length_controls_percolation() {
+        // A line of points with spacing s percolates iff ll >= s.
+        let npt = 20;
+        let s = 0.01;
+        let pos: Vec<[f64; 3]> = (0..npt).map(|i| [0.1 + i as f64 * s, 0.5, 0.5]).collect();
+        let parts = parts_from(&pos);
+        let mean_spacing = (1.0 / npt as f64).cbrt();
+        // b just above s/mean_spacing links the chain.
+        let b_hi = s / mean_spacing * 1.05;
+        let b_lo = s / mean_spacing * 0.95;
+        let g_hi = friends_of_friends(
+            &parts,
+            &FofParams {
+                b: b_hi,
+                min_members: 1,
+            },
+        );
+        let g_lo = friends_of_friends(
+            &parts,
+            &FofParams {
+                b: b_lo,
+                min_members: 1,
+            },
+        );
+        assert_eq!(g_hi.len(), 1);
+        assert_eq!(g_lo.len(), npt);
+    }
+}

@@ -1,0 +1,343 @@
+//! GalaxyMaker: a semi-analytic galaxy-formation model over the merger tree.
+//!
+//! "GalaxyMaker applies a semi-analytical model to the results of TreeMaker
+//! to form galaxies, and creates a catalog of galaxies."
+//!
+//! The model is the standard GALICS-family recipe set, reduced to its core
+//! terms so every number is reproducible:
+//!
+//! * each halo receives a baryon budget `f_b · M_halo`;
+//! * hot gas cools onto a disc on the halo dynamical time;
+//! * cold gas forms stars at rate `ε · M_cold / t_dyn`;
+//! * supernova feedback reheats cold gas proportionally to star formation;
+//! * on mergers the descendant inherits stars and gas of all progenitors,
+//!   and a major merger (mass ratio > 1:3) moves disc stars into a bulge.
+//!
+//! Integration walks the tree snapshot-by-snapshot, so a galaxy's history is
+//! exactly its halo's merger history.
+
+use crate::tree::MergerTree;
+
+/// Semi-analytic model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SamParams {
+    /// Universal baryon fraction.
+    pub f_baryon: f64,
+    /// Star-formation efficiency per dynamical time.
+    pub eps_sf: f64,
+    /// Supernova reheating efficiency (mass reheated per mass of stars).
+    pub eta_sn: f64,
+    /// Cooling efficiency per dynamical time.
+    pub eps_cool: f64,
+    /// Major-merger threshold on progenitor mass ratio.
+    pub major_ratio: f64,
+    /// Dynamical time in units of the snapshot spacing (scales all rates).
+    pub t_dyn: f64,
+}
+
+impl Default for SamParams {
+    fn default() -> Self {
+        SamParams {
+            f_baryon: 0.16,
+            eps_sf: 0.1,
+            eta_sn: 0.5,
+            eps_cool: 0.5,
+            major_ratio: 1.0 / 3.0,
+            t_dyn: 1.0,
+        }
+    }
+}
+
+/// One galaxy, attached to a tree node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Galaxy {
+    /// Tree node this galaxy lives in.
+    pub node: usize,
+    /// Hot halo gas (code mass units).
+    pub hot_gas: f64,
+    /// Cold disc gas.
+    pub cold_gas: f64,
+    /// Disc stellar mass.
+    pub stars_disc: f64,
+    /// Bulge stellar mass (built by major mergers).
+    pub stars_bulge: f64,
+    /// Cumulative number of major mergers in this galaxy's history.
+    pub major_mergers: u32,
+}
+
+impl Galaxy {
+    pub fn stellar_mass(&self) -> f64 {
+        self.stars_disc + self.stars_bulge
+    }
+
+    pub fn baryon_mass(&self) -> f64 {
+        self.hot_gas + self.cold_gas + self.stellar_mass()
+    }
+
+    /// Bulge-to-total ratio — the morphology proxy.
+    pub fn b_over_t(&self) -> f64 {
+        let m = self.stellar_mass();
+        if m > 0.0 {
+            self.stars_bulge / m
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The output catalog: one galaxy per tree node (indexed alike).
+#[derive(Debug, Clone, Default)]
+pub struct GalaxyCatalog {
+    pub galaxies: Vec<Galaxy>,
+}
+
+impl GalaxyCatalog {
+    /// Galaxies at the final snapshot (tree roots).
+    pub fn at_roots(&self, tree: &MergerTree) -> Vec<Galaxy> {
+        tree.roots().into_iter().map(|i| self.galaxies[i]).collect()
+    }
+
+    pub fn total_stellar_mass(&self) -> f64 {
+        self.galaxies.iter().map(|g| g.stellar_mass()).sum()
+    }
+
+    /// Stellar mass function of the final (root) galaxies: counts per
+    /// logarithmic mass bin — the observable a SAM is judged against.
+    pub fn stellar_mass_function(&self, tree: &MergerTree, nbins: usize) -> Vec<(f64, usize)> {
+        let masses: Vec<f64> = self
+            .at_roots(tree)
+            .into_iter()
+            .map(|g| g.stellar_mass())
+            .filter(|&m| m > 0.0)
+            .collect();
+        if masses.is_empty() || nbins == 0 {
+            return vec![];
+        }
+        let lo = masses.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = masses.iter().cloned().fold(0.0f64, f64::max) * 1.0000001;
+        let llo = lo.ln();
+        let dln = (hi.ln() - llo).max(1e-12) / nbins as f64;
+        let mut counts = vec![0usize; nbins];
+        for m in &masses {
+            let b = (((m.ln() - llo) / dln) as usize).min(nbins - 1);
+            counts[b] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(b, c)| ((llo + (b as f64 + 0.5) * dln).exp(), c))
+            .collect()
+    }
+}
+
+/// Run GalaxyMaker over a merger forest.
+pub fn galaxy_maker(tree: &MergerTree, p: &SamParams) -> GalaxyCatalog {
+    let n = tree.nodes.len();
+    let mut gals: Vec<Galaxy> = (0..n)
+        .map(|i| Galaxy {
+            node: i,
+            hot_gas: 0.0,
+            cold_gas: 0.0,
+            stars_disc: 0.0,
+            stars_bulge: 0.0,
+            major_mergers: 0,
+        })
+        .collect();
+
+    // Process nodes in snapshot order so progenitors are done first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| tree.nodes[i].snap);
+
+    for &i in &order {
+        let node = &tree.nodes[i];
+
+        // 1. Inherit from progenitors.
+        let mut g = gals[i];
+        let progs = &node.progenitors;
+        let mut inherited_halo_mass = 0.0;
+        for &pidx in progs {
+            let pg = gals[pidx];
+            g.hot_gas += pg.hot_gas;
+            g.cold_gas += pg.cold_gas;
+            g.stars_disc += pg.stars_disc;
+            g.stars_bulge += pg.stars_bulge;
+            g.major_mergers = g.major_mergers.max(pg.major_mergers);
+            inherited_halo_mass += tree.nodes[pidx].mass;
+        }
+        // Major merger: second progenitor within `major_ratio` of the first.
+        if progs.len() >= 2 {
+            let m0 = tree.nodes[progs[0]].mass;
+            let m1 = tree.nodes[progs[1]].mass;
+            if m0 > 0.0 && m1 / m0 >= p.major_ratio {
+                g.stars_bulge += g.stars_disc;
+                g.stars_disc = 0.0;
+                g.major_mergers += 1;
+            }
+        }
+
+        // 2. Fresh accretion: newly acquired halo mass brings hot baryons.
+        let accreted = (node.mass - inherited_halo_mass).max(0.0);
+        g.hot_gas += p.f_baryon * accreted;
+
+        // 3. One snapshot-interval of internal evolution.
+        let dt = 1.0; // rates are per snapshot spacing, scaled by t_dyn
+        let cool = (p.eps_cool * dt / p.t_dyn).min(1.0) * g.hot_gas;
+        g.hot_gas -= cool;
+        g.cold_gas += cool;
+        let sfr = (p.eps_sf * dt / p.t_dyn).min(1.0) * g.cold_gas;
+        let reheat = (p.eta_sn * sfr).min(g.cold_gas - sfr);
+        g.cold_gas -= sfr + reheat.max(0.0);
+        g.stars_disc += sfr;
+        g.hot_gas += reheat.max(0.0);
+
+        gals[i] = g;
+    }
+
+    GalaxyCatalog { galaxies: gals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeNode;
+    use std::collections::HashMap;
+
+    /// Hand-build a forest: two progenitors at snap 0 merging at snap 1,
+    /// then growing quietly at snap 2.
+    fn forest(m0: f64, m1: f64, m_final: f64) -> MergerTree {
+        let nodes = vec![
+            TreeNode {
+                snap: 0,
+                halo: 0,
+                mass: m0,
+                descendant: Some(2),
+                progenitors: vec![],
+            },
+            TreeNode {
+                snap: 0,
+                halo: 1,
+                mass: m1,
+                descendant: Some(2),
+                progenitors: vec![],
+            },
+            TreeNode {
+                snap: 1,
+                halo: 0,
+                mass: m0 + m1,
+                descendant: Some(3),
+                progenitors: vec![0, 1],
+            },
+            TreeNode {
+                snap: 2,
+                halo: 0,
+                mass: m_final,
+                descendant: None,
+                progenitors: vec![2],
+            },
+        ];
+        let mut index = HashMap::new();
+        index.insert((0usize, 0u32), 0usize);
+        index.insert((0, 1), 1);
+        index.insert((1, 0), 2);
+        index.insert((2, 0), 3);
+        MergerTree { nodes, index }
+    }
+
+    #[test]
+    fn baryons_track_halo_mass() {
+        let p = SamParams::default();
+        let tree = forest(0.6, 0.4, 1.2);
+        let cat = galaxy_maker(&tree, &p);
+        let g = cat.galaxies[3];
+        // All accreted baryons: f_b · total accreted halo mass (0.6+0.4+0.2).
+        let expect = p.f_baryon * 1.2;
+        assert!(
+            (g.baryon_mass() - expect).abs() < 1e-12,
+            "baryons {} vs {expect}",
+            g.baryon_mass()
+        );
+    }
+
+    #[test]
+    fn stars_form_monotonically() {
+        let tree = forest(0.6, 0.4, 1.2);
+        let cat = galaxy_maker(&tree, &SamParams::default());
+        assert!(cat.galaxies[0].stellar_mass() > 0.0);
+        assert!(cat.galaxies[3].stellar_mass() > cat.galaxies[2].stellar_mass());
+    }
+
+    #[test]
+    fn equal_merger_builds_bulge() {
+        let tree = forest(0.5, 0.5, 1.1);
+        let cat = galaxy_maker(&tree, &SamParams::default());
+        let g = cat.galaxies[2];
+        assert!(g.stars_bulge > 0.0, "no bulge after 1:1 merger");
+        assert_eq!(g.major_mergers, 1);
+    }
+
+    #[test]
+    fn minor_merger_keeps_disc() {
+        let tree = forest(0.9, 0.05, 1.0);
+        let cat = galaxy_maker(&tree, &SamParams::default());
+        let g = cat.galaxies[2];
+        assert_eq!(g.stars_bulge, 0.0, "minor merger should not build a bulge");
+        assert_eq!(g.major_mergers, 0);
+    }
+
+    #[test]
+    fn no_negative_reservoirs() {
+        let tree = forest(0.5, 0.5, 1.5);
+        let cat = galaxy_maker(&tree, &SamParams::default());
+        for g in &cat.galaxies {
+            assert!(g.hot_gas >= 0.0);
+            assert!(g.cold_gas >= 0.0);
+            assert!(g.stars_disc >= 0.0);
+            assert!(g.stars_bulge >= 0.0);
+        }
+    }
+
+    #[test]
+    fn roots_extraction() {
+        let tree = forest(0.6, 0.4, 1.2);
+        let cat = galaxy_maker(&tree, &SamParams::default());
+        let finals = cat.at_roots(&tree);
+        assert_eq!(finals.len(), 1);
+        assert_eq!(finals[0].node, 3);
+    }
+
+    #[test]
+    fn stellar_mass_function_counts_roots() {
+        let tree = forest(0.6, 0.4, 1.2);
+        let cat = galaxy_maker(&tree, &SamParams::default());
+        let smf = cat.stellar_mass_function(&tree, 3);
+        assert_eq!(smf.len(), 3);
+        let total: usize = smf.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, tree.roots().len());
+        for w in smf.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn feedback_suppresses_stars() {
+        let tree = forest(0.6, 0.4, 1.2);
+        let weak = galaxy_maker(
+            &tree,
+            &SamParams {
+                eta_sn: 0.0,
+                ..SamParams::default()
+            },
+        );
+        let strong = galaxy_maker(
+            &tree,
+            &SamParams {
+                eta_sn: 2.0,
+                ..SamParams::default()
+            },
+        );
+        assert!(
+            strong.total_stellar_mass() < weak.total_stellar_mass(),
+            "feedback did not reduce stellar mass"
+        );
+    }
+}

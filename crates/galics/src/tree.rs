@@ -1,0 +1,266 @@
+//! TreeMaker: merger trees across snapshots.
+//!
+//! "Given the catalog of halos, TreeMaker builds a merger tree: it follows
+//! the position, the mass, the velocity of the different particles present
+//! in the halos through cosmic time."
+//!
+//! Linking rule: halo B at snapshot i+1 is a *descendant* of halo A at
+//! snapshot i when B inherits the plurality of A's particles (by id). A halo
+//! with several progenitors records a merger; the most massive progenitor is
+//! the "main" branch.
+
+use crate::halo::HaloCatalog;
+use ramses::nbody::Snapshot;
+use std::collections::HashMap;
+
+/// A node of the forest: one halo at one snapshot.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// (snapshot index, halo id within that snapshot's catalog).
+    pub snap: usize,
+    pub halo: u32,
+    /// Mass (code units) copied from the catalog for convenience.
+    pub mass: f64,
+    /// Descendant node index, if any.
+    pub descendant: Option<usize>,
+    /// Progenitor node indices, most massive first.
+    pub progenitors: Vec<usize>,
+}
+
+/// The merger forest over a snapshot series.
+#[derive(Debug, Clone, Default)]
+pub struct MergerTree {
+    pub nodes: Vec<TreeNode>,
+    /// Node index by (snap, halo id).
+    pub index: HashMap<(usize, u32), usize>,
+}
+
+impl MergerTree {
+    /// Roots: nodes with no descendant (the z = final halos).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].descendant.is_none())
+            .collect()
+    }
+
+    /// Number of merger events (nodes with ≥ 2 progenitors).
+    pub fn merger_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.progenitors.len() >= 2)
+            .count()
+    }
+
+    /// Walk the main branch (most massive progenitor chain) from a node back
+    /// in time; returns node indices including the start.
+    pub fn main_branch(&self, start: usize) -> Vec<usize> {
+        let mut out = vec![start];
+        let mut cur = start;
+        while let Some(&p) = self.nodes[cur].progenitors.first() {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+}
+
+/// Build the forest. `snaps` and `catalogs` must be parallel arrays ordered
+/// by increasing expansion factor.
+pub fn tree_maker(snaps: &[Snapshot], catalogs: &[HaloCatalog]) -> MergerTree {
+    assert_eq!(snaps.len(), catalogs.len());
+    let mut tree = MergerTree::default();
+
+    // Create all nodes.
+    for (s, cat) in catalogs.iter().enumerate() {
+        for h in &cat.halos {
+            let idx = tree.nodes.len();
+            tree.index.insert((s, h.id), idx);
+            tree.nodes.push(TreeNode {
+                snap: s,
+                halo: h.id,
+                mass: h.mass,
+                descendant: None,
+                progenitors: Vec::new(),
+            });
+        }
+    }
+
+    // Link consecutive snapshots by particle-id plurality.
+    for s in 0..catalogs.len().saturating_sub(1) {
+        // Map particle id -> halo id at snapshot s+1.
+        let mut owner: HashMap<u64, u32> = HashMap::new();
+        for h in &catalogs[s + 1].halos {
+            for &pid in &h.members {
+                owner.insert(pid, h.id);
+            }
+        }
+        for h in &catalogs[s].halos {
+            // Count votes.
+            let mut votes: HashMap<u32, usize> = HashMap::new();
+            for pid in &h.members {
+                if let Some(&dest) = owner.get(pid) {
+                    *votes.entry(dest).or_insert(0) += 1;
+                }
+            }
+            if let Some((&dest, _)) = votes.iter().max_by_key(|(id, &c)| (c, u32::MAX - **id)) {
+                let src_idx = tree.index[&(s, h.id)];
+                let dst_idx = tree.index[&(s + 1, dest)];
+                tree.nodes[src_idx].descendant = Some(dst_idx);
+                tree.nodes[dst_idx].progenitors.push(src_idx);
+            }
+        }
+    }
+
+    // Sort progenitor lists by mass, heaviest first.
+    let masses: Vec<f64> = tree.nodes.iter().map(|n| n.mass).collect();
+    for n in tree.nodes.iter_mut() {
+        n.progenitors
+            .sort_by(|&a, &b| masses[b].partial_cmp(&masses[a]).unwrap());
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halo::Halo;
+    use ramses::particles::Particles;
+    use ramses::units::Units;
+
+    fn fake_snap(a: f64) -> Snapshot {
+        Snapshot {
+            a,
+            t: a,
+            step: 0,
+            particles: Particles::default(),
+            units: Units::new(100.0, 0.71, 0.27),
+        }
+    }
+
+    fn halo(id: u32, mass: f64, members: Vec<u64>) -> Halo {
+        Halo {
+            id,
+            mass,
+            mass_msun: mass * 1e15,
+            pos: [0.5; 3],
+            vel: [0.0; 3],
+            npart: members.len(),
+            radius: 0.01,
+            sigma_v: 0.0,
+            spin: 0.0,
+            members,
+        }
+    }
+
+    /// Scenario: at s0 halos A{0..9} and B{10..19}; at s1 they merge into C.
+    fn merger_scenario() -> (Vec<Snapshot>, Vec<HaloCatalog>) {
+        let c0 = HaloCatalog {
+            a: 0.5,
+            halos: vec![
+                halo(0, 0.6, (0..10).collect()),
+                halo(1, 0.4, (10..20).collect()),
+            ],
+        };
+        let c1 = HaloCatalog {
+            a: 0.8,
+            halos: vec![halo(0, 1.0, (0..20).collect())],
+        };
+        (vec![fake_snap(0.5), fake_snap(0.8)], vec![c0, c1])
+    }
+
+    #[test]
+    fn merger_recorded_with_two_progenitors() {
+        let (snaps, cats) = merger_scenario();
+        let tree = tree_maker(&snaps, &cats);
+        assert_eq!(tree.nodes.len(), 3);
+        assert_eq!(tree.merger_count(), 1);
+        let c = tree.index[&(1, 0)];
+        assert_eq!(tree.nodes[c].progenitors.len(), 2);
+        // Heaviest progenitor first.
+        let p0 = tree.nodes[c].progenitors[0];
+        assert_eq!(tree.nodes[p0].halo, 0);
+    }
+
+    #[test]
+    fn descendants_point_forward() {
+        let (snaps, cats) = merger_scenario();
+        let tree = tree_maker(&snaps, &cats);
+        let a = tree.index[&(0, 0)];
+        let b = tree.index[&(0, 1)];
+        let c = tree.index[&(1, 0)];
+        assert_eq!(tree.nodes[a].descendant, Some(c));
+        assert_eq!(tree.nodes[b].descendant, Some(c));
+        assert_eq!(tree.nodes[c].descendant, None);
+    }
+
+    #[test]
+    fn main_branch_follows_heaviest() {
+        let (snaps, cats) = merger_scenario();
+        let tree = tree_maker(&snaps, &cats);
+        let c = tree.index[&(1, 0)];
+        let branch = tree.main_branch(c);
+        assert_eq!(branch.len(), 2);
+        assert_eq!(tree.nodes[branch[1]].halo, 0); // the 0.6-mass one
+    }
+
+    #[test]
+    fn fragmentation_links_to_plurality() {
+        // One halo splits: 7 particles to X, 3 to Y → descendant is X.
+        let c0 = HaloCatalog {
+            a: 0.5,
+            halos: vec![halo(0, 1.0, (0..10).collect())],
+        };
+        let c1 = HaloCatalog {
+            a: 0.8,
+            halos: vec![
+                halo(0, 0.7, (0..7).collect()),
+                halo(1, 0.3, (7..10).collect()),
+            ],
+        };
+        let tree = tree_maker(&[fake_snap(0.5), fake_snap(0.8)], &[c0, c1]);
+        let src = tree.index[&(0, 0)];
+        let x = tree.index[&(1, 0)];
+        assert_eq!(tree.nodes[src].descendant, Some(x));
+    }
+
+    #[test]
+    fn halo_with_no_overlap_has_no_descendant() {
+        let c0 = HaloCatalog {
+            a: 0.5,
+            halos: vec![halo(0, 1.0, (0..10).collect())],
+        };
+        let c1 = HaloCatalog {
+            a: 0.8,
+            halos: vec![halo(0, 1.0, (100..110).collect())],
+        };
+        let tree = tree_maker(&[fake_snap(0.5), fake_snap(0.8)], &[c0, c1]);
+        let src = tree.index[&(0, 0)];
+        assert_eq!(tree.nodes[src].descendant, None);
+        assert_eq!(tree.roots().len(), 2);
+    }
+
+    #[test]
+    fn three_snapshot_chain() {
+        let c0 = HaloCatalog {
+            a: 0.3,
+            halos: vec![halo(0, 0.2, (0..10).collect())],
+        };
+        let c1 = HaloCatalog {
+            a: 0.5,
+            halos: vec![halo(0, 0.5, (0..15).collect())],
+        };
+        let c2 = HaloCatalog {
+            a: 1.0,
+            halos: vec![halo(0, 0.9, (0..20).collect())],
+        };
+        let tree = tree_maker(
+            &[fake_snap(0.3), fake_snap(0.5), fake_snap(1.0)],
+            &[c0, c1, c2],
+        );
+        let last = tree.index[&(2, 0)];
+        let branch = tree.main_branch(last);
+        assert_eq!(branch.len(), 3);
+        // Mass grows along the branch forward in time.
+        assert!(tree.nodes[branch[0]].mass > tree.nodes[branch[2]].mass);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: friends-of-friends is a partition induced by an
+//! equivalence relation, whatever the particle configuration.
+
+use galics::fof::{friends_of_friends, FofParams, UnionFind};
+use proptest::prelude::*;
+use ramses::particles::Particles;
+
+fn arb_particles(max_n: usize) -> impl Strategy<Value = Particles> {
+    prop::collection::vec(((0.0f64..1.0), (0.0f64..1.0), (0.0f64..1.0)), 2..max_n).prop_map(
+        |rows| {
+            let mut p = Particles::default();
+            let n = rows.len();
+            for (i, (x, y, z)) in rows.into_iter().enumerate() {
+                p.push([x, y, z], [0.0; 3], 1.0 / n as f64, i as u64);
+            }
+            p
+        },
+    )
+}
+
+fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..3 {
+        let mut dx = (a[d] - b[d]).abs();
+        if dx > 0.5 {
+            dx = 1.0 - dx;
+        }
+        s += dx * dx;
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Groups are disjoint and, with min_members = 1, cover every particle.
+    #[test]
+    fn fof_is_a_partition(parts in arb_particles(120), b in 0.05f64..0.6) {
+        let groups = friends_of_friends(&parts, &FofParams { b, min_members: 1 });
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &i in g {
+                prop_assert!(seen.insert(i), "particle {i} appears twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), parts.len());
+    }
+
+    /// Closure property: any two particles closer than the linking length
+    /// end up in the same group.
+    #[test]
+    fn fof_links_all_close_pairs(parts in arb_particles(60), b in 0.1f64..0.5) {
+        let groups = friends_of_friends(&parts, &FofParams { b, min_members: 1 });
+        let mut owner = vec![usize::MAX; parts.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &i in g {
+                owner[i as usize] = gi;
+            }
+        }
+        let ll = b * (1.0 / parts.len() as f64).cbrt();
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                if dist2(parts.pos[i], parts.pos[j]) <= ll * ll {
+                    prop_assert_eq!(owner[i], owner[j], "close pair ({}, {}) split", i, j);
+                }
+            }
+        }
+    }
+
+    /// Monotonicity: a larger linking length never yields more groups
+    /// (with min_members = 1, groups only merge as b grows).
+    #[test]
+    fn fof_group_count_monotone_in_b(parts in arb_particles(80)) {
+        let count = |b: f64| {
+            friends_of_friends(&parts, &FofParams { b, min_members: 1 }).len()
+        };
+        let c1 = count(0.1);
+        let c2 = count(0.2);
+        let c3 = count(0.4);
+        prop_assert!(c1 >= c2 && c2 >= c3);
+    }
+
+    /// min_members only filters whole groups; it never splits them.
+    #[test]
+    fn fof_min_members_filters(parts in arb_particles(80), b in 0.1f64..0.4, mm in 1usize..8) {
+        let all = friends_of_friends(&parts, &FofParams { b, min_members: 1 });
+        let filtered = friends_of_friends(&parts, &FofParams { b, min_members: mm });
+        let expected: usize = all.iter().filter(|g| g.len() >= mm).count();
+        prop_assert_eq!(filtered.len(), expected);
+    }
+
+    /// Union-find: union is idempotent, commutative in effect, and `same`
+    /// is an equivalence relation.
+    #[test]
+    fn union_find_equivalence(n in 2usize..50, edges in prop::collection::vec((0usize..50, 0usize..50), 0..80)) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in &edges {
+            uf.union((*a % n) as u32, (*b % n) as u32);
+        }
+        // Reflexive + symmetric + transitive over a sample.
+        for i in 0..n as u32 {
+            prop_assert!(uf.same(i, i));
+        }
+        for (a, b) in &edges {
+            let (a, b) = ((*a % n) as u32, (*b % n) as u32);
+            prop_assert!(uf.same(a, b));
+            prop_assert!(uf.same(b, a));
+        }
+    }
+}

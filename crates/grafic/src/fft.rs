@@ -1,0 +1,364 @@
+//! In-house radix-2 complex FFT.
+//!
+//! GRAFIC synthesises Gaussian random fields in Fourier space and transforms
+//! them back to real space; we reproduce that with a dependency-free
+//! Cooley–Tukey implementation. Sizes are restricted to powers of two, which
+//! matches the power-of-two grids used throughout (16³ … 128³).
+//!
+//! The 3-D transform applies the 1-D transform along each axis; the axis
+//! passes over independent lines are parallelised with rayon.
+
+use rayon::prelude::*;
+
+/// A complex number. We keep our own minimal type rather than pulling in a
+/// complex-arithmetic crate; only the operations the FFT needs are defined.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// e^{iθ}
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT on a power-of-two length
+/// buffer. The inverse transform includes the 1/N normalisation, so
+/// `fft(fft(x, Forward), Inverse) == x` up to rounding.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_1d(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for c in data.iter_mut() {
+            *c = c.scale(inv);
+        }
+    }
+}
+
+/// A dense 3-D complex grid of side `n` stored in row-major `(x, y, z)`
+/// order: index `(i, j, k)` lives at `i*n*n + j*n + k`.
+#[derive(Debug, Clone)]
+pub struct Grid3 {
+    pub n: usize,
+    pub data: Vec<Complex>,
+}
+
+impl Grid3 {
+    pub fn zeros(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "grid side must be a power of two");
+        Grid3 {
+            n,
+            data: vec![Complex::ZERO; n * n * n],
+        }
+    }
+
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Complex {
+        self.data[self.idx(i, j, k)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: Complex) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = v;
+    }
+
+    /// 3-D FFT: 1-D transforms along z, then y, then x. Lines along each
+    /// axis are independent, so each pass is a parallel iteration.
+    pub fn fft(&mut self, dir: Direction) {
+        let n = self.n;
+
+        // Pass 1: lines along z are contiguous.
+        self.data
+            .par_chunks_exact_mut(n)
+            .for_each(|line| fft_1d(line, dir));
+
+        // Pass 2: lines along y (stride n within each x-plane).
+        self.data
+            .par_chunks_exact_mut(n * n)
+            .for_each(|plane| {
+                let mut line = vec![Complex::ZERO; n];
+                for k in 0..n {
+                    for j in 0..n {
+                        line[j] = plane[j * n + k];
+                    }
+                    fft_1d(&mut line, dir);
+                    for j in 0..n {
+                        plane[j * n + k] = line[j];
+                    }
+                }
+            });
+
+        // Pass 3: lines along x (stride n*n). Parallelise over (j, k) pairs
+        // by processing y-z columns; we copy out, transform, copy back.
+        let plane = n * n;
+        let data = &mut self.data;
+        // Split into jk-index chunks handled in parallel via unsafe-free
+        // approach: collect transformed lines then write back serially is
+        // memory-hungry; instead operate on disjoint jk sets with par_iter
+        // over a temporary of line copies.
+        let lines: Vec<(usize, Vec<Complex>)> = (0..plane)
+            .into_par_iter()
+            .map(|jk| {
+                let mut line = vec![Complex::ZERO; n];
+                for (i, l) in line.iter_mut().enumerate() {
+                    *l = data[i * plane + jk];
+                }
+                fft_1d(&mut line, dir);
+                (jk, line)
+            })
+            .collect();
+        for (jk, line) in lines {
+            for (i, v) in line.into_iter().enumerate() {
+                data[i * plane + jk] = v;
+            }
+        }
+    }
+
+    /// Total power `Σ |f|²` — useful for Parseval checks.
+    pub fn total_power(&self) -> f64 {
+        self.data.iter().map(|c| c.norm_sqr()).sum()
+    }
+}
+
+/// Frequency (integer wavenumber) corresponding to index `i` on an `n`-point
+/// transform, mapped to the symmetric range `[-n/2, n/2)`.
+#[inline]
+pub fn freq(i: usize, n: usize) -> i64 {
+    let i = i as i64;
+    let n = n as i64;
+    if i <= n / 2 - 1 || n == 1 {
+        i
+    } else {
+        i - n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fft_of_constant_is_delta() {
+        let n = 16;
+        let mut d = vec![Complex::new(1.0, 0.0); n];
+        fft_1d(&mut d, Direction::Forward);
+        assert!(approx(d[0].re, n as f64, 1e-12));
+        for c in &d[1..] {
+            assert!(c.norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_1d() {
+        let n = 64;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut d = orig.clone();
+        fft_1d(&mut d, Direction::Forward);
+        fft_1d(&mut d, Direction::Inverse);
+        for (a, b) in orig.iter().zip(&d) {
+            assert!(approx(a.re, b.re, 1e-10) && approx(a.im, b.im, 1e-10));
+        }
+    }
+
+    #[test]
+    fn fft_single_mode_lands_in_right_bin() {
+        let n = 32;
+        let k = 5;
+        let mut d: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64))
+            .collect();
+        fft_1d(&mut d, Direction::Forward);
+        for (i, c) in d.iter().enumerate() {
+            if i == k {
+                assert!(approx(c.re, n as f64, 1e-10));
+            } else {
+                assert!(c.norm_sqr() < 1e-18, "leak at bin {i}: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_linear() {
+        let n = 16;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft_1d(&mut fa, Direction::Forward);
+        fft_1d(&mut fb, Direction::Forward);
+        fft_1d(&mut fab, Direction::Forward);
+        for i in 0..n {
+            let s = fa[i] + fb[i];
+            assert!(approx(s.re, fab[i].re, 1e-10) && approx(s.im, fab[i].im, 1e-10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut d = vec![Complex::ZERO; 12];
+        fft_1d(&mut d, Direction::Forward);
+    }
+
+    #[test]
+    fn grid3_roundtrip() {
+        let n = 8;
+        let mut g = Grid3::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    g.set(i, j, k, Complex::new((i + 2 * j + 3 * k) as f64, 0.0));
+                }
+            }
+        }
+        let orig = g.clone();
+        g.fft(Direction::Forward);
+        g.fft(Direction::Inverse);
+        for (a, b) in orig.data.iter().zip(&g.data) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid3_parseval() {
+        let n = 8;
+        let mut g = Grid3::zeros(n);
+        for (ix, c) in g.data.iter_mut().enumerate() {
+            *c = Complex::new((ix % 7) as f64 - 3.0, 0.0);
+        }
+        let real_power = g.total_power();
+        g.fft(Direction::Forward);
+        let k_power = g.total_power() / (n * n * n) as f64;
+        assert!((real_power - k_power).abs() < 1e-6 * real_power.max(1.0));
+    }
+
+    #[test]
+    fn freq_mapping() {
+        assert_eq!(freq(0, 8), 0);
+        assert_eq!(freq(3, 8), 3);
+        assert_eq!(freq(4, 8), -4);
+        assert_eq!(freq(7, 8), -1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the FFT and spectrum machinery.
+
+use grafic::fft::{fft_1d, freq, Complex, Direction, Grid3};
+use grafic::{CosmoParams, PowerSpectrum};
+use proptest::prelude::*;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IFFT(FFT(x)) == x for arbitrary signals of power-of-two length.
+    #[test]
+    fn fft_roundtrip(raw in (2u32..9).prop_flat_map(|b| signal(1 << b))) {
+        let orig: Vec<Complex> = raw.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let mut d = orig.clone();
+        fft_1d(&mut d, Direction::Forward);
+        fft_1d(&mut d, Direction::Inverse);
+        for (a, b) in orig.iter().zip(&d) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + a.re.abs()));
+            prop_assert!((a.im - b.im).abs() < 1e-6 * (1.0 + a.im.abs()));
+        }
+    }
+
+    /// Parseval: energy is conserved up to the 1/N convention.
+    #[test]
+    fn fft_parseval(raw in (2u32..8).prop_flat_map(|b| signal(1 << b))) {
+        let mut d: Vec<Complex> = raw.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let n = d.len() as f64;
+        let time_energy: f64 = d.iter().map(|c| c.norm_sqr()).sum();
+        fft_1d(&mut d, Direction::Forward);
+        let freq_energy: f64 = d.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+    }
+
+    /// The DC bin of the forward transform is the signal sum.
+    #[test]
+    fn fft_dc_bin_is_sum(raw in (2u32..8).prop_flat_map(|b| signal(1 << b))) {
+        let mut d: Vec<Complex> = raw.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let sum_re: f64 = raw.iter().map(|(re, _)| re).sum();
+        let sum_im: f64 = raw.iter().map(|(_, im)| im).sum();
+        fft_1d(&mut d, Direction::Forward);
+        prop_assert!((d[0].re - sum_re).abs() < 1e-6 * (1.0 + sum_re.abs()));
+        prop_assert!((d[0].im - sum_im).abs() < 1e-6 * (1.0 + sum_im.abs()));
+    }
+
+    /// freq() maps indices into [-n/2, n/2) and is consistent with aliasing.
+    #[test]
+    fn freq_range(bits in 1u32..10, i in 0usize..1024) {
+        let n = 1usize << bits;
+        let i = i % n;
+        let f = freq(i, n);
+        prop_assert!(f >= -(n as i64) / 2);
+        prop_assert!(f < (n as i64 + 1) / 2.max(1));
+        // Aliasing: f ≡ i (mod n).
+        prop_assert_eq!(f.rem_euclid(n as i64), i as i64);
+    }
+
+    /// A real 3-D field's spectrum is Hermitian: FFT of real data satisfies
+    /// F(-k) = conj(F(k)).
+    #[test]
+    fn grid3_real_field_is_hermitian(vals in prop::collection::vec(-10.0f64..10.0, 64)) {
+        let n = 4;
+        let mut g = Grid3::zeros(n);
+        for (ix, v) in vals.iter().enumerate().take(n * n * n) {
+            g.data[ix] = Complex::new(*v, 0.0);
+        }
+        g.fft(Direction::Forward);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let a = g.get(i, j, k);
+                    let b = g.get((n - i) % n, (n - j) % n, (n - k) % n);
+                    prop_assert!((a.re - b.re).abs() < 1e-9);
+                    prop_assert!((a.im + b.im).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// σ(R) is monotone decreasing in R for any reasonable cosmology.
+    #[test]
+    fn sigma_r_decreasing(omega_m in 0.2f64..0.4, sigma8 in 0.6f64..1.0) {
+        let cosmo = CosmoParams { omega_m, omega_l: 1.0 - omega_m, sigma8, ..CosmoParams::default() };
+        let ps = PowerSpectrum::new(cosmo);
+        let s4 = ps.sigma_r(4.0);
+        let s8 = ps.sigma_r(8.0);
+        let s16 = ps.sigma_r(16.0);
+        prop_assert!(s4 > s8 && s8 > s16);
+        prop_assert!((s8 - sigma8).abs() < 1e-6);
+    }
+
+    /// The growth factor is monotone and bounded by the EdS limit.
+    #[test]
+    fn growth_monotone(omega_m in 0.15f64..0.5) {
+        let cosmo = CosmoParams { omega_m, omega_l: 1.0 - omega_m, ..CosmoParams::default() };
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let a = i as f64 / 20.0;
+            let d = cosmo.growth(a);
+            prop_assert!(d > prev);
+            prev = d;
+        }
+        prop_assert!((cosmo.growth(1.0) - 1.0).abs() < 1e-12);
+    }
+}

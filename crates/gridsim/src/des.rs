@@ -1,0 +1,246 @@
+//! Discrete-event engine.
+//!
+//! A minimal, deterministic DES: events are closures scheduled at a virtual
+//! time; the engine pops them in (time, sequence) order so simultaneous
+//! events fire in scheduling order, making every run bit-reproducible.
+//! Virtual seconds are `f64`; the paper's campaign spans ~16.3 h of virtual
+//! time and simulates in milliseconds of wall-clock.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in seconds.
+pub type SimTime = f64;
+
+/// Token returned by `schedule`, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// An event handler: called with the engine so it can schedule more events.
+pub type Handler<S> = Box<dyn FnOnce(&mut Engine<S>, &mut S)>;
+
+struct QueuedEvent<S> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    handler: Handler<S>,
+}
+
+impl<S> PartialEq for QueuedEvent<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for QueuedEvent<S> {}
+impl<S> PartialOrd for QueuedEvent<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for QueuedEvent<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Ties break on
+        // sequence number (FIFO among simultaneous events).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event engine, generic over a user state `S` threaded to handlers.
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent<S>>,
+    cancelled: std::collections::HashSet<EventId>,
+    /// Number of events executed (diagnostics).
+    pub executed: u64,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Engine<S> {
+    pub fn new() -> Self {
+        Engine {
+            now: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `handler` to run at absolute time `at` (must be ≥ now).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now - 1e-12,
+            "cannot schedule in the past: at={at}, now={}",
+            self.now
+        );
+        let id = EventId(self.seq);
+        self.queue.push(QueuedEvent {
+            time: at.max(self.now),
+            seq: self.seq,
+            id,
+            handler: Box::new(handler),
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedule after a delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        handler: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) -> EventId {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        let at = self.now + delay;
+        self.schedule_at(at, handler)
+    }
+
+    /// Cancel a pending event. Cancelling an already-fired event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Run until the queue drains or `until` (if given) is passed.
+    /// Returns the final virtual time.
+    pub fn run(&mut self, state: &mut S, until: Option<SimTime>) -> SimTime {
+        while let Some(ev) = self.queue.pop() {
+            if let Some(limit) = until {
+                if ev.time > limit {
+                    // Put it back and stop at the limit.
+                    self.queue.push(ev);
+                    self.now = limit;
+                    return self.now;
+                }
+            }
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now - 1e-9, "time went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.handler)(self, state);
+        }
+        self.now
+    }
+
+    /// Pending event count (excluding cancelled ones only approximately —
+    /// cancelled events are lazily discarded on pop).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(3.0, |_, s: &mut Vec<u32>| s.push(3));
+        eng.schedule_at(1.0, |_, s| s.push(1));
+        eng.schedule_at(2.0, |_, s| s.push(2));
+        eng.run(&mut log, None);
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..10 {
+            eng.schedule_at(5.0, move |_, s: &mut Vec<u32>| s.push(i));
+        }
+        eng.run(&mut log, None);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain() {
+        let mut eng: Engine<Vec<f64>> = Engine::new();
+        let mut times = Vec::new();
+        fn tick(eng: &mut Engine<Vec<f64>>, s: &mut Vec<f64>) {
+            s.push(eng.now());
+            if s.len() < 5 {
+                eng.schedule_in(1.5, tick);
+            }
+        }
+        eng.schedule_at(0.0, tick);
+        let end = eng.run(&mut times, None);
+        assert_eq!(times, vec![0.0, 1.5, 3.0, 4.5, 6.0]);
+        assert_eq!(end, 6.0);
+    }
+
+    #[test]
+    fn cancellation_suppresses_event() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        let id = eng.schedule_at(1.0, |_, s: &mut Vec<u32>| s.push(1));
+        eng.schedule_at(2.0, |_, s| s.push(2));
+        eng.cancel(id);
+        eng.run(&mut log, None);
+        assert_eq!(log, vec![2]);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(1.0, |_, s: &mut Vec<u32>| s.push(1));
+        eng.schedule_at(10.0, |_, s| s.push(10));
+        let t = eng.run(&mut log, Some(5.0));
+        assert_eq!(log, vec![1]);
+        assert_eq!(t, 5.0);
+        assert_eq!(eng.pending(), 1);
+        // Resume past the limit.
+        eng.run(&mut log, None);
+        assert_eq!(log, vec![1, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule_at(5.0, |e, _| {
+            e.schedule_at(1.0, |_, _| {});
+        });
+        eng.run(&mut (), None);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        fn run_once() -> Vec<(f64, u32)> {
+            let mut eng: Engine<Vec<(f64, u32)>> = Engine::new();
+            let mut log = Vec::new();
+            for i in 0..50u32 {
+                let t = ((i * 7919) % 13) as f64 * 0.5;
+                eng.schedule_at(t, move |e, s: &mut Vec<(f64, u32)>| {
+                    s.push((e.now(), i));
+                });
+            }
+            eng.run(&mut log, None);
+            log
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

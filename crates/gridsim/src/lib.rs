@@ -1,0 +1,39 @@
+//! # gridsim — a discrete-event simulator of the Grid'5000 platform
+//!
+//! The paper's experiments ran on five sites of Grid'5000 (Lyon ×2 clusters,
+//! Lille, Nancy, Toulouse, Sophia) connected by RENATER at 1–10 Gb/s, with
+//! 11 SeDs each controlling 16 AMD Opteron machines. We cannot reserve that
+//! testbed, so this crate provides its closest synthetic equivalent: a
+//! deterministic discrete-event simulation (DES) of sites, clusters, nodes
+//! and links, over which the `diet-core` middleware schedules the same
+//! 1 + 100 simulation campaign in *virtual* time.
+//!
+//! * [`des`] — the event engine: a virtual clock and an ordered event queue
+//!   with deterministic tie-breaking, so every run replays identically.
+//! * [`platform`] — the hardware model: node types (Opteron 246…275) with
+//!   calibrated relative speeds, clusters, sites.
+//! * [`network`] — links and routes with latency + bandwidth; transfer-time
+//!   model `T = L + S/B` used for request and file movement.
+//! * [`nfs`] — the shared working directory each cluster mounts (the paper:
+//!   "the current version of RAMSES requires a NFS working directory").
+//! * [`workload`] — task model for `ramsesZoom1/2` executions, with
+//!   durations calibrated against the paper's measured run times.
+//! * [`trace`] — Gantt-style execution traces, the raw material of the
+//!   paper's Figures 4 and 5.
+
+pub mod des;
+pub mod network;
+pub mod nfs;
+pub mod oar;
+pub mod plan;
+pub mod platform;
+pub mod trace;
+pub mod workload;
+
+pub use des::{Engine, EventId, SimTime};
+pub use network::{Link, Route, Topology};
+pub use oar::{OarScheduler, Reservation};
+pub use plan::{plan_deployment, DeploymentPlan};
+pub use platform::{Cluster, Grid5000, NodeType, Site};
+pub use trace::{Gantt, TraceEvent, TraceKind};
+pub use workload::{TaskKind, TaskSpec, WorkloadModel};

@@ -1,0 +1,103 @@
+//! Property tests for the discrete-event engine, the network model and the
+//! workload calibration.
+
+use gridsim::des::Engine;
+use gridsim::network::{Link, Route};
+use gridsim::trace::{Gantt, TraceKind};
+use gridsim::workload::{TaskKind, WorkloadModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always fire in non-decreasing time order, with FIFO ties,
+    /// regardless of the scheduling order.
+    #[test]
+    fn des_fires_in_order(times in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut eng: Engine<Vec<(f64, usize)>> = Engine::new();
+        let mut log: Vec<(f64, usize)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule_at(t, move |e, s: &mut Vec<(f64, usize)>| {
+                s.push((e.now(), i));
+            });
+        }
+        eng.run(&mut log, None);
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            if w[1].0 == w[0].0 {
+                prop_assert!(w[1].1 > w[0].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// The engine clock equals the max event time after a full run.
+    #[test]
+    fn des_clock_is_max_time(times in prop::collection::vec(0.0f64..1e5, 1..60)) {
+        let mut eng: Engine<()> = Engine::new();
+        for &t in &times {
+            eng.schedule_at(t, |_, _| {});
+        }
+        let end = eng.run(&mut (), None);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert_eq!(end, max);
+        prop_assert_eq!(eng.executed, times.len() as u64);
+    }
+
+    /// Transfer times are additive in size and monotone in both latency and
+    /// bandwidth for single links; routes bottleneck on the slowest link.
+    #[test]
+    fn network_model_properties(
+        lat in 1e-6f64..1.0,
+        bw in 1e3f64..1e10,
+        s1 in 0u64..1_000_000,
+        s2 in 0u64..1_000_000,
+    ) {
+        let l = Link::new(lat, bw);
+        let t1 = l.transfer_time(s1);
+        let t2 = l.transfer_time(s2);
+        let t12 = l.transfer_time(s1 + s2);
+        // T(a+b) = T(a) + T(b) − latency (latency paid once).
+        prop_assert!((t12 - (t1 + t2 - lat)).abs() < 1e-9 * (1.0 + t12));
+
+        let route = Route::new(vec![l, Link::new(lat * 2.0, bw / 2.0)]);
+        prop_assert!((route.latency() - 3.0 * lat).abs() < 1e-12);
+        prop_assert_eq!(route.bandwidth(), bw / 2.0);
+        prop_assert!(route.transfer_time(s1) >= l.transfer_time(s1));
+    }
+
+    /// Workload durations scale exactly inversely with SeD speed, and the
+    /// dispersion stays within its configured band.
+    #[test]
+    fn workload_scaling(halo in 0u32..10_000, speed in 0.1f64..4.0, seed in 0u64..1000) {
+        let m = WorkloadModel { seed, ..WorkloadModel::default() };
+        let kind = TaskKind::ZoomPart2 { halo_index: halo };
+        let ref_d = m.duration_on(kind, 1.0);
+        let d = m.duration_on(kind, speed);
+        prop_assert!((d * speed - ref_d).abs() < 1e-9 * ref_d);
+        let disp = m.dispersion(halo);
+        prop_assert!(disp >= 1.0 - m.part2_dispersion - 1e-12);
+        prop_assert!(disp <= 1.0 + m.part2_dispersion + 1e-12);
+    }
+
+    /// Gantt bookkeeping: makespan bounds every event and per-SeD busy time
+    /// never exceeds the makespan for serial executions.
+    #[test]
+    fn gantt_consistency(intervals in prop::collection::vec((0.0f64..1e4, 0.0f64..1e3), 1..60)) {
+        let mut g = Gantt::default();
+        let mut t = 0.0;
+        for (i, (gap, dur)) in intervals.iter().enumerate() {
+            t += gap;
+            g.record(i as u32, "sed0", TraceKind::Execution, t, t + dur);
+            t += dur;
+        }
+        let span = g.makespan();
+        for e in &g.events {
+            prop_assert!(e.start >= 0.0 && e.end <= span + g.events[0].start + 1e-9);
+        }
+        let s = g.sed_summaries();
+        prop_assert_eq!(s.len(), 1);
+        prop_assert!(s[0].busy <= span + 1e-9);
+        prop_assert_eq!(s[0].requests, intervals.len());
+    }
+}

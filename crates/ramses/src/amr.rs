@@ -1,0 +1,552 @@
+//! Adaptive mesh refinement octree.
+//!
+//! RAMSES is a "fully threaded tree" AMR code: space is covered by an octree
+//! whose leaves are the active cells; refinement follows a quasi-Lagrangian
+//! criterion (split a cell when it contains more than `m` particles) under a
+//! 2:1 level-balance constraint so neighbouring leaves never differ by more
+//! than one level. Leaves are enumerated in Peano–Hilbert order, which is the
+//! ordering used to cut the domain among processes.
+//!
+//! The octree here is array-backed (node indices rather than `Box` pointers)
+//! which keeps it compact and lets tests assert structural invariants
+//! directly.
+
+use crate::particles::Particles;
+use crate::peano;
+
+/// Index of a node inside the arena.
+pub type NodeId = usize;
+
+/// One octree node covering the cube `[origin, origin + size)³`.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Refinement level (root = 0, side = 2^-level).
+    pub level: u32,
+    /// Integer coordinates of the cell at its level (0 .. 2^level).
+    pub coord: [u64; 3],
+    /// Children ids, present iff the node is refined.
+    pub children: Option<[NodeId; 8]>,
+    /// Parent id (root has none).
+    pub parent: Option<NodeId>,
+    /// Particle indices contained in this cell (leaves only; interior nodes
+    /// keep their lists empty).
+    pub particles: Vec<u32>,
+}
+
+impl Node {
+    /// Cell side length in box units.
+    pub fn size(&self) -> f64 {
+        1.0 / (1u64 << self.level) as f64
+    }
+
+    /// Lower corner of the cell in box units.
+    pub fn origin(&self) -> [f64; 3] {
+        let s = self.size();
+        [
+            self.coord[0] as f64 * s,
+            self.coord[1] as f64 * s,
+            self.coord[2] as f64 * s,
+        ]
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> [f64; 3] {
+        let o = self.origin();
+        let h = self.size() / 2.0;
+        [o[0] + h, o[1] + h, o[2] + h]
+    }
+}
+
+/// Parameters governing refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct AmrParams {
+    /// Refine a leaf when it holds more than this many particles
+    /// (the quasi-Lagrangian `m_refine` of RAMSES).
+    pub max_particles_per_cell: usize,
+    /// Hard cap on refinement depth.
+    pub max_level: u32,
+    /// Base level: the tree is pre-refined everywhere down to this level
+    /// (RAMSES's `levelmin`, matching the base PM mesh).
+    pub base_level: u32,
+}
+
+impl Default for AmrParams {
+    fn default() -> Self {
+        AmrParams {
+            max_particles_per_cell: 8,
+            max_level: 10,
+            base_level: 2,
+        }
+    }
+}
+
+/// The octree itself.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    pub nodes: Vec<Node>,
+    pub params: AmrParams,
+}
+
+impl Octree {
+    /// Build the tree over a particle set: pre-refine to `base_level`, then
+    /// refine any leaf over the particle threshold, then restore the 2:1
+    /// level balance.
+    pub fn build(parts: &Particles, params: AmrParams) -> Self {
+        let mut tree = Octree {
+            nodes: vec![Node {
+                level: 0,
+                coord: [0, 0, 0],
+                children: None,
+                parent: None,
+                particles: (0..parts.len() as u32).collect(),
+            }],
+            params,
+        };
+        // Pre-refinement to base level.
+        let mut frontier = vec![0usize];
+        for _ in 0..params.base_level {
+            let mut next = Vec::new();
+            for id in frontier {
+                tree.refine(id, parts);
+                next.extend_from_slice(&tree.nodes[id].children.unwrap());
+            }
+            frontier = next;
+        }
+        // Quasi-Lagrangian refinement.
+        let mut stack = frontier;
+        while let Some(id) = stack.pop() {
+            let node = &tree.nodes[id];
+            if node.level < params.max_level
+                && node.particles.len() > params.max_particles_per_cell
+            {
+                tree.refine(id, parts);
+                stack.extend_from_slice(&tree.nodes[id].children.unwrap());
+            }
+        }
+        tree.enforce_grading(parts);
+        tree
+    }
+
+    /// Split a leaf into 8 children and distribute its particles.
+    fn refine(&mut self, id: NodeId, parts: &Particles) {
+        debug_assert!(self.nodes[id].is_leaf(), "refine of non-leaf");
+        let level = self.nodes[id].level + 1;
+        let base = [
+            self.nodes[id].coord[0] * 2,
+            self.nodes[id].coord[1] * 2,
+            self.nodes[id].coord[2] * 2,
+        ];
+        let moved = std::mem::take(&mut self.nodes[id].particles);
+        let mut kids = [0usize; 8];
+        let scale = (1u64 << level) as f64;
+        let mut kid_parts: [Vec<u32>; 8] = Default::default();
+        for p in moved {
+            let pos = parts.pos[p as usize];
+            let mut oct = 0usize;
+            for d in 0..3 {
+                let c = (pos[d] * scale) as u64;
+                if c & 1 == 1 {
+                    oct |= 1 << d;
+                }
+            }
+            kid_parts[oct].push(p);
+        }
+        for (oct, kp) in kid_parts.into_iter().enumerate() {
+            let coord = [
+                base[0] + (oct & 1) as u64,
+                base[1] + ((oct >> 1) & 1) as u64,
+                base[2] + ((oct >> 2) & 1) as u64,
+            ];
+            kids[oct] = self.nodes.len();
+            self.nodes.push(Node {
+                level,
+                coord,
+                children: None,
+                parent: Some(id),
+                particles: kp,
+            });
+        }
+        self.nodes[id].children = Some(kids);
+    }
+
+    /// Enforce the 2:1 balance: a leaf may not touch a leaf more than one
+    /// level finer. We iterate: find violating coarse leaves, refine them,
+    /// repeat until stable.
+    fn enforce_grading(&mut self, parts: &Particles) {
+        loop {
+            let leaf_levels = self.leaf_level_map();
+            let mut to_refine = Vec::new();
+            for (id, node) in self.nodes.iter().enumerate() {
+                if !node.is_leaf() || node.level >= self.params.max_level {
+                    continue;
+                }
+                // Check the 6 face-neighbours at level+2 granularity: if any
+                // neighbouring region hosts a leaf ≥ level+2, this leaf
+                // violates grading.
+                if self.neighbour_exceeds(node, &leaf_levels) {
+                    to_refine.push(id);
+                }
+            }
+            if to_refine.is_empty() {
+                break;
+            }
+            for id in to_refine {
+                if self.nodes[id].is_leaf() {
+                    self.refine(id, parts);
+                }
+            }
+        }
+    }
+
+    /// Map from (level, coord) of every leaf for neighbour queries.
+    fn leaf_level_map(&self) -> std::collections::HashMap<(u32, [u64; 3]), u32> {
+        let mut m = std::collections::HashMap::new();
+        for node in &self.nodes {
+            if node.is_leaf() {
+                m.insert((node.level, node.coord), node.level);
+            }
+        }
+        m
+    }
+
+    fn neighbour_exceeds(
+        &self,
+        node: &Node,
+        leaves: &std::collections::HashMap<(u32, [u64; 3]), u32>,
+    ) -> bool {
+        // A face neighbour hosting any leaf at level ≥ node.level + 2 means
+        // the grading is violated. We probe the finer lattice: for each face,
+        // check whether a descendant-of-neighbour leaf exists at level+2.
+        let l2 = node.level + 2;
+        if l2 > self.params.max_level {
+            return false;
+        }
+        let n_at = |lvl: u32| 1u64 << lvl;
+        for axis in 0..3 {
+            for dir in [-1i64, 1i64] {
+                let mut nb = [node.coord[0] as i64, node.coord[1] as i64, node.coord[2] as i64];
+                nb[axis] += dir;
+                let n = n_at(node.level) as i64;
+                let nbw = [
+                    nb[0].rem_euclid(n) as u64,
+                    nb[1].rem_euclid(n) as u64,
+                    nb[2].rem_euclid(n) as u64,
+                ];
+                // Any leaf at level ≥ level+2 inside the neighbour cell?
+                // Probe all level+2 sub-cells on the facing boundary layer.
+                let f = 4u64; // 2^(2)
+                for a in 0..f {
+                    for b in 0..f {
+                        let mut sub = [nbw[0] * f, nbw[1] * f, nbw[2] * f];
+                        let (u, v) = ((axis + 1) % 3, (axis + 2) % 3);
+                        sub[u] += a;
+                        sub[v] += b;
+                        // The face layer closest to `node`.
+                        if dir == 1 {
+                            // neighbour is on the + side: facing layer is sub[axis] + 0
+                        } else {
+                            sub[axis] += f - 1;
+                        }
+                        if leaves.contains_key(&(l2, sub)) {
+                            return true;
+                        }
+                        // Deeper leaves also violate; approximate by checking
+                        // one extra level down on the same footprint corner.
+                        let deep = [sub[0] * 2, sub[1] * 2, sub[2] * 2];
+                        if l2 + 1 <= self.params.max_level
+                            && leaves.contains_key(&(l2 + 1, deep))
+                        {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All leaf ids.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect()
+    }
+
+    /// Leaves sorted by the Peano–Hilbert key of their centre at `max_level`
+    /// resolution — the enumeration order used for domain decomposition.
+    pub fn leaves_hilbert_order(&self) -> Vec<NodeId> {
+        let order = self.params.max_level.min(peano::MAX_ORDER);
+        let mut ids = self.leaves();
+        ids.sort_by_key(|&i| peano::key_of_point(self.nodes[i].center(), order));
+        ids
+    }
+
+    /// Partition leaves into `ndomain` contiguous Hilbert segments balanced
+    /// by particle count. Returns, per domain, the list of leaf ids.
+    pub fn decompose(&self, ndomain: usize) -> Vec<Vec<NodeId>> {
+        let ordered = self.leaves_hilbert_order();
+        let total: usize = ordered
+            .iter()
+            .map(|&i| self.nodes[i].particles.len())
+            .sum();
+        let target = (total as f64 / ndomain as f64).max(1.0);
+        let mut out = vec![Vec::new(); ndomain];
+        let mut dom = 0usize;
+        let mut acc = 0.0;
+        for id in ordered {
+            out[dom].push(id);
+            acc += self.nodes[id].particles.len() as f64;
+            if acc >= target * (dom + 1) as f64 && dom + 1 < ndomain {
+                dom += 1;
+            }
+        }
+        out
+    }
+
+    /// Maximum refinement level present.
+    pub fn max_level_present(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Total particles across leaves (must equal the input count).
+    pub fn total_leaf_particles(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.particles.len())
+            .sum()
+    }
+
+    /// Structural invariant check, used by tests and debug assertions:
+    /// parents correctly linked, particles only on leaves, particle containment.
+    pub fn check_invariants(&self, parts: &Particles) -> Result<(), String> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Some(kids) = node.children {
+                if !node.particles.is_empty() {
+                    return Err(format!("interior node {id} holds particles"));
+                }
+                for k in kids {
+                    let child = &self.nodes[k];
+                    if child.parent != Some(id) {
+                        return Err(format!("child {k} of {id} has wrong parent"));
+                    }
+                    if child.level != node.level + 1 {
+                        return Err(format!("child {k} level mismatch"));
+                    }
+                    for d in 0..3 {
+                        if child.coord[d] / 2 != node.coord[d] {
+                            return Err(format!("child {k} outside parent {id}"));
+                        }
+                    }
+                }
+            } else {
+                let o = node.origin();
+                let s = node.size();
+                for &p in &node.particles {
+                    let pos = parts.pos[p as usize];
+                    for d in 0..3 {
+                        if pos[d] < o[d] - 1e-12 || pos[d] >= o[d] + s + 1e-12 {
+                            return Err(format!(
+                                "particle {p} at {pos:?} outside leaf {id} [{o:?} + {s}]"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if self.total_leaf_particles() != parts.len() {
+            return Err(format!(
+                "particle count mismatch: {} vs {}",
+                self.total_leaf_particles(),
+                parts.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_parts(n: usize) -> Particles {
+        let mut p = Particles::default();
+        let mut id = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    p.push(
+                        [
+                            (i as f64 + 0.5) / n as f64,
+                            (j as f64 + 0.5) / n as f64,
+                            (k as f64 + 0.5) / n as f64,
+                        ],
+                        [0.0; 3],
+                        1.0 / (n * n * n) as f64,
+                        id,
+                    );
+                    id += 1;
+                }
+            }
+        }
+        p
+    }
+
+    fn clustered_parts(n: usize) -> Particles {
+        // Uniform background plus a tight clump near (0.3, 0.3, 0.3).
+        let mut p = uniform_parts(n);
+        let base = p.len() as u64;
+        for i in 0..200u64 {
+            let f = i as f64 / 200.0;
+            p.push(
+                [
+                    0.3 + 0.01 * (f - 0.5),
+                    0.3 + 0.01 * ((f * 3.0) % 1.0 - 0.5),
+                    0.3 + 0.01 * ((f * 7.0) % 1.0 - 0.5),
+                ],
+                [0.0; 3],
+                1e-6,
+                base + i,
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn uniform_load_stays_at_base_level() {
+        let parts = uniform_parts(8); // 512 particles
+        let params = AmrParams {
+            max_particles_per_cell: 8,
+            max_level: 8,
+            base_level: 3, // 8³ cells → exactly 1 particle per cell
+        };
+        let tree = Octree::build(&parts, params);
+        tree.check_invariants(&parts).unwrap();
+        assert_eq!(tree.max_level_present(), 3);
+    }
+
+    #[test]
+    fn clustered_load_refines_clump() {
+        let parts = clustered_parts(4);
+        let params = AmrParams {
+            max_particles_per_cell: 8,
+            max_level: 9,
+            base_level: 2,
+        };
+        let tree = Octree::build(&parts, params);
+        tree.check_invariants(&parts).unwrap();
+        assert!(
+            tree.max_level_present() >= 5,
+            "clump not refined: max level {}",
+            tree.max_level_present()
+        );
+        // The deepest leaves must be near the clump.
+        let deepest = tree.max_level_present();
+        for node in &tree.nodes {
+            if node.is_leaf() && node.level == deepest {
+                let c = node.center();
+                let d = ((c[0] - 0.3).powi(2) + (c[1] - 0.3).powi(2) + (c[2] - 0.3).powi(2))
+                    .sqrt();
+                assert!(d < 0.1, "deep leaf far from clump at {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn particle_conservation() {
+        let parts = clustered_parts(4);
+        let tree = Octree::build(&parts, AmrParams::default());
+        assert_eq!(tree.total_leaf_particles(), parts.len());
+    }
+
+    #[test]
+    fn hilbert_order_is_a_permutation_of_leaves() {
+        let parts = clustered_parts(4);
+        let tree = Octree::build(&parts, AmrParams::default());
+        let mut a = tree.leaves();
+        let mut b = tree.leaves_hilbert_order();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decompose_assigns_every_leaf_once() {
+        let parts = clustered_parts(4);
+        let tree = Octree::build(&parts, AmrParams::default());
+        let domains = tree.decompose(4);
+        let mut all: Vec<_> = domains.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        assert_eq!(all, leaves);
+    }
+
+    #[test]
+    fn decompose_balances_particles() {
+        let parts = clustered_parts(6);
+        let tree = Octree::build(&parts, AmrParams::default());
+        let ndom = 4;
+        let domains = tree.decompose(ndom);
+        let counts: Vec<usize> = domains
+            .iter()
+            .map(|d| d.iter().map(|&i| tree.nodes[i].particles.len()).sum())
+            .collect();
+        let total: usize = counts.iter().sum();
+        let ideal = total / ndom;
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(
+                c as f64 >= 0.3 * ideal as f64 && c as f64 <= 2.5 * ideal as f64,
+                "domain {d} badly unbalanced: {c} of {total} (ideal {ideal})"
+            );
+        }
+    }
+
+    #[test]
+    fn grading_no_leaf_pair_differs_by_two_levels_across_faces() {
+        let parts = clustered_parts(4);
+        let tree = Octree::build(&parts, AmrParams::default());
+        // Reconstruct leaf set; for each fine leaf, its face-neighbour region
+        // at (level-2) granularity must not be a leaf.
+        let leaves: std::collections::HashSet<(u32, [u64; 3])> = tree
+            .nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| (n.level, n.coord))
+            .collect();
+        for node in tree.nodes.iter().filter(|n| n.is_leaf()) {
+            if node.level < 2 {
+                continue;
+            }
+            let coarse_level = node.level - 2;
+            let n_fine = 1i64 << node.level;
+            for axis in 0..3 {
+                for dir in [-1i64, 1] {
+                    let mut nb = [
+                        node.coord[0] as i64,
+                        node.coord[1] as i64,
+                        node.coord[2] as i64,
+                    ];
+                    nb[axis] += dir;
+                    let nbw = [
+                        nb[0].rem_euclid(n_fine) as u64 >> 2,
+                        nb[1].rem_euclid(n_fine) as u64 >> 2,
+                        nb[2].rem_euclid(n_fine) as u64 >> 2,
+                    ];
+                    assert!(
+                        !leaves.contains(&(coarse_level, nbw)),
+                        "grading violation: leaf L{} {:?} touches leaf L{} {:?}",
+                        node.level,
+                        node.coord,
+                        coarse_level,
+                        nbw
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Friedmann background cosmology: expansion history a(t), lookup tables for
+//! time ↔ expansion factor, and the "supercomoving" variables RAMSES uses so
+//! that the comoving equations of motion look like their non-cosmological
+//! counterparts.
+//!
+//! Code units follow RAMSES conventions: lengths in units of the box size,
+//! H0 = 1 time units (so "conformal" times are in 1/H0), total box mass = 1.
+
+use grafic::CosmoParams;
+
+/// Tabulated Friedmann solution for a ΛCDM background.
+#[derive(Debug, Clone)]
+pub struct Cosmology {
+    pub params: CosmoParams,
+    /// Expansion factor samples (geometric in a).
+    a_tab: Vec<f64>,
+    /// Cosmic time t(a) in 1/H0 units.
+    t_tab: Vec<f64>,
+    /// Conformal time τ(a) = ∫ dt/a², the "super-conformal" time RAMSES uses
+    /// as its integration variable for collisionless dynamics.
+    tau_tab: Vec<f64>,
+}
+
+impl Cosmology {
+    /// Build the lookup tables from `a_min` to `a_max` with `n` samples by
+    /// trapezoid integration of dt = da / (a E(a)).
+    pub fn new(params: CosmoParams) -> Self {
+        let a_min: f64 = 1e-4;
+        let a_max: f64 = 1.0;
+        let n = 4096usize;
+        let ratio = (a_max / a_min).powf(1.0 / (n - 1) as f64);
+
+        let mut a_tab = Vec::with_capacity(n);
+        let mut a = a_min;
+        for _ in 0..n {
+            a_tab.push(a);
+            a *= ratio;
+        }
+        // clamp the endpoint exactly
+        a_tab[n - 1] = a_max;
+
+        let mut t_tab = vec![0.0; n];
+        let mut tau_tab = vec![0.0; n];
+        for i in 1..n {
+            let a0 = a_tab[i - 1];
+            let a1 = a_tab[i];
+            let da = a1 - a0;
+            let f_t = |a: f64| 1.0 / (a * params.e_of_a(a));
+            let f_tau = |a: f64| 1.0 / (a * a * a * params.e_of_a(a));
+            t_tab[i] = t_tab[i - 1] + 0.5 * da * (f_t(a0) + f_t(a1));
+            tau_tab[i] = tau_tab[i - 1] + 0.5 * da * (f_tau(a0) + f_tau(a1));
+        }
+
+        Cosmology {
+            params,
+            a_tab,
+            t_tab,
+            tau_tab,
+        }
+    }
+
+    fn interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+        let n = xs.len();
+        if x <= xs[0] {
+            return ys[0];
+        }
+        if x >= xs[n - 1] {
+            return ys[n - 1];
+        }
+        // binary search for bracketing interval
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let w = (x - xs[lo]) / (xs[hi] - xs[lo]);
+        ys[lo] * (1.0 - w) + ys[hi] * w
+    }
+
+    /// Cosmic time since a≈0 at expansion factor `a` (units 1/H0).
+    pub fn t_of_a(&self, a: f64) -> f64 {
+        Self::interp(&self.a_tab, &self.t_tab, a)
+    }
+
+    /// Expansion factor at cosmic time `t`.
+    pub fn a_of_t(&self, t: f64) -> f64 {
+        Self::interp(&self.t_tab, &self.a_tab, t)
+    }
+
+    /// Super-conformal time τ(a).
+    pub fn tau_of_a(&self, a: f64) -> f64 {
+        Self::interp(&self.a_tab, &self.tau_tab, a)
+    }
+
+    /// Expansion factor at super-conformal time τ.
+    pub fn a_of_tau(&self, tau: f64) -> f64 {
+        Self::interp(&self.tau_tab, &self.a_tab, tau)
+    }
+
+    /// Hubble rate in H0 units at `a`.
+    pub fn hubble(&self, a: f64) -> f64 {
+        self.params.e_of_a(a)
+    }
+
+    /// Source coefficient of the comoving Poisson equation,
+    /// ∇²φ = (3/2) Ωm / a · δ  in supercomoving units.
+    pub fn poisson_factor(&self, a: f64) -> f64 {
+        1.5 * self.params.omega_m / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosmo() -> Cosmology {
+        Cosmology::new(CosmoParams::default())
+    }
+
+    #[test]
+    fn time_monotone_in_a() {
+        let c = cosmo();
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let a = 1e-3 + i as f64 * 0.0099;
+            let t = c.t_of_a(a);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn a_of_t_inverts_t_of_a() {
+        let c = cosmo();
+        for &a in &[0.02, 0.1, 0.33, 0.7, 0.99] {
+            let t = c.t_of_a(a);
+            let a2 = c.a_of_t(t);
+            assert!((a - a2).abs() < 1e-3, "a={a} roundtrip={a2}");
+        }
+    }
+
+    #[test]
+    fn tau_inversion() {
+        let c = cosmo();
+        for &a in &[0.05, 0.2, 0.5, 0.9] {
+            let tau = c.tau_of_a(a);
+            let a2 = c.a_of_tau(tau);
+            assert!((a - a2).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn age_of_universe_reasonable() {
+        // t(a=1) ≈ 0.96/H0 for this ΛCDM — between 0.9 and 1.1.
+        let c = cosmo();
+        let t0 = c.t_of_a(1.0);
+        assert!(t0 > 0.85 && t0 < 1.1, "t0 = {t0}");
+    }
+
+    #[test]
+    fn eds_early_time_scaling() {
+        // In matter domination t ∝ a^{3/2}.
+        let c = cosmo();
+        let r = c.t_of_a(0.02) / c.t_of_a(0.01);
+        assert!((r - 2.0f64.powf(1.5)).abs() < 0.05, "ratio = {r}");
+    }
+
+    #[test]
+    fn poisson_factor_scales_inverse_a() {
+        let c = cosmo();
+        let f1 = c.poisson_factor(0.5);
+        let f2 = c.poisson_factor(1.0);
+        assert!((f1 / f2 - 2.0).abs() < 1e-12);
+    }
+}

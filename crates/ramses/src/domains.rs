@@ -1,0 +1,199 @@
+//! Processor domain decomposition.
+//!
+//! "The computational space is decomposed among the available processors
+//! using a mesh partitioning strategy based on the Peano-Hilbert cell
+//! ordering." This module applies that strategy to a particle load: cut the
+//! Hilbert key line into per-rank segments balanced by particle count, map
+//! particles to ranks, and — as the simulation evolves — measure the two
+//! quantities an MPI code lives or dies by: **load imbalance** and
+//! **exchange volume** (particles whose rank changed since the cuts were
+//! made). RAMSES re-balances when these degrade; `needs_rebalance`
+//! implements the same trigger.
+
+use crate::particles::Particles;
+use crate::peano;
+
+/// A rank assignment for a particle load.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Hilbert curve order used for keys.
+    pub order: u32,
+    /// Key upper bounds per rank (len = nranks).
+    pub cuts: Vec<u64>,
+    /// Rank of each particle at the time the cuts were made.
+    pub rank_of: Vec<usize>,
+}
+
+impl Decomposition {
+    /// Build balanced cuts for `nranks` from the current particle positions.
+    pub fn build(parts: &Particles, nranks: usize, order: u32) -> Self {
+        let keys: Vec<u64> = parts
+            .pos
+            .iter()
+            .map(|&p| peano::key_of_point(p, order))
+            .collect();
+        let cuts = peano::domain_cuts(keys.clone(), nranks, order);
+        let rank_of = keys.iter().map(|&k| peano::domain_of(k, &cuts)).collect();
+        Decomposition {
+            order,
+            cuts,
+            rank_of,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Particles per rank under the *current* positions.
+    pub fn loads(&self, parts: &Particles) -> Vec<usize> {
+        let mut loads = vec![0usize; self.nranks()];
+        for &p in &parts.pos {
+            let k = peano::key_of_point(p, self.order);
+            loads[peano::domain_of(k, &self.cuts)] += 1;
+        }
+        loads
+    }
+
+    /// Load imbalance: max load / mean load (1.0 = perfect).
+    pub fn imbalance(&self, parts: &Particles) -> f64 {
+        let loads = self.loads(parts);
+        let max = *loads.iter().max().unwrap_or(&0) as f64;
+        let mean = parts.len() as f64 / self.nranks() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of particles whose rank differs from the one recorded when
+    /// the cuts were made — the particle-exchange volume of the next
+    /// re-balance step.
+    pub fn exchange_fraction(&self, parts: &Particles) -> f64 {
+        assert_eq!(parts.len(), self.rank_of.len(), "particle count changed");
+        let moved = parts
+            .pos
+            .iter()
+            .zip(&self.rank_of)
+            .filter(|(&p, &r0)| {
+                let k = peano::key_of_point(p, self.order);
+                peano::domain_of(k, &self.cuts) != r0
+            })
+            .count();
+        moved as f64 / parts.len().max(1) as f64
+    }
+
+    /// RAMSES-style trigger: rebalance when imbalance exceeds `tol`
+    /// (typically 1.1–1.5).
+    pub fn needs_rebalance(&self, parts: &Particles, tol: f64) -> bool {
+        self.imbalance(parts) > tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize) -> Particles {
+        let mut p = Particles::default();
+        let mut id = 0;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    p.push(
+                        [
+                            (i as f64 + 0.5) / n as f64,
+                            (j as f64 + 0.5) / n as f64,
+                            (k as f64 + 0.5) / n as f64,
+                        ],
+                        [0.0; 3],
+                        1.0 / (n * n * n) as f64,
+                        id,
+                    );
+                    id += 1;
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn fresh_decomposition_is_balanced() {
+        let parts = lattice(8);
+        for nranks in [2usize, 7, 11, 16] {
+            let d = Decomposition::build(&parts, nranks, 6);
+            let imb = d.imbalance(&parts);
+            assert!(
+                imb < 1.15,
+                "{nranks} ranks: imbalance {imb} too high on a uniform lattice"
+            );
+            // All particles assigned, loads sum correctly.
+            let loads = d.loads(&parts);
+            assert_eq!(loads.iter().sum::<usize>(), parts.len());
+            assert_eq!(d.exchange_fraction(&parts), 0.0);
+        }
+    }
+
+    #[test]
+    fn clustering_degrades_balance_and_triggers_rebalance() {
+        let mut parts = lattice(8);
+        let d = Decomposition::build(&parts, 8, 6);
+        assert!(!d.needs_rebalance(&parts, 1.5));
+        // Collapse half the particles into one corner octant.
+        for i in 0..parts.len() / 2 {
+            for c in parts.pos[i].iter_mut() {
+                *c *= 0.25;
+            }
+        }
+        assert!(
+            d.imbalance(&parts) > 1.5,
+            "imbalance {} after collapse",
+            d.imbalance(&parts)
+        );
+        assert!(d.needs_rebalance(&parts, 1.5));
+        assert!(d.exchange_fraction(&parts) > 0.1);
+        // Rebuilding restores balance.
+        let d2 = Decomposition::build(&parts, 8, 6);
+        assert!(d2.imbalance(&parts) < 1.3);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let parts = lattice(4);
+        let d = Decomposition::build(&parts, 1, 5);
+        assert_eq!(d.loads(&parts), vec![parts.len()]);
+        assert!((d.imbalance(&parts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evolving_simulation_keeps_modest_exchange_volume() {
+        // A short real run: between consecutive steps the exchange volume
+        // (fraction crossing rank boundaries) stays small — the property
+        // that makes incremental Hilbert re-balancing cheap.
+        let cosmo = grafic::CosmoParams {
+            a_init: 0.1,
+            ..grafic::CosmoParams::default()
+        };
+        let ics = grafic::generate_single_level(&cosmo, 8, 50.0, 77);
+        let params = crate::nbody::RunParams {
+            cosmo,
+            box_mpc_h: 50.0,
+            mesh_n: 8,
+            a_end: 0.15,
+            aout: vec![],
+            max_steps: 10,
+            ..crate::nbody::RunParams::default()
+        };
+        let mut sim = crate::nbody::Simulation::from_ics(params, &ics.particles);
+        let d = Decomposition::build(&sim.parts, 11, 6);
+        for _ in 0..5 {
+            sim.advance_step();
+        }
+        let ex = d.exchange_fraction(&sim.parts);
+        assert!(
+            ex < 0.15,
+            "exchange fraction {ex} over a few early steps should be small"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Snapshot I/O in Fortran-unformatted-record style.
+//!
+//! RAMSES reads its initial conditions from "Fortran binary files" and writes
+//! snapshots the GALICS chain consumes. Fortran sequential unformatted files
+//! wrap every record in a 4-byte little-endian length marker on both sides;
+//! we reproduce that framing exactly so the format is recognisably the same
+//! family, and add a small typed header.
+//!
+//! Layout of a snapshot file:
+//!
+//! ```text
+//! record 0: magic "RAMSESRS", format version u32
+//! record 1: header (npart u64, a f64, t f64, step u64,
+//!           box_mpc_h f64, h f64, omega_m f64)
+//! record 2: pos x  (npart f64)      record 5: vel x ...
+//! record 3: pos y                   record 8: mass (npart f64)
+//! record 4: pos z                   record 9: id   (npart u64)
+//! ```
+
+use crate::nbody::Snapshot;
+use crate::particles::Particles;
+use crate::units::Units;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"RAMSESRS";
+const VERSION: u32 = 1;
+
+/// Errors from snapshot serialisation.
+#[derive(Debug)]
+pub enum IoError {
+    Io(io::Error),
+    BadMagic,
+    BadVersion(u32),
+    Truncated,
+    RecordMismatch { lead: u32, trail: u32 },
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::BadMagic => write!(f, "not a RAMSES-RS snapshot (bad magic)"),
+            IoError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            IoError::Truncated => write!(f, "truncated snapshot"),
+            IoError::RecordMismatch { lead, trail } => {
+                write!(f, "fortran record markers disagree: {lead} vs {trail}")
+            }
+            IoError::Inconsistent(s) => write!(f, "inconsistent snapshot: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Append one Fortran-style record (length-prefixed and suffixed).
+fn put_record(out: &mut BytesMut, payload: &[u8]) {
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    out.put_u32_le(payload.len() as u32);
+}
+
+/// Read one record, checking the framing.
+fn get_record(buf: &mut Bytes) -> Result<Bytes, IoError> {
+    if buf.remaining() < 4 {
+        return Err(IoError::Truncated);
+    }
+    let lead = buf.get_u32_le();
+    if buf.remaining() < lead as usize + 4 {
+        return Err(IoError::Truncated);
+    }
+    let payload = buf.copy_to_bytes(lead as usize);
+    let trail = buf.get_u32_le();
+    if lead != trail {
+        return Err(IoError::RecordMismatch { lead, trail });
+    }
+    Ok(payload)
+}
+
+fn f64s_record(vals: impl Iterator<Item = f64>, n: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n * 8);
+    for x in vals {
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v
+}
+
+/// Serialise a snapshot to bytes.
+pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
+    let n = snap.particles.len();
+    let mut out = BytesMut::with_capacity(64 + n * 8 * 8);
+
+    let mut rec0 = Vec::with_capacity(12);
+    rec0.extend_from_slice(MAGIC);
+    rec0.extend_from_slice(&VERSION.to_le_bytes());
+    put_record(&mut out, &rec0);
+
+    let mut hdr = Vec::with_capacity(7 * 8);
+    hdr.extend_from_slice(&(n as u64).to_le_bytes());
+    hdr.extend_from_slice(&snap.a.to_le_bytes());
+    hdr.extend_from_slice(&snap.t.to_le_bytes());
+    hdr.extend_from_slice(&(snap.step as u64).to_le_bytes());
+    hdr.extend_from_slice(&snap.units.box_mpc_h.to_le_bytes());
+    hdr.extend_from_slice(&snap.units.h.to_le_bytes());
+    hdr.extend_from_slice(&snap.units.omega_m.to_le_bytes());
+    put_record(&mut out, &hdr);
+
+    for axis in 0..3 {
+        put_record(
+            &mut out,
+            &f64s_record(snap.particles.pos.iter().map(|p| p[axis]), n),
+        );
+    }
+    for axis in 0..3 {
+        put_record(
+            &mut out,
+            &f64s_record(snap.particles.vel.iter().map(|p| p[axis]), n),
+        );
+    }
+    put_record(&mut out, &f64s_record(snap.particles.mass.iter().copied(), n));
+    let mut ids = Vec::with_capacity(n * 8);
+    for id in &snap.particles.id {
+        ids.extend_from_slice(&id.to_le_bytes());
+    }
+    put_record(&mut out, &ids);
+
+    out.freeze()
+}
+
+/// Deserialise a snapshot.
+pub fn decode_snapshot(mut buf: Bytes) -> Result<Snapshot, IoError> {
+    let rec0 = get_record(&mut buf)?;
+    if rec0.len() < 12 || &rec0[..8] != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = u32::from_le_bytes(rec0[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+
+    let hdr = get_record(&mut buf)?;
+    if hdr.len() != 7 * 8 {
+        return Err(IoError::Inconsistent(format!("header size {}", hdr.len())));
+    }
+    let f = |i: usize| f64::from_le_bytes(hdr[i * 8..(i + 1) * 8].try_into().unwrap());
+    let u = |i: usize| u64::from_le_bytes(hdr[i * 8..(i + 1) * 8].try_into().unwrap());
+    let n = u(0) as usize;
+    let a = f(1);
+    let t = f(2);
+    let step = u(3) as usize;
+    let units = Units::new(f(4), f(5), f(6));
+
+    let read_f64s = |buf: &mut Bytes| -> Result<Vec<f64>, IoError> {
+        let r = get_record(buf)?;
+        if r.len() != n * 8 {
+            return Err(IoError::Inconsistent(format!(
+                "array record size {} expected {}",
+                r.len(),
+                n * 8
+            )));
+        }
+        Ok(r.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    };
+
+    let px = read_f64s(&mut buf)?;
+    let py = read_f64s(&mut buf)?;
+    let pz = read_f64s(&mut buf)?;
+    let vx = read_f64s(&mut buf)?;
+    let vy = read_f64s(&mut buf)?;
+    let vz = read_f64s(&mut buf)?;
+    let mass = read_f64s(&mut buf)?;
+    let idr = get_record(&mut buf)?;
+    if idr.len() != n * 8 {
+        return Err(IoError::Inconsistent("id record size".into()));
+    }
+    let id: Vec<u64> = idr
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+
+    let mut particles = Particles::with_capacity(n);
+    for i in 0..n {
+        particles.push([px[i], py[i], pz[i]], [vx[i], vy[i], vz[i]], mass[i], id[i]);
+    }
+
+    Ok(Snapshot {
+        a,
+        t,
+        step,
+        particles,
+        units,
+    })
+}
+
+/// Write a snapshot file.
+pub fn write_snapshot(path: &Path, snap: &Snapshot) -> Result<(), IoError> {
+    let bytes = encode_snapshot(snap);
+    let mut f = File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, IoError> {
+    let mut f = File::open(path)?;
+    let mut v = Vec::new();
+    f.read_to_end(&mut v)?;
+    decode_snapshot(Bytes::from(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot(n: usize) -> Snapshot {
+        let mut particles = Particles::with_capacity(n);
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            particles.push(
+                [f, (f * 2.0) % 1.0, (f * 3.0) % 1.0],
+                [f - 0.5, 0.1, -f],
+                1.0 / n as f64,
+                i as u64 * 7,
+            );
+        }
+        Snapshot {
+            a: 0.42,
+            t: 0.33,
+            step: 17,
+            particles,
+            units: Units::new(100.0, 0.71, 0.27),
+        }
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let snap = sample_snapshot(100);
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(bytes).unwrap();
+        assert_eq!(back.particles, snap.particles);
+        assert_eq!(back.step, 17);
+        assert!((back.a - 0.42).abs() < 1e-15);
+        assert_eq!(back.units, snap.units);
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let snap = sample_snapshot(10);
+        let dir = std::env::temp_dir().join("ramses_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap_0001.bin");
+        write_snapshot(&path, &snap).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.particles, snap.particles);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let snap = sample_snapshot(3);
+        let bytes = encode_snapshot(&snap);
+        let mut v = bytes.to_vec();
+        v[4] = b'X'; // corrupt magic inside record 0
+        match decode_snapshot(Bytes::from(v)) {
+            Err(IoError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let snap = sample_snapshot(5);
+        let bytes = encode_snapshot(&snap);
+        let v = bytes[..bytes.len() / 2].to_vec();
+        assert!(decode_snapshot(Bytes::from(v)).is_err());
+    }
+
+    #[test]
+    fn rejects_marker_mismatch() {
+        let snap = sample_snapshot(2);
+        let bytes = encode_snapshot(&snap);
+        let mut v = bytes.to_vec();
+        // Corrupt the trailing marker of record 0 (offset 4 + 12 = 16..20).
+        v[16] ^= 0xff;
+        match decode_snapshot(Bytes::from(v)) {
+            Err(IoError::RecordMismatch { .. }) => {}
+            other => panic!("expected RecordMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fortran_framing_present() {
+        // Record 0 payload is 12 bytes: the file must start with 0x0C000000.
+        let snap = sample_snapshot(1);
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(&bytes[..4], &12u32.to_le_bytes());
+        assert_eq!(&bytes[16..20], &12u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,307 @@
+//! Particle storage and mesh coupling.
+//!
+//! Particles are stored structure-of-arrays for cache-friendly sweeps (the
+//! per-component loops in CIC deposit/interp touch one array at a time).
+//! Positions live in the unit box `[0,1)³`; all mesh coupling assumes
+//! periodic boundaries.
+
+use rayon::prelude::*;
+
+/// Structure-of-arrays particle set in code units.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Particles {
+    pub pos: Vec<[f64; 3]>,
+    pub vel: Vec<[f64; 3]>,
+    pub mass: Vec<f64>,
+    /// Stable identifiers (survive domain exchanges; used by TreeMaker).
+    pub id: Vec<u64>,
+}
+
+impl Particles {
+    pub fn with_capacity(n: usize) -> Self {
+        Particles {
+            pos: Vec::with_capacity(n),
+            vel: Vec::with_capacity(n),
+            mass: Vec::with_capacity(n),
+            id: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build from GRAFIC initial conditions given the IC box size (Mpc/h):
+    /// positions AND velocities are rescaled to box units (GRAFIC emits both
+    /// in comoving Mpc/h; the integrator works in unit-box coordinates, so a
+    /// canonical momentum of 1 means "one box length per Hubble time").
+    pub fn from_ics(ics: &grafic::IcParticles, box_size: f64) -> Self {
+        let n = ics.len();
+        let inv = 1.0 / box_size;
+        Particles {
+            pos: ics
+                .pos
+                .iter()
+                .map(|p| [wrap01(p[0] * inv), wrap01(p[1] * inv), wrap01(p[2] * inv)])
+                .collect(),
+            vel: ics
+                .vel
+                .iter()
+                .map(|v| [v[0] * inv, v[1] * inv, v[2] * inv])
+                .collect(),
+            mass: ics.mass.clone(),
+            id: (0..n as u64).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    pub fn push(&mut self, pos: [f64; 3], vel: [f64; 3], mass: f64, id: u64) {
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.mass.push(mass);
+        self.id.push(id);
+    }
+
+    /// Centre of mass (ignores periodicity — callers use it on compact sets).
+    pub fn center_of_mass(&self) -> [f64; 3] {
+        let mut c = [0.0f64; 3];
+        let mut m = 0.0;
+        for i in 0..self.len() {
+            for d in 0..3 {
+                c[d] += self.mass[i] * self.pos[i][d];
+            }
+            m += self.mass[i];
+        }
+        if m > 0.0 {
+            for cd in c.iter_mut() {
+                *cd /= m;
+            }
+        }
+        c
+    }
+
+    /// Wrap all positions back into the unit box (after a drift).
+    pub fn wrap(&mut self) {
+        self.pos.par_iter_mut().for_each(|p| {
+            for d in 0..3 {
+                p[d] = wrap01(p[d]);
+            }
+        });
+    }
+}
+
+#[inline]
+pub fn wrap01(x: f64) -> f64 {
+    let y = x - x.floor();
+    // x.floor() of exactly 1.0-eps edge cases can return 1.0 - keep in [0,1)
+    if y >= 1.0 {
+        0.0
+    } else {
+        y
+    }
+}
+
+/// A periodic scalar mesh of side `n` (row-major x,y,z like `grafic`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    pub n: usize,
+    pub data: Vec<f64>,
+}
+
+impl Mesh {
+    pub fn zeros(n: usize) -> Self {
+        Mesh {
+            n,
+            data: vec![0.0; n * n * n],
+        }
+    }
+
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        ((i % self.n) * self.n + (j % self.n)) * self.n + (k % self.n)
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+}
+
+/// Cloud-in-cell deposit: spread each particle's mass over the 8 nearest
+/// cells with trilinear weights, producing a *density* mesh normalised so
+/// that mean density 1 corresponds to uniform mass distribution
+/// (i.e. the overdensity is `rho - 1` when total mass is 1).
+pub fn cic_deposit(parts: &Particles, n: usize) -> Mesh {
+    let mut mesh = Mesh::zeros(n);
+    let nf = n as f64;
+    let cell_volume = 1.0 / (nf * nf * nf);
+    for p in 0..parts.len() {
+        let m = parts.mass[p] / cell_volume; // density contribution
+        let mut base = [0usize; 3];
+        let mut frac = [0.0f64; 3];
+        for d in 0..3 {
+            let x = parts.pos[p][d] * nf - 0.5;
+            let x0 = x.floor();
+            base[d] = ((x0 as i64).rem_euclid(n as i64)) as usize;
+            frac[d] = x - x0;
+        }
+        for (dx, wx) in [(0usize, 1.0 - frac[0]), (1, frac[0])] {
+            for (dy, wy) in [(0usize, 1.0 - frac[1]), (1, frac[1])] {
+                for (dz, wz) in [(0usize, 1.0 - frac[2]), (1, frac[2])] {
+                    let ix = mesh.idx(base[0] + dx, base[1] + dy, base[2] + dz);
+                    mesh.data[ix] += m * wx * wy * wz;
+                }
+            }
+        }
+    }
+    mesh
+}
+
+/// Trilinear (CIC) interpolation of a vector field, sampled per-axis from
+/// three scalar meshes, onto particle positions.
+pub fn cic_interp_force(
+    parts: &Particles,
+    force: &[Mesh; 3],
+) -> Vec<[f64; 3]> {
+    let n = force[0].n;
+    let nf = n as f64;
+    parts
+        .pos
+        .par_iter()
+        .map(|pos| {
+            let mut base = [0usize; 3];
+            let mut frac = [0.0f64; 3];
+            for d in 0..3 {
+                let x = pos[d] * nf - 0.5;
+                let x0 = x.floor();
+                base[d] = ((x0 as i64).rem_euclid(n as i64)) as usize;
+                frac[d] = x - x0;
+            }
+            let mut out = [0.0f64; 3];
+            for (dx, wx) in [(0usize, 1.0 - frac[0]), (1, frac[0])] {
+                for (dy, wy) in [(0usize, 1.0 - frac[1]), (1, frac[1])] {
+                    for (dz, wz) in [(0usize, 1.0 - frac[2]), (1, frac[2])] {
+                        let w = wx * wy * wz;
+                        for axis in 0..3 {
+                            out[axis] += w
+                                * force[axis].get(base[0] + dx, base[1] + dy, base[2] + dz);
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_particle(pos: [f64; 3]) -> Particles {
+        let mut p = Particles::default();
+        p.push(pos, [0.0; 3], 1.0, 0);
+        p
+    }
+
+    #[test]
+    fn cic_conserves_mass() {
+        let mut parts = Particles::default();
+        for i in 0..50 {
+            let f = i as f64 / 50.0;
+            parts.push([f, (f * 3.0) % 1.0, (f * 7.0) % 1.0], [0.0; 3], 0.02, i);
+        }
+        let mesh = cic_deposit(&parts, 8);
+        // sum(rho * cell_volume) == total mass
+        let total = mesh.sum() / (8.0f64).powi(3);
+        assert!((total - parts.total_mass()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cic_particle_at_cell_center_hits_one_cell() {
+        let n = 8;
+        // Cell centres are at (i + 0.5)/n.
+        let parts = one_particle([2.5 / 8.0, 3.5 / 8.0, 4.5 / 8.0]);
+        let mesh = cic_deposit(&parts, n);
+        let expect = (n as f64).powi(3);
+        assert!((mesh.get(2, 3, 4) - expect).abs() < 1e-9);
+        let nonzero = mesh.data.iter().filter(|&&v| v.abs() > 1e-12).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn cic_wraps_at_boundary() {
+        let parts = one_particle([0.0, 0.0, 0.0]); // corner: splits over 8 wrapped cells
+        let mesh = cic_deposit(&parts, 4);
+        let total = mesh.sum() / 64.0;
+        assert!((total - 1.0).abs() < 1e-12);
+        // Weight must land in the 8 cells around the origin corner.
+        for (i, j, k) in [(0, 0, 0), (3, 3, 3), (0, 3, 3), (3, 0, 0)] {
+            assert!(mesh.get(i, j, k) > 0.0);
+        }
+    }
+
+    #[test]
+    fn interp_of_constant_field_is_constant() {
+        let n = 8;
+        let mut f = Mesh::zeros(n);
+        for v in f.data.iter_mut() {
+            *v = 2.5;
+        }
+        let force = [f.clone(), f.clone(), f];
+        let mut parts = Particles::default();
+        parts.push([0.13, 0.57, 0.91], [0.0; 3], 1.0, 0);
+        parts.push([0.999, 0.001, 0.5], [0.0; 3], 1.0, 1);
+        let out = cic_interp_force(&parts, &force);
+        for o in out {
+            for axis in 0..3 {
+                assert!((o[axis] - 2.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_keeps_unit_interval() {
+        assert_eq!(wrap01(1.25), 0.25);
+        assert_eq!(wrap01(-0.25), 0.75);
+        assert!(wrap01(0.9999999) < 1.0);
+        assert_eq!(wrap01(0.0), 0.0);
+    }
+
+    #[test]
+    fn from_ics_rescales_to_unit_box() {
+        let ics = grafic::IcParticles {
+            pos: vec![[50.0, 25.0, 99.0]],
+            vel: vec![[1.0, 2.0, 3.0]],
+            mass: vec![1.0],
+        };
+        let p = Particles::from_ics(&ics, 100.0);
+        assert!((p.pos[0][0] - 0.5).abs() < 1e-12);
+        assert!((p.pos[0][1] - 0.25).abs() < 1e-12);
+        assert!((p.pos[0][2] - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_of_mass_weighted() {
+        let mut p = Particles::default();
+        p.push([0.0, 0.0, 0.0], [0.0; 3], 1.0, 0);
+        p.push([0.6, 0.0, 0.0], [0.0; 3], 2.0, 1);
+        let c = p.center_of_mass();
+        assert!((c[0] - 0.4).abs() < 1e-12);
+    }
+}

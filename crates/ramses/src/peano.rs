@@ -1,0 +1,261 @@
+//! 3-D Peano–Hilbert space-filling curve.
+//!
+//! RAMSES decomposes its computational volume among MPI processes by sorting
+//! cells along the Hilbert curve and cutting the ordered list into
+//! equal-work segments ([Teyssier 2002]; the paper's Section 3 cites this
+//! "mesh partitioning strategy based on the Peano-Hilbert cell ordering").
+//! The curve maps 3-D integer coordinates to a 1-D key such that points close
+//! on the key line are close in space, giving compact, low-surface domains.
+//!
+//! The implementation is the classical transpose-based algorithm (Skilling
+//! 2004): convert coordinates to a "transposed" Gray-code representation and
+//! back. `encode`/`decode` are exact inverses for any `order ≤ 21`
+//! (3·21 = 63 key bits).
+
+/// Maximum supported curve order (bits per dimension).
+pub const MAX_ORDER: u32 = 21;
+
+/// Map 3-D lattice coordinates to a Hilbert key. `order` is the number of
+/// bits per dimension; coordinates must be `< 2^order`.
+///
+/// ```
+/// use ramses::peano::{encode, decode};
+/// let key = encode(3, 5, 7, 4);
+/// assert_eq!(decode(key, 4), (3, 5, 7));
+/// ```
+pub fn encode(x: u64, y: u64, z: u64, order: u32) -> u64 {
+    assert!(order >= 1 && order <= MAX_ORDER, "order out of range");
+    let n = 1u64 << order;
+    assert!(x < n && y < n && z < n, "coordinate exceeds 2^order");
+    let mut coords = [x, y, z];
+    axes_to_transpose(&mut coords, order);
+    // Interleave the transposed bits, x high.
+    let mut key = 0u64;
+    for bit in (0..order).rev() {
+        for c in &coords {
+            key = (key << 1) | ((c >> bit) & 1);
+        }
+    }
+    key
+}
+
+/// Inverse of [`encode`].
+pub fn decode(key: u64, order: u32) -> (u64, u64, u64) {
+    assert!(order >= 1 && order <= MAX_ORDER, "order out of range");
+    assert!(
+        order == 63 / 3 || key < 1u64 << (3 * order),
+        "key exceeds 2^(3·order)"
+    );
+    let mut coords = [0u64; 3];
+    for i in 0..(3 * order) {
+        let bit = (key >> (3 * order - 1 - i)) & 1;
+        let axis = (i % 3) as usize;
+        let pos = order - 1 - i / 3;
+        coords[axis] |= bit << pos;
+    }
+    transpose_to_axes(&mut coords, order);
+    (coords[0], coords[1], coords[2])
+}
+
+/// Skilling's transform: axes → transposed Hilbert representation.
+fn axes_to_transpose(x: &mut [u64; 3], order: u32) {
+    let m = 1u64 << (order - 1);
+    // Inverse undo excess work.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..3 {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..3 {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u64;
+    let mut q = m;
+    while q > 1 {
+        if x[2] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Skilling's transform: transposed Hilbert representation → axes.
+fn transpose_to_axes(x: &mut [u64; 3], order: u32) {
+    let n = 2u64 << (order - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[2] >> 1;
+    for i in (1..3).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u64;
+    while q != n {
+        let p = q - 1;
+        for i in (0..3).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Hilbert key of a point in the unit cube at a given order.
+pub fn key_of_point(p: [f64; 3], order: u32) -> u64 {
+    let n = (1u64 << order) as f64;
+    let clamp = |v: f64| -> u64 {
+        let v = v - v.floor(); // periodic wrap into [0,1)
+        ((v * n) as u64).min((1u64 << order) - 1)
+    };
+    encode(clamp(p[0]), clamp(p[1]), clamp(p[2]), order)
+}
+
+/// Split the key space `[0, 2^{3·order})` into `ndomain` contiguous segments
+/// with equal particle *work*: returns the key upper-bounds of each domain
+/// such that each holds ≈ the same number of the given keys.
+///
+/// This is exactly RAMSES's load-balancing cut along the curve.
+pub fn domain_cuts(mut keys: Vec<u64>, ndomain: usize, order: u32) -> Vec<u64> {
+    assert!(ndomain >= 1);
+    let key_max = if order >= 21 {
+        u64::MAX
+    } else {
+        1u64 << (3 * order)
+    };
+    if keys.is_empty() {
+        // Uniform cuts.
+        return (1..=ndomain as u64)
+            .map(|i| (key_max / ndomain as u64).saturating_mul(i))
+            .collect();
+    }
+    keys.sort_unstable();
+    let npart = keys.len();
+    let mut cuts = Vec::with_capacity(ndomain);
+    for d in 1..ndomain {
+        let idx = d * npart / ndomain;
+        cuts.push(keys[idx.min(npart - 1)]);
+    }
+    cuts.push(key_max);
+    cuts
+}
+
+/// Find which domain a key belongs to, given cut upper bounds.
+pub fn domain_of(key: u64, cuts: &[u64]) -> usize {
+    match cuts.binary_search(&key) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+    .min(cuts.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_orders() {
+        for order in 1..=4u32 {
+            let n = 1u64 << order;
+            let mut seen = std::collections::HashSet::new();
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        let k = encode(x, y, z, order);
+                        assert!(k < 1u64 << (3 * order));
+                        assert!(seen.insert(k), "duplicate key at ({x},{y},{z})");
+                        assert_eq!(decode(k, order), (x, y, z));
+                    }
+                }
+            }
+            assert_eq!(seen.len() as u64, n * n * n);
+        }
+    }
+
+    #[test]
+    fn curve_is_continuous() {
+        // Successive keys differ by exactly one unit step in space.
+        let order = 3;
+        let n = 1u64 << (3 * order);
+        let mut prev = decode(0, order);
+        for k in 1..n {
+            let cur = decode(k, order);
+            let d = (cur.0 as i64 - prev.0 as i64).abs()
+                + (cur.1 as i64 - prev.1 as i64).abs()
+                + (cur.2 as i64 - prev.2 as i64).abs();
+            assert_eq!(d, 1, "discontinuity between keys {} and {k}", k - 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn key_of_point_wraps_periodically() {
+        let a = key_of_point([0.25, 0.5, 0.75], 5);
+        let b = key_of_point([1.25, -0.5, 0.75], 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domain_cuts_balance() {
+        // 1000 uniformly spread keys into 7 domains: each gets 1000/7 ± a few.
+        let order = 7;
+        let keys: Vec<u64> = (0..1000u64)
+            .map(|i| i * ((1u64 << (3 * order)) / 1000))
+            .collect();
+        let cuts = domain_cuts(keys.clone(), 7, order);
+        assert_eq!(cuts.len(), 7);
+        let mut counts = vec![0usize; 7];
+        for k in keys {
+            counts[domain_of(k, &cuts)] += 1;
+        }
+        for c in counts {
+            assert!(c >= 100 && c <= 200, "unbalanced domain: {c}");
+        }
+    }
+
+    #[test]
+    fn domain_of_respects_bounds() {
+        let cuts = vec![10, 20, u64::MAX];
+        assert_eq!(domain_of(0, &cuts), 0);
+        assert_eq!(domain_of(10, &cuts), 1); // upper bound exclusive-ish
+        assert_eq!(domain_of(15, &cuts), 1);
+        assert_eq!(domain_of(25, &cuts), 2);
+    }
+
+    #[test]
+    fn locality_beats_row_major() {
+        // Mean spatial distance between key-neighbours must be far below the
+        // row-major curve's (which jumps across the box every row).
+        let order = 4;
+        let n = 1u64 << order;
+        let mut hilbert_dist = 0.0f64;
+        let total = (n * n * n - 1) as f64;
+        let mut prev = decode(0, order);
+        for k in 1..n * n * n {
+            let cur = decode(k, order);
+            hilbert_dist += (((cur.0 as f64 - prev.0 as f64).powi(2)
+                + (cur.1 as f64 - prev.1 as f64).powi(2)
+                + (cur.2 as f64 - prev.2 as f64).powi(2)) as f64)
+                .sqrt();
+            prev = cur;
+        }
+        assert!((hilbert_dist / total - 1.0).abs() < 1e-12); // unit steps
+    }
+}

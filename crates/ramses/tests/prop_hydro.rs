@@ -1,0 +1,130 @@
+//! Property tests for the finite-volume Euler solver: conservation,
+//! positivity and Riemann-solver consistency over random states.
+
+use proptest::prelude::*;
+use ramses::hydro::{riemann_flux, HydroGrid, Prim, Riemann, GAMMA_DEFAULT};
+
+fn arb_prim() -> impl Strategy<Value = Prim> {
+    (
+        0.05f64..10.0,
+        -3.0f64..3.0,
+        -3.0f64..3.0,
+        -3.0f64..3.0,
+        0.01f64..10.0,
+    )
+        .prop_map(|(rho, u, v, w, p)| Prim {
+            rho,
+            vel: [u, v, w],
+            p,
+        })
+}
+
+/// A smooth random field: a handful of Fourier modes with bounded amplitude
+/// so the initial state is positive everywhere.
+fn arb_smooth_grid() -> impl Strategy<Value = HydroGrid> {
+    (
+        0.1f64..0.45,
+        0.1f64..0.45,
+        1u64..4,
+        1u64..4,
+        0.2f64..2.0,
+    )
+        .prop_map(|(arho, ap, mx, my, p0)| {
+            HydroGrid::from_fn(8, GAMMA_DEFAULT, |x| Prim {
+                rho: 1.0
+                    + arho * (2.0 * std::f64::consts::PI * mx as f64 * x[0]).sin(),
+                vel: [
+                    0.3 * (2.0 * std::f64::consts::PI * my as f64 * x[1]).cos(),
+                    -0.2,
+                    0.1,
+                ],
+                p: p0 * (1.0 + ap * (2.0 * std::f64::consts::PI * x[2]).sin()),
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mass, momentum and energy are conserved to round-off over several
+    /// steps, for both Riemann solvers, on arbitrary smooth states.
+    #[test]
+    fn conservation(mut g in arb_smooth_grid(), hllc in any::<bool>()) {
+        let solver = if hllc { Riemann::Hllc } else { Riemann::Hll };
+        let m0 = g.total_mass();
+        let e0 = g.total_energy();
+        let p0 = g.total_momentum();
+        for _ in 0..5 {
+            let dt = g.max_dt(0.4);
+            prop_assert!(dt.is_finite() && dt > 0.0);
+            g.step(dt, solver);
+        }
+        prop_assert!((g.total_mass() - m0).abs() < 1e-11 * m0.max(1.0));
+        prop_assert!((g.total_energy() - e0).abs() < 1e-10 * e0.abs().max(1.0));
+        for d in 0..3 {
+            prop_assert!((g.total_momentum()[d] - p0[d]).abs() < 1e-10);
+        }
+    }
+
+    /// Density stays positive through evolution (positivity of the scheme
+    /// under the CFL bound, for smooth initial data).
+    #[test]
+    fn density_positivity(mut g in arb_smooth_grid()) {
+        for _ in 0..8 {
+            let dt = g.max_dt(0.4);
+            g.step(dt, Riemann::Hllc);
+        }
+        for c in &g.cells {
+            prop_assert!(c.rho > 0.0, "negative density {}", c.rho);
+        }
+    }
+
+    /// Riemann consistency: F(w, w) equals the exact physical flux, for any
+    /// state, axis and solver.
+    #[test]
+    fn riemann_consistency(w in arb_prim(), axis in 0usize..3, hllc in any::<bool>()) {
+        let solver = if hllc { Riemann::Hllc } else { Riemann::Hll };
+        let f = riemann_flux(w, w, axis, 1.4, solver);
+        // Reconstruct the exact flux from primitives.
+        let u = w.vel[axis];
+        let c = w.to_cons(1.4);
+        let mut exact_mom = [c.mom[0] * u, c.mom[1] * u, c.mom[2] * u];
+        exact_mom[axis] += w.p;
+        prop_assert!((f.rho - c.rho * u).abs() < 1e-9 * (1.0 + c.rho.abs()));
+        for d in 0..3 {
+            prop_assert!((f.mom[d] - exact_mom[d]).abs() < 1e-9 * (1.0 + exact_mom[d].abs()));
+        }
+        prop_assert!((f.e - (c.e + w.p) * u).abs() < 1e-9 * (1.0 + c.e.abs()));
+    }
+
+    /// Upwinding: fully supersonic flow takes the upwind flux exactly.
+    #[test]
+    fn riemann_supersonic_upwind(
+        mut l in arb_prim(),
+        mut r in arb_prim(),
+        axis in 0usize..3,
+        hllc in any::<bool>(),
+    ) {
+        // Make both states strongly supersonic in +axis.
+        let cl = l.cs(1.4);
+        let cr = r.cs(1.4);
+        l.vel[axis] = 5.0 * (cl + cr) + 1.0;
+        r.vel[axis] = l.vel[axis] + 0.1;
+        let solver = if hllc { Riemann::Hllc } else { Riemann::Hll };
+        let f = riemann_flux(l, r, axis, 1.4, solver);
+        let u = l.vel[axis];
+        let c = l.to_cons(1.4);
+        prop_assert!((f.rho - c.rho * u).abs() < 1e-9 * (1.0 + (c.rho * u).abs()));
+    }
+
+    /// prim ↔ cons is a bijection on the physical region.
+    #[test]
+    fn prim_cons_bijection(w in arb_prim(), gamma in 1.1f64..2.0) {
+        let back = w.to_cons(gamma).to_prim(gamma);
+        prop_assert!((back.rho - w.rho).abs() < 1e-10 * w.rho);
+        prop_assert!((back.p - w.p).abs() < 1e-9 * w.p.max(1.0));
+        for d in 0..3 {
+            prop_assert!((back.vel[d] - w.vel[d]).abs() < 1e-10 * (1.0 + w.vel[d].abs()));
+        }
+    }
+}

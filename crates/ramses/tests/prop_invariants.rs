@@ -1,0 +1,151 @@
+//! Property tests for the simulation kernel's structural invariants.
+
+use proptest::prelude::*;
+use ramses::amr::{AmrParams, Octree};
+use ramses::io;
+use ramses::nbody::Snapshot;
+use ramses::particles::{cic_deposit, wrap01, Particles};
+use ramses::peano;
+use ramses::units::Units;
+
+fn arb_particles(max_n: usize) -> impl Strategy<Value = Particles> {
+    prop::collection::vec(
+        ((0.0f64..1.0), (0.0f64..1.0), (0.0f64..1.0), (-2.0f64..2.0), (1e-6f64..1.0)),
+        1..max_n,
+    )
+    .prop_map(|rows| {
+        let mut p = Particles::default();
+        for (i, (x, y, z, v, m)) in rows.into_iter().enumerate() {
+            p.push([x, y, z], [v, -v, v * 0.5], m, i as u64);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Peano-Hilbert encode/decode are mutual inverses for any coordinates.
+    #[test]
+    fn peano_bijective(order in 1u32..12, x in 0u64..4096, y in 0u64..4096, z in 0u64..4096) {
+        let n = 1u64 << order;
+        let (x, y, z) = (x % n, y % n, z % n);
+        let k = peano::encode(x, y, z, order);
+        prop_assert!(order == 21 || k < 1u64 << (3 * order));
+        prop_assert_eq!(peano::decode(k, order), (x, y, z));
+    }
+
+    /// Adjacent keys decode to adjacent cells (unit Manhattan step).
+    #[test]
+    fn peano_continuity(order in 1u32..6, k in 0u64..32768) {
+        let kmax = (1u64 << (3 * order)) - 1;
+        let k = k % kmax;
+        let a = peano::decode(k, order);
+        let b = peano::decode(k + 1, order);
+        let d = (a.0 as i64 - b.0 as i64).abs()
+            + (a.1 as i64 - b.1 as i64).abs()
+            + (a.2 as i64 - b.2 as i64).abs();
+        prop_assert_eq!(d, 1);
+    }
+
+    /// Every key belongs to exactly one domain, and domains are ordered.
+    #[test]
+    fn peano_domains_partition(keys in prop::collection::vec(0u64..4096, 1..200), ndom in 1usize..9) {
+        let order = 4;
+        let cuts = peano::domain_cuts(keys.clone(), ndom, order);
+        prop_assert_eq!(cuts.len(), ndom);
+        for w in cuts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for k in keys {
+            let d = peano::domain_of(k, &cuts);
+            prop_assert!(d < ndom);
+            if d > 0 {
+                prop_assert!(k >= cuts[d - 1]);
+            }
+        }
+    }
+
+    /// CIC deposit conserves total mass exactly for arbitrary particle sets.
+    #[test]
+    fn cic_mass_conservation(parts in arb_particles(200), nbits in 2u32..5) {
+        let n = 1usize << nbits;
+        let mesh = cic_deposit(&parts, n);
+        let total = mesh.sum() / (n as f64).powi(3);
+        prop_assert!((total - parts.total_mass()).abs() < 1e-9 * (1.0 + parts.total_mass()));
+        // Density is non-negative everywhere.
+        for &v in &mesh.data {
+            prop_assert!(v >= -1e-12);
+        }
+    }
+
+    /// wrap01 always lands in [0, 1) and is periodic.
+    #[test]
+    fn wrap01_properties(x in -1e3f64..1e3) {
+        let w = wrap01(x);
+        prop_assert!((0.0..1.0).contains(&w));
+        let w2 = wrap01(x + 7.0);
+        prop_assert!((w - w2).abs() < 1e-9 || (1.0 - (w - w2).abs()) < 1e-9);
+    }
+
+    /// The octree preserves particle count, places particles only on leaves,
+    /// and respects parent/child geometry, for arbitrary particle clouds.
+    #[test]
+    fn octree_invariants(parts in arb_particles(300)) {
+        let tree = Octree::build(
+            &parts,
+            AmrParams {
+                max_particles_per_cell: 4,
+                max_level: 7,
+                base_level: 1,
+            },
+        );
+        prop_assert!(tree.check_invariants(&parts).is_ok());
+        prop_assert_eq!(tree.total_leaf_particles(), parts.len());
+    }
+
+    /// Hilbert-ordered decomposition assigns each leaf exactly once.
+    #[test]
+    fn octree_decompose_partition(parts in arb_particles(150), ndom in 1usize..6) {
+        let tree = Octree::build(&parts, AmrParams::default());
+        let domains = tree.decompose(ndom);
+        let mut all: Vec<_> = domains.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        prop_assert_eq!(all, leaves);
+    }
+
+    /// Snapshot encode/decode round-trips arbitrary particle data exactly.
+    #[test]
+    fn snapshot_roundtrip(parts in arb_particles(100), a in 0.01f64..1.0, step in 0usize..10_000) {
+        let snap = Snapshot {
+            a,
+            t: a * 0.9,
+            step,
+            particles: parts,
+            units: Units::new(100.0, 0.71, 0.27),
+        };
+        let bytes = io::encode_snapshot(&snap);
+        let back = io::decode_snapshot(bytes).unwrap();
+        prop_assert_eq!(back.particles, snap.particles);
+        prop_assert_eq!(back.step, snap.step);
+        prop_assert!((back.a - snap.a).abs() < 1e-15);
+    }
+
+    /// Any truncation of a valid snapshot is rejected, never mis-decoded.
+    #[test]
+    fn snapshot_truncation_detected(parts in arb_particles(20), frac in 0.0f64..0.99) {
+        let snap = Snapshot {
+            a: 0.5,
+            t: 0.4,
+            step: 1,
+            particles: parts,
+            units: Units::new(100.0, 0.71, 0.27),
+        };
+        let bytes = io::encode_snapshot(&snap);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let sliced = bytes.slice(0..cut);
+        prop_assert!(io::decode_snapshot(sliced).is_err());
+    }
+}

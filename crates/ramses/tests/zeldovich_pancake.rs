@@ -1,0 +1,196 @@
+//! The Zel'dovich pancake — the canonical validation problem for
+//! cosmological PM codes (e.g. RAMSES's own test suite).
+//!
+//! A single plane-wave perturbation in an Einstein–de-Sitter universe has an
+//! *exact* solution up to shell crossing:
+//!
+//! ```text
+//!   x(q, a) = q + (D(a)/D(a_c)) · sin(2πq) / (2π) · A
+//! ```
+//!
+//! choosing the amplitude so caustics form at `a_c`. Before `a_c` the PM
+//! integrator must track the analytic trajectories; we start at `a_i = 0.1`,
+//! evolve to `a = 0.5` with collapse scheduled at `a_c = 1.0`, and compare
+//! positions against the analytic map.
+
+use grafic::CosmoParams;
+use ramses::cosmology::Cosmology;
+use ramses::gravity::{drift, kick, PmGravity, StepControl};
+use ramses::particles::Particles;
+
+/// EdS-like cosmology (Ωm = 1) so D(a) = a exactly.
+fn eds() -> CosmoParams {
+    CosmoParams {
+        omega_m: 1.0,
+        omega_l: 0.0,
+        omega_b: 0.0,
+        h: 0.7,
+        n_s: 1.0,
+        sigma8: 0.8,
+        a_init: 0.1,
+    }
+}
+
+/// Analytic comoving position and canonical momentum at expansion factor `a`
+/// for Lagrangian coordinate `q`, with caustic at `a_c`.
+fn analytic(q: f64, a: f64, a_c: f64, cosmo: &Cosmology) -> (f64, f64) {
+    let amp = 1.0 / (2.0 * std::f64::consts::PI);
+    let d_ratio = a / a_c; // EdS: D ∝ a
+    let s = (2.0 * std::f64::consts::PI * q).sin();
+    let x = (q + d_ratio * amp * s).rem_euclid(1.0);
+    // p = a² dx/dt = a² (dD/dt) ψ/D(a_c); EdS: D = a, dD/dt = ȧ = a·H(a),
+    // so p = a³ H(a) ψ / a_c.
+    let hub = cosmo.hubble(a);
+    let p = a * a * a * hub * (1.0 / a_c) * amp * s;
+    (x, p)
+}
+
+#[test]
+fn pancake_tracks_analytic_solution_before_shell_crossing() {
+    let params = eds();
+    let cosmo = Cosmology::new(params.clone());
+    let a_i = 0.1;
+    let a_c = 1.0;
+    let a_end = 0.5;
+    let n = 32; // particles along x
+    // Transverse sampling must match the mesh: sparser sampling turns the
+    // planes into rod lattices whose self-structure biases the plane force.
+    let ny = 32;
+
+    // Build the plane-wave load exactly on the analytic solution at a_i.
+    let mut parts = Particles::default();
+    let mut id = 0u64;
+    for i in 0..n {
+        let q = (i as f64 + 0.5) / n as f64;
+        let (x, p) = analytic(q, a_i, a_c, &cosmo);
+        for j in 0..ny {
+            for k in 0..ny {
+                parts.push(
+                    [
+                        x,
+                        (j as f64 + 0.5) / ny as f64,
+                        (k as f64 + 0.5) / ny as f64,
+                    ],
+                    [p, 0.0, 0.0],
+                    1.0 / (n * ny * ny) as f64,
+                    id,
+                );
+                id += 1;
+            }
+        }
+    }
+
+    // Integrate with the production PM machinery on a 32-mesh.
+    let gravity = PmGravity::new(32);
+    let sc = StepControl {
+        courant_cells: 0.5,
+        freefall: 0.3,
+        max_dln_a: 0.02,
+    };
+    let mut a = a_i;
+    let mut steps = 0;
+    while a < a_end - 1e-12 && steps < 2000 {
+        let field = gravity.field(&parts, &cosmo, a);
+        let rho_max = field.rho.data.iter().cloned().fold(0.0f64, f64::max);
+        let acc = gravity.accelerations(&parts, &field);
+        let t_now = cosmo.t_of_a(a);
+        let mut dt = sc.dt(&parts, rho_max, &cosmo, a, 32);
+        dt = dt.min(cosmo.t_of_a(a_end) - t_now);
+        kick(&mut parts, &acc, a, dt / 2.0);
+        let a_mid = cosmo.a_of_t(t_now + dt / 2.0);
+        drift(&mut parts, a_mid, dt);
+        let a_new = cosmo.a_of_t(t_now + dt);
+        let field2 = gravity.field(&parts, &cosmo, a_new);
+        let acc2 = gravity.accelerations(&parts, &field2);
+        kick(&mut parts, &acc2, a_new, dt / 2.0);
+        a = a_new;
+        steps += 1;
+    }
+    assert!(a >= a_end - 1e-6, "integration stalled at a = {a}");
+
+    // Compare against the analytic map (displacement-level accuracy: a
+    // fraction of a mesh cell).
+    let mut max_err = 0.0f64;
+    let mut rms = 0.0;
+    for i in 0..n {
+        let q = (i as f64 + 0.5) / n as f64;
+        let (x_exact, _) = analytic(q, a_end, a_c, &cosmo);
+        // Average the ny² particles sharing this q (they remain a plane).
+        let mut x_num = 0.0;
+        for jk in 0..(ny * ny) {
+            let idx = i * ny * ny + jk;
+            let mut dx = parts.pos[idx][0] - x_exact;
+            if dx > 0.5 {
+                dx -= 1.0;
+            }
+            if dx < -0.5 {
+                dx += 1.0;
+            }
+            x_num += dx;
+        }
+        let err = (x_num / (ny * ny) as f64).abs();
+        max_err = max_err.max(err);
+        rms += err * err;
+    }
+    rms = (rms / n as f64).sqrt();
+    let cell = 1.0 / 32.0;
+    assert!(
+        max_err < 0.5 * cell,
+        "max position error {max_err:.5} exceeds half a mesh cell ({:.5})",
+        0.5 * cell
+    );
+    assert!(
+        rms < 0.2 * cell,
+        "rms position error {rms:.5} exceeds 0.2 mesh cells"
+    );
+}
+
+#[test]
+fn pancake_plane_symmetry_is_preserved() {
+    // Transverse coordinates must not move at all: the problem is 1-D.
+    let params = eds();
+    let cosmo = Cosmology::new(params);
+    let n = 16;
+    let ny = 4;
+    let mut parts = Particles::default();
+    let mut id = 0;
+    for i in 0..n {
+        let q = (i as f64 + 0.5) / n as f64;
+        let (x, p) = analytic(q, 0.1, 1.0, &cosmo);
+        for j in 0..ny {
+            for k in 0..ny {
+                parts.push(
+                    [x, (j as f64 + 0.5) / ny as f64, (k as f64 + 0.5) / ny as f64],
+                    [p, 0.0, 0.0],
+                    1.0 / (n * ny * ny) as f64,
+                    id,
+                );
+                id += 1;
+            }
+        }
+    }
+    let y0: Vec<f64> = parts.pos.iter().map(|p| p[1]).collect();
+    let gravity = PmGravity::new(16);
+    let mut a = 0.1;
+    for _ in 0..20 {
+        let field = gravity.field(&parts, &cosmo, a);
+        let acc = gravity.accelerations(&parts, &field);
+        let t = cosmo.t_of_a(a);
+        let dt = 0.002;
+        kick(&mut parts, &acc, a, dt / 2.0);
+        drift(&mut parts, a, dt);
+        let a_new = cosmo.a_of_t(t + dt);
+        let field2 = gravity.field(&parts, &cosmo, a_new);
+        let acc2 = gravity.accelerations(&parts, &field2);
+        kick(&mut parts, &acc2, a_new, dt / 2.0);
+        a = a_new;
+    }
+    for (p, y) in parts.pos.iter().zip(&y0) {
+        assert!(
+            (p[1] - y).abs() < 1e-10,
+            "transverse drift detected: {} -> {}",
+            y,
+            p[1]
+        );
+    }
+}

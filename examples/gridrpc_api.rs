@@ -1,0 +1,83 @@
+//! The GridRPC standard API surface, end-to-end: name server, configuration
+//! file, `grpc_initialize`, function handles, async calls and `grpc_wait_*`
+//! — the paper's Section 4.3 ("The client API follows the GridRPC
+//! definition: all diet_ functions are 'duplicated' with grpc_ functions").
+//!
+//! Run with: `cargo run --release --example gridrpc_api`
+
+use cosmogrid::namelist::default_run_namelist;
+use cosmogrid::services::{cosmology_service_table, status, zoom1_profile};
+use diet_core::agent::{AgentNode, MasterAgent};
+use diet_core::gridrpc::grpc_initialize;
+use diet_core::naming::NameServer;
+use diet_core::sched::WeightedSpeed;
+use diet_core::sed::{SedConfig, SedHandle};
+use std::sync::Arc;
+
+fn main() {
+    // --- server side: two clusters publish the cosmology services ---------
+    let seds: Vec<_> = [("fast-cluster/0", 1.15), ("slow-cluster/0", 0.8)]
+        .into_iter()
+        .map(|(label, speed)| {
+            SedHandle::spawn(SedConfig::new(label, speed), cosmology_service_table())
+        })
+        .collect();
+    let las: Vec<_> = seds
+        .iter()
+        .map(|s| AgentNode::leaf(&format!("LA-{}", s.config.label), vec![s.clone()]))
+        .collect();
+    let ma = MasterAgent::new("MA-cosmo", las, Arc::new(WeightedSpeed));
+
+    // --- the omniNames role: register the MA, publish the catalog ---------
+    let names = NameServer::new();
+    names.register(ma);
+    println!("name-server catalog:");
+    for entry in names.catalog(&["ramsesZoom1", "ramsesZoom2"]) {
+        println!("  {} -> {:?}", entry.ma_name, entry.services);
+    }
+
+    // --- client side: configuration file + grpc_initialize ----------------
+    let config = "# client.cfg\nMAName = MA-cosmo\ntraceLevel = 1\n";
+    let session = grpc_initialize(config, &names).expect("grpc_initialize");
+    let mut handle = session.function_handle_default("ramsesZoom1");
+    println!("\nfunction handle for {:?} created (unbound)", handle.service);
+
+    // --- async calls + wait_all --------------------------------------------
+    let mut nl = default_run_namelist(8, 50.0);
+    nl.set("OUTPUT_PARAMS", "aout", "0.5, 1.0");
+    let ids: Vec<u64> = (0..2)
+        .map(|_| {
+            session
+                .call_async(&mut handle, zoom1_profile(&nl, 8))
+                .expect("grpc_call_async")
+        })
+        .collect();
+    println!(
+        "issued {} async calls (ids {ids:?}); handle now bound to {:?}",
+        ids.len(),
+        handle.server
+    );
+
+    for (id, result) in session.wait_all() {
+        let (profile, stats) = result.expect("grpc_wait");
+        let code = profile.get_i32(3).unwrap();
+        assert_eq!(code, status::OK);
+        println!(
+            "call {id}: status {code}, finding {:.2} ms, solve {:.1} s",
+            stats.finding * 1e3,
+            stats.solve
+        );
+    }
+
+    // --- grpc_finalize ------------------------------------------------------
+    let history = session.finalize();
+    println!("\nsession closed; {} calls in the history:", history.len());
+    for (server, stats) in history {
+        println!("  {server}: total {:.2} s", stats.total);
+    }
+
+    for s in seds {
+        s.shutdown();
+    }
+    println!("done.");
+}

@@ -1,0 +1,98 @@
+//! Plug-in schedulers head-to-head — the paper's own improvement hint made
+//! concrete: "The equal distribution of the requests does not take into
+//! account the machines processing power ... A better makespan could be
+//! attained by writing a plug-in scheduler."
+//!
+//! Runs the same 1+100 campaign under four policies, including a custom
+//! plug-in defined right here in the example, and compares makespans.
+//!
+//! Run with: `cargo run --release --example plugin_scheduler`
+
+use cosmogrid::campaign::{fmt_hms, run_campaign, CampaignConfig};
+use diet_core::monitor::Estimate;
+use diet_core::sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
+use std::sync::Arc;
+
+/// A user-written plug-in: weighted round-robin that hands faster machines
+/// proportionally more requests, without needing any execution history.
+struct SpeedProportional {
+    counter: parking_lot::Mutex<f64>,
+}
+
+impl SpeedProportional {
+    fn new() -> Self {
+        SpeedProportional {
+            counter: parking_lot::Mutex::new(0.0),
+        }
+    }
+}
+
+impl Scheduler for SpeedProportional {
+    fn select(&self, candidates: &[Estimate]) -> usize {
+        // Walk a virtual wheel whose sectors are proportional to speed.
+        let total: f64 = candidates.iter().map(|c| c.speed_factor).sum();
+        let mut c = self.counter.lock();
+        *c += total / candidates.len() as f64;
+        let mut point = *c % total;
+        for (i, e) in candidates.iter().enumerate() {
+            point -= e.speed_factor;
+            if point <= 0.0 {
+                return i;
+            }
+        }
+        candidates.len() - 1
+    }
+
+    fn name(&self) -> &'static str {
+        "speed_proportional(custom)"
+    }
+}
+
+fn main() {
+    let policies: Vec<Arc<dyn Scheduler>> = vec![
+        Arc::new(RoundRobin::new()),
+        Arc::new(RandomSched::new(2007)),
+        Arc::new(MinQueue),
+        Arc::new(WeightedSpeed),
+        Arc::new(SpeedProportional::new()),
+    ];
+
+    println!("same campaign (1 + 100 simulations, 11 heterogeneous SeDs), five schedulers:\n");
+    println!(
+        "  {:<28} {:>11} {:>9} {:>10}",
+        "scheduler", "makespan", "speedup", "vs paper"
+    );
+    let paper = 58723.0; // 16h18m43s
+    let mut rows = Vec::new();
+    for sched in policies {
+        let r = run_campaign(CampaignConfig {
+            scheduler: sched,
+            ..CampaignConfig::default()
+        });
+        println!(
+            "  {:<28} {:>11} {:>8.1}x {:>9.2}x",
+            r.scheduler,
+            fmt_hms(r.makespan),
+            r.speedup(),
+            r.makespan / paper
+        );
+        rows.push((r.scheduler, r.makespan));
+    }
+
+    let rr = rows
+        .iter()
+        .find(|(n, _)| *n == "round_robin")
+        .map(|(_, m)| *m)
+        .unwrap();
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!(
+        "\nbest: {} — {:.1}% shorter makespan than the default round-robin,\n\
+         confirming the paper's conjecture that a plug-in scheduler improves\n\
+         on equal distribution over heterogeneous Opterons.",
+        best.0,
+        (1.0 - best.1 / rr) * 100.0
+    );
+}

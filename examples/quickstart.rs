@@ -1,0 +1,70 @@
+//! Quickstart: stand up a tiny DIET hierarchy, register the cosmology
+//! services, and run one `ramsesZoom1` call end-to-end — the minimal version
+//! of the paper's client/server pair.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cosmogrid::archive;
+use cosmogrid::namelist::default_run_namelist;
+use cosmogrid::services::{cosmology_service_table, zoom1_profile};
+use diet_core::agent::{AgentNode, MasterAgent};
+use diet_core::client::DietClient;
+use diet_core::sched::RoundRobin;
+use diet_core::sed::{SedConfig, SedHandle};
+use std::sync::Arc;
+
+fn main() {
+    // --- server side: two SeDs, each registering ramsesZoom1/ramsesZoom2 ---
+    let sed_a = SedHandle::spawn(
+        SedConfig::new("cluster-a/0", 1.0),
+        cosmology_service_table(),
+    );
+    let sed_b = SedHandle::spawn(
+        SedConfig::new("cluster-b/0", 1.1),
+        cosmology_service_table(),
+    );
+
+    // --- agent hierarchy: one LA per "cluster", one MA on top -------------
+    let la_a = AgentNode::leaf("LA-a", vec![sed_a.clone()]);
+    let la_b = AgentNode::leaf("LA-b", vec![sed_b.clone()]);
+    let ma = MasterAgent::new("MA", vec![la_a, la_b], Arc::new(RoundRobin::new()));
+    println!(
+        "hierarchy up: {} SeDs, {} declare ramsesZoom1",
+        ma.sed_count(),
+        ma.solver_count("ramsesZoom1")
+    );
+
+    // --- client side: diet_initialize, build the profile, diet_call -------
+    let client = DietClient::initialize(ma);
+    let mut namelist = default_run_namelist(8, 50.0);
+    namelist.set("OUTPUT_PARAMS", "aout", "0.5, 1.0");
+
+    println!("submitting ramsesZoom1 (8^3 particles, 50 Mpc/h box)...");
+    let (result, stats) = client
+        .call(zoom1_profile(&namelist, 8))
+        .expect("ramsesZoom1 call failed");
+
+    // --- read the OUT arguments: error code, then the tarball -------------
+    let code = result.get_i32(3).expect("error-code argument");
+    println!(
+        "solve done on some SeD: status={code}, finding={:.1} ms, solve={:.2} s",
+        stats.finding * 1e3,
+        stats.solve
+    );
+    assert_eq!(code, 0, "service reported failure");
+
+    let (name, tar) = result.get_file(2).expect("result tarball");
+    let entries = archive::unpack(&tar.clone()).expect("valid tar");
+    println!("received {name}: {} bytes, {} entries", tar.len(), entries.len());
+    let catalog = archive::find(&entries, "halos/catalog.txt").expect("halo catalog");
+    let text = String::from_utf8_lossy(&catalog.data);
+    let n_halos = text.lines().count().saturating_sub(1);
+    println!("halo catalog ({n_halos} halos):");
+    for line in text.lines().take(6) {
+        println!("  {line}");
+    }
+
+    sed_a.shutdown();
+    sed_b.shutdown();
+    println!("done.");
+}

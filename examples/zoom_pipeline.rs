@@ -1,0 +1,120 @@
+//! The full two-part zoom workflow of the paper's Section 3, end-to-end and
+//! for real: `ramsesZoom1` finds dark-matter halos in a low-resolution box,
+//! then `ramsesZoom2` re-simulates the most massive halos at higher
+//! resolution ("Russian-doll" nested boxes) and post-processes them through
+//! the whole GALICS chain (HaloMaker → TreeMaker → GalaxyMaker).
+//!
+//! Run with: `cargo run --release --example zoom_pipeline`
+
+use cosmogrid::archive;
+use cosmogrid::namelist::default_run_namelist;
+use cosmogrid::services::{cosmology_service_table, zoom1_profile, zoom2_profile};
+use diet_core::agent::{AgentNode, MasterAgent};
+use diet_core::client::DietClient;
+use diet_core::sched::MinQueue;
+use diet_core::sed::{SedConfig, SedHandle};
+use std::sync::Arc;
+
+fn main() {
+    // Three "clusters" so the zoom requests can run in parallel.
+    let seds: Vec<_> = (0..3)
+        .map(|i| {
+            SedHandle::spawn(
+                SedConfig::new(&format!("cluster-{i}/0"), 1.0),
+                cosmology_service_table(),
+            )
+        })
+        .collect();
+    let las: Vec<_> = seds
+        .iter()
+        .enumerate()
+        .map(|(i, s)| AgentNode::leaf(&format!("LA{i}"), vec![s.clone()]))
+        .collect();
+    let ma = MasterAgent::new("MA", las, Arc::new(MinQueue));
+    let client = DietClient::initialize(ma);
+
+    // ---- part 1: low-resolution box → halo catalog ------------------------
+    let mut namelist = default_run_namelist(8, 50.0);
+    namelist.set("OUTPUT_PARAMS", "aout", "0.5, 1.0");
+    println!("part 1: ramsesZoom1 at 8^3 in a 50 Mpc/h box ...");
+    let (r1, s1) = client
+        .call(zoom1_profile(&namelist, 8))
+        .expect("zoom1 failed");
+    assert_eq!(r1.get_i32(3).unwrap(), 0);
+    let (_, tar) = r1.get_file(2).unwrap();
+    let entries = archive::unpack(&tar.clone()).unwrap();
+    let catalog = archive::find(&entries, "halos/catalog.txt").unwrap();
+    let text = String::from_utf8_lossy(&catalog.data);
+
+    // Parse the most massive halos out of the catalog (x y z in box units).
+    let mut halos: Vec<(f64, [i32; 3])> = text
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            let mass: f64 = f.get(2)?.parse().ok()?;
+            let pos: Vec<i32> = (3..6)
+                .filter_map(|i| f.get(i)?.parse::<f64>().ok())
+                .map(|x| (x * 100.0).round() as i32)
+                .collect();
+            Some((mass, [pos[0], pos[1], pos[2]]))
+        })
+        .collect();
+    halos.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!(
+        "part 1 done in {:.1}s: {} halos found; re-simulating the top {}",
+        s1.solve,
+        halos.len(),
+        halos.len().min(3)
+    );
+
+    // ---- part 2: simultaneous zoom re-simulations -------------------------
+    // "Similar zoom simulations are performed in parallel for each entry of
+    // the halo catalog."
+    let mut handles = Vec::new();
+    for (rank, (mass, center)) in halos.iter().take(3).enumerate() {
+        println!(
+            "  zoom {rank}: halo mass {mass:.2e} M_sun/h at {center:?} (% of box), 2 levels"
+        );
+        let p = zoom2_profile(&namelist, 8, 50, *center, 2);
+        let h = client.async_call(p).expect("zoom2 submit failed");
+        println!("    -> mapped to {}", h.server());
+        handles.push((rank, h));
+    }
+    for (rank, h) in handles {
+        let server = h.server().to_string();
+        let (r2, s2) = h.wait().expect("zoom2 failed");
+        assert_eq!(r2.get_i32(8).unwrap(), 0, "zoom {rank} reported failure");
+        let (_, tar) = r2.get_file(7).unwrap();
+        let entries = archive::unpack(&tar.clone()).unwrap();
+        let gal = archive::find(&entries, "galaxies/catalog.txt").unwrap();
+        let n_gals = String::from_utf8_lossy(&gal.data)
+            .lines()
+            .count()
+            .saturating_sub(1);
+        let tree = archive::find(&entries, "tree/mergertree.txt").unwrap();
+        let n_nodes = String::from_utf8_lossy(&tree.data)
+            .lines()
+            .count()
+            .saturating_sub(1);
+        println!(
+            "  zoom {rank} done on {server}: {:.1}s solve, latency {:.3}s, \
+             merger tree {n_nodes} nodes, {n_gals} galaxies",
+            s2.solve,
+            s2.latency()
+        );
+    }
+
+    println!(
+        "pipeline complete; total middleware overhead across calls: {:.1} ms",
+        client
+            .history()
+            .iter()
+            .map(|(_, s)| s.overhead())
+            .sum::<f64>()
+            * 1e3
+    );
+    for s in seds {
+        s.shutdown();
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every evaluation artifact (E1-E10, A1-A2). Each binary
+# self-checks its shape assertions and exits non-zero on divergence;
+# figure data lands as CSV under target/experiments/.
+set -euo pipefail
+cd "$(dirname "$0")"
+cargo build --release -p bench --bins
+for exp in exp_campaign exp_fig4_gantt exp_fig4_exectime exp_fig5_finding \
+           exp_fig5_latency exp_overhead exp_sched_ablation exp_zoom_quality \
+           exp_failure_recovery exp_fig2_projection \
+           exp_ablation_decomposition exp_ablation_poisson; do
+    echo "===================================================================="
+    echo ">>> $exp"
+    echo "===================================================================="
+    ./target/release/$exp
+    echo
+done
+echo "all experiments reproduced their paper shapes."

@@ -1,0 +1,252 @@
+//! POSIX ustar tar archives.
+//!
+//! "The results of the simulation are packed into a tarball file if it
+//! succeeded. Thus we need to return this file and an error code." The
+//! services build their OUT argument with this module: a dependency-free
+//! ustar writer/reader producing archives any system `tar` can list.
+//! (The original pipeline gzipped them too; compression is orthogonal to the
+//! middleware behaviour and is skipped.)
+
+use bytes::Bytes;
+
+const BLOCK: usize = 512;
+
+/// One archive member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub name: String,
+    pub data: Bytes,
+}
+
+/// Errors from reading an archive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TarError {
+    Truncated,
+    BadChecksum { name: String },
+    BadField(&'static str),
+    NameTooLong(String),
+}
+
+impl std::fmt::Display for TarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TarError::Truncated => write!(f, "truncated tar archive"),
+            TarError::BadChecksum { name } => write!(f, "bad checksum for entry {name}"),
+            TarError::BadField(w) => write!(f, "malformed header field: {w}"),
+            TarError::NameTooLong(n) => write!(f, "entry name too long: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TarError {}
+
+fn octal_field(buf: &mut [u8], value: u64) {
+    // Write as zero-padded octal with trailing NUL, field width buf.len().
+    let s = format!("{value:0width$o}\0", width = buf.len() - 1);
+    buf.copy_from_slice(&s.as_bytes()[..buf.len()]);
+}
+
+fn parse_octal(field: &[u8]) -> Result<u64, TarError> {
+    let s: String = field
+        .iter()
+        .take_while(|&&b| b != 0 && b != b' ')
+        .map(|&b| b as char)
+        .collect();
+    if s.is_empty() {
+        return Ok(0);
+    }
+    u64::from_str_radix(s.trim(), 8).map_err(|_| TarError::BadField("octal"))
+}
+
+fn header_for(name: &str, size: u64) -> Result<[u8; BLOCK], TarError> {
+    if name.len() > 100 {
+        return Err(TarError::NameTooLong(name.to_string()));
+    }
+    let mut h = [0u8; BLOCK];
+    h[..name.len()].copy_from_slice(name.as_bytes()); // name
+    octal_field(&mut h[100..108], 0o644); // mode
+    octal_field(&mut h[108..116], 0); // uid
+    octal_field(&mut h[116..124], 0); // gid
+    octal_field(&mut h[124..136], size); // size
+    octal_field(&mut h[136..148], 0); // mtime (deterministic archives)
+    h[156] = b'0'; // typeflag: regular file
+    h[257..263].copy_from_slice(b"ustar\0"); // magic
+    h[263..265].copy_from_slice(b"00"); // version
+    // checksum: computed with the checksum field filled with spaces
+    h[148..156].copy_from_slice(b"        ");
+    let sum: u64 = h.iter().map(|&b| b as u64).sum();
+    let s = format!("{sum:06o}\0 ");
+    h[148..156].copy_from_slice(&s.as_bytes()[..8]);
+    Ok(h)
+}
+
+/// Build a tar archive from entries.
+///
+/// ```
+/// use cosmogrid::archive::{pack, unpack, Entry};
+/// use bytes::Bytes;
+/// let entries = vec![Entry { name: "halos/catalog.txt".into(),
+///                            data: Bytes::from_static(b"# id mass\n") }];
+/// let tar = pack(&entries).unwrap();
+/// assert_eq!(unpack(&tar).unwrap(), entries);
+/// ```
+pub fn pack(entries: &[Entry]) -> Result<Bytes, TarError> {
+    let mut out = Vec::new();
+    for e in entries {
+        let h = header_for(&e.name, e.data.len() as u64)?;
+        out.extend_from_slice(&h);
+        out.extend_from_slice(&e.data);
+        let pad = (BLOCK - e.data.len() % BLOCK) % BLOCK;
+        out.extend(std::iter::repeat(0u8).take(pad));
+    }
+    // End-of-archive: two zero blocks.
+    out.extend(std::iter::repeat(0u8).take(2 * BLOCK));
+    Ok(Bytes::from(out))
+}
+
+/// Read all entries back.
+pub fn unpack(data: &Bytes) -> Result<Vec<Entry>, TarError> {
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    loop {
+        if off + BLOCK > data.len() {
+            return Err(TarError::Truncated);
+        }
+        let h = &data[off..off + BLOCK];
+        if h.iter().all(|&b| b == 0) {
+            break; // end-of-archive marker
+        }
+        let name: String = h[..100]
+            .iter()
+            .take_while(|&&b| b != 0)
+            .map(|&b| b as char)
+            .collect();
+        // Verify checksum.
+        let stored = parse_octal(&h[148..156])?;
+        let computed: u64 = h
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if (148..156).contains(&i) { 32 } else { b as u64 })
+            .sum();
+        if stored != computed {
+            return Err(TarError::BadChecksum { name });
+        }
+        let size = parse_octal(&h[124..136])? as usize;
+        let body_start = off + BLOCK;
+        if body_start + size > data.len() {
+            return Err(TarError::Truncated);
+        }
+        entries.push(Entry {
+            name,
+            data: data.slice(body_start..body_start + size),
+        });
+        let pad = (BLOCK - size % BLOCK) % BLOCK;
+        off = body_start + size + pad;
+    }
+    Ok(entries)
+}
+
+/// Find an entry by name.
+pub fn find<'a>(entries: &'a [Entry], name: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Entry> {
+        vec![
+            Entry {
+                name: "halos/catalog.txt".into(),
+                data: Bytes::from_static(b"id mass x y z\n0 1.5 0.2 0.3 0.4\n"),
+            },
+            Entry {
+                name: "snap_0001.bin".into(),
+                data: Bytes::from(vec![7u8; 1000]),
+            },
+            Entry {
+                name: "empty.log".into(),
+                data: Bytes::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = sample();
+        let tar = pack(&entries).unwrap();
+        let back = unpack(&tar).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn blocks_are_512_aligned() {
+        let tar = pack(&sample()).unwrap();
+        assert_eq!(tar.len() % BLOCK, 0);
+        // 3 headers + 1 block (32B) + 2 blocks (1000B) + 0 + 2 EOA = 8 blocks.
+        assert_eq!(tar.len(), 8 * BLOCK);
+    }
+
+    #[test]
+    fn ustar_magic_present() {
+        let tar = pack(&sample()).unwrap();
+        assert_eq!(&tar[257..262], b"ustar");
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let tar = pack(&sample()).unwrap();
+        let mut v = tar.to_vec();
+        v[0] ^= 0x01; // flip a bit in the first name byte
+        match unpack(&Bytes::from(v)) {
+            Err(TarError::BadChecksum { .. }) => {}
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_archive_detected() {
+        let tar = pack(&sample()).unwrap();
+        let cut = tar.slice(0..tar.len() - 3 * BLOCK - 10);
+        assert!(unpack(&cut).is_err());
+    }
+
+    #[test]
+    fn long_names_rejected() {
+        let e = Entry {
+            name: "x".repeat(150),
+            data: Bytes::new(),
+        };
+        assert!(matches!(pack(&[e]), Err(TarError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn find_locates_entries() {
+        let entries = sample();
+        assert!(find(&entries, "snap_0001.bin").is_some());
+        assert!(find(&entries, "nope").is_none());
+    }
+
+    #[test]
+    fn system_tar_can_list_if_available() {
+        // Best-effort interoperability check; skipped when `tar` is absent.
+        let tarball = pack(&sample()).unwrap();
+        let dir = std::env::temp_dir().join("cosmogrid_tar_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("result.tar");
+        std::fs::write(&path, &tarball).unwrap();
+        if let Ok(out) = std::process::Command::new("tar")
+            .arg("-tf")
+            .arg(&path)
+            .output()
+        {
+            if out.status.success() {
+                let listing = String::from_utf8_lossy(&out.stdout);
+                assert!(listing.contains("halos/catalog.txt"), "listing: {listing}");
+                assert!(listing.contains("snap_0001.bin"));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

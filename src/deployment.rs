@@ -1,0 +1,94 @@
+//! Bridge between the platform world and the middleware world: turn a
+//! gridsim [`DeploymentPlan`] (OAR reservations on Grid'5000 clusters) into
+//! a diet-core [`DeploymentSpec`] (MA / LA / SeD hierarchy), completing the
+//! paper's Section 5.1 pipeline: reserve → deploy hierarchy → register
+//! services → run the campaign.
+
+use diet_core::deploy::{DeploymentSpec, LaSpec, SedSpec};
+use gridsim::plan::DeploymentPlan;
+use gridsim::platform::Grid5000;
+
+/// Build the middleware deployment from a reservation plan: one Local Agent
+/// per cluster that obtained at least one SeD slot, exactly the paper's
+/// hierarchy shape ("6 LA: one per cluster ... 11 SEDs: two per cluster
+/// (one cluster of Lyon had only one SED)").
+pub fn spec_from_plan(plan: &DeploymentPlan, platform: &Grid5000) -> DeploymentSpec {
+    let las = plan
+        .local_agents(platform)
+        .into_iter()
+        .map(|(cluster_name, labels)| {
+            let speed = platform
+                .clusters
+                .iter()
+                .find(|c| c.name == cluster_name)
+                .map(|c| c.sed_speed())
+                .unwrap_or(1.0);
+            LaSpec {
+                name: format!("LA-{cluster_name}"),
+                seds: labels
+                    .into_iter()
+                    .map(|label| SedSpec {
+                        label,
+                        speed_factor: speed,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    DeploymentSpec {
+        ma_name: "MA".into(),
+        las,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::cosmology_service_table;
+    use diet_core::sched::RoundRobin;
+    use gridsim::plan::plan_deployment;
+    use std::sync::Arc;
+
+    #[test]
+    fn reservation_to_running_hierarchy() {
+        // Reserve → plan → spec → instantiate → the services are reachable.
+        let platform = Grid5000::paper_deployment();
+        let bg: Vec<usize> = platform
+            .clusters
+            .iter()
+            .map(|c| {
+                if c.name == "lyon-sagittaire" {
+                    c.machines - 26
+                } else {
+                    c.machines.saturating_sub(2 * c.machines_per_sed)
+                }
+            })
+            .collect();
+        let plan = plan_deployment(&platform, 2, 16, 17.0 * 3600.0, &bg, 0.0);
+        assert_eq!(plan.total_seds(), 11);
+
+        let spec = spec_from_plan(&plan, &platform);
+        assert_eq!(spec.total_seds(), 11);
+        assert_eq!(spec.las.len(), 6);
+        spec.validate().unwrap();
+
+        let (ma, seds) = spec
+            .instantiate(Arc::new(RoundRobin::new()), |_| cosmology_service_table())
+            .unwrap();
+        assert_eq!(ma.sed_count(), 11);
+        assert_eq!(ma.solver_count("ramsesZoom2"), 11);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn empty_plan_yields_invalid_spec() {
+        let platform = Grid5000::paper_deployment();
+        let bg: Vec<usize> = platform.clusters.iter().map(|c| c.machines).collect();
+        let plan = plan_deployment(&platform, 2, 16, 3600.0, &bg, 0.0);
+        assert_eq!(plan.total_seds(), 0);
+        let spec = spec_from_plan(&plan, &platform);
+        assert!(spec.validate().is_err(), "a SeD-less spec must not validate");
+    }
+}

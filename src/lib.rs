@@ -1,0 +1,39 @@
+//! # cosmogrid — cosmological simulations using grid middleware
+//!
+//! The top-level crate of this reproduction of *"Cosmological Simulations
+//! using Grid Middleware"* (Caniou, Caron, Depardon, Courtois, Teyssier,
+//! 2007). It wires the four substrate crates together exactly as the paper's
+//! system did:
+//!
+//! * [`diet_core`] — the DIET-like GridRPC middleware (client / MA / LA /
+//!   SeD hierarchy, profiles, plug-in schedulers);
+//! * [`ramses`] — the AMR N-body + hydro simulation kernel;
+//! * [`grafic`] — Gaussian-random-field initial conditions (single-level and
+//!   nested zoom);
+//! * [`galics`] — HaloMaker / TreeMaker / GalaxyMaker post-processing;
+//! * [`gridsim`] — a discrete-event model of the Grid'5000 testbed.
+//!
+//! On top of those, this crate provides:
+//!
+//! * [`namelist`] — the RAMSES parameter file format the client ships as
+//!   profile argument 0;
+//! * [`archive`] — POSIX ustar tarballs ("the results of the simulation are
+//!   packed into a tarball file");
+//! * [`services`] — the actual `ramsesZoom1` / `ramsesZoom2` solve
+//!   functions, runnable for real at laptop scale on any SeD;
+//! * [`workflow`] — the client-side two-part protocol (part 1 → halo
+//!   catalog → simultaneous part-2 fan-out) over the live middleware;
+//! * [`campaign`] — the Grid'5000 campaign simulator that reproduces the
+//!   paper's Section 5 experiment (1 + 100 simulations over 11 SeDs) in
+//!   virtual time, for any scheduler plug-in.
+
+pub mod archive;
+pub mod campaign;
+pub mod deployment;
+pub mod namelist;
+pub mod services;
+pub mod workflow;
+
+pub use campaign::{CampaignConfig, CampaignResult};
+pub use namelist::Namelist;
+pub use workflow::{WorkflowReport, ZoomWorkflow};

@@ -1,0 +1,311 @@
+//! RAMSES namelist parameter files.
+//!
+//! The client's first profile argument is "a file containing parameters for
+//! RAMSES" — a Fortran namelist. This module reads and writes the subset of
+//! the format the services need: named groups of `key = value` pairs,
+//!
+//! ```text
+//! &RUN_PARAMS
+//!   cosmo = .true.
+//!   levelmin = 7
+//!   boxlen = 100.0
+//! /
+//! &OUTPUT_PARAMS
+//!   aout = 0.3, 0.5, 1.0
+//! /
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed namelist: ordered groups of key/value entries.
+///
+/// ```
+/// use cosmogrid::namelist::Namelist;
+/// let nl = Namelist::parse("&AMR_PARAMS\n  boxlen = 100.0\n/\n").unwrap();
+/// assert_eq!(nl.get_f64("AMR_PARAMS", "boxlen").unwrap(), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Namelist {
+    /// group name → (key → raw value string)
+    pub groups: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// Parse errors with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamelistError {
+    EntryOutsideGroup { line: usize },
+    UnterminatedGroup(String),
+    NestedGroup { line: usize },
+    MissingKey { line: usize },
+    MissingValue { group: String, key: String },
+    BadValue { group: String, key: String, want: &'static str },
+}
+
+impl fmt::Display for NamelistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamelistError::EntryOutsideGroup { line } => {
+                write!(f, "line {line}: entry outside any &GROUP")
+            }
+            NamelistError::UnterminatedGroup(g) => write!(f, "group &{g} not closed with /"),
+            NamelistError::NestedGroup { line } => write!(f, "line {line}: nested &GROUP"),
+            NamelistError::MissingKey { line } => write!(f, "line {line}: missing key"),
+            NamelistError::MissingValue { group, key } => {
+                write!(f, "missing {group}.{key}")
+            }
+            NamelistError::BadValue { group, key, want } => {
+                write!(f, "{group}.{key}: expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NamelistError {}
+
+impl Namelist {
+    pub fn parse(text: &str) -> Result<Self, NamelistError> {
+        let mut nl = Namelist::default();
+        let mut current: Option<String> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            // Strip comments (! to end of line) and whitespace.
+            let s = match raw.find('!') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if s.is_empty() {
+                continue;
+            }
+            if let Some(name) = s.strip_prefix('&') {
+                if current.is_some() {
+                    return Err(NamelistError::NestedGroup { line });
+                }
+                let name = name.trim().to_uppercase();
+                nl.groups.entry(name.clone()).or_default();
+                current = Some(name);
+            } else if s == "/" {
+                current = None;
+            } else {
+                let group = current
+                    .clone()
+                    .ok_or(NamelistError::EntryOutsideGroup { line })?;
+                // Possibly several comma-free assignments per line; RAMSES
+                // uses one per line — accept `key = value[, value...]`.
+                let (k, v) = s
+                    .split_once('=')
+                    .ok_or(NamelistError::MissingKey { line })?;
+                let k = k.trim().to_lowercase();
+                if k.is_empty() {
+                    return Err(NamelistError::MissingKey { line });
+                }
+                nl.groups
+                    .get_mut(&group)
+                    .unwrap()
+                    .insert(k, v.trim().to_string());
+            }
+        }
+        if let Some(g) = current {
+            return Err(NamelistError::UnterminatedGroup(g));
+        }
+        Ok(nl)
+    }
+
+    /// Serialise back to namelist text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (g, entries) in &self.groups {
+            out.push_str(&format!("&{g}\n"));
+            for (k, v) in entries {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+            out.push_str("/\n");
+        }
+        out
+    }
+
+    pub fn set(&mut self, group: &str, key: &str, value: impl fmt::Display) {
+        self.groups
+            .entry(group.to_uppercase())
+            .or_default()
+            .insert(key.to_lowercase(), value.to_string());
+    }
+
+    pub fn get(&self, group: &str, key: &str) -> Option<&str> {
+        self.groups
+            .get(&group.to_uppercase())
+            .and_then(|g| g.get(&key.to_lowercase()))
+            .map(|s| s.as_str())
+    }
+
+    fn required(&self, group: &str, key: &str) -> Result<&str, NamelistError> {
+        self.get(group, key).ok_or(NamelistError::MissingValue {
+            group: group.to_uppercase(),
+            key: key.to_lowercase(),
+        })
+    }
+
+    pub fn get_f64(&self, group: &str, key: &str) -> Result<f64, NamelistError> {
+        self.required(group, key)?
+            .parse()
+            .map_err(|_| NamelistError::BadValue {
+                group: group.to_uppercase(),
+                key: key.to_lowercase(),
+                want: "float",
+            })
+    }
+
+    pub fn get_i64(&self, group: &str, key: &str) -> Result<i64, NamelistError> {
+        self.required(group, key)?
+            .parse()
+            .map_err(|_| NamelistError::BadValue {
+                group: group.to_uppercase(),
+                key: key.to_lowercase(),
+                want: "integer",
+            })
+    }
+
+    /// Fortran logicals: `.true.` / `.false.` (also bare true/false/T/F).
+    pub fn get_bool(&self, group: &str, key: &str) -> Result<bool, NamelistError> {
+        match self
+            .required(group, key)?
+            .trim_matches('.')
+            .to_lowercase()
+            .as_str()
+        {
+            "true" | "t" => Ok(true),
+            "false" | "f" => Ok(false),
+            _ => Err(NamelistError::BadValue {
+                group: group.to_uppercase(),
+                key: key.to_lowercase(),
+                want: "logical",
+            }),
+        }
+    }
+
+    /// Comma-separated float list (`aout = 0.3, 0.5, 1.0`).
+    pub fn get_f64_list(&self, group: &str, key: &str) -> Result<Vec<f64>, NamelistError> {
+        self.required(group, key)?
+            .split(',')
+            .map(|s| {
+                s.trim().parse().map_err(|_| NamelistError::BadValue {
+                    group: group.to_uppercase(),
+                    key: key.to_lowercase(),
+                    want: "float list",
+                })
+            })
+            .collect()
+    }
+}
+
+/// Default namelist for the paper's first-part run: 128³, 100 Mpc/h.
+/// (The services downscale the resolution for laptop execution; the namelist
+/// carries the *requested* values exactly as the client would write them.)
+pub fn default_run_namelist(resolution: i64, box_mpc_h: f64) -> Namelist {
+    let mut nl = Namelist::default();
+    nl.set("RUN_PARAMS", "cosmo", ".true.");
+    nl.set("RUN_PARAMS", "pic", ".true.");
+    nl.set("RUN_PARAMS", "poisson", ".true.");
+    nl.set("AMR_PARAMS", "levelmin", (resolution as f64).log2() as i64);
+    nl.set("AMR_PARAMS", "levelmax", (resolution as f64).log2() as i64 + 6);
+    nl.set("AMR_PARAMS", "boxlen", box_mpc_h);
+    nl.set("INIT_PARAMS", "aexp_ini", 0.1);
+    nl.set("OUTPUT_PARAMS", "aout", "0.3, 0.5, 1.0");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+! RAMSES run parameters
+&RUN_PARAMS
+  cosmo = .true.
+  nrestart = 0
+/
+&AMR_PARAMS
+  levelmin = 7   ! 128^3
+  boxlen = 100.0
+/
+&OUTPUT_PARAMS
+  aout = 0.3, 0.5, 1.0
+/
+"#;
+
+    #[test]
+    fn parses_groups_keys_comments() {
+        let nl = Namelist::parse(SAMPLE).unwrap();
+        assert_eq!(nl.groups.len(), 3);
+        assert_eq!(nl.get_i64("amr_params", "levelmin").unwrap(), 7);
+        assert!((nl.get_f64("AMR_PARAMS", "boxlen").unwrap() - 100.0).abs() < 1e-12);
+        assert!(nl.get_bool("RUN_PARAMS", "cosmo").unwrap());
+        assert_eq!(
+            nl.get_f64_list("OUTPUT_PARAMS", "aout").unwrap(),
+            vec![0.3, 0.5, 1.0]
+        );
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let nl = Namelist::parse(SAMPLE).unwrap();
+        let again = Namelist::parse(&nl.render()).unwrap();
+        assert_eq!(nl, again);
+    }
+
+    #[test]
+    fn missing_key_reported_with_names() {
+        let nl = Namelist::parse(SAMPLE).unwrap();
+        match nl.get_f64("AMR_PARAMS", "nosuch") {
+            Err(NamelistError::MissingValue { group, key }) => {
+                assert_eq!(group, "AMR_PARAMS");
+                assert_eq!(key, "nosuch");
+            }
+            other => panic!("expected MissingValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_outside_group_rejected() {
+        assert!(matches!(
+            Namelist::parse("x = 1"),
+            Err(NamelistError::EntryOutsideGroup { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn unterminated_group_rejected() {
+        assert!(matches!(
+            Namelist::parse("&G\nx = 1"),
+            Err(NamelistError::UnterminatedGroup(_))
+        ));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let nl = Namelist::parse("&G\nx = abc\n/").unwrap();
+        assert!(matches!(
+            nl.get_f64("G", "x"),
+            Err(NamelistError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn default_namelist_is_parseable_and_complete() {
+        let nl = default_run_namelist(128, 100.0);
+        let text = nl.render();
+        let back = Namelist::parse(&text).unwrap();
+        assert_eq!(back.get_i64("AMR_PARAMS", "levelmin").unwrap(), 7);
+        assert!((back.get_f64("AMR_PARAMS", "boxlen").unwrap() - 100.0).abs() < 1e-12);
+        assert_eq!(back.get_f64_list("OUTPUT_PARAMS", "aout").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut nl = Namelist::default();
+        nl.set("G", "k", 1);
+        nl.set("G", "k", 2);
+        assert_eq!(nl.get_i64("G", "k").unwrap(), 2);
+    }
+}

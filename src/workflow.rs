@@ -1,0 +1,219 @@
+//! The client-side zoom workflow.
+//!
+//! The paper's client performs a fixed two-part protocol (Section 5.1): one
+//! `ramsesZoom1` call, then — on receiving its results — simultaneous
+//! `ramsesZoom2` calls for the halos of interest. [`ZoomWorkflow`] packages
+//! that protocol over the live middleware so examples, tests and users don't
+//! re-implement the catalog parsing and request fan-out.
+
+use crate::archive;
+use crate::namelist::Namelist;
+use crate::services::{status, zoom1_profile, zoom2_profile};
+use diet_core::client::{CallStats, DietClient};
+use diet_core::error::DietError;
+
+/// One halo parsed back from a `ramsesZoom1` result catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogHalo {
+    pub id: u32,
+    pub npart: usize,
+    pub mass_msun: f64,
+    /// Position as integer percent of the box (the wire format of the
+    /// paper's `cx, cy, cz` profile arguments, which are `DIET_INT`s).
+    pub center_pct: [i32; 3],
+}
+
+/// Result of one zoom re-simulation.
+#[derive(Debug, Clone)]
+pub struct ZoomResult {
+    pub halo: CatalogHalo,
+    pub server: String,
+    pub stats: CallStats,
+    /// Error code from the service (0 = success).
+    pub status: i32,
+    /// Number of galaxies in the returned catalog.
+    pub n_galaxies: usize,
+    /// Number of merger-tree nodes.
+    pub n_tree_nodes: usize,
+}
+
+/// Outcome of the full workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowReport {
+    pub halos_found: usize,
+    pub zooms: Vec<ZoomResult>,
+    /// Part-1 call stats.
+    pub part1: CallStats,
+}
+
+impl WorkflowReport {
+    /// Total middleware overhead across all calls (finding + send).
+    pub fn total_overhead(&self) -> f64 {
+        self.part1.overhead() + self.zooms.iter().map(|z| z.stats.overhead()).sum::<f64>()
+    }
+
+    pub fn all_succeeded(&self) -> bool {
+        self.zooms.iter().all(|z| z.status == status::OK)
+    }
+}
+
+/// The workflow driver.
+pub struct ZoomWorkflow {
+    pub namelist: Namelist,
+    /// Particle resolution per dimension for both parts.
+    pub resolution: i32,
+    /// Box size, Mpc/h (integer — the paper ships it as `DIET_INT`).
+    pub size_mpc_h: i32,
+    /// Zoom levels per re-simulation (the paper's `nbBox`).
+    pub nb_box: i32,
+    /// Re-simulate at most this many halos, most massive first.
+    pub max_zooms: usize,
+}
+
+impl ZoomWorkflow {
+    pub fn new(namelist: Namelist, resolution: i32, size_mpc_h: i32) -> Self {
+        ZoomWorkflow {
+            namelist,
+            resolution,
+            size_mpc_h,
+            nb_box: 2,
+            max_zooms: 3,
+        }
+    }
+
+    /// Parse the halo catalog text returned by `ramsesZoom1`.
+    pub fn parse_catalog(text: &str) -> Vec<CatalogHalo> {
+        let mut out: Vec<CatalogHalo> = text
+            .lines()
+            .skip(1)
+            .filter_map(|l| {
+                let f: Vec<&str> = l.split_whitespace().collect();
+                let id: u32 = f.first()?.parse().ok()?;
+                let npart: usize = f.get(1)?.parse().ok()?;
+                let mass: f64 = f.get(2)?.parse().ok()?;
+                let mut c = [0i32; 3];
+                for d in 0..3 {
+                    let x: f64 = f.get(3 + d)?.parse().ok()?;
+                    c[d] = (x * 100.0).round() as i32;
+                }
+                Some(CatalogHalo {
+                    id,
+                    npart,
+                    mass_msun: mass,
+                    center_pct: c,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| b.mass_msun.partial_cmp(&a.mass_msun).unwrap());
+        out
+    }
+
+    /// Run the whole protocol: part 1, catalog extraction, simultaneous
+    /// part-2 calls, result collection.
+    pub fn run(&self, client: &DietClient) -> Result<WorkflowReport, DietError> {
+        // ---- part 1 -------------------------------------------------------
+        let (r1, part1) = client.call(zoom1_profile(&self.namelist, self.resolution))?;
+        let code = r1.get_i32(3)?;
+        if code != status::OK {
+            return Err(DietError::SolveFailed {
+                service: "ramsesZoom1".into(),
+                status: code,
+            });
+        }
+        let (_, tar) = r1.get_file(2)?;
+        let entries = archive::unpack(&tar.clone())
+            .map_err(|e| DietError::Codec(format!("result tar: {e}")))?;
+        let catalog = archive::find(&entries, "halos/catalog.txt")
+            .ok_or_else(|| DietError::Codec("missing halo catalog".into()))?;
+        let halos = Self::parse_catalog(&String::from_utf8_lossy(&catalog.data));
+
+        // ---- part 2: all requests issued before any wait ------------------
+        let targets: Vec<CatalogHalo> = halos.iter().take(self.max_zooms).copied().collect();
+        let mut handles = Vec::with_capacity(targets.len());
+        for h in &targets {
+            let p = zoom2_profile(
+                &self.namelist,
+                self.resolution,
+                self.size_mpc_h,
+                h.center_pct,
+                self.nb_box,
+            );
+            handles.push((*h, client.async_call(p)?));
+        }
+
+        let mut zooms = Vec::with_capacity(handles.len());
+        for (halo, handle) in handles {
+            let server = handle.server().to_string();
+            let (r2, stats) = handle.wait()?;
+            client.record(&server, stats);
+            let code = r2.get_i32(8)?;
+            let (n_galaxies, n_tree_nodes) = if code == status::OK {
+                let (_, tar) = r2.get_file(7)?;
+                let entries = archive::unpack(&tar.clone())
+                    .map_err(|e| DietError::Codec(format!("zoom tar: {e}")))?;
+                let count_rows = |name: &str| {
+                    archive::find(&entries, name)
+                        .map(|e| {
+                            String::from_utf8_lossy(&e.data)
+                                .lines()
+                                .count()
+                                .saturating_sub(1)
+                        })
+                        .unwrap_or(0)
+                };
+                (
+                    count_rows("galaxies/catalog.txt"),
+                    count_rows("tree/mergertree.txt"),
+                )
+            } else {
+                (0, 0)
+            };
+            zooms.push(ZoomResult {
+                halo,
+                server,
+                stats,
+                status: code,
+                n_galaxies,
+                n_tree_nodes,
+            });
+        }
+
+        Ok(WorkflowReport {
+            halos_found: halos.len(),
+            zooms,
+            part1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_parser_sorts_by_mass() {
+        let text = "# id npart mass_msun x y z vx vy vz radius sigma_v spin\n\
+                    0 10 1.0e14 0.1 0.2 0.3 0 0 0 0.01 0.1 0.02\n\
+                    1 30 5.0e14 0.5 0.6 0.7 0 0 0 0.02 0.1 0.02\n\
+                    2 20 2.0e14 0.9 0.8 0.7 0 0 0 0.015 0.1 0.02\n";
+        let halos = ZoomWorkflow::parse_catalog(text);
+        assert_eq!(halos.len(), 3);
+        assert_eq!(halos[0].id, 1);
+        assert_eq!(halos[0].center_pct, [50, 60, 70]);
+        assert_eq!(halos[1].id, 2);
+        assert_eq!(halos[2].npart, 10);
+    }
+
+    #[test]
+    fn catalog_parser_skips_malformed_lines() {
+        let text = "# header\nnot a number at all\n0 5 1e14 0.1 0.1 0.1 0 0 0 0.01 0 0\n";
+        let halos = ZoomWorkflow::parse_catalog(text);
+        assert_eq!(halos.len(), 1);
+    }
+
+    #[test]
+    fn empty_catalog_gives_no_targets() {
+        let halos = ZoomWorkflow::parse_catalog("# header only\n");
+        assert!(halos.is_empty());
+    }
+}

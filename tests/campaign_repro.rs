@@ -1,0 +1,84 @@
+//! Workspace-level reproduction gate: the paper's Section 5 numbers, checked
+//! as hard bounds. This is the test-suite counterpart of the `exp_*`
+//! regenerator binaries (DESIGN.md experiments E1–E7).
+
+use cosmogrid::campaign::{run_campaign, CampaignConfig};
+use diet_core::sched::WeightedSpeed;
+use std::sync::Arc;
+
+#[test]
+fn e1_headline_numbers() {
+    let r = run_campaign(CampaignConfig::default());
+    // Paper: makespan 16h18m43s = 58 723 s; ours must land within 10%.
+    assert!((r.makespan - 58723.0).abs() < 0.10 * 58723.0, "makespan {}", r.makespan);
+    // Paper: part-2 mean 1h24m01s = 5041 s within 10%.
+    assert!((r.part2_mean_s - 5041.0).abs() < 0.10 * 5041.0);
+    // Paper: sequential > 141 h; speedup ~8.6×.
+    assert!(r.sequential_s > 141.0 * 3600.0);
+    assert!(r.speedup() > 7.5 && r.speedup() < 10.0);
+}
+
+#[test]
+fn e2_request_distribution() {
+    let r = run_campaign(CampaignConfig::default());
+    let mut counts: Vec<usize> = r.sed_rows.iter().map(|(_, c, _)| *c).collect();
+    counts.sort_unstable();
+    assert_eq!(&counts[..10], &[9; 10]);
+    assert_eq!(counts[10], 10);
+}
+
+#[test]
+fn e3_heterogeneity_spread() {
+    let r = run_campaign(CampaignConfig::default());
+    let max = r.sed_rows.iter().map(|(_, _, b)| *b).fold(0.0f64, f64::max);
+    let min = r
+        .sed_rows
+        .iter()
+        .map(|(_, _, b)| *b)
+        .fold(f64::INFINITY, f64::min);
+    // Paper: ~15h vs ~10h30 → ratio ~1.43.
+    let ratio = max / min;
+    assert!(ratio > 1.25 && ratio < 1.7, "busy-time ratio {ratio}");
+}
+
+#[test]
+fn e4_e5_figure_5_series() {
+    let r = run_campaign(CampaignConfig::default());
+    assert_eq!(r.finding.len(), 101);
+    assert!((r.finding_mean - 0.0498).abs() < 0.005);
+    // Latency: first wave immediate, tail queues for hours.
+    let tail = r.latency.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
+    assert!(tail > 5.0 * 3600.0);
+}
+
+#[test]
+fn e6_overhead_negligible() {
+    let r = run_campaign(CampaignConfig::default());
+    let total = r.overhead_mean * 101.0;
+    assert!(total < 15.0, "total overhead {total}s");
+    assert!(total / r.makespan < 1e-3);
+}
+
+#[test]
+fn e7_plugin_scheduler_beats_default() {
+    let rr = run_campaign(CampaignConfig::default());
+    let ws = run_campaign(CampaignConfig {
+        scheduler: Arc::new(WeightedSpeed),
+        ..CampaignConfig::default()
+    });
+    assert!(
+        ws.makespan < 0.95 * rr.makespan,
+        "expected >=5% makespan gain: {} vs {}",
+        ws.makespan,
+        rr.makespan
+    );
+}
+
+#[test]
+fn campaign_replays_bit_identically() {
+    let a = run_campaign(CampaignConfig::default());
+    let b = run_campaign(CampaignConfig::default());
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.finding, b.finding);
+}

@@ -1,0 +1,118 @@
+//! Property tests on the campaign simulator: scheduling invariants that must
+//! hold for any request count, any scheduler, and any failure injection.
+
+use cosmogrid::campaign::{run_campaign, CampaignConfig, SedFailure};
+use diet_core::sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
+use gridsim::platform::Grid5000;
+use gridsim::workload::{TaskKind, WorkloadModel};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn scheduler_for(tag: u8, seed: u64) -> Arc<dyn Scheduler> {
+    match tag % 4 {
+        0 => Arc::new(RoundRobin::new()),
+        1 => Arc::new(RandomSched::new(seed.max(1))),
+        2 => Arc::new(MinQueue),
+        _ => Arc::new(WeightedSpeed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every request executes exactly once, whatever the
+    /// scheduler; makespan respects the work-conservation lower bound
+    /// (total work / total speed) and the single-task upper bound
+    /// (sequential on the slowest SeD).
+    #[test]
+    fn campaign_conserves_requests(n_zoom in 1u32..40, tag in 0u8..4, seed in 1u64..500) {
+        let r = run_campaign(CampaignConfig {
+            n_zoom,
+            scheduler: scheduler_for(tag, seed),
+            ..CampaignConfig::default()
+        });
+        let executed: usize = r.sed_rows.iter().map(|(_, c, _)| *c).sum();
+        prop_assert_eq!(executed, n_zoom as usize);
+
+        // Work-conservation lower bound.
+        let platform = Grid5000::paper_deployment();
+        let w = WorkloadModel::default();
+        let total_work: f64 = (0..n_zoom)
+            .map(|h| w.reference_duration(TaskKind::ZoomPart2 { halo_index: h }))
+            .sum();
+        let total_speed: f64 = platform
+            .sed_ids()
+            .iter()
+            .map(|&id| platform.sed_speed(id))
+            .sum();
+        let lower = r.part1_s + total_work / total_speed;
+        prop_assert!(
+            r.makespan >= lower * 0.99,
+            "makespan {} below work bound {}",
+            r.makespan,
+            lower
+        );
+
+        // Upper bound: strictly better than running everything on the
+        // slowest SeD sequentially (for n_zoom > 11 where queueing matters,
+        // and trivially for small n).
+        let slowest = platform
+            .sed_ids()
+            .iter()
+            .map(|&id| platform.sed_speed(id))
+            .fold(f64::INFINITY, f64::min);
+        let upper = r.part1_s + total_work / slowest + 3600.0;
+        prop_assert!(r.makespan <= upper, "makespan {} above {}", r.makespan, upper);
+    }
+
+    /// Finding times stay in the calibrated band for every request.
+    #[test]
+    fn finding_band_holds(n_zoom in 1u32..30, tag in 0u8..4) {
+        let r = run_campaign(CampaignConfig {
+            n_zoom,
+            scheduler: scheduler_for(tag, 7),
+            ..CampaignConfig::default()
+        });
+        prop_assert_eq!(r.finding.len(), n_zoom as usize + 1);
+        for (_, f) in &r.finding {
+            prop_assert!(*f > 0.03 && *f < 0.07, "finding {f} out of band");
+        }
+    }
+
+    /// Fault injection never loses work: for any victim and failure time,
+    /// all requests complete.
+    #[test]
+    fn failure_never_loses_requests(
+        n_zoom in 5u32..30,
+        victim in 0usize..11,
+        at_hours in 0.5f64..10.0,
+    ) {
+        let platform = Grid5000::paper_deployment();
+        let label = platform.sed_label(platform.sed_ids()[victim]);
+        let r = run_campaign(CampaignConfig {
+            n_zoom,
+            failure: Some(SedFailure {
+                label_contains: label,
+                at: at_hours * 3600.0,
+            }),
+            ..CampaignConfig::default()
+        });
+        let executed: usize = r.sed_rows.iter().map(|(_, c, _)| *c).sum();
+        prop_assert_eq!(executed, n_zoom as usize);
+    }
+
+    /// Determinism holds across schedulers and sizes: same config, same
+    /// bit-exact outcome.
+    #[test]
+    fn determinism(n_zoom in 1u32..25, tag in 0u8..4, seed in 1u64..100) {
+        let mk = || run_campaign(CampaignConfig {
+            n_zoom,
+            scheduler: scheduler_for(tag, seed),
+            ..CampaignConfig::default()
+        });
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        prop_assert_eq!(a.sed_rows, b.sed_rows);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the application-layer formats: tar archives and
+//! RAMSES namelists round-trip arbitrary content and reject corruption.
+
+use bytes::Bytes;
+use cosmogrid::archive::{self, Entry};
+use cosmogrid::namelist::Namelist;
+use proptest::prelude::*;
+
+fn arb_entries() -> impl Strategy<Value = Vec<Entry>> {
+    prop::collection::vec(
+        (
+            "[a-zA-Z0-9_][a-zA-Z0-9_./-]{0,60}",
+            prop::collection::vec(any::<u8>(), 0..2048),
+        ),
+        0..8,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            // Prefix with the index so names are unique (tar allows dups but
+            // equality comparison is simplest on unique names).
+            .map(|(i, (name, data))| Entry {
+                name: format!("{i}_{name}"),
+                data: Bytes::from(data),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pack → unpack is the identity for arbitrary entry sets.
+    #[test]
+    fn tar_roundtrip(entries in arb_entries()) {
+        let tar = archive::pack(&entries).unwrap();
+        prop_assert_eq!(tar.len() % 512, 0);
+        let back = archive::unpack(&tar).unwrap();
+        prop_assert_eq!(back, entries);
+    }
+
+    /// Unpacking arbitrary bytes never panics.
+    #[test]
+    fn tar_unpack_never_panics(raw in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = archive::unpack(&Bytes::from(raw));
+    }
+
+    /// Flipping any byte of the first entry's header or contents is detected
+    /// (checksum / framing error, or content inequality — never a silent
+    /// wrong answer). Flips in inter-entry padding are content-neutral by
+    /// design and excluded.
+    #[test]
+    fn tar_bitflips_never_silent(entries in arb_entries(), flip in 0usize..4096, bit in 0u8..8) {
+        prop_assume!(!entries.is_empty());
+        let tar = archive::pack(&entries).unwrap();
+        let meaningful = 512 + entries[0].data.len();
+        let pos = flip % meaningful;
+        let mut v = tar.to_vec();
+        v[pos] ^= 1 << bit;
+        match archive::unpack(&Bytes::from(v)) {
+            Err(_) => {}
+            Ok(back) => {
+                prop_assert_ne!(back, entries);
+            }
+        }
+    }
+}
+
+fn arb_namelist() -> impl Strategy<Value = Namelist> {
+    prop::collection::btree_map(
+        "[A-Z][A-Z_]{0,12}",
+        prop::collection::btree_map(
+            "[a-z][a-z_]{0,12}",
+            // Values: namelist-safe tokens (no '!', '=', newlines).
+            "[a-zA-Z0-9_.+-]{1,16}",
+            1..6,
+        ),
+        0..5,
+    )
+    .prop_map(|groups| Namelist { groups })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// render → parse is the identity for arbitrary namelists.
+    #[test]
+    fn namelist_roundtrip(nl in arb_namelist()) {
+        let text = nl.render();
+        let back = Namelist::parse(&text).unwrap();
+        prop_assert_eq!(back, nl);
+    }
+
+    /// Parsing arbitrary text never panics.
+    #[test]
+    fn namelist_parse_never_panics(text in ".{0,500}") {
+        let _ = Namelist::parse(&text);
+    }
+
+    /// Numeric accessors either parse or report a typed error.
+    #[test]
+    fn namelist_accessors_total(value in "[a-zA-Z0-9_.+-]{1,12}") {
+        let mut nl = Namelist::default();
+        nl.set("G", "k", &value);
+        let _ = nl.get_f64("G", "k");
+        let _ = nl.get_i64("G", "k");
+        let _ = nl.get_bool("G", "k");
+        let _ = nl.get_f64_list("G", "k");
+        // And the value is retrievable verbatim.
+        prop_assert_eq!(nl.get("G", "k"), Some(value.as_str()));
+    }
+}
