@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, test, lint. Run from the repo root.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

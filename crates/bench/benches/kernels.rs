@@ -116,7 +116,7 @@ fn bench_amr(c: &mut Criterion) {
 fn bench_hydro(c: &mut Criterion) {
     c.bench_function("hydro_step_16cubed_hllc", |b| {
         let mut g = ramses::hydro::HydroGrid::from_fn(16, 1.4, |x| ramses::hydro::Prim {
-            rho: 1.0 + 0.3 * (6.28 * x[0]).sin(),
+            rho: 1.0 + 0.3 * (std::f64::consts::TAU * x[0]).sin(),
             vel: [0.1, 0.0, 0.0],
             p: 1.0,
         });

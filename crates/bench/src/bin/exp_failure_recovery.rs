@@ -9,16 +9,18 @@ fn main() {
     println!("E9: fault injection — one SeD dies 2h into the campaign\n");
     let baseline = run_campaign(CampaignConfig::default());
     println!(
-        "  {:<26} {:>11} {:>9} {:>12}",
-        "failure", "makespan", "delta", "refindings"
+        "  {:<26} {:>11} {:>9} {:>12} {:>10}",
+        "failure", "makespan", "delta", "refindings", "resubmits"
     );
     println!(
-        "  {:<26} {:>11} {:>9} {:>12}",
+        "  {:<26} {:>11} {:>9} {:>12} {:>10}",
         "(none)",
         fmt_hms(baseline.makespan),
         "-",
-        baseline.finding.len()
+        baseline.finding.len(),
+        baseline.resubmissions
     );
+    assert_eq!(baseline.resubmissions, 0, "failure-free run resubmitted");
 
     for victim in ["nancy-grelon/0", "lyon-sagittaire/0", "toulouse-violette/0"] {
         let r = run_campaign(CampaignConfig {
@@ -30,12 +32,17 @@ fn main() {
         });
         let done: usize = r.sed_rows.iter().map(|(_, c, _)| *c).sum();
         assert_eq!(done, 100, "lost requests after killing {victim}");
+        assert!(
+            r.resubmissions >= 1,
+            "killing {victim} mid-campaign must orphan at least one request"
+        );
         println!(
-            "  {:<26} {:>11} {:>8.1}% {:>12}",
+            "  {:<26} {:>11} {:>8.1}% {:>12} {:>10}",
             victim,
             fmt_hms(r.makespan),
             (r.makespan / baseline.makespan - 1.0) * 100.0,
-            r.finding.len()
+            r.finding.len(),
+            r.resubmissions
         );
         assert!(r.makespan >= baseline.makespan * 0.99);
     }

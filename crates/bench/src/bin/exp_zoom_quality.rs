@@ -141,6 +141,7 @@ fn main() {
     let com = {
         let mut c = [0.0f64; 3];
         for &i in biggest {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 c[d] += refined.pos[i as usize][d];
             }

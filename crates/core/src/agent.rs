@@ -15,15 +15,18 @@ use crate::error::DietError;
 use crate::monitor::Estimate;
 use crate::sched::Scheduler;
 use crate::sed::SedHandle;
-use parking_lot::Mutex;
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An interior node of the hierarchy: a Local Agent with SeDs and/or child
-/// agents below it.
+/// agents below it. SeD membership is dynamic — agents deregister servers
+/// that die (heartbeat misses or failed calls) and can attach new ones.
 pub struct AgentNode {
     pub name: String,
-    pub seds: Vec<Arc<SedHandle>>,
+    seds: RwLock<Vec<Arc<SedHandle>>>,
     pub children: Vec<Arc<AgentNode>>,
 }
 
@@ -31,7 +34,7 @@ impl AgentNode {
     pub fn leaf(name: &str, seds: Vec<Arc<SedHandle>>) -> Arc<Self> {
         Arc::new(AgentNode {
             name: name.to_string(),
-            seds,
+            seds: RwLock::new(seds),
             children: vec![],
         })
     }
@@ -39,32 +42,74 @@ impl AgentNode {
     pub fn interior(name: &str, children: Vec<Arc<AgentNode>>) -> Arc<Self> {
         Arc::new(AgentNode {
             name: name.to_string(),
-            seds: vec![],
+            seds: RwLock::new(vec![]),
             children,
         })
     }
 
-    /// Depth-first collection of estimates for a service.
-    fn collect(&self, service: &str, out: &mut Vec<(Estimate, Arc<SedHandle>)>) {
-        for sed in &self.seds {
+    /// Snapshot of the SeDs attached directly to this agent.
+    pub fn seds(&self) -> Vec<Arc<SedHandle>> {
+        self.seds.read().clone()
+    }
+
+    /// Attach a SeD to this agent at runtime.
+    pub fn add_sed(&self, sed: Arc<SedHandle>) {
+        self.seds.write().push(sed);
+    }
+
+    /// Remove the SeD with this label from the subtree. Returns true if it
+    /// was found (and removed) anywhere below this node.
+    pub fn remove_sed(&self, label: &str) -> bool {
+        {
+            let mut seds = self.seds.write();
+            let before = seds.len();
+            seds.retain(|s| s.config.label != label);
+            if seds.len() < before {
+                return true;
+            }
+        }
+        self.children.iter().any(|c| c.remove_sed(label))
+    }
+
+    /// Depth-first collection of estimates for a service, skipping excluded
+    /// labels (servers a retrying client has just seen fail).
+    fn collect(
+        &self,
+        service: &str,
+        exclude: &[String],
+        out: &mut Vec<(Estimate, Arc<SedHandle>)>,
+    ) {
+        for sed in self.seds.read().iter() {
+            if exclude.iter().any(|l| *l == sed.config.label) {
+                continue;
+            }
             if let Some(e) = sed.estimate(service) {
                 out.push((e, sed.clone()));
             }
         }
         for child in &self.children {
-            child.collect(service, out);
+            child.collect(service, exclude, out);
+        }
+    }
+
+    /// Every SeD in this subtree (for liveness sweeps).
+    fn collect_all(&self, out: &mut Vec<Arc<SedHandle>>) {
+        out.extend(self.seds.read().iter().cloned());
+        for child in &self.children {
+            child.collect_all(out);
         }
     }
 
     /// Total number of SeDs in this subtree (agent bookkeeping: "the number
     /// of servers that can solve a given problem").
     pub fn sed_count(&self) -> usize {
-        self.seds.len() + self.children.iter().map(|c| c.sed_count()).sum::<usize>()
+        self.seds.read().len() + self.children.iter().map(|c| c.sed_count()).sum::<usize>()
     }
 
     /// How many SeDs in this subtree declare `service`.
     pub fn solver_count(&self, service: &str) -> usize {
         self.seds
+            .read()
             .iter()
             .filter(|s| s.declares(service))
             .count()
@@ -88,6 +133,10 @@ pub struct SubmitRecord {
     pub candidates: usize,
 }
 
+/// How many failed calls (while the SeD still answers liveness probes) it
+/// takes before the MA deregisters it anyway.
+const FAILURE_STRIKES: u32 = 3;
+
 /// The Master Agent.
 pub struct MasterAgent {
     pub name: String,
@@ -95,6 +144,10 @@ pub struct MasterAgent {
     scheduler: Arc<dyn Scheduler>,
     requests: Mutex<Vec<SubmitRecord>>,
     next_id: Mutex<u64>,
+    /// Labels removed from the hierarchy (dead or repeatedly failing SeDs).
+    deregistered: Mutex<Vec<String>>,
+    /// Failed-call strikes per still-alive label.
+    strikes: Mutex<HashMap<String, u32>>,
 }
 
 impl MasterAgent {
@@ -105,6 +158,8 @@ impl MasterAgent {
             scheduler,
             requests: Mutex::new(Vec::new()),
             next_id: Mutex::new(0),
+            deregistered: Mutex::new(Vec::new()),
+            strikes: Mutex::new(HashMap::new()),
         })
     }
 
@@ -116,11 +171,24 @@ impl MasterAgent {
             scheduler,
             requests: Mutex::new(Vec::new()),
             next_id: Mutex::new(0),
+            deregistered: Mutex::new(Vec::new()),
+            strikes: Mutex::new(HashMap::new()),
         })
     }
 
     /// Handle a client submit: traverse, schedule, return the chosen SeD.
     pub fn submit(&self, service: &str) -> Result<Arc<SedHandle>, DietError> {
+        self.submit_excluding(service, &[])
+    }
+
+    /// Like [`submit`](Self::submit), but skipping `exclude`d labels — the
+    /// resubmission path: a retrying client excludes the servers that just
+    /// failed it so the scheduler must pick a different one.
+    pub fn submit_excluding(
+        &self,
+        service: &str,
+        exclude: &[String],
+    ) -> Result<Arc<SedHandle>, DietError> {
         let started = Instant::now();
         let request_id = {
             let mut id = self.next_id.lock();
@@ -129,7 +197,7 @@ impl MasterAgent {
         };
         let mut candidates: Vec<(Estimate, Arc<SedHandle>)> = Vec::new();
         for child in &self.children {
-            child.collect(service, &mut candidates);
+            child.collect(service, exclude, &mut candidates);
         }
         let record_base = SubmitRecord {
             request_id,
@@ -191,6 +259,126 @@ impl MasterAgent {
             .iter()
             .map(|c| c.solver_count(service))
             .sum()
+    }
+
+    /// Every SeD currently registered anywhere in the hierarchy.
+    pub fn all_seds(&self) -> Vec<Arc<SedHandle>> {
+        let mut out = Vec::new();
+        for child in &self.children {
+            child.collect_all(&mut out);
+        }
+        out
+    }
+
+    /// Remove a SeD from the hierarchy by label. Returns true if it was
+    /// registered. Deregistered labels never reappear in candidate sets.
+    pub fn deregister(&self, label: &str) -> bool {
+        let removed = self.children.iter().any(|c| c.remove_sed(label));
+        if removed {
+            let mut dead = self.deregistered.lock();
+            if !dead.iter().any(|l| l == label) {
+                dead.push(label.to_string());
+            }
+        }
+        removed
+    }
+
+    /// Labels deregistered so far, in removal order.
+    pub fn deregistered(&self) -> Vec<String> {
+        self.deregistered.lock().clone()
+    }
+
+    /// A client (or transport) reports that a call to this SeD failed at
+    /// the middleware level (timeout, connection loss — not an application
+    /// error). A dead SeD is deregistered immediately; one that still
+    /// answers liveness probes is deregistered after [`FAILURE_STRIKES`]
+    /// consecutive reports. Returns true when the SeD was deregistered.
+    pub fn report_failure(&self, sed: &SedHandle) -> bool {
+        let label = &sed.config.label;
+        if !sed.is_alive() {
+            return self.deregister(label);
+        }
+        let strikes = {
+            let mut s = self.strikes.lock();
+            let n = s.entry(label.clone()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if strikes >= FAILURE_STRIKES {
+            self.strikes.lock().remove(label);
+            self.deregister(label)
+        } else {
+            false
+        }
+    }
+}
+
+/// Agent-side SeD liveness: a background thread that pings every registered
+/// SeD on a fixed interval and deregisters the ones that miss
+/// `miss_threshold` consecutive heartbeats — so `collect` stops offering
+/// them as candidates even if no client ever calls them again.
+///
+/// Wires the codec's `Ping`/`Pong` liveness messages into the agent: each
+/// probe goes through the SeD's command queue exactly like a wire ping, so
+/// a wedged worker fails the probe even though its process is technically
+/// still there.
+pub struct HeartbeatMonitor {
+    stop: Sender<()>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatMonitor {
+    pub fn spawn(
+        ma: Arc<MasterAgent>,
+        interval: Duration,
+        ping_timeout: Duration,
+        miss_threshold: u32,
+    ) -> HeartbeatMonitor {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let thread = std::thread::spawn(move || {
+            let mut misses: HashMap<String, u32> = HashMap::new();
+            // Runs until a stop is requested or the monitor is dropped.
+            while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                for sed in ma.all_seds() {
+                    let label = sed.config.label.clone();
+                    // A worker deep in a long solve can't answer the queued
+                    // ping in time, but it is busy, not dead — only a probe
+                    // failure on an idle (or exited) worker counts as a miss.
+                    if sed.ping(ping_timeout) || (sed.is_alive() && sed.is_busy()) {
+                        misses.remove(&label);
+                    } else {
+                        let n = misses.entry(label.clone()).or_insert(0);
+                        *n += 1;
+                        if *n >= miss_threshold {
+                            ma.deregister(&label);
+                            misses.remove(&label);
+                        }
+                    }
+                }
+            }
+        });
+        HeartbeatMonitor {
+            stop: stop_tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the monitor and wait for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.stop.try_send(());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatMonitor {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -323,6 +511,133 @@ mod tests {
         assert_eq!(chosen.config.label, "idle");
         busy.shutdown();
         idle.shutdown();
+    }
+
+    #[test]
+    fn submit_excluding_skips_failed_servers() {
+        let (ma, seds) = hierarchy(&[2]);
+        let excluded = vec!["la0/sed0".to_string()];
+        for _ in 0..4 {
+            let c = ma.submit_excluding("echo", &excluded).unwrap();
+            assert_eq!(c.config.label, "la0/sed1");
+        }
+        // Excluding everything looks like "declared but unreachable".
+        let all = vec!["la0/sed0".to_string(), "la0/sed1".to_string()];
+        assert!(matches!(
+            ma.submit_excluding("echo", &all),
+            Err(DietError::NoServerAvailable(_))
+        ));
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn deregister_removes_sed_from_candidates() {
+        let (ma, seds) = hierarchy(&[1, 1]);
+        assert_eq!(ma.sed_count(), 2);
+        assert!(ma.deregister("la1/sed0"));
+        assert!(!ma.deregister("la1/sed0"), "already removed");
+        assert_eq!(ma.sed_count(), 1);
+        assert_eq!(ma.deregistered(), vec!["la1/sed0".to_string()]);
+        for _ in 0..3 {
+            assert_eq!(ma.submit("echo").unwrap().config.label, "la0/sed0");
+        }
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn report_failure_deregisters_dead_sed_immediately() {
+        let (ma, seds) = hierarchy(&[2]);
+        let victim = seds[0].clone();
+        victim.shutdown();
+        while victim.is_alive() {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(ma.report_failure(&victim));
+        assert_eq!(ma.deregistered(), vec![victim.config.label.clone()]);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn report_failure_needs_strikes_for_live_sed() {
+        let (ma, seds) = hierarchy(&[2]);
+        let suspect = seds[0].clone();
+        // Alive but repeatedly failing calls: two strikes keep it, the
+        // third removes it.
+        assert!(!ma.report_failure(&suspect));
+        assert!(!ma.report_failure(&suspect));
+        assert!(ma.report_failure(&suspect));
+        assert_eq!(ma.sed_count(), 1);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn heartbeat_monitor_deregisters_dead_sed() {
+        let (ma, seds) = hierarchy(&[2]);
+        let monitor = HeartbeatMonitor::spawn(
+            ma.clone(),
+            std::time::Duration::from_millis(10),
+            std::time::Duration::from_millis(100),
+            2,
+        );
+        // Kill one SeD abruptly (no orderly drain).
+        seds[1].faults().kill_at_request(1);
+        let d = ProfileDesc::alloc("echo", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(1), Persistence::Volatile)
+            .unwrap();
+        let _ = seds[1].submit(p);
+        // The monitor notices within a few beats.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while ma.sed_count() == 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(ma.sed_count(), 1);
+        assert_eq!(ma.deregistered(), vec![seds[1].config.label.clone()]);
+        monitor.stop();
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn heartbeat_monitor_spares_a_busy_sed() {
+        // A worker deep in a long solve can't answer queued pings, but it
+        // is busy, not dead — the monitor must not evict it mid-solve.
+        let mut table = ServiceTable::init(1);
+        let d = ProfileDesc::alloc("slow", 0, 0, 1);
+        let solve: crate::sed::SolveFn = Arc::new(|_p| {
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            Ok(0)
+        });
+        table.add(d.clone(), solve).unwrap();
+        let sed = SedHandle::spawn(SedConfig::new("busy/0", 1.0), table);
+        let la = AgentNode::leaf("LA", vec![sed.clone()]);
+        let ma = MasterAgent::new("MA", vec![la], Arc::new(RoundRobin::new()));
+        let monitor = HeartbeatMonitor::spawn(
+            ma.clone(),
+            std::time::Duration::from_millis(10),
+            std::time::Duration::from_millis(20),
+            2,
+        );
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(0), Persistence::Volatile)
+            .unwrap();
+        let rx = sed.submit(p).unwrap();
+        // Many monitor sweeps elapse during the solve; the SeD survives.
+        let out = rx.recv().unwrap();
+        assert!(out.result.is_ok());
+        assert_eq!(ma.sed_count(), 1);
+        assert!(ma.deregistered().is_empty());
+        monitor.stop();
+        sed.shutdown();
     }
 
     #[test]

@@ -14,8 +14,9 @@
 use crate::agent::MasterAgent;
 use crate::error::DietError;
 use crate::profile::Profile;
-use crate::sed::SolveOutcome;
-use crossbeam::channel::Receiver;
+use crate::sed::{SedHandle, SolveOutcome};
+use crate::transport::TcpSedPool;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,6 +33,9 @@ pub struct CallStats {
     pub solve: f64,
     /// End-to-end wall time of the call.
     pub total: f64,
+    /// How many times the call was resubmitted through the MA after a
+    /// failed attempt (0 = first attempt succeeded).
+    pub retries: u32,
 }
 
 impl CallStats {
@@ -46,6 +50,49 @@ impl CallStats {
     pub fn overhead(&self) -> f64 {
         self.finding + self.send
     }
+}
+
+/// Per-call fault-tolerance knobs for [`DietClient::call_with_retry`] and
+/// [`DietClient::call_over_tcp`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Deadline for each individual attempt (send + queue + solve).
+    pub attempt_timeout: Duration,
+    /// How many times to resubmit after the first attempt fails.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempt_timeout: Duration::from_secs(2),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Bounded exponential backoff before retry number `retry` (0-based):
+    /// `base · 2^retry`, capped.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(factor)
+            .map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+}
+
+/// Is this failure worth resubmitting elsewhere? Transport losses and
+/// deadline expiries are; application-level failures (bad profile, solve
+/// status, unknown service) would fail identically on any server.
+fn is_retryable(e: &DietError) -> bool {
+    matches!(e, DietError::Transport(_) | DietError::Timeout { .. })
 }
 
 /// Handle for an asynchronous call (the GridRPC `grpc_call_async` analog).
@@ -172,6 +219,111 @@ impl DietClient {
             let _ = service;
         }
         res
+    }
+
+    /// Fault-tolerant synchronous call over the in-process path: each
+    /// attempt is bounded by `policy.attempt_timeout`; on a transport
+    /// failure or timeout the failed SeD is reported to the MA (which may
+    /// deregister it), excluded, and the request resubmitted through the MA
+    /// after a bounded exponential backoff. Application-level errors are
+    /// returned immediately — retrying them elsewhere cannot help.
+    pub fn call_with_retry(
+        &self,
+        profile: Profile,
+        policy: &RetryPolicy,
+    ) -> Result<(Profile, CallStats), DietError> {
+        self.retry_call(profile, policy, |sed, profile, timeout| {
+            let rx = sed.submit(profile)?;
+            match rx.recv_timeout(timeout) {
+                Ok(outcome) => outcome
+                    .result
+                    .map(|p| (p, outcome.queue_wait, outcome.solve_time)),
+                Err(RecvTimeoutError::Timeout) => Err(DietError::Timeout {
+                    after_secs: timeout.as_secs_f64(),
+                }),
+                Err(RecvTimeoutError::Disconnected) => Err(DietError::Transport(
+                    "SeD dropped the reply channel".into(),
+                )),
+            }
+        })
+    }
+
+    /// Fault-tolerant synchronous call where the data path runs over real
+    /// TCP: finding still goes through the MA (which must share labels with
+    /// `pool`'s registry), the solve goes through [`TcpSedPool::call`], and
+    /// failures resubmit exactly like [`call_with_retry`](Self::call_with_retry).
+    pub fn call_over_tcp(
+        &self,
+        pool: &TcpSedPool,
+        profile: Profile,
+        policy: &RetryPolicy,
+    ) -> Result<(Profile, CallStats), DietError> {
+        self.retry_call(profile, policy, |sed, profile, timeout| {
+            pool.call(&sed.config.label, profile, timeout)
+                .map(|p| (p, 0.0, 0.0))
+        })
+    }
+
+    /// The shared retry engine. `attempt` runs one bounded attempt against
+    /// the chosen SeD and returns `(out_profile, queue_wait, solve_time)`.
+    fn retry_call(
+        &self,
+        profile: Profile,
+        policy: &RetryPolicy,
+        attempt: impl Fn(&Arc<SedHandle>, Profile, Duration) -> Result<(Profile, f64, f64), DietError>,
+    ) -> Result<(Profile, CallStats), DietError> {
+        let ma = self.ma()?;
+        let service = profile.service.clone();
+        let issued = Instant::now();
+        let mut excluded: Vec<String> = Vec::new();
+        let mut finding_total = 0.0;
+        let mut last_err: Option<DietError> = None;
+        for attempt_no in 0..=policy.max_retries {
+            if attempt_no > 0 {
+                std::thread::sleep(policy.backoff(attempt_no - 1));
+            }
+            let t0 = Instant::now();
+            let sed = match ma.submit_excluding(&service, &excluded) {
+                Ok(sed) => sed,
+                Err(e) if attempt_no == 0 => return Err(e),
+                Err(e) => {
+                    // Mid-retry the hierarchy ran out of candidates.
+                    return Err(DietError::RetriesExhausted {
+                        service,
+                        attempts: attempt_no,
+                        last: last_err.unwrap_or(e).to_string(),
+                    });
+                }
+            };
+            finding_total += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            match attempt(&sed, profile.clone(), policy.attempt_timeout) {
+                Ok((out, queue_wait, solve)) => {
+                    let attempt_time = t1.elapsed().as_secs_f64();
+                    let stats = CallStats {
+                        finding: finding_total,
+                        send: (attempt_time - queue_wait - solve).max(0.0),
+                        queue_wait,
+                        solve,
+                        total: issued.elapsed().as_secs_f64(),
+                        retries: attempt_no,
+                    };
+                    self.history.lock().push((sed.config.label.clone(), stats));
+                    return Ok((out, stats));
+                }
+                Err(e) if is_retryable(&e) => {
+                    ma.report_failure(&sed);
+                    excluded.push(sed.config.label.clone());
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(DietError::RetriesExhausted {
+            service,
+            attempts: policy.max_retries + 1,
+            last: last_err.map(|e| e.to_string()).unwrap_or_default(),
+        })
     }
 
     /// Record an async call's stats into the session history (callers of
@@ -334,6 +486,142 @@ mod tests {
             Err(DietError::Timeout { .. }) => {}
             other => panic!("expected timeout, got {other:?}"),
         }
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(120),
+            ..Default::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(25));
+        assert_eq!(p.backoff(1), Duration::from_millis(50));
+        assert_eq!(p.backoff(2), Duration::from_millis(100));
+        assert_eq!(p.backoff(3), Duration::from_millis(120)); // capped
+        assert_eq!(p.backoff(31), Duration::from_millis(120));
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            attempt_timeout: Duration::from_millis(500),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn retry_resubmits_through_ma_after_sed_crash() {
+        let (client, seds) = session(0, 3);
+        // LRU round-robin visits labels in lexicographic order on a cold
+        // start, so "sed0" receives the first request — and dies on it.
+        seds[0].faults().kill_at_request(1);
+        let (p, stats) = client
+            .call_with_retry(square_profile(7), &fast_policy())
+            .unwrap();
+        assert_eq!(p.get_i32(1).unwrap(), 49);
+        assert_eq!(stats.retries, 1);
+        // The MA noticed the corpse and deregistered it.
+        let ma = client.ma().unwrap();
+        assert_eq!(ma.deregistered(), vec!["sed0".to_string()]);
+        assert_eq!(ma.sed_count(), 2);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn burst_with_mid_burst_kill_loses_no_requests() {
+        let (client, seds) = session(0, 3);
+        // The victim dies on its 4th request, mid-burst.
+        seds[1].faults().kill_at_request(4);
+        let policy = fast_policy();
+        let mut total_retries = 0;
+        for x in 0..30 {
+            let (p, stats) = client
+                .call_with_retry(square_profile(x), &policy)
+                .unwrap_or_else(|e| panic!("request {x} lost: {e}"));
+            assert_eq!(p.get_i32(1).unwrap(), x * x);
+            total_retries += stats.retries;
+        }
+        assert!(total_retries >= 1, "the killed request must have retried");
+        let ma = client.ma().unwrap();
+        assert_eq!(ma.deregistered(), vec!["sed1".to_string()]);
+        // Survivors kept absorbing the load.
+        assert_eq!(client.history().len(), 30);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn application_errors_are_not_retried() {
+        // A solve that fails with a status code fails identically anywhere:
+        // the client must return it immediately, not burn the retry budget.
+        let mut d = ProfileDesc::alloc("bad", 0, 0, 0);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|_| Ok(3));
+        let mut t = ServiceTable::init(1);
+        t.add(d.clone(), solve).unwrap();
+        let seds: Vec<Arc<SedHandle>> = (0..2)
+            .map(|i| SedHandle::spawn(SedConfig::new(&format!("bad{i}"), 1.0), t.clone()))
+            .collect();
+        let la = AgentNode::leaf("LA", seds.clone());
+        let ma = MasterAgent::new("MA", vec![la], Arc::new(RoundRobin::new()));
+        let client = DietClient::initialize(ma.clone());
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(1), Persistence::Volatile)
+            .unwrap();
+        match client.call_with_retry(p, &fast_policy()) {
+            Err(DietError::SolveFailed { status: 3, .. }) => {}
+            other => panic!("expected SolveFailed, got {other:?}"),
+        }
+        // No SeD was blamed for an application error.
+        assert_eq!(ma.sed_count(), 2);
+        assert!(ma.deregistered().is_empty());
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn retries_exhaust_when_every_server_fails() {
+        let (client, seds) = session(0, 2);
+        seds[0].faults().kill_at_request(1);
+        seds[1].faults().kill_at_request(1);
+        let policy = RetryPolicy {
+            max_retries: 4,
+            ..fast_policy()
+        };
+        match client.call_with_retry(square_profile(2), &policy) {
+            // Both SeDs die and get excluded; the MA runs out of candidates
+            // before the budget does.
+            Err(DietError::RetriesExhausted { attempts, .. }) => assert!(attempts >= 2),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn slow_sed_times_out_and_request_lands_elsewhere() {
+        let (client, seds) = session(0, 2);
+        // sed0 wedges: every request stalls far beyond the attempt timeout.
+        seds[0].faults().set_stall(Duration::from_secs(5));
+        let policy = RetryPolicy {
+            attempt_timeout: Duration::from_millis(80),
+            ..fast_policy()
+        };
+        let (p, stats) = client
+            .call_with_retry(square_profile(6), &policy)
+            .unwrap();
+        assert_eq!(p.get_i32(1).unwrap(), 36);
+        assert_eq!(stats.retries, 1);
         for s in seds {
             s.shutdown();
         }

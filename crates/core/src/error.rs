@@ -39,6 +39,12 @@ pub enum DietError {
     Deployment(String),
     /// Request timed out.
     Timeout { after_secs: f64 },
+    /// Every retry attempt failed; `last` is the final attempt's error.
+    RetriesExhausted {
+        service: String,
+        attempts: u32,
+        last: String,
+    },
 }
 
 impl fmt::Display for DietError {
@@ -71,6 +77,14 @@ impl fmt::Display for DietError {
             DietError::Timeout { after_secs } => {
                 write!(f, "request timed out after {after_secs}s")
             }
+            DietError::RetriesExhausted {
+                service,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "all {attempts} attempts of {service} failed; last error: {last}"
+            ),
         }
     }
 }
@@ -96,5 +110,11 @@ mod tests {
             got: "file",
         };
         assert!(e.to_string().contains("scalar i32"));
+        let e = DietError::RetriesExhausted {
+            service: "ramsesZoom2".into(),
+            attempts: 4,
+            last: "transport error: peer gone".into(),
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains("peer gone"));
     }
 }

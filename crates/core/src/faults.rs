@@ -1,0 +1,130 @@
+//! Failure injection for fault-tolerance tests and experiments.
+//!
+//! A [`FaultPlan`] is a small bundle of atomics attached to a SeD worker
+//! ([`crate::sed::SedHandle`]) or a TCP serving loop. Each incoming request
+//! asks the plan what to do via [`FaultPlan::on_request`]; with no faults
+//! armed every request proceeds normally, so the hooks cost three relaxed
+//! atomic loads on the hot path and nothing else.
+//!
+//! The supported faults mirror the ways a real SeD dies in the paper's
+//! Grid'5000 runs: the process crashes outright (kill), the result is
+//! computed but never delivered (drop-reply), or the node wedges and stops
+//! answering within any useful deadline (stall).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the worker should do with the request it just received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Solve and reply normally.
+    Proceed,
+    /// Solve, then silently discard the reply.
+    DropReply,
+    /// Die now: abandon the request and stop serving.
+    Kill,
+}
+
+/// Per-SeD failure injection switches. All methods are callable from any
+/// thread while the worker runs.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Kill the worker when it receives its N-th request (1-based).
+    /// 0 disables the fault.
+    kill_at: AtomicU64,
+    /// Drop every reply instead of delivering it.
+    drop_replies: AtomicBool,
+    /// Sleep this many microseconds before handling each request.
+    stall_us: AtomicU64,
+    /// Requests seen so far.
+    seen: AtomicU64,
+}
+
+impl FaultPlan {
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// Arm a crash on the `n`-th request received from now on (1-based
+    /// against the total seen count); `0` disarms.
+    pub fn kill_at_request(&self, n: u64) {
+        self.kill_at.store(n, Ordering::Relaxed);
+    }
+
+    /// Make the worker compute results but never deliver them.
+    pub fn set_drop_replies(&self, on: bool) {
+        self.drop_replies.store(on, Ordering::Relaxed);
+    }
+
+    /// Delay every request by `d` before it is handled (a wedged node).
+    pub fn set_stall(&self, d: Duration) {
+        self.stall_us.store(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Requests this plan has been consulted about.
+    pub fn requests_seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Count the request, apply any armed stall, and say how to treat it.
+    pub fn on_request(&self) -> FaultAction {
+        let seen = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let kill_at = self.kill_at.load(Ordering::Relaxed);
+        if kill_at != 0 && seen >= kill_at {
+            return FaultAction::Kill;
+        }
+        let stall = self.stall_us.load(Ordering::Relaxed);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_micros(stall));
+        }
+        if self.drop_replies.load(Ordering::Relaxed) {
+            FaultAction::DropReply
+        } else {
+            FaultAction::Proceed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_always_proceeds() {
+        let p = FaultPlan::new();
+        for _ in 0..10 {
+            assert_eq!(p.on_request(), FaultAction::Proceed);
+        }
+        assert_eq!(p.requests_seen(), 10);
+    }
+
+    #[test]
+    fn kill_fires_on_nth_request_and_after() {
+        let p = FaultPlan::new();
+        p.kill_at_request(3);
+        assert_eq!(p.on_request(), FaultAction::Proceed);
+        assert_eq!(p.on_request(), FaultAction::Proceed);
+        assert_eq!(p.on_request(), FaultAction::Kill);
+        // A worker that somehow survives keeps being told to die.
+        assert_eq!(p.on_request(), FaultAction::Kill);
+    }
+
+    #[test]
+    fn drop_replies_toggles() {
+        let p = FaultPlan::new();
+        p.set_drop_replies(true);
+        assert_eq!(p.on_request(), FaultAction::DropReply);
+        p.set_drop_replies(false);
+        assert_eq!(p.on_request(), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn stall_delays_request() {
+        let p = FaultPlan::new();
+        p.set_stall(Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        assert_eq!(p.on_request(), FaultAction::Proceed);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}

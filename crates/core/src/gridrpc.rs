@@ -30,6 +30,9 @@ pub struct FunctionHandle {
     pub server: Option<String>,
 }
 
+/// One settled asynchronous call: `(session id, call outcome)`.
+pub type WaitOutcome = (u64, Result<(Profile, CallStats), DietError>);
+
 /// A GridRPC session: the client plus outstanding async calls by id.
 pub struct GridRpcSession {
     client: DietClient,
@@ -129,14 +132,14 @@ impl GridRpcSession {
     }
 
     /// `grpc_wait_all()` — drain every outstanding call, in id order.
-    pub fn wait_all(&self) -> Vec<(u64, Result<(Profile, CallStats), DietError>)> {
+    pub fn wait_all(&self) -> Vec<WaitOutcome> {
         let mut ids: Vec<u64> = self.pending.lock().keys().copied().collect();
         ids.sort_unstable();
         ids.into_iter().map(|id| (id, self.wait(id))).collect()
     }
 
     /// `grpc_wait_any()` — wait for whichever completes first (polled).
-    pub fn wait_any(&self) -> Option<(u64, Result<(Profile, CallStats), DietError>)> {
+    pub fn wait_any(&self) -> Option<WaitOutcome> {
         loop {
             let ids: Vec<u64> = self.pending.lock().keys().copied().collect();
             if ids.is_empty() {

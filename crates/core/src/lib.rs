@@ -29,6 +29,7 @@
 //! * [`deploy`] — deployment descriptions mapping a hierarchy onto a
 //!   platform, following the paper's Grid'5000 deployment.
 //! * [`error`] — the crate's error type.
+//! * [`faults`] — failure injection hooks for fault-tolerance testing.
 
 pub mod agent;
 pub mod client;
@@ -38,6 +39,7 @@ pub mod data;
 pub mod datamgr;
 pub mod deploy;
 pub mod error;
+pub mod faults;
 pub mod gridrpc;
 pub mod monitor;
 pub mod naming;
@@ -47,11 +49,12 @@ pub mod sched;
 pub mod sed;
 pub mod transport;
 
-pub use agent::{AgentNode, MasterAgent};
-pub use client::{CallHandle, DietClient};
+pub use agent::{AgentNode, HeartbeatMonitor, MasterAgent};
+pub use client::{CallHandle, CallStats, DietClient, RetryPolicy};
 pub use config::DietConfig;
 pub use data::{BaseType, DietValue, Persistence};
 pub use error::DietError;
+pub use faults::{FaultAction, FaultPlan};
 pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
 pub use monitor::Estimate;
 pub use naming::NameServer;

@@ -7,7 +7,7 @@
 //! [`Estimate`] is the vector a SeD returns when an agent probes it during
 //! request submission — DIET's `estVector_t`. Schedulers consume these.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A point-in-time performance estimate for one SeD.
@@ -50,6 +50,13 @@ pub struct LoadTracker {
     completed: AtomicU64,
     /// Sum of solve durations in microseconds (for the mean).
     busy_us: AtomicU64,
+    /// Replies the server finished computing but could not deliver (the
+    /// client hung up, the channel closed, or fault injection dropped it).
+    reply_failures: AtomicU64,
+    /// A solve is executing right now. Liveness probes consult this: a
+    /// worker deep in a long solve cannot answer queued pings, but it is
+    /// busy, not dead.
+    solving: AtomicBool,
 }
 
 impl LoadTracker {
@@ -61,13 +68,21 @@ impl LoadTracker {
         self.queue.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub fn start(&self) {}
+    pub fn start(&self) {
+        self.solving.store(true, Ordering::Release);
+    }
 
     pub fn finish(&self, duration_secs: f64) {
+        self.solving.store(false, Ordering::Release);
         self.queue.fetch_sub(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.busy_us
             .fetch_add((duration_secs * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Is a solve executing right now?
+    pub fn is_solving(&self) -> bool {
+        self.solving.load(Ordering::Acquire)
     }
 
     pub fn queue_length(&self) -> usize {
@@ -76,6 +91,15 @@ impl LoadTracker {
 
     pub fn completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Record a reply the server computed but could not deliver.
+    pub fn reply_failed(&self) {
+        self.reply_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn reply_failures(&self) -> u64 {
+        self.reply_failures.load(Ordering::Relaxed)
     }
 
     /// Mean past solve duration, if any solves completed.
@@ -118,6 +142,17 @@ mod tests {
         assert_eq!(t.mean_duration(), Some(2.0));
         t.finish(4.0);
         assert_eq!(t.mean_duration(), Some(3.0));
+    }
+
+    #[test]
+    fn reply_failures_accumulate_independently() {
+        let t = LoadTracker::new();
+        assert_eq!(t.reply_failures(), 0);
+        t.reply_failed();
+        t.reply_failed();
+        assert_eq!(t.reply_failures(), 2);
+        // Undelivered replies don't count as completions.
+        assert_eq!(t.completed(), 0);
     }
 
     #[test]

@@ -33,9 +33,25 @@ pub trait Scheduler: Send + Sync {
 }
 
 /// Even spreading in arrival order.
+///
+/// The cursor is keyed by candidate *identity* (server label), not by a
+/// global counter taken modulo `candidates.len()`: a plain counter skews
+/// badly the moment the candidate set changes size (a SeD dies or joins),
+/// because every pick after the change lands on a shifted index. Tracking
+/// when each label was last chosen and always picking the least recently
+/// used one preserves exact cyclic order over a stable set and stays evenly
+/// spread over whatever set is offered.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
-    counter: Mutex<usize>,
+    state: Mutex<RrState>,
+}
+
+#[derive(Debug, Default)]
+struct RrState {
+    /// Monotonic pick counter; 0 means "never chosen".
+    tick: u64,
+    /// Label → tick at which it was last chosen.
+    last_used: std::collections::HashMap<String, u64>,
 }
 
 impl RoundRobin {
@@ -46,9 +62,21 @@ impl RoundRobin {
 
 impl Scheduler for RoundRobin {
     fn select(&self, candidates: &[Estimate]) -> usize {
-        let mut c = self.counter.lock();
-        let pick = *c % candidates.len();
-        *c += 1;
+        let mut st = self.state.lock();
+        let pick = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| {
+                (
+                    st.last_used.get(&c.server).copied().unwrap_or(0),
+                    c.server.clone(),
+                )
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        st.tick += 1;
+        let tick = st.tick;
+        st.last_used.insert(candidates[pick].server.clone(), tick);
         pick
     }
 
@@ -180,13 +208,44 @@ mod tests {
         // received 10)".
         let s = RoundRobin::new();
         let c: Vec<Estimate> = (0..11).map(|i| est(&format!("s{i}"), 1.0, 0)).collect();
-        let mut counts = vec![0usize; 11];
+        let mut counts = [0usize; 11];
         for _ in 0..100 {
             counts[s.select(&c)] += 1;
         }
         counts.sort_unstable();
         assert_eq!(counts[..10], [9; 10]);
         assert_eq!(counts[10], 10);
+    }
+
+    #[test]
+    fn round_robin_stays_even_when_candidate_set_shrinks() {
+        // Regression: the old `global_counter % candidates.len()` cursor
+        // skewed as soon as the set changed size — after removing one of
+        // three servers, the survivors were no longer alternated evenly.
+        let s = RoundRobin::new();
+        let full = vec![est("a", 1.0, 0), est("b", 1.0, 0), est("c", 1.0, 0)];
+        // Two picks over the full set, then "a" dies.
+        assert_eq!(s.select(&full), 0);
+        assert_eq!(s.select(&full), 1);
+        let survivors = vec![est("b", 1.0, 0), est("c", 1.0, 0)];
+        let mut counts = [0usize; 2];
+        for _ in 0..50 {
+            counts[s.select(&survivors)] += 1;
+        }
+        assert_eq!(counts, [25, 25], "survivors must alternate evenly");
+    }
+
+    #[test]
+    fn round_robin_cycles_after_candidate_rejoins() {
+        let s = RoundRobin::new();
+        let full = vec![est("a", 1.0, 0), est("b", 1.0, 0), est("c", 1.0, 0)];
+        let shrunk = vec![est("a", 1.0, 0), est("c", 1.0, 0)];
+        for _ in 0..6 {
+            s.select(&shrunk);
+        }
+        // "b" has been out of rotation; on rejoin it is the least recently
+        // used label and must be picked first.
+        assert_eq!(s.select(&full), 1);
     }
 
     #[test]

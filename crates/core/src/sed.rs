@@ -10,9 +10,11 @@
 //! matching the paper's constraint that "each server cannot compute more
 //! than one simulation at the same time".
 
+use crate::codec::Message;
 use crate::data::DietValue;
 use crate::datamgr::DataManager;
 use crate::error::DietError;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::monitor::{Estimate, LoadTracker};
 use crate::profile::{ProfileDesc, Profile};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -20,7 +22,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A solve function: receives the profile with IN arguments filled, writes
 /// its OUT arguments, and returns the service status code (0 = success —
@@ -127,6 +129,11 @@ pub struct SolveOutcome {
 
 enum Command {
     Run(Job),
+    /// Liveness probe: the worker answers [`Message::Pong`] on the channel.
+    /// Pings queue behind running jobs, so a wedged solve (or an injected
+    /// stall) makes the SeD look dead to heartbeat monitors — which is the
+    /// desired semantics.
+    Ping(Sender<Message>),
     Shutdown,
 }
 
@@ -151,6 +158,8 @@ pub struct SedHandle {
     alive: Arc<AtomicBool>,
     /// Optional host probe feeding free-memory into estimates (FAST/CoRI).
     probe: RwLock<Option<Arc<dyn crate::probe::Probe>>>,
+    /// Failure injection switches consulted by the worker per request.
+    faults: Arc<FaultPlan>,
 }
 
 impl SedHandle {
@@ -163,6 +172,7 @@ impl SedHandle {
         let load = LoadTracker::new();
         let datamgr = Arc::new(DataManager::new());
         let alive = Arc::new(AtomicBool::new(true));
+        let faults = FaultPlan::new();
         let handle = Arc::new(SedHandle {
             config,
             table: table.clone(),
@@ -171,20 +181,36 @@ impl SedHandle {
             tx,
             alive: alive.clone(),
             probe: RwLock::new(None),
+            faults: faults.clone(),
         });
 
         let worker_table = table;
         let worker_load = load;
         let worker_alive = alive;
         let worker_dm = datamgr;
+        let worker_faults = faults;
         std::thread::spawn(move || {
             let _guard = AliveGuard(worker_alive);
             while let Ok(cmd) = rx.recv() {
                 match cmd {
                     Command::Shutdown => break,
+                    Command::Ping(reply) => {
+                        let _ = reply.send(Message::Pong);
+                    }
                     Command::Run(mut job) => {
+                        let action = worker_faults.on_request();
+                        if action == FaultAction::Kill {
+                            // Injected crash: abandon the job without a
+                            // reply and stop serving. Flip liveness *before*
+                            // the job (and its reply channel) drops, so a
+                            // client observing the disconnect already sees a
+                            // dead SeD and the MA deregisters it at once.
+                            _guard.0.store(false, Ordering::Release);
+                            break;
+                        }
                         let queue_wait = job.submitted.elapsed().as_secs_f64();
                         let started = Instant::now();
+                        worker_load.start();
                         let solved = {
                             let t = worker_table.read();
                             match t.lookup(&job.profile.service) {
@@ -220,13 +246,22 @@ impl SedHandle {
                         };
                         let solve_time = started.elapsed().as_secs_f64();
                         worker_load.finish(queue_wait + solve_time);
-                        // Ignore send failure: the client may have abandoned
-                        // the call (timeout); the SeD must keep serving.
-                        let _ = job.reply.send(SolveOutcome {
-                            result: solved,
-                            queue_wait,
-                            solve_time,
-                        });
+                        if action == FaultAction::DropReply {
+                            worker_load.reply_failed();
+                        } else if job
+                            .reply
+                            .send(SolveOutcome {
+                                result: solved,
+                                queue_wait,
+                                solve_time,
+                            })
+                            .is_err()
+                        {
+                            // The client abandoned the call (timeout); the
+                            // SeD keeps serving, but the lost delivery is
+                            // counted so operators can see it.
+                            worker_load.reply_failed();
+                        }
                     }
                 }
             }
@@ -239,6 +274,40 @@ impl SedHandle {
     /// use this to drop dead servers from candidate sets.
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
+    }
+
+    /// Liveness probe through the worker queue: send [`Message::Ping`]'s
+    /// in-process analog and wait up to `timeout` for the Pong. Returns
+    /// false when the worker is dead, wedged, or slower than the deadline.
+    pub fn ping(&self, timeout: Duration) -> bool {
+        let (ptx, prx) = unbounded();
+        if self.tx.send(Command::Ping(ptx)).is_err() {
+            return false;
+        }
+        matches!(prx.recv_timeout(timeout), Ok(Message::Pong))
+    }
+
+    /// Is the worker executing a solve right now? Pings queue behind the
+    /// running job, so liveness monitors must not read a missed deadline as
+    /// death while this is true.
+    pub fn is_busy(&self) -> bool {
+        self.load.is_solving()
+    }
+
+    /// Failure injection switches for this SeD (tests and experiments).
+    pub fn faults(&self) -> Arc<FaultPlan> {
+        self.faults.clone()
+    }
+
+    /// Replies this SeD computed but could not deliver.
+    pub fn reply_failures(&self) -> u64 {
+        self.load.reply_failures()
+    }
+
+    /// Record an undeliverable reply noticed outside the worker (e.g. a TCP
+    /// serving loop whose connection died before the reply was written).
+    pub fn note_reply_failure(&self) {
+        self.load.reply_failed();
     }
 
     /// Does this SeD declare the service? Used during hierarchy traversal.
@@ -570,6 +639,86 @@ mod tests {
         assert!(!sed.is_alive());
         // Dead SeDs stop producing estimates.
         assert!(sed.estimate("double").is_none());
+    }
+
+    #[test]
+    fn ping_answers_pong_until_shutdown() {
+        let sed = SedHandle::spawn(SedConfig::new("ping/0", 1.0), doubler_table());
+        assert!(sed.ping(Duration::from_secs(1)));
+        sed.shutdown();
+        for _ in 0..200 {
+            if !sed.is_alive() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!sed.ping(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn kill_at_request_abandons_job_and_flips_alive() {
+        let sed = SedHandle::spawn(SedConfig::new("kill/0", 1.0), doubler_table());
+        sed.faults().kill_at_request(2);
+        // First request survives.
+        assert_eq!(call(&sed, 1).result.unwrap().get_i32(1).unwrap(), 2);
+        // Second request kills the worker: the reply channel disconnects.
+        let d = ProfileDesc::alloc("double", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(9), Persistence::Volatile)
+            .unwrap();
+        let rx = sed.submit(p).unwrap();
+        assert!(rx.recv().is_err(), "killed worker must not reply");
+        for _ in 0..200 {
+            if !sed.is_alive() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!sed.is_alive());
+        assert!(sed.estimate("double").is_none());
+    }
+
+    #[test]
+    fn dropped_replies_are_counted() {
+        let sed = SedHandle::spawn(SedConfig::new("drop/0", 1.0), doubler_table());
+        sed.faults().set_drop_replies(true);
+        let d = ProfileDesc::alloc("double", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(4), Persistence::Volatile)
+            .unwrap();
+        let rx = sed.submit(p).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+        assert_eq!(sed.reply_failures(), 1);
+        // The solve itself still completed.
+        assert_eq!(sed.completed(), 1);
+        sed.shutdown();
+    }
+
+    #[test]
+    fn abandoned_receiver_counts_as_reply_failure() {
+        // The solve is slow enough that the client's hang-up (dropping the
+        // receiver) always lands before the worker tries to reply.
+        let mut d = ProfileDesc::alloc("slow", 0, 0, 1);
+        d.set_arg(0, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|p: &mut Profile| {
+            std::thread::sleep(Duration::from_millis(100));
+            let x = p.get_i32(0)?;
+            p.set(1, DietValue::ScalarI32(x), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(1);
+        t.add(d.clone(), solve).unwrap();
+        let sed = SedHandle::spawn(SedConfig::new("aband/0", 1.0), t);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(4), Persistence::Volatile)
+            .unwrap();
+        drop(sed.submit(p).unwrap()); // client hangs up immediately
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sed.reply_failures() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sed.reply_failures(), 1);
+        sed.shutdown();
     }
 
     #[test]

@@ -11,11 +11,16 @@
 
 use crate::codec::{decode_message, encode_message, Message};
 use crate::error::DietError;
+use crate::profile::Profile;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A bidirectional message channel.
 pub trait Duplex: Send {
@@ -82,9 +87,28 @@ impl Duplex for InProcTransport {
 
 // ----------------------------------------------------------------------- tcp
 
+/// Frames larger than this are rejected unless the limit is raised with
+/// [`TcpTransport::with_max_frame`]. Generous enough for the campaign's
+/// multi-megabyte initial-conditions files.
+pub const DEFAULT_MAX_FRAME: usize = 256 << 20;
+
+/// How much we ask the socket for per `read` call. Bounds the transient
+/// allocation growth to what has actually arrived, one chunk at a time.
+const READ_CHUNK: usize = 64 << 10;
+
 /// A framed TCP endpoint.
+///
+/// Incoming bytes accumulate in an internal buffer that survives across
+/// calls: a `recv_timeout` that expires in the middle of a frame keeps the
+/// partial frame buffered and the next receive resumes exactly where the
+/// stream left off. (The earlier implementation used `read_exact` straight
+/// off the socket, so a mid-frame timeout silently discarded the consumed
+/// prefix and desynchronised every later frame.)
 pub struct TcpTransport {
     stream: TcpStream,
+    /// Bytes read off the socket but not yet returned as a frame.
+    rbuf: Mutex<Vec<u8>>,
+    max_frame: usize,
 }
 
 impl TcpTransport {
@@ -92,12 +116,35 @@ impl TcpTransport {
         let stream = TcpStream::connect(addr)
             .map_err(|e| DietError::Transport(format!("connect: {e}")))?;
         stream.set_nodelay(true).ok();
-        Ok(TcpTransport { stream })
+        Ok(Self::from_stream(stream))
     }
 
     pub fn from_stream(stream: TcpStream) -> Self {
         stream.set_nodelay(true).ok();
-        TcpTransport { stream }
+        TcpTransport {
+            stream,
+            rbuf: Mutex::new(Vec::new()),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Override the frame-size limit (both directions of a connection
+    /// should agree on it).
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Sever the socket in both directions. `shutdown` acts on the socket
+    /// itself, not this handle, so clones of the stream (e.g. a server's
+    /// kill list) can't keep it half-open: the peer observes EOF
+    /// immediately instead of waiting out its read deadline.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 
     fn write_frame(&self, payload: &[u8]) -> Result<(), DietError> {
@@ -107,21 +154,41 @@ impl TcpTransport {
             .map_err(|e| DietError::Transport(format!("write: {e}")))
     }
 
+    /// Read one `[u32 length][payload]` frame.
+    ///
+    /// The length prefix is validated against `max_frame` *before* any body
+    /// allocation, so a hostile or corrupted peer advertising a huge frame
+    /// is rejected immediately instead of triggering an eager
+    /// gigabyte-sized `vec![0; n]`. The body is then accumulated in
+    /// [`READ_CHUNK`]-sized reads — memory growth tracks bytes actually
+    /// received.
     fn read_frame(&self) -> Result<Bytes, std::io::Error> {
-        let mut s = &self.stream;
-        let mut len = [0u8; 4];
-        s.read_exact(&mut len)?;
-        let n = u32::from_le_bytes(len) as usize;
-        // Guard against absurd frames (a corrupted peer shouldn't OOM us).
-        if n > 1 << 30 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("oversized frame: {n}"),
-            ));
+        let mut buf = self.rbuf.lock();
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            if buf.len() >= 4 {
+                let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                if n > self.max_frame {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("oversized frame: {n} > max {}", self.max_frame),
+                    ));
+                }
+                if buf.len() >= 4 + n {
+                    let frame = buf[4..4 + n].to_vec();
+                    buf.drain(..4 + n);
+                    return Ok(Bytes::from(frame));
+                }
+            }
+            let got = (&self.stream).read(&mut scratch)?;
+            if got == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ));
+            }
+            buf.extend_from_slice(&scratch[..got]);
         }
-        let mut body = vec![0u8; n];
-        s.read_exact(&mut body)?;
-        Ok(Bytes::from(body))
     }
 }
 
@@ -160,10 +227,13 @@ impl Duplex for TcpTransport {
 
 /// A minimal TCP acceptor: spawns `handler` on its own thread per connection.
 /// Returns the bound local address (useful with port 0) and a guard whose
-/// drop stops accepting.
+/// drop stops accepting. [`TcpServer::kill`] additionally severs every live
+/// connection — the failure-injection hook that simulates a host crash for
+/// fault-tolerance tests.
 pub struct TcpServer {
     pub local_addr: std::net::SocketAddr,
     stop: Sender<()>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl TcpServer {
@@ -179,6 +249,8 @@ impl TcpServer {
         listener.set_nonblocking(true).ok();
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handler = std::sync::Arc::new(handler);
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_conns = conns.clone();
         std::thread::spawn(move || loop {
             if stop_rx.try_recv().is_ok() {
                 break;
@@ -186,8 +258,21 @@ impl TcpServer {
             match listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false).ok();
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_conns.lock().push(clone);
+                    }
                     let h = handler.clone();
-                    std::thread::spawn(move || h(TcpTransport::from_stream(stream)));
+                    std::thread::spawn(move || {
+                        let sock = stream.try_clone().ok();
+                        h(TcpTransport::from_stream(stream));
+                        // The kill list above holds a clone of this stream,
+                        // so dropping the transport alone would leave the
+                        // socket open and the peer blocked on a read that
+                        // can never complete — sever it explicitly.
+                        if let Some(s) = sock {
+                            let _ = s.shutdown(std::net::Shutdown::Both);
+                        }
+                    });
                 }
                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -198,17 +283,107 @@ impl TcpServer {
         Ok(TcpServer {
             local_addr,
             stop: stop_tx,
+            conns,
         })
     }
 
     pub fn stop(&self) {
         self.stop.try_send(()).ok();
     }
+
+    /// Simulate a crash: stop accepting and sever every live connection.
+    /// In-flight requests on this server are lost, exactly as when the
+    /// paper's Grid'5000 nodes died mid-campaign.
+    pub fn kill(&self) {
+        self.stop();
+        for s in self.conns.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+// ------------------------------------------------------------------ sed pool
+
+/// Client-side registry of SeD endpoints with pooled connections.
+///
+/// `call` sends a [`Message::Call`] and waits for the matching
+/// [`Message::CallReply`]. On any failure — connect error, send error,
+/// deadline expiry, stream error — the pooled connection is discarded, so
+/// a later attempt starts from a clean stream and can never pair a new
+/// request with a stale reply.
+#[derive(Default)]
+pub struct TcpSedPool {
+    endpoints: RwLock<HashMap<String, SocketAddr>>,
+    conns: Mutex<HashMap<String, TcpTransport>>,
+    next_id: AtomicU64,
+}
+
+impl TcpSedPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-register) the address serving a SeD label.
+    pub fn register(&self, label: &str, addr: SocketAddr) {
+        self.endpoints.write().insert(label.to_string(), addr);
+    }
+
+    pub fn endpoint(&self, label: &str) -> Option<SocketAddr> {
+        self.endpoints.read().get(label).copied()
+    }
+
+    /// One remote call attempt against `label`, bounded by `deadline`.
+    pub fn call(
+        &self,
+        label: &str,
+        profile: Profile,
+        deadline: Duration,
+    ) -> Result<Profile, DietError> {
+        let addr = self.endpoint(label).ok_or_else(|| {
+            DietError::Transport(format!("no endpoint registered for {label}"))
+        })?;
+        let conn = match self.conns.lock().remove(label) {
+            Some(c) => c,
+            None => TcpTransport::connect(addr)?,
+        };
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let started = Instant::now();
+        conn.send(&Message::Call {
+            request_id,
+            profile,
+        })?;
+        loop {
+            let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+                // Deadline passed; the connection may still deliver the
+                // reply later — drop it so the stale reply dies with it.
+                return Err(DietError::Timeout {
+                    after_secs: deadline.as_secs_f64(),
+                });
+            };
+            match conn.recv_timeout(remaining)? {
+                Some(Message::CallReply {
+                    request_id: rid,
+                    result,
+                }) if rid == request_id => {
+                    self.conns.lock().insert(label.to_string(), conn);
+                    return result.map_err(DietError::Rejected);
+                }
+                // A reply for an older, abandoned request on this stream
+                // (can't happen after eviction-on-failure, but harmless).
+                Some(_) => continue,
+                None => {
+                    return Err(DietError::Timeout {
+                        after_secs: deadline.as_secs_f64(),
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -276,6 +451,153 @@ mod tests {
         let client = TcpTransport::connect(server.local_addr).unwrap();
         let r = client.recv_timeout(Duration::from_millis(30)).unwrap();
         assert!(r.is_none());
+    }
+
+    #[test]
+    fn tcp_mid_frame_timeout_keeps_stream_in_sync() {
+        // Regression: a slow writer delivers the length prefix and part of
+        // the body, the reader's timeout expires mid-frame, and the next
+        // receive must still decode the frame — the old implementation
+        // threw away the consumed prefix and desynchronised the stream.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let msg = Message::Submit {
+                service: "ramsesZoom2".into(),
+                request_id: 77,
+            };
+            let payload = encode_message(&msg);
+            s.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+            // First half now, second half after the reader's timeout.
+            let half = payload.len() / 2;
+            s.write_all(&payload[..half]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            s.write_all(&payload[half..]).unwrap();
+            s.flush().unwrap();
+            // Hold the connection open until the reader is done.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+
+        let client = TcpTransport::connect(addr).unwrap();
+        // Expires while the frame is still partial…
+        assert!(client
+            .recv_timeout(Duration::from_millis(40))
+            .unwrap()
+            .is_none());
+        // …but the stream resumes cleanly.
+        let m = client.recv().unwrap();
+        assert_eq!(
+            m,
+            Message::Submit {
+                service: "ramsesZoom2".into(),
+                request_id: 77,
+            }
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_hostile_length_prefix_rejected_before_allocation() {
+        // Regression: a corrupted or malicious peer advertising a ~4 GiB
+        // frame used to trigger an eager `vec![0u8; n]`. The length must be
+        // validated against the configured cap before any body allocation.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(&0xFFFF_FFF0u32.to_le_bytes()).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let client = TcpTransport::connect(addr).unwrap().with_max_frame(1 << 20);
+        match client.recv() {
+            Err(DietError::Transport(e)) => assert!(e.contains("oversized"), "{e}"),
+            other => panic!("expected oversized-frame rejection, got {other:?}"),
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_configured_max_frame_is_enforced() {
+        // A frame one byte over the configured limit is rejected; the limit
+        // itself is fine.
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            if let Ok(m) = conn.recv() {
+                let _ = conn.send(&m);
+            }
+        })
+        .unwrap();
+        let big = Message::CallReply {
+            request_id: 1,
+            result: Err("x".repeat(4096)),
+        };
+        let frame_len = encode_message(&big).len();
+        let client = TcpTransport::connect(server.local_addr)
+            .unwrap()
+            .with_max_frame(frame_len - 1);
+        client.send(&big).unwrap();
+        assert!(matches!(client.recv(), Err(DietError::Transport(_))));
+    }
+
+    #[test]
+    fn tcp_server_kill_severs_live_connections() {
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            // Echo until the connection dies.
+            while let Ok(m) = conn.recv() {
+                if conn.send(&m).is_err() {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let client = TcpTransport::connect(server.local_addr).unwrap();
+        client.send(&Message::Ping).unwrap();
+        assert_eq!(client.recv().unwrap(), Message::Ping);
+        server.kill();
+        // The established connection is gone: the next exchange fails.
+        let dead = client
+            .send(&Message::Ping)
+            .and_then(|_| client.recv())
+            .and_then(|_| client.send(&Message::Ping))
+            .and_then(|_| client.recv());
+        assert!(dead.is_err(), "connection should be severed, got {dead:?}");
+    }
+
+    #[test]
+    fn sed_pool_times_out_and_recovers() {
+        use crate::profile::ProfileDesc;
+        // A server that never answers the first call, then echoes.
+        let hits = Arc::new(AtomicU64::new(0));
+        let server_hits = hits.clone();
+        let server = TcpServer::spawn("127.0.0.1:0", move |conn| {
+            while let Ok(m) = conn.recv() {
+                if let Message::Call {
+                    request_id,
+                    profile,
+                } = m
+                {
+                    if server_hits.fetch_add(1, Ordering::Relaxed) == 0 {
+                        continue; // swallow the first request
+                    }
+                    let _ = conn.send(&Message::CallReply {
+                        request_id,
+                        result: Ok(profile),
+                    });
+                }
+            }
+        })
+        .unwrap();
+        let pool = TcpSedPool::new();
+        pool.register("sed/0", server.local_addr);
+        let d = ProfileDesc::alloc("noop", -1, -1, 0);
+        let p = Profile::alloc(&d);
+        let r = pool.call("sed/0", p.clone(), Duration::from_millis(60));
+        assert!(matches!(r, Err(DietError::Timeout { .. })), "{r:?}");
+        // Second attempt uses a fresh connection and succeeds.
+        let ok = pool.call("sed/0", p.clone(), Duration::from_secs(2)).unwrap();
+        assert_eq!(ok, p);
     }
 
     #[test]

@@ -111,16 +111,16 @@ pub fn friends_of_friends(parts: &Particles, params: &FofParams) -> Vec<Vec<u32>
     // candidates. Cap the grid to keep memory sane for tiny lls.
     let ncell = ((1.0 / ll).floor() as usize).clamp(1, 128);
     let cell_of = |p: [f64; 3]| -> (usize, usize, usize) {
-        let f = |x: f64| (((x * ncell as f64) as usize).min(ncell - 1)) as usize;
+        let f = |x: f64| ((x * ncell as f64) as usize).min(ncell - 1);
         (f(p[0]), f(p[1]), f(p[2]))
     };
     let cidx = |c: (usize, usize, usize)| (c.0 * ncell + c.1) * ncell + c.2;
 
     let mut heads: Vec<i64> = vec![-1; ncell * ncell * ncell];
     let mut next: Vec<i64> = vec![-1; n];
-    for i in 0..n {
+    for (i, nx) in next.iter_mut().enumerate() {
         let c = cidx(cell_of(parts.pos[i]));
-        next[i] = heads[c];
+        *nx = heads[c];
         heads[c] = i as i64;
     }
 

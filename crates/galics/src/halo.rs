@@ -139,6 +139,7 @@ pub fn halo_maker(snap: &Snapshot, params: &FofParams) -> HaloCatalog {
 
         let mut vel = [0.0f64; 3];
         for &i in g {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 vel[d] += parts.mass[i as usize] * parts.vel[i as usize][d];
             }
@@ -164,6 +165,7 @@ pub fn halo_maker(snap: &Snapshot, params: &FofParams) -> HaloCatalog {
         // Velocity dispersion about the bulk motion.
         let mut v2 = 0.0;
         for &i in g {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 let dv = parts.vel[i as usize][d] - vel[d];
                 v2 += parts.mass[i as usize] * dv * dv;

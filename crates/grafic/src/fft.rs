@@ -241,7 +241,7 @@ impl Grid3 {
 pub fn freq(i: usize, n: usize) -> i64 {
     let i = i as i64;
     let n = n as i64;
-    if i <= n / 2 - 1 || n == 1 {
+    if i < n / 2 || n == 1 {
         i
     } else {
         i - n

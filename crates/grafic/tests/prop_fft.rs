@@ -53,7 +53,7 @@ proptest! {
         let i = i % n;
         let f = freq(i, n);
         prop_assert!(f >= -(n as i64) / 2);
-        prop_assert!(f < (n as i64 + 1) / 2.max(1));
+        prop_assert!(f < (n as i64 + 1) / 2);
         // Aliasing: f ≡ i (mod n).
         prop_assert_eq!(f.rem_euclid(n as i64), i as i64);
     }

@@ -147,6 +147,7 @@ impl Octree {
         for p in moved {
             let pos = parts.pos[p as usize];
             let mut oct = 0usize;
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 let c = (pos[d] * scale) as u64;
                 if c & 1 == 1 {
@@ -257,7 +258,7 @@ impl Octree {
                         // Deeper leaves also violate; approximate by checking
                         // one extra level down on the same footprint corner.
                         let deep = [sub[0] * 2, sub[1] * 2, sub[2] * 2];
-                        if l2 + 1 <= self.params.max_level
+                        if l2 < self.params.max_level
                             && leaves.contains_key(&(l2 + 1, deep))
                         {
                             return true;

@@ -139,6 +139,7 @@ pub fn riemann_flux(left: Prim, right: Prim, axis: usize, gamma: f64, solver: Ri
                 let un = w.vel[axis];
                 let coef = w.rho * (s - un) / (s - s_star);
                 let mut mom = [0.0; 3];
+                #[allow(clippy::needless_range_loop)]
                 for d in 0..3 {
                     mom[d] = coef * if d == axis { s_star } else { w.vel[d] };
                 }
@@ -232,6 +233,7 @@ impl HydroGrid {
         let v = 1.0 / (self.n as f64).powi(3);
         let mut m = [0.0; 3];
         for c in &self.cells {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 m[d] += c.mom[d] * v;
             }
@@ -282,6 +284,7 @@ impl HydroGrid {
                 // Kinetic-energy update uses the time-centred momentum for
                 // second-order accuracy: E += dt·(ρv + ρg dt/2)·g.
                 let mut e_src = 0.0;
+                #[allow(clippy::needless_range_loop)]
                 for d in 0..3 {
                     let mom_mid = u.mom[d] + 0.5 * dt * u.rho * g[d];
                     e_src += mom_mid * g[d];
@@ -336,6 +339,7 @@ impl HydroGrid {
                     let s_rho = minmod(w0.rho - wm.rho, wp.rho - w0.rho);
                     let s_p = minmod(w0.p - wm.p, wp.p - w0.p);
                     let mut s_v = [0.0; 3];
+                    #[allow(clippy::needless_range_loop)]
                     for d in 0..3 {
                         s_v[d] = minmod(w0.vel[d] - wm.vel[d], wp.vel[d] - w0.vel[d]);
                     }
@@ -510,8 +514,8 @@ mod tests {
         }
         assert!((g.total_mass() - m0).abs() < 1e-12 * m0.abs().max(1.0));
         assert!((g.total_energy() - e0).abs() < 1e-11 * e0.abs().max(1.0));
-        for d in 0..3 {
-            assert!((g.total_momentum()[d] - p0[d]).abs() < 1e-11);
+        for (m, p) in g.total_momentum().into_iter().zip(p0) {
+            assert!((m - p).abs() < 1e-11);
         }
     }
 

@@ -328,8 +328,10 @@ mod tests {
     use super::*;
 
     fn small_params() -> RunParams {
-        let mut cosmo = CosmoParams::default();
-        cosmo.a_init = 0.1;
+        let cosmo = CosmoParams {
+            a_init: 0.1,
+            ..CosmoParams::default()
+        };
         RunParams {
             cosmo,
             box_mpc_h: 100.0,
@@ -349,8 +351,10 @@ mod tests {
     }
 
     fn small_ics(seed: u64) -> grafic::IcParticles {
-        let mut cosmo = CosmoParams::default();
-        cosmo.a_init = 0.1;
+        let cosmo = CosmoParams {
+            a_init: 0.1,
+            ..CosmoParams::default()
+        };
         grafic::generate_single_level(&cosmo, 8, 100.0, seed).particles
     }
 
@@ -379,8 +383,8 @@ mod tests {
         let mut sim = Simulation::from_ics(small_params(), &ics);
         sim.run();
         for p in &sim.parts.pos {
-            for d in 0..3 {
-                assert!(p[d] >= 0.0 && p[d] < 1.0);
+            for x in p {
+                assert!((0.0..1.0).contains(x));
             }
         }
     }
@@ -452,8 +456,8 @@ mod tests {
         assert!((sim.parts.total_mass() - 1.0).abs() < 1e-9);
         // Particles stay in the box.
         for p in &sim.parts.pos {
-            for d in 0..3 {
-                assert!(p[d] >= 0.0 && p[d] < 1.0);
+            for x in p {
+                assert!((0.0..1.0).contains(x));
             }
         }
     }

@@ -74,6 +74,7 @@ impl Particles {
         let mut c = [0.0f64; 3];
         let mut m = 0.0;
         for i in 0..self.len() {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 c[d] += self.mass[i] * self.pos[i][d];
             }
@@ -90,8 +91,8 @@ impl Particles {
     /// Wrap all positions back into the unit box (after a drift).
     pub fn wrap(&mut self) {
         self.pos.par_iter_mut().for_each(|p| {
-            for d in 0..3 {
-                p[d] = wrap01(p[d]);
+            for x in p.iter_mut() {
+                *x = wrap01(*x);
             }
         });
     }
@@ -269,8 +270,8 @@ mod tests {
         parts.push([0.999, 0.001, 0.5], [0.0; 3], 1.0, 1);
         let out = cic_interp_force(&parts, &force);
         for o in out {
-            for axis in 0..3 {
-                assert!((o[axis] - 2.5).abs() < 1e-12);
+            for v in o {
+                assert!((v - 2.5).abs() < 1e-12);
             }
         }
     }

@@ -24,7 +24,7 @@ pub const MAX_ORDER: u32 = 21;
 /// assert_eq!(decode(key, 4), (3, 5, 7));
 /// ```
 pub fn encode(x: u64, y: u64, z: u64, order: u32) -> u64 {
-    assert!(order >= 1 && order <= MAX_ORDER, "order out of range");
+    assert!((1..=MAX_ORDER).contains(&order), "order out of range");
     let n = 1u64 << order;
     assert!(x < n && y < n && z < n, "coordinate exceeds 2^order");
     let mut coords = [x, y, z];
@@ -41,7 +41,7 @@ pub fn encode(x: u64, y: u64, z: u64, order: u32) -> u64 {
 
 /// Inverse of [`encode`].
 pub fn decode(key: u64, order: u32) -> (u64, u64, u64) {
-    assert!(order >= 1 && order <= MAX_ORDER, "order out of range");
+    assert!((1..=MAX_ORDER).contains(&order), "order out of range");
     assert!(
         order == 63 / 3 || key < 1u64 << (3 * order),
         "key exceeds 2^(3·order)"
@@ -226,7 +226,7 @@ mod tests {
             counts[domain_of(k, &cuts)] += 1;
         }
         for c in counts {
-            assert!(c >= 100 && c <= 200, "unbalanced domain: {c}");
+            assert!((100..=200).contains(&c), "unbalanced domain: {c}");
         }
     }
 
@@ -250,10 +250,10 @@ mod tests {
         let mut prev = decode(0, order);
         for k in 1..n * n * n {
             let cur = decode(k, order);
-            hilbert_dist += (((cur.0 as f64 - prev.0 as f64).powi(2)
+            hilbert_dist += ((cur.0 as f64 - prev.0 as f64).powi(2)
                 + (cur.1 as f64 - prev.1 as f64).powi(2)
-                + (cur.2 as f64 - prev.2 as f64).powi(2)) as f64)
-                .sqrt();
+                + (cur.2 as f64 - prev.2 as f64).powi(2))
+            .sqrt();
             prev = cur;
         }
         assert!((hilbert_dist / total - 1.0).abs() < 1e-12); // unit steps

@@ -64,7 +64,7 @@ pub fn select_patch(rho: &Mesh, threshold: f64) -> Option<([usize; 3], usize)> {
         lo[1].saturating_sub(1).min(n - extent),
         lo[2].saturating_sub(1).min(n - extent),
     ];
-    if extent >= n / 2 + 1 {
+    if extent > n / 2 {
         return None;
     }
     Some((corner, extent))
@@ -219,6 +219,7 @@ impl RefinedPatch {
     /// (at least one fine cell away from the boundary layer)?
     pub fn contains(&self, pos: [f64; 3]) -> bool {
         let fine_h = 1.0 / (2.0 * self.base_n as f64);
+        #[allow(clippy::needless_range_loop)]
         for d in 0..3 {
             let rel = (pos[d] - self.corner[d] as f64 / self.base_n as f64) / fine_h;
             if rel < 1.0 || rel >= (self.fine_n - 3) as f64 {

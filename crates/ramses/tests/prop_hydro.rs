@@ -61,8 +61,8 @@ proptest! {
         }
         prop_assert!((g.total_mass() - m0).abs() < 1e-11 * m0.max(1.0));
         prop_assert!((g.total_energy() - e0).abs() < 1e-10 * e0.abs().max(1.0));
-        for d in 0..3 {
-            prop_assert!((g.total_momentum()[d] - p0[d]).abs() < 1e-10);
+        for (m, p) in g.total_momentum().into_iter().zip(p0) {
+            prop_assert!((m - p).abs() < 1e-10);
         }
     }
 
@@ -91,8 +91,8 @@ proptest! {
         let mut exact_mom = [c.mom[0] * u, c.mom[1] * u, c.mom[2] * u];
         exact_mom[axis] += w.p;
         prop_assert!((f.rho - c.rho * u).abs() < 1e-9 * (1.0 + c.rho.abs()));
-        for d in 0..3 {
-            prop_assert!((f.mom[d] - exact_mom[d]).abs() < 1e-9 * (1.0 + exact_mom[d].abs()));
+        for (fm, em) in f.mom.into_iter().zip(exact_mom) {
+            prop_assert!((fm - em).abs() < 1e-9 * (1.0 + em.abs()));
         }
         prop_assert!((f.e - (c.e + w.p) * u).abs() < 1e-9 * (1.0 + c.e.abs()));
     }

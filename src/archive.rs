@@ -97,10 +97,10 @@ pub fn pack(entries: &[Entry]) -> Result<Bytes, TarError> {
         out.extend_from_slice(&h);
         out.extend_from_slice(&e.data);
         let pad = (BLOCK - e.data.len() % BLOCK) % BLOCK;
-        out.extend(std::iter::repeat(0u8).take(pad));
+        out.extend(std::iter::repeat_n(0u8, pad));
     }
     // End-of-archive: two zero blocks.
-    out.extend(std::iter::repeat(0u8).take(2 * BLOCK));
+    out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
     Ok(Bytes::from(out))
 }
 

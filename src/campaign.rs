@@ -113,6 +113,8 @@ struct State {
     nfs: Vec<gridsim::nfs::NfsVolume>,
     /// Cluster index of each SeD (for NFS lookup).
     sed_cluster: Vec<usize>,
+    /// Orphaned requests re-entered through the MA after a SeD death.
+    resubmitted: usize,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -324,6 +326,10 @@ pub struct CampaignResult {
     pub sequential_s: f64,
     /// The raw trace for custom analysis / Gantt rendering.
     pub gantt: Gantt,
+    /// Requests resubmitted through the MA after a SeD failure (0 in a
+    /// failure-free run): orphaned queue entries plus the lost in-flight
+    /// execution.
+    pub resubmissions: usize,
 }
 
 impl CampaignResult {
@@ -399,6 +405,7 @@ pub fn run_campaign_on(cfg: CampaignConfig, platform: &Grid5000) -> CampaignResu
         part1_done_at: None,
         nfs,
         sed_cluster,
+        resubmitted: 0,
     };
     let mut eng: Engine<State> = Engine::new();
     eng.schedule_at(0.0, |eng, st: &mut State| {
@@ -442,6 +449,7 @@ pub fn run_campaign_on(cfg: CampaignConfig, platform: &Grid5000) -> CampaignResu
                 orphans.push(running);
             }
             st.seds[sed].outstanding = 0;
+            st.resubmitted += orphans.len();
             for (r, k) in orphans {
                 submit(eng, st, r, k);
             }
@@ -519,6 +527,7 @@ pub fn run_campaign_on(cfg: CampaignConfig, platform: &Grid5000) -> CampaignResu
         overhead_mean,
         sequential_s,
         gantt,
+        resubmissions: state.resubmitted,
     }
 }
 

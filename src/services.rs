@@ -40,7 +40,7 @@ const MAX_ZOOM_LEVELS: i32 = 4;
 
 fn parse_run(nl_text: &str, resolution: i32) -> Result<(RunParams, f64), i32> {
     let nl = Namelist::parse(nl_text).map_err(|_| status::BAD_NAMELIST)?;
-    if resolution < 4 || resolution > MAX_RESOLUTION || !(resolution as u32).is_power_of_two() {
+    if !(4..=MAX_RESOLUTION).contains(&resolution) || !(resolution as u32).is_power_of_two() {
         return Err(status::BAD_RESOLUTION);
     }
     let boxlen = nl.get_f64("AMR_PARAMS", "boxlen").unwrap_or(100.0);
@@ -399,6 +399,76 @@ pub fn zoom2_profile(
             .unwrap();
     }
     p
+}
+
+/// Expose a live SeD over TCP — the serving half of the CORBA role in the
+/// original DIET. Each accepted connection streams `Call`/`CallReply` frames
+/// and answers `Ping` with `Pong` so remote heartbeat monitors can probe the
+/// node.
+///
+/// Failure semantics, chosen so clients can tell application errors from
+/// crashes:
+///
+/// * Submission rejections and solve errors travel back as `CallReply` with
+///   an `Err` string — the request *was* handled, it just failed, so the
+///   client must not silently resubmit it.
+/// * If the SeD worker dies mid-call the connection is dropped **without** a
+///   reply: the client observes a transport error, which the retry layer
+///   treats as retryable and resubmits through the Master Agent.
+/// * Reply frames that cannot be delivered (client gone, socket reset) are
+///   recorded on the SeD's load tracker via
+///   [`diet_core::sed::SedHandle::note_reply_failure`] instead of being
+///   swallowed.
+pub fn serve_sed_over_tcp(
+    sed: Arc<diet_core::sed::SedHandle>,
+) -> Result<diet_core::transport::TcpServer, diet_core::DietError> {
+    use diet_core::codec::Message;
+    use diet_core::transport::Duplex;
+
+    diet_core::transport::TcpServer::spawn("127.0.0.1:0", move |conn| {
+        while let Ok(msg) = conn.recv() {
+            match msg {
+                Message::Call {
+                    request_id,
+                    profile,
+                } => {
+                    let reply = match sed.submit(profile) {
+                        Ok(rx) => match rx.recv() {
+                            Ok(outcome) => Message::CallReply {
+                                request_id,
+                                result: outcome.result.map_err(|e| e.to_string()),
+                            },
+                            // Worker crashed while holding the request: the
+                            // reply can never come. Sever the connection so
+                            // the client sees a transport fault and retries
+                            // elsewhere, and count the undeliverable reply.
+                            Err(_) => {
+                                sed.note_reply_failure();
+                                // Breaking severs the connection (TcpServer
+                                // shuts the socket down when the handler
+                                // returns), so the client sees EOF at once.
+                                break;
+                            }
+                        },
+                        Err(e) => Message::CallReply {
+                            request_id,
+                            result: Err(e.to_string()),
+                        },
+                    };
+                    if conn.send(&reply).is_err() {
+                        sed.note_reply_failure();
+                        break;
+                    }
+                }
+                Message::Ping
+                    if conn.send(&Message::Pong).is_err() => {
+                        break;
+                    }
+                Message::Shutdown => break,
+                _ => {}
+            }
+        }
+    })
 }
 
 #[cfg(test)]

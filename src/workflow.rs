@@ -92,6 +92,7 @@ impl ZoomWorkflow {
                 let npart: usize = f.get(1)?.parse().ok()?;
                 let mass: f64 = f.get(2)?.parse().ok()?;
                 let mut c = [0i32; 3];
+                #[allow(clippy::needless_range_loop)]
                 for d in 0..3 {
                     let x: f64 = f.get(3 + d)?.parse().ok()?;
                     c[d] = (x * 100.0).round() as i32;

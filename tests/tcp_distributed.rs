@@ -4,7 +4,7 @@
 //! protocol (`Call` / `CallReply`) through `TcpTransport`.
 
 use cosmogrid::namelist::default_run_namelist;
-use cosmogrid::services::{cosmology_service_table, status, zoom1_profile};
+use cosmogrid::services::{cosmology_service_table, serve_sed_over_tcp, status, zoom1_profile};
 use diet_core::codec::Message;
 use diet_core::sed::{SedConfig, SedHandle};
 use diet_core::transport::{Duplex, TcpServer, TcpTransport};
@@ -12,44 +12,7 @@ use std::sync::Arc;
 
 /// Expose a SeD over TCP: each connection can stream multiple calls.
 fn serve_sed(sed: Arc<SedHandle>) -> TcpServer {
-    TcpServer::spawn("127.0.0.1:0", move |conn| {
-        while let Ok(msg) = conn.recv() {
-            match msg {
-                Message::Call {
-                    request_id,
-                    profile,
-                } => {
-                    let reply = match sed.submit(profile) {
-                        Ok(rx) => match rx.recv() {
-                            Ok(outcome) => Message::CallReply {
-                                request_id,
-                                result: outcome.result.map_err(|e| e.to_string()),
-                            },
-                            Err(_) => Message::CallReply {
-                                request_id,
-                                result: Err("sed worker died".into()),
-                            },
-                        },
-                        Err(e) => Message::CallReply {
-                            request_id,
-                            result: Err(e.to_string()),
-                        },
-                    };
-                    if conn.send(&reply).is_err() {
-                        break;
-                    }
-                }
-                Message::Ping => {
-                    if conn.send(&Message::Pong).is_err() {
-                        break;
-                    }
-                }
-                Message::Shutdown => break,
-                _ => {}
-            }
-        }
-    })
-    .expect("bind")
+    serve_sed_over_tcp(sed).expect("bind")
 }
 
 #[test]

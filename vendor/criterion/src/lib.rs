@@ -1,0 +1,109 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Each `bench_function` runs its body a handful of times and prints a
+//! rough per-iteration wall time — a smoke run that keeps `cargo bench`
+//! working without the statistics machinery.
+
+use std::time::Instant;
+
+const WARMUP_ITERS: u32 = 1;
+const MEASURE_ITERS: u32 = 5;
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+}
+
+fn report(name: &str, nanos: f64) {
+    if nanos >= 1e9 {
+        println!("bench {name:<50} {:>10.3} s/iter", nanos / 1e9);
+    } else if nanos >= 1e6 {
+        println!("bench {name:<50} {:>10.3} ms/iter", nanos / 1e6);
+    } else if nanos >= 1e3 {
+        println!("bench {name:<50} {:>10.3} us/iter", nanos / 1e3);
+    } else {
+        println!("bench {name:<50} {:>10.0} ns/iter", nanos);
+    }
+}
+
+/// Top-level driver; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { nanos_per_iter: 0.0 };
+        f(&mut b);
+        report(name.as_ref(), b.nanos_per_iter);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// Named group; benchmarks report as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { nanos_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.prefix, name.as_ref()), b.nanos_per_iter);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,244 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` module subset this workspace uses: MPMC
+//! bounded/unbounded channels with blocking, timed, and non-blocking
+//! receives, and disconnection detection on both ends.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self
+                            .0
+                            .not_full
+                            .wait_timeout(q, Duration::from_millis(50))
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .0
+                    .not_empty
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let wait = (deadline - now).min(Duration::from_millis(50));
+                q = self
+                    .0
+                    .not_empty
+                    .wait_timeout(q, wait)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+        }
+
+        #[test]
+        fn disconnect_is_detected() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<i32>();
+            let r = rx.recv_timeout(Duration::from_millis(10));
+            assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = bounded(2);
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv().unwrap());
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

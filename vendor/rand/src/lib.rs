@@ -1,0 +1,192 @@
+//! Minimal offline stand-in for the `rand` crate (0.10-style API).
+//!
+//! Provides `StdRng` (xoshiro256** seeded through splitmix64), the
+//! `SeedableRng`/`RngCore`/`Rng`/`RngExt` traits, and `random::<T>()` for
+//! the primitive types this workspace draws. Deterministic per seed.
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Marker-plus-convenience trait kept for API compatibility.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore> Rng for R {}
+
+/// Extension methods (`rng.random::<T>()`).
+pub trait RngExt: RngCore {
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn random_range(&mut self, range: std::ops::Range<f64>) -> f64
+    where
+        Self: Sized,
+    {
+        range.start + f64::random(self) * (range.end - range.start)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from an RNG.
+pub trait Random {
+    fn random<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Random for u64 {
+    fn random<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Random for i64 {
+    fn random<R: RngCore>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for i32 {
+    fn random<R: RngCore>(rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Random for u8 {
+    fn random<R: RngCore>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Random for usize {
+    fn random<R: RngCore>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — fast, high-quality, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut x),
+                    splitmix64(&mut x),
+                    splitmix64(&mut x),
+                    splitmix64(&mut x),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

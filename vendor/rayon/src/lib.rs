@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! Exposes the parallel-iterator API surface this workspace uses —
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks_exact_mut`, and
+//! the `fold`/`reduce`/`map`/`for_each`/`collect` adapters — executed
+//! sequentially. Numerically identical results, no thread pool.
+
+/// Wrapper that carries rayon's adapter semantics over a std iterator.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> O,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Rayon's two-closure fold: yields per-"thread" accumulators — exactly
+    /// one here. Chain with [`ParIter::reduce`] as in real rayon.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.0.fold(identity(), fold_op);
+        ParIter(std::iter::once(acc))
+    }
+
+    /// Rayon's identity-based reduce.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Slice-side entry points (`Vec` reaches these through deref).
+pub trait ParallelSliceOps<T> {
+    fn par_iter<'a>(&'a self) -> ParIter<std::slice::Iter<'a, T>>;
+    fn par_iter_mut<'a>(&'a mut self) -> ParIter<std::slice::IterMut<'a, T>>;
+    fn par_chunks_mut<'a>(&'a mut self, size: usize) -> ParIter<std::slice::ChunksMut<'a, T>>;
+    fn par_chunks_exact_mut<'a>(
+        &'a mut self,
+        size: usize,
+    ) -> ParIter<std::slice::ChunksExactMut<'a, T>>;
+}
+
+impl<T> ParallelSliceOps<T> for [T] {
+    fn par_iter<'a>(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_iter_mut<'a>(&'a mut self) -> ParIter<std::slice::IterMut<'a, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut<'a>(&'a mut self, size: usize) -> ParIter<std::slice::ChunksMut<'a, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+
+    fn par_chunks_exact_mut<'a>(
+        &'a mut self,
+        size: usize,
+    ) -> ParIter<std::slice::ChunksExactMut<'a, T>> {
+        ParIter(self.chunks_exact_mut(size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceOps};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn slice_adapters() {
+        let mut v = vec![1, 2, 3, 4];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, vec![2, 4, 6, 8]);
+        let doubled: Vec<i32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(doubled, vec![3, 5, 7, 9]);
+        v.par_chunks_exact_mut(2).for_each(|c| c.swap(0, 1));
+        assert_eq!(v, vec![4, 2, 8, 6]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let m = [1.0f64, 5.0, 3.0]
+            .par_iter()
+            .map(|x| *x)
+            .reduce(|| 0.0, f64::max);
+        assert_eq!(m, 5.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as both marker traits and no-op derive
+//! macros (the two share a name across the type and macro namespaces, as in
+//! real serde). No serializer backend exists in this workspace, so the
+//! traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
