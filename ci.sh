@@ -5,3 +5,13 @@ set -eux
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Determinism regression: the full simulation and solver stack must be
+# bitwise-identical at 1 and 4 threads (the tests also sweep widths
+# in-process via ThreadPool::install).
+RAYON_NUM_THREADS=1 cargo test -q -p ramses --test determinism_threads
+RAYON_NUM_THREADS=4 cargo test -q -p ramses --test determinism_threads
+
+# Kernel-scaling smoke: reduced sweep, validates the JSON artifact and the
+# cross-thread-count checksums (exits non-zero on mismatch).
+cargo run --release -p bench --bin exp_kernel_scaling -- --quick

@@ -1,0 +1,275 @@
+//! Kernel-scaling baseline: wall-clock of the hot compute kernels versus
+//! thread count (DESIGN.md §8, threading model).
+//!
+//! Sweeps the pool width over {1, 2, 4, 8} via `ThreadPool::install` and
+//! times the Poisson multigrid solve, the CIC deposit + force interpolation,
+//! one Godunov hydro step, and a 3-D FFT roundtrip. Each kernel reports the
+//! median of several repetitions plus the speedup relative to one thread,
+//! and a rotate-XOR checksum over the output bits — asserted identical at
+//! every width, pinning the pool's bitwise-determinism guarantee at the
+//! benchmark level too.
+//!
+//! Writes `BENCH_kernels.json`. Note: speedups are only meaningful when the
+//! host exposes real cores; the artifact records `available_parallelism` so
+//! readers can judge (a 1-CPU container reports ~1.0x throughout — the
+//! sweep still validates determinism and oversubscription safety there).
+//!
+//! `--quick` runs a reduced sweep (16-cubed, threads {1, 2}, fewer reps)
+//! into `target/experiments/` and validates the JSON artifact, as a CI
+//! smoke test.
+
+use bench::validate_json;
+use grafic::fft::{Complex, Direction, Grid3};
+use grafic::CosmoParams;
+use ramses::hydro::{HydroGrid, Prim, Riemann, GAMMA_DEFAULT};
+use ramses::particles::{cic_deposit, cic_interp_force, Mesh, Particles};
+use ramses::poisson::{gradient_force, solve, MgConfig};
+use std::time::Instant;
+
+/// Order-sensitive checksum over f64 bit patterns: any single-bit change in
+/// any value, or any reordering, changes the digest.
+fn checksum(vals: impl Iterator<Item = f64>) -> u64 {
+    vals.fold(0u64, |h, v| h.rotate_left(1) ^ v.to_bits())
+}
+
+struct Sample {
+    threads: usize,
+    median_ns: u128,
+    check: u64,
+}
+
+/// Time `op` at each pool width: `reps` timed runs per width (after one
+/// warm-up), keeping the median and the output checksum.
+fn sweep(threads: &[usize], reps: usize, mut op: impl FnMut() -> u64) -> Vec<Sample> {
+    threads
+        .iter()
+        .map(|&t| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("pool build cannot fail");
+            pool.install(|| {
+                let mut check = op(); // warm-up (also seeds the checksum)
+                let mut times: Vec<u128> = (0..reps)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        check = op();
+                        t0.elapsed().as_nanos()
+                    })
+                    .collect();
+                times.sort_unstable();
+                Sample {
+                    threads: t,
+                    median_ns: times[times.len() / 2],
+                    check,
+                }
+            })
+        })
+        .collect()
+}
+
+fn fixture_source(n: usize) -> Mesh {
+    let mut s = Mesh::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let x = (i as f64 + 0.5) / n as f64;
+                let y = (j as f64 + 0.5) / n as f64;
+                let z = (k as f64 + 0.5) / n as f64;
+                let ix = s.idx(i, j, k);
+                s.data[ix] = (2.0 * std::f64::consts::PI * x).sin()
+                    * (4.0 * std::f64::consts::PI * y).cos()
+                    + (6.0 * std::f64::consts::PI * z).sin();
+            }
+        }
+    }
+    s
+}
+
+struct KernelReport {
+    name: &'static str,
+    samples: Vec<Sample>,
+}
+
+impl KernelReport {
+    fn checks_consistent(&self) -> bool {
+        self.samples
+            .windows(2)
+            .all(|w| w[0].check == w[1].check)
+    }
+
+    fn to_json(&self) -> String {
+        let base = self.samples[0].median_ns.max(1) as f64;
+        let rows: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"threads\": {}, \"median_ns\": {}, \"speedup\": {:.3}}}",
+                    s.threads,
+                    s.median_ns,
+                    base / s.median_ns.max(1) as f64
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"{}\", \"checksum_consistent\": {}, \"results\": [{}]}}",
+            self.name,
+            self.checks_consistent(),
+            rows.join(", ")
+        )
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, threads, reps): (usize, &[usize], usize) = if quick {
+        (16, &[1, 2], 2)
+    } else {
+        (32, &[1, 2, 4, 8], 5)
+    };
+
+    println!("== kernel scaling: n = {n}, threads = {threads:?}, {reps} reps ==");
+
+    let cosmo = CosmoParams::default();
+    let parts = Particles::from_ics(
+        &grafic::generate_single_level(&cosmo, n, 100.0, 7).particles,
+        100.0,
+    );
+    let source = fixture_source(n);
+    let mg = MgConfig::default();
+
+    let mut reports = Vec::new();
+
+    // Poisson multigrid solve (smooth/residual/restrict/prolong stack).
+    reports.push(KernelReport {
+        name: "poisson_mg",
+        samples: sweep(threads, reps, || {
+            let sol = solve(&source, &mg);
+            checksum(sol.phi.data.iter().copied())
+        }),
+    });
+
+    // CIC deposit + gradient force + interpolation back to particles — the
+    // particle half of one PM gravity evaluation.
+    let phi = solve(&source, &mg).phi;
+    let accel = gradient_force(&phi);
+    reports.push(KernelReport {
+        name: "nbody_cic",
+        samples: sweep(threads, reps, || {
+            let rho = cic_deposit(&parts, n);
+            let f = cic_interp_force(&parts, &accel);
+            checksum(
+                rho.data
+                    .iter()
+                    .copied()
+                    .chain(f.iter().flat_map(|a| a.iter().copied())),
+            )
+        }),
+    });
+
+    // One Godunov step on a smooth over-pressured sphere.
+    let gas0 = HydroGrid::from_fn(n, GAMMA_DEFAULT, |x| {
+        let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2) + (x[2] - 0.5).powi(2);
+        Prim {
+            rho: 1.0,
+            vel: [0.0; 3],
+            p: if r2 < 0.05 { 1.0 } else { 0.1 },
+        }
+    });
+    reports.push(KernelReport {
+        name: "hydro_step",
+        samples: sweep(threads, reps, || {
+            let mut gas = gas0.clone();
+            let dt = gas.max_dt(0.4);
+            gas.step(dt, Riemann::Hllc);
+            checksum(gas.cells.iter().flat_map(|c| {
+                [c.rho, c.mom[0], c.mom[1], c.mom[2], c.e].into_iter()
+            }))
+        }),
+    });
+
+    // 3-D FFT roundtrip.
+    let mut grid0 = Grid3::zeros(n);
+    for (i, v) in grid0.data.iter_mut().enumerate() {
+        *v = Complex::new((i % 13) as f64, 0.0);
+    }
+    reports.push(KernelReport {
+        name: "fft3d_roundtrip",
+        samples: sweep(threads, reps, || {
+            let mut g = grid0.clone();
+            g.fft(Direction::Forward);
+            g.fft(Direction::Inverse);
+            checksum(g.data.iter().flat_map(|c| [c.re, c.im].into_iter()))
+        }),
+    });
+
+    let mut ok = true;
+    for r in &reports {
+        let base = r.samples[0].median_ns.max(1) as f64;
+        println!("  {}:", r.name);
+        for s in &r.samples {
+            println!(
+                "    {} thread(s): {:>12} ns/op  speedup {:.2}x",
+                s.threads,
+                s.median_ns,
+                base / s.median_ns.max(1) as f64
+            );
+        }
+        if r.checks_consistent() {
+            println!("    checksums: identical at every width");
+        } else {
+            println!("    checksums: MISMATCH — determinism violated");
+            ok = false;
+        }
+    }
+
+    let avail = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"kernel_scaling\",\n  \"mesh_n\": {n},\n  \
+         \"threads_swept\": [{}],\n  \"reps\": {reps},\n  \
+         \"available_parallelism\": {avail},\n  \
+         \"rayon_default_threads\": {},\n  \"kernels\": [\n    {}\n  ]\n}}\n",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        rayon::current_num_threads(),
+        reports
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    validate_json(&json).expect("generated artifact must be well-formed JSON");
+
+    let path = if quick {
+        bench::artifact_dir().join("BENCH_kernels_quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_kernels.json")
+    };
+    std::fs::write(&path, &json).expect("failed to write artifact");
+    println!("wrote {}", path.display());
+
+    // Smoke-check the artifact on disk: re-read, re-validate, and require
+    // the keys downstream tooling consumes.
+    let disk = std::fs::read_to_string(&path).expect("artifact unreadable");
+    validate_json(&disk).expect("artifact on disk must be well-formed JSON");
+    for key in [
+        "\"experiment\"",
+        "\"kernels\"",
+        "\"median_ns\"",
+        "\"speedup\"",
+        "\"available_parallelism\"",
+    ] {
+        assert!(disk.contains(key), "artifact missing {key}");
+    }
+
+    if !ok {
+        eprintln!("FAIL: checksum mismatch across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -203,30 +203,40 @@ impl Grid3 {
                 }
             });
 
-        // Pass 3: lines along x (stride n*n). Parallelise over (j, k) pairs
-        // by processing y-z columns; we copy out, transform, copy back.
-        let plane = n * n;
-        let data = &mut self.data;
-        // Split into jk-index chunks handled in parallel via unsafe-free
-        // approach: collect transformed lines then write back serially is
-        // memory-hungry; instead operate on disjoint jk sets with par_iter
-        // over a temporary of line copies.
-        let lines: Vec<(usize, Vec<Complex>)> = (0..plane)
-            .into_par_iter()
-            .map(|jk| {
-                let mut line = vec![Complex::ZERO; n];
-                for (i, l) in line.iter_mut().enumerate() {
-                    *l = data[i * plane + jk];
-                }
-                fft_1d(&mut line, dir);
-                (jk, line)
-            })
-            .collect();
-        for (jk, line) in lines {
-            for (i, v) in line.into_iter().enumerate() {
-                data[i * plane + jk] = v;
+        // Pass 3: lines along x (stride n*n). Each (j, k) pair owns one y-z
+        // column — a disjoint set of elements — so workers write through a
+        // shared base pointer without intermediate collection.
+        #[derive(Clone, Copy)]
+        struct RawMut(*mut Complex);
+        unsafe impl Send for RawMut {}
+        unsafe impl Sync for RawMut {}
+        impl RawMut {
+            // Accessor so closures capture the whole `Sync` wrapper, not the
+            // bare pointer field (Rust 2021 disjoint capture).
+            #[inline]
+            fn ptr(self) -> *mut Complex {
+                self.0
             }
         }
+        let plane = n * n;
+        let base = RawMut(self.data.as_mut_ptr());
+        (0..plane).into_par_iter().for_each(move |jk| {
+            let p = base.ptr();
+            let mut line = vec![Complex::ZERO; n];
+            for (i, l) in line.iter_mut().enumerate() {
+                // SAFETY: column `jk` (elements i*plane + jk for all i) is
+                // touched by exactly one worker per the chunked partition.
+                unsafe {
+                    *l = *p.add(i * plane + jk);
+                }
+            }
+            fft_1d(&mut line, dir);
+            for (i, v) in line.into_iter().enumerate() {
+                unsafe {
+                    *p.add(i * plane + jk) = v;
+                }
+            }
+        });
     }
 
     /// Total power `Σ |f|²` — useful for Parseval checks.

@@ -20,6 +20,7 @@
 use crate::cosmology::Cosmology;
 use crate::particles::{cic_deposit, cic_interp_force, Mesh, Particles};
 use crate::poisson::{gradient_force, solve, MgConfig};
+use rayon::prelude::*;
 
 /// Gravity solver over the periodic base mesh.
 #[derive(Debug, Clone)]
@@ -56,9 +57,7 @@ impl PmGravity {
         // and the unit box has volume 1, so ⟨ρ⟩ = 1.
         let factor = cosmo.poisson_factor(a);
         let mut src = rho.clone();
-        for v in src.data.iter_mut() {
-            *v = factor * (*v - 1.0);
-        }
+        src.data.par_iter_mut().for_each(|v| *v = factor * (*v - 1.0));
         let sol = solve(&src, &self.mg);
         let accel = gradient_force(&sol.phi);
         ForceField {
@@ -77,22 +76,22 @@ impl PmGravity {
 /// Kick: p += g·dt (the canonical-momentum equation has no explicit `a`;
 /// the argument is kept for interface symmetry and future drag terms).
 pub fn kick(parts: &mut Particles, acc: &[[f64; 3]], _a: f64, dt: f64) {
-    for (v, g) in parts.vel.iter_mut().zip(acc) {
+    parts.vel.par_iter_mut().enumerate().for_each(|(i, v)| {
         for d in 0..3 {
-            v[d] += g[d] * dt;
+            v[d] += acc[i][d] * dt;
         }
-    }
+    });
 }
 
 /// Drift: x += v·dt/a² , then wrap into the box.
 pub fn drift(parts: &mut Particles, a: f64, dt: f64) {
     let f = dt / (a * a);
-    for p in parts.pos.iter_mut().zip(parts.vel.iter()) {
-        let (x, v) = p;
+    let (pos, vel) = (&mut parts.pos, &parts.vel);
+    pos.par_iter_mut().enumerate().for_each(|(i, x)| {
         for d in 0..3 {
-            x[d] += v[d] * f;
+            x[d] += vel[i][d] * f;
         }
-    }
+    });
     parts.wrap();
 }
 
@@ -128,11 +127,14 @@ impl StepControl {
     ) -> f64 {
         let dx = 1.0 / n_mesh as f64;
         // Velocity bound.
+        // Parallel max is exact (max is associative and commutative), so the
+        // chunked reduction cannot perturb the result.
         let vmax = parts
             .vel
-            .iter()
+            .par_iter()
+            .with_min_len(1024)
             .map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt())
-            .fold(0.0f64, f64::max);
+            .reduce(|| 0.0f64, f64::max);
         let dt_v = if vmax > 0.0 {
             self.courant_cells * dx * a * a / vmax
         } else {

@@ -399,7 +399,7 @@ impl HydroGrid {
         };
         let mut new_cells = self.cells.clone();
         new_cells
-            .iter_mut()
+            .par_iter_mut()
             .enumerate()
             .for_each(|(ix, u)| {
                 let (i, j, k) = (

@@ -31,10 +31,14 @@
 //! * [`io`] — Fortran-record-style binary snapshot files, as produced by the
 //!   original code and consumed by the GALICS post-processing chain.
 //!
-//! Shared-memory parallelism uses rayon; in the original system MPI ranks
-//! within one cluster played this role, while the *grid* level of parallelism
-//! (one simulation per cluster) is the middleware's job and lives in
-//! `diet-core`.
+//! Shared-memory parallelism runs on the vendored `rayon` facade's thread
+//! pool (see `vendor/rayon` and DESIGN.md §"Threading model"): the hot
+//! kernels — red-black Gauss–Seidel smoothing, CIC deposit/interpolation,
+//! the Godunov sweeps — execute on `RAYON_NUM_THREADS` threads with
+//! bitwise-identical results at any thread count. In the original system MPI
+//! ranks within one cluster played this role, while the *grid* level of
+//! parallelism (one simulation per cluster) is the middleware's job and
+//! lives in `diet-core`.
 
 pub mod amr;
 pub mod cosmology;

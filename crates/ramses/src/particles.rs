@@ -143,15 +143,25 @@ impl Mesh {
     }
 }
 
-/// Cloud-in-cell deposit: spread each particle's mass over the 8 nearest
-/// cells with trilinear weights, producing a *density* mesh normalised so
-/// that mean density 1 corresponds to uniform mass distribution
-/// (i.e. the overdensity is `rho - 1` when total mass is 1).
-pub fn cic_deposit(parts: &Particles, n: usize) -> Mesh {
-    let mut mesh = Mesh::zeros(n);
+/// Number of scratch meshes the parallel CIC deposit builds. A function of
+/// the particle count ONLY — never the thread count — so the accumulation
+/// order (and the bitwise f64 result) is identical at any parallelism level.
+/// Small sets use one chunk, which reproduces the serial deposit exactly.
+#[inline]
+fn deposit_chunks(np: usize) -> usize {
+    if np < 4096 {
+        1
+    } else {
+        8
+    }
+}
+
+/// Deposit particles `[lo, hi)` into `mesh` (serial scatter over one range).
+fn deposit_range(parts: &Particles, mesh: &mut Mesh, lo: usize, hi: usize) {
+    let n = mesh.n;
     let nf = n as f64;
     let cell_volume = 1.0 / (nf * nf * nf);
-    for p in 0..parts.len() {
+    for p in lo..hi {
         let m = parts.mass[p] / cell_volume; // density contribution
         let mut base = [0usize; 3];
         let mut frac = [0.0f64; 3];
@@ -170,6 +180,42 @@ pub fn cic_deposit(parts: &Particles, n: usize) -> Mesh {
             }
         }
     }
+}
+
+/// Cloud-in-cell deposit: spread each particle's mass over the 8 nearest
+/// cells with trilinear weights, producing a *density* mesh normalised so
+/// that mean density 1 corresponds to uniform mass distribution
+/// (i.e. the overdensity is `rho - 1` when total mass is 1).
+///
+/// Parallelised by splitting the particle range into [`deposit_chunks`]
+/// fixed chunks, scattering each into its own scratch mesh concurrently,
+/// then merging the scratch meshes per-cell in ascending chunk order (the
+/// merge itself is parallel over cells). The chunking is independent of the
+/// thread count, so the result is bitwise-identical at any parallelism.
+pub fn cic_deposit(parts: &Particles, n: usize) -> Mesh {
+    let np = parts.len();
+    let nchunks = deposit_chunks(np);
+    if nchunks == 1 {
+        let mut mesh = Mesh::zeros(n);
+        deposit_range(parts, &mut mesh, 0, np);
+        return mesh;
+    }
+    let chunk = np.div_ceil(nchunks);
+    let scratch: Vec<Mesh> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let mut m = Mesh::zeros(n);
+            deposit_range(parts, &mut m, c * chunk, ((c + 1) * chunk).min(np));
+            m
+        })
+        .collect();
+    let (first, rest) = scratch.split_first().expect("nchunks >= 1");
+    let mut mesh = first.clone();
+    mesh.data.par_iter_mut().enumerate().for_each(|(ix, v)| {
+        for s in rest {
+            *v += s.data[ix];
+        }
+    });
     mesh
 }
 
@@ -272,6 +318,52 @@ mod tests {
         for o in out {
             for v in o {
                 assert!((v - 2.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_deposit_matches_serial_and_is_thread_invariant() {
+        // Enough particles to trigger the multi-chunk path (np >= 4096).
+        let mut parts = Particles::default();
+        for i in 0..5000u64 {
+            let f = i as f64;
+            parts.push(
+                [
+                    (f * 0.618_033_988_75) % 1.0,
+                    (f * 0.414_213_562_37) % 1.0,
+                    (f * 0.259_921_049_89) % 1.0,
+                ],
+                [0.0; 3],
+                1.0 / 5000.0,
+                i,
+            );
+        }
+        let n = 16;
+        // Serial reference: one pass over all particles.
+        let mut reference = Mesh::zeros(n);
+        deposit_range(&parts, &mut reference, 0, parts.len());
+
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| cic_deposit(&parts, n))
+        };
+        let base = run(1);
+        // Chunked merge reorders the per-cell accumulation, so agreement with
+        // the serial pass is to rounding, not bitwise.
+        for (a, b) in base.data.iter().zip(&reference.data) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+        let total = base.sum() / (n as f64).powi(3);
+        assert!((total - parts.total_mass()).abs() < 1e-12);
+        // Across thread counts the chunking is fixed: bitwise identical.
+        for threads in [2, 4] {
+            let other = run(threads);
+            for (a, b) in base.data.iter().zip(&other.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mismatch at {threads} threads");
             }
         }
     }

@@ -8,6 +8,34 @@
 //! ingredients on each AMR level.
 
 use crate::particles::Mesh;
+use rayon::prelude::*;
+
+/// Shared mutable base pointer for the plane-parallel kernels below: every
+/// worker writes a disjoint set of cells (whole i-planes, or one red-black
+/// colour within them), so concurrent access never overlaps.
+#[derive(Clone, Copy)]
+struct RawMut(*mut f64);
+unsafe impl Send for RawMut {}
+unsafe impl Sync for RawMut {}
+
+impl RawMut {
+    /// Accessor (rather than direct field access) so closures capture the
+    /// whole `Sync` wrapper — Rust 2021's disjoint capture would otherwise
+    /// capture the bare `*mut f64` field, which is not `Sync`.
+    #[inline]
+    fn ptr(self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// Chunk-size hint for kernels parallelised over the `n` i-planes: keeps
+/// small meshes (coarse multigrid levels) on a single inline chunk. A
+/// function of `n` only — never the thread count — so the partition, and
+/// with it every reduction order, is identical at any parallelism level.
+#[inline]
+fn plane_min_len(n: usize) -> usize {
+    (4096 / (n * n)).max(1)
+}
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -49,9 +77,7 @@ pub fn solve(source: &Mesh, cfg: &MgConfig) -> MgSolution {
     // De-mean the source: periodic Poisson needs a zero-mean RHS.
     let mean = source.mean();
     let mut s = source.clone();
-    for v in s.data.iter_mut() {
-        *v -= mean;
-    }
+    s.data.par_iter_mut().for_each(|v| *v -= mean);
 
     let s_norm = norm2(&s.data).max(1e-300);
     let mut phi = Mesh::zeros(n);
@@ -68,9 +94,7 @@ pub fn solve(source: &Mesh, cfg: &MgConfig) -> MgSolution {
     }
     // Pin the mean of φ to zero (gauge freedom of the periodic problem).
     let pm = phi.mean();
-    for v in phi.data.iter_mut() {
-        *v -= pm;
-    }
+    phi.data.par_iter_mut().for_each(|v| *v -= pm);
     MgSolution {
         phi,
         rel_residual: rel,
@@ -79,7 +103,13 @@ pub fn solve(source: &Mesh, cfg: &MgConfig) -> MgSolution {
 }
 
 fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    // Chunked parallel sum of squares; the fixed chunk partition makes the
+    // accumulation order (and hence the f64 result) thread-count-invariant.
+    v.par_iter()
+        .with_min_len(1024)
+        .fold(|| 0.0f64, |acc, x| acc + x * x)
+        .reduce(|| 0.0, |a, b| a + b)
+        .sqrt()
 }
 
 /// One multigrid V-cycle.
@@ -107,63 +137,91 @@ fn v_cycle(phi: &mut Mesh, s: &Mesh, cfg: &MgConfig) {
 
 /// Red–black Gauss–Seidel sweep for the 7-point periodic Laplacian,
 /// h = 1/n: φᵢ = (Σ neighbours − h²·Sᵢ) / 6.
+///
+/// Each colour pass is parallelised over i-planes: a cell of the active
+/// colour only reads its six face neighbours, all of the opposite colour,
+/// so every read targets memory that is stable for the whole pass and every
+/// write is unique. The update is order-independent within a pass, making
+/// the result bitwise-identical at any thread count.
 fn smooth(phi: &mut Mesh, s: &Mesh) {
     let n = phi.n;
     let h2 = 1.0 / (n as f64 * n as f64);
+    let min_len = plane_min_len(n);
     for color in 0..2usize {
-        for i in 0..n {
-            for j in 0..n {
-                for k in 0..n {
-                    if (i + j + k) % 2 != color {
-                        continue;
-                    }
-                    let ip = (i + 1) % n;
-                    let im = (i + n - 1) % n;
+        let out = RawMut(phi.data.as_mut_ptr());
+        (0..n)
+            .into_par_iter()
+            .with_min_len(min_len)
+            .for_each(move |i| {
+                let p = out.ptr();
+                let ip = (i + 1) % n;
+                let im = (i + n - 1) % n;
+                for j in 0..n {
                     let jp = (j + 1) % n;
                     let jm = (j + n - 1) % n;
-                    let kp = (k + 1) % n;
-                    let km = (k + n - 1) % n;
-                    let nb = phi.get(ip, j, k)
-                        + phi.get(im, j, k)
-                        + phi.get(i, jp, k)
-                        + phi.get(i, jm, k)
-                        + phi.get(i, j, kp)
-                        + phi.get(i, j, km);
-                    let ix = phi.idx(i, j, k);
-                    phi.data[ix] = (nb - h2 * s.get(i, j, k)) / 6.0;
+                    let row = (i * n + j) * n;
+                    let row_ip = (ip * n + j) * n;
+                    let row_im = (im * n + j) * n;
+                    let row_jp = (i * n + jp) * n;
+                    let row_jm = (i * n + jm) * n;
+                    // First k of this colour in the row: (i+j+k) ≡ color (mod 2).
+                    let mut k = (color + i + j) % 2;
+                    while k < n {
+                        let kp = (k + 1) % n;
+                        let km = (k + n - 1) % n;
+                        // SAFETY: writes touch only `color` cells of plane i
+                        // (each claimed by one worker); reads touch only
+                        // opposite-colour cells, never written this pass.
+                        unsafe {
+                            let nb = *p.add(row_ip + k)
+                                + *p.add(row_im + k)
+                                + *p.add(row_jp + k)
+                                + *p.add(row_jm + k)
+                                + *p.add(row + kp)
+                                + *p.add(row + km);
+                            *p.add(row + k) = (nb - h2 * s.data[row + k]) / 6.0;
+                        }
+                        k += 2;
+                    }
                 }
-            }
-        }
+            });
     }
 }
 
-/// Residual r = S − ∇²φ.
+/// Residual r = S − ∇²φ. Parallel over i-planes of the fresh output mesh;
+/// `phi` and `s` are only read.
 fn residual(phi: &Mesh, s: &Mesh) -> Mesh {
     let n = phi.n;
     let inv_h2 = (n as f64) * (n as f64);
     let mut r = Mesh::zeros(n);
-    for i in 0..n {
-        let ip = (i + 1) % n;
-        let im = (i + n - 1) % n;
-        for j in 0..n {
-            let jp = (j + 1) % n;
-            let jm = (j + n - 1) % n;
-            for k in 0..n {
-                let kp = (k + 1) % n;
-                let km = (k + n - 1) % n;
-                let lap = (phi.get(ip, j, k)
-                    + phi.get(im, j, k)
-                    + phi.get(i, jp, k)
-                    + phi.get(i, jm, k)
-                    + phi.get(i, j, kp)
-                    + phi.get(i, j, km)
-                    - 6.0 * phi.get(i, j, k))
-                    * inv_h2;
-                let ix = r.idx(i, j, k);
-                r.data[ix] = s.get(i, j, k) - lap;
+    let out = RawMut(r.data.as_mut_ptr());
+    (0..n)
+        .into_par_iter()
+        .with_min_len(plane_min_len(n))
+        .for_each(move |i| {
+            let ip = (i + 1) % n;
+            let im = (i + n - 1) % n;
+            for j in 0..n {
+                let jp = (j + 1) % n;
+                let jm = (j + n - 1) % n;
+                for k in 0..n {
+                    let kp = (k + 1) % n;
+                    let km = (k + n - 1) % n;
+                    let lap = (phi.get(ip, j, k)
+                        + phi.get(im, j, k)
+                        + phi.get(i, jp, k)
+                        + phi.get(i, jm, k)
+                        + phi.get(i, j, kp)
+                        + phi.get(i, j, km)
+                        - 6.0 * phi.get(i, j, k))
+                        * inv_h2;
+                    // SAFETY: plane i of the output is written by one worker.
+                    unsafe {
+                        *out.ptr().add((i * n + j) * n + k) = s.get(i, j, k) - lap;
+                    }
+                }
             }
-        }
-    }
+        });
     r
 }
 
@@ -172,22 +230,28 @@ fn residual(phi: &Mesh, s: &Mesh) -> Mesh {
 fn restrict(fine: &Mesh) -> Mesh {
     let nc = fine.n / 2;
     let mut coarse = Mesh::zeros(nc);
-    for i in 0..nc {
-        for j in 0..nc {
-            for k in 0..nc {
-                let mut acc = 0.0;
-                for di in 0..2 {
-                    for dj in 0..2 {
-                        for dk in 0..2 {
-                            acc += fine.get(2 * i + di, 2 * j + dj, 2 * k + dk);
+    let out = RawMut(coarse.data.as_mut_ptr());
+    (0..nc)
+        .into_par_iter()
+        .with_min_len(plane_min_len(nc))
+        .for_each(move |i| {
+            for j in 0..nc {
+                for k in 0..nc {
+                    let mut acc = 0.0;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            for dk in 0..2 {
+                                acc += fine.get(2 * i + di, 2 * j + dj, 2 * k + dk);
+                            }
                         }
                     }
+                    // SAFETY: coarse plane i is written by one worker.
+                    unsafe {
+                        *out.ptr().add((i * nc + j) * nc + k) = acc / 8.0;
+                    }
                 }
-                let ix = coarse.idx(i, j, k);
-                coarse.data[ix] = acc / 8.0;
             }
-        }
-    }
+        });
     coarse
 }
 
@@ -196,21 +260,31 @@ fn restrict(fine: &Mesh) -> Mesh {
 /// keeping the two-grid operator symmetric.)
 fn prolong_add(phi: &mut Mesh, coarse: &Mesh) {
     let nc = coarse.n;
-    for i in 0..nc {
-        for j in 0..nc {
-            for k in 0..nc {
-                let e = coarse.get(i, j, k);
-                for di in 0..2 {
-                    for dj in 0..2 {
-                        for dk in 0..2 {
-                            let ix = phi.idx(2 * i + di, 2 * j + dj, 2 * k + dk);
-                            phi.data[ix] += e;
+    let n = phi.n;
+    let out = RawMut(phi.data.as_mut_ptr());
+    (0..nc)
+        .into_par_iter()
+        .with_min_len(plane_min_len(nc))
+        .for_each(move |i| {
+            for j in 0..nc {
+                for k in 0..nc {
+                    let e = coarse.get(i, j, k);
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            for dk in 0..2 {
+                                // SAFETY: coarse plane i maps to fine planes
+                                // 2i and 2i+1 — disjoint across workers.
+                                unsafe {
+                                    *out.ptr().add(
+                                        ((2 * i + di) * n + 2 * j + dj) * n + 2 * k + dk,
+                                    ) += e;
+                                }
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        });
 }
 
 /// Central-difference gradient of φ: returns `[−∂φ/∂x, −∂φ/∂y, −∂φ/∂z]`
@@ -219,22 +293,32 @@ pub fn gradient_force(phi: &Mesh) -> [Mesh; 3] {
     let n = phi.n;
     let inv_2h = n as f64 / 2.0;
     let mut out = [Mesh::zeros(n), Mesh::zeros(n), Mesh::zeros(n)];
-    for i in 0..n {
-        let ip = (i + 1) % n;
-        let im = (i + n - 1) % n;
-        for j in 0..n {
-            let jp = (j + 1) % n;
-            let jm = (j + n - 1) % n;
-            for k in 0..n {
-                let kp = (k + 1) % n;
-                let km = (k + n - 1) % n;
-                let ix = phi.idx(i, j, k);
-                out[0].data[ix] = -(phi.get(ip, j, k) - phi.get(im, j, k)) * inv_2h;
-                out[1].data[ix] = -(phi.get(i, jp, k) - phi.get(i, jm, k)) * inv_2h;
-                out[2].data[ix] = -(phi.get(i, j, kp) - phi.get(i, j, km)) * inv_2h;
+    let [ox, oy, oz] = &mut out;
+    let px = RawMut(ox.data.as_mut_ptr());
+    let py = RawMut(oy.data.as_mut_ptr());
+    let pz = RawMut(oz.data.as_mut_ptr());
+    (0..n)
+        .into_par_iter()
+        .with_min_len(plane_min_len(n))
+        .for_each(move |i| {
+            let ip = (i + 1) % n;
+            let im = (i + n - 1) % n;
+            for j in 0..n {
+                let jp = (j + 1) % n;
+                let jm = (j + n - 1) % n;
+                for k in 0..n {
+                    let kp = (k + 1) % n;
+                    let km = (k + n - 1) % n;
+                    let ix = (i * n + j) * n + k;
+                    // SAFETY: plane i of each output is written by one worker.
+                    unsafe {
+                        *px.ptr().add(ix) = -(phi.get(ip, j, k) - phi.get(im, j, k)) * inv_2h;
+                        *py.ptr().add(ix) = -(phi.get(i, jp, k) - phi.get(i, jm, k)) * inv_2h;
+                        *pz.ptr().add(ix) = -(phi.get(i, j, kp) - phi.get(i, j, km)) * inv_2h;
+                    }
+                }
             }
-        }
-    }
+        });
     out
 }
 
@@ -347,6 +431,122 @@ mod tests {
             );
             assert!(g[1].get(i, 3, 5).abs() < 1e-10);
             assert!(g[2].get(i, 3, 5).abs() < 1e-10);
+        }
+    }
+
+    /// Lexicographic Gauss–Seidel reference (the classic serial ordering),
+    /// used to pin the parallel red-black smoother's convergence.
+    fn smooth_lex(phi: &mut Mesh, s: &Mesh) {
+        let n = phi.n;
+        let h2 = 1.0 / (n as f64 * n as f64);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let ip = (i + 1) % n;
+                    let im = (i + n - 1) % n;
+                    let jp = (j + 1) % n;
+                    let jm = (j + n - 1) % n;
+                    let kp = (k + 1) % n;
+                    let km = (k + n - 1) % n;
+                    let nb = phi.get(ip, j, k)
+                        + phi.get(im, j, k)
+                        + phi.get(i, jp, k)
+                        + phi.get(i, jm, k)
+                        + phi.get(i, j, kp)
+                        + phi.get(i, j, km);
+                    let ix = phi.idx(i, j, k);
+                    phi.data[ix] = (nb - h2 * s.get(i, j, k)) / 6.0;
+                }
+            }
+        }
+    }
+
+    /// The `multigrid_converges_fast` fixture source.
+    fn fixture_source(n: usize) -> Mesh {
+        let mut s = Mesh::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let x = (i as f64 + 0.5) / n as f64;
+                    let y = (j as f64 + 0.5) / n as f64;
+                    let z = (k as f64 + 0.5) / n as f64;
+                    let ix = s.idx(i, j, k);
+                    s.data[ix] = (2.0 * std::f64::consts::PI * x).sin()
+                        * (4.0 * std::f64::consts::PI * y).cos()
+                        + (6.0 * std::f64::consts::PI * z).sin();
+                }
+            }
+        }
+        s
+    }
+
+    /// Property: after N sweeps on the `multigrid_converges_fast` fixture,
+    /// the parallel red-black smoother's residual norm tracks the classic
+    /// lexicographic smoother's convergence bound (both are Gauss–Seidel;
+    /// the orderings differ by at most a modest constant per sweep), and
+    /// red-black contracts the initial residual once past the transient.
+    #[test]
+    fn red_black_matches_lexicographic_convergence_bound() {
+        let n = 32;
+        let s = fixture_source(n);
+        let r0 = norm2(&s.data); // residual of the zero initial guess
+
+        let mut phi_rb = Mesh::zeros(n);
+        let mut phi_lex = Mesh::zeros(n);
+        let mut sweeps_done = 0;
+        for sweeps in [3usize, 10, 30] {
+            while sweeps_done < sweeps {
+                smooth(&mut phi_rb, &s);
+                smooth_lex(&mut phi_lex, &s);
+                sweeps_done += 1;
+            }
+            let r_rb = norm2(&residual(&phi_rb, &s).data);
+            let r_lex = norm2(&residual(&phi_lex, &s).data);
+            // Both orderings converge at the same asymptotic rate; red-black
+            // trails by a modest constant (measured ratio 1.32–1.42 here).
+            assert!(
+                r_rb <= r_lex * 1.5,
+                "red-black residual {r_rb} after {sweeps} sweeps worse than \
+                 1.5x lexicographic bound {r_lex}"
+            );
+            // Gauss–Seidel L2 residuals may rise transiently on smooth modes
+            // (both orderings do at 3 sweeps); require contraction once the
+            // high-frequency content is gone.
+            if sweeps >= 10 {
+                assert!(
+                    r_rb < r0,
+                    "red-black failed to contract after {sweeps} sweeps: \
+                     {r_rb} vs initial {r0}"
+                );
+            }
+        }
+    }
+
+    /// The red-black sweep is order-independent within a colour pass, so the
+    /// smoothed mesh must be bitwise-identical at every thread count.
+    #[test]
+    fn smoother_bitwise_identical_across_thread_counts() {
+        let n = 16;
+        let s = fixture_source(n);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut phi = Mesh::zeros(n);
+                    for _ in 0..4 {
+                        smooth(&mut phi, &s);
+                    }
+                    phi
+                })
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let other = run(threads);
+            for (a, b) in base.data.iter().zip(&other.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mismatch at {threads} threads");
+            }
         }
     }
 

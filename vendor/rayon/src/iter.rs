@@ -1,0 +1,606 @@
+//! Indexed parallel-iterator facade.
+//!
+//! Everything the workspace drives through `par_iter`/`into_par_iter` is an
+//! *indexed* source: a length plus the ability to visit the items of any
+//! index sub-range in order. Terminal operations split `[0, len)` into the
+//! deterministic chunk partition of [`crate::pool::run_chunked`], fold each
+//! chunk sequentially, and recombine per-chunk results in ascending chunk
+//! order — so `collect` preserves order exactly and `fold`/`reduce`/`sum`
+//! are bitwise-identical at any thread count.
+//!
+//! Semantics audited against real rayon (divergences of the old sequential
+//! stub, now fixed):
+//!
+//! * `fold(identity, op)` calls `identity()` once per chunk (rayon: once per
+//!   split leaf) and yields one accumulator per chunk — callers must treat
+//!   the accumulator count as unspecified, exactly as with real rayon. The
+//!   old stub produced a single accumulator, which masked identity-reuse
+//!   bugs at call sites.
+//! * `enumerate()` yields *global* indices and is only available on exact-
+//!   length pipelines (the [`ExactLen`] marker) — rayon likewise gates it on
+//!   `IndexedParallelIterator`, so `filter().enumerate()` does not compile.
+//! * `collect()` preserves source order even for `filter` pipelines (chunk
+//!   order + in-chunk order), matching rayon's order guarantee.
+//! * Closures must be `Fn + Sync` (not `FnMut`): they really do run
+//!   concurrently now.
+
+use crate::pool::run_chunked;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A splittable data source: a length plus in-order traversal of any index
+/// sub-range.
+#[allow(clippy::len_without_is_empty)]
+pub trait IndexedSource: Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    /// Fold the items at indices `[start, end)`, in order, into `acc`.
+    ///
+    /// # Safety
+    /// For sources that hand out `&mut` items or move items out by value,
+    /// every index must be visited **at most once** across all calls. The
+    /// terminal drivers uphold this by handing each chunk to exactly one
+    /// executor.
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        acc: A,
+        f: impl FnMut(A, Self::Item) -> A,
+    ) -> A;
+}
+
+/// Marker: `len()` is the exact item count (no filtering), so global item
+/// indices are meaningful. Required by [`ParIter::enumerate`].
+pub trait ExactLen {}
+
+/// The parallel iterator: a source plus chunk-size hints. The hints feed the
+/// deterministic partition, so they affect performance *and* (for floating-
+/// point reductions) the fixed combine order — but never vary with the
+/// thread count.
+pub struct ParIter<S> {
+    src: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: IndexedSource> ParIter<S> {
+    pub fn new(src: S) -> Self {
+        ParIter {
+            src,
+            min_len: 0,
+            max_len: 0,
+        }
+    }
+
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = len;
+        self
+    }
+
+    pub fn with_max_len(mut self, len: usize) -> Self {
+        self.max_len = len;
+        self
+    }
+
+    pub fn map<O, F>(self, f: F) -> ParIter<Map<S, F>>
+    where
+        F: Fn(S::Item) -> O + Sync,
+        O: Send,
+    {
+        let hints = (self.min_len, self.max_len);
+        ParIter {
+            src: Map { src: self.src, f },
+            min_len: hints.0,
+            max_len: hints.1,
+        }
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<Filter<S, P>>
+    where
+        P: Fn(&S::Item) -> bool + Sync,
+    {
+        let hints = (self.min_len, self.max_len);
+        ParIter {
+            src: Filter { src: self.src, p },
+            min_len: hints.0,
+            max_len: hints.1,
+        }
+    }
+
+    /// Pair each item with its global index. Only exact-length pipelines.
+    pub fn enumerate(self) -> ParIter<Enumerate<S>>
+    where
+        S: ExactLen,
+    {
+        let hints = (self.min_len, self.max_len);
+        ParIter {
+            src: Enumerate { src: self.src },
+            min_len: hints.0,
+            max_len: hints.1,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        let src = self.src;
+        run_chunked(src.len(), self.min_len, self.max_len, |a, b| {
+            // SAFETY: run_chunked hands each chunk range to exactly one call.
+            unsafe { src.fold_range(a, b, (), |(), x| f(x)) }
+        });
+    }
+
+    /// Collect in source order: per-chunk vectors concatenated in ascending
+    /// chunk order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<S::Item>,
+    {
+        let src = self.src;
+        let chunks = run_chunked(src.len(), self.min_len, self.max_len, |a, b| {
+            // SAFETY: as in for_each.
+            unsafe {
+                src.fold_range(a, b, Vec::new(), |mut v, x| {
+                    v.push(x);
+                    v
+                })
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Rayon's two-closure fold: one accumulator per chunk (identity called
+    /// per chunk), yielded as a new parallel iterator in chunk order. Chain
+    /// with [`ParIter::reduce`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecSource<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, S::Item) -> T + Sync,
+    {
+        let src = self.src;
+        let accs = run_chunked(src.len(), self.min_len, self.max_len, |a, b| {
+            // SAFETY: as in for_each.
+            unsafe { src.fold_range(a, b, identity(), &fold_op) }
+        });
+        ParIter::new(VecSource::new(accs))
+    }
+
+    /// Rayon's identity-based reduce: chunks reduce independently, then the
+    /// per-chunk results combine left-to-right in ascending chunk order
+    /// (deterministic at any thread count). Returns `identity()` when empty.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        ID: Fn() -> S::Item + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync,
+    {
+        let src = self.src;
+        let chunks = run_chunked(src.len(), self.min_len, self.max_len, |a, b| {
+            // SAFETY: as in for_each.
+            unsafe { src.fold_range(a, b, identity(), &op) }
+        });
+        chunks.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel sum with rayon's bounds (`Out` must sum both items and
+    /// partial sums). Partial sums combine in ascending chunk order.
+    pub fn sum<Out>(self) -> Out
+    where
+        Out: std::iter::Sum<S::Item> + std::iter::Sum<Out> + Send,
+    {
+        let src = self.src;
+        let partials = run_chunked(src.len(), self.min_len, self.max_len, |a, b| {
+            // SAFETY: as in for_each.
+            let items = unsafe {
+                src.fold_range(a, b, Vec::new(), |mut v, x| {
+                    v.push(x);
+                    v
+                })
+            };
+            items.into_iter().sum::<Out>()
+        });
+        partials.into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, O> IndexedSource for Map<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> O + Sync,
+    O: Send,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        acc: A,
+        mut f: impl FnMut(A, O) -> A,
+    ) -> A {
+        self.src
+            .fold_range(start, end, acc, |a, x| f(a, (self.f)(x)))
+    }
+}
+
+impl<S: ExactLen, F> ExactLen for Map<S, F> {}
+
+pub struct Filter<S, P> {
+    src: S,
+    p: P,
+}
+
+impl<S, P> IndexedSource for Filter<S, P>
+where
+    S: IndexedSource,
+    P: Fn(&S::Item) -> bool + Sync,
+{
+    type Item = S::Item;
+
+    /// Upper bound; chunks partition the *underlying* indices.
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        acc: A,
+        mut f: impl FnMut(A, S::Item) -> A,
+    ) -> A {
+        self.src.fold_range(start, end, acc, |a, x| {
+            if (self.p)(&x) {
+                f(a, x)
+            } else {
+                a
+            }
+        })
+    }
+}
+
+pub struct Enumerate<S> {
+    src: S,
+}
+
+impl<S> IndexedSource for Enumerate<S>
+where
+    S: IndexedSource + ExactLen,
+{
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        acc: A,
+        mut f: impl FnMut(A, (usize, S::Item)) -> A,
+    ) -> A {
+        let mut idx = start;
+        self.src.fold_range(start, end, acc, |a, x| {
+            let r = f(a, (idx, x));
+            idx += 1;
+            r
+        })
+    }
+}
+
+impl<S: ExactLen> ExactLen for Enumerate<S> {}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        acc: A,
+        f: impl FnMut(A, &'a T) -> A,
+    ) -> A {
+        self.slice[start..end].iter().fold(acc, f)
+    }
+}
+
+impl<T> ExactLen for SliceSource<'_, T> {}
+
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: workers only touch disjoint index ranges (fold_range contract).
+unsafe impl<T: Send> Send for SliceMutSource<'_, T> {}
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+impl<'a, T: Send> IndexedSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        mut acc: A,
+        mut f: impl FnMut(A, &'a mut T) -> A,
+    ) -> A {
+        for i in start..end {
+            // SAFETY: caller guarantees [start, end) is visited only here.
+            acc = f(acc, &mut *self.ptr.add(i));
+        }
+        acc
+    }
+}
+
+impl<T> ExactLen for SliceMutSource<'_, T> {}
+
+/// Mutable chunks of fixed size `chunk` (the trailing remainder is included
+/// for `par_chunks_mut`, excluded for `par_chunks_exact_mut`).
+pub struct ChunksMutSource<'a, T> {
+    ptr: *mut T,
+    total: usize,
+    chunk: usize,
+    n_chunks: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for SliceMutSource — chunk ranges are disjoint.
+unsafe impl<T: Send> Send for ChunksMutSource<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutSource<'_, T> {}
+
+impl<'a, T: Send> IndexedSource for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.n_chunks
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        mut acc: A,
+        mut f: impl FnMut(A, &'a mut [T]) -> A,
+    ) -> A {
+        for c in start..end {
+            let lo = c * self.chunk;
+            let len = self.chunk.min(self.total - lo);
+            // SAFETY: chunk c spans [lo, lo+len), disjoint from every other
+            // chunk; caller guarantees each chunk index is visited once.
+            acc = f(acc, std::slice::from_raw_parts_mut(self.ptr.add(lo), len));
+        }
+        acc
+    }
+}
+
+impl<T> ExactLen for ChunksMutSource<'_, T> {}
+
+/// Owns a `Vec` and moves items out by value, one index at a time.
+pub struct VecSource<T> {
+    ptr: *mut T,
+    len: usize,
+    cap: usize,
+    /// Set once a terminal starts draining; afterwards `Drop` only frees the
+    /// buffer (items were moved out; a mid-drive panic leaks the tail, which
+    /// is safe).
+    started: AtomicBool,
+}
+
+// SAFETY: items are moved out of disjoint index ranges.
+unsafe impl<T: Send> Send for VecSource<T> {}
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+impl<T> VecSource<T> {
+    pub fn new(v: Vec<T>) -> Self {
+        let mut v = std::mem::ManuallyDrop::new(v);
+        VecSource {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+            cap: v.capacity(),
+            started: AtomicBool::new(false),
+        }
+    }
+}
+
+impl<T: Send> IndexedSource for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn fold_range<A>(
+        &self,
+        start: usize,
+        end: usize,
+        mut acc: A,
+        mut f: impl FnMut(A, T) -> A,
+    ) -> A {
+        self.started.store(true, Ordering::Release);
+        for i in start..end {
+            // SAFETY: each index is read at most once (fold_range contract),
+            // so this move out of the buffer is unique.
+            acc = f(acc, std::ptr::read(self.ptr.add(i)));
+        }
+        acc
+    }
+}
+
+impl<T> ExactLen for VecSource<T> {}
+
+impl<T> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        let drained = self.started.load(Ordering::Acquire);
+        let live = if drained { 0 } else { self.len };
+        // SAFETY: reconstructs the original allocation; `live` items are
+        // still owned by the buffer (none were moved out unless drained).
+        unsafe {
+            drop(Vec::from_raw_parts(self.ptr, live, self.cap));
+        }
+    }
+}
+
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! int_range_source {
+    ($($t:ty),*) => {$(
+        impl IndexedSource for RangeSource<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            unsafe fn fold_range<A>(
+                &self,
+                start: usize,
+                end: usize,
+                mut acc: A,
+                mut f: impl FnMut(A, $t) -> A,
+            ) -> A {
+                for i in start..end {
+                    acc = f(acc, self.start + i as $t);
+                }
+                acc
+            }
+        }
+
+        impl ExactLen for RangeSource<$t> {}
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Source = RangeSource<$t>;
+
+            fn into_par_iter(self) -> ParIter<RangeSource<$t>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter::new(RangeSource {
+                    start: self.start,
+                    len,
+                })
+            }
+        }
+    )*};
+}
+
+int_range_source!(usize, u32, u64, i32, i64);
+
+/// `into_par_iter()` entry point (ranges, owned vectors).
+pub trait IntoParallelIterator {
+    type Source: IndexedSource;
+
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Source = VecSource<T>;
+
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
+        ParIter::new(VecSource::new(self))
+    }
+}
+
+/// Slice-side entry points (`Vec` reaches these through deref).
+pub trait ParallelSliceOps<T> {
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>>
+    where
+        T: Sync;
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>>
+    where
+        T: Send;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>>
+    where
+        T: Send;
+    fn par_chunks_exact_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>>
+    where
+        T: Send;
+}
+
+impl<T> ParallelSliceOps<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>>
+    where
+        T: Sync,
+    {
+        ParIter::new(SliceSource { slice: self })
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>>
+    where
+        T: Send,
+    {
+        ParIter::new(SliceMutSource {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>>
+    where
+        T: Send,
+    {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter::new(ChunksMutSource {
+            ptr: self.as_mut_ptr(),
+            total: self.len(),
+            chunk: size,
+            n_chunks: self.len().div_ceil(size),
+            _marker: PhantomData,
+        })
+    }
+
+    fn par_chunks_exact_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>>
+    where
+        T: Send,
+    {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter::new(ChunksMutSource {
+            ptr: self.as_mut_ptr(),
+            total: self.len() - self.len() % size,
+            chunk: size,
+            n_chunks: self.len() / size,
+            _marker: PhantomData,
+        })
+    }
+}

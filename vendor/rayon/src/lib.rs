@@ -1,131 +1,30 @@
-//! Minimal offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with a **real** thread pool.
 //!
 //! Exposes the parallel-iterator API surface this workspace uses —
-//! `par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks_exact_mut`, and
-//! the `fold`/`reduce`/`map`/`for_each`/`collect` adapters — executed
-//! sequentially. Numerically identical results, no thread pool.
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks_mut`,
+//! `par_chunks_exact_mut`, and the `map`/`filter`/`enumerate`/`for_each`/
+//! `collect`/`sum`/`fold`/`reduce` adapters — executed concurrently on a
+//! global pool of std threads ([`pool`]), plus the `ThreadPoolBuilder` /
+//! `ThreadPool::install` API for scoping a parallelism width.
+//!
+//! `RAYON_NUM_THREADS` (read once, at first use) or the machine's available
+//! parallelism sets the default width.
+//!
+//! **Determinism guarantee** (stronger than real rayon): every operation,
+//! including floating-point `fold`/`reduce`/`sum`, produces bitwise-identical
+//! results at any thread count, because work is split by a chunk partition
+//! that depends only on the input length (and `with_min_len`/`with_max_len`
+//! hints) and per-chunk results recombine in a fixed order. See
+//! [`iter`] for the audited semantics relative to real rayon.
 
-/// Wrapper that carries rayon's adapter semantics over a std iterator.
-pub struct ParIter<I>(pub I);
+pub mod iter;
+pub mod pool;
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> O,
-    {
-        ParIter(self.0.map(f))
-    }
-
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
-    where
-        F: FnMut(&I::Item) -> bool,
-    {
-        ParIter(self.0.filter(f))
-    }
-
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    pub fn for_each<F>(self, f: F)
-    where
-        F: FnMut(I::Item),
-    {
-        self.0.for_each(f)
-    }
-
-    pub fn collect<C>(self) -> C
-    where
-        C: FromIterator<I::Item>,
-    {
-        self.0.collect()
-    }
-
-    pub fn sum<S>(self) -> S
-    where
-        S: std::iter::Sum<I::Item>,
-    {
-        self.0.sum()
-    }
-
-    /// Rayon's two-closure fold: yields per-"thread" accumulators — exactly
-    /// one here. Chain with [`ParIter::reduce`] as in real rayon.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        let acc = self.0.fold(identity(), fold_op);
-        ParIter(std::iter::once(acc))
-    }
-
-    /// Rayon's identity-based reduce.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
-    }
-
-    pub fn with_max_len(self, _len: usize) -> Self {
-        self
-    }
-}
-
-/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
-pub trait IntoParallelIterator {
-    type Iter: Iterator;
-
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// Slice-side entry points (`Vec` reaches these through deref).
-pub trait ParallelSliceOps<T> {
-    fn par_iter<'a>(&'a self) -> ParIter<std::slice::Iter<'a, T>>;
-    fn par_iter_mut<'a>(&'a mut self) -> ParIter<std::slice::IterMut<'a, T>>;
-    fn par_chunks_mut<'a>(&'a mut self, size: usize) -> ParIter<std::slice::ChunksMut<'a, T>>;
-    fn par_chunks_exact_mut<'a>(
-        &'a mut self,
-        size: usize,
-    ) -> ParIter<std::slice::ChunksExactMut<'a, T>>;
-}
-
-impl<T> ParallelSliceOps<T> for [T] {
-    fn par_iter<'a>(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
-        ParIter(self.iter())
-    }
-
-    fn par_iter_mut<'a>(&'a mut self) -> ParIter<std::slice::IterMut<'a, T>> {
-        ParIter(self.iter_mut())
-    }
-
-    fn par_chunks_mut<'a>(&'a mut self, size: usize) -> ParIter<std::slice::ChunksMut<'a, T>> {
-        ParIter(self.chunks_mut(size))
-    }
-
-    fn par_chunks_exact_mut<'a>(
-        &'a mut self,
-        size: usize,
-    ) -> ParIter<std::slice::ChunksExactMut<'a, T>> {
-        ParIter(self.chunks_exact_mut(size))
-    }
-}
+pub use iter::{IntoParallelIterator, ParIter, ParallelSliceOps};
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceOps};
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParallelSliceOps};
 }
 
 #[cfg(test)]

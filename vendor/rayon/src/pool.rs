@@ -1,0 +1,327 @@
+//! The global thread pool behind the parallel-iterator facade.
+//!
+//! Design (std-only):
+//!
+//! * A registry of detached worker threads, spawned lazily and parked on a
+//!   condvar. `RAYON_NUM_THREADS` (read once) or the machine's available
+//!   parallelism sets the default width; [`ThreadPool::install`] overrides it
+//!   per call (the workers themselves are shared — a pool handle is just a
+//!   requested width).
+//! * One parallel region runs at a time (`broadcast_lock`); the calling
+//!   thread always participates, so `install(1)` and nested parallelism run
+//!   perfectly inline.
+//! * Work distribution is a chunk-index race: the region's closure pulls
+//!   chunk indices from an atomic counter until none remain.
+//! * **Determinism**: the chunk partition in [`run_chunked`] is a function of
+//!   `(len, min_len, max_len)` ONLY — never of the thread count — and chunk
+//!   results are recombined in ascending chunk order. Any reduction built on
+//!   it is therefore bitwise-identical at 1, 2, 4, … threads.
+//!
+//! Lifetime safety: a broadcast erases the job closure to `'static`, which is
+//! sound because `broadcast` does not return (or unwind) until every worker
+//! that claimed the job has finished running it.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Upper bound on chunks per parallel region. Part of the deterministic
+/// partition function — never derived from the thread count.
+pub(crate) const DEFAULT_MAX_CHUNKS: usize = 64;
+
+thread_local! {
+    /// True while this thread executes inside a parallel region (worker, or
+    /// caller participating in its own broadcast). Nested parallel calls run
+    /// inline — with the same chunk partition, hence the same results.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread width override installed by [`ThreadPool::install`]
+    /// (0 = no override).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+type Job = &'static (dyn Fn() + Sync);
+
+struct JobState {
+    /// Bumped once per broadcast; workers use it to detect new work.
+    seq: u64,
+    job: Option<Job>,
+    /// Workers still allowed to claim the current job.
+    claims_left: usize,
+    /// Workers that claimed the job and have not finished it.
+    running: usize,
+    /// First panic payload raised by a worker while running the job.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Registry {
+    state: Mutex<JobState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serialises broadcasts: one parallel region at a time.
+    broadcast_lock: Mutex<()>,
+    spawn_lock: Mutex<()>,
+    spawned: AtomicUsize,
+    default_threads: usize,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let default_threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Registry {
+            state: Mutex::new(JobState {
+                seq: 0,
+                job: None,
+                claims_left: 0,
+                running: 0,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            broadcast_lock: Mutex::new(()),
+            spawn_lock: Mutex::new(()),
+            spawned: AtomicUsize::new(0),
+            default_threads,
+        }
+    })
+}
+
+impl Registry {
+    /// Spawn detached workers until at least `want` exist.
+    fn ensure_workers(&'static self, want: usize) {
+        if self.spawned.load(Ordering::Acquire) >= want {
+            return;
+        }
+        let _g = self.spawn_lock.lock().unwrap();
+        let cur = self.spawned.load(Ordering::Acquire);
+        for i in cur..want {
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(self))
+                .expect("failed to spawn rayon worker thread");
+        }
+        self.spawned.store(want.max(cur), Ordering::Release);
+    }
+}
+
+fn worker_loop(reg: &'static Registry) {
+    IN_PARALLEL.with(|c| c.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job: Job;
+        {
+            let mut st = reg.state.lock().unwrap();
+            loop {
+                if st.seq != seen {
+                    seen = st.seq;
+                    if st.claims_left > 0 {
+                        st.claims_left -= 1;
+                        job = st.job.expect("announced job missing");
+                        break;
+                    }
+                    // This broadcast needs fewer helpers than exist; keep
+                    // waiting for the next one.
+                }
+                st = reg.work_cv.wait(st).unwrap();
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(job));
+        let mut st = reg.state.lock().unwrap();
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            reg.done_cv.notify_all();
+        }
+    }
+}
+
+/// Run `f` on `helpers` worker threads concurrently with the calling thread.
+/// Blocks until every claimed run of `f` has finished (even if one panics —
+/// the payload is re-raised here after the region quiesces).
+pub(crate) fn broadcast(helpers: usize, f: &(dyn Fn() + Sync)) {
+    if helpers == 0 {
+        f();
+        return;
+    }
+    let reg = registry();
+    reg.ensure_workers(helpers);
+    let serial = reg.broadcast_lock.lock().unwrap();
+    // SAFETY: `f` outlives its use — this function waits for `running == 0`
+    // (every claimed execution finished) before returning or unwinding.
+    let job: Job = unsafe { std::mem::transmute::<&(dyn Fn() + Sync), Job>(f) };
+    {
+        let mut st = reg.state.lock().unwrap();
+        st.seq += 1;
+        st.job = Some(job);
+        st.claims_left = helpers;
+        st.running = helpers;
+        reg.work_cv.notify_all();
+    }
+    IN_PARALLEL.with(|c| c.set(true));
+    let mine = catch_unwind(AssertUnwindSafe(f));
+    IN_PARALLEL.with(|c| c.set(false));
+    let worker_panic = {
+        let mut st = reg.state.lock().unwrap();
+        while st.running > 0 {
+            st = reg.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        st.panic.take()
+    };
+    drop(serial);
+    if let Err(payload) = mine {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Deterministic chunk partition: `(chunk_size, n_chunks)` from the length
+/// and the caller's min/max hints alone.
+pub(crate) fn partition(len: usize, min_len: usize, max_len: usize) -> (usize, usize) {
+    let mut size = len.div_ceil(DEFAULT_MAX_CHUNKS).max(min_len).max(1);
+    if max_len > 0 && max_len < size {
+        size = max_len.max(1);
+    }
+    (size, len.div_ceil(size))
+}
+
+fn in_parallel() -> bool {
+    IN_PARALLEL.with(|c| c.get())
+}
+
+fn effective_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(|c| c.get());
+    if over > 0 {
+        over
+    } else {
+        registry().default_threads
+    }
+}
+
+/// Number of threads a parallel region started now would use.
+pub fn current_num_threads() -> usize {
+    effective_threads().max(1)
+}
+
+/// Split `[0, len)` into deterministic chunks and run `chunk_fn(start, end)`
+/// over them on the pool, returning the per-chunk results **in ascending
+/// chunk order** regardless of which thread computed what.
+pub(crate) fn run_chunked<R: Send>(
+    len: usize,
+    min_len: usize,
+    max_len: usize,
+    chunk_fn: impl Fn(usize, usize) -> R + Sync,
+) -> Vec<R> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let (size, n_chunks) = partition(len, min_len, max_len);
+    let threads = if in_parallel() { 1 } else { effective_threads() };
+    let helpers = threads
+        .saturating_sub(1)
+        .min(n_chunks.saturating_sub(1));
+    if helpers == 0 {
+        // Inline path: identical chunk partition and combine order, so the
+        // results are bitwise-identical to any multi-threaded run.
+        return (0..n_chunks)
+            .map(|c| chunk_fn(c * size, ((c + 1) * size).min(len)))
+            .collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let work = || loop {
+        let c = counter.fetch_add(1, Ordering::Relaxed);
+        if c >= n_chunks {
+            break;
+        }
+        let r = chunk_fn(c * size, ((c + 1) * size).min(len));
+        results.lock().unwrap().push((c, r));
+    };
+    broadcast(helpers, &work);
+    let mut v = results.into_inner().unwrap();
+    v.sort_unstable_by_key(|&(c, _)| c);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Error type mirroring rayon's builder API (construction cannot fail here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Request a specific width; 0 means "use the global default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle requesting a parallelism width. Workers are shared globally; the
+/// handle only scopes how many of them a region may use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width as the thread-count override.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = THREAD_OVERRIDE.with(|c| c.get());
+        let _restore = Restore(prev);
+        THREAD_OVERRIDE.with(|c| c.set(self.num_threads));
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}

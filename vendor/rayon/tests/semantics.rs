@@ -1,0 +1,211 @@
+//! Adapter-semantics audit against real rayon, exercised at real parallelism.
+//!
+//! These tests pin the behaviours call sites rely on now that execution is
+//! genuinely concurrent: `collect` order, `enumerate` global indices,
+//! per-chunk `fold` identities, and bitwise-identical floating-point
+//! reductions at every thread count.
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn at_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+#[test]
+fn collect_preserves_order_under_parallelism() {
+    for threads in [1, 2, 4, 8] {
+        let v: Vec<usize> = at_threads(threads, || {
+            (0..10_000usize).into_par_iter().map(|i| i * 3).collect()
+        });
+        assert_eq!(v.len(), 10_000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 3, "order broken at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn enumerate_yields_global_indices() {
+    for threads in [1, 4] {
+        at_threads(threads, || {
+            let mut v = vec![0u64; 5000];
+            v.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = i as u64);
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, i as u64);
+            }
+        });
+    }
+}
+
+#[test]
+fn fold_identity_is_fresh_per_chunk() {
+    // Each chunk must get its own accumulator: if the identity value were
+    // reused across chunks the histogram would double-count.
+    let calls = AtomicUsize::new(0);
+    let hist = at_threads(4, || {
+        (0..4096usize)
+            .into_par_iter()
+            .fold(
+                || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    vec![0u64; 4]
+                },
+                |mut acc, i| {
+                    acc[i % 4] += 1;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 4],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += *y;
+                    }
+                    a
+                },
+            )
+    });
+    assert_eq!(hist, vec![1024; 4]);
+    assert!(
+        calls.load(Ordering::Relaxed) >= 1,
+        "identity never called"
+    );
+}
+
+#[test]
+fn float_reductions_bitwise_identical_across_thread_counts() {
+    let data: Vec<f64> = (0..100_000)
+        .map(|i| ((i * 2654435761u64 % 1000) as f64 - 500.0) * 1e-3)
+        .collect();
+    let run = |threads| {
+        at_threads(threads, || {
+            data.par_iter()
+                .fold(|| 0.0f64, |a, x| a + x * x)
+                .reduce(|| 0.0, |a, b| a + b)
+        })
+    };
+    let base = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            base.to_bits(),
+            run(threads).to_bits(),
+            "nondeterministic sum at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn filter_collect_keeps_source_order() {
+    let v: Vec<usize> = at_threads(4, || {
+        (0..10_000usize)
+            .into_par_iter()
+            .filter(|x| x % 7 == 0)
+            .collect()
+    });
+    let expect: Vec<usize> = (0..10_000).filter(|x| x % 7 == 0).collect();
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn reduce_on_empty_returns_identity() {
+    let r = at_threads(4, || {
+        (0..0usize).into_par_iter().reduce(|| 42, |a, b| a + b)
+    });
+    assert_eq!(r, 42);
+}
+
+#[test]
+fn par_chunks_mut_covers_remainder() {
+    let mut v = vec![1u32; 10];
+    at_threads(4, || {
+        v.par_chunks_mut(4).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+    });
+    assert!(v.iter().all(|&x| x == 2), "remainder chunk skipped: {v:?}");
+}
+
+#[test]
+fn par_chunks_exact_mut_skips_remainder() {
+    let mut v = [1u32; 10];
+    at_threads(4, || {
+        v.par_chunks_exact_mut(4).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+    });
+    assert_eq!(&v[..8], &[2; 8]);
+    assert_eq!(&v[8..], &[1; 2], "exact chunks must skip the remainder");
+}
+
+#[test]
+fn sum_matches_sequential_for_integers() {
+    let v: Vec<u64> = (0..10_000).collect();
+    let total: u64 = at_threads(4, || v.par_iter().map(|x| *x).sum());
+    assert_eq!(total, 9999 * 10_000 / 2);
+}
+
+#[test]
+fn install_overrides_thread_count() {
+    let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+    let inside = pool.install(rayon::current_num_threads);
+    assert_eq!(inside, 3);
+}
+
+#[test]
+fn nested_parallelism_runs_inline_without_deadlock() {
+    let total = at_threads(4, || {
+        (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                // Nested region: must not deadlock, must stay deterministic.
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|j| i * j)
+                    .reduce(|| 0, |a, b| a + b)
+            })
+            .reduce(|| 0, |a, b| a + b)
+    });
+    let expect: usize = (0..64).map(|i| (0..100).map(|j| i * j).sum::<usize>()).sum();
+    assert_eq!(total, expect);
+}
+
+#[test]
+fn worker_panic_propagates_to_caller() {
+    let caught = std::panic::catch_unwind(|| {
+        at_threads(4, || {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                if i == 777 {
+                    panic!("boom at {i}");
+                }
+            });
+        })
+    });
+    assert!(caught.is_err(), "panic in a parallel task must propagate");
+    // The pool must still be usable afterwards.
+    let v: Vec<usize> = at_threads(4, || (0..100usize).into_par_iter().collect());
+    assert_eq!(v.len(), 100);
+}
+
+#[test]
+fn into_par_iter_vec_moves_items() {
+    let v: Vec<String> = (0..500).map(|i| format!("s{i}")).collect();
+    let lens = at_threads(4, || {
+        v.into_par_iter()
+            .map(|s| s.len())
+            .reduce(|| 0, |a, b| a + b)
+    });
+    let expect: usize = (0..500).map(|i| format!("s{i}").len()).sum();
+    assert_eq!(lens, expect);
+}
