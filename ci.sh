@@ -15,3 +15,14 @@ RAYON_NUM_THREADS=4 cargo test -q -p ramses --test determinism_threads
 # Kernel-scaling smoke: reduced sweep, validates the JSON artifact and the
 # cross-thread-count checksums (exits non-zero on mismatch).
 cargo run --release -p bench --bin exp_kernel_scaling -- --quick
+
+# Observability smoke: a live traced campaign over TCP (100 requests, one
+# mid-run SeD kill) that dumps both exporters and self-checks that every
+# request's spans share one trace id across all five phases. The binary
+# validates the Chrome trace with bench::validate_json before writing it;
+# re-check the written artifacts exist and are non-empty here.
+cargo run --release -p bench --bin exp_live_fig5
+test -s target/experiments/live_metrics.prom
+test -s target/experiments/live_trace.json
+grep -q 'diet_client_requests_total' target/experiments/live_metrics.prom
+grep -q '"ph":"X"' target/experiments/live_trace.json

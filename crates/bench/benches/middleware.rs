@@ -39,6 +39,7 @@ fn bench_codec(c: &mut Criterion) {
     for kb in [8usize, 256] {
         let msg = Message::Call {
             request_id: 1,
+            ctx: obs::TraceCtx::default(),
             profile: zoom2_call_profile(kb),
         };
         g.bench_function(format!("encode_{kb}KiB"), |b| {

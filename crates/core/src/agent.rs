@@ -16,6 +16,7 @@ use crate::monitor::Estimate;
 use crate::sched::Scheduler;
 use crate::sed::SedHandle;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use obs::Obs;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -148,10 +149,24 @@ pub struct MasterAgent {
     deregistered: Mutex<Vec<String>>,
     /// Failed-call strikes per still-alive label.
     strikes: Mutex<HashMap<String, u32>>,
+    /// Metrics sink: submits, scheduler decisions, finding-time histogram,
+    /// deregistrations, heartbeat counters.
+    obs: Arc<Obs>,
 }
 
 impl MasterAgent {
     pub fn new(name: &str, children: Vec<Arc<AgentNode>>, scheduler: Arc<dyn Scheduler>) -> Arc<Self> {
+        Self::new_with_obs(name, children, scheduler, Arc::new(Obs::new()))
+    }
+
+    /// Like [`MasterAgent::new`] but recording into an injected
+    /// observability sink.
+    pub fn new_with_obs(
+        name: &str,
+        children: Vec<Arc<AgentNode>>,
+        scheduler: Arc<dyn Scheduler>,
+        obs: Arc<Obs>,
+    ) -> Arc<Self> {
         Arc::new(MasterAgent {
             name: name.to_string(),
             children,
@@ -160,6 +175,7 @@ impl MasterAgent {
             next_id: Mutex::new(0),
             deregistered: Mutex::new(Vec::new()),
             strikes: Mutex::new(HashMap::new()),
+            obs,
         })
     }
 
@@ -173,7 +189,18 @@ impl MasterAgent {
             next_id: Mutex::new(0),
             deregistered: Mutex::new(Vec::new()),
             strikes: Mutex::new(HashMap::new()),
+            obs: self.obs.clone(),
         })
+    }
+
+    /// This agent's observability sink.
+    pub fn obs(&self) -> Arc<Obs> {
+        self.obs.clone()
+    }
+
+    /// This agent's metrics registry (convenience for assertions/dumps).
+    pub fn metrics(&self) -> &obs::Registry {
+        &self.obs.metrics
     }
 
     /// Handle a client submit: traverse, schedule, return the chosen SeD.
@@ -206,6 +233,7 @@ impl MasterAgent {
             finding_time: 0.0,
             candidates: candidates.len(),
         };
+        self.obs.metrics.counter("diet_ma_submits_total").inc();
         if candidates.is_empty() {
             let any_declared = self
                 .children
@@ -214,6 +242,10 @@ impl MasterAgent {
             let mut rec = record_base;
             rec.finding_time = started.elapsed().as_secs_f64();
             self.requests.lock().push(rec);
+            self.obs
+                .metrics
+                .counter("diet_ma_no_candidate_total")
+                .inc();
             return Err(if any_declared {
                 DietError::NoServerAvailable(service.to_string())
             } else {
@@ -235,6 +267,19 @@ impl MasterAgent {
         let mut rec = record_base;
         rec.chosen = Some(chosen.config.label.clone());
         rec.finding_time = started.elapsed().as_secs_f64();
+        // Every scheduler decision is a labelled counter tick; the finding
+        // time feeds the histogram the Figure-5 percentiles come from.
+        self.obs
+            .metrics
+            .counter_with(
+                "diet_ma_scheduled_total",
+                &[("sed", &chosen.config.label), ("policy", self.scheduler.name())],
+            )
+            .inc();
+        self.obs
+            .metrics
+            .histogram("diet_ma_finding_seconds")
+            .observe(rec.finding_time);
         self.requests.lock().push(rec);
         Ok(chosen)
     }
@@ -279,6 +324,10 @@ impl MasterAgent {
             if !dead.iter().any(|l| l == label) {
                 dead.push(label.to_string());
             }
+            self.obs
+                .metrics
+                .counter("diet_ma_sed_deregistered_total")
+                .inc();
         }
         removed
     }
@@ -295,6 +344,10 @@ impl MasterAgent {
     /// consecutive reports. Returns true when the SeD was deregistered.
     pub fn report_failure(&self, sed: &SedHandle) -> bool {
         let label = &sed.config.label;
+        self.obs
+            .metrics
+            .counter("diet_ma_failure_reports_total")
+            .inc();
         if !sed.is_alive() {
             return self.deregister(label);
         }
@@ -337,20 +390,28 @@ impl HeartbeatMonitor {
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let thread = std::thread::spawn(move || {
             let mut misses: HashMap<String, u32> = HashMap::new();
+            let metrics = ma.obs();
+            let m_beats = metrics.metrics.counter("diet_heartbeat_beats_total");
+            let m_missed = metrics.metrics.counter("diet_heartbeat_misses_total");
+            let m_evicted = metrics.metrics.counter("diet_heartbeat_evictions_total");
             // Runs until a stop is requested or the monitor is dropped.
             while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
                 for sed in ma.all_seds() {
                     let label = sed.config.label.clone();
+                    m_beats.inc();
                     // A worker deep in a long solve can't answer the queued
                     // ping in time, but it is busy, not dead — only a probe
                     // failure on an idle (or exited) worker counts as a miss.
                     if sed.ping(ping_timeout) || (sed.is_alive() && sed.is_busy()) {
                         misses.remove(&label);
                     } else {
+                        m_missed.inc();
                         let n = misses.entry(label.clone()).or_insert(0);
                         *n += 1;
                         if *n >= miss_threshold {
-                            ma.deregister(&label);
+                            if ma.deregister(&label) {
+                                m_evicted.inc();
+                            }
                             misses.remove(&label);
                         }
                     }

@@ -17,6 +17,7 @@ use crate::profile::Profile;
 use crate::sed::{SedHandle, SolveOutcome};
 use crate::transport::TcpSedPool;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use obs::{Obs, TraceCtx};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,6 +37,9 @@ pub struct CallStats {
     /// How many times the call was resubmitted through the MA after a
     /// failed attempt (0 = first attempt succeeded).
     pub retries: u32,
+    /// Trace id of this call (0 when the path was untraced). One id spans
+    /// every attempt of the call, including resubmissions to other SeDs.
+    pub trace_id: u64,
 }
 
 impl CallStats {
@@ -155,16 +159,36 @@ pub struct DietClient {
     ma: Option<Arc<MasterAgent>>,
     /// Completed calls' stats, in completion order.
     history: parking_lot::Mutex<Vec<(String, CallStats)>>,
+    /// Tracing + metrics sink for the request path.
+    obs: Arc<Obs>,
 }
 
 impl DietClient {
     /// `diet_initialize(configuration_file, ...)` — the configuration here
     /// is simply the MA reference that the config file would name.
     pub fn initialize(ma: Arc<MasterAgent>) -> Self {
+        Self::initialize_with_obs(ma, Arc::new(Obs::new()))
+    }
+
+    /// Like [`DietClient::initialize`] but recording into an injected
+    /// observability sink — share one `Arc<Obs>` with the SeDs/MA to get a
+    /// single trace covering all five request phases.
+    pub fn initialize_with_obs(ma: Arc<MasterAgent>, obs: Arc<Obs>) -> Self {
         DietClient {
             ma: Some(ma),
             history: parking_lot::Mutex::new(Vec::new()),
+            obs,
         }
+    }
+
+    /// This client's observability sink.
+    pub fn obs(&self) -> Arc<Obs> {
+        self.obs.clone()
+    }
+
+    /// This client's metrics registry (convenience for assertions/dumps).
+    pub fn metrics(&self) -> &obs::Registry {
+        &self.obs.metrics
     }
 
     /// The full `diet_initialize` path: parse the configuration file text,
@@ -232,8 +256,8 @@ impl DietClient {
         profile: Profile,
         policy: &RetryPolicy,
     ) -> Result<(Profile, CallStats), DietError> {
-        self.retry_call(profile, policy, |sed, profile, timeout| {
-            let rx = sed.submit(profile)?;
+        self.retry_call(profile, policy, |sed, profile, timeout, ctx| {
+            let rx = sed.submit_traced(profile, ctx)?;
             match rx.recv_timeout(timeout) {
                 Ok(outcome) => outcome
                     .result
@@ -258,36 +282,54 @@ impl DietClient {
         profile: Profile,
         policy: &RetryPolicy,
     ) -> Result<(Profile, CallStats), DietError> {
-        self.retry_call(profile, policy, |sed, profile, timeout| {
-            pool.call(&sed.config.label, profile, timeout)
-                .map(|p| (p, 0.0, 0.0))
+        self.retry_call(profile, policy, |sed, profile, timeout, ctx| {
+            pool.call_traced(&sed.config.label, profile, timeout, ctx)
         })
     }
 
     /// The shared retry engine. `attempt` runs one bounded attempt against
     /// the chosen SeD and returns `(out_profile, queue_wait, solve_time)`.
+    ///
+    /// Tracing: one trace id is allocated per logical call and reused across
+    /// every resubmission; each attempt gets its own `attempt` span (fresh
+    /// span id) that remote phases parent under via the [`TraceCtx`] handed
+    /// to the closure. `Finding` and `Submission` windows are recorded per
+    /// attempt so a failed attempt still leaves its footprint in the trace.
     fn retry_call(
         &self,
         profile: Profile,
         policy: &RetryPolicy,
-        attempt: impl Fn(&Arc<SedHandle>, Profile, Duration) -> Result<(Profile, f64, f64), DietError>,
+        attempt: impl Fn(&Arc<SedHandle>, Profile, Duration, TraceCtx) -> Result<(Profile, f64, f64), DietError>,
     ) -> Result<(Profile, CallStats), DietError> {
         let ma = self.ma()?;
+        let tracer = &self.obs.tracer;
+        let m = &self.obs.metrics;
+        let m_requests = m.counter("diet_client_requests_total");
+        let m_failures = m.counter("diet_client_failures_total");
+        let m_resubmits = m.counter("diet_client_resubmissions_total");
         let service = profile.service.clone();
         let issued = Instant::now();
+        let trace_id = tracer.new_trace();
         let mut excluded: Vec<String> = Vec::new();
         let mut finding_total = 0.0;
         let mut last_err: Option<DietError> = None;
         for attempt_no in 0..=policy.max_retries {
             if attempt_no > 0 {
                 std::thread::sleep(policy.backoff(attempt_no - 1));
+                m_resubmits.inc();
             }
+            let attempt_span = tracer.span(trace_id, 0, "attempt", "client");
+            let finding_start_ns = tracer.now_ns();
             let t0 = Instant::now();
             let sed = match ma.submit_excluding(&service, &excluded) {
                 Ok(sed) => sed,
-                Err(e) if attempt_no == 0 => return Err(e),
+                Err(e) if attempt_no == 0 => {
+                    m_failures.inc();
+                    return Err(e);
+                }
                 Err(e) => {
                     // Mid-retry the hierarchy ran out of candidates.
+                    m_failures.inc();
                     return Err(DietError::RetriesExhausted {
                         service,
                         attempts: attempt_no,
@@ -295,30 +337,75 @@ impl DietClient {
                     });
                 }
             };
-            finding_total += t0.elapsed().as_secs_f64();
+            let finding_this = t0.elapsed().as_secs_f64();
+            finding_total += finding_this;
+            tracer.record_window(
+                trace_id,
+                attempt_span.id(),
+                "Finding",
+                "agents",
+                finding_start_ns,
+                tracer.now_ns(),
+            );
+            let ctx = attempt_span.ctx();
+            let submit_start_ns = tracer.now_ns();
             let t1 = Instant::now();
-            match attempt(&sed, profile.clone(), policy.attempt_timeout) {
+            match attempt(&sed, profile.clone(), policy.attempt_timeout, ctx) {
                 Ok((out, queue_wait, solve)) => {
                     let attempt_time = t1.elapsed().as_secs_f64();
+                    let send = (attempt_time - queue_wait - solve).max(0.0);
+                    // Retroactive: the data-shipping slice of the attempt
+                    // window, excluding remote queueing and execution.
+                    tracer.record_window(
+                        trace_id,
+                        attempt_span.id(),
+                        "Submission",
+                        &sed.config.label,
+                        submit_start_ns,
+                        submit_start_ns + (send * 1e9) as u64,
+                    );
+                    drop(attempt_span);
                     let stats = CallStats {
                         finding: finding_total,
-                        send: (attempt_time - queue_wait - solve).max(0.0),
+                        send,
                         queue_wait,
                         solve,
                         total: issued.elapsed().as_secs_f64(),
                         retries: attempt_no,
+                        trace_id,
                     };
+                    m_requests.inc();
+                    m.histogram("diet_client_finding_seconds")
+                        .observe(stats.finding);
+                    m.histogram("diet_client_latency_seconds")
+                        .observe(stats.latency());
+                    m.histogram("diet_client_solve_seconds").observe(stats.solve);
+                    m.histogram("diet_client_total_seconds").observe(stats.total);
                     self.history.lock().push((sed.config.label.clone(), stats));
                     return Ok((out, stats));
                 }
                 Err(e) if is_retryable(&e) => {
+                    // A failed attempt still records its Submission window —
+                    // the time sunk shipping data to a SeD that never replied.
+                    tracer.record_window(
+                        trace_id,
+                        attempt_span.id(),
+                        "Submission",
+                        &sed.config.label,
+                        submit_start_ns,
+                        tracer.now_ns(),
+                    );
                     ma.report_failure(&sed);
                     excluded.push(sed.config.label.clone());
                     last_err = Some(e);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    m_failures.inc();
+                    return Err(e);
+                }
             }
         }
+        m_failures.inc();
         Err(DietError::RetriesExhausted {
             service,
             attempts: policy.max_retries + 1,

@@ -9,6 +9,7 @@ use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
 use crate::profile::Profile;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use obs::TraceCtx;
 
 /// Control messages exchanged between client, agents and SeDs.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,11 +21,21 @@ pub enum Message {
         request_id: u64,
         server: Option<String>,
     },
-    /// Client → SeD: run this profile.
-    Call { request_id: u64, profile: Profile },
-    /// SeD → client: the completed profile (OUT args filled) or error status.
+    /// Client → SeD: run this profile. `ctx` carries the trace context
+    /// (16 bytes in the frame header, after the request id) so SeD-side
+    /// spans join the client's trace; `ctx.trace_id == 0` disables tracing.
+    Call {
+        request_id: u64,
+        ctx: TraceCtx,
+        profile: Profile,
+    },
+    /// SeD → client: the completed profile (OUT args filled) or error
+    /// status, plus the server-measured queue-wait and solve durations
+    /// (seconds) so the client can decompose latency Figure-5 style.
     CallReply {
         request_id: u64,
+        queue_wait: f64,
+        solve: f64,
         result: Result<Profile, String>,
     },
     /// Liveness probe.
@@ -32,6 +43,10 @@ pub enum Message {
     Pong,
     /// Orderly shutdown of a worker.
     Shutdown,
+    /// Ask a SeD for its Prometheus-style metrics dump (LogService analog).
+    DumpMetrics,
+    /// Reply to [`Message::DumpMetrics`]: text exposition of the registry.
+    MetricsReply { text: String },
 }
 
 const TAG_NULL: u8 = 0;
@@ -51,6 +66,8 @@ const MSG_CALL_REPLY: u8 = 13;
 const MSG_PING: u8 = 14;
 const MSG_PONG: u8 = 15;
 const MSG_SHUTDOWN: u8 = 16;
+const MSG_DUMP_METRICS: u8 = 17;
+const MSG_METRICS_REPLY: u8 = 18;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -250,15 +267,25 @@ pub fn encode_message(m: &Message) -> Bytes {
         }
         Message::Call {
             request_id,
+            ctx,
             profile,
         } => {
             buf.put_u8(MSG_CALL);
             buf.put_u64_le(*request_id);
+            buf.put_u64_le(ctx.trace_id);
+            buf.put_u64_le(ctx.parent_span);
             encode_profile(&mut buf, profile);
         }
-        Message::CallReply { request_id, result } => {
+        Message::CallReply {
+            request_id,
+            queue_wait,
+            solve,
+            result,
+        } => {
             buf.put_u8(MSG_CALL_REPLY);
             buf.put_u64_le(*request_id);
+            buf.put_f64_le(*queue_wait);
+            buf.put_f64_le(*solve);
             match result {
                 Ok(p) => {
                     buf.put_u8(1);
@@ -273,6 +300,11 @@ pub fn encode_message(m: &Message) -> Bytes {
         Message::Ping => buf.put_u8(MSG_PING),
         Message::Pong => buf.put_u8(MSG_PONG),
         Message::Shutdown => buf.put_u8(MSG_SHUTDOWN),
+        Message::DumpMetrics => buf.put_u8(MSG_DUMP_METRICS),
+        Message::MetricsReply { text } => {
+            buf.put_u8(MSG_METRICS_REPLY);
+            put_str(&mut buf, text);
+        }
     }
     buf.freeze()
 }
@@ -312,13 +344,23 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
         }
         MSG_CALL => {
             let request_id = need_u64(&mut buf)?;
+            let ctx = TraceCtx {
+                trace_id: need_u64(&mut buf)?,
+                parent_span: need_u64(&mut buf)?,
+            };
             Ok(Message::Call {
                 request_id,
+                ctx,
                 profile: decode_profile(&mut buf)?,
             })
         }
         MSG_CALL_REPLY => {
             let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 16 {
+                return Err(DietError::Codec("truncated reply timings".into()));
+            }
+            let queue_wait = buf.get_f64_le();
+            let solve = buf.get_f64_le();
             if buf.remaining() < 1 {
                 return Err(DietError::Codec("truncated result flag".into()));
             }
@@ -327,11 +369,20 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
             } else {
                 Err(get_str(&mut buf)?)
             };
-            Ok(Message::CallReply { request_id, result })
+            Ok(Message::CallReply {
+                request_id,
+                queue_wait,
+                solve,
+                result,
+            })
         }
         MSG_PING => Ok(Message::Ping),
         MSG_PONG => Ok(Message::Pong),
         MSG_SHUTDOWN => Ok(Message::Shutdown),
+        MSG_DUMP_METRICS => Ok(Message::DumpMetrics),
+        MSG_METRICS_REPLY => Ok(Message::MetricsReply {
+            text: get_str(&mut buf)?,
+        }),
         t => Err(DietError::Codec(format!("unknown message tag {t}"))),
     }
 }
@@ -394,19 +445,36 @@ mod tests {
             },
             Message::Call {
                 request_id: 42,
+                ctx: TraceCtx {
+                    trace_id: 7,
+                    parent_span: 99,
+                },
+                profile: sample_profile(),
+            },
+            Message::Call {
+                request_id: 44,
+                ctx: TraceCtx::default(),
                 profile: sample_profile(),
             },
             Message::CallReply {
                 request_id: 42,
+                queue_wait: 0.125,
+                solve: 2.5,
                 result: Ok(sample_profile()),
             },
             Message::CallReply {
                 request_id: 42,
+                queue_wait: 0.0,
+                solve: 0.0,
                 result: Err("solve failed".into()),
             },
             Message::Ping,
             Message::Pong,
             Message::Shutdown,
+            Message::DumpMetrics,
+            Message::MetricsReply {
+                text: "# TYPE x counter\nx 1\n".into(),
+            },
         ];
         for m in msgs {
             let enc = encode_message(&m);
@@ -419,9 +487,13 @@ mod tests {
     fn truncation_is_detected_not_panicking() {
         let enc = encode_message(&Message::Call {
             request_id: 7,
+            ctx: TraceCtx {
+                trace_id: 3,
+                parent_span: 5,
+            },
             profile: sample_profile(),
         });
-        for cut in [0, 1, 5, 9, enc.len() / 2, enc.len() - 1] {
+        for cut in [0, 1, 5, 9, 13, 21, enc.len() / 2, enc.len() - 1] {
             let sliced = enc.slice(0..cut);
             assert!(
                 decode_message(sliced).is_err(),
@@ -434,6 +506,25 @@ mod tests {
     fn unknown_tags_rejected() {
         let raw = Bytes::from_static(&[99u8, 0, 0, 0]);
         assert!(matches!(decode_message(raw), Err(DietError::Codec(_))));
+    }
+
+    #[test]
+    fn trace_context_survives_the_frame() {
+        // The 16-byte trace header sits right after the request id, so a
+        // relay that only reads the id still forwards the context intact.
+        let ctx = TraceCtx {
+            trace_id: 0xDEAD_BEEF_0B50_u64,
+            parent_span: 12_345,
+        };
+        let enc = encode_message(&Message::Call {
+            request_id: 1,
+            ctx,
+            profile: sample_profile(),
+        });
+        match decode_message(enc).unwrap() {
+            Message::Call { ctx: back, .. } => assert_eq!(back, ctx),
+            other => panic!("decoded {other:?}"),
+        }
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //!   platform, following the paper's Grid'5000 deployment.
 //! * [`error`] — the crate's error type.
 //! * [`faults`] — failure injection hooks for fault-tolerance testing.
+//!
+//! Observability (the LogService/VizDIET analogue) comes from the vendored
+//! std-only [`obs`] crate: every component owns an [`obs::Obs`] (tracer +
+//! metrics registry), trace context crosses the wire inside `Call` frames
+//! ([`codec::Message::Call`]), and a deployment that wants one unified view
+//! injects a single shared `Arc<Obs>` via the `*_with_obs` constructors.
 
 pub mod agent;
 pub mod client;
@@ -58,6 +64,7 @@ pub use faults::{FaultAction, FaultPlan};
 pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
 pub use monitor::Estimate;
 pub use naming::NameServer;
+pub use obs::{Obs, TraceCtx};
 pub use profile::{ArgDesc, ArgMode, Profile, ProfileDesc};
 pub use sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
 pub use sed::{SedConfig, SedHandle, ServiceTable};

@@ -33,11 +33,14 @@ pub struct Estimate {
 }
 
 impl Estimate {
-    /// Expected completion heuristic: queue backlog × expected task time.
-    /// Falls back to speed-only when the duration is unknown.
+    /// Expected completion heuristic: queue backlog × expected task time,
+    /// plus the probe round-trip (the request still has to reach the SeD,
+    /// however fast it is). Falls back to speed-only task time when the
+    /// duration is unknown — previously that fallback dropped `probe_rtt`
+    /// entirely, making a distant idle SeD look free.
     pub fn expected_finish(&self) -> f64 {
         let per_task = self.known_mean_duration.unwrap_or(1.0) / self.speed_factor;
-        (self.queue_length as f64 + 1.0) * per_task
+        (self.queue_length as f64 + 1.0) * per_task + self.probe_rtt
     }
 }
 
@@ -185,6 +188,26 @@ mod tests {
             probe_rtt: 0.0,
         };
         assert!(idle_fast.expected_finish() < busy_slow.expected_finish());
+    }
+
+    #[test]
+    fn expected_finish_fallback_includes_probe_rtt() {
+        let mk = |rtt: f64, known: Option<f64>| Estimate {
+            server: "s".into(),
+            speed_factor: 2.0,
+            free_memory: 0,
+            queue_length: 1,
+            completed: 0,
+            known_mean_duration: known,
+            probe_rtt: rtt,
+        };
+        // Speed-only fallback: (1 + 1) * 1.0/2.0 + rtt.
+        assert_eq!(mk(0.0, None).expected_finish(), 1.0);
+        assert_eq!(mk(0.25, None).expected_finish(), 1.25);
+        // A distant idle SeD no longer ties with a local one.
+        assert!(mk(0.25, None).expected_finish() > mk(0.0, None).expected_finish());
+        // The known-duration path carries the RTT term too.
+        assert_eq!(mk(0.5, Some(4.0)).expected_finish(), 4.5);
     }
 
     #[test]

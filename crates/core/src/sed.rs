@@ -18,6 +18,7 @@ use crate::faults::{FaultAction, FaultPlan};
 use crate::monitor::{Estimate, LoadTracker};
 use crate::profile::{ProfileDesc, Profile};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::{Obs, TraceCtx};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -114,6 +115,9 @@ impl SedConfig {
 struct Job {
     profile: Profile,
     submitted: Instant,
+    /// Trace context propagated from the caller (possibly across the wire);
+    /// inactive (`trace_id == 0`) jobs record no spans.
+    ctx: TraceCtx,
     reply: Sender<SolveOutcome>,
 }
 
@@ -160,6 +164,9 @@ pub struct SedHandle {
     probe: RwLock<Option<Arc<dyn crate::probe::Probe>>>,
     /// Failure injection switches consulted by the worker per request.
     faults: Arc<FaultPlan>,
+    /// Tracing + metrics sink; spans from propagated contexts and the
+    /// SeD-side counters/histograms land here.
+    obs: Arc<Obs>,
 }
 
 impl SedHandle {
@@ -167,6 +174,13 @@ impl SedHandle {
     /// instead of never returning). The worker owns the receive side and
     /// executes jobs strictly one at a time.
     pub fn spawn(config: SedConfig, table: ServiceTable) -> Arc<SedHandle> {
+        Self::spawn_with_obs(config, table, Arc::new(Obs::new()))
+    }
+
+    /// Like [`SedHandle::spawn`] but recording into an injected
+    /// observability sink — deployments that want one unified trace/metrics
+    /// view pass the same `Arc<Obs>` to every component.
+    pub fn spawn_with_obs(config: SedConfig, table: ServiceTable, obs: Arc<Obs>) -> Arc<SedHandle> {
         let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
         let table = Arc::new(RwLock::new(table));
         let load = LoadTracker::new();
@@ -174,7 +188,7 @@ impl SedHandle {
         let alive = Arc::new(AtomicBool::new(true));
         let faults = FaultPlan::new();
         let handle = Arc::new(SedHandle {
-            config,
+            config: config.clone(),
             table: table.clone(),
             load: load.clone(),
             datamgr: datamgr.clone(),
@@ -182,6 +196,7 @@ impl SedHandle {
             alive: alive.clone(),
             probe: RwLock::new(None),
             faults: faults.clone(),
+            obs: obs.clone(),
         });
 
         let worker_table = table;
@@ -189,6 +204,21 @@ impl SedHandle {
         let worker_alive = alive;
         let worker_dm = datamgr;
         let worker_faults = faults;
+        // Metric handles interned once; label distinguishes SeDs when
+        // several share one registry. Updates below are pure atomics.
+        let labels: &[(&str, &str)] = &[("sed", &config.label)];
+        let m_solves = obs.metrics.counter_with("diet_sed_solves_total", labels);
+        let m_errors = obs.metrics.counter_with("diet_sed_solve_errors_total", labels);
+        let m_solve_h = obs.metrics.histogram_with("diet_sed_solve_seconds", labels);
+        let m_queue_h = obs
+            .metrics
+            .histogram_with("diet_sed_queue_wait_seconds", labels);
+        let m_qlen = obs.metrics.gauge_with("diet_sed_queue_length", labels);
+        let m_reply_fail = obs
+            .metrics
+            .counter_with("diet_sed_reply_failures_total", labels);
+        let worker_label = config.label;
+        let worker_obs = obs;
         std::thread::spawn(move || {
             let _guard = AliveGuard(worker_alive);
             while let Ok(cmd) = rx.recv() {
@@ -209,6 +239,7 @@ impl SedHandle {
                             break;
                         }
                         let queue_wait = job.submitted.elapsed().as_secs_f64();
+                        let exec_start_ns = worker_obs.tracer.now_ns();
                         let started = Instant::now();
                         worker_load.start();
                         let solved = {
@@ -246,8 +277,39 @@ impl SedHandle {
                         };
                         let solve_time = started.elapsed().as_secs_f64();
                         worker_load.finish(queue_wait + solve_time);
+                        m_solves.inc();
+                        if solved.is_err() {
+                            m_errors.inc();
+                        }
+                        m_solve_h.observe(solve_time);
+                        m_queue_h.observe(queue_wait);
+                        m_qlen.set(worker_load.queue_length() as f64);
+                        if job.ctx.is_active() {
+                            // The queue wait ended exactly where execution
+                            // began; both spans parent under the caller's
+                            // attempt span, joining its trace.
+                            let queued_start =
+                                exec_start_ns.saturating_sub((queue_wait * 1e9) as u64);
+                            worker_obs.tracer.record_window(
+                                job.ctx.trace_id,
+                                job.ctx.parent_span,
+                                "Queued",
+                                &worker_label,
+                                queued_start,
+                                exec_start_ns,
+                            );
+                            worker_obs.tracer.record_window(
+                                job.ctx.trace_id,
+                                job.ctx.parent_span,
+                                "Execution",
+                                &worker_label,
+                                exec_start_ns,
+                                worker_obs.tracer.now_ns(),
+                            );
+                        }
                         if action == FaultAction::DropReply {
                             worker_load.reply_failed();
+                            m_reply_fail.inc();
                         } else if job
                             .reply
                             .send(SolveOutcome {
@@ -261,6 +323,7 @@ impl SedHandle {
                             // SeD keeps serving, but the lost delivery is
                             // counted so operators can see it.
                             worker_load.reply_failed();
+                            m_reply_fail.inc();
                         }
                     }
                 }
@@ -308,6 +371,15 @@ impl SedHandle {
     /// serving loop whose connection died before the reply was written).
     pub fn note_reply_failure(&self) {
         self.load.reply_failed();
+        self.obs
+            .metrics
+            .counter_with("diet_sed_reply_failures_total", &[("sed", &self.config.label)])
+            .inc();
+    }
+
+    /// This SeD's observability sink (tracer + metrics registry).
+    pub fn obs(&self) -> Arc<Obs> {
+        self.obs.clone()
     }
 
     /// Does this SeD declare the service? Used during hierarchy traversal.
@@ -341,12 +413,25 @@ impl SedHandle {
     /// Enqueue a solve; returns the receiver for the outcome. The queue
     /// length is bumped immediately so estimates see the pending job.
     pub fn submit(&self, profile: Profile) -> Result<Receiver<SolveOutcome>, DietError> {
+        self.submit_traced(profile, TraceCtx::default())
+    }
+
+    /// [`SedHandle::submit`] carrying a trace context: the worker records
+    /// `Queued` and `Execution` spans under `ctx.parent_span`, joining the
+    /// caller's trace (this is the in-process analog of the context the TCP
+    /// path ships inside `Call` frames).
+    pub fn submit_traced(
+        &self,
+        profile: Profile,
+        ctx: TraceCtx,
+    ) -> Result<Receiver<SolveOutcome>, DietError> {
         let (rtx, rrx) = unbounded();
         self.load.enqueue();
         self.tx
             .send(Command::Run(Job {
                 profile,
                 submitted: Instant::now(),
+                ctx,
                 reply: rtx,
             }))
             .map_err(|_| DietError::Transport(format!("SeD {} is down", self.config.label)))?;
@@ -734,6 +819,48 @@ mod tests {
         let nop: SolveFn = Arc::new(|_| Ok(0));
         small.add(d1, nop.clone()).unwrap();
         assert!(small.add(d2, nop).is_err());
+    }
+
+    #[test]
+    fn traced_submit_records_queued_and_execution_spans() {
+        let obs = Arc::new(Obs::new());
+        let sed =
+            SedHandle::spawn_with_obs(SedConfig::new("tr/0", 1.0), doubler_table(), obs.clone());
+        let ctx = TraceCtx {
+            trace_id: 77,
+            parent_span: 5,
+        };
+        let d = ProfileDesc::alloc("double", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::ScalarI32(2), Persistence::Volatile)
+            .unwrap();
+        sed.submit_traced(p, ctx)
+            .unwrap()
+            .recv()
+            .unwrap()
+            .result
+            .unwrap();
+        let spans = obs.tracer.snapshot();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"Queued"), "spans: {names:?}");
+        assert!(names.contains(&"Execution"), "spans: {names:?}");
+        for s in &spans {
+            assert_eq!(s.trace_id, 77);
+            assert_eq!(s.parent, 5);
+            assert_eq!(s.resource, "tr/0");
+        }
+        // Untraced submits record no spans...
+        let before = spans.len();
+        call(&sed, 1);
+        assert_eq!(obs.tracer.snapshot().len(), before);
+        // ...but still feed the metrics registry.
+        assert_eq!(obs.metrics.counter_value("diet_sed_solves_total"), 2);
+        assert!(
+            obs.metrics
+                .render_prometheus()
+                .contains("diet_sed_solve_seconds_bucket{sed=\"tr/0\"")
+        );
+        sed.shutdown();
     }
 
     #[test]

@@ -345,6 +345,21 @@ impl TcpSedPool {
         profile: Profile,
         deadline: Duration,
     ) -> Result<Profile, DietError> {
+        self.call_traced(label, profile, deadline, obs::TraceCtx::default())
+            .map(|(p, _, _)| p)
+    }
+
+    /// Like [`call`](Self::call), but carries a trace context inside the
+    /// request frame (so server-side spans join the caller's trace) and
+    /// returns the server-measured `(profile, queue_wait, solve)` timings
+    /// from the reply.
+    pub fn call_traced(
+        &self,
+        label: &str,
+        profile: Profile,
+        deadline: Duration,
+        ctx: obs::TraceCtx,
+    ) -> Result<(Profile, f64, f64), DietError> {
         let addr = self.endpoint(label).ok_or_else(|| {
             DietError::Transport(format!("no endpoint registered for {label}"))
         })?;
@@ -356,6 +371,7 @@ impl TcpSedPool {
         let started = Instant::now();
         conn.send(&Message::Call {
             request_id,
+            ctx,
             profile,
         })?;
         loop {
@@ -369,10 +385,14 @@ impl TcpSedPool {
             match conn.recv_timeout(remaining)? {
                 Some(Message::CallReply {
                     request_id: rid,
+                    queue_wait,
+                    solve,
                     result,
                 }) if rid == request_id => {
                     self.conns.lock().insert(label.to_string(), conn);
-                    return result.map_err(DietError::Rejected);
+                    return result
+                        .map(|p| (p, queue_wait, solve))
+                        .map_err(DietError::Rejected);
                 }
                 // A reply for an older, abandoned request on this stream
                 // (can't happen after eviction-on-failure, but harmless).
@@ -383,6 +403,31 @@ impl TcpSedPool {
                     });
                 }
             }
+        }
+    }
+
+    /// Fetch a Prometheus-format metrics dump from the server behind
+    /// `label` (the `dump-metrics` request).
+    pub fn dump_metrics(&self, label: &str, deadline: Duration) -> Result<String, DietError> {
+        let addr = self.endpoint(label).ok_or_else(|| {
+            DietError::Transport(format!("no endpoint registered for {label}"))
+        })?;
+        let conn = match self.conns.lock().remove(label) {
+            Some(c) => c,
+            None => TcpTransport::connect(addr)?,
+        };
+        conn.send(&Message::DumpMetrics)?;
+        match conn.recv_timeout(deadline)? {
+            Some(Message::MetricsReply { text }) => {
+                self.conns.lock().insert(label.to_string(), conn);
+                Ok(text)
+            }
+            Some(other) => Err(DietError::Transport(format!(
+                "unexpected reply to dump-metrics: {other:?}"
+            ))),
+            None => Err(DietError::Timeout {
+                after_secs: deadline.as_secs_f64(),
+            }),
         }
     }
 }
@@ -531,6 +576,8 @@ mod tests {
         .unwrap();
         let big = Message::CallReply {
             request_id: 1,
+            queue_wait: 0.0,
+            solve: 0.0,
             result: Err("x".repeat(4096)),
         };
         let frame_len = encode_message(&big).len();
@@ -576,6 +623,7 @@ mod tests {
                 if let Message::Call {
                     request_id,
                     profile,
+                    ..
                 } = m
                 {
                     if server_hits.fetch_add(1, Ordering::Relaxed) == 0 {
@@ -583,6 +631,8 @@ mod tests {
                     }
                     let _ = conn.send(&Message::CallReply {
                         request_id,
+                        queue_wait: 0.0,
+                        solve: 0.0,
                         result: Ok(profile),
                     });
                 }
@@ -628,6 +678,7 @@ mod tests {
         .unwrap();
         let m = Message::Call {
             request_id: 1,
+            ctx: obs::TraceCtx::default(),
             profile: p.clone(),
         };
         client.send(&m).unwrap();

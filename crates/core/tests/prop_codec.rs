@@ -51,6 +51,12 @@ fn arb_profile() -> impl Strategy<Value = Profile> {
         })
 }
 
+/// Timings that survive an equality-checked roundtrip (NaN != NaN even
+/// though its bits roundtrip fine).
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<f64>().prop_map(|f| if f.is_nan() { 0.0 } else { f })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         ("[a-z]{1,20}", any::<u64>()).prop_map(|(service, request_id)| Message::Submit {
@@ -60,21 +66,37 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u64>(), prop::option::of("[a-z/0-9]{1,20}")).prop_map(
             |(request_id, server)| Message::SubmitReply { request_id, server }
         ),
-        (any::<u64>(), arb_profile()).prop_map(|(request_id, profile)| Message::Call {
-            request_id,
-            profile
-        }),
-        (any::<u64>(), arb_profile()).prop_map(|(request_id, p)| Message::CallReply {
-            request_id,
-            result: Ok(p)
-        }),
-        (any::<u64>(), ".*").prop_map(|(request_id, e)| Message::CallReply {
-            request_id,
-            result: Err(e)
-        }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), arb_profile()).prop_map(
+            |(request_id, trace_id, parent_span, profile)| Message::Call {
+                request_id,
+                ctx: obs::TraceCtx {
+                    trace_id,
+                    parent_span,
+                },
+                profile
+            }
+        ),
+        (any::<u64>(), arb_finite_f64(), arb_finite_f64(), arb_profile()).prop_map(
+            |(request_id, queue_wait, solve, p)| Message::CallReply {
+                request_id,
+                queue_wait,
+                solve,
+                result: Ok(p)
+            }
+        ),
+        (any::<u64>(), arb_finite_f64(), arb_finite_f64(), ".*").prop_map(
+            |(request_id, queue_wait, solve, e)| Message::CallReply {
+                request_id,
+                queue_wait,
+                solve,
+                result: Err(e)
+            }
+        ),
         Just(Message::Ping),
         Just(Message::Pong),
         Just(Message::Shutdown),
+        Just(Message::DumpMetrics),
+        ".*".prop_map(|text| Message::MetricsReply { text }),
     ]
 }
 

@@ -537,6 +537,50 @@ pub fn fmt_hms(seconds: f64) -> String {
     format!("{}h{:02}m{:02}s", s / 3600, (s % 3600) / 60, s % 60)
 }
 
+/// Bridge live traces into the simulator's analysis: convert collected
+/// [`obs::SpanRecord`]s into a [`Gantt`] so `per_request`, `sed_summaries`
+/// and the Figure 4/5 plotting paths work identically on real executions.
+///
+/// `request_of` maps trace ids to request numbers (the client assigns one
+/// trace id per logical call, stable across resubmissions). Spans whose
+/// trace id is unmapped, or whose name is not a [`TraceKind`] phase (e.g.
+/// the client-side `attempt` envelope), are skipped. Timestamps shift so
+/// the earliest kept span starts at t = 0.
+pub fn gantt_from_spans(
+    spans: &[obs::SpanRecord],
+    request_of: &std::collections::HashMap<u64, u32>,
+) -> Gantt {
+    let kind_of = |name: &str| match name {
+        "Finding" => Some(TraceKind::Finding),
+        "Submission" => Some(TraceKind::Submission),
+        "Queued" => Some(TraceKind::Queued),
+        "Execution" => Some(TraceKind::Execution),
+        "Aborted" => Some(TraceKind::Aborted),
+        "ResultReturn" => Some(TraceKind::ResultReturn),
+        _ => None,
+    };
+    let epoch_ns = spans
+        .iter()
+        .filter(|s| request_of.contains_key(&s.trace_id) && kind_of(s.name).is_some())
+        .map(|s| s.start_ns)
+        .min()
+        .unwrap_or(0);
+    let mut gantt = Gantt::default();
+    for s in spans {
+        let (Some(&request), Some(kind)) = (request_of.get(&s.trace_id), kind_of(s.name)) else {
+            continue;
+        };
+        gantt.record(
+            request,
+            s.resource.clone(),
+            kind,
+            (s.start_ns - epoch_ns) as f64 / 1e9,
+            (s.end_ns - epoch_ns) as f64 / 1e9,
+        );
+    }
+    gantt
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +588,38 @@ mod tests {
 
     fn default_run() -> CampaignResult {
         run_campaign(CampaignConfig::default())
+    }
+
+    #[test]
+    fn gantt_from_spans_maps_phases_and_rebases_time() {
+        let span = |trace_id: u64, name: &'static str, resource: &str, start_ns, end_ns| {
+            obs::SpanRecord {
+                trace_id,
+                span_id: 0,
+                parent: 0,
+                name,
+                resource: resource.to_string(),
+                start_ns,
+                end_ns,
+            }
+        };
+        let spans = vec![
+            span(7, "Finding", "agents", 1_000_000_000, 1_100_000_000),
+            span(7, "Execution", "sed/0", 1_100_000_000, 3_100_000_000),
+            // Client-side envelope: not a simulator phase, dropped.
+            span(7, "attempt", "client", 1_000_000_000, 3_200_000_000),
+            // Unmapped trace id (another client's traffic), dropped.
+            span(99, "Execution", "sed/1", 0, 1),
+        ];
+        let request_of = std::collections::HashMap::from([(7u64, 42u32)]);
+        let g = gantt_from_spans(&spans, &request_of);
+        assert_eq!(g.events.len(), 2);
+        // Earliest kept span rebases to t = 0.
+        assert_eq!(g.per_request(TraceKind::Finding), vec![(42, 0.1)]);
+        let exec = g.per_request(TraceKind::Execution);
+        assert_eq!(exec.len(), 1);
+        assert!((exec[0].1 - 2.0).abs() < 1e-9);
+        assert!((g.makespan() - 2.1).abs() < 1e-9);
     }
 
     #[test]

@@ -430,12 +430,15 @@ pub fn serve_sed_over_tcp(
             match msg {
                 Message::Call {
                     request_id,
+                    ctx,
                     profile,
                 } => {
-                    let reply = match sed.submit(profile) {
+                    let reply = match sed.submit_traced(profile, ctx) {
                         Ok(rx) => match rx.recv() {
                             Ok(outcome) => Message::CallReply {
                                 request_id,
+                                queue_wait: outcome.queue_wait,
+                                solve: outcome.solve_time,
                                 result: outcome.result.map_err(|e| e.to_string()),
                             },
                             // Worker crashed while holding the request: the
@@ -452,11 +455,36 @@ pub fn serve_sed_over_tcp(
                         },
                         Err(e) => Message::CallReply {
                             request_id,
+                            queue_wait: 0.0,
+                            solve: 0.0,
                             result: Err(e.to_string()),
                         },
                     };
-                    if conn.send(&reply).is_err() {
+                    // The reply frame *is* the result-return phase: span it
+                    // so the trace covers the wire time back to the client.
+                    let obs = sed.obs();
+                    let ret_start_ns = obs.tracer.now_ns();
+                    let sent = conn.send(&reply);
+                    if ctx.is_active() {
+                        obs.tracer.record_window(
+                            ctx.trace_id,
+                            ctx.parent_span,
+                            "ResultReturn",
+                            &sed.config.label,
+                            ret_start_ns,
+                            obs.tracer.now_ns(),
+                        );
+                    }
+                    if sent.is_err() {
                         sed.note_reply_failure();
+                        break;
+                    }
+                }
+                // The `dump-metrics` request: ship this SeD's registry as
+                // Prometheus text over the same transport the solves use.
+                Message::DumpMetrics => {
+                    let text = sed.obs().metrics.render_prometheus();
+                    if conn.send(&Message::MetricsReply { text }).is_err() {
                         break;
                     }
                 }

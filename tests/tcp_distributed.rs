@@ -30,12 +30,15 @@ fn zoom1_call_over_tcp() {
     client
         .send(&Message::Call {
             request_id: 77,
+            ctx: diet_core::TraceCtx::default(),
             profile,
         })
         .unwrap();
 
     match client.recv().unwrap() {
-        Message::CallReply { request_id, result } => {
+        Message::CallReply {
+            request_id, result, ..
+        } => {
             assert_eq!(request_id, 77);
             let p = result.expect("solve should succeed");
             assert_eq!(p.get_i32(3).unwrap(), status::OK);
@@ -63,6 +66,7 @@ fn tcp_errors_are_reported_not_fatal() {
     client
         .send(&Message::Call {
             request_id: 1,
+            ctx: diet_core::TraceCtx::default(),
             profile: p,
         })
         .unwrap();
@@ -99,11 +103,14 @@ fn multiple_tcp_clients_share_one_sed() {
                 client
                     .send(&Message::Call {
                         request_id: i,
+                        ctx: diet_core::TraceCtx::default(),
                         profile,
                     })
                     .unwrap();
                 match client.recv().unwrap() {
-                    Message::CallReply { request_id, result } => {
+                    Message::CallReply {
+                        request_id, result, ..
+                    } => {
                         assert_eq!(request_id, i);
                         let p = result.unwrap();
                         assert_eq!(p.get_i32(3).unwrap(), status::BAD_RESOLUTION);

@@ -90,6 +90,16 @@ fn sed_killed_mid_burst_over_tcp_loses_no_requests() {
         "the killed SeD should have forced at least one resubmission"
     );
 
+    // The client's registry agrees with the per-call stats: every request
+    // counted, every resubmission counted, none failed.
+    let cm = client.metrics();
+    assert_eq!(cm.counter_value("diet_client_requests_total"), BURST as u64);
+    assert_eq!(
+        cm.counter_value("diet_client_resubmissions_total"),
+        total_retries as u64
+    );
+    assert_eq!(cm.counter_value("diet_client_failures_total"), 0);
+
     // The dead SeD was deregistered, and the undeliverable reply was
     // counted rather than swallowed.
     assert_eq!(ma.deregistered(), vec!["ft/1".to_string()]);
@@ -119,6 +129,16 @@ fn sed_killed_mid_burst_over_tcp_loses_no_requests() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(ma.sed_count(), 1);
+
+    // The MA-side registry mirrors what the assertions above observed
+    // structurally: two SeDs gone (crash + heartbeat), at least one
+    // eviction driven purely by missed beats, and a live beat counter.
+    let mm = ma.metrics();
+    assert_eq!(mm.counter_value("diet_ma_sed_deregistered_total"), 2);
+    assert!(mm.counter_value("diet_heartbeat_evictions_total") >= 1);
+    assert!(mm.counter_value("diet_heartbeat_misses_total") >= 2);
+    assert!(mm.counter_value("diet_heartbeat_beats_total") > 0);
+    assert!(mm.counter_value("diet_ma_failure_reports_total") >= 1);
 
     monitor.stop();
     for srv in &servers {

@@ -1,0 +1,176 @@
+//! Exporters: Prometheus text exposition and Chrome `trace_event` JSON.
+
+use crate::metrics::{Labels, MetricSnapshot, Registry};
+use crate::trace::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_str(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Merge several registries into one Prometheus text dump, grouped by
+/// metric name (each SeD/agent/client keeps its own registry; label sets
+/// distinguish them in the merged view).
+pub fn render_prometheus_multi(registries: &[&Registry]) -> String {
+    let mut by_name: BTreeMap<String, Vec<(Labels, MetricSnapshot)>> = BTreeMap::new();
+    for reg in registries {
+        for (name, labels, snap) in reg.snapshot() {
+            by_name.entry(name).or_default().push((labels, snap));
+        }
+    }
+    let mut out = String::new();
+    for (name, entries) in &by_name {
+        let kind = match entries[0].1 {
+            MetricSnapshot::Counter(_) => "counter",
+            MetricSnapshot::Gauge(_) => "gauge",
+            MetricSnapshot::Histogram { .. } => "histogram",
+        };
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, snap) in entries {
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", label_str(labels, None));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{} {}", label_str(labels, None), fmt_f64(*v));
+                }
+                MetricSnapshot::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = if i < bounds.len() {
+                            fmt_f64(bounds[i])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            label_str(labels, Some(("le", &le)))
+                        );
+                    }
+                    let ls = label_str(labels, None);
+                    let _ = writeln!(out, "{name}_sum{ls} {}", fmt_f64(*sum));
+                    let _ = writeln!(out, "{name}_count{ls} {count}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render spans as Chrome `trace_event` JSON (open in `chrome://tracing`
+/// or Perfetto). Each distinct resource becomes a named "thread"; spans are
+/// complete (`ph: "X"`) events with microsecond timestamps, and trace/span
+/// ids ride in `args` so a request can be followed across resources.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in spans {
+        let next = tids.len();
+        tids.entry(s.resource.as_str()).or_insert(next);
+    }
+    let mut events = Vec::with_capacity(spans.len() + tids.len());
+    for (resource, tid) in &tids {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(resource)
+        ));
+    }
+    for s in spans {
+        let tid = tids[s.resource.as_str()];
+        let ts = s.start_ns as f64 / 1e3;
+        let dur = s.end_ns.saturating_sub(s.start_ns) as f64 / 1e3;
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"diet\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{}}}}}",
+            escape_json(s.name),
+            s.trace_id,
+            s.span_id,
+            s.parent
+        ));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn prometheus_merges_registries_and_renders_histograms() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter_with("requests_total", &[("who", "client")]).add(5);
+        b.counter_with("requests_total", &[("who", "sed")]).add(7);
+        let h = a.histogram_with_bounds("lat_seconds", &[], vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let txt = render_prometheus_multi(&[&a, &b]);
+        assert!(txt.contains("# TYPE requests_total counter"));
+        assert!(txt.contains("requests_total{who=\"client\"} 5"));
+        assert!(txt.contains("requests_total{who=\"sed\"} 7"));
+        assert!(txt.contains("lat_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(txt.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(txt.contains("lat_seconds_count 3"));
+        // Exactly one TYPE line per metric name even when merged.
+        assert_eq!(txt.matches("# TYPE requests_total").count(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_emits_thread_names_and_events() {
+        let t = Tracer::new(8);
+        let trace = t.new_trace();
+        t.span(trace, 0, "Finding", "agents").end();
+        t.span(trace, 0, "Execution", "sed/0").end();
+        let json = chrome_trace(&t.snapshot());
+        assert!(json.contains("\"name\":\"Finding\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"sed/0\""));
+        assert!(json.contains(&format!("\"trace\":{trace}")));
+    }
+}

@@ -1,0 +1,61 @@
+//! Minimal observability toolkit: tracing spans, a metrics registry and two
+//! exporters (Prometheus text, Chrome `trace_event` JSON), all std-only.
+//!
+//! This plays the role DIET's LogService/VizDIET stack played for the paper's
+//! evaluation: every live request is decomposed into the same phases the
+//! simulator records (`Finding`, `Submission`, `Queued`, `Execution`,
+//! `ResultReturn`), so live and simulated campaigns are directly comparable.
+//!
+//! Design points:
+//! - [`trace::Tracer`] is a fixed-capacity ring buffer of completed spans.
+//!   Spans carry a `trace_id` (one per logical request, stable across
+//!   resubmissions) and a process-unique `span_id` with a parent link.
+//! - [`trace::TraceCtx`] is the 16-byte context that crosses process/frame
+//!   boundaries; the DIET codec embeds it in `Call` frames.
+//! - [`metrics::Registry`] interns counters, gauges and fixed-bucket
+//!   histograms by (name, labels); all hot-path updates are lock-free
+//!   atomics.
+//! - Components each own an [`Obs`]; a deployment that wants one unified
+//!   view (e.g. the `exp_live_fig5` bench) injects a single shared
+//!   `Arc<Obs>` everywhere.
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{chrome_trace, render_prometheus_multi};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{Span, SpanRecord, TraceCtx, Tracer};
+
+/// Default span ring capacity: enough for a few thousand requests at the
+/// five-spans-per-request rate of the live path.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// A tracer and a metrics registry bundled together; the unit of injection
+/// for every middleware component (client, agent, SeD).
+#[derive(Debug)]
+pub struct Obs {
+    pub tracer: Tracer,
+    pub metrics: Registry,
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// `capacity` bounds the span ring; metrics are unbounded (they are
+    /// aggregates, not logs).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Obs {
+            tracer: Tracer::new(capacity),
+            metrics: Registry::new(),
+        }
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}

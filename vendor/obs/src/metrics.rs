@@ -1,0 +1,332 @@
+//! Metrics registry: atomic counters/gauges and fixed-bucket histograms
+//! with quantile estimation, interned by (name, labels).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge storing an `f64` in atomic bits.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram. `bounds` are ascending bucket upper bounds; an
+/// implicit overflow (`+Inf`) bucket catches everything above the last
+/// bound, so `observe` never loses a sample (saturating behaviour).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Default latency buckets: 1-2.5-5 decades from 1 µs to 500 s — wide
+    /// enough for both loopback TCP latencies and real solve times.
+    pub fn latency() -> Self {
+        // Literals, not computed powers: `2.5 * 10f64.powi(-6)` lands one
+        // ulp off `2.5e-6` and renders as 0.0000024999999999999998 in the
+        // `le` labels.
+        Self::with_bounds(vec![
+            1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+            1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+            500.0,
+        ])
+    }
+
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 sum via CAS loop on the bit pattern (std has no AtomicF64).
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Quantile estimate, `q` in [0, 1]: the upper bound of the first
+    /// bucket whose cumulative count reaches `q * count`. Samples in the
+    /// overflow bucket saturate to the last finite bound (a histogram
+    /// cannot resolve beyond its range). Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    *self.bounds.last().unwrap()
+                };
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Sorted label pairs; part of the interning key.
+pub type Labels = Vec<(String, String)>;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Read-only view of one metric at snapshot time (used by the exporters).
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+/// Interning registry. Handle lookups take a short-lived lock; updates on
+/// the returned handles are pure atomics, so the hot path never contends.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<(String, Labels), Metric>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> (String, Labels) {
+    let mut l: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Histogram with the default latency buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, labels, Histogram::latency().bounds.clone())
+    }
+
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::with_bounds(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Sum of a counter across every label set it was registered under
+    /// (convenience for assertions and reports).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Point-in-time view of every metric, sorted by (name, labels).
+    pub fn snapshot(&self) -> Vec<(String, Labels, MetricSnapshot)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .map(|((name, labels), m)| {
+                let snap = match m {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram {
+                        bounds: h.bounds.clone(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                };
+                (name.clone(), labels.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Prometheus text exposition of this registry alone; see
+    /// [`crate::export::render_prometheus_multi`] to merge several.
+    pub fn render_prometheus(&self) -> String {
+        crate::export::render_prometheus_multi(&[self])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_intern_by_name_and_labels() {
+        let r = Registry::new();
+        r.counter("hits").add(2);
+        r.counter("hits").inc();
+        assert_eq!(r.counter("hits").get(), 3);
+        r.counter_with("hits", &[("sed", "a")]).inc();
+        assert_eq!(r.counter_with("hits", &[("sed", "a")]).get(), 1);
+        assert_eq!(r.counter_value("hits"), 4);
+        r.gauge("depth").set(2.5);
+        assert_eq!(r.gauge("depth").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_sum_and_count_track_observations() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(10.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 12.0).abs() < 1e-12);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        let _ = r.gauge("x");
+    }
+}

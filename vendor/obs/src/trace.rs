@@ -1,0 +1,295 @@
+//! Span/event tracing core: trace ids, RAII span guards, a ring-buffer
+//! collector, and the wire-propagated [`TraceCtx`].
+//!
+//! Timestamps are nanoseconds of monotonic time since the tracer's epoch
+//! (its construction instant). Within one process — or one shared
+//! [`crate::Obs`] — all spans are therefore on a single consistent axis.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Span ids are process-unique (one counter shared by every tracer) so that
+/// spans recorded by different components into a shared ring never collide.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn alloc_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Trace context propagated across frame boundaries (16 bytes on the wire:
+/// two little-endian u64s in the codec's `Call` frame).
+///
+/// `trace_id == 0` means "untraced"; receivers skip span recording entirely.
+/// One `trace_id` is allocated per *logical* request and survives
+/// resubmission — every retry attempt carries the same trace id with its
+/// own span ids, which is exactly what lets a trace viewer show a request
+/// hopping between SeDs after a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    /// Span the receiver should parent its spans under (0 = root).
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// A completed span, as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub trace_id: u64,
+    pub span_id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Phase name; the live path uses the simulator's `TraceKind` names.
+    pub name: &'static str,
+    /// Where the span ran: "client", "agents", or a SeD label.
+    pub resource: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ns.saturating_sub(self.start_ns)) as f64 * 1e-9
+    }
+}
+
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Next slot to write once `buf.len() == capacity`.
+    next: usize,
+}
+
+/// Fixed-capacity collector of completed spans. When full, the oldest span
+/// is overwritten and `dropped` is incremented — tracing never blocks or
+/// grows unboundedly, mirroring LogService's bounded event buffers.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    next_trace: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring").field("len", &self.buf.len()).finish()
+    }
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                buf: Vec::new(),
+                next: 0,
+            }),
+            next_trace: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocate a fresh trace id (never 0).
+    pub fn new_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Nanoseconds of monotonic time since this tracer was created.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Start a live span; recording happens when the guard drops (or
+    /// [`Span::end`] is called). `parent == 0` makes a root span.
+    pub fn span(&self, trace_id: u64, parent: u64, name: &'static str, resource: &str) -> Span<'_> {
+        Span {
+            tracer: self,
+            trace_id,
+            span_id: alloc_span_id(),
+            parent,
+            name,
+            resource: resource.to_string(),
+            start_ns: self.now_ns(),
+            done: false,
+        }
+    }
+
+    /// Record a span from explicit start/end timestamps (used when a phase
+    /// boundary is only known after the fact, e.g. the send portion of an
+    /// attempt reconstructed from the reply's timings). Returns the span id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_window(
+        &self,
+        trace_id: u64,
+        parent: u64,
+        name: &'static str,
+        resource: &str,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> u64 {
+        let span_id = alloc_span_id();
+        self.push(SpanRecord {
+            trace_id,
+            span_id,
+            parent,
+            name,
+            resource: resource.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+        span_id
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(rec);
+        } else {
+            let next = ring.next;
+            ring.buf[next] = rec;
+            ring.next = (next + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().unwrap();
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.next..]);
+        out.extend_from_slice(&ring.buf[..ring.next]);
+        out
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().unwrap();
+        ring.buf.clear();
+        ring.next = 0;
+    }
+}
+
+/// RAII guard for a live span: records on drop. Obtain the context to
+/// propagate downstream with [`Span::ctx`].
+#[must_use = "a span records when dropped; binding to _ drops it immediately"]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    trace_id: u64,
+    span_id: u64,
+    parent: u64,
+    name: &'static str,
+    resource: String,
+    start_ns: u64,
+    done: bool,
+}
+
+impl Span<'_> {
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Context that parents downstream spans under this one.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span: self.span_id,
+        }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.tracer.push(SpanRecord {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent: self.parent,
+            name: self.name,
+            resource: std::mem::take(&mut self.resource),
+            start_ns: self.start_ns,
+            end_ns: self.tracer.now_ns(),
+        });
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_parent_links() {
+        let t = Tracer::new(16);
+        let trace = t.new_trace();
+        let root = t.span(trace, 0, "request", "client");
+        let root_id = root.id();
+        {
+            let child = t.span(trace, root.id(), "Finding", "agents");
+            assert_ne!(child.id(), root.id());
+            assert_eq!(child.ctx().trace_id, trace);
+        }
+        root.end();
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "Finding");
+        assert_eq!(spans[0].parent, root_id);
+        assert_eq!(spans[1].name, "request");
+        assert!(spans[1].end_ns >= spans[1].start_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::new(4);
+        for _ in 0..10 {
+            let trace = t.new_trace();
+            t.span(trace, 0, "x", "r").end();
+        }
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // Oldest-first: the survivors are the last four traces (7..=10).
+        assert_eq!(spans[0].trace_id, 7);
+        assert_eq!(spans[3].trace_id, 10);
+    }
+
+    #[test]
+    fn trace_ids_start_at_one_and_zero_is_inactive() {
+        let t = Tracer::new(4);
+        assert_eq!(t.new_trace(), 1);
+        assert!(!TraceCtx::default().is_active());
+        assert!(TraceCtx { trace_id: 1, parent_span: 0 }.is_active());
+    }
+
+    #[test]
+    fn record_window_clamps_inverted_ranges() {
+        let t = Tracer::new(4);
+        t.record_window(1, 0, "w", "r", 100, 50);
+        let s = t.snapshot();
+        assert_eq!(s[0].start_ns, 100);
+        assert_eq!(s[0].end_ns, 100);
+        assert_eq!(s[0].duration_s(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Histogram correctness: bucket boundary placement, quantile estimates
+//! against a known distribution, and saturating overflow behaviour.
+
+use obs::Histogram;
+
+#[test]
+fn bucket_boundaries_are_inclusive_upper_bounds() {
+    let h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+    // Exactly on a bound lands in that bucket (le semantics).
+    h.observe(1.0);
+    h.observe(2.0);
+    h.observe(4.0);
+    // Strictly above a bound lands in the next one.
+    h.observe(1.000001);
+    h.observe(0.0);
+    h.observe(-5.0); // below the first bound still counts in bucket 0
+    assert_eq!(h.bucket_counts(), vec![3, 2, 1, 0]);
+    assert_eq!(h.count(), 6);
+}
+
+#[test]
+fn quantiles_match_known_uniform_distribution() {
+    // 100 samples: 1..=100, with bounds at every integer — quantiles are
+    // then exact: p50 = 50, p95 = 95, p99 = 99.
+    let bounds: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+    let h = Histogram::with_bounds(bounds);
+    for i in 1..=100 {
+        h.observe(i as f64);
+    }
+    assert_eq!(h.p50(), 50.0);
+    assert_eq!(h.p95(), 95.0);
+    assert_eq!(h.p99(), 99.0);
+    assert_eq!(h.quantile(1.0), 100.0);
+    assert_eq!(h.quantile(0.0), 1.0); // rank clamps to the first sample
+}
+
+#[test]
+fn quantiles_resolve_to_bucket_upper_bounds() {
+    // Coarse buckets: the estimator answers with the upper bound of the
+    // bucket containing the rank, never interpolates.
+    let h = Histogram::with_bounds(vec![0.001, 0.01, 0.1, 1.0]);
+    for _ in 0..90 {
+        h.observe(0.0005); // bucket le=0.001
+    }
+    for _ in 0..10 {
+        h.observe(0.05); // bucket le=0.1
+    }
+    assert_eq!(h.p50(), 0.001);
+    assert_eq!(h.quantile(0.90), 0.001);
+    assert_eq!(h.p95(), 0.1);
+    assert_eq!(h.p99(), 0.1);
+}
+
+#[test]
+fn overflow_bucket_saturates_quantiles_to_last_finite_bound() {
+    let h = Histogram::with_bounds(vec![1.0, 10.0]);
+    for _ in 0..4 {
+        h.observe(1e9); // way past the last bound: overflow bucket
+    }
+    h.observe(0.5);
+    let counts = h.bucket_counts();
+    assert_eq!(counts, vec![1, 0, 4]);
+    // Quantiles cannot resolve beyond the histogram range: they saturate
+    // to the last finite bound instead of inventing a value.
+    assert_eq!(h.p50(), 10.0);
+    assert_eq!(h.p99(), 10.0);
+    // Sum still sees the true values.
+    assert!((h.sum() - (4.0 * 1e9 + 0.5)).abs() < 1.0);
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::with_bounds(vec![1.0]);
+    assert_eq!(h.p50(), 0.0);
+    assert_eq!(h.p99(), 0.0);
+    assert_eq!(h.count(), 0);
+}
+
+#[test]
+fn default_latency_buckets_span_microseconds_to_seconds() {
+    let h = Histogram::latency();
+    let bounds = h.bounds();
+    assert_eq!(bounds[0], 1e-6);
+    assert_eq!(*bounds.last().unwrap(), 500.0);
+    assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    // A loopback-ish latency and a long solve both land in finite buckets.
+    h.observe(350e-6);
+    h.observe(42.0);
+    let counts = h.bucket_counts();
+    assert_eq!(*counts.last().unwrap(), 0);
+    assert_eq!(h.count(), 2);
+}
