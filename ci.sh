@@ -26,3 +26,17 @@ test -s target/experiments/live_metrics.prom
 test -s target/experiments/live_trace.json
 grep -q 'diet_client_requests_total' target/experiments/live_metrics.prom
 grep -q '"ph":"X"' target/experiments/live_trace.json
+
+# Data-management gate: the store/catalog consistency storm and the live
+# SeD-to-SeD transfer + re-ship scenario, at both thread widths; the codec
+# property tests cover the new GetData/DataReply/PutData frames.
+RAYON_NUM_THREADS=1 cargo test -q -p diet-core --test data_concurrency --test prop_codec
+RAYON_NUM_THREADS=4 cargo test -q -p diet-core --test data_concurrency --test prop_codec
+RAYON_NUM_THREADS=1 cargo test -q -p cosmogrid --test tcp_data_reuse
+RAYON_NUM_THREADS=4 cargo test -q -p cosmogrid --test tcp_data_reuse
+
+# Data-reuse smoke: the same live zoom batch volatile vs persistent; the
+# binary asserts byte-identical results and reduced client wire traffic.
+cargo run --release -p bench --bin exp_data_reuse -- --quick
+test -s target/experiments/data_reuse.csv
+grep -q '^reuse,' target/experiments/data_reuse.csv

@@ -93,7 +93,7 @@ fn estimates(n: usize) -> Vec<Estimate> {
             queue_length: i % 7,
             completed: i as u64,
             known_mean_duration: if i % 2 == 0 { Some(5000.0) } else { None },
-            probe_rtt: 0.0,
+            ..Estimate::default()
         })
         .collect()
 }

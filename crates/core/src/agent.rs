@@ -11,6 +11,7 @@
 //! from every SeD declaring the service, then the plug-in [`Scheduler`]
 //! picks the winner.
 
+use crate::dagda::ReplicaCatalog;
 use crate::error::DietError;
 use crate::monitor::Estimate;
 use crate::sched::Scheduler;
@@ -152,6 +153,9 @@ pub struct MasterAgent {
     /// Metrics sink: submits, scheduler decisions, finding-time histogram,
     /// deregistrations, heartbeat counters.
     obs: Arc<Obs>,
+    /// Hierarchy-wide replica catalog (DAGDA). When registered, estimates
+    /// gain locality terms and deregistration drops the dead SeD's replicas.
+    catalog: RwLock<Option<Arc<ReplicaCatalog>>>,
 }
 
 impl MasterAgent {
@@ -176,6 +180,7 @@ impl MasterAgent {
             deregistered: Mutex::new(Vec::new()),
             strikes: Mutex::new(HashMap::new()),
             obs,
+            catalog: RwLock::new(None),
         })
     }
 
@@ -190,7 +195,24 @@ impl MasterAgent {
             deregistered: Mutex::new(Vec::new()),
             strikes: Mutex::new(HashMap::new()),
             obs: self.obs.clone(),
+            catalog: RwLock::new(self.catalog.read().clone()),
         })
+    }
+
+    /// Register the hierarchy-wide replica catalog and attach it to every
+    /// SeD currently in the hierarchy (publish-on-retain / unpublish-on-
+    /// evict). Estimates gain data-locality terms from here on, and
+    /// [`MasterAgent::deregister`] drops a dead SeD's catalog entries.
+    pub fn register_catalog(&self, catalog: Arc<ReplicaCatalog>) {
+        for sed in self.all_seds() {
+            sed.attach_catalog(catalog.clone());
+        }
+        *self.catalog.write() = Some(catalog);
+    }
+
+    /// The registered replica catalog, if any.
+    pub fn catalog(&self) -> Option<Arc<ReplicaCatalog>> {
+        self.catalog.read().clone()
     }
 
     /// This agent's observability sink.
@@ -216,6 +238,19 @@ impl MasterAgent {
         service: &str,
         exclude: &[String],
     ) -> Result<Arc<SedHandle>, DietError> {
+        self.submit_with_data(service, &[], exclude)
+    }
+
+    /// Data-aware submit: `data_ids` are the request's grid-data references.
+    /// With a catalog registered, every candidate estimate gains the
+    /// locality split (bytes already local vs. bytes it would pull), so
+    /// data-aware schedulers can prefer the SeDs holding the inputs.
+    pub fn submit_with_data(
+        &self,
+        service: &str,
+        data_ids: &[String],
+        exclude: &[String],
+    ) -> Result<Arc<SedHandle>, DietError> {
         let started = Instant::now();
         let request_id = {
             let mut id = self.next_id.lock();
@@ -225,6 +260,19 @@ impl MasterAgent {
         let mut candidates: Vec<(Estimate, Arc<SedHandle>)> = Vec::new();
         for child in &self.children {
             child.collect(service, exclude, &mut candidates);
+        }
+        if !data_ids.is_empty() {
+            if let Some(cat) = self.catalog.read().as_ref() {
+                for (est, _) in candidates.iter_mut() {
+                    let (local, miss) = cat.locality(&est.server, data_ids);
+                    est.data_local_bytes = local;
+                    est.data_miss_bytes = miss;
+                }
+                self.obs
+                    .metrics
+                    .counter("diet_ma_data_aware_submits_total")
+                    .inc();
+            }
         }
         let record_base = SubmitRecord {
             request_id,
@@ -328,6 +376,18 @@ impl MasterAgent {
                 .metrics
                 .counter("diet_ma_sed_deregistered_total")
                 .inc();
+            // A deregistered SeD's replicas are unreachable: drop them so
+            // no scheduler or puller chases a dead location. Both heartbeat
+            // evictions and failure-report removals funnel through here.
+            if let Some(cat) = self.catalog.read().as_ref() {
+                let dropped = cat.drop_sed(label);
+                if dropped > 0 {
+                    self.obs
+                        .metrics
+                        .counter("diet_ma_catalog_dropped_total")
+                        .add(dropped as u64);
+                }
+            }
         }
         removed
     }
@@ -699,6 +759,58 @@ mod tests {
         assert!(ma.deregistered().is_empty());
         monitor.stop();
         sed.shutdown();
+    }
+
+    #[test]
+    fn data_aware_submit_prefers_the_replica_holder() {
+        use crate::dagda::ReplicaCatalog;
+        use crate::sched::DataLocal;
+        let (ma, seds) = hierarchy(&[2]);
+        let ma = ma.with_scheduler(Arc::new(DataLocal::default()));
+        let cat = Arc::new(ReplicaCatalog::new());
+        ma.register_catalog(cat.clone());
+        // sed1 holds a 100 MB input; both SeDs are otherwise identical.
+        seds[1].store_data(
+            "ic",
+            DietValue::vec_f64(vec![0.0; 4]),
+            Persistence::Persistent,
+        );
+        // Catalog says the payload is large even though the test value is
+        // small — locality is judged from catalog metadata.
+        cat.publish("ic", "la0/sed1", 100 << 20, crate::dagda::checksum(&DietValue::vec_f64(vec![0.0; 4])));
+        let ids = vec!["ic".to_string()];
+        for _ in 0..5 {
+            let chosen = ma.submit_with_data("echo", &ids, &[]).unwrap();
+            assert_eq!(chosen.config.label, "la0/sed1");
+        }
+        // Without data ids the policy degrades to expected finish and the
+        // label tie-break picks sed0.
+        assert_eq!(ma.submit("echo").unwrap().config.label, "la0/sed0");
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn deregister_drops_the_dead_seds_replicas() {
+        use crate::dagda::ReplicaCatalog;
+        let (ma, seds) = hierarchy(&[2]);
+        let cat = Arc::new(ReplicaCatalog::new());
+        ma.register_catalog(cat.clone());
+        seds[0].store_data("a", DietValue::ScalarI32(1), Persistence::Persistent);
+        seds[1].store_data("a", DietValue::ScalarI32(1), Persistence::Persistent);
+        seds[1].store_data("b", DietValue::ScalarI32(2), Persistence::Sticky);
+        assert_eq!(cat.holders("a").len(), 2);
+        assert!(ma.deregister(&seds[1].config.label));
+        assert_eq!(cat.holders("a"), vec!["la0/sed0"]);
+        assert!(cat.locate("b").is_none());
+        assert_eq!(
+            ma.metrics().counter_value("diet_ma_catalog_dropped_total"),
+            2
+        );
+        for s in seds {
+            s.shutdown();
+        }
     }
 
     #[test]

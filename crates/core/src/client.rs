@@ -12,12 +12,14 @@
 //! service initiation + queue wait) — the two quantities of Figure 5.
 
 use crate::agent::MasterAgent;
+use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
 use crate::profile::Profile;
 use crate::sed::{SedHandle, SolveOutcome};
 use crate::transport::TcpSedPool;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use obs::{Obs, TraceCtx};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -99,6 +101,18 @@ fn is_retryable(e: &DietError) -> bool {
     matches!(e, DietError::Transport(_) | DietError::Timeout { .. })
 }
 
+/// Did the attempt fail because a referenced grid-data item could not be
+/// found anywhere (its holders evicted it or died)? Over TCP the SeD's
+/// `DataNotFound` travels back as a rejection string, so match the display
+/// text too.
+fn is_data_not_found(e: &DietError) -> bool {
+    match e {
+        DietError::DataNotFound(_) => true,
+        DietError::Rejected(msg) => msg.contains("persistent data not found"),
+        _ => false,
+    }
+}
+
 /// Handle for an asynchronous call (the GridRPC `grpc_call_async` analog).
 pub struct CallHandle {
     server: String,
@@ -161,6 +175,10 @@ pub struct DietClient {
     history: parking_lot::Mutex<Vec<(String, CallStats)>>,
     /// Tracing + metrics sink for the request path.
     obs: Arc<Obs>,
+    /// Payloads stored on the grid by this client, kept so a call whose
+    /// reference turns up missing (every holder evicted it or died) can
+    /// re-ship the data inline instead of failing.
+    stored: parking_lot::Mutex<HashMap<String, DietValue>>,
 }
 
 impl DietClient {
@@ -178,7 +196,95 @@ impl DietClient {
             ma: Some(ma),
             history: parking_lot::Mutex::new(Vec::new()),
             obs,
+            stored: parking_lot::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// A lightweight handle to grid data previously stored with
+    /// [`DietClient::store_data`]: what a profile carries instead of the
+    /// payload (only the id crosses the wire).
+    pub fn data_ref(&self, id: &str) -> DietValue {
+        DietValue::data_ref(id)
+    }
+
+    /// Store `value` on the grid under `id` (DAGDA's `dagda_put_data`): the
+    /// hosting SeD retains it and publishes a replica-catalog entry, and the
+    /// client keeps a local copy for the re-ship fallback. Returns the label
+    /// of the hosting SeD. `Volatile` data is refused — there is nothing to
+    /// persist.
+    pub fn store_data(
+        &self,
+        id: &str,
+        value: DietValue,
+        mode: Persistence,
+    ) -> Result<String, DietError> {
+        let ma = self.ma()?;
+        let mut seds = ma.all_seds();
+        seds.sort_by(|a, b| a.config.label.cmp(&b.config.label));
+        let sed = seds
+            .first()
+            .ok_or_else(|| DietError::Rejected("no SeD to host grid data".into()))?;
+        if !sed.store_data(id, value.clone(), mode) {
+            return Err(DietError::Rejected(format!(
+                "store_data({id}): volatile data is not retained"
+            )));
+        }
+        self.note_stored(id, value);
+        Ok(sed.config.label.clone())
+    }
+
+    /// [`DietClient::store_data`] with the data path over real TCP: ships
+    /// the payload to the SeD behind `label` as a `PutData` frame.
+    pub fn store_data_over_tcp(
+        &self,
+        pool: &TcpSedPool,
+        label: &str,
+        id: &str,
+        value: DietValue,
+        mode: Persistence,
+        deadline: Duration,
+    ) -> Result<(), DietError> {
+        pool.put_data(label, id, value.clone(), mode, deadline)?;
+        self.note_stored(id, value);
+        Ok(())
+    }
+
+    fn note_stored(&self, id: &str, value: DietValue) {
+        self.obs
+            .metrics
+            .counter("diet_client_data_stored_bytes_total")
+            .add(value.payload_bytes());
+        self.stored.lock().insert(id.to_string(), value);
+    }
+
+    /// Every referenced payload this client still holds, or `None` if any
+    /// id is unknown here — then re-shipping cannot help.
+    fn cached_payloads(&self, ids: &[String]) -> Option<Vec<(String, DietValue)>> {
+        if ids.is_empty() {
+            return None;
+        }
+        let stored = self.stored.lock();
+        ids.iter()
+            .map(|id| stored.get(id).map(|v| (id.clone(), v.clone())))
+            .collect()
+    }
+
+    /// Repair lost grid data by re-shipping every cached payload to `sed`
+    /// under its original id (so the catalog entry reappears where the next
+    /// attempt will look for it). False when any id is uncached or a ship
+    /// fails — the caller then surfaces the original error.
+    fn try_reship(
+        &self,
+        sed: &Arc<SedHandle>,
+        ids: &[String],
+        reship: &impl Fn(&Arc<SedHandle>, &str, DietValue) -> Result<(), DietError>,
+    ) -> bool {
+        let Some(payloads) = self.cached_payloads(ids) else {
+            return false;
+        };
+        payloads
+            .into_iter()
+            .all(|(id, v)| reship(sed, &id, v).is_ok())
     }
 
     /// This client's observability sink.
@@ -256,20 +362,31 @@ impl DietClient {
         profile: Profile,
         policy: &RetryPolicy,
     ) -> Result<(Profile, CallStats), DietError> {
-        self.retry_call(profile, policy, |sed, profile, timeout, ctx| {
-            let rx = sed.submit_traced(profile, ctx)?;
-            match rx.recv_timeout(timeout) {
-                Ok(outcome) => outcome
-                    .result
-                    .map(|p| (p, outcome.queue_wait, outcome.solve_time)),
-                Err(RecvTimeoutError::Timeout) => Err(DietError::Timeout {
-                    after_secs: timeout.as_secs_f64(),
-                }),
-                Err(RecvTimeoutError::Disconnected) => Err(DietError::Transport(
-                    "SeD dropped the reply channel".into(),
-                )),
-            }
-        })
+        self.retry_call(
+            profile,
+            policy,
+            |sed, profile, timeout, ctx| {
+                let rx = sed.submit_traced(profile, ctx)?;
+                match rx.recv_timeout(timeout) {
+                    Ok(outcome) => outcome
+                        .result
+                        .map(|p| (p, outcome.queue_wait, outcome.solve_time)),
+                    Err(RecvTimeoutError::Timeout) => Err(DietError::Timeout {
+                        after_secs: timeout.as_secs_f64(),
+                    }),
+                    Err(RecvTimeoutError::Disconnected) => Err(DietError::Transport(
+                        "SeD dropped the reply channel".into(),
+                    )),
+                }
+            },
+            |sed, id, value| {
+                if sed.store_data(id, value, Persistence::Persistent) {
+                    Ok(())
+                } else {
+                    Err(DietError::Rejected(format!("re-ship of {id} refused")))
+                }
+            },
+        )
     }
 
     /// Fault-tolerant synchronous call where the data path runs over real
@@ -282,9 +399,22 @@ impl DietClient {
         profile: Profile,
         policy: &RetryPolicy,
     ) -> Result<(Profile, CallStats), DietError> {
-        self.retry_call(profile, policy, |sed, profile, timeout, ctx| {
-            pool.call_traced(&sed.config.label, profile, timeout, ctx)
-        })
+        self.retry_call(
+            profile,
+            policy,
+            |sed, profile, timeout, ctx| {
+                pool.call_traced(&sed.config.label, profile, timeout, ctx)
+            },
+            |sed, id, value| {
+                pool.put_data(
+                    &sed.config.label,
+                    id,
+                    value,
+                    Persistence::Persistent,
+                    policy.attempt_timeout,
+                )
+            },
+        )
     }
 
     /// The shared retry engine. `attempt` runs one bounded attempt against
@@ -300,6 +430,7 @@ impl DietClient {
         profile: Profile,
         policy: &RetryPolicy,
         attempt: impl Fn(&Arc<SedHandle>, Profile, Duration, TraceCtx) -> Result<(Profile, f64, f64), DietError>,
+        reship: impl Fn(&Arc<SedHandle>, &str, DietValue) -> Result<(), DietError>,
     ) -> Result<(Profile, CallStats), DietError> {
         let ma = self.ma()?;
         let tracer = &self.obs.tracer;
@@ -307,9 +438,13 @@ impl DietClient {
         let m_requests = m.counter("diet_client_requests_total");
         let m_failures = m.counter("diet_client_failures_total");
         let m_resubmits = m.counter("diet_client_resubmissions_total");
+        let m_reships = m.counter("diet_client_data_reships_total");
         let service = profile.service.clone();
         let issued = Instant::now();
         let trace_id = tracer.new_trace();
+        // Grid-data references the request carries: the MA turns these into
+        // the locality terms a data-aware scheduler minimizes.
+        let data_ids = profile.data_ref_ids();
         let mut excluded: Vec<String> = Vec::new();
         let mut finding_total = 0.0;
         let mut last_err: Option<DietError> = None;
@@ -321,7 +456,7 @@ impl DietClient {
             let attempt_span = tracer.span(trace_id, 0, "attempt", "client");
             let finding_start_ns = tracer.now_ns();
             let t0 = Instant::now();
-            let sed = match ma.submit_excluding(&service, &excluded) {
+            let sed = match ma.submit_with_data(&service, &data_ids, &excluded) {
                 Ok(sed) => sed,
                 Err(e) if attempt_no == 0 => {
                     m_failures.inc();
@@ -383,6 +518,15 @@ impl DietClient {
                     m.histogram("diet_client_total_seconds").observe(stats.total);
                     self.history.lock().push((sed.config.label.clone(), stats));
                     return Ok((out, stats));
+                }
+                Err(e) if is_data_not_found(&e) && self.try_reship(&sed, &data_ids, &reship) => {
+                    // Every holder of a referenced item evicted it or died.
+                    // The SeD itself is healthy (no blame, no exclusion):
+                    // re-ship the cached payloads to it under their original
+                    // ids — re-hosted and re-published, the next attempt
+                    // finds them in the catalog again.
+                    m_reships.inc();
+                    last_err = Some(e);
                 }
                 Err(e) if is_retryable(&e) => {
                     // A failed attempt still records its Submission window —
@@ -709,6 +853,119 @@ mod tests {
             .unwrap();
         assert_eq!(p.get_i32(1).unwrap(), 36);
         assert_eq!(stats.retries, 1);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    fn sum_table() -> ServiceTable {
+        let mut d = ProfileDesc::alloc("sum", 0, 0, 1);
+        d.set_arg(0, ArgTag::Vector).unwrap();
+        let solve: SolveFn = Arc::new(|p: &mut Profile| {
+            let s: f64 = match p.get(0)? {
+                DietValue::VectorF64(xs) => xs.iter().sum(),
+                _ => return Err(DietError::Rejected("expected f64 vector".into())),
+            };
+            p.set(1, DietValue::ScalarF64(s), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(2);
+        t.add(d, solve).unwrap();
+        t
+    }
+
+    fn sum_ref_profile(client: &DietClient, id: &str) -> Profile {
+        let d = ProfileDesc::alloc("sum", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, client.data_ref(id), Persistence::Persistent)
+            .unwrap();
+        p
+    }
+
+    fn data_session() -> (DietClient, Vec<Arc<SedHandle>>) {
+        let seds: Vec<Arc<SedHandle>> = (0..2)
+            .map(|i| SedHandle::spawn(SedConfig::new(&format!("sed{i}"), 1.0), sum_table()))
+            .collect();
+        let la = AgentNode::leaf("LA", seds.clone());
+        let ma = MasterAgent::new("MA", vec![la], Arc::new(RoundRobin::new()))
+            .with_scheduler(Arc::new(crate::sched::DataLocal::default()));
+        ma.register_catalog(Arc::new(crate::dagda::ReplicaCatalog::new()));
+        (DietClient::initialize(ma), seds)
+    }
+
+    #[test]
+    fn stored_data_is_scheduled_onto_its_holder() {
+        let (client, seds) = data_session();
+        let host = client
+            .store_data("xs", DietValue::vec_f64(vec![1.0, 2.0, 3.5]), Persistence::Persistent)
+            .unwrap();
+        assert_eq!(host, "sed0");
+        // Volatile refusal surfaces as an application error.
+        assert!(client
+            .store_data("tmp", DietValue::ScalarI32(1), Persistence::Volatile)
+            .is_err());
+        // Repeated ref calls all land on the holder — only the id travels.
+        for _ in 0..4 {
+            let (p, _) = client
+                .call_with_retry(sum_ref_profile(&client, "xs"), &fast_policy())
+                .unwrap();
+            assert_eq!(p.get_f64(1).unwrap(), 6.5);
+        }
+        let hist = client.history();
+        assert_eq!(hist.len(), 4);
+        assert!(hist.iter().all(|(server, _)| server == "sed0"));
+        assert_eq!(
+            client.metrics().counter_value("diet_client_data_reships_total"),
+            0
+        );
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn lost_holder_triggers_inline_reship_and_no_lost_request() {
+        let (client, seds) = data_session();
+        client
+            .store_data("xs", DietValue::vec_f64(vec![4.0, 0.5]), Persistence::Persistent)
+            .unwrap();
+        // The hosting SeD dies: the MA drops it and its catalog entries.
+        let ma = client.ma().unwrap().clone();
+        seds[0].shutdown();
+        assert!(ma.deregister("sed0"));
+        assert!(ma.catalog().unwrap().locate("xs").is_none());
+        // The call lands on sed1, which cannot resolve the ref anywhere;
+        // the client re-ships the cached payload inline and succeeds.
+        let (p, stats) = client
+            .call_with_retry(sum_ref_profile(&client, "xs"), &fast_policy())
+            .unwrap();
+        assert_eq!(p.get_f64(1).unwrap(), 4.5);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(
+            client.metrics().counter_value("diet_client_data_reships_total"),
+            1
+        );
+        // The re-shipped payload was re-hosted and re-published by sed1.
+        assert_eq!(ma.catalog().unwrap().holders("xs"), vec!["sed1"]);
+        let (p, stats) = client
+            .call_with_retry(sum_ref_profile(&client, "xs"), &fast_policy())
+            .unwrap();
+        assert_eq!(p.get_f64(1).unwrap(), 4.5);
+        assert_eq!(stats.retries, 0);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn unknown_ref_is_not_reshipped() {
+        // A reference this client never stored cannot be repaired locally:
+        // the DataNotFound surfaces to the caller instead of looping.
+        let (client, seds) = data_session();
+        match client.call_with_retry(sum_ref_profile(&client, "ghost"), &fast_policy()) {
+            Err(DietError::DataNotFound(id)) => assert_eq!(id, "ghost"),
+            other => panic!("expected DataNotFound, got {other:?}"),
+        }
         for s in seds {
             s.shutdown();
         }

@@ -47,6 +47,21 @@ pub enum Message {
     DumpMetrics,
     /// Reply to [`Message::DumpMetrics`]: text exposition of the registry.
     MetricsReply { text: String },
+    /// SeD ← SeD/client: fetch the value stored under `id` (DAGDA pull).
+    GetData { id: String },
+    /// Reply to [`Message::GetData`] / ack for [`Message::PutData`]: the
+    /// stored value with its persistence mode, or an error string.
+    DataReply {
+        id: String,
+        result: Result<(DietValue, Persistence), String>,
+    },
+    /// Client → SeD: seed the server's store with `value` under `id` (the
+    /// `store_data` entry point). Acked with a [`Message::DataReply`].
+    PutData {
+        id: String,
+        mode: Persistence,
+        value: DietValue,
+    },
 }
 
 const TAG_NULL: u8 = 0;
@@ -58,6 +73,7 @@ const TAG_VF64: u8 = 5;
 const TAG_VI32: u8 = 6;
 const TAG_STR: u8 = 7;
 const TAG_FILE: u8 = 8;
+const TAG_DATAREF: u8 = 9;
 
 const MSG_SUBMIT: u8 = 10;
 const MSG_SUBMIT_REPLY: u8 = 11;
@@ -68,6 +84,9 @@ const MSG_PONG: u8 = 15;
 const MSG_SHUTDOWN: u8 = 16;
 const MSG_DUMP_METRICS: u8 = 17;
 const MSG_METRICS_REPLY: u8 = 18;
+const MSG_GET_DATA: u8 = 19;
+const MSG_DATA_REPLY: u8 = 20;
+const MSG_PUT_DATA: u8 = 21;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -108,14 +127,14 @@ fn put_value(buf: &mut BytesMut, v: &DietValue) {
         DietValue::VectorF64(xs) => {
             buf.put_u8(TAG_VF64);
             buf.put_u32_le(xs.len() as u32);
-            for x in xs {
+            for x in xs.iter() {
                 buf.put_f64_le(*x);
             }
         }
         DietValue::VectorI32(xs) => {
             buf.put_u8(TAG_VI32);
             buf.put_u32_le(xs.len() as u32);
-            for x in xs {
+            for x in xs.iter() {
                 buf.put_i32_le(*x);
             }
         }
@@ -128,6 +147,10 @@ fn put_value(buf: &mut BytesMut, v: &DietValue) {
             put_str(buf, name);
             buf.put_u32_le(data.len() as u32);
             buf.put_slice(data);
+        }
+        DietValue::DataRef { id } => {
+            buf.put_u8(TAG_DATAREF);
+            put_str(buf, id);
         }
     }
 }
@@ -188,6 +211,7 @@ fn get_value(buf: &mut Bytes) -> Result<DietValue, DietError> {
                 data: buf.copy_to_bytes(n),
             })
         }
+        TAG_DATAREF => Ok(DietValue::DataRef { id: get_str(buf)? }),
         t => Err(DietError::Codec(format!("unknown value tag {t}"))),
     }
 }
@@ -210,6 +234,14 @@ fn get_persistence(buf: &mut Bytes) -> Result<Persistence, DietError> {
         2 => Ok(Persistence::Sticky),
         t => Err(DietError::Codec(format!("unknown persistence {t}"))),
     }
+}
+
+/// Encode a single value (tag-prefixed). Used by the data layer for
+/// checksumming replicas independently of any enclosing frame.
+pub fn encode_value(v: &DietValue) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16);
+    put_value(&mut buf, v);
+    buf.freeze()
 }
 
 /// Encode a profile (service, values, persistence).
@@ -305,6 +337,31 @@ pub fn encode_message(m: &Message) -> Bytes {
             buf.put_u8(MSG_METRICS_REPLY);
             put_str(&mut buf, text);
         }
+        Message::GetData { id } => {
+            buf.put_u8(MSG_GET_DATA);
+            put_str(&mut buf, id);
+        }
+        Message::DataReply { id, result } => {
+            buf.put_u8(MSG_DATA_REPLY);
+            put_str(&mut buf, id);
+            match result {
+                Ok((v, mode)) => {
+                    buf.put_u8(1);
+                    put_persistence(&mut buf, *mode);
+                    put_value(&mut buf, v);
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Message::PutData { id, mode, value } => {
+            buf.put_u8(MSG_PUT_DATA);
+            put_str(&mut buf, id);
+            put_persistence(&mut buf, *mode);
+            put_value(&mut buf, value);
+        }
     }
     buf.freeze()
 }
@@ -383,6 +440,31 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
         MSG_METRICS_REPLY => Ok(Message::MetricsReply {
             text: get_str(&mut buf)?,
         }),
+        MSG_GET_DATA => Ok(Message::GetData {
+            id: get_str(&mut buf)?,
+        }),
+        MSG_DATA_REPLY => {
+            let id = get_str(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated data reply flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                let mode = get_persistence(&mut buf)?;
+                Ok((get_value(&mut buf)?, mode))
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::DataReply { id, result })
+        }
+        MSG_PUT_DATA => {
+            let id = get_str(&mut buf)?;
+            let mode = get_persistence(&mut buf)?;
+            Ok(Message::PutData {
+                id,
+                mode,
+                value: get_value(&mut buf)?,
+            })
+        }
         t => Err(DietError::Codec(format!("unknown message tag {t}"))),
     }
 }
@@ -410,9 +492,9 @@ mod tests {
             .unwrap();
         p.set(3, DietValue::Str("cx".into()), Persistence::Volatile)
             .unwrap();
-        p.set(4, DietValue::VectorF64(vec![1.0, 2.5]), Persistence::Volatile)
+        p.set(4, DietValue::vec_f64(vec![1.0, 2.5]), Persistence::Volatile)
             .unwrap();
-        p.set(5, DietValue::VectorI32(vec![-3, 7]), Persistence::Volatile)
+        p.set(5, DietValue::vec_i32(vec![-3, 7]), Persistence::Volatile)
             .unwrap();
         p.set(6, DietValue::ScalarChar(b'z'), Persistence::Volatile)
             .unwrap();
@@ -475,6 +557,28 @@ mod tests {
             Message::MetricsReply {
                 text: "# TYPE x counter\nx 1\n".into(),
             },
+            Message::GetData {
+                id: "ramsesZoom2#0".into(),
+            },
+            Message::DataReply {
+                id: "ramsesZoom2#0".into(),
+                result: Ok((
+                    DietValue::File {
+                        name: "ic.dat".into(),
+                        data: Bytes::from_static(b"\x00\x01\x02"),
+                    },
+                    Persistence::Persistent,
+                )),
+            },
+            Message::DataReply {
+                id: "missing".into(),
+                result: Err("persistent data not found: missing".into()),
+            },
+            Message::PutData {
+                id: "blob".into(),
+                mode: Persistence::Sticky,
+                value: DietValue::vec_f64(vec![0.5, -1.5]),
+            },
         ];
         for m in msgs {
             let enc = encode_message(&m);
@@ -524,6 +628,28 @@ mod tests {
         match decode_message(enc).unwrap() {
             Message::Call { ctx: back, .. } => assert_eq!(back, ctx),
             other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_ref_value_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &DietValue::data_ref("zoom/ic#0"));
+        let v = get_value(&mut buf.freeze()).unwrap();
+        assert_eq!(v.as_data_ref(), Some("zoom/ic#0"));
+    }
+
+    #[test]
+    fn data_frames_detect_truncation() {
+        let enc = encode_message(&Message::DataReply {
+            id: "ic".into(),
+            result: Ok((DietValue::vec_i32(vec![1, 2, 3]), Persistence::Persistent)),
+        });
+        for cut in 0..enc.len() {
+            assert!(
+                decode_message(enc.slice(0..cut)).is_err(),
+                "cut at {cut} decoded successfully"
+            );
         }
     }
 

@@ -1,0 +1,265 @@
+//! DAGDA-style hierarchy-wide data management.
+//!
+//! The per-SeD [`DataManager`](crate::datamgr::DataManager) only knows what
+//! *it* holds. This module adds the grid-wide view DIET's DAGDA provides:
+//!
+//! * a **replica catalog** registered at the MA — data id → the set of SeDs
+//!   holding a replica, with size, checksum and last-access stamps. SeDs
+//!   publish on retain, unpublish on eviction/free, and the MA drops every
+//!   entry for a SeD the heartbeat monitor deregisters;
+//! * a **resolver** abstraction — how an executing SeD pulls a missing
+//!   `Persistent` input from the owning SeD (over TCP in production, via a
+//!   shared handle in-process for tests);
+//! * **locality accounting** — given a request's data-ref ids, how many
+//!   bytes are already resident on a candidate SeD vs. how many it would
+//!   have to pull. The `DataLocal` scheduler and the MA's `Estimate`
+//!   construction feed on this.
+
+use crate::data::DietValue;
+use crate::error::DietError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One replica's catalog record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaInfo {
+    /// SeD label holding the replica.
+    pub sed: String,
+    /// Payload bytes of the stored value.
+    pub size: u64,
+    /// FNV-1a over the codec encoding — lets a puller detect divergent
+    /// replicas published under one id.
+    pub checksum: u64,
+    /// Logical catalog clock stamp of the last publish/touch.
+    pub last_access: u64,
+}
+
+/// FNV-1a checksum of a value's canonical (codec) encoding.
+pub fn checksum(value: &DietValue) -> u64 {
+    let enc = crate::codec::encode_value(value);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in enc.iter() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The hierarchy-wide replica catalog (lives at the MA; shared by Arc with
+/// every SeD that participates).
+#[derive(Debug, Default)]
+pub struct ReplicaCatalog {
+    /// id → replicas, keyed by SeD label.
+    entries: RwLock<HashMap<String, Vec<ReplicaInfo>>>,
+    clock: AtomicU64,
+    dropped_for_death: AtomicU64,
+}
+
+impl ReplicaCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `sed` now holds `id`. Replaces any previous record for
+    /// the same (id, sed) pair.
+    pub fn publish(&self, id: &str, sed: &str, size: u64, checksum: u64) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut w = self.entries.write();
+        let reps = w.entry(id.to_string()).or_default();
+        reps.retain(|r| r.sed != sed);
+        reps.push(ReplicaInfo {
+            sed: sed.to_string(),
+            size,
+            checksum,
+            last_access: stamp,
+        });
+    }
+
+    /// Record that `sed` no longer holds `id` (eviction, free, migration).
+    pub fn unpublish(&self, id: &str, sed: &str) {
+        let mut w = self.entries.write();
+        if let Some(reps) = w.get_mut(id) {
+            reps.retain(|r| r.sed != sed);
+            if reps.is_empty() {
+                w.remove(id);
+            }
+        }
+    }
+
+    /// Drop every replica a dead SeD held (heartbeat deregistration path).
+    /// Returns how many records were removed.
+    pub fn drop_sed(&self, sed: &str) -> usize {
+        let mut dropped = 0;
+        let mut w = self.entries.write();
+        w.retain(|_, reps| {
+            let before = reps.len();
+            reps.retain(|r| r.sed != sed);
+            dropped += before - reps.len();
+            !reps.is_empty()
+        });
+        self.dropped_for_death
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The best replica to pull from: most recently touched, ties broken by
+    /// label for determinism.
+    pub fn locate(&self, id: &str) -> Option<ReplicaInfo> {
+        let r = self.entries.read();
+        r.get(id)?
+            .iter()
+            .max_by(|a, b| {
+                a.last_access
+                    .cmp(&b.last_access)
+                    .then_with(|| b.sed.cmp(&a.sed))
+            })
+            .cloned()
+    }
+
+    /// All replicas of `id`, sorted by SeD label.
+    pub fn replicas(&self, id: &str) -> Vec<ReplicaInfo> {
+        let mut v = self
+            .entries
+            .read()
+            .get(id)
+            .cloned()
+            .unwrap_or_default();
+        v.sort_by(|a, b| a.sed.cmp(&b.sed));
+        v
+    }
+
+    /// SeD labels holding `id`, sorted.
+    pub fn holders(&self, id: &str) -> Vec<String> {
+        self.replicas(id).into_iter().map(|r| r.sed).collect()
+    }
+
+    /// Payload size of `id` if any replica is catalogued.
+    pub fn size_of(&self, id: &str) -> Option<u64> {
+        self.entries.read().get(id)?.first().map(|r| r.size)
+    }
+
+    /// Locality split for a candidate SeD: of the given data ids, how many
+    /// bytes are already on `sed` (`local`) vs. resident elsewhere on the
+    /// grid (`miss` — the transfer the SeD would have to do). Ids unknown to
+    /// the catalog count as neither: the client ships those inline whoever
+    /// wins, so they do not differentiate candidates.
+    pub fn locality(&self, sed: &str, ids: &[String]) -> (u64, u64) {
+        let r = self.entries.read();
+        let (mut local, mut miss) = (0u64, 0u64);
+        for id in ids {
+            if let Some(reps) = r.get(id) {
+                if let Some(rep) = reps.iter().find(|rep| rep.sed == sed) {
+                    local += rep.size;
+                } else if let Some(rep) = reps.first() {
+                    miss += rep.size;
+                }
+            }
+        }
+        (local, miss)
+    }
+
+    /// Number of distinct data ids catalogued.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Records dropped because their SeD died.
+    pub fn dropped_for_death(&self) -> u64 {
+        self.dropped_for_death.load(Ordering::Relaxed)
+    }
+
+    /// Sorted ids currently catalogued (diagnostics).
+    pub fn ids(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.entries.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// How an executing SeD fetches a data id it does not hold. Production uses
+/// the TCP pool (SeD-to-SeD pull); tests can resolve through shared
+/// in-process handles.
+pub trait DataResolver: Send + Sync {
+    /// Fetch `id` from the SeD labelled `sed`, returning the value and its
+    /// persistence mode.
+    fn fetch(
+        &self,
+        sed: &str,
+        id: &str,
+    ) -> Result<(DietValue, crate::data::Persistence), DietError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DietValue;
+
+    #[test]
+    fn publish_locate_unpublish() {
+        let cat = ReplicaCatalog::new();
+        assert!(cat.is_empty());
+        cat.publish("ic", "sedA", 100, 7);
+        cat.publish("ic", "sedB", 100, 7);
+        // sedB published later → preferred source.
+        assert_eq!(cat.locate("ic").unwrap().sed, "sedB");
+        assert_eq!(cat.holders("ic"), vec!["sedA", "sedB"]);
+        cat.unpublish("ic", "sedB");
+        assert_eq!(cat.locate("ic").unwrap().sed, "sedA");
+        cat.unpublish("ic", "sedA");
+        assert!(cat.locate("ic").is_none());
+        assert!(cat.is_empty(), "empty id sets are pruned");
+    }
+
+    #[test]
+    fn republish_replaces_not_duplicates() {
+        let cat = ReplicaCatalog::new();
+        cat.publish("x", "sedA", 10, 1);
+        cat.publish("x", "sedA", 20, 2);
+        let reps = cat.replicas("x");
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].size, 20);
+        assert_eq!(cat.size_of("x"), Some(20));
+    }
+
+    #[test]
+    fn drop_sed_clears_every_record() {
+        let cat = ReplicaCatalog::new();
+        cat.publish("a", "dead", 1, 0);
+        cat.publish("b", "dead", 2, 0);
+        cat.publish("b", "alive", 2, 0);
+        assert_eq!(cat.drop_sed("dead"), 2);
+        assert_eq!(cat.dropped_for_death(), 2);
+        assert!(cat.locate("a").is_none());
+        assert_eq!(cat.holders("b"), vec!["alive"]);
+    }
+
+    #[test]
+    fn locality_splits_local_and_miss_bytes() {
+        let cat = ReplicaCatalog::new();
+        cat.publish("big", "sedA", 1000, 0);
+        cat.publish("small", "sedB", 10, 0);
+        let ids = vec!["big".to_string(), "small".to_string(), "ghost".to_string()];
+        assert_eq!(cat.locality("sedA", &ids), (1000, 10));
+        assert_eq!(cat.locality("sedB", &ids), (10, 1000));
+        // A SeD holding nothing: everything catalogued is a miss; the
+        // unknown id counts for no one.
+        assert_eq!(cat.locality("sedC", &ids), (0, 1010));
+    }
+
+    #[test]
+    fn checksum_distinguishes_values_and_is_stable() {
+        let a = DietValue::vec_f64(vec![1.0, 2.0]);
+        let b = DietValue::vec_f64(vec![1.0, 2.5]);
+        assert_eq!(checksum(&a), checksum(&a.clone()));
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_ne!(
+            checksum(&DietValue::Str("x".into())),
+            checksum(&DietValue::ScalarChar(b'x'))
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! `ramsesZoom2` service uses files and `DIET_INT` scalars, all volatile.
 
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// Element base types (the `diet_base_type_t` analog).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,15 +62,20 @@ pub enum DietValue {
     ScalarI64(i64),
     ScalarF64(f64),
     ScalarChar(u8),
-    /// Dense vector of doubles.
-    VectorF64(Vec<f64>),
-    /// Dense vector of 32-bit ints.
-    VectorI32(Vec<i32>),
+    /// Dense vector of doubles. Arc-backed so clone/retain are refcount
+    /// bumps, not deep copies.
+    VectorF64(Arc<[f64]>),
+    /// Dense vector of 32-bit ints. Arc-backed like `VectorF64`.
+    VectorI32(Arc<[i32]>),
     /// UTF-8 string (paramstring).
     Str(String),
     /// A file: logical name plus contents. DIET ships files by content; the
     /// `name` mirrors the client-side path for diagnostics.
     File { name: String, data: Bytes },
+    /// A reference to data already resident on the grid (DAGDA handle): the
+    /// client ships only the id; the executing SeD resolves it from its own
+    /// store or pulls it from the owning SeD before the solve.
+    DataRef { id: String },
 }
 
 impl DietValue {
@@ -84,7 +90,23 @@ impl DietValue {
             DietValue::VectorI32(_) => "vector i32",
             DietValue::Str(_) => "string",
             DietValue::File { .. } => "file",
+            DietValue::DataRef { .. } => "data ref",
         }
+    }
+
+    /// Build an Arc-backed f64 vector value.
+    pub fn vec_f64(v: impl Into<Arc<[f64]>>) -> Self {
+        DietValue::VectorF64(v.into())
+    }
+
+    /// Build an Arc-backed i32 vector value.
+    pub fn vec_i32(v: impl Into<Arc<[i32]>>) -> Self {
+        DietValue::VectorI32(v.into())
+    }
+
+    /// Build a grid-data reference.
+    pub fn data_ref(id: impl Into<String>) -> Self {
+        DietValue::DataRef { id: id.into() }
     }
 
     /// Payload size in bytes — what the transport actually moves; drives the
@@ -99,6 +121,8 @@ impl DietValue {
             DietValue::VectorI32(v) => (v.len() * 4) as u64,
             DietValue::Str(s) => s.len() as u64,
             DietValue::File { name, data } => (name.len() + data.len()) as u64,
+            // The whole point of a ref: only the id crosses the wire.
+            DietValue::DataRef { id } => id.len() as u64,
         }
     }
 
@@ -131,6 +155,13 @@ impl DietValue {
         }
     }
 
+    pub fn as_data_ref(&self) -> Option<&str> {
+        match self {
+            DietValue::DataRef { id } => Some(id),
+            _ => None,
+        }
+    }
+
     pub fn is_null(&self) -> bool {
         matches!(self, DietValue::Null)
     }
@@ -144,7 +175,8 @@ mod tests {
     fn payload_sizes() {
         assert_eq!(DietValue::Null.payload_bytes(), 0);
         assert_eq!(DietValue::ScalarI32(7).payload_bytes(), 4);
-        assert_eq!(DietValue::VectorF64(vec![0.0; 10]).payload_bytes(), 80);
+        assert_eq!(DietValue::vec_f64(vec![0.0; 10]).payload_bytes(), 80);
+        assert_eq!(DietValue::data_ref("zoom#0").payload_bytes(), 6);
         let f = DietValue::File {
             name: "x.nml".into(),
             data: Bytes::from_static(b"hello"),
@@ -173,5 +205,24 @@ mod tests {
     #[test]
     fn default_persistence_is_volatile() {
         assert_eq!(Persistence::default(), Persistence::Volatile);
+    }
+
+    #[test]
+    fn vector_clone_is_a_refcount_bump() {
+        let v = DietValue::vec_f64(vec![1.0; 1024]);
+        let w = v.clone();
+        match (&v, &w) {
+            (DietValue::VectorF64(a), DietValue::VectorF64(b)) => {
+                assert!(Arc::ptr_eq(a, b), "clone must share the allocation");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn data_ref_accessor() {
+        let r = DietValue::data_ref("ic/zoom");
+        assert_eq!(r.as_data_ref(), Some("ic/zoom"));
+        assert_eq!(DietValue::Null.as_data_ref(), None);
     }
 }

@@ -25,7 +25,10 @@
 //! * [`sed`] — the Server Daemon: service table + worker loop.
 //! * [`agent`] — Master/Local Agent hierarchy and request routing.
 //! * [`client`] — the GridRPC-style client API (`diet_call` analog).
-//! * [`datamgr`] — persistent data management on the server side.
+//! * [`datamgr`] — persistent data management on the server side (bounded
+//!   LRU store, sticky pinning).
+//! * [`dagda`] — hierarchy-wide data management (DAGDA analog): replica
+//!   catalog at the MA, SeD-to-SeD pull resolution, locality accounting.
 //! * [`deploy`] — deployment descriptions mapping a hierarchy onto a
 //!   platform, following the paper's Grid'5000 deployment.
 //! * [`error`] — the crate's error type.
@@ -41,6 +44,7 @@ pub mod agent;
 pub mod client;
 pub mod codec;
 pub mod config;
+pub mod dagda;
 pub mod data;
 pub mod datamgr;
 pub mod deploy;
@@ -58,7 +62,9 @@ pub mod transport;
 pub use agent::{AgentNode, HeartbeatMonitor, MasterAgent};
 pub use client::{CallHandle, CallStats, DietClient, RetryPolicy};
 pub use config::DietConfig;
+pub use dagda::{DataResolver, ReplicaCatalog, ReplicaInfo};
 pub use data::{BaseType, DietValue, Persistence};
+pub use datamgr::DataManager;
 pub use error::DietError;
 pub use faults::{FaultAction, FaultPlan};
 pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
@@ -66,5 +72,5 @@ pub use monitor::Estimate;
 pub use naming::NameServer;
 pub use obs::{Obs, TraceCtx};
 pub use profile::{ArgDesc, ArgMode, Profile, ProfileDesc};
-pub use sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
+pub use sched::{DataLocal, MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
 pub use sed::{SedConfig, SedHandle, ServiceTable};

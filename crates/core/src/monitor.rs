@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A point-in-time performance estimate for one SeD.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Estimate {
     /// SeD label (unique across the deployment).
     pub server: String,
@@ -30,6 +30,13 @@ pub struct Estimate {
     pub known_mean_duration: Option<f64>,
     /// Round-trip probe time, seconds (network proximity signal).
     pub probe_rtt: f64,
+    /// Bytes of the request's persistent inputs already resident on this
+    /// SeD (replica-catalog locality term; 0 when the request references no
+    /// grid data or the MA has no catalog).
+    pub data_local_bytes: u64,
+    /// Bytes of the request's persistent inputs resident *elsewhere* on the
+    /// grid — the SeD-to-SeD transfer this candidate would have to do.
+    pub data_miss_bytes: u64,
 }
 
 impl Estimate {
@@ -41,6 +48,14 @@ impl Estimate {
     pub fn expected_finish(&self) -> f64 {
         let per_task = self.known_mean_duration.unwrap_or(1.0) / self.speed_factor;
         (self.queue_length as f64 + 1.0) * per_task + self.probe_rtt
+    }
+
+    /// [`Estimate::expected_finish`] plus the time to pull this request's
+    /// missing persistent inputs from their current holders at
+    /// `bandwidth_bps` bytes/second. The locality term the `DataLocal`
+    /// scheduler minimizes: a SeD already holding the data pays nothing.
+    pub fn expected_finish_with_transfer(&self, bandwidth_bps: f64) -> f64 {
+        self.expected_finish() + self.data_miss_bytes as f64 / bandwidth_bps.max(1.0)
     }
 }
 
@@ -125,6 +140,8 @@ impl LoadTracker {
             completed: self.completed(),
             known_mean_duration: self.mean_duration(),
             probe_rtt: 0.0,
+            data_local_bytes: 0,
+            data_miss_bytes: 0,
         }
     }
 }
@@ -172,20 +189,18 @@ mod tests {
         let idle_fast = Estimate {
             server: "a".into(),
             speed_factor: 1.2,
-            free_memory: 0,
             queue_length: 0,
             completed: 5,
             known_mean_duration: Some(100.0),
-            probe_rtt: 0.0,
+            ..Estimate::default()
         };
         let busy_slow = Estimate {
             server: "b".into(),
             speed_factor: 0.8,
-            free_memory: 0,
             queue_length: 3,
             completed: 5,
             known_mean_duration: Some(100.0),
-            probe_rtt: 0.0,
+            ..Estimate::default()
         };
         assert!(idle_fast.expected_finish() < busy_slow.expected_finish());
     }
@@ -195,11 +210,10 @@ mod tests {
         let mk = |rtt: f64, known: Option<f64>| Estimate {
             server: "s".into(),
             speed_factor: 2.0,
-            free_memory: 0,
             queue_length: 1,
-            completed: 0,
             known_mean_duration: known,
             probe_rtt: rtt,
+            ..Estimate::default()
         };
         // Speed-only fallback: (1 + 1) * 1.0/2.0 + rtt.
         assert_eq!(mk(0.0, None).expected_finish(), 1.0);
@@ -208,6 +222,24 @@ mod tests {
         assert!(mk(0.25, None).expected_finish() > mk(0.0, None).expected_finish());
         // The known-duration path carries the RTT term too.
         assert_eq!(mk(0.5, Some(4.0)).expected_finish(), 4.5);
+    }
+
+    #[test]
+    fn transfer_term_penalizes_data_misses_only() {
+        let mk = |local: u64, miss: u64| Estimate {
+            server: "s".into(),
+            speed_factor: 1.0,
+            known_mean_duration: Some(2.0),
+            data_local_bytes: local,
+            data_miss_bytes: miss,
+            ..Estimate::default()
+        };
+        // Holder pays nothing; a candidate missing 1 GB at 1 GB/s pays 1 s.
+        assert_eq!(mk(1 << 30, 0).expected_finish_with_transfer(1e9), 2.0);
+        let cold = mk(0, 1 << 30).expected_finish_with_transfer(1e9);
+        assert!((cold - (2.0 + 1.073741824)).abs() < 1e-9);
+        // Degenerate bandwidth cannot divide by zero.
+        assert!(mk(0, 100).expected_finish_with_transfer(0.0).is_finite());
     }
 
     #[test]

@@ -268,6 +268,15 @@ impl Profile {
             .map(|(v, _)| v.payload_bytes())
             .sum()
     }
+
+    /// Ids of every grid-data reference argument — what a data-aware MA
+    /// feeds into the replica catalog's locality query.
+    pub fn data_ref_ids(&self) -> Vec<String> {
+        self.values
+            .iter()
+            .filter_map(|v| v.as_data_ref().map(str::to_string))
+            .collect()
+    }
 }
 
 /// The paper's `ramsesZoom2` profile description, exactly as §4.2.1 builds

@@ -11,7 +11,8 @@
 //! than one simulation at the same time".
 
 use crate::codec::Message;
-use crate::data::DietValue;
+use crate::dagda::{self, DataResolver, ReplicaCatalog};
+use crate::data::{DietValue, Persistence};
 use crate::datamgr::DataManager;
 use crate::error::DietError;
 use crate::faults::{FaultAction, FaultPlan};
@@ -99,6 +100,8 @@ pub struct SedConfig {
     pub speed_factor: f64,
     /// Advertised free memory, bytes.
     pub free_memory: u64,
+    /// Byte cap on the SeD's persistent-data store; `None` = unbounded.
+    pub data_capacity: Option<u64>,
 }
 
 impl SedConfig {
@@ -107,7 +110,14 @@ impl SedConfig {
             label: label.to_string(),
             speed_factor,
             free_memory: 32 << 30,
+            data_capacity: None,
         }
+    }
+
+    /// Bound the persistent-data store (LRU-evicted, sticky pinned).
+    pub fn with_data_capacity(mut self, bytes: u64) -> Self {
+        self.data_capacity = Some(bytes);
+        self
     }
 }
 
@@ -167,6 +177,11 @@ pub struct SedHandle {
     /// Tracing + metrics sink; spans from propagated contexts and the
     /// SeD-side counters/histograms land here.
     obs: Arc<Obs>,
+    /// Hierarchy-wide replica catalog (shared with the MA); publishes on
+    /// retain, unpublishes on eviction. None = no DAGDA participation.
+    catalog: Arc<RwLock<Option<Arc<ReplicaCatalog>>>>,
+    /// How the worker pulls data ids it does not hold from the owning SeD.
+    resolver: Arc<RwLock<Option<Arc<dyn DataResolver>>>>,
 }
 
 impl SedHandle {
@@ -184,9 +199,14 @@ impl SedHandle {
         let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
         let table = Arc::new(RwLock::new(table));
         let load = LoadTracker::new();
-        let datamgr = Arc::new(DataManager::new());
+        let datamgr = Arc::new(match config.data_capacity {
+            Some(cap) => DataManager::with_capacity(cap),
+            None => DataManager::new(),
+        });
         let alive = Arc::new(AtomicBool::new(true));
         let faults = FaultPlan::new();
+        let catalog: Arc<RwLock<Option<Arc<ReplicaCatalog>>>> = Arc::new(RwLock::new(None));
+        let resolver: Arc<RwLock<Option<Arc<dyn DataResolver>>>> = Arc::new(RwLock::new(None));
         let handle = Arc::new(SedHandle {
             config: config.clone(),
             table: table.clone(),
@@ -197,6 +217,8 @@ impl SedHandle {
             probe: RwLock::new(None),
             faults: faults.clone(),
             obs: obs.clone(),
+            catalog: catalog.clone(),
+            resolver: resolver.clone(),
         });
 
         let worker_table = table;
@@ -204,6 +226,8 @@ impl SedHandle {
         let worker_alive = alive;
         let worker_dm = datamgr;
         let worker_faults = faults;
+        let worker_catalog = catalog;
+        let worker_resolver = resolver;
         // Metric handles interned once; label distinguishes SeDs when
         // several share one registry. Updates below are pure atomics.
         let labels: &[(&str, &str)] = &[("sed", &config.label)];
@@ -217,6 +241,17 @@ impl SedHandle {
         let m_reply_fail = obs
             .metrics
             .counter_with("diet_sed_reply_failures_total", labels);
+        let m_data_hit = obs.metrics.counter_with("diet_data_hits_total", labels);
+        let m_data_miss = obs.metrics.counter_with("diet_data_misses_total", labels);
+        let m_data_pull_b = obs
+            .metrics
+            .counter_with("diet_data_pull_bytes_total", labels);
+        let m_data_pull_h = obs
+            .metrics
+            .histogram_with("diet_data_pull_seconds", labels);
+        let m_data_fail = obs
+            .metrics
+            .counter_with("diet_data_resolve_failures_total", labels);
         let worker_label = config.label;
         let worker_obs = obs;
         std::thread::spawn(move || {
@@ -242,7 +277,56 @@ impl SedHandle {
                         let exec_start_ns = worker_obs.tracer.now_ns();
                         let started = Instant::now();
                         worker_load.start();
-                        let solved = {
+                        // Resolve grid-data references before validation:
+                        // every `DataRef` IN slot is replaced by the actual
+                        // value — from this SeD's own store, or pulled
+                        // SeD-to-SeD from the catalogued owner.
+                        let mut resolved_refs: Vec<(usize, String)> = Vec::new();
+                        let mut resolve_err: Option<DietError> = None;
+                        for i in 0..job.profile.values.len() {
+                            let id = match &job.profile.values[i] {
+                                DietValue::DataRef { id } => id.clone(),
+                                _ => continue,
+                            };
+                            let local = worker_dm.get(&id);
+                            let fetched = match local {
+                                Ok(v) => {
+                                    m_data_hit.inc();
+                                    Ok(v)
+                                }
+                                Err(_) => {
+                                    m_data_miss.inc();
+                                    let pull_start = Instant::now();
+                                    let pulled = pull_from_owner(
+                                        &worker_dm,
+                                        &worker_catalog,
+                                        &worker_resolver,
+                                        &worker_label,
+                                        &id,
+                                    );
+                                    if let Ok(v) = &pulled {
+                                        m_data_pull_b.add(v.payload_bytes());
+                                        m_data_pull_h
+                                            .observe(pull_start.elapsed().as_secs_f64());
+                                    }
+                                    pulled
+                                }
+                            };
+                            match fetched {
+                                Ok(v) => {
+                                    job.profile.values[i] = v;
+                                    resolved_refs.push((i, id));
+                                }
+                                Err(e) => {
+                                    m_data_fail.inc();
+                                    resolve_err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        let solved = if let Some(e) = resolve_err {
+                            Err(e)
+                        } else {
                             let t = worker_table.read();
                             match t.lookup(&job.profile.service) {
                                 None => Err(DietError::ServiceNotFound(
@@ -258,12 +342,31 @@ impl SedHandle {
                                                 // Retain PERSISTENT/STICKY
                                                 // arguments (DTM behaviour);
                                                 // VOLATILE data is dropped
-                                                // with the job.
-                                                retain_persistent_args(
+                                                // with the job. Args that
+                                                // arrived as refs are already
+                                                // resident under their own id.
+                                                let skip: Vec<usize> = resolved_refs
+                                                    .iter()
+                                                    .map(|(i, _)| *i)
+                                                    .collect();
+                                                retain_and_publish(
                                                     &worker_dm,
+                                                    worker_catalog.read().as_deref(),
+                                                    &worker_label,
                                                     &job.profile,
+                                                    &skip,
                                                 );
-                                                Ok(job.profile.clone())
+                                                // The reply re-collapses
+                                                // resolved args back to refs:
+                                                // the client sent an id and
+                                                // gets an id back, never the
+                                                // payload.
+                                                let mut reply = job.profile.clone();
+                                                for (i, id) in &resolved_refs {
+                                                    reply.values[*i] =
+                                                        DietValue::DataRef { id: id.clone() };
+                                                }
+                                                Ok(reply)
                                             }
                                             Ok(status) => Err(DietError::SolveFailed {
                                                 service: job.profile.service.clone(),
@@ -461,20 +564,118 @@ impl SedHandle {
     pub fn persistent_data(&self, id: &str) -> Result<DietValue, DietError> {
         self.datamgr.get(id)
     }
+
+    /// Join a hierarchy-wide replica catalog: retained data is published,
+    /// evicted/freed data unpublished. Call once at deployment time.
+    pub fn attach_catalog(&self, catalog: Arc<ReplicaCatalog>) {
+        let label = self.config.label.clone();
+        let cat = catalog.clone();
+        let departures = self
+            .obs
+            .metrics
+            .counter_with("diet_data_departures_total", &[("sed", &self.config.label)]);
+        self.datamgr.set_evict_hook(move |id| {
+            cat.unpublish(id, &label);
+            departures.inc();
+        });
+        *self.catalog.write() = Some(catalog);
+    }
+
+    /// The catalog this SeD participates in, if any.
+    pub fn catalog(&self) -> Option<Arc<ReplicaCatalog>> {
+        self.catalog.read().clone()
+    }
+
+    /// Install the SeD-to-SeD pull mechanism the worker uses for data ids it
+    /// does not hold (the TCP pool in production).
+    pub fn set_resolver(&self, resolver: Arc<dyn DataResolver>) {
+        *self.resolver.write() = Some(resolver);
+    }
+
+    /// Seed this SeD's store with a value under an explicit id (the
+    /// server-side half of the client's `store_data`), publishing to the
+    /// catalog when one is attached. Returns false for volatile data.
+    pub fn store_data(&self, id: &str, value: DietValue, mode: Persistence) -> bool {
+        let size = value.payload_bytes();
+        let cks = dagda::checksum(&value);
+        let ok = self.datamgr.retain(id, value, mode);
+        if ok {
+            if let Some(cat) = self.catalog.read().as_ref() {
+                cat.publish(id, &self.config.label, size, cks);
+            }
+        }
+        ok
+    }
+}
+
+/// Pull `id` from the SeD the catalog says holds it, verify the checksum,
+/// and retain the replica locally (as `Persistent` — only the origin's pin
+/// applies). Any gap in the chain — no catalog, no resolver, no replica, a
+/// transfer failure, a checksum mismatch — degrades to `DataNotFound`, which
+/// the client answers by re-shipping the value inline.
+fn pull_from_owner(
+    dm: &DataManager,
+    catalog: &RwLock<Option<Arc<ReplicaCatalog>>>,
+    resolver: &RwLock<Option<Arc<dyn DataResolver>>>,
+    self_label: &str,
+    id: &str,
+) -> Result<DietValue, DietError> {
+    let cat = catalog
+        .read()
+        .clone()
+        .ok_or_else(|| DietError::DataNotFound(id.to_string()))?;
+    let rep = cat
+        .locate(id)
+        .filter(|r| r.sed != self_label)
+        .ok_or_else(|| DietError::DataNotFound(id.to_string()))?;
+    let res = resolver
+        .read()
+        .clone()
+        .ok_or_else(|| DietError::DataNotFound(id.to_string()))?;
+    let (value, _origin_mode) = res
+        .fetch(&rep.sed, id)
+        .map_err(|_| DietError::DataNotFound(id.to_string()))?;
+    if dagda::checksum(&value) != rep.checksum {
+        return Err(DietError::DataNotFound(id.to_string()));
+    }
+    if dm.retain(id, value.clone(), Persistence::Persistent) {
+        cat.publish(id, self_label, value.payload_bytes(), rep.checksum);
+    }
+    Ok(value)
 }
 
 /// Retain every non-null PERSISTENT/STICKY argument of a completed profile
 /// under the id `service#index` — the data-manager side of a solve.
 pub fn retain_persistent_args(dm: &DataManager, profile: &Profile) {
+    retain_and_publish(dm, None, "", profile, &[]);
+}
+
+/// [`retain_persistent_args`] plus catalog publication; `skip` holds arg
+/// indices already resident under their own data-ref id.
+pub fn retain_and_publish(
+    dm: &DataManager,
+    catalog: Option<&ReplicaCatalog>,
+    sed_label: &str,
+    profile: &Profile,
+    skip: &[usize],
+) {
     for (i, (v, m)) in profile
         .values
         .iter()
         .zip(&profile.persistence)
         .enumerate()
     {
-        if !matches!(v, DietValue::Null) {
-            let id = format!("{}#{}", profile.service, i);
-            dm.retain(&id, v.clone(), *m);
+        if skip.contains(&i)
+            || matches!(v, DietValue::Null)
+            || *m == Persistence::Volatile
+        {
+            continue;
+        }
+        let id = format!("{}#{}", profile.service, i);
+        if dm.retain(&id, v.clone(), *m) {
+            if let Some(cat) = catalog {
+                cat.publish(&id, sed_label, v.payload_bytes(), dagda::checksum(v));
+            }
         }
     }
 }
@@ -668,7 +869,7 @@ mod tests {
             let x = p.get_i32(0)?;
             p.set(
                 1,
-                DietValue::VectorI32(vec![x; 4]),
+                DietValue::vec_i32(vec![x; 4]),
                 Persistence::Persistent,
             )?;
             Ok(0)
@@ -686,10 +887,122 @@ mod tests {
         // The OUT vector persisted; the volatile IN scalar did not.
         assert_eq!(
             sed.persistent_data("makeic#1").unwrap(),
-            DietValue::VectorI32(vec![7; 4])
+            DietValue::vec_i32(vec![7; 4])
         );
         assert!(sed.persistent_data("makeic#0").is_err());
         assert_eq!(sed.datamgr.len(), 1);
+        sed.shutdown();
+    }
+
+    /// A service summing an i32 vector arriving via arg 0 (IN), result in
+    /// arg 1 (OUT) — used by the data-ref tests.
+    fn summer_table() -> ServiceTable {
+        let mut d = ProfileDesc::alloc("sum", 0, 0, 1);
+        d.set_arg(0, ArgTag::Vector).unwrap();
+        d.set_arg(1, ArgTag::Scalar).unwrap();
+        let solve: SolveFn = Arc::new(|p: &mut Profile| {
+            let total = match &p.values[0] {
+                DietValue::VectorI32(v) => v.iter().sum::<i32>(),
+                other => {
+                    return Err(DietError::Rejected(format!(
+                        "expected vector, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            p.set(1, DietValue::ScalarI32(total), Persistence::Volatile)?;
+            Ok(0)
+        });
+        let mut t = ServiceTable::init(1);
+        t.add(d, solve).unwrap();
+        t
+    }
+
+    fn sum_ref_profile(id: &str) -> Profile {
+        let d = ProfileDesc::alloc("sum", 0, 0, 1);
+        let mut p = Profile::alloc(&d);
+        p.set(0, DietValue::data_ref(id), Persistence::Persistent)
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn data_ref_resolves_from_the_local_store() {
+        let sed = SedHandle::spawn(SedConfig::new("ref/0", 1.0), summer_table());
+        let cat = Arc::new(ReplicaCatalog::new());
+        sed.attach_catalog(cat.clone());
+        assert!(sed.store_data("nums", DietValue::vec_i32(vec![1, 2, 3]), Persistence::Persistent));
+        assert_eq!(cat.holders("nums"), vec!["ref/0"]);
+
+        let out = sed.submit(sum_ref_profile("nums")).unwrap().recv().unwrap();
+        let p = out.result.unwrap();
+        assert_eq!(p.get_i32(1).unwrap(), 6);
+        // The reply carries the ref back, not the payload.
+        assert_eq!(p.values[0].as_data_ref(), Some("nums"));
+        sed.shutdown();
+    }
+
+    #[test]
+    fn unresolvable_data_ref_is_data_not_found() {
+        let sed = SedHandle::spawn(SedConfig::new("ref/1", 1.0), summer_table());
+        let out = sed.submit(sum_ref_profile("ghost")).unwrap().recv().unwrap();
+        assert!(matches!(out.result, Err(DietError::DataNotFound(_))));
+        sed.shutdown();
+    }
+
+    /// In-process resolver: fetches straight out of other SeDs' stores.
+    struct MapResolver(HashMap<String, Arc<DataManager>>);
+
+    impl DataResolver for MapResolver {
+        fn fetch(&self, sed: &str, id: &str) -> Result<(DietValue, Persistence), DietError> {
+            self.0
+                .get(sed)
+                .ok_or_else(|| DietError::Transport(format!("no such sed {sed}")))?
+                .get_with_mode(id)
+        }
+    }
+
+    #[test]
+    fn data_ref_pulls_sed_to_sed_through_the_catalog() {
+        let owner = SedHandle::spawn(SedConfig::new("owner", 1.0), summer_table());
+        let exec = SedHandle::spawn(SedConfig::new("exec", 1.0), summer_table());
+        let cat = Arc::new(ReplicaCatalog::new());
+        owner.attach_catalog(cat.clone());
+        exec.attach_catalog(cat.clone());
+        exec.set_resolver(Arc::new(MapResolver(HashMap::from([(
+            "owner".to_string(),
+            owner.datamgr.clone(),
+        )]))));
+        owner.store_data("nums", DietValue::vec_i32(vec![5; 10]), Persistence::Persistent);
+
+        // The executing SeD holds nothing; the solve still succeeds by
+        // pulling from the owner, and the replica is now catalogued on both.
+        let out = exec.submit(sum_ref_profile("nums")).unwrap().recv().unwrap();
+        assert_eq!(out.result.unwrap().get_i32(1).unwrap(), 50);
+        assert!(exec.datamgr.contains("nums"));
+        assert_eq!(cat.holders("nums"), vec!["exec", "owner"]);
+
+        // Owner dies: the catalog forgets its replicas, but exec still
+        // serves from its own copy.
+        cat.drop_sed("owner");
+        assert_eq!(cat.holders("nums"), vec!["exec"]);
+        let out = exec.submit(sum_ref_profile("nums")).unwrap().recv().unwrap();
+        assert_eq!(out.result.unwrap().get_i32(1).unwrap(), 50);
+        owner.shutdown();
+        exec.shutdown();
+    }
+
+    #[test]
+    fn eviction_unpublishes_from_the_catalog() {
+        let sed = SedHandle::spawn(SedConfig::new("evict/0", 1.0), summer_table());
+        let cat = Arc::new(ReplicaCatalog::new());
+        // Bounded store: 2 × 40-byte vectors fit, the third evicts the LRU.
+        let dm = &sed.datamgr;
+        assert!(dm.capacity().is_none());
+        sed.attach_catalog(cat.clone());
+        sed.store_data("a", DietValue::vec_i32(vec![0; 10]), Persistence::Persistent);
+        sed.datamgr.free("a").unwrap();
+        assert!(cat.locate("a").is_none(), "free must unpublish");
         sed.shutdown();
     }
 

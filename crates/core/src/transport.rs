@@ -430,6 +430,87 @@ impl TcpSedPool {
             }),
         }
     }
+
+    /// Pull the grid data item `id` from the SeD behind `label` — the wire
+    /// leg of DAGDA's SeD-to-SeD transfer. Same pooled-connection contract
+    /// as [`call`](Self::call): any failure discards the connection.
+    pub fn get_data(
+        &self,
+        label: &str,
+        id: &str,
+        deadline: Duration,
+    ) -> Result<(crate::data::DietValue, crate::data::Persistence), DietError> {
+        let addr = self.endpoint(label).ok_or_else(|| {
+            DietError::Transport(format!("no endpoint registered for {label}"))
+        })?;
+        let conn = match self.conns.lock().remove(label) {
+            Some(c) => c,
+            None => TcpTransport::connect(addr)?,
+        };
+        conn.send(&Message::GetData { id: id.to_string() })?;
+        match conn.recv_timeout(deadline)? {
+            Some(Message::DataReply { id: rid, result }) if rid == id => {
+                self.conns.lock().insert(label.to_string(), conn);
+                result.map_err(DietError::DataNotFound)
+            }
+            Some(other) => Err(DietError::Transport(format!(
+                "unexpected reply to get-data: {other:?}"
+            ))),
+            None => Err(DietError::Timeout {
+                after_secs: deadline.as_secs_f64(),
+            }),
+        }
+    }
+
+    /// Store `value` under `id` on the SeD behind `label` — the client-side
+    /// leg of `store_data`. The server acks with an empty [`Message::DataReply`];
+    /// a `Volatile` mode is rejected there (nothing to persist).
+    pub fn put_data(
+        &self,
+        label: &str,
+        id: &str,
+        value: crate::data::DietValue,
+        mode: crate::data::Persistence,
+        deadline: Duration,
+    ) -> Result<(), DietError> {
+        let addr = self.endpoint(label).ok_or_else(|| {
+            DietError::Transport(format!("no endpoint registered for {label}"))
+        })?;
+        let conn = match self.conns.lock().remove(label) {
+            Some(c) => c,
+            None => TcpTransport::connect(addr)?,
+        };
+        conn.send(&Message::PutData {
+            id: id.to_string(),
+            mode,
+            value,
+        })?;
+        match conn.recv_timeout(deadline)? {
+            Some(Message::DataReply { id: rid, result }) if rid == id => {
+                self.conns.lock().insert(label.to_string(), conn);
+                result.map(|_| ()).map_err(DietError::Rejected)
+            }
+            Some(other) => Err(DietError::Transport(format!(
+                "unexpected reply to put-data: {other:?}"
+            ))),
+            None => Err(DietError::Timeout {
+                after_secs: deadline.as_secs_f64(),
+            }),
+        }
+    }
+}
+
+/// The pool doubles as the [`DataResolver`](crate::dagda::DataResolver) a
+/// TCP-served SeD uses for SeD-to-SeD pulls: `fetch` is `get_data` with a
+/// fixed transfer deadline.
+impl crate::dagda::DataResolver for TcpSedPool {
+    fn fetch(
+        &self,
+        sed: &str,
+        id: &str,
+    ) -> Result<(crate::data::DietValue, crate::data::Persistence), DietError> {
+        self.get_data(sed, id, Duration::from_secs(30))
+    }
 }
 
 #[cfg(test)]
@@ -648,6 +729,83 @@ mod tests {
         // Second attempt uses a fresh connection and succeeds.
         let ok = pool.call("sed/0", p.clone(), Duration::from_secs(2)).unwrap();
         assert_eq!(ok, p);
+    }
+
+    #[test]
+    fn sed_pool_get_and_put_data_roundtrip() {
+        use crate::data::{DietValue, Persistence};
+        use crate::datamgr::DataManager;
+        // A miniature data server: PutData retains, GetData serves.
+        let dm = Arc::new(DataManager::new());
+        let server_dm = dm.clone();
+        let server = TcpServer::spawn("127.0.0.1:0", move |conn| {
+            while let Ok(m) = conn.recv() {
+                match m {
+                    Message::PutData { id, mode, value } => {
+                        server_dm.retain(&id, value, mode);
+                        let _ = conn.send(&Message::DataReply {
+                            id,
+                            result: Ok((DietValue::Null, mode)),
+                        });
+                    }
+                    Message::GetData { id } => {
+                        let result = server_dm
+                            .get_with_mode(&id)
+                            .map_err(|e| e.to_string());
+                        let _ = conn.send(&Message::DataReply { id, result });
+                    }
+                    _ => break,
+                }
+            }
+        })
+        .unwrap();
+        let pool = TcpSedPool::new();
+        pool.register("owner", server.local_addr);
+        let blob = DietValue::vec_f64(vec![1.5; 256]);
+        pool.put_data(
+            "owner",
+            "ic",
+            blob.clone(),
+            Persistence::Sticky,
+            Duration::from_secs(2),
+        )
+        .unwrap();
+        let (got, mode) = pool.get_data("owner", "ic", Duration::from_secs(2)).unwrap();
+        assert_eq!(got, blob);
+        assert_eq!(mode, Persistence::Sticky);
+        // A miss comes back as DataNotFound, not a transport error — the
+        // puller's cue to fall back to client re-shipping.
+        let miss = pool.get_data("owner", "nope", Duration::from_secs(2));
+        assert!(matches!(miss, Err(DietError::DataNotFound(_))), "{miss:?}");
+        // The resolver facade goes through the same path.
+        use crate::dagda::DataResolver;
+        let (again, _) = pool.fetch("owner", "ic").unwrap();
+        assert_eq!(again, blob);
+    }
+
+    #[test]
+    fn tcp_max_frame_applies_to_data_replies() {
+        // Mirror of `tcp_configured_max_frame_is_enforced` for the new data
+        // frames: an oversized DataReply is rejected by the length check.
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            if let Ok(m) = conn.recv() {
+                let _ = conn.send(&m);
+            }
+        })
+        .unwrap();
+        let big = Message::DataReply {
+            id: "ic".into(),
+            result: Ok((
+                crate::data::DietValue::vec_f64(vec![0.25; 4096]),
+                crate::data::Persistence::Persistent,
+            )),
+        };
+        let frame_len = encode_message(&big).len();
+        let client = TcpTransport::connect(server.local_addr)
+            .unwrap()
+            .with_max_frame(frame_len - 1);
+        client.send(&big).unwrap();
+        assert!(matches!(client.recv(), Err(DietError::Transport(_))));
     }
 
     #[test]

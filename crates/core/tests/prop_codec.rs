@@ -6,7 +6,7 @@ use diet_core::codec::{decode_message, encode_message, Message};
 use diet_core::data::{DietValue, Persistence};
 use diet_core::monitor::Estimate;
 use diet_core::profile::Profile;
-use diet_core::sched::{MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
+use diet_core::sched::{DataLocal, MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = DietValue> {
@@ -16,8 +16,8 @@ fn arb_value() -> impl Strategy<Value = DietValue> {
         any::<i64>().prop_map(DietValue::ScalarI64),
         (-1e300f64..1e300).prop_map(DietValue::ScalarF64),
         any::<u8>().prop_map(DietValue::ScalarChar),
-        prop::collection::vec(-1e12f64..1e12, 0..50).prop_map(DietValue::VectorF64),
-        prop::collection::vec(any::<i32>(), 0..50).prop_map(DietValue::VectorI32),
+        prop::collection::vec(-1e12f64..1e12, 0..50).prop_map(DietValue::vec_f64),
+        prop::collection::vec(any::<i32>(), 0..50).prop_map(DietValue::vec_i32),
         ".*".prop_map(DietValue::Str),
         ("[a-z./_-]{0,40}", prop::collection::vec(any::<u8>(), 0..256)).prop_map(
             |(name, data)| DietValue::File {
@@ -25,6 +25,7 @@ fn arb_value() -> impl Strategy<Value = DietValue> {
                 data: Bytes::from(data),
             }
         ),
+        "[a-z0-9/_.-]{1,40}".prop_map(DietValue::data_ref),
     ]
 }
 
@@ -97,6 +98,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
         Just(Message::Shutdown),
         Just(Message::DumpMetrics),
         ".*".prop_map(|text| Message::MetricsReply { text }),
+        "[a-z0-9/_.-]{1,40}".prop_map(|id| Message::GetData { id }),
+        ("[a-z0-9/_.-]{1,40}", arb_value(), arb_persistence()).prop_map(|(id, v, mode)| {
+            Message::DataReply {
+                id,
+                result: Ok((v, mode)),
+            }
+        }),
+        ("[a-z0-9/_.-]{1,40}", ".*").prop_map(|(id, e)| Message::DataReply {
+            id,
+            result: Err(e),
+        }),
+        ("[a-z0-9/_.-]{1,40}", arb_value(), arb_persistence()).prop_map(|(id, value, mode)| {
+            Message::PutData { id, mode, value }
+        }),
     ]
 }
 
@@ -135,6 +150,48 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The transport's configured `max_frame` cap (the length-validation
+    /// path) holds for the data-management frames: any `DataReply` one byte
+    /// over the reader's limit is rejected before allocation, and the exact
+    /// frame length is accepted and round-trips.
+    #[test]
+    fn data_reply_frames_respect_max_frame(
+        id in "[a-z0-9]{1,16}",
+        xs in prop::collection::vec(-1e12f64..1e12, 0..64),
+        sticky in any::<bool>(),
+    ) {
+        use diet_core::transport::{Duplex, TcpTransport};
+        let mode = if sticky { Persistence::Sticky } else { Persistence::Persistent };
+        let msg = Message::DataReply {
+            id,
+            result: Ok((DietValue::vec_f64(xs), mode)),
+        };
+        let frame_len = encode_message(&msg).len();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = msg.clone();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (s, _) = listener.accept().unwrap();
+                let t = TcpTransport::from_stream(s);
+                let _ = t.send(&served);
+            }
+        });
+        let strict = TcpTransport::connect(addr)
+            .unwrap()
+            .with_max_frame(frame_len - 1);
+        prop_assert!(strict.recv().is_err(), "over-limit frame must be rejected");
+        let exact = TcpTransport::connect(addr)
+            .unwrap()
+            .with_max_frame(frame_len);
+        prop_assert_eq!(exact.recv().unwrap(), msg);
+        server.join().unwrap();
+    }
+}
+
 fn arb_estimates() -> impl Strategy<Value = Vec<Estimate>> {
     prop::collection::vec(
         (
@@ -155,7 +212,9 @@ fn arb_estimates() -> impl Strategy<Value = Vec<Estimate>> {
                 queue_length: queue,
                 completed: queue as u64,
                 known_mean_duration: known,
-                probe_rtt: 0.0,
+                // Exercise the locality term too: pseudo-random misses.
+                data_miss_bytes: (i as u64) << 20,
+                ..Estimate::default()
             })
             .collect()
     })
@@ -172,6 +231,7 @@ proptest! {
             Box::new(RandomSched::new(seed)),
             Box::new(MinQueue),
             Box::new(WeightedSpeed),
+            Box::new(DataLocal::default()),
         ];
         for s in &scheds {
             for _ in 0..5 {
@@ -189,11 +249,7 @@ proptest! {
             .map(|i| Estimate {
                 server: format!("s{i}"),
                 speed_factor: 1.0,
-                free_memory: 0,
-                queue_length: 0,
-                completed: 0,
-                known_mean_duration: None,
-                probe_rtt: 0.0,
+                ..Estimate::default()
             })
             .collect();
         let rr = RoundRobin::new();

@@ -152,7 +152,9 @@ impl State {
                 } else {
                     None
                 },
-                probe_rtt: 0.0,
+                // The simulator models the paper's volatile-data campaign:
+                // no replica catalog, so the locality terms stay zero.
+                ..Estimate::default()
             })
             .collect();
         (idx, ests)

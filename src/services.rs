@@ -401,6 +401,51 @@ pub fn zoom2_profile(
     p
 }
 
+/// Like [`zoom2_profile`], but the shared namelist/IC file — identical
+/// across all 100 sub-simulations of the campaign — travels as a
+/// `Persistent` grid-data reference instead of an inline payload: the client
+/// stores it once (`store_data` / `PutData`) and every zoom request carries
+/// only the id. SeDs that don't hold it pull it from a replica holder
+/// SeD-to-SeD through the catalog.
+pub fn zoom2_profile_ref(
+    namelist_id: &str,
+    resolution: i32,
+    size_mpc_h: i32,
+    center_pct: [i32; 3],
+    nb_box: i32,
+) -> Profile {
+    let d = ramses_zoom2_desc();
+    let mut p = Profile::alloc(&d);
+    p.set(
+        0,
+        DietValue::data_ref(namelist_id),
+        Persistence::Persistent,
+    )
+    .unwrap();
+    let scalars = [
+        (1, resolution),
+        (2, size_mpc_h),
+        (3, center_pct[0]),
+        (4, center_pct[1]),
+        (5, center_pct[2]),
+        (6, nb_box),
+    ];
+    for (i, v) in scalars {
+        p.set(i, DietValue::ScalarI32(v), Persistence::Volatile)
+            .unwrap();
+    }
+    p
+}
+
+/// The namelist rendered as the `DietValue` the campaign stores on the grid
+/// (the payload behind [`zoom2_profile_ref`]'s id).
+pub fn namelist_value(namelist: &Namelist) -> DietValue {
+    DietValue::File {
+        name: "ramses.nml".into(),
+        data: Bytes::from(namelist.render()),
+    }
+}
+
 /// Expose a live SeD over TCP — the serving half of the CORBA role in the
 /// original DIET. Each accepted connection streams `Call`/`CallReply` frames
 /// and answers `Ping` with `Pong` so remote heartbeat monitors can probe the
@@ -477,6 +522,32 @@ pub fn serve_sed_over_tcp(
                     }
                     if sent.is_err() {
                         sed.note_reply_failure();
+                        break;
+                    }
+                }
+                // DAGDA's SeD-to-SeD pull: another SeD (or a client) asks
+                // for a catalogued item by id; serve it out of the local
+                // store. A miss is an application-level `Err`, not a
+                // dropped connection — the puller falls back to re-shipping.
+                Message::GetData { id } => {
+                    let result = sed
+                        .datamgr
+                        .get_with_mode(&id)
+                        .map_err(|e| e.to_string());
+                    if conn.send(&Message::DataReply { id, result }).is_err() {
+                        break;
+                    }
+                }
+                // The client-side `store_data` leg: retain + publish to the
+                // catalog, ack with an empty DataReply. Volatile payloads
+                // are refused — there is nothing to persist.
+                Message::PutData { id, mode, value } => {
+                    let result = if sed.store_data(&id, value, mode) {
+                        Ok((DietValue::Null, mode))
+                    } else {
+                        Err(format!("store_data({id}): volatile data is not retained"))
+                    };
+                    if conn.send(&Message::DataReply { id, result }).is_err() {
                         break;
                     }
                 }
