@@ -29,7 +29,13 @@ fn bench_e2_e3_fig4(c: &mut Criterion) {
 fn bench_e4_e5_fig5(c: &mut Criterion) {
     c.bench_function("E4_fig5_finding_series", |b| {
         let r = run_campaign(CampaignConfig::default());
-        b.iter(|| black_box(r.gantt.per_request(gridsim::trace::TraceKind::Finding).len()))
+        b.iter(|| {
+            black_box(
+                r.gantt
+                    .per_request(gridsim::trace::TraceKind::Finding)
+                    .len(),
+            )
+        })
     });
     c.bench_function("E5_fig5_latency_series", |b| {
         let r = run_campaign(CampaignConfig::default());

@@ -134,8 +134,7 @@ fn bench_refine(c: &mut Criterion) {
         let cosmo = ramses::cosmology::Cosmology::new(CosmoParams::default());
         let gravity = ramses::gravity::PmGravity::new(16);
         let field = gravity.field(&parts, &cosmo, 0.5);
-        let sel = ramses::refine::select_patch(&field.rho, 3.0)
-            .unwrap_or(([4, 4, 4], 4));
+        let sel = ramses::refine::select_patch(&field.rho, 3.0).unwrap_or(([4, 4, 4], 4));
         b.iter(|| {
             let p = ramses::refine::RefinedPatch::solve(
                 sel.0,

@@ -27,8 +27,11 @@ fn cut_edges(domain_of_cell: &[usize], n: usize) -> usize {
             for k in 0..n {
                 let d = domain_of_cell[idx(i, j, k)];
                 // +x, +y, +z neighbours (periodic) — each edge counted once.
-                for (ni, nj, nk) in [((i + 1) % n, j, k), (i, (j + 1) % n, k), (i, j, (k + 1) % n)]
-                {
+                for (ni, nj, nk) in [
+                    ((i + 1) % n, j, k),
+                    (i, (j + 1) % n, k),
+                    (i, j, (k + 1) % n),
+                ] {
                     if domain_of_cell[idx(ni, nj, nk)] != d {
                         cuts += 1;
                     }
@@ -60,10 +63,7 @@ fn main() {
             let mut cells: Vec<(u64, usize)> = (0..total)
                 .map(|c| {
                     let (i, j, k) = (c / (n * n), (c / n) % n, c % n);
-                    (
-                        peano::encode(i as u64, j as u64, k as u64, nbits),
-                        c,
-                    )
+                    (peano::encode(i as u64, j as u64, k as u64, nbits), c)
                 })
                 .collect();
             cells.sort_unstable();

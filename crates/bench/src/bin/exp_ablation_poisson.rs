@@ -112,7 +112,13 @@ fn main() {
 
         let tol = 1e-6;
         let t0 = Instant::now();
-        let mg = solve(&src, &MgConfig { tol, ..MgConfig::default() });
+        let mg = solve(
+            &src,
+            &MgConfig {
+                tol,
+                ..MgConfig::default()
+            },
+        );
         let mg_time = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();

@@ -35,7 +35,10 @@ fn main() {
             ok: r.overhead_mean * 101.0 < 15.0,
         },
     ];
-    print!("{}", render_rows("E1: campaign totals (Section 5.2)", &rows));
+    print!(
+        "{}",
+        render_rows("E1: campaign totals (Section 5.2)", &rows)
+    );
     assert!(rows.iter().all(|r| r.ok), "E1 shape check failed");
     println!("\nall E1 shape checks passed");
 }

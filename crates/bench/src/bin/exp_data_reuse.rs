@@ -49,7 +49,10 @@ fn quick_namelist() -> cosmogrid::namelist::Namelist {
 /// The request batch: same zoom parameters in both modes, varied per
 /// request so the batch isn't one repeated simulation.
 fn zoom_params(i: usize) -> ([i32; 3], i32) {
-    ([20 + (i as i32 * 17) % 60, 30 + (i as i32 * 11) % 40, 50], 1)
+    (
+        [20 + (i as i32 * 17) % 60, 30 + (i as i32 * 11) % 40, 50],
+        1,
+    )
 }
 
 fn run_mode(persistent: bool, requests: usize) -> ModeResult {
@@ -88,6 +91,7 @@ fn run_mode(persistent: bool, requests: usize) -> ModeResult {
         max_retries: 2,
         backoff_base: Duration::from_millis(5),
         backoff_cap: Duration::from_millis(50),
+        ..RetryPolicy::default()
     };
 
     let nl = quick_namelist();
@@ -97,6 +101,7 @@ fn run_mode(persistent: bool, requests: usize) -> ModeResult {
         // One-time store: the PutData frame is client wire traffic too.
         let blob = namelist_value(&nl);
         client_bytes += encode_message(&Message::PutData {
+            request_id: 1,
             id: "nml".into(),
             mode: Persistence::Persistent,
             value: blob.clone(),

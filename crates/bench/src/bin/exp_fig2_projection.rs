@@ -65,7 +65,10 @@ fn main() {
     for snap in &snaps {
         let (art, max) = render_projection(snap, 16);
         let z = 1.0 / snap.a - 1.0;
-        println!("-- a = {:.2} (z = {:.1}), projected density max = {max:.1} --", snap.a, z);
+        println!(
+            "-- a = {:.2} (z = {:.1}), projected density max = {max:.1} --",
+            snap.a, z
+        );
         println!("{art}");
         contrasts.push(max);
     }

@@ -8,11 +8,7 @@ fn main() {
     let r = run_campaign(CampaignConfig::default());
     println!("E3: Figure 4 (right) — per-SeD execution time of the 100 sub-simulations\n");
     println!("  {:<22} {:>8} {:>12}  bar", "SeD", "requests", "busy");
-    let max_busy = r
-        .sed_rows
-        .iter()
-        .map(|(_, _, b)| *b)
-        .fold(0.0f64, f64::max);
+    let max_busy = r.sed_rows.iter().map(|(_, _, b)| *b).fold(0.0f64, f64::max);
     for (label, requests, busy) in &r.sed_rows {
         let bar = "#".repeat((busy / max_busy * 40.0).round() as usize);
         println!("  {label:<22} {requests:>8} {:>12}  {bar}", fmt_hms(*busy));

@@ -8,11 +8,8 @@ fn main() {
     println!("E2: Figure 4 (left) — Gantt chart of the 100 sub-simulations\n");
     print!("{}", r.part2_gantt().render_ascii(100));
 
-    let mut counts: Vec<(String, usize)> = r
-        .sed_rows
-        .iter()
-        .map(|(l, c, _)| (l.clone(), *c))
-        .collect();
+    let mut counts: Vec<(String, usize)> =
+        r.sed_rows.iter().map(|(l, c, _)| (l.clone(), *c)).collect();
     counts.sort();
     println!("\nrequests per SeD:");
     for (label, c) in &counts {

@@ -13,7 +13,12 @@ fn main() {
         println!("  {req:>8} {:>14.1}", f * 1e3);
     }
     let mean = r.finding_mean * 1e3;
-    let min = r.finding.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min) * 1e3;
+    let min = r
+        .finding
+        .iter()
+        .map(|(_, f)| *f)
+        .fold(f64::INFINITY, f64::min)
+        * 1e3;
     let max = r.finding.iter().map(|(_, f)| *f).fold(0.0f64, f64::max) * 1e3;
     println!("\nmean {mean:.1} ms (paper 49.8 ms), min {min:.1} ms, max {max:.1} ms");
     assert!((mean - 49.8).abs() < 5.0, "finding mean diverges: {mean}");

@@ -93,9 +93,7 @@ struct KernelReport {
 
 impl KernelReport {
     fn checks_consistent(&self) -> bool {
-        self.samples
-            .windows(2)
-            .all(|w| w[0].check == w[1].check)
+        self.samples.windows(2).all(|w| w[0].check == w[1].check)
     }
 
     fn to_json(&self) -> String {
@@ -183,9 +181,11 @@ fn main() {
             let mut gas = gas0.clone();
             let dt = gas.max_dt(0.4);
             gas.step(dt, Riemann::Hllc);
-            checksum(gas.cells.iter().flat_map(|c| {
-                [c.rho, c.mom[0], c.mom[1], c.mom[2], c.e].into_iter()
-            }))
+            checksum(
+                gas.cells
+                    .iter()
+                    .flat_map(|c| [c.rho, c.mom[0], c.mom[1], c.mom[2], c.e].into_iter()),
+            )
         }),
     });
 

@@ -31,7 +31,13 @@ use std::time::Duration;
 
 const REQUESTS: u32 = 100;
 const SEDS: usize = 5;
-const PHASES: [&str; 5] = ["Finding", "Submission", "Queued", "Execution", "ResultReturn"];
+const PHASES: [&str; 5] = [
+    "Finding",
+    "Submission",
+    "Queued",
+    "Execution",
+    "ResultReturn",
+];
 
 fn quick_profile() -> diet_core::profile::Profile {
     // Instant turnaround (BAD_RESOLUTION) — every measured cost is
@@ -65,12 +71,7 @@ fn main() {
     }
 
     let la = AgentNode::leaf("LA", seds.clone());
-    let ma = MasterAgent::new_with_obs(
-        "MA",
-        vec![la],
-        Arc::new(RoundRobin::new()),
-        shared.clone(),
-    );
+    let ma = MasterAgent::new_with_obs("MA", vec![la], Arc::new(RoundRobin::new()), shared.clone());
     let monitor = HeartbeatMonitor::spawn(
         ma.clone(),
         Duration::from_millis(20),
@@ -87,6 +88,7 @@ fn main() {
         max_retries: 3,
         backoff_base: Duration::from_millis(2),
         backoff_cap: Duration::from_millis(20),
+        ..RetryPolicy::default()
     };
 
     let mut finding = Vec::with_capacity(REQUESTS as usize);
@@ -130,7 +132,10 @@ fn main() {
     let mut phases_by_trace: HashMap<u64, HashSet<&str>> = HashMap::new();
     for s in &spans {
         if request_of.contains_key(&s.trace_id) {
-            phases_by_trace.entry(s.trace_id).or_default().insert(s.name);
+            phases_by_trace
+                .entry(s.trace_id)
+                .or_default()
+                .insert(s.name);
         }
     }
     for (&trace_id, &req) in &request_of {
@@ -142,7 +147,10 @@ fn main() {
 
     // Registry shape: the counters and histograms the acceptance demands.
     let m = &shared.metrics;
-    assert_eq!(m.counter_value("diet_client_requests_total"), REQUESTS as u64);
+    assert_eq!(
+        m.counter_value("diet_client_requests_total"),
+        REQUESTS as u64
+    );
     assert!(m.counter_value("diet_client_resubmissions_total") >= 1);
     assert!(m.counter_value("diet_heartbeat_beats_total") > 0);
     assert!(m.counter_value("diet_sed_solves_total") >= REQUESTS as u64);
@@ -183,7 +191,10 @@ fn main() {
         gantt.per_request(TraceKind::Execution).len(),
         REQUESTS as usize
     );
-    println!("\n  live gantt: makespan {:.3} s, per-SeD requests:", gantt.makespan());
+    println!(
+        "\n  live gantt: makespan {:.3} s, per-SeD requests:",
+        gantt.makespan()
+    );
     for s in gantt.sed_summaries() {
         println!(
             "    {:<10} {:>3} requests, busy {:.3} ms",

@@ -80,7 +80,10 @@ fn main() {
             ok: r.overhead_mean * 101.0 / r.makespan < 1e-3,
         },
     ];
-    print!("{}", render_rows("E6: middleware overhead (Section 5.2)", &rows));
+    print!(
+        "{}",
+        render_rows("E6: middleware overhead (Section 5.2)", &rows)
+    );
     assert!(rows.iter().all(|r| r.ok), "E6 shape check failed");
 
     let (live_finding, live_total) = live_overhead(101);

@@ -104,12 +104,7 @@ fn main() {
     // Re-detect on the refined subset — HaloMaker run on the high-resolution
     // sub-box, where the linking length follows the *local* particle spacing
     // (a global b over a mixed-mass load would use the wrong density).
-    let coarse_mass = zoom
-        .particles
-        .mass
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let coarse_mass = zoom.particles.mass.iter().cloned().fold(0.0f64, f64::max);
     let mut refined = ramses::particles::Particles::default();
     for i in 0..zlast.particles.len() {
         if zlast.particles.mass[i] < 0.5 * coarse_mass {

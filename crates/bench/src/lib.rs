@@ -27,11 +27,16 @@ pub fn write_artifact(name: &str, contents: &str) -> Option<PathBuf> {
 
 /// Render an (x, y) series as CSV text.
 pub fn series_csv(header: (&str, &str), series: &[(u32, f64)]) -> String {
-    let mut out = format!("{},{}
-", header.0, header.1);
+    let mut out = format!(
+        "{},{}
+",
+        header.0, header.1
+    );
     for (x, y) in series {
-        out.push_str(&format!("{x},{y:.9}
-"));
+        out.push_str(&format!(
+            "{x},{y:.9}
+"
+        ));
     }
     out
 }
@@ -65,12 +70,7 @@ pub fn render_rows(title: &str, rows: &[Row]) -> String {
 }
 
 /// Convenience: a duration row checked against a relative tolerance band.
-pub fn duration_row(
-    quantity: &'static str,
-    paper_s: f64,
-    measured_s: f64,
-    rel_tol: f64,
-) -> Row {
+pub fn duration_row(quantity: &'static str, paper_s: f64, measured_s: f64, rel_tol: f64) -> Row {
     Row {
         quantity,
         paper: fmt_hms(paper_s),
@@ -91,7 +91,12 @@ pub fn ms_row(quantity: &'static str, paper_ms: f64, measured_s: f64, rel_tol: f
 }
 
 /// Simple fixed-width series printer for figure data (request, value).
-pub fn render_series(header: (&str, &str), series: &[(u32, f64)], scale: f64, unit: &str) -> String {
+pub fn render_series(
+    header: (&str, &str),
+    series: &[(u32, f64)],
+    scale: f64,
+    unit: &str,
+) -> String {
     let mut out = format!("  {:>8} {:>16}\n", header.0, header.1);
     for (x, y) in series {
         out.push_str(&format!("  {x:>8} {:>13.3} {unit}\n", y * scale));
@@ -209,7 +214,9 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
         *pos += 1;
     }
     if *pos == start {
@@ -271,7 +278,14 @@ mod tests {
 
     #[test]
     fn validate_json_rejects_malformed() {
-        for bad in ["{", "{\"a\" 1}", "[1,]", "{\"a\": 1} extra", "\"unterminated", ""] {
+        for bad in [
+            "{",
+            "{\"a\" 1}",
+            "[1,]",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "",
+        ] {
             assert!(validate_json(bad).is_err(), "accepted {bad}");
         }
     }
@@ -280,7 +294,10 @@ mod tests {
     fn render_rows_marks_divergence() {
         let txt = render_rows(
             "t",
-            &[duration_row("a", 100.0, 100.0, 0.1), duration_row("b", 100.0, 200.0, 0.1)],
+            &[
+                duration_row("a", 100.0, 100.0, 0.1),
+                duration_row("b", 100.0, 200.0, 0.1),
+            ],
         );
         assert!(txt.contains("OK"));
         assert!(txt.contains("DIVERGES"));

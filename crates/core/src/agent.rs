@@ -159,7 +159,11 @@ pub struct MasterAgent {
 }
 
 impl MasterAgent {
-    pub fn new(name: &str, children: Vec<Arc<AgentNode>>, scheduler: Arc<dyn Scheduler>) -> Arc<Self> {
+    pub fn new(
+        name: &str,
+        children: Vec<Arc<AgentNode>>,
+        scheduler: Arc<dyn Scheduler>,
+    ) -> Arc<Self> {
         Self::new_with_obs(name, children, scheduler, Arc::new(Obs::new()))
     }
 
@@ -274,6 +278,21 @@ impl MasterAgent {
                     .inc();
             }
         }
+        // Admission-aware spreading: a saturated SeD (queue at its admission
+        // limit) would reject the request with `Busy` anyway, so drop it from
+        // consideration while any unsaturated candidate remains. When *every*
+        // candidate is saturated, keep them all — a Busy bounce plus client
+        // backoff beats a spurious NoServerAvailable.
+        if candidates.iter().any(|(e, _)| !e.is_saturated())
+            && candidates.iter().any(|(e, _)| e.is_saturated())
+        {
+            let dropped = candidates.iter().filter(|(e, _)| e.is_saturated()).count();
+            candidates.retain(|(e, _)| !e.is_saturated());
+            self.obs
+                .metrics
+                .counter("diet_ma_saturated_skipped_total")
+                .add(dropped as u64);
+        }
         let record_base = SubmitRecord {
             request_id,
             service: service.to_string(),
@@ -283,17 +302,11 @@ impl MasterAgent {
         };
         self.obs.metrics.counter("diet_ma_submits_total").inc();
         if candidates.is_empty() {
-            let any_declared = self
-                .children
-                .iter()
-                .any(|c| c.solver_count(service) > 0);
+            let any_declared = self.children.iter().any(|c| c.solver_count(service) > 0);
             let mut rec = record_base;
             rec.finding_time = started.elapsed().as_secs_f64();
             self.requests.lock().push(rec);
-            self.obs
-                .metrics
-                .counter("diet_ma_no_candidate_total")
-                .inc();
+            self.obs.metrics.counter("diet_ma_no_candidate_total").inc();
             return Err(if any_declared {
                 DietError::NoServerAvailable(service.to_string())
             } else {
@@ -321,7 +334,10 @@ impl MasterAgent {
             .metrics
             .counter_with(
                 "diet_ma_scheduled_total",
-                &[("sed", &chosen.config.label), ("policy", self.scheduler.name())],
+                &[
+                    ("sed", &chosen.config.label),
+                    ("policy", self.scheduler.name()),
+                ],
             )
             .inc();
         self.obs
@@ -348,10 +364,7 @@ impl MasterAgent {
     /// Total SeDs declaring `service` ("the number of servers that can solve
     /// a given problem").
     pub fn solver_count(&self, service: &str) -> usize {
-        self.children
-            .iter()
-            .map(|c| c.solver_count(service))
-            .sum()
+        self.children.iter().map(|c| c.solver_count(service)).sum()
     }
 
     /// Every SeD currently registered anywhere in the hierarchy.
@@ -530,10 +543,8 @@ mod tests {
         for (li, &n) in n_seds_per_la.iter().enumerate() {
             let mut seds = Vec::new();
             for s in 0..n {
-                let sed = SedHandle::spawn(
-                    SedConfig::new(&format!("la{li}/sed{s}"), 1.0),
-                    echo_table(),
-                );
+                let sed =
+                    SedHandle::spawn(SedConfig::new(&format!("la{li}/sed{s}"), 1.0), echo_table());
                 all.push(sed.clone());
                 seds.push(sed);
             }
@@ -572,6 +583,41 @@ mod tests {
         for s in seds {
             s.shutdown();
         }
+    }
+
+    #[test]
+    fn saturated_seds_are_skipped_while_alternatives_exist() {
+        // sed "full" reports an admission limit of 0 → saturated from the
+        // first estimate; sed "open" is unbounded. The MA must never pick
+        // the saturated one while the open one is a candidate.
+        let full = SedHandle::spawn(
+            SedConfig::new("full", 1.0).with_admission_limit(0),
+            echo_table(),
+        );
+        let open = SedHandle::spawn(SedConfig::new("open", 1.0), echo_table());
+        let la = AgentNode::leaf("LA", vec![full.clone(), open.clone()]);
+        let ma = MasterAgent::new("MA", vec![la], Arc::new(MinQueue));
+        for _ in 0..4 {
+            let chosen = ma.submit("echo").unwrap();
+            assert_eq!(chosen.config.label, "open");
+        }
+        assert_eq!(
+            ma.metrics()
+                .counter_value("diet_ma_saturated_skipped_total"),
+            4
+        );
+        // Every remaining candidate saturated: still schedulable (the SeD
+        // will answer Busy and the client backs off), not NoServerAvailable.
+        let only_full = SedHandle::spawn(
+            SedConfig::new("full2", 1.0).with_admission_limit(0),
+            echo_table(),
+        );
+        let la2 = AgentNode::leaf("LA", vec![only_full.clone()]);
+        let ma2 = MasterAgent::new("MA", vec![la2], Arc::new(MinQueue));
+        assert_eq!(ma2.submit("echo").unwrap().config.label, "full2");
+        full.shutdown();
+        open.shutdown();
+        only_full.shutdown();
     }
 
     #[test]
@@ -777,7 +823,12 @@ mod tests {
         );
         // Catalog says the payload is large even though the test value is
         // small — locality is judged from catalog metadata.
-        cat.publish("ic", "la0/sed1", 100 << 20, crate::dagda::checksum(&DietValue::vec_f64(vec![0.0; 4])));
+        cat.publish(
+            "ic",
+            "la0/sed1",
+            100 << 20,
+            crate::dagda::checksum(&DietValue::vec_f64(vec![0.0; 4])),
+        );
         let ids = vec!["ic".to_string()];
         for _ in 0..5 {
             let chosen = ma.submit_with_data("echo", &ids, &[]).unwrap();

@@ -70,6 +70,11 @@ pub struct RetryPolicy {
     pub backoff_base: Duration,
     /// Upper bound on any single backoff delay.
     pub backoff_cap: Duration,
+    /// Fraction of each backoff randomised away (0.0 = deterministic,
+    /// 0.5 = sleep anywhere in [0.5·backoff, backoff]). Jitter decorrelates
+    /// clients that were all told `Busy` at the same instant, so the
+    /// retries do not arrive as a synchronised second stampede.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -79,6 +84,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(1),
+            jitter: 0.0,
         }
     }
 }
@@ -91,6 +97,26 @@ impl RetryPolicy {
         self.backoff_base
             .checked_mul(factor)
             .map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+
+    /// [`backoff`](Self::backoff) scaled into `[1 - jitter, 1]` of itself by
+    /// a deterministic hash of `(salt, retry)` — reproducible for a given
+    /// call (the salt is its trace id) yet decorrelated across calls.
+    pub fn backoff_jittered(&self, retry: u32, salt: u64) -> Duration {
+        let d = self.backoff(retry);
+        if self.jitter <= 0.0 {
+            return d;
+        }
+        // splitmix64-style scramble: cheap, stateless, well distributed.
+        let mut x = salt.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(retry as u64 + 1));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * unit;
+        Duration::from_secs_f64(d.as_secs_f64() * scale)
     }
 }
 
@@ -154,9 +180,9 @@ impl CallHandle {
         match self.rx.try_recv() {
             Ok(outcome) => Ok(self.finish(outcome)),
             Err(crossbeam::channel::TryRecvError::Empty) => Err(self),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => Ok(Err(
-                DietError::Transport("SeD dropped the reply channel".into()),
-            )),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Ok(Err(DietError::Transport(
+                "SeD dropped the reply channel".into(),
+            ))),
         }
     }
 
@@ -374,9 +400,9 @@ impl DietClient {
                     Err(RecvTimeoutError::Timeout) => Err(DietError::Timeout {
                         after_secs: timeout.as_secs_f64(),
                     }),
-                    Err(RecvTimeoutError::Disconnected) => Err(DietError::Transport(
-                        "SeD dropped the reply channel".into(),
-                    )),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        Err(DietError::Transport("SeD dropped the reply channel".into()))
+                    }
                 }
             },
             |sed, id, value| {
@@ -402,9 +428,7 @@ impl DietClient {
         self.retry_call(
             profile,
             policy,
-            |sed, profile, timeout, ctx| {
-                pool.call_traced(&sed.config.label, profile, timeout, ctx)
-            },
+            |sed, profile, timeout, ctx| pool.call_traced(&sed.config.label, profile, timeout, ctx),
             |sed, id, value| {
                 pool.put_data(
                     &sed.config.label,
@@ -429,7 +453,12 @@ impl DietClient {
         &self,
         profile: Profile,
         policy: &RetryPolicy,
-        attempt: impl Fn(&Arc<SedHandle>, Profile, Duration, TraceCtx) -> Result<(Profile, f64, f64), DietError>,
+        attempt: impl Fn(
+            &Arc<SedHandle>,
+            Profile,
+            Duration,
+            TraceCtx,
+        ) -> Result<(Profile, f64, f64), DietError>,
         reship: impl Fn(&Arc<SedHandle>, &str, DietValue) -> Result<(), DietError>,
     ) -> Result<(Profile, CallStats), DietError> {
         let ma = self.ma()?;
@@ -439,6 +468,7 @@ impl DietClient {
         let m_failures = m.counter("diet_client_failures_total");
         let m_resubmits = m.counter("diet_client_resubmissions_total");
         let m_reships = m.counter("diet_client_data_reships_total");
+        let m_busy = m.counter("diet_client_busy_total");
         let service = profile.service.clone();
         let issued = Instant::now();
         let trace_id = tracer.new_trace();
@@ -450,7 +480,7 @@ impl DietClient {
         let mut last_err: Option<DietError> = None;
         for attempt_no in 0..=policy.max_retries {
             if attempt_no > 0 {
-                std::thread::sleep(policy.backoff(attempt_no - 1));
+                std::thread::sleep(policy.backoff_jittered(attempt_no - 1, trace_id));
                 m_resubmits.inc();
             }
             let attempt_span = tracer.span(trace_id, 0, "attempt", "client");
@@ -514,8 +544,10 @@ impl DietClient {
                         .observe(stats.finding);
                     m.histogram("diet_client_latency_seconds")
                         .observe(stats.latency());
-                    m.histogram("diet_client_solve_seconds").observe(stats.solve);
-                    m.histogram("diet_client_total_seconds").observe(stats.total);
+                    m.histogram("diet_client_solve_seconds")
+                        .observe(stats.solve);
+                    m.histogram("diet_client_total_seconds")
+                        .observe(stats.total);
                     self.history.lock().push((sed.config.label.clone(), stats));
                     return Ok((out, stats));
                 }
@@ -526,6 +558,15 @@ impl DietClient {
                     // ids — re-hosted and re-published, the next attempt
                     // finds them in the catalog again.
                     m_reships.inc();
+                    last_err = Some(e);
+                }
+                Err(e @ DietError::Busy) => {
+                    // Admission control pushed back: the SeD is healthy, its
+                    // queue is just full. Back off (with jitter, so a herd of
+                    // rejected clients de-synchronises) and resubmit — but do
+                    // NOT blame the server or exclude it; by the next attempt
+                    // its queue may well have drained.
+                    m_busy.inc();
                     last_err = Some(e);
                 }
                 Err(e) if is_retryable(&e) => {
@@ -736,12 +777,37 @@ mod tests {
         assert_eq!(p.backoff(31), Duration::from_millis(120));
     }
 
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(10),
+            jitter: 0.5,
+            ..Default::default()
+        };
+        for retry in 0..4 {
+            let full = p.backoff(retry);
+            let j = p.backoff_jittered(retry, 0xDEAD_BEEF);
+            assert!(j <= full, "jitter must only shrink: {j:?} > {full:?}");
+            let floor = Duration::from_secs_f64(full.as_secs_f64() * 0.5);
+            assert!(j >= floor, "jitter below floor: {j:?} < {floor:?}");
+            // Same (salt, retry) → same delay; reruns are reproducible.
+            assert_eq!(j, p.backoff_jittered(retry, 0xDEAD_BEEF));
+        }
+        // Different salts de-synchronise (overwhelmingly likely to differ).
+        assert_ne!(p.backoff_jittered(0, 1), p.backoff_jittered(0, 2));
+        // jitter = 0 is the exact deterministic schedule.
+        let plain = RetryPolicy { jitter: 0.0, ..p };
+        assert_eq!(plain.backoff_jittered(2, 7), plain.backoff(2));
+    }
+
     fn fast_policy() -> RetryPolicy {
         RetryPolicy {
             attempt_timeout: Duration::from_millis(500),
             max_retries: 3,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(20),
+            jitter: 0.0,
         }
     }
 
@@ -848,9 +914,7 @@ mod tests {
             attempt_timeout: Duration::from_millis(80),
             ..fast_policy()
         };
-        let (p, stats) = client
-            .call_with_retry(square_profile(6), &policy)
-            .unwrap();
+        let (p, stats) = client.call_with_retry(square_profile(6), &policy).unwrap();
         assert_eq!(p.get_i32(1).unwrap(), 36);
         assert_eq!(stats.retries, 1);
         for s in seds {
@@ -897,7 +961,11 @@ mod tests {
     fn stored_data_is_scheduled_onto_its_holder() {
         let (client, seds) = data_session();
         let host = client
-            .store_data("xs", DietValue::vec_f64(vec![1.0, 2.0, 3.5]), Persistence::Persistent)
+            .store_data(
+                "xs",
+                DietValue::vec_f64(vec![1.0, 2.0, 3.5]),
+                Persistence::Persistent,
+            )
             .unwrap();
         assert_eq!(host, "sed0");
         // Volatile refusal surfaces as an application error.
@@ -915,7 +983,9 @@ mod tests {
         assert_eq!(hist.len(), 4);
         assert!(hist.iter().all(|(server, _)| server == "sed0"));
         assert_eq!(
-            client.metrics().counter_value("diet_client_data_reships_total"),
+            client
+                .metrics()
+                .counter_value("diet_client_data_reships_total"),
             0
         );
         for s in seds {
@@ -927,7 +997,11 @@ mod tests {
     fn lost_holder_triggers_inline_reship_and_no_lost_request() {
         let (client, seds) = data_session();
         client
-            .store_data("xs", DietValue::vec_f64(vec![4.0, 0.5]), Persistence::Persistent)
+            .store_data(
+                "xs",
+                DietValue::vec_f64(vec![4.0, 0.5]),
+                Persistence::Persistent,
+            )
             .unwrap();
         // The hosting SeD dies: the MA drops it and its catalog entries.
         let ma = client.ma().unwrap().clone();
@@ -942,7 +1016,9 @@ mod tests {
         assert_eq!(p.get_f64(1).unwrap(), 4.5);
         assert_eq!(stats.retries, 1);
         assert_eq!(
-            client.metrics().counter_value("diet_client_data_reships_total"),
+            client
+                .metrics()
+                .counter_value("diet_client_data_reships_total"),
             1
         );
         // The re-shipped payload was re-hosted and re-published by sed1.
@@ -978,11 +1054,8 @@ mod tests {
         let ma = client0.ma().unwrap().clone();
         let ns = crate::naming::NameServer::new();
         ns.register(ma);
-        let client = DietClient::initialize_from_config(
-            "MAName = MA\ntraceLevel = 2\n",
-            &ns,
-        )
-        .unwrap();
+        let client =
+            DietClient::initialize_from_config("MAName = MA\ntraceLevel = 2\n", &ns).unwrap();
         let (p, _) = client.call(square_profile(6)).unwrap();
         assert_eq!(p.get_i32(1).unwrap(), 36);
         // Bad config / unknown MA both error.
@@ -1013,10 +1086,7 @@ mod tests {
         let (client, seds) = session(0, 1);
         let d = ProfileDesc::alloc("missing", -1, -1, 0);
         let p = Profile::alloc(&d);
-        assert!(matches!(
-            client.call(p),
-            Err(DietError::ServiceNotFound(_))
-        ));
+        assert!(matches!(client.call(p), Err(DietError::ServiceNotFound(_))));
         for s in seds {
             s.shutdown();
         }

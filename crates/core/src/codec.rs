@@ -15,7 +15,10 @@ use obs::TraceCtx;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client → MA: where can `service` run? (the "finding" phase).
-    Submit { service: String, request_id: u64 },
+    Submit {
+        service: String,
+        request_id: u64,
+    },
     /// MA → client: chosen server (label) or failure.
     SubmitReply {
         request_id: u64,
@@ -46,21 +49,37 @@ pub enum Message {
     /// Ask a SeD for its Prometheus-style metrics dump (LogService analog).
     DumpMetrics,
     /// Reply to [`Message::DumpMetrics`]: text exposition of the registry.
-    MetricsReply { text: String },
+    MetricsReply {
+        text: String,
+    },
     /// SeD ← SeD/client: fetch the value stored under `id` (DAGDA pull).
-    GetData { id: String },
+    /// `request_id` correlates the reply on a multiplexed connection.
+    GetData {
+        request_id: u64,
+        id: String,
+    },
     /// Reply to [`Message::GetData`] / ack for [`Message::PutData`]: the
-    /// stored value with its persistence mode, or an error string.
+    /// stored value with its persistence mode, or an error string. Echoes
+    /// the requester's correlation id.
     DataReply {
+        request_id: u64,
         id: String,
         result: Result<(DietValue, Persistence), String>,
     },
     /// Client → SeD: seed the server's store with `value` under `id` (the
     /// `store_data` entry point). Acked with a [`Message::DataReply`].
     PutData {
+        request_id: u64,
         id: String,
         mode: Persistence,
         value: DietValue,
+    },
+    /// Server → client: admission rejected — the accept queue or the SeD's
+    /// admission limit is full. `request_id == 0` means the connection
+    /// itself was refused (no frame was read); nonzero echoes the rejected
+    /// request so a multiplexed caller can back off and retry elsewhere.
+    Busy {
+        request_id: u64,
     },
 }
 
@@ -87,6 +106,7 @@ const MSG_METRICS_REPLY: u8 = 18;
 const MSG_GET_DATA: u8 = 19;
 const MSG_DATA_REPLY: u8 = 20;
 const MSG_PUT_DATA: u8 = 21;
+const MSG_BUSY: u8 = 22;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -337,12 +357,18 @@ pub fn encode_message(m: &Message) -> Bytes {
             buf.put_u8(MSG_METRICS_REPLY);
             put_str(&mut buf, text);
         }
-        Message::GetData { id } => {
+        Message::GetData { request_id, id } => {
             buf.put_u8(MSG_GET_DATA);
+            buf.put_u64_le(*request_id);
             put_str(&mut buf, id);
         }
-        Message::DataReply { id, result } => {
+        Message::DataReply {
+            request_id,
+            id,
+            result,
+        } => {
             buf.put_u8(MSG_DATA_REPLY);
+            buf.put_u64_le(*request_id);
             put_str(&mut buf, id);
             match result {
                 Ok((v, mode)) => {
@@ -356,11 +382,21 @@ pub fn encode_message(m: &Message) -> Bytes {
                 }
             }
         }
-        Message::PutData { id, mode, value } => {
+        Message::PutData {
+            request_id,
+            id,
+            mode,
+            value,
+        } => {
             buf.put_u8(MSG_PUT_DATA);
+            buf.put_u64_le(*request_id);
             put_str(&mut buf, id);
             put_persistence(&mut buf, *mode);
             put_value(&mut buf, value);
+        }
+        Message::Busy { request_id } => {
+            buf.put_u8(MSG_BUSY);
+            buf.put_u64_le(*request_id);
         }
     }
     buf.freeze()
@@ -440,10 +476,15 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
         MSG_METRICS_REPLY => Ok(Message::MetricsReply {
             text: get_str(&mut buf)?,
         }),
-        MSG_GET_DATA => Ok(Message::GetData {
-            id: get_str(&mut buf)?,
-        }),
+        MSG_GET_DATA => {
+            let request_id = need_u64(&mut buf)?;
+            Ok(Message::GetData {
+                request_id,
+                id: get_str(&mut buf)?,
+            })
+        }
         MSG_DATA_REPLY => {
+            let request_id = need_u64(&mut buf)?;
             let id = get_str(&mut buf)?;
             if buf.remaining() < 1 {
                 return Err(DietError::Codec("truncated data reply flag".into()));
@@ -454,17 +495,26 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
             } else {
                 Err(get_str(&mut buf)?)
             };
-            Ok(Message::DataReply { id, result })
+            Ok(Message::DataReply {
+                request_id,
+                id,
+                result,
+            })
         }
         MSG_PUT_DATA => {
+            let request_id = need_u64(&mut buf)?;
             let id = get_str(&mut buf)?;
             let mode = get_persistence(&mut buf)?;
             Ok(Message::PutData {
+                request_id,
                 id,
                 mode,
                 value: get_value(&mut buf)?,
             })
         }
+        MSG_BUSY => Ok(Message::Busy {
+            request_id: need_u64(&mut buf)?,
+        }),
         t => Err(DietError::Codec(format!("unknown message tag {t}"))),
     }
 }
@@ -558,9 +608,11 @@ mod tests {
                 text: "# TYPE x counter\nx 1\n".into(),
             },
             Message::GetData {
+                request_id: 77,
                 id: "ramsesZoom2#0".into(),
             },
             Message::DataReply {
+                request_id: 77,
                 id: "ramsesZoom2#0".into(),
                 result: Ok((
                     DietValue::File {
@@ -571,14 +623,18 @@ mod tests {
                 )),
             },
             Message::DataReply {
+                request_id: 78,
                 id: "missing".into(),
                 result: Err("persistent data not found: missing".into()),
             },
             Message::PutData {
+                request_id: 79,
                 id: "blob".into(),
                 mode: Persistence::Sticky,
                 value: DietValue::vec_f64(vec![0.5, -1.5]),
             },
+            Message::Busy { request_id: 0 },
+            Message::Busy { request_id: 81 },
         ];
         for m in msgs {
             let enc = encode_message(&m);
@@ -642,6 +698,7 @@ mod tests {
     #[test]
     fn data_frames_detect_truncation() {
         let enc = encode_message(&Message::DataReply {
+            request_id: 5,
             id: "ic".into(),
             result: Ok((DietValue::vec_i32(vec![1, 2, 3]), Persistence::Persistent)),
         });

@@ -119,12 +119,7 @@ impl ReplicaCatalog {
 
     /// All replicas of `id`, sorted by SeD label.
     pub fn replicas(&self, id: &str) -> Vec<ReplicaInfo> {
-        let mut v = self
-            .entries
-            .read()
-            .get(id)
-            .cloned()
-            .unwrap_or_default();
+        let mut v = self.entries.read().get(id).cloned().unwrap_or_default();
         v.sort_by(|a, b| a.sed.cmp(&b.sed));
         v
     }

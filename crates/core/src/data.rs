@@ -71,11 +71,16 @@ pub enum DietValue {
     Str(String),
     /// A file: logical name plus contents. DIET ships files by content; the
     /// `name` mirrors the client-side path for diagnostics.
-    File { name: String, data: Bytes },
+    File {
+        name: String,
+        data: Bytes,
+    },
     /// A reference to data already resident on the grid (DAGDA handle): the
     /// client ships only the id; the executing SeD resolves it from its own
     /// store or pulls it from the owning SeD before the solve.
-    DataRef { id: String },
+    DataRef {
+        id: String,
+    },
 }
 
 impl DietValue {

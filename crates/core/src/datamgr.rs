@@ -112,9 +112,7 @@ impl DataManager {
                             value,
                             mode,
                             hits: AtomicU64::new(0),
-                            last_access: AtomicU64::new(
-                                self.clock.fetch_add(1, Ordering::Relaxed),
-                            ),
+                            last_access: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
                         },
                     );
                     self.used.fetch_add(size, Ordering::Relaxed);
@@ -122,9 +120,7 @@ impl DataManager {
                         while self.used.load(Ordering::Relaxed) > cap {
                             let victim = w
                                 .iter()
-                                .filter(|(k, s)| {
-                                    s.mode != Persistence::Sticky && k.as_str() != id
-                                })
+                                .filter(|(k, s)| s.mode != Persistence::Sticky && k.as_str() != id)
                                 .min_by_key(|(k, s)| {
                                     (s.last_access.load(Ordering::Relaxed), k.to_string())
                                 })
@@ -156,8 +152,10 @@ impl DataManager {
         match r.get(id) {
             Some(s) => {
                 s.hits.fetch_add(1, Ordering::Relaxed);
-                s.last_access
-                    .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                s.last_access.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
                 Ok(s.value.clone())
             }
             None => Err(DietError::DataNotFound(id.to_string())),
@@ -172,8 +170,10 @@ impl DataManager {
         match r.get(id) {
             Some(s) => {
                 s.hits.fetch_add(1, Ordering::Relaxed);
-                s.last_access
-                    .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                s.last_access.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
                 Ok((s.value.clone(), s.mode))
             }
             None => Err(DietError::DataNotFound(id.to_string())),
@@ -298,10 +298,7 @@ mod tests {
         let dm = DataManager::new();
         dm.retain("p", DietValue::ScalarI32(1), Persistence::Persistent);
         dm.retain("s", DietValue::ScalarI32(2), Persistence::Sticky);
-        assert_eq!(
-            dm.take_for_migration("p").unwrap(),
-            DietValue::ScalarI32(1)
-        );
+        assert_eq!(dm.take_for_migration("p").unwrap(), DietValue::ScalarI32(1));
         assert_eq!(dm.len(), 1);
         assert!(matches!(
             dm.take_for_migration("s"),
@@ -336,11 +333,23 @@ mod tests {
     fn lru_eviction_respects_capacity_and_recency() {
         // 3 × 80-byte vectors in a 200-byte store: the coldest goes.
         let dm = DataManager::with_capacity(200);
-        dm.retain("a", DietValue::vec_f64(vec![0.0; 10]), Persistence::Persistent);
-        dm.retain("b", DietValue::vec_f64(vec![1.0; 10]), Persistence::Persistent);
+        dm.retain(
+            "a",
+            DietValue::vec_f64(vec![0.0; 10]),
+            Persistence::Persistent,
+        );
+        dm.retain(
+            "b",
+            DietValue::vec_f64(vec![1.0; 10]),
+            Persistence::Persistent,
+        );
         // Touch "a" so "b" becomes the LRU victim.
         dm.get("a").unwrap();
-        dm.retain("c", DietValue::vec_f64(vec![2.0; 10]), Persistence::Persistent);
+        dm.retain(
+            "c",
+            DietValue::vec_f64(vec![2.0; 10]),
+            Persistence::Persistent,
+        );
         assert_eq!(dm.ids(), vec!["a".to_string(), "c".to_string()]);
         assert_eq!(dm.evictions(), 1);
         assert!(dm.stored_bytes() <= 200);
@@ -349,11 +358,23 @@ mod tests {
     #[test]
     fn sticky_is_pinned_under_pressure() {
         let dm = DataManager::with_capacity(100);
-        dm.retain("pin", DietValue::vec_f64(vec![0.0; 10]), Persistence::Sticky);
-        dm.retain("p1", DietValue::vec_f64(vec![0.0; 10]), Persistence::Persistent);
+        dm.retain(
+            "pin",
+            DietValue::vec_f64(vec![0.0; 10]),
+            Persistence::Sticky,
+        );
+        dm.retain(
+            "p1",
+            DietValue::vec_f64(vec![0.0; 10]),
+            Persistence::Persistent,
+        );
         // 160 > 100: the persistent item is evicted, the sticky one stays,
         // and the store remains (pinned + newest) over budget by design.
-        dm.retain("p2", DietValue::vec_f64(vec![0.0; 10]), Persistence::Persistent);
+        dm.retain(
+            "p2",
+            DietValue::vec_f64(vec![0.0; 10]),
+            Persistence::Persistent,
+        );
         assert!(dm.contains("pin"), "sticky must survive pressure");
         assert!(!dm.contains("p1"));
         assert!(dm.contains("p2"), "fresh retain is never its own victim");
@@ -365,8 +386,16 @@ mod tests {
         let gone: Arc<parking_lot::Mutex<Vec<String>>> = Arc::default();
         let sink = gone.clone();
         dm.set_evict_hook(move |id| sink.lock().push(id.to_string()));
-        dm.retain("a", DietValue::vec_f64(vec![0.0; 10]), Persistence::Persistent);
-        dm.retain("b", DietValue::vec_f64(vec![0.0; 10]), Persistence::Persistent);
+        dm.retain(
+            "a",
+            DietValue::vec_f64(vec![0.0; 10]),
+            Persistence::Persistent,
+        );
+        dm.retain(
+            "b",
+            DietValue::vec_f64(vec![0.0; 10]),
+            Persistence::Persistent,
+        );
         assert_eq!(gone.lock().as_slice(), ["a".to_string()]);
         dm.free("b").unwrap();
         assert_eq!(gone.lock().as_slice(), ["a".to_string(), "b".to_string()]);

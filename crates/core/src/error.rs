@@ -10,10 +10,7 @@ pub enum DietError {
     /// A server declared the service but none is currently reachable.
     NoServerAvailable(String),
     /// Profile does not match the service's declared description.
-    ProfileMismatch {
-        service: String,
-        detail: String,
-    },
+    ProfileMismatch { service: String, detail: String },
     /// Argument index out of the profile's declared range.
     BadArgIndex { index: usize, last_out: usize },
     /// Type error when reading an argument.
@@ -33,6 +30,10 @@ pub enum DietError {
     DataNotFound(String),
     /// The SeD rejected the request (e.g. draining / shutting down).
     Rejected(String),
+    /// The server is saturated (accept queue or admission limit full);
+    /// the request was not started. Retryable with backoff — the server
+    /// is healthy, just loaded, so it must NOT count as a failure strike.
+    Busy,
     /// Client used before `initialize` or after `finalize`.
     NotInitialized,
     /// Deployment description inconsistent.
@@ -72,6 +73,7 @@ impl fmt::Display for DietError {
             DietError::Codec(s) => write!(f, "codec error: {s}"),
             DietError::DataNotFound(id) => write!(f, "persistent data not found: {id}"),
             DietError::Rejected(s) => write!(f, "request rejected: {s}"),
+            DietError::Busy => write!(f, "server busy: admission queue full"),
             DietError::NotInitialized => write!(f, "DIET session not initialized"),
             DietError::Deployment(s) => write!(f, "deployment error: {s}"),
             DietError::Timeout { after_secs } => {

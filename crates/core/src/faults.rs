@@ -39,6 +39,13 @@ pub struct FaultPlan {
     stall_us: AtomicU64,
     /// Requests seen so far.
     seen: AtomicU64,
+    /// Reject every request with `Busy` as if the admission queue were
+    /// full (consulted by the serving loop, not by `on_request`, so it
+    /// does not perturb the `seen` count used by `kill_at`).
+    force_busy: AtomicBool,
+    /// Sleep this many microseconds before accepting each connection
+    /// (a slow-accept fault: the listener itself is the bottleneck).
+    accept_delay_us: AtomicU64,
 }
 
 impl FaultPlan {
@@ -65,6 +72,32 @@ impl FaultPlan {
     /// Requests this plan has been consulted about.
     pub fn requests_seen(&self) -> u64 {
         self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Make the serving loop reject every request with `Busy` (overload
+    /// simulation without actually filling the queue).
+    pub fn set_force_busy(&self, on: bool) {
+        self.force_busy.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether requests should currently be rejected with `Busy`.
+    pub fn force_busy(&self) -> bool {
+        self.force_busy.load(Ordering::Relaxed)
+    }
+
+    /// Delay the accept loop by `d` before each accepted connection.
+    pub fn set_accept_delay(&self, d: Duration) {
+        self.accept_delay_us
+            .store(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The armed accept delay, if any. The acceptor sleeps this long
+    /// before handing each new connection to the worker pool.
+    pub fn accept_delay(&self) -> Option<Duration> {
+        match self.accept_delay_us.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
     }
 
     /// Count the request, apply any armed stall, and say how to treat it.
@@ -117,6 +150,20 @@ mod tests {
         assert_eq!(p.on_request(), FaultAction::DropReply);
         p.set_drop_replies(false);
         assert_eq!(p.on_request(), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn busy_and_accept_delay_do_not_touch_seen() {
+        let p = FaultPlan::new();
+        assert!(!p.force_busy());
+        assert!(p.accept_delay().is_none());
+        p.set_force_busy(true);
+        p.set_accept_delay(Duration::from_millis(5));
+        assert!(p.force_busy());
+        assert_eq!(p.accept_delay(), Some(Duration::from_millis(5)));
+        // Consulting the new switches must not advance the request count
+        // that kill_at is armed against.
+        assert_eq!(p.requests_seen(), 0);
     }
 
     #[test]

@@ -41,10 +41,7 @@ pub struct GridRpcSession {
 }
 
 /// `grpc_initialize(config_file)` — resolve the MA via the name server.
-pub fn grpc_initialize(
-    config_text: &str,
-    names: &NameServer,
-) -> Result<GridRpcSession, DietError> {
+pub fn grpc_initialize(config_text: &str, names: &NameServer) -> Result<GridRpcSession, DietError> {
     Ok(GridRpcSession {
         client: DietClient::initialize_from_config(config_text, names)?,
         pending: Mutex::new(HashMap::new()),
@@ -80,7 +77,10 @@ impl GridRpcSession {
         if profile.service != handle.service {
             return Err(DietError::ProfileMismatch {
                 service: handle.service.clone(),
-                detail: format!("handle bound to {}, profile is {}", handle.service, profile.service),
+                detail: format!(
+                    "handle bound to {}, profile is {}",
+                    handle.service, profile.service
+                ),
             });
         }
         let h = self.client.async_call(profile)?;

@@ -37,6 +37,9 @@ pub struct Estimate {
     /// Bytes of the request's persistent inputs resident *elsewhere* on the
     /// grid — the SeD-to-SeD transfer this candidate would have to do.
     pub data_miss_bytes: u64,
+    /// Admission capacity: requests beyond this queue depth are rejected
+    /// with `Busy`. `None` means unbounded (no admission control armed).
+    pub admission_limit: Option<usize>,
 }
 
 impl Estimate {
@@ -56,6 +59,14 @@ impl Estimate {
     /// scheduler minimizes: a SeD already holding the data pays nothing.
     pub fn expected_finish_with_transfer(&self, bandwidth_bps: f64) -> f64 {
         self.expected_finish() + self.data_miss_bytes as f64 / bandwidth_bps.max(1.0)
+    }
+
+    /// Whether this SeD would currently reject a new request with `Busy`.
+    /// Schedulers use it to spread load across unsaturated candidates
+    /// instead of dogpiling the fastest node under overload.
+    pub fn is_saturated(&self) -> bool {
+        self.admission_limit
+            .is_some_and(|cap| self.queue_length >= cap)
     }
 }
 
@@ -142,6 +153,7 @@ impl LoadTracker {
             probe_rtt: 0.0,
             data_local_bytes: 0,
             data_miss_bytes: 0,
+            admission_limit: None,
         }
     }
 }
@@ -240,6 +252,23 @@ mod tests {
         assert!((cold - (2.0 + 1.073741824)).abs() < 1e-9);
         // Degenerate bandwidth cannot divide by zero.
         assert!(mk(0, 100).expected_finish_with_transfer(0.0).is_finite());
+    }
+
+    #[test]
+    fn saturation_tracks_admission_limit() {
+        let mut e = Estimate {
+            server: "s".into(),
+            queue_length: 4,
+            ..Estimate::default()
+        };
+        // Unbounded SeDs never report saturated.
+        assert!(!e.is_saturated());
+        e.admission_limit = Some(8);
+        assert!(!e.is_saturated());
+        e.admission_limit = Some(4);
+        assert!(e.is_saturated());
+        e.queue_length = 3;
+        assert!(!e.is_saturated());
     }
 
     #[test]

@@ -98,7 +98,11 @@ mod tests {
     use crate::sched::RoundRobin;
     use crate::sed::{SedConfig, SedHandle, ServiceTable, SolveFn};
 
-    fn ma_with_service(ma_name: &str, service: &str, n_seds: usize) -> (Arc<MasterAgent>, Vec<Arc<SedHandle>>) {
+    fn ma_with_service(
+        ma_name: &str,
+        service: &str,
+        n_seds: usize,
+    ) -> (Arc<MasterAgent>, Vec<Arc<SedHandle>>) {
         let mut desc = ProfileDesc::alloc(service, 0, 0, 0);
         desc.set_arg(0, ArgTag::Scalar).unwrap();
         let seds: Vec<Arc<SedHandle>> = (0..n_seds)

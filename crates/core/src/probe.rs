@@ -66,9 +66,7 @@ impl SystemProbe {
             let mut parts = line.split_whitespace();
             match parts.next()? {
                 "MemTotal:" => total = parts.next()?.parse::<u64>().ok().map(|kb| kb * 1024),
-                "MemAvailable:" => {
-                    avail = parts.next()?.parse::<u64>().ok().map(|kb| kb * 1024)
-                }
+                "MemAvailable:" => avail = parts.next()?.parse::<u64>().ok().map(|kb| kb * 1024),
                 _ => {}
             }
             if total.is_some() && avail.is_some() {

@@ -410,10 +410,7 @@ mod tests {
         let (name, data) = p.get_file(0).unwrap();
         assert_eq!(name, "ramses.nml");
         assert!(!data.is_empty());
-        assert!(matches!(
-            p.get_i32(99),
-            Err(DietError::BadArgIndex { .. })
-        ));
+        assert!(matches!(p.get_i32(99), Err(DietError::BadArgIndex { .. })));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::datamgr::DataManager;
 use crate::error::DietError;
 use crate::faults::{FaultAction, FaultPlan};
 use crate::monitor::{Estimate, LoadTracker};
-use crate::profile::{ProfileDesc, Profile};
+use crate::profile::{Profile, ProfileDesc};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use obs::{Obs, TraceCtx};
 use parking_lot::RwLock;
@@ -102,6 +102,10 @@ pub struct SedConfig {
     pub free_memory: u64,
     /// Byte cap on the SeD's persistent-data store; `None` = unbounded.
     pub data_capacity: Option<u64>,
+    /// Admission control: reject new requests with `Busy` once this many
+    /// jobs are queued + running. `None` = accept everything (the
+    /// paper-era behaviour; requests queue without bound).
+    pub admission_limit: Option<usize>,
 }
 
 impl SedConfig {
@@ -111,12 +115,20 @@ impl SedConfig {
             speed_factor,
             free_memory: 32 << 30,
             data_capacity: None,
+            admission_limit: None,
         }
     }
 
     /// Bound the persistent-data store (LRU-evicted, sticky pinned).
     pub fn with_data_capacity(mut self, bytes: u64) -> Self {
         self.data_capacity = Some(bytes);
+        self
+    }
+
+    /// Bound the solve queue: requests beyond `jobs` queued + running are
+    /// answered with `Busy` so clients back off instead of timing out.
+    pub fn with_admission_limit(mut self, jobs: usize) -> Self {
+        self.admission_limit = Some(jobs);
         self
     }
 }
@@ -232,7 +244,9 @@ impl SedHandle {
         // several share one registry. Updates below are pure atomics.
         let labels: &[(&str, &str)] = &[("sed", &config.label)];
         let m_solves = obs.metrics.counter_with("diet_sed_solves_total", labels);
-        let m_errors = obs.metrics.counter_with("diet_sed_solve_errors_total", labels);
+        let m_errors = obs
+            .metrics
+            .counter_with("diet_sed_solve_errors_total", labels);
         let m_solve_h = obs.metrics.histogram_with("diet_sed_solve_seconds", labels);
         let m_queue_h = obs
             .metrics
@@ -246,9 +260,7 @@ impl SedHandle {
         let m_data_pull_b = obs
             .metrics
             .counter_with("diet_data_pull_bytes_total", labels);
-        let m_data_pull_h = obs
-            .metrics
-            .histogram_with("diet_data_pull_seconds", labels);
+        let m_data_pull_h = obs.metrics.histogram_with("diet_data_pull_seconds", labels);
         let m_data_fail = obs
             .metrics
             .counter_with("diet_data_resolve_failures_total", labels);
@@ -306,8 +318,7 @@ impl SedHandle {
                                     );
                                     if let Ok(v) = &pulled {
                                         m_data_pull_b.add(v.payload_bytes());
-                                        m_data_pull_h
-                                            .observe(pull_start.elapsed().as_secs_f64());
+                                        m_data_pull_h.observe(pull_start.elapsed().as_secs_f64());
                                     }
                                     pulled
                                 }
@@ -329,9 +340,9 @@ impl SedHandle {
                         } else {
                             let t = worker_table.read();
                             match t.lookup(&job.profile.service) {
-                                None => Err(DietError::ServiceNotFound(
-                                    job.profile.service.clone(),
-                                )),
+                                None => {
+                                    Err(DietError::ServiceNotFound(job.profile.service.clone()))
+                                }
                                 Some((desc, solve)) => match desc.validate(&job.profile) {
                                     Err(e) => Err(e),
                                     Ok(()) => {
@@ -345,10 +356,8 @@ impl SedHandle {
                                                 // with the job. Args that
                                                 // arrived as refs are already
                                                 // resident under their own id.
-                                                let skip: Vec<usize> = resolved_refs
-                                                    .iter()
-                                                    .map(|(i, _)| *i)
-                                                    .collect();
+                                                let skip: Vec<usize> =
+                                                    resolved_refs.iter().map(|(i, _)| *i).collect();
                                                 retain_and_publish(
                                                     &worker_dm,
                                                     worker_catalog.read().as_deref(),
@@ -476,7 +485,10 @@ impl SedHandle {
         self.load.reply_failed();
         self.obs
             .metrics
-            .counter_with("diet_sed_reply_failures_total", &[("sed", &self.config.label)])
+            .counter_with(
+                "diet_sed_reply_failures_total",
+                &[("sed", &self.config.label)],
+            )
             .inc();
     }
 
@@ -506,11 +518,21 @@ impl SedHandle {
             Some(p) => p.report().free_memory,
             None => self.config.free_memory,
         };
-        Some(self.load.estimate(
-            &self.config.label,
-            self.config.speed_factor,
-            free_memory,
-        ))
+        let mut e = self
+            .load
+            .estimate(&self.config.label, self.config.speed_factor, free_memory);
+        e.admission_limit = self.config.admission_limit;
+        Some(e)
+    }
+
+    /// Admission check: would a new request be accepted right now? The
+    /// serving loop consults this before enqueueing and answers `Busy`
+    /// when it returns false.
+    pub fn admits(&self) -> bool {
+        match self.config.admission_limit {
+            None => true,
+            Some(cap) => self.load.queue_length() < cap,
+        }
     }
 
     /// Enqueue a solve; returns the receiver for the outcome. The queue
@@ -659,16 +681,8 @@ pub fn retain_and_publish(
     profile: &Profile,
     skip: &[usize],
 ) {
-    for (i, (v, m)) in profile
-        .values
-        .iter()
-        .zip(&profile.persistence)
-        .enumerate()
-    {
-        if skip.contains(&i)
-            || matches!(v, DietValue::Null)
-            || *m == Persistence::Volatile
-        {
+    for (i, (v, m)) in profile.values.iter().zip(&profile.persistence).enumerate() {
+        if skip.contains(&i) || matches!(v, DietValue::Null) || *m == Persistence::Volatile {
             continue;
         }
         let id = format!("{}#{}", profile.service, i);
@@ -810,10 +824,7 @@ mod tests {
         let d = ProfileDesc::alloc("double", 0, 0, 1);
         let p = Profile::alloc(&d); // IN arg left Null
         let out = sed.submit(p).unwrap().recv().unwrap();
-        assert!(matches!(
-            out.result,
-            Err(DietError::ProfileMismatch { .. })
-        ));
+        assert!(matches!(out.result, Err(DietError::ProfileMismatch { .. })));
         sed.shutdown();
     }
 
@@ -867,11 +878,7 @@ mod tests {
         d.set_arg(0, ArgTag::Scalar).unwrap();
         let solve: SolveFn = Arc::new(|p: &mut Profile| {
             let x = p.get_i32(0)?;
-            p.set(
-                1,
-                DietValue::vec_i32(vec![x; 4]),
-                Persistence::Persistent,
-            )?;
+            p.set(1, DietValue::vec_i32(vec![x; 4]), Persistence::Persistent)?;
             Ok(0)
         });
         let mut t = ServiceTable::init(1);
@@ -931,7 +938,11 @@ mod tests {
         let sed = SedHandle::spawn(SedConfig::new("ref/0", 1.0), summer_table());
         let cat = Arc::new(ReplicaCatalog::new());
         sed.attach_catalog(cat.clone());
-        assert!(sed.store_data("nums", DietValue::vec_i32(vec![1, 2, 3]), Persistence::Persistent));
+        assert!(sed.store_data(
+            "nums",
+            DietValue::vec_i32(vec![1, 2, 3]),
+            Persistence::Persistent
+        ));
         assert_eq!(cat.holders("nums"), vec!["ref/0"]);
 
         let out = sed.submit(sum_ref_profile("nums")).unwrap().recv().unwrap();
@@ -945,7 +956,11 @@ mod tests {
     #[test]
     fn unresolvable_data_ref_is_data_not_found() {
         let sed = SedHandle::spawn(SedConfig::new("ref/1", 1.0), summer_table());
-        let out = sed.submit(sum_ref_profile("ghost")).unwrap().recv().unwrap();
+        let out = sed
+            .submit(sum_ref_profile("ghost"))
+            .unwrap()
+            .recv()
+            .unwrap();
         assert!(matches!(out.result, Err(DietError::DataNotFound(_))));
         sed.shutdown();
     }
@@ -973,11 +988,19 @@ mod tests {
             "owner".to_string(),
             owner.datamgr.clone(),
         )]))));
-        owner.store_data("nums", DietValue::vec_i32(vec![5; 10]), Persistence::Persistent);
+        owner.store_data(
+            "nums",
+            DietValue::vec_i32(vec![5; 10]),
+            Persistence::Persistent,
+        );
 
         // The executing SeD holds nothing; the solve still succeeds by
         // pulling from the owner, and the replica is now catalogued on both.
-        let out = exec.submit(sum_ref_profile("nums")).unwrap().recv().unwrap();
+        let out = exec
+            .submit(sum_ref_profile("nums"))
+            .unwrap()
+            .recv()
+            .unwrap();
         assert_eq!(out.result.unwrap().get_i32(1).unwrap(), 50);
         assert!(exec.datamgr.contains("nums"));
         assert_eq!(cat.holders("nums"), vec!["exec", "owner"]);
@@ -986,7 +1009,11 @@ mod tests {
         // serves from its own copy.
         cat.drop_sed("owner");
         assert_eq!(cat.holders("nums"), vec!["exec"]);
-        let out = exec.submit(sum_ref_profile("nums")).unwrap().recv().unwrap();
+        let out = exec
+            .submit(sum_ref_profile("nums"))
+            .unwrap()
+            .recv()
+            .unwrap();
         assert_eq!(out.result.unwrap().get_i32(1).unwrap(), 50);
         owner.shutdown();
         exec.shutdown();
@@ -1000,7 +1027,11 @@ mod tests {
         let dm = &sed.datamgr;
         assert!(dm.capacity().is_none());
         sed.attach_catalog(cat.clone());
-        sed.store_data("a", DietValue::vec_i32(vec![0; 10]), Persistence::Persistent);
+        sed.store_data(
+            "a",
+            DietValue::vec_i32(vec![0; 10]),
+            Persistence::Persistent,
+        );
         sed.datamgr.free("a").unwrap();
         assert!(cat.locate("a").is_none(), "free must unpublish");
         sed.shutdown();
@@ -1168,12 +1199,27 @@ mod tests {
         assert_eq!(obs.tracer.snapshot().len(), before);
         // ...but still feed the metrics registry.
         assert_eq!(obs.metrics.counter_value("diet_sed_solves_total"), 2);
-        assert!(
-            obs.metrics
-                .render_prometheus()
-                .contains("diet_sed_solve_seconds_bucket{sed=\"tr/0\"")
-        );
+        assert!(obs
+            .metrics
+            .render_prometheus()
+            .contains("diet_sed_solve_seconds_bucket{sed=\"tr/0\""));
         sed.shutdown();
+    }
+
+    #[test]
+    fn admission_limit_reflected_in_estimate_and_admits() {
+        let cfg = SedConfig::new("adm/0", 1.0).with_admission_limit(2);
+        let sed = SedHandle::spawn(cfg, doubler_table());
+        assert!(sed.admits());
+        let e = sed.estimate("double").unwrap();
+        assert_eq!(e.admission_limit, Some(2));
+        assert!(!e.is_saturated());
+        // Unbounded SeDs always admit.
+        let open = SedHandle::spawn(SedConfig::new("adm/1", 1.0), doubler_table());
+        assert!(open.admits());
+        assert_eq!(open.estimate("double").unwrap().admission_limit, None);
+        sed.shutdown();
+        open.shutdown();
     }
 
     #[test]

@@ -18,9 +18,9 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A bidirectional message channel.
 pub trait Duplex: Send {
@@ -108,13 +108,17 @@ pub struct TcpTransport {
     stream: TcpStream,
     /// Bytes read off the socket but not yet returned as a frame.
     rbuf: Mutex<Vec<u8>>,
+    /// Serialises writers: a frame is two `write_all` calls (length prefix
+    /// then payload), and a multiplexed connection has many concurrent
+    /// senders whose frames must not interleave.
+    wlock: Mutex<()>,
     max_frame: usize,
 }
 
 impl TcpTransport {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, DietError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| DietError::Transport(format!("connect: {e}")))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| DietError::Transport(format!("connect: {e}")))?;
         stream.set_nodelay(true).ok();
         Ok(Self::from_stream(stream))
     }
@@ -124,6 +128,7 @@ impl TcpTransport {
         TcpTransport {
             stream,
             rbuf: Mutex::new(Vec::new()),
+            wlock: Mutex::new(()),
             max_frame: DEFAULT_MAX_FRAME,
         }
     }
@@ -148,6 +153,7 @@ impl TcpTransport {
     }
 
     fn write_frame(&self, payload: &[u8]) -> Result<(), DietError> {
+        let _w = self.wlock.lock();
         let mut s = &self.stream;
         s.write_all(&(payload.len() as u32).to_le_bytes())
             .and_then(|_| s.write_all(payload))
@@ -225,24 +231,92 @@ impl Duplex for TcpTransport {
     }
 }
 
-/// A minimal TCP acceptor: spawns `handler` on its own thread per connection.
-/// Returns the bound local address (useful with port 0) and a guard whose
-/// drop stops accepting. [`TcpServer::kill`] additionally severs every live
-/// connection — the failure-injection hook that simulates a host crash for
-/// fault-tolerance tests.
+/// Bind a listener, retrying transient failures with a short linear
+/// backoff. Ephemeral binds (`127.0.0.1:0`) essentially never fail, but a
+/// CI matrix running stages in parallel can transiently exhaust the
+/// ephemeral range or race a socket in TIME_WAIT; a few retries make the
+/// gate deterministic.
+pub fn bind_with_retry(
+    addr: impl ToSocketAddrs + Clone,
+    attempts: u32,
+) -> Result<TcpListener, DietError> {
+    let mut last = None;
+    for i in 0..attempts.max(1) {
+        match TcpListener::bind(addr.clone()) {
+            Ok(l) => return Ok(l),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(10 * (i as u64 + 1)));
+            }
+        }
+    }
+    Err(DietError::Transport(format!(
+        "bind: {} (after {attempts} attempts)",
+        last.map(|e| e.to_string()).unwrap_or_default()
+    )))
+}
+
+/// Sizing and fault hooks for a [`TcpServer`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving accepted connections. A connection occupies
+    /// a worker for its lifetime (one pooled multiplexed connection per
+    /// client carries many in-flight requests, so this bounds concurrent
+    /// *clients*, not concurrent requests).
+    pub workers: usize,
+    /// Accepted connections waiting for a free worker. When this queue is
+    /// full the server replies `Busy` (request id 0) and closes — explicit
+    /// backpressure instead of an unbounded thread spray.
+    pub accept_queue: usize,
+    /// Optional fault injection consulted by the accept loop
+    /// (`accept_delay`); per-request faults stay with the SeD's own plan.
+    pub faults: Option<Arc<crate::faults::FaultPlan>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            accept_queue: 64,
+            faults: None,
+        }
+    }
+}
+
+/// A TCP acceptor feeding a bounded worker pool.
+///
+/// The earlier implementation spawned an unbounded OS thread per
+/// connection; under load the serving layer saturated long before the
+/// hardware did. Now a fixed pool of `workers` threads drains an explicit
+/// admission queue of `accept_queue` accepted connections, and overflow is
+/// answered with a [`Message::Busy`] frame (request id 0) so clients back
+/// off instead of piling up. Returns the bound local address (useful with
+/// port 0) and a guard whose drop stops accepting. [`TcpServer::kill`]
+/// additionally severs every live connection — the failure-injection hook
+/// that simulates a host crash for fault-tolerance tests.
 pub struct TcpServer {
     pub local_addr: std::net::SocketAddr,
     stop: Sender<()>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    busy_rejections: Arc<AtomicU64>,
 }
 
 impl TcpServer {
+    /// Spawn with the default pool sizing ([`ServerConfig::default`]).
     pub fn spawn(
-        addr: impl ToSocketAddrs,
+        addr: impl ToSocketAddrs + Clone,
         handler: impl Fn(TcpTransport) + Send + Sync + 'static,
     ) -> Result<Self, DietError> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| DietError::Transport(format!("bind: {e}")))?;
+        Self::spawn_with_config(addr, ServerConfig::default(), handler)
+    }
+
+    /// Spawn with explicit worker-pool sizing and fault hooks.
+    pub fn spawn_with_config(
+        addr: impl ToSocketAddrs + Clone,
+        cfg: ServerConfig,
+        handler: impl Fn(TcpTransport) + Send + Sync + 'static,
+    ) -> Result<Self, DietError> {
+        let listener = bind_with_retry(addr, 5)?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| DietError::Transport(format!("local_addr: {e}")))?;
@@ -250,45 +324,83 @@ impl TcpServer {
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let handler = std::sync::Arc::new(handler);
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_conns = conns.clone();
-        std::thread::spawn(move || loop {
-            if stop_rx.try_recv().is_ok() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false).ok();
-                    if let Ok(clone) = stream.try_clone() {
-                        accept_conns.lock().push(clone);
+        let busy_rejections = Arc::new(AtomicU64::new(0));
+
+        // Admission queue: accepted sockets waiting for a worker.
+        let (work_tx, work_rx) = bounded::<TcpStream>(cfg.accept_queue.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let rx = work_rx.clone();
+            let h = handler.clone();
+            std::thread::spawn(move || {
+                // Exits when the acceptor drops its sender and the queue
+                // drains.
+                while let Ok(stream) = rx.recv() {
+                    let sock = stream.try_clone().ok();
+                    h(TcpTransport::from_stream(stream));
+                    // The kill list holds a clone of this stream, so
+                    // dropping the transport alone would leave the socket
+                    // open and the peer blocked on a read that can never
+                    // complete — sever it explicitly.
+                    if let Some(s) = sock {
+                        let _ = s.shutdown(std::net::Shutdown::Both);
                     }
-                    let h = handler.clone();
-                    std::thread::spawn(move || {
-                        let sock = stream.try_clone().ok();
-                        h(TcpTransport::from_stream(stream));
-                        // The kill list above holds a clone of this stream,
-                        // so dropping the transport alone would leave the
-                        // socket open and the peer blocked on a read that
-                        // can never complete — sever it explicitly.
-                        if let Some(s) = sock {
-                            let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            });
+        }
+
+        let accept_conns = conns.clone();
+        let accept_busy = busy_rejections.clone();
+        std::thread::spawn(move || {
+            loop {
+                if stop_rx.try_recv().is_ok() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Some(d) = cfg.faults.as_ref().and_then(|f| f.accept_delay()) {
+                            std::thread::sleep(d);
                         }
-                    });
+                        stream.set_nonblocking(false).ok();
+                        if let Ok(clone) = stream.try_clone() {
+                            accept_conns.lock().push(clone);
+                        }
+                        if let Err(full) = work_tx.try_send(stream) {
+                            // Queue full: explicit backpressure. Tell the
+                            // client before closing so it backs off rather
+                            // than timing out.
+                            accept_busy.fetch_add(1, Ordering::Relaxed);
+                            let stream = match full {
+                                crossbeam::channel::TrySendError::Full(s)
+                                | crossbeam::channel::TrySendError::Disconnected(s) => s,
+                            };
+                            let t = TcpTransport::from_stream(stream);
+                            let _ = t.send(&Message::Busy { request_id: 0 });
+                            t.shutdown();
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
                 }
-                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(_) => break,
             }
+            // Dropping work_tx lets idle workers exit once the queue drains.
         });
         Ok(TcpServer {
             local_addr,
             stop: stop_tx,
             conns,
+            busy_rejections,
         })
     }
 
     pub fn stop(&self) {
         self.stop.try_send(()).ok();
+    }
+
+    /// Connections refused with `Busy` because the admission queue was full.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
     }
 
     /// Simulate a crash: stop accepting and sever every live connection.
@@ -308,20 +420,171 @@ impl Drop for TcpServer {
     }
 }
 
+// ------------------------------------------------------------- multiplexing
+
+/// Inner state shared between a [`MuxConn`]'s callers and its demux thread.
+struct MuxInner {
+    transport: TcpTransport,
+    /// Waiters keyed by correlation id. The demux thread removes an entry
+    /// when its reply arrives; a caller that times out removes its own.
+    pending: Mutex<HashMap<u64, Sender<Result<Message, DietError>>>>,
+    /// Set once the stream fails; the owning pool redials on next use.
+    dead: AtomicBool,
+    /// Requests currently awaiting replies, and the high-water mark —
+    /// direct evidence that one connection really pipelines.
+    inflight: AtomicU64,
+    inflight_peak: AtomicU64,
+}
+
+impl MuxInner {
+    /// Fail every waiter and mark the connection dead.
+    fn poison(&self, err: DietError) {
+        self.dead.store(true, Ordering::Release);
+        for (_, tx) in self.pending.lock().drain() {
+            let _ = tx.send(Err(err.clone()));
+        }
+    }
+}
+
+/// A multiplexed client connection: many in-flight requests share one TCP
+/// stream, correlated by request id.
+///
+/// Callers register a one-shot waiter under their correlation id, write the
+/// request frame (the transport's write lock keeps frames whole), and block
+/// on their private channel. A dedicated demux thread reads every incoming
+/// frame and routes it to the waiter whose id it echoes; replies arriving
+/// for ids nobody waits on (a caller timed out) are dropped harmlessly. On
+/// any stream error the demux thread poisons all waiters with a retryable
+/// transport error and marks the connection dead so the pool redials.
+pub struct MuxConn {
+    inner: Arc<MuxInner>,
+}
+
+impl MuxConn {
+    pub fn connect(addr: SocketAddr) -> Result<Self, DietError> {
+        let transport = TcpTransport::connect(addr)?;
+        let inner = Arc::new(MuxInner {
+            transport,
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
+        });
+        let demux = inner.clone();
+        std::thread::spawn(move || loop {
+            match demux.transport.recv() {
+                Ok(Message::Busy { request_id: 0 }) => {
+                    // Connection-level rejection: the server's admission
+                    // queue was full before any request was read. Every
+                    // waiter backs off.
+                    demux.poison(DietError::Busy);
+                    break;
+                }
+                Ok(msg) => {
+                    let rid = match &msg {
+                        Message::CallReply { request_id, .. } => *request_id,
+                        Message::DataReply { request_id, .. } => *request_id,
+                        Message::Busy { request_id } => *request_id,
+                        // Uncorrelated frames (Pong, MetricsReply) have no
+                        // waiter on a mux connection; drop them.
+                        _ => 0,
+                    };
+                    if rid != 0 {
+                        if let Some(tx) = demux.pending.lock().remove(&rid) {
+                            let _ = tx.send(Ok(msg));
+                        }
+                    }
+                }
+                Err(e) => {
+                    demux.poison(DietError::Transport(format!("mux demux: {e}")));
+                    break;
+                }
+            }
+        });
+        Ok(MuxConn { inner })
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Acquire)
+    }
+
+    /// Highest number of simultaneously outstanding requests this
+    /// connection has carried.
+    pub fn inflight_peak(&self) -> u64 {
+        self.inner.inflight_peak.load(Ordering::Relaxed)
+    }
+
+    /// Send `m` (which must carry `request_id` as its correlation id) and
+    /// wait up to `deadline` for the reply that echoes the id.
+    pub fn request(
+        &self,
+        m: &Message,
+        request_id: u64,
+        deadline: Duration,
+    ) -> Result<Message, DietError> {
+        if self.is_dead() {
+            return Err(DietError::Transport("mux connection closed".into()));
+        }
+        let (tx, rx) = bounded(1);
+        {
+            let mut pending = self.inner.pending.lock();
+            pending.insert(request_id, tx);
+            let now = self.inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+            self.inner.inflight_peak.fetch_max(now, Ordering::Relaxed);
+        }
+        let sent = self.inner.transport.send(m);
+        if let Err(e) = sent {
+            self.inner.pending.lock().remove(&request_id);
+            self.inner.inflight.fetch_sub(1, Ordering::Relaxed);
+            self.inner.dead.store(true, Ordering::Release);
+            return Err(e);
+        }
+        let res = match rx.recv_timeout(deadline) {
+            Ok(reply) => reply,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                // Remove our waiter; if the reply lands later the demux
+                // thread finds no entry and drops it — the stream itself
+                // stays healthy for other callers.
+                self.inner.pending.lock().remove(&request_id);
+                Err(DietError::Timeout {
+                    after_secs: deadline.as_secs_f64(),
+                })
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(DietError::Transport("mux demux thread gone".into()))
+            }
+        };
+        self.inner.inflight.fetch_sub(1, Ordering::Relaxed);
+        res
+    }
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        // Unblock the demux thread: it is parked in `recv` on this stream
+        // and exits (poisoning any stragglers) once the socket dies.
+        self.inner.transport.shutdown();
+    }
+}
+
 // ------------------------------------------------------------------ sed pool
 
-/// Client-side registry of SeD endpoints with pooled connections.
+/// Client-side registry of SeD endpoints with one multiplexed connection
+/// per label.
 ///
-/// `call` sends a [`Message::Call`] and waits for the matching
-/// [`Message::CallReply`]. On any failure — connect error, send error,
-/// deadline expiry, stream error — the pooled connection is discarded, so
-/// a later attempt starts from a clean stream and can never pair a new
-/// request with a stale reply.
+/// `call` sends a [`Message::Call`] through the label's shared [`MuxConn`]
+/// and waits for the [`Message::CallReply`] echoing its correlation id, so
+/// any number of threads pipeline over one stream. A timed-out request
+/// merely abandons its waiter (the connection survives); a stream error
+/// marks the connection dead and the next call redials. A `Busy` reply —
+/// per-request or connection-level — surfaces as [`DietError::Busy`], the
+/// caller's cue to back off without striking the (healthy) server.
 #[derive(Default)]
 pub struct TcpSedPool {
     endpoints: RwLock<HashMap<String, SocketAddr>>,
-    conns: Mutex<HashMap<String, TcpTransport>>,
+    muxes: Mutex<HashMap<String, Arc<MuxConn>>>,
     next_id: AtomicU64,
+    dials: AtomicU64,
 }
 
 impl TcpSedPool {
@@ -336,6 +599,58 @@ impl TcpSedPool {
 
     pub fn endpoint(&self, label: &str) -> Option<SocketAddr> {
         self.endpoints.read().get(label).copied()
+    }
+
+    /// The live multiplexed connection for `label`, dialing if absent or
+    /// dead. Many callers share the returned connection concurrently.
+    fn mux_for(&self, label: &str) -> Result<Arc<MuxConn>, DietError> {
+        if let Some(mux) = self.muxes.lock().get(label) {
+            if !mux.is_dead() {
+                return Ok(mux.clone());
+            }
+        }
+        let addr = self
+            .endpoint(label)
+            .ok_or_else(|| DietError::Transport(format!("no endpoint registered for {label}")))?;
+        let fresh = Arc::new(MuxConn::connect(addr)?);
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        let mut muxes = self.muxes.lock();
+        // A concurrent caller may have redialed while we were connecting;
+        // prefer whichever live connection is installed so everyone
+        // converges on one stream per label.
+        if let Some(existing) = muxes.get(label) {
+            if !existing.is_dead() {
+                return Ok(existing.clone());
+            }
+        }
+        muxes.insert(label.to_string(), fresh.clone());
+        Ok(fresh)
+    }
+
+    /// Drop the pooled connection for `label` if it has died (the next
+    /// call redials). Keeping a dead entry around is harmless; this just
+    /// keeps the map tidy for long-lived clients.
+    fn evict_if_dead(&self, label: &str) {
+        let mut muxes = self.muxes.lock();
+        if muxes.get(label).is_some_and(|m| m.is_dead()) {
+            muxes.remove(label);
+        }
+    }
+
+    /// Times this pool dialed a fresh connection — pipelining evidence:
+    /// a saturating client should hold ~one dial per label.
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of in-flight requests on `label`'s current
+    /// connection (0 if none is pooled).
+    pub fn peak_inflight(&self, label: &str) -> u64 {
+        self.muxes
+            .lock()
+            .get(label)
+            .map(|m| m.inflight_peak())
+            .unwrap_or(0)
     }
 
     /// One remote call attempt against `label`, bounded by `deadline`.
@@ -360,68 +675,49 @@ impl TcpSedPool {
         deadline: Duration,
         ctx: obs::TraceCtx,
     ) -> Result<(Profile, f64, f64), DietError> {
-        let addr = self.endpoint(label).ok_or_else(|| {
-            DietError::Transport(format!("no endpoint registered for {label}"))
-        })?;
-        let conn = match self.conns.lock().remove(label) {
-            Some(c) => c,
-            None => TcpTransport::connect(addr)?,
-        };
+        let mux = self.mux_for(label)?;
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let started = Instant::now();
-        conn.send(&Message::Call {
+        let reply = mux.request(
+            &Message::Call {
+                request_id,
+                ctx,
+                profile,
+            },
             request_id,
-            ctx,
-            profile,
-        })?;
-        loop {
-            let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
-                // Deadline passed; the connection may still deliver the
-                // reply later — drop it so the stale reply dies with it.
-                return Err(DietError::Timeout {
-                    after_secs: deadline.as_secs_f64(),
-                });
-            };
-            match conn.recv_timeout(remaining)? {
-                Some(Message::CallReply {
-                    request_id: rid,
-                    queue_wait,
-                    solve,
-                    result,
-                }) if rid == request_id => {
-                    self.conns.lock().insert(label.to_string(), conn);
-                    return result
-                        .map(|p| (p, queue_wait, solve))
-                        .map_err(DietError::Rejected);
-                }
-                // A reply for an older, abandoned request on this stream
-                // (can't happen after eviction-on-failure, but harmless).
-                Some(_) => continue,
-                None => {
-                    return Err(DietError::Timeout {
-                        after_secs: deadline.as_secs_f64(),
-                    });
-                }
+            deadline,
+        );
+        match reply {
+            Ok(Message::CallReply {
+                queue_wait,
+                solve,
+                result,
+                ..
+            }) => result
+                .map(|p| (p, queue_wait, solve))
+                .map_err(DietError::Rejected),
+            Ok(Message::Busy { .. }) => Err(DietError::Busy),
+            Ok(other) => Err(DietError::Transport(format!(
+                "unexpected reply to call: {other:?}"
+            ))),
+            Err(e) => {
+                self.evict_if_dead(label);
+                Err(e)
             }
         }
     }
 
     /// Fetch a Prometheus-format metrics dump from the server behind
-    /// `label` (the `dump-metrics` request).
+    /// `label` (the `dump-metrics` request). Metrics dumps are rare and
+    /// carry no correlation id, so they use a short-lived dedicated
+    /// connection rather than riding the multiplexed stream.
     pub fn dump_metrics(&self, label: &str, deadline: Duration) -> Result<String, DietError> {
-        let addr = self.endpoint(label).ok_or_else(|| {
-            DietError::Transport(format!("no endpoint registered for {label}"))
-        })?;
-        let conn = match self.conns.lock().remove(label) {
-            Some(c) => c,
-            None => TcpTransport::connect(addr)?,
-        };
+        let addr = self
+            .endpoint(label)
+            .ok_or_else(|| DietError::Transport(format!("no endpoint registered for {label}")))?;
+        let conn = TcpTransport::connect(addr)?;
         conn.send(&Message::DumpMetrics)?;
         match conn.recv_timeout(deadline)? {
-            Some(Message::MetricsReply { text }) => {
-                self.conns.lock().insert(label.to_string(), conn);
-                Ok(text)
-            }
+            Some(Message::MetricsReply { text }) => Ok(text),
             Some(other) => Err(DietError::Transport(format!(
                 "unexpected reply to dump-metrics: {other:?}"
             ))),
@@ -432,33 +728,34 @@ impl TcpSedPool {
     }
 
     /// Pull the grid data item `id` from the SeD behind `label` — the wire
-    /// leg of DAGDA's SeD-to-SeD transfer. Same pooled-connection contract
-    /// as [`call`](Self::call): any failure discards the connection.
+    /// leg of DAGDA's SeD-to-SeD transfer. Shares the label's multiplexed
+    /// connection with in-flight calls; the correlation id pairs the reply.
     pub fn get_data(
         &self,
         label: &str,
         id: &str,
         deadline: Duration,
     ) -> Result<(crate::data::DietValue, crate::data::Persistence), DietError> {
-        let addr = self.endpoint(label).ok_or_else(|| {
-            DietError::Transport(format!("no endpoint registered for {label}"))
-        })?;
-        let conn = match self.conns.lock().remove(label) {
-            Some(c) => c,
-            None => TcpTransport::connect(addr)?,
-        };
-        conn.send(&Message::GetData { id: id.to_string() })?;
-        match conn.recv_timeout(deadline)? {
-            Some(Message::DataReply { id: rid, result }) if rid == id => {
-                self.conns.lock().insert(label.to_string(), conn);
-                result.map_err(DietError::DataNotFound)
-            }
-            Some(other) => Err(DietError::Transport(format!(
+        let mux = self.mux_for(label)?;
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let reply = mux.request(
+            &Message::GetData {
+                request_id,
+                id: id.to_string(),
+            },
+            request_id,
+            deadline,
+        );
+        match reply {
+            Ok(Message::DataReply { result, .. }) => result.map_err(DietError::DataNotFound),
+            Ok(Message::Busy { .. }) => Err(DietError::Busy),
+            Ok(other) => Err(DietError::Transport(format!(
                 "unexpected reply to get-data: {other:?}"
             ))),
-            None => Err(DietError::Timeout {
-                after_secs: deadline.as_secs_f64(),
-            }),
+            Err(e) => {
+                self.evict_if_dead(label);
+                Err(e)
+            }
         }
     }
 
@@ -473,29 +770,30 @@ impl TcpSedPool {
         mode: crate::data::Persistence,
         deadline: Duration,
     ) -> Result<(), DietError> {
-        let addr = self.endpoint(label).ok_or_else(|| {
-            DietError::Transport(format!("no endpoint registered for {label}"))
-        })?;
-        let conn = match self.conns.lock().remove(label) {
-            Some(c) => c,
-            None => TcpTransport::connect(addr)?,
-        };
-        conn.send(&Message::PutData {
-            id: id.to_string(),
-            mode,
-            value,
-        })?;
-        match conn.recv_timeout(deadline)? {
-            Some(Message::DataReply { id: rid, result }) if rid == id => {
-                self.conns.lock().insert(label.to_string(), conn);
+        let mux = self.mux_for(label)?;
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let reply = mux.request(
+            &Message::PutData {
+                request_id,
+                id: id.to_string(),
+                mode,
+                value,
+            },
+            request_id,
+            deadline,
+        );
+        match reply {
+            Ok(Message::DataReply { result, .. }) => {
                 result.map(|_| ()).map_err(DietError::Rejected)
             }
-            Some(other) => Err(DietError::Transport(format!(
+            Ok(Message::Busy { .. }) => Err(DietError::Busy),
+            Ok(other) => Err(DietError::Transport(format!(
                 "unexpected reply to put-data: {other:?}"
             ))),
-            None => Err(DietError::Timeout {
-                after_secs: deadline.as_secs_f64(),
-            }),
+            Err(e) => {
+                self.evict_if_dead(label);
+                Err(e)
+            }
         }
     }
 }
@@ -694,9 +992,159 @@ mod tests {
     }
 
     #[test]
-    fn sed_pool_times_out_and_recovers() {
+    fn sed_pool_get_and_put_data_roundtrip() {
+        use crate::data::{DietValue, Persistence};
+        use crate::datamgr::DataManager;
+        // A miniature data server: PutData retains, GetData serves.
+        let dm = Arc::new(DataManager::new());
+        let server_dm = dm.clone();
+        let server = TcpServer::spawn("127.0.0.1:0", move |conn| {
+            while let Ok(m) = conn.recv() {
+                match m {
+                    Message::PutData {
+                        request_id,
+                        id,
+                        mode,
+                        value,
+                    } => {
+                        server_dm.retain(&id, value, mode);
+                        let _ = conn.send(&Message::DataReply {
+                            request_id,
+                            id,
+                            result: Ok((DietValue::Null, mode)),
+                        });
+                    }
+                    Message::GetData { request_id, id } => {
+                        let result = server_dm.get_with_mode(&id).map_err(|e| e.to_string());
+                        let _ = conn.send(&Message::DataReply {
+                            request_id,
+                            id,
+                            result,
+                        });
+                    }
+                    _ => break,
+                }
+            }
+        })
+        .unwrap();
+        let pool = TcpSedPool::new();
+        pool.register("owner", server.local_addr);
+        let blob = DietValue::vec_f64(vec![1.5; 256]);
+        pool.put_data(
+            "owner",
+            "ic",
+            blob.clone(),
+            Persistence::Sticky,
+            Duration::from_secs(2),
+        )
+        .unwrap();
+        let (got, mode) = pool
+            .get_data("owner", "ic", Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(got, blob);
+        assert_eq!(mode, Persistence::Sticky);
+        // A miss comes back as DataNotFound, not a transport error — the
+        // puller's cue to fall back to client re-shipping.
+        let miss = pool.get_data("owner", "nope", Duration::from_secs(2));
+        assert!(matches!(miss, Err(DietError::DataNotFound(_))), "{miss:?}");
+        // The resolver facade goes through the same path.
+        use crate::dagda::DataResolver;
+        let (again, _) = pool.fetch("owner", "ic").unwrap();
+        assert_eq!(again, blob);
+    }
+
+    #[test]
+    fn tcp_max_frame_applies_to_data_replies() {
+        // Mirror of `tcp_configured_max_frame_is_enforced` for the new data
+        // frames: an oversized DataReply is rejected by the length check.
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            if let Ok(m) = conn.recv() {
+                let _ = conn.send(&m);
+            }
+        })
+        .unwrap();
+        let big = Message::DataReply {
+            request_id: 1,
+            id: "ic".into(),
+            result: Ok((
+                crate::data::DietValue::vec_f64(vec![0.25; 4096]),
+                crate::data::Persistence::Persistent,
+            )),
+        };
+        let frame_len = encode_message(&big).len();
+        let client = TcpTransport::connect(server.local_addr)
+            .unwrap()
+            .with_max_frame(frame_len - 1);
+        client.send(&big).unwrap();
+        assert!(matches!(client.recv(), Err(DietError::Transport(_))));
+    }
+
+    #[test]
+    fn mux_correlates_out_of_order_replies() {
         use crate::profile::ProfileDesc;
-        // A server that never answers the first call, then echoes.
+        // A server that batches two calls and answers them in REVERSE
+        // order: only correlation-id routing can hand each caller its own
+        // reply. The pool must pipeline both calls down one connection.
+        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
+            let mut batch = Vec::new();
+            while let Ok(m) = conn.recv() {
+                if let Message::Call {
+                    request_id,
+                    profile,
+                    ..
+                } = m
+                {
+                    batch.push((request_id, profile));
+                    if batch.len() == 2 {
+                        for (rid, p) in batch.drain(..).rev() {
+                            let _ = conn.send(&Message::CallReply {
+                                request_id: rid,
+                                queue_wait: 0.0,
+                                solve: 0.0,
+                                result: Ok(p),
+                            });
+                        }
+                    }
+                }
+            }
+        })
+        .unwrap();
+        let pool = Arc::new(TcpSedPool::new());
+        pool.register("sed/0", server.local_addr);
+        let d = ProfileDesc::alloc("echo", -1, 0, 0);
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let pool = pool.clone();
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let mut p = Profile::alloc(&d);
+                    p.set(0, crate::data::DietValue::ScalarI32(i), Default::default())
+                        .unwrap();
+                    let got = pool
+                        .call("sed/0", p.clone(), Duration::from_secs(5))
+                        .unwrap();
+                    assert_eq!(got, p, "caller {i} got someone else's reply");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Both calls shared one dialed connection and overlapped on it.
+        assert_eq!(pool.dials(), 1, "pipelining should not redial");
+        assert!(
+            pool.peak_inflight("sed/0") >= 2,
+            "expected >=2 in-flight on one connection, got {}",
+            pool.peak_inflight("sed/0")
+        );
+    }
+
+    #[test]
+    fn mux_timeout_keeps_connection_for_other_callers() {
+        use crate::profile::ProfileDesc;
+        // One request is swallowed (its caller times out), then the server
+        // echoes everything else. The surviving connection must still pair
+        // later replies correctly — no eviction, no desync.
         let hits = Arc::new(AtomicU64::new(0));
         let server_hits = hits.clone();
         let server = TcpServer::spawn("127.0.0.1:0", move |conn| {
@@ -726,86 +1174,50 @@ mod tests {
         let p = Profile::alloc(&d);
         let r = pool.call("sed/0", p.clone(), Duration::from_millis(60));
         assert!(matches!(r, Err(DietError::Timeout { .. })), "{r:?}");
-        // Second attempt uses a fresh connection and succeeds.
-        let ok = pool.call("sed/0", p.clone(), Duration::from_secs(2)).unwrap();
+        let ok = pool
+            .call("sed/0", p.clone(), Duration::from_secs(2))
+            .unwrap();
         assert_eq!(ok, p);
+        // The timed-out request did not cost the pooled connection.
+        assert_eq!(pool.dials(), 1);
     }
 
     #[test]
-    fn sed_pool_get_and_put_data_roundtrip() {
-        use crate::data::{DietValue, Persistence};
-        use crate::datamgr::DataManager;
-        // A miniature data server: PutData retains, GetData serves.
-        let dm = Arc::new(DataManager::new());
-        let server_dm = dm.clone();
-        let server = TcpServer::spawn("127.0.0.1:0", move |conn| {
-            while let Ok(m) = conn.recv() {
-                match m {
-                    Message::PutData { id, mode, value } => {
-                        server_dm.retain(&id, value, mode);
-                        let _ = conn.send(&Message::DataReply {
-                            id,
-                            result: Ok((DietValue::Null, mode)),
-                        });
-                    }
-                    Message::GetData { id } => {
-                        let result = server_dm
-                            .get_with_mode(&id)
-                            .map_err(|e| e.to_string());
-                        let _ = conn.send(&Message::DataReply { id, result });
-                    }
-                    _ => break,
-                }
-            }
-        })
-        .unwrap();
-        let pool = TcpSedPool::new();
-        pool.register("owner", server.local_addr);
-        let blob = DietValue::vec_f64(vec![1.5; 256]);
-        pool.put_data(
-            "owner",
-            "ic",
-            blob.clone(),
-            Persistence::Sticky,
-            Duration::from_secs(2),
-        )
-        .unwrap();
-        let (got, mode) = pool.get_data("owner", "ic", Duration::from_secs(2)).unwrap();
-        assert_eq!(got, blob);
-        assert_eq!(mode, Persistence::Sticky);
-        // A miss comes back as DataNotFound, not a transport error — the
-        // puller's cue to fall back to client re-shipping.
-        let miss = pool.get_data("owner", "nope", Duration::from_secs(2));
-        assert!(matches!(miss, Err(DietError::DataNotFound(_))), "{miss:?}");
-        // The resolver facade goes through the same path.
-        use crate::dagda::DataResolver;
-        let (again, _) = pool.fetch("owner", "ic").unwrap();
-        assert_eq!(again, blob);
-    }
-
-    #[test]
-    fn tcp_max_frame_applies_to_data_replies() {
-        // Mirror of `tcp_configured_max_frame_is_enforced` for the new data
-        // frames: an oversized DataReply is rejected by the length check.
-        let server = TcpServer::spawn("127.0.0.1:0", |conn| {
-            if let Ok(m) = conn.recv() {
-                let _ = conn.send(&m);
-            }
-        })
-        .unwrap();
-        let big = Message::DataReply {
-            id: "ic".into(),
-            result: Ok((
-                crate::data::DietValue::vec_f64(vec![0.25; 4096]),
-                crate::data::Persistence::Persistent,
-            )),
+    fn server_rejects_with_busy_when_admission_queue_full() {
+        // One worker occupied forever + a single queue slot: the third
+        // connection must be told Busy (request id 0) instead of hanging.
+        let cfg = ServerConfig {
+            workers: 1,
+            accept_queue: 1,
+            faults: None,
         };
-        let frame_len = encode_message(&big).len();
-        let client = TcpTransport::connect(server.local_addr)
-            .unwrap()
-            .with_max_frame(frame_len - 1);
-        client.send(&big).unwrap();
-        assert!(matches!(client.recv(), Err(DietError::Transport(_))));
+        let server = TcpServer::spawn_with_config("127.0.0.1:0", cfg, |conn| {
+            // Hold the worker until the connection dies.
+            while conn.recv().is_ok() {}
+        })
+        .unwrap();
+        let held = TcpTransport::connect(server.local_addr).unwrap();
+        // Let the worker dequeue `held` before the next connection arrives
+        // (on a single-CPU host the worker may otherwise not be scheduled
+        // until after the acceptor has processed every pending connect, in
+        // which case the Busy would land on `_queued` instead).
+        std::thread::sleep(Duration::from_millis(150));
+        let _queued = TcpTransport::connect(server.local_addr).unwrap();
+        // And let the acceptor park `_queued` in the admission queue.
+        std::thread::sleep(Duration::from_millis(150));
+        let rejected = TcpTransport::connect(server.local_addr).unwrap();
+        match rejected.recv_timeout(Duration::from_secs(2)) {
+            Ok(Some(Message::Busy { request_id: 0 })) => {}
+            other => panic!("expected Busy(0), got {other:?}"),
+        }
+        assert!(server.busy_rejections() >= 1);
+        drop(held);
+    }
+
+    #[test]
+    fn bind_with_retry_binds_ephemeral_port() {
+        let l = bind_with_retry("127.0.0.1:0", 3).unwrap();
+        assert_ne!(l.local_addr().unwrap().port(), 0);
     }
 
     #[test]

@@ -19,12 +19,14 @@ fn arb_value() -> impl Strategy<Value = DietValue> {
         prop::collection::vec(-1e12f64..1e12, 0..50).prop_map(DietValue::vec_f64),
         prop::collection::vec(any::<i32>(), 0..50).prop_map(DietValue::vec_i32),
         ".*".prop_map(DietValue::Str),
-        ("[a-z./_-]{0,40}", prop::collection::vec(any::<u8>(), 0..256)).prop_map(
-            |(name, data)| DietValue::File {
+        (
+            "[a-z./_-]{0,40}",
+            prop::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(name, data)| DietValue::File {
                 name,
                 data: Bytes::from(data),
-            }
-        ),
+            }),
         "[a-z0-9/_.-]{1,40}".prop_map(DietValue::data_ref),
     ]
 }
@@ -64,9 +66,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             service,
             request_id
         }),
-        (any::<u64>(), prop::option::of("[a-z/0-9]{1,20}")).prop_map(
-            |(request_id, server)| Message::SubmitReply { request_id, server }
-        ),
+        (any::<u64>(), prop::option::of("[a-z/0-9]{1,20}"))
+            .prop_map(|(request_id, server)| Message::SubmitReply { request_id, server }),
         (any::<u64>(), any::<u64>(), any::<u64>(), arb_profile()).prop_map(
             |(request_id, trace_id, parent_span, profile)| Message::Call {
                 request_id,
@@ -77,14 +78,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 profile
             }
         ),
-        (any::<u64>(), arb_finite_f64(), arb_finite_f64(), arb_profile()).prop_map(
-            |(request_id, queue_wait, solve, p)| Message::CallReply {
+        (
+            any::<u64>(),
+            arb_finite_f64(),
+            arb_finite_f64(),
+            arb_profile()
+        )
+            .prop_map(|(request_id, queue_wait, solve, p)| Message::CallReply {
                 request_id,
                 queue_wait,
                 solve,
                 result: Ok(p)
-            }
-        ),
+            }),
         (any::<u64>(), arb_finite_f64(), arb_finite_f64(), ".*").prop_map(
             |(request_id, queue_wait, solve, e)| Message::CallReply {
                 request_id,
@@ -98,20 +103,39 @@ fn arb_message() -> impl Strategy<Value = Message> {
         Just(Message::Shutdown),
         Just(Message::DumpMetrics),
         ".*".prop_map(|text| Message::MetricsReply { text }),
-        "[a-z0-9/_.-]{1,40}".prop_map(|id| Message::GetData { id }),
-        ("[a-z0-9/_.-]{1,40}", arb_value(), arb_persistence()).prop_map(|(id, v, mode)| {
-            Message::DataReply {
+        (any::<u64>(), "[a-z0-9/_.-]{1,40}")
+            .prop_map(|(request_id, id)| Message::GetData { request_id, id }),
+        (
+            any::<u64>(),
+            "[a-z0-9/_.-]{1,40}",
+            arb_value(),
+            arb_persistence()
+        )
+            .prop_map(|(request_id, id, v, mode)| Message::DataReply {
+                request_id,
                 id,
                 result: Ok((v, mode)),
+            },),
+        (any::<u64>(), "[a-z0-9/_.-]{1,40}", ".*").prop_map(|(request_id, id, e)| {
+            Message::DataReply {
+                request_id,
+                id,
+                result: Err(e),
             }
         }),
-        ("[a-z0-9/_.-]{1,40}", ".*").prop_map(|(id, e)| Message::DataReply {
-            id,
-            result: Err(e),
-        }),
-        ("[a-z0-9/_.-]{1,40}", arb_value(), arb_persistence()).prop_map(|(id, value, mode)| {
-            Message::PutData { id, mode, value }
-        }),
+        (
+            any::<u64>(),
+            "[a-z0-9/_.-]{1,40}",
+            arb_value(),
+            arb_persistence()
+        )
+            .prop_map(|(request_id, id, value, mode)| Message::PutData {
+                request_id,
+                id,
+                mode,
+                value,
+            },),
+        any::<u64>().prop_map(|request_id| Message::Busy { request_id }),
     ]
 }
 
@@ -166,6 +190,7 @@ proptest! {
         use diet_core::transport::{Duplex, TcpTransport};
         let mode = if sticky { Persistence::Sticky } else { Persistence::Persistent };
         let msg = Message::DataReply {
+            request_id: 9,
             id,
             result: Ok((DietValue::vec_f64(xs), mode)),
         };

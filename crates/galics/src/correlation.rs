@@ -119,7 +119,10 @@ mod tests {
         let est = xi(&pts, 0.05, 0.3, 5);
         for (r, v, c) in &est.bins {
             assert!(*c > 100, "bin at {r} underpopulated");
-            assert!(v.abs() < 0.1, "xi({r}) = {v} should be ~0 for Poisson points");
+            assert!(
+                v.abs() < 0.1,
+                "xi({r}) = {v} should be ~0 for Poisson points"
+            );
         }
     }
 

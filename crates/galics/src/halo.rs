@@ -292,8 +292,11 @@ mod tests {
     #[test]
     fn members_carry_particle_ids() {
         let cat = halo_maker(&snap_with_clumps(), &FofParams::default());
-        let all: std::collections::HashSet<u64> =
-            cat.halos.iter().flat_map(|h| h.members.iter().copied()).collect();
+        let all: std::collections::HashSet<u64> = cat
+            .halos
+            .iter()
+            .flat_map(|h| h.members.iter().copied())
+            .collect();
         assert_eq!(all.len(), 60);
         assert!(all.contains(&0) && all.contains(&59));
     }
@@ -318,7 +321,11 @@ mod tests {
     fn sigma_v_zero_for_comoving_halo() {
         // All members share one velocity → no dispersion.
         let cat = halo_maker(&snap_with_clumps(), &FofParams::default());
-        assert!(cat.halos[0].sigma_v < 1e-9, "sigma {}", cat.halos[0].sigma_v);
+        assert!(
+            cat.halos[0].sigma_v < 1e-9,
+            "sigma {}",
+            cat.halos[0].sigma_v
+        );
     }
 
     #[test]
@@ -342,7 +349,13 @@ mod tests {
             particles: p,
             units: Units::new(100.0, 0.71, 0.27),
         };
-        let cat = halo_maker(&snap, &FofParams { b: 0.5, min_members: 5 });
+        let cat = halo_maker(
+            &snap,
+            &FofParams {
+                b: 0.5,
+                min_members: 5,
+            },
+        );
         assert_eq!(cat.len(), 1);
         assert!(cat.halos[0].spin > 0.0);
         assert!(cat.halos[0].sigma_v > 0.0);

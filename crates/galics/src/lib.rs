@@ -36,10 +36,7 @@ pub fn run_pipeline(
     fof: &FofParams,
     sam: &SamParams,
 ) -> (Vec<HaloCatalog>, MergerTree, GalaxyCatalog) {
-    let catalogs: Vec<HaloCatalog> = snaps
-        .iter()
-        .map(|s| halo::halo_maker(s, fof))
-        .collect();
+    let catalogs: Vec<HaloCatalog> = snaps.iter().map(|s| halo::halo_maker(s, fof)).collect();
     let tree = tree::tree_maker(snaps, &catalogs);
     let galaxies = galaxy::galaxy_maker(&tree, sam);
     (catalogs, tree, galaxies)

@@ -99,7 +99,10 @@ pub enum Direction {
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_1d(data: &mut [Complex], dir: Direction) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -188,20 +191,18 @@ impl Grid3 {
             .for_each(|line| fft_1d(line, dir));
 
         // Pass 2: lines along y (stride n within each x-plane).
-        self.data
-            .par_chunks_exact_mut(n * n)
-            .for_each(|plane| {
-                let mut line = vec![Complex::ZERO; n];
-                for k in 0..n {
-                    for j in 0..n {
-                        line[j] = plane[j * n + k];
-                    }
-                    fft_1d(&mut line, dir);
-                    for j in 0..n {
-                        plane[j * n + k] = line[j];
-                    }
+        self.data.par_chunks_exact_mut(n * n).for_each(|plane| {
+            let mut line = vec![Complex::ZERO; n];
+            for k in 0..n {
+                for j in 0..n {
+                    line[j] = plane[j * n + k];
                 }
-            });
+                fft_1d(&mut line, dir);
+                for j in 0..n {
+                    plane[j * n + k] = line[j];
+                }
+            }
+        });
 
         // Pass 3: lines along x (stride n*n). Each (j, k) pair owns one y-z
         // column — a disjoint set of elements — so workers write through a

@@ -29,7 +29,10 @@ impl GaussianField {
     /// Mode amplitudes are drawn with the Box–Muller transform from the seed;
     /// the same `(seed, n, box_size)` triple always produces the same field.
     pub fn synthesize(spec: &PowerSpectrum, n: usize, box_size: f64, seed: u64) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "grid side must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "grid side must be a power of two >= 2"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let volume = box_size * box_size * box_size;
         let kf = 2.0 * std::f64::consts::PI / box_size; // fundamental mode

@@ -19,12 +19,7 @@ impl SpectrumEstimate {
         self.bins
             .iter()
             .filter(|(_, _, n)| *n > 0)
-            .min_by(|a, b| {
-                (a.0 - k)
-                    .abs()
-                    .partial_cmp(&(b.0 - k).abs())
-                    .unwrap()
-            })
+            .min_by(|a, b| (a.0 - k).abs().partial_cmp(&(b.0 - k).abs()).unwrap())
             .map(|(_, p, _)| *p)
     }
 }
@@ -163,8 +158,7 @@ mod tests {
             for j in 0..n {
                 for k in 0..n {
                     let x = i as f64 / n as f64;
-                    field[(i * n + j) * n + k] =
-                        (2.0 * std::f64::consts::PI * m as f64 * x).cos();
+                    field[(i * n + j) * n + k] = (2.0 * std::f64::consts::PI * m as f64 * x).cos();
                 }
             }
         }

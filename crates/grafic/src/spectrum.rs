@@ -68,8 +68,7 @@ impl CosmoParams {
     fn growth_unnorm(&self, a: f64) -> f64 {
         let om = self.omega_m_a(a);
         let ol = self.omega_l_a(a);
-        let g = 2.5 * om
-            / (om.powf(4.0 / 7.0) - ol + (1.0 + om / 2.0) * (1.0 + ol / 70.0));
+        let g = 2.5 * om / (om.powf(4.0 / 7.0) - ol + (1.0 + om / 2.0) * (1.0 + ol / 70.0));
         g * a
     }
 
@@ -94,8 +93,7 @@ fn transfer_eh98(k_h: f64, p: &CosmoParams) -> f64 {
     let alpha = 1.0 - 0.328 * (431.0 * om_h2).ln() * (p.omega_b / p.omega_m)
         + 0.38 * (22.3 * om_h2).ln() * (p.omega_b / p.omega_m).powi(2);
     let k = k_h * p.h; // 1/Mpc
-    let gamma_eff =
-        p.omega_m * p.h * (alpha + (1.0 - alpha) / (1.0 + (0.43 * k * s).powi(4)));
+    let gamma_eff = p.omega_m * p.h * (alpha + (1.0 - alpha) / (1.0 + (0.43 * k * s).powi(4)));
     let q = k_h * theta * theta / gamma_eff;
     let l0 = (2.0 * std::f64::consts::E + 1.8 * q).ln();
     let c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);

@@ -116,12 +116,7 @@ impl OarScheduler {
         }
         // Candidate start times: now, plus the end of every reservation.
         let mut candidates: Vec<SimTime> = vec![now];
-        candidates.extend(
-            self.granted
-                .iter()
-                .filter(|r| r.end > now)
-                .map(|r| r.end),
-        );
+        candidates.extend(self.granted.iter().filter(|r| r.end > now).map(|r| r.end));
         candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for t in candidates {
             if self.free_nodes(t, t + req.walltime) >= req.nodes {
@@ -183,10 +178,33 @@ mod tests {
         // other users holding 30 nodes — but not three. This is the
         // "reservation restrictions" of the paper's Lyon cluster.
         let mut oar = OarScheduler::new(56);
-        oar.submit(0.0, Request { nodes: 30, walltime: 1e5 }).unwrap();
-        let a = oar.submit(0.0, Request { nodes: 16, walltime: 1e5 }).unwrap();
+        oar.submit(
+            0.0,
+            Request {
+                nodes: 30,
+                walltime: 1e5,
+            },
+        )
+        .unwrap();
+        let a = oar
+            .submit(
+                0.0,
+                Request {
+                    nodes: 16,
+                    walltime: 1e5,
+                },
+            )
+            .unwrap();
         assert_eq!(a.start, 0.0);
-        let b = oar.submit(0.0, Request { nodes: 16, walltime: 1e5 }).unwrap();
+        let b = oar
+            .submit(
+                0.0,
+                Request {
+                    nodes: 16,
+                    walltime: 1e5,
+                },
+            )
+            .unwrap();
         // No room now: the second SeD is delayed to after the others end.
         assert!(b.start >= 1e5, "second SeD should queue: {b:?}");
     }
@@ -194,8 +212,23 @@ mod tests {
     #[test]
     fn queued_reservation_starts_at_first_gap() {
         let mut oar = OarScheduler::new(16);
-        oar.submit(0.0, Request { nodes: 16, walltime: 100.0 }).unwrap();
-        let r = oar.submit(10.0, Request { nodes: 8, walltime: 50.0 }).unwrap();
+        oar.submit(
+            0.0,
+            Request {
+                nodes: 16,
+                walltime: 100.0,
+            },
+        )
+        .unwrap();
+        let r = oar
+            .submit(
+                10.0,
+                Request {
+                    nodes: 8,
+                    walltime: 50.0,
+                },
+            )
+            .unwrap();
         assert_eq!(r.start, 100.0);
         assert_eq!(r.end, 150.0);
     }
@@ -204,15 +237,33 @@ mod tests {
     fn oversized_and_invalid_rejected() {
         let mut oar = OarScheduler::new(8);
         assert!(matches!(
-            oar.submit(0.0, Request { nodes: 9, walltime: 1.0 }),
+            oar.submit(
+                0.0,
+                Request {
+                    nodes: 9,
+                    walltime: 1.0
+                }
+            ),
             Err(OarError::TooLarge { .. })
         ));
         assert!(matches!(
-            oar.submit(0.0, Request { nodes: 0, walltime: 1.0 }),
+            oar.submit(
+                0.0,
+                Request {
+                    nodes: 0,
+                    walltime: 1.0
+                }
+            ),
             Err(OarError::Invalid)
         ));
         assert!(matches!(
-            oar.submit(0.0, Request { nodes: 1, walltime: 0.0 }),
+            oar.submit(
+                0.0,
+                Request {
+                    nodes: 1,
+                    walltime: 0.0
+                }
+            ),
             Err(OarError::Invalid)
         ));
     }
@@ -220,9 +271,25 @@ mod tests {
     #[test]
     fn early_release_frees_nodes() {
         let mut oar = OarScheduler::new(16);
-        let r = oar.submit(0.0, Request { nodes: 16, walltime: 1000.0 }).unwrap();
+        let r = oar
+            .submit(
+                0.0,
+                Request {
+                    nodes: 16,
+                    walltime: 1000.0,
+                },
+            )
+            .unwrap();
         assert!(oar.release(r.id, 100.0));
-        let r2 = oar.submit(100.0, Request { nodes: 16, walltime: 10.0 }).unwrap();
+        let r2 = oar
+            .submit(
+                100.0,
+                Request {
+                    nodes: 16,
+                    walltime: 10.0,
+                },
+            )
+            .unwrap();
         assert_eq!(r2.start, 100.0);
         assert!(!oar.release(999, 0.0));
     }

@@ -150,10 +150,7 @@ mod tests {
         // One LA per cluster with at least one SeD.
         let las = plan.local_agents(&g);
         assert_eq!(las.len(), 6);
-        let sagittaire = las
-            .iter()
-            .find(|(n, _)| n == "lyon-sagittaire")
-            .unwrap();
+        let sagittaire = las.iter().find(|(n, _)| n == "lyon-sagittaire").unwrap();
         assert_eq!(sagittaire.1.len(), 1);
     }
 

@@ -178,7 +178,10 @@ impl Grid5000 {
         let mut out = Vec::new();
         for (ci, c) in self.clusters.iter().enumerate() {
             for s in 0..c.seds {
-                out.push(SedId { cluster: ci, sed: s });
+                out.push(SedId {
+                    cluster: ci,
+                    sed: s,
+                });
             }
         }
         out

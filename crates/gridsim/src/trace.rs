@@ -174,7 +174,11 @@ impl Gantt {
             let c0 = (((e.start - t0) / makespan) * width as f64) as usize;
             let c1 = ((((e.end - t0) / makespan) * width as f64) as usize).min(width);
             let glyph = char::from(b'a' + (e.request % 26) as u8);
-            for cell in row.iter_mut().take(c1).skip(c0.min(width.saturating_sub(1))) {
+            for cell in row
+                .iter_mut()
+                .take(c1)
+                .skip(c0.min(width.saturating_sub(1)))
+            {
                 *cell = glyph;
             }
         }

@@ -120,8 +120,7 @@ impl Octree {
         let mut stack = frontier;
         while let Some(id) = stack.pop() {
             let node = &tree.nodes[id];
-            if node.level < params.max_level
-                && node.particles.len() > params.max_particles_per_cell
+            if node.level < params.max_level && node.particles.len() > params.max_particles_per_cell
             {
                 tree.refine(id, parts);
                 stack.extend_from_slice(&tree.nodes[id].children.unwrap());
@@ -229,7 +228,11 @@ impl Octree {
         let n_at = |lvl: u32| 1u64 << lvl;
         for axis in 0..3 {
             for dir in [-1i64, 1i64] {
-                let mut nb = [node.coord[0] as i64, node.coord[1] as i64, node.coord[2] as i64];
+                let mut nb = [
+                    node.coord[0] as i64,
+                    node.coord[1] as i64,
+                    node.coord[2] as i64,
+                ];
                 nb[axis] += dir;
                 let n = n_at(node.level) as i64;
                 let nbw = [
@@ -258,9 +261,7 @@ impl Octree {
                         // Deeper leaves also violate; approximate by checking
                         // one extra level down on the same footprint corner.
                         let deep = [sub[0] * 2, sub[1] * 2, sub[2] * 2];
-                        if l2 < self.params.max_level
-                            && leaves.contains_key(&(l2 + 1, deep))
-                        {
+                        if l2 < self.params.max_level && leaves.contains_key(&(l2 + 1, deep)) {
                             return true;
                         }
                     }
@@ -290,10 +291,7 @@ impl Octree {
     /// by particle count. Returns, per domain, the list of leaf ids.
     pub fn decompose(&self, ndomain: usize) -> Vec<Vec<NodeId>> {
         let ordered = self.leaves_hilbert_order();
-        let total: usize = ordered
-            .iter()
-            .map(|&i| self.nodes[i].particles.len())
-            .sum();
+        let total: usize = ordered.iter().map(|&i| self.nodes[i].particles.len()).sum();
         let target = (total as f64 / ndomain as f64).max(1.0);
         let mut out = vec![Vec::new(); ndomain];
         let mut dom = 0usize;
@@ -450,8 +448,7 @@ mod tests {
         for node in &tree.nodes {
             if node.is_leaf() && node.level == deepest {
                 let c = node.center();
-                let d = ((c[0] - 0.3).powi(2) + (c[1] - 0.3).powi(2) + (c[2] - 0.3).powi(2))
-                    .sqrt();
+                let d = ((c[0] - 0.3).powi(2) + (c[1] - 0.3).powi(2) + (c[2] - 0.3).powi(2)).sqrt();
                 assert!(d < 0.1, "deep leaf far from clump at {c:?}");
             }
         }

@@ -57,7 +57,9 @@ impl PmGravity {
         // and the unit box has volume 1, so ⟨ρ⟩ = 1.
         let factor = cosmo.poisson_factor(a);
         let mut src = rho.clone();
-        src.data.par_iter_mut().for_each(|v| *v = factor * (*v - 1.0));
+        src.data
+            .par_iter_mut()
+            .for_each(|v| *v = factor * (*v - 1.0));
         let sol = solve(&src, &self.mg);
         let accel = gradient_force(&sol.phi);
         ForceField {

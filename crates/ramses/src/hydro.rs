@@ -146,9 +146,7 @@ pub fn riemann_flux(left: Prim, right: Prim, axis: usize, gamma: f64, solver: Ri
                 Cons {
                     rho: coef,
                     mom,
-                    e: coef
-                        * (u.e / w.rho
-                            + (s_star - un) * (s_star + w.p / (w.rho * (s - un)))),
+                    e: coef * (u.e / w.rho + (s_star - un) * (s_star + w.p / (w.rho * (s - un)))),
                 }
             };
 
@@ -275,23 +273,23 @@ impl HydroGrid {
     /// This is the operator-split coupling RAMSES uses between its Godunov
     /// and gravity solvers.
     pub fn apply_gravity(&mut self, accel: &[crate::particles::Mesh; 3], dt: f64) {
-        assert_eq!(accel[0].n, self.n, "acceleration mesh must match the gas mesh");
-        self.cells
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(ix, u)| {
-                let g = [accel[0].data[ix], accel[1].data[ix], accel[2].data[ix]];
-                // Kinetic-energy update uses the time-centred momentum for
-                // second-order accuracy: E += dt·(ρv + ρg dt/2)·g.
-                let mut e_src = 0.0;
-                #[allow(clippy::needless_range_loop)]
-                for d in 0..3 {
-                    let mom_mid = u.mom[d] + 0.5 * dt * u.rho * g[d];
-                    e_src += mom_mid * g[d];
-                    u.mom[d] += dt * u.rho * g[d];
-                }
-                u.e += dt * e_src;
-            });
+        assert_eq!(
+            accel[0].n, self.n,
+            "acceleration mesh must match the gas mesh"
+        );
+        self.cells.par_iter_mut().enumerate().for_each(|(ix, u)| {
+            let g = [accel[0].data[ix], accel[1].data[ix], accel[2].data[ix]];
+            // Kinetic-energy update uses the time-centred momentum for
+            // second-order accuracy: E += dt·(ρv + ρg dt/2)·g.
+            let mut e_src = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for d in 0..3 {
+                let mom_mid = u.mom[d] + 0.5 * dt * u.rho * g[d];
+                e_src += mom_mid * g[d];
+                u.mom[d] += dt * u.rho * g[d];
+            }
+            u.e += dt * e_src;
+        });
     }
 
     fn sweep(&mut self, axis: usize, dt: f64, solver: Riemann) {
@@ -301,11 +299,7 @@ impl HydroGrid {
         let gamma = self.gamma;
 
         // Gather primitive states.
-        let prim: Vec<Prim> = self
-            .cells
-            .par_iter()
-            .map(|c| c.to_prim(gamma))
-            .collect();
+        let prim: Vec<Prim> = self.cells.par_iter().map(|c| c.to_prim(gamma)).collect();
 
         let get = |i: i64, j: i64, k: i64| -> Prim {
             let n = n as i64;
@@ -398,25 +392,22 @@ impl HydroGrid {
             &faces[ix]
         };
         let mut new_cells = self.cells.clone();
-        new_cells
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(ix, u)| {
-                let (i, j, k) = (
-                    (ix / (n * n)) as i64,
-                    ((ix / n) % n) as i64,
-                    (ix % n) as i64,
-                );
-                let (ip, jp, kp) = match axis {
-                    0 => (i + 1, j, k),
-                    1 => (i, j + 1, k),
-                    _ => (i, j, k + 1),
-                };
-                let f_in = face_at(i, j, k);
-                let f_out = face_at(ip, jp, kp);
-                u.add_scaled(f_in, dtdx);
-                u.add_scaled(f_out, -dtdx);
-            });
+        new_cells.par_iter_mut().enumerate().for_each(|(ix, u)| {
+            let (i, j, k) = (
+                (ix / (n * n)) as i64,
+                ((ix / n) % n) as i64,
+                (ix % n) as i64,
+            );
+            let (ip, jp, kp) = match axis {
+                0 => (i + 1, j, k),
+                1 => (i, j + 1, k),
+                _ => (i, j, k + 1),
+            };
+            let f_in = face_at(i, j, k);
+            let f_out = face_at(ip, jp, kp);
+            u.add_scaled(f_in, dtdx);
+            u.add_scaled(f_out, -dtdx);
+        });
         self.cells = new_cells;
     }
 }
@@ -498,11 +489,7 @@ mod tests {
         // Random-ish smooth initial condition: conserved quantities must hold.
         let mut g = HydroGrid::from_fn(8, GAMMA_DEFAULT, |x| Prim {
             rho: 1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(),
-            vel: [
-                0.2 * (2.0 * std::f64::consts::PI * x[1]).cos(),
-                0.0,
-                -0.1,
-            ],
+            vel: [0.2 * (2.0 * std::f64::consts::PI * x[1]).cos(), 0.0, -0.1],
             p: 1.0 + 0.1 * (2.0 * std::f64::consts::PI * x[2]).sin(),
         });
         let m0 = g.total_mass();
@@ -530,13 +517,16 @@ mod tests {
         // but ordering of extreme densities is.
         let rho_max = prof.iter().map(|w| w.rho).fold(0.0f64, f64::max);
         let rho_min = prof.iter().map(|w| w.rho).fold(f64::INFINITY, f64::min);
-        assert!(rho_max <= 1.0 + 1e-6, "density exceeded left state: {rho_max}");
-        assert!(rho_min >= 0.125 - 1e-6, "density fell below right state: {rho_min}");
+        assert!(
+            rho_max <= 1.0 + 1e-6,
+            "density exceeded left state: {rho_max}"
+        );
+        assert!(
+            rho_min >= 0.125 - 1e-6,
+            "density fell below right state: {rho_min}"
+        );
         // A genuine intermediate plateau exists (contact ~0.26, shock ~0.27).
-        let mid = prof
-            .iter()
-            .filter(|w| w.rho > 0.2 && w.rho < 0.5)
-            .count();
+        let mid = prof.iter().filter(|w| w.rho > 0.2 && w.rho < 0.5).count();
         assert!(mid > 4, "no intermediate states found ({mid})");
         // Velocity is positive in the expansion region (flow to the right).
         let vmax = prof.iter().map(|w| w.vel[0]).fold(0.0f64, f64::max);

@@ -126,7 +126,10 @@ pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
             &f64s_record(snap.particles.vel.iter().map(|p| p[axis]), n),
         );
     }
-    put_record(&mut out, &f64s_record(snap.particles.mass.iter().copied(), n));
+    put_record(
+        &mut out,
+        &f64s_record(snap.particles.mass.iter().copied(), n),
+    );
     let mut ids = Vec::with_capacity(n * 8);
     for id in &snap.particles.id {
         ids.extend_from_slice(&id.to_le_bytes());

@@ -189,10 +189,13 @@ impl Simulation {
             .reduce(|| 0.0f64, f64::max);
         let acc = self.gravity.accelerations(&self.parts, &field);
 
-        let mut dt = self
-            .params
-            .steps
-            .dt(&self.parts, rho_max, &self.cosmo, self.a, self.params.mesh_n);
+        let mut dt = self.params.steps.dt(
+            &self.parts,
+            rho_max,
+            &self.cosmo,
+            self.a,
+            self.params.mesh_n,
+        );
         // Do not step past the end or past the next output time.
         let t_now = self.cosmo.t_of_a(self.a);
         let t_end = self.cosmo.t_of_a(self.params.a_end);
@@ -303,7 +306,11 @@ impl Simulation {
             }
         }
         // Final state snapshot if not already captured.
-        if snaps.last().map(|s| (s.a - self.a).abs() > 1e-9).unwrap_or(true) {
+        if snaps
+            .last()
+            .map(|s| (s.a - self.a).abs() > 1e-9)
+            .unwrap_or(true)
+        {
             snaps.push(self.snapshot());
         }
         snaps

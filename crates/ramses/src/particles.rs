@@ -221,10 +221,7 @@ pub fn cic_deposit(parts: &Particles, n: usize) -> Mesh {
 
 /// Trilinear (CIC) interpolation of a vector field, sampled per-axis from
 /// three scalar meshes, onto particle positions.
-pub fn cic_interp_force(
-    parts: &Particles,
-    force: &[Mesh; 3],
-) -> Vec<[f64; 3]> {
+pub fn cic_interp_force(parts: &Particles, force: &[Mesh; 3]) -> Vec<[f64; 3]> {
     let n = force[0].n;
     let nf = n as f64;
     parts
@@ -245,8 +242,8 @@ pub fn cic_interp_force(
                     for (dz, wz) in [(0usize, 1.0 - frac[2]), (1, frac[2])] {
                         let w = wx * wy * wz;
                         for axis in 0..3 {
-                            out[axis] += w
-                                * force[axis].get(base[0] + dx, base[1] + dy, base[2] + dz);
+                            out[axis] +=
+                                w * force[axis].get(base[0] + dx, base[1] + dy, base[2] + dz);
                         }
                     }
                 }

@@ -72,7 +72,10 @@ pub struct MgSolution {
 /// Solve ∇²φ = S on an `n³` periodic mesh with spacing `h = 1/n`.
 pub fn solve(source: &Mesh, cfg: &MgConfig) -> MgSolution {
     let n = source.n;
-    assert!(n.is_power_of_two() && n >= 4, "mesh side must be a power of two >= 4");
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "mesh side must be a power of two >= 4"
+    );
 
     // De-mean the source: periodic Poisson needs a zero-mean RHS.
     let mean = source.mean();
@@ -275,9 +278,8 @@ fn prolong_add(phi: &mut Mesh, coarse: &Mesh) {
                                 // SAFETY: coarse plane i maps to fine planes
                                 // 2i and 2i+1 — disjoint across workers.
                                 unsafe {
-                                    *out.ptr().add(
-                                        ((2 * i + di) * n + 2 * j + dj) * n + 2 * k + dk,
-                                    ) += e;
+                                    *out.ptr()
+                                        .add(((2 * i + di) * n + 2 * j + dj) * n + 2 * k + dk) += e;
                                 }
                             }
                         }

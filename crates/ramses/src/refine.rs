@@ -54,11 +54,7 @@ pub fn select_patch(rho: &Mesh, threshold: f64) -> Option<([usize; 3], usize)> {
         return None;
     }
     // Cubify with one-cell margin, clamp to the box (no wrapping patches).
-    let extent = (0..3)
-        .map(|d| hi[d] - lo[d] + 3)
-        .max()
-        .unwrap()
-        .min(n / 2);
+    let extent = (0..3).map(|d| hi[d] - lo[d] + 3).max().unwrap().min(n / 2);
     let corner = [
         lo[0].saturating_sub(1).min(n - extent),
         lo[1].saturating_sub(1).min(n - extent),
@@ -116,11 +112,7 @@ impl RefinedPatch {
             }
             // NGP on the fine grid (CIC would need ghost exchanges; NGP keeps
             // the patch self-contained and is adequate for a 2× correction).
-            let ix = idx(
-                f[0] as usize + 1,
-                f[1] as usize + 1,
-                f[2] as usize + 1,
-            );
+            let ix = idx(f[0] as usize + 1, f[1] as usize + 1, f[2] as usize + 1);
             rho[ix] += parts.mass[p] / cell_vol;
         }
 
@@ -163,11 +155,7 @@ impl RefinedPatch {
                     let x = origin[0] + (i as f64 - 0.5) * fine_h;
                     let y = origin[1] + (j as f64 - 0.5) * fine_h;
                     let z = origin[2] + (k as f64 - 0.5) * fine_h;
-                    let v = interp(
-                        x.rem_euclid(1.0),
-                        y.rem_euclid(1.0),
-                        z.rem_euclid(1.0),
-                    );
+                    let v = interp(x.rem_euclid(1.0), y.rem_euclid(1.0), z.rem_euclid(1.0));
                     if on_boundary {
                         phi[idx(i, j, k)] = v;
                     } else {
@@ -311,7 +299,10 @@ mod tests {
         let (corner, extent) = select_patch(&rho, 10.0).expect("clump not found");
         // The clump sits at cell ~8 of 16.
         for d in 0..3 {
-            assert!(corner[d] <= 8 && corner[d] + extent >= 8, "bad patch {corner:?}+{extent}");
+            assert!(
+                corner[d] <= 8 && corner[d] + extent >= 8,
+                "bad patch {corner:?}+{extent}"
+            );
         }
         assert!(extent <= 8);
     }
@@ -356,7 +347,10 @@ mod tests {
         let probe = [0.5 + 1.5 / 32.0, 0.5, 0.5];
         if let Some(acc) = patch.accel(probe) {
             // Pull towards the clump (−x direction from the probe).
-            assert!(acc[0] < 0.0, "refined force should point at the clump: {acc:?}");
+            assert!(
+                acc[0] < 0.0,
+                "refined force should point at the clump: {acc:?}"
+            );
             // Transverse components comparatively small.
             assert!(acc[1].abs() < acc[0].abs());
             assert!(acc[2].abs() < acc[0].abs());
@@ -403,7 +397,11 @@ mod tests {
             &MgConfig::default(),
         );
         // The potential must be finite everywhere and match coarse scale.
-        let max_phi = patch.phi.iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        let max_phi = patch
+            .phi
+            .iter()
+            .cloned()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         let max_coarse = field
             .phi
             .data
@@ -413,6 +411,9 @@ mod tests {
         assert!(max_phi.is_finite());
         // Fine potential deepens near the clump but stays within an order of
         // magnitude of the coarse one.
-        assert!(max_phi < 20.0 * max_coarse + 1e-12, "{max_phi} vs {max_coarse}");
+        assert!(
+            max_phi < 20.0 * max_coarse + 1e-12,
+            "{max_phi} vs {max_coarse}"
+        );
     }
 }

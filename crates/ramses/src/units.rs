@@ -38,8 +38,7 @@ impl Units {
 
     /// Mass: code (fraction of box matter mass) → M☉/h.
     pub fn mass_msun_h(&self, m_code: f64) -> f64 {
-        let box_mass =
-            self.omega_m * RHO_CRIT_MSUN_H2_MPC3 * self.box_mpc_h.powi(3);
+        let box_mass = self.omega_m * RHO_CRIT_MSUN_H2_MPC3 * self.box_mpc_h.powi(3);
         m_code * box_mass
     }
 

@@ -22,17 +22,10 @@ fn arb_prim() -> impl Strategy<Value = Prim> {
 /// A smooth random field: a handful of Fourier modes with bounded amplitude
 /// so the initial state is positive everywhere.
 fn arb_smooth_grid() -> impl Strategy<Value = HydroGrid> {
-    (
-        0.1f64..0.45,
-        0.1f64..0.45,
-        1u64..4,
-        1u64..4,
-        0.2f64..2.0,
-    )
-        .prop_map(|(arho, ap, mx, my, p0)| {
+    (0.1f64..0.45, 0.1f64..0.45, 1u64..4, 1u64..4, 0.2f64..2.0).prop_map(
+        |(arho, ap, mx, my, p0)| {
             HydroGrid::from_fn(8, GAMMA_DEFAULT, |x| Prim {
-                rho: 1.0
-                    + arho * (2.0 * std::f64::consts::PI * mx as f64 * x[0]).sin(),
+                rho: 1.0 + arho * (2.0 * std::f64::consts::PI * mx as f64 * x[0]).sin(),
                 vel: [
                     0.3 * (2.0 * std::f64::consts::PI * my as f64 * x[1]).cos(),
                     -0.2,
@@ -40,7 +33,8 @@ fn arb_smooth_grid() -> impl Strategy<Value = HydroGrid> {
                 ],
                 p: p0 * (1.0 + ap * (2.0 * std::f64::consts::PI * x[2]).sin()),
             })
-        })
+        },
+    )
 }
 
 proptest! {

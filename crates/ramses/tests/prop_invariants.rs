@@ -10,7 +10,13 @@ use ramses::units::Units;
 
 fn arb_particles(max_n: usize) -> impl Strategy<Value = Particles> {
     prop::collection::vec(
-        ((0.0f64..1.0), (0.0f64..1.0), (0.0f64..1.0), (-2.0f64..2.0), (1e-6f64..1.0)),
+        (
+            (0.0f64..1.0),
+            (0.0f64..1.0),
+            (0.0f64..1.0),
+            (-2.0f64..2.0),
+            (1e-6f64..1.0),
+        ),
         1..max_n,
     )
     .prop_map(|rows| {

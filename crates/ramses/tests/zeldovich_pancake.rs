@@ -53,8 +53,8 @@ fn pancake_tracks_analytic_solution_before_shell_crossing() {
     let a_c = 1.0;
     let a_end = 0.5;
     let n = 32; // particles along x
-    // Transverse sampling must match the mesh: sparser sampling turns the
-    // planes into rod lattices whose self-structure biases the plane force.
+                // Transverse sampling must match the mesh: sparser sampling turns the
+                // planes into rod lattices whose self-structure biases the plane force.
     let ny = 32;
 
     // Build the plane-wave load exactly on the analytic solution at a_i.
@@ -160,7 +160,11 @@ fn pancake_plane_symmetry_is_preserved() {
         for j in 0..ny {
             for k in 0..ny {
                 parts.push(
-                    [x, (j as f64 + 0.5) / ny as f64, (k as f64 + 0.5) / ny as f64],
+                    [
+                        x,
+                        (j as f64 + 0.5) / ny as f64,
+                        (k as f64 + 0.5) / ny as f64,
+                    ],
                     [p, 0.0, 0.0],
                     1.0 / (n * ny * ny) as f64,
                     id,

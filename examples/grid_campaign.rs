@@ -21,10 +21,7 @@ fn main() {
         fmt_hms(r.part2_mean_s)
     );
     println!("  campaign makespan : 16h18m43s -> {}", fmt_hms(r.makespan));
-    println!(
-        "  sequential (1 SeD): >141h -> {}",
-        fmt_hms(r.sequential_s)
-    );
+    println!("  sequential (1 SeD): >141h -> {}", fmt_hms(r.sequential_s));
     println!("  speedup           : ~8.6x -> {:.1}x", r.speedup());
     println!(
         "  finding time mean : 49.8ms -> {:.1}ms",
@@ -46,7 +43,10 @@ fn main() {
     }
 
     println!("\n== figure 5: finding time and latency (samples) ==");
-    println!("  {:>7} {:>14} {:>14}", "request", "finding (ms)", "latency (s)");
+    println!(
+        "  {:>7} {:>14} {:>14}",
+        "request", "finding (ms)", "latency (s)"
+    );
     for idx in [1usize, 5, 11, 12, 25, 50, 75, 100] {
         let (req, f) = r.finding[idx.min(r.finding.len() - 1)];
         let lat = r

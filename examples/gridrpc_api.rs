@@ -40,7 +40,10 @@ fn main() {
     let config = "# client.cfg\nMAName = MA-cosmo\ntraceLevel = 1\n";
     let session = grpc_initialize(config, &names).expect("grpc_initialize");
     let mut handle = session.function_handle_default("ramsesZoom1");
-    println!("\nfunction handle for {:?} created (unbound)", handle.service);
+    println!(
+        "\nfunction handle for {:?} created (unbound)",
+        handle.service
+    );
 
     // --- async calls + wait_all --------------------------------------------
     let mut nl = default_run_namelist(8, 50.0);

@@ -55,7 +55,11 @@ fn main() {
 
     let (name, tar) = result.get_file(2).expect("result tarball");
     let entries = archive::unpack(&tar.clone()).expect("valid tar");
-    println!("received {name}: {} bytes, {} entries", tar.len(), entries.len());
+    println!(
+        "received {name}: {} bytes, {} entries",
+        tar.len(),
+        entries.len()
+    );
     let catalog = archive::find(&entries, "halos/catalog.txt").expect("halo catalog");
     let text = String::from_utf8_lossy(&catalog.data);
     let n_halos = text.lines().count().saturating_sub(1);

@@ -26,7 +26,10 @@ fn main() {
     for solver in [Riemann::Hll, Riemann::Hllc] {
         let prof = sod_profile(n, t_end, solver);
         println!("== {:?} ==", solver);
-        println!("{:>6} {:>9} {:>9} {:>9}  density profile", "x", "rho", "u", "p");
+        println!(
+            "{:>6} {:>9} {:>9} {:>9}  density profile",
+            "x", "rho", "u", "p"
+        );
         let rho: Vec<f64> = prof.iter().map(|w| w.rho).collect();
         let bars = render(&rho, 0.0, 1.05, 30);
         for i in (0..n / 2).step_by(4) {
@@ -45,10 +48,7 @@ fn main() {
         // Wave-structure sanity summary.
         let rho_min = rho.iter().cloned().fold(f64::INFINITY, f64::min);
         let u_max = prof.iter().map(|w| w.vel[0]).fold(0.0f64, f64::max);
-        let plateau = prof
-            .iter()
-            .filter(|w| (w.rho - 0.265).abs() < 0.05)
-            .count();
+        let plateau = prof.iter().filter(|w| (w.rho - 0.265).abs() < 0.05).count();
         println!(
             "\n  bounds: rho in [{:.3}, {:.3}], max u = {:.3} (exact contact/shock\n  \
              plateau rho* = 0.265, u* = 0.927); cells on the plateau: {plateau}\n",

@@ -73,9 +73,7 @@ fn main() {
     // the halo catalog."
     let mut handles = Vec::new();
     for (rank, (mass, center)) in halos.iter().take(3).enumerate() {
-        println!(
-            "  zoom {rank}: halo mass {mass:.2e} M_sun/h at {center:?} (% of box), 2 levels"
-        );
+        println!("  zoom {rank}: halo mass {mass:.2e} M_sun/h at {center:?} (% of box), 2 levels");
         let p = zoom2_profile(&namelist, 8, 50, *center, 2);
         let h = client.async_call(p).expect("zoom2 submit failed");
         println!("    -> mapped to {}", h.server());

@@ -72,7 +72,7 @@ fn header_for(name: &str, size: u64) -> Result<[u8; BLOCK], TarError> {
     h[156] = b'0'; // typeflag: regular file
     h[257..263].copy_from_slice(b"ustar\0"); // magic
     h[263..265].copy_from_slice(b"00"); // version
-    // checksum: computed with the checksum field filled with spaces
+                                        // checksum: computed with the checksum field filled with spaces
     h[148..156].copy_from_slice(b"        ");
     let sum: u64 = h.iter().map(|&b| b as u64).sum();
     let s = format!("{sum:06o}\0 ");
@@ -126,7 +126,13 @@ pub fn unpack(data: &Bytes) -> Result<Vec<Entry>, TarError> {
         let computed: u64 = h
             .iter()
             .enumerate()
-            .map(|(i, &b)| if (148..156).contains(&i) { 32 } else { b as u64 })
+            .map(|(i, &b)| {
+                if (148..156).contains(&i) {
+                    32
+                } else {
+                    b as u64
+                }
+            })
             .sum();
         if stored != computed {
             return Err(TarError::BadChecksum { name });

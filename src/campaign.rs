@@ -167,8 +167,13 @@ fn submit(eng: &mut Engine<State>, st: &mut State, request: u32, kind: TaskKind)
     let f_start = now.max(st.ma_avail);
     let f_dur = st.finding_time(request);
     st.ma_avail = f_start + f_dur;
-    st.gantt
-        .record(request, "agents", TraceKind::Finding, f_start, f_start + f_dur);
+    st.gantt.record(
+        request,
+        "agents",
+        TraceKind::Finding,
+        f_start,
+        f_start + f_dur,
+    );
 
     // Scheduling decision happens at the end of finding, over current state
     // (dead SeDs are invisible, as in the live agent's estimate probing).
@@ -212,7 +217,9 @@ fn enqueue(
         return;
     }
     let dur = dur_of(st, sed, kind);
-    st.seds[sed].queue.push_back((request, eng.now(), dur, kind));
+    st.seds[sed]
+        .queue
+        .push_back((request, eng.now(), dur, kind));
     maybe_start(eng, st, sed, spec);
 }
 
@@ -272,7 +279,11 @@ fn complete(
         .count()
         .max(1);
     let nfs_time = st.nfs[cluster]
-        .write(&format!("req{request}_results.tar"), spec.output_bytes, writers)
+        .write(
+            &format!("req{request}_results.tar"),
+            spec.output_bytes,
+            writers,
+        )
         .unwrap_or(0.0);
     let site = st.seds[sed].site.clone();
     let route = st.topology.route(&site, &st.cfg.client_site);
@@ -434,17 +445,9 @@ pub fn run_campaign_on(cfg: CampaignConfig, platform: &Grid5000) -> CampaignResu
                 // at the failure instant and mark it aborted.
                 let label = st.seds[sed].label.clone();
                 let now = eng.now();
-                if let Some(ev) = st
-                    .gantt
-                    .events
-                    .iter_mut()
-                    .rev()
-                    .find(|e| {
-                        e.kind == TraceKind::Execution
-                            && e.resource == label
-                            && e.request == running.0
-                    })
-                {
+                if let Some(ev) = st.gantt.events.iter_mut().rev().find(|e| {
+                    e.kind == TraceKind::Execution && e.resource == label && e.request == running.0
+                }) {
                     ev.kind = TraceKind::Aborted;
                     ev.end = ev.end.min(now);
                 }
@@ -594,8 +597,8 @@ mod tests {
 
     #[test]
     fn gantt_from_spans_maps_phases_and_rebases_time() {
-        let span = |trace_id: u64, name: &'static str, resource: &str, start_ns, end_ns| {
-            obs::SpanRecord {
+        let span =
+            |trace_id: u64, name: &'static str, resource: &str, start_ns, end_ns| obs::SpanRecord {
                 trace_id,
                 span_id: 0,
                 parent: 0,
@@ -603,8 +606,7 @@ mod tests {
                 resource: resource.to_string(),
                 start_ns,
                 end_ns,
-            }
-        };
+            };
         let spans = vec![
             span(7, "Finding", "agents", 1_000_000_000, 1_100_000_000),
             span(7, "Execution", "sed/0", 1_100_000_000, 3_100_000_000),

@@ -89,6 +89,9 @@ mod tests {
         let plan = plan_deployment(&platform, 2, 16, 3600.0, &bg, 0.0);
         assert_eq!(plan.total_seds(), 0);
         let spec = spec_from_plan(&plan, &platform);
-        assert!(spec.validate().is_err(), "a SeD-less spec must not validate");
+        assert!(
+            spec.validate().is_err(),
+            "a SeD-less spec must not validate"
+        );
     }
 }

@@ -34,12 +34,25 @@ pub struct Namelist {
 /// Parse errors with line context.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NamelistError {
-    EntryOutsideGroup { line: usize },
+    EntryOutsideGroup {
+        line: usize,
+    },
     UnterminatedGroup(String),
-    NestedGroup { line: usize },
-    MissingKey { line: usize },
-    MissingValue { group: String, key: String },
-    BadValue { group: String, key: String, want: &'static str },
+    NestedGroup {
+        line: usize,
+    },
+    MissingKey {
+        line: usize,
+    },
+    MissingValue {
+        group: String,
+        key: String,
+    },
+    BadValue {
+        group: String,
+        key: String,
+        want: &'static str,
+    },
 }
 
 impl fmt::Display for NamelistError {
@@ -208,7 +221,11 @@ pub fn default_run_namelist(resolution: i64, box_mpc_h: f64) -> Namelist {
     nl.set("RUN_PARAMS", "pic", ".true.");
     nl.set("RUN_PARAMS", "poisson", ".true.");
     nl.set("AMR_PARAMS", "levelmin", (resolution as f64).log2() as i64);
-    nl.set("AMR_PARAMS", "levelmax", (resolution as f64).log2() as i64 + 6);
+    nl.set(
+        "AMR_PARAMS",
+        "levelmax",
+        (resolution as f64).log2() as i64 + 6,
+    );
     nl.set("AMR_PARAMS", "boxlen", box_mpc_h);
     nl.set("INIT_PARAMS", "aexp_ini", 0.1);
     nl.set("OUTPUT_PARAMS", "aout", "0.3, 0.5, 1.0");

@@ -69,7 +69,10 @@ fn parse_run(nl_text: &str, resolution: i32) -> Result<(RunParams, f64), i32> {
             // so mesh cost multiplies into every gravity step.
             mesh_n: (4 * resolution as usize).min(if with_gas { 16 } else { 32 }),
             a_end,
-            aout: aout.into_iter().filter(|&a| a > a_init && a < 1.0).collect(),
+            aout: aout
+                .into_iter()
+                .filter(|&a| a > a_init && a < 1.0)
+                .collect(),
             amr: AmrParams::default(),
             steps: StepControl::default(),
             max_steps: 400,
@@ -92,8 +95,7 @@ fn service_fof() -> FofParams {
 }
 
 fn halo_catalog_text(cat: &galics::HaloCatalog) -> String {
-    let mut s =
-        String::from("# id npart mass_msun x y z vx vy vz radius sigma_v spin\n");
+    let mut s = String::from("# id npart mass_msun x y z vx vy vz radius sigma_v spin\n");
     for h in &cat.halos {
         s.push_str(&format!(
             "{} {} {:.6e} {:.6} {:.6} {:.6} {:.4} {:.4} {:.4} {:.6} {:.4} {:.4}\n",
@@ -282,8 +284,8 @@ pub fn solve_ramses_zoom2(p: &mut Profile) -> Result<i32, diet_core::DietError> 
         data: ramses::io::encode_snapshot(snaps.last().unwrap()),
     });
 
-    let tar = archive::pack(&entries)
-        .map_err(|e| diet_core::DietError::Rejected(format!("tar: {e}")))?;
+    let tar =
+        archive::pack(&entries).map_err(|e| diet_core::DietError::Rejected(format!("tar: {e}")))?;
     p.set(
         7,
         DietValue::File {
@@ -416,12 +418,8 @@ pub fn zoom2_profile_ref(
 ) -> Profile {
     let d = ramses_zoom2_desc();
     let mut p = Profile::alloc(&d);
-    p.set(
-        0,
-        DietValue::data_ref(namelist_id),
-        Persistence::Persistent,
-    )
-    .unwrap();
+    p.set(0, DietValue::data_ref(namelist_id), Persistence::Persistent)
+        .unwrap();
     let scalars = [
         (1, resolution),
         (2, size_mpc_h),
@@ -449,7 +447,29 @@ pub fn namelist_value(namelist: &Namelist) -> DietValue {
 /// Expose a live SeD over TCP — the serving half of the CORBA role in the
 /// original DIET. Each accepted connection streams `Call`/`CallReply` frames
 /// and answers `Ping` with `Pong` so remote heartbeat monitors can probe the
-/// node.
+/// node. Uses [`ServerConfig::default`] pool sizing; see
+/// [`serve_sed_over_tcp_with_config`].
+pub fn serve_sed_over_tcp(
+    sed: Arc<diet_core::sed::SedHandle>,
+) -> Result<diet_core::transport::TcpServer, diet_core::DietError> {
+    serve_sed_over_tcp_with_config(sed, diet_core::transport::ServerConfig::default())
+}
+
+/// [`serve_sed_over_tcp`] with explicit worker-pool sizing and fault hooks.
+///
+/// The serving loop is **pipelined**: a `Call` frame is admitted into the
+/// SeD's solve queue and the loop immediately goes back to reading, so one
+/// multiplexed connection carries many in-flight requests. Each completed
+/// solve is shipped back by a per-request completion waiter, correlated by
+/// the request id it echoes (replies may overtake each other — that is the
+/// point). Data and control frames (`GetData`/`PutData`/`Ping`/
+/// `DumpMetrics`) are cheap and stay inline on the read loop.
+///
+/// Admission control: when the SeD's `admission_limit` is reached (or the
+/// fault plan forces it), a `Call` is answered with [`Message::Busy`]
+/// echoing its id instead of queueing without bound — the client backs off
+/// and resubmits; the MA meanwhile sees the saturation in `Estimate` and
+/// routes around it.
 ///
 /// Failure semantics, chosen so clients can tell application errors from
 /// crashes:
@@ -457,53 +477,54 @@ pub fn namelist_value(namelist: &Namelist) -> DietValue {
 /// * Submission rejections and solve errors travel back as `CallReply` with
 ///   an `Err` string — the request *was* handled, it just failed, so the
 ///   client must not silently resubmit it.
-/// * If the SeD worker dies mid-call the connection is dropped **without** a
+/// * If the SeD worker dies mid-call the connection is severed **without** a
 ///   reply: the client observes a transport error, which the retry layer
 ///   treats as retryable and resubmits through the Master Agent.
 /// * Reply frames that cannot be delivered (client gone, socket reset) are
 ///   recorded on the SeD's load tracker via
 ///   [`diet_core::sed::SedHandle::note_reply_failure`] instead of being
 ///   swallowed.
-pub fn serve_sed_over_tcp(
+pub fn serve_sed_over_tcp_with_config(
     sed: Arc<diet_core::sed::SedHandle>,
+    cfg: diet_core::transport::ServerConfig,
 ) -> Result<diet_core::transport::TcpServer, diet_core::DietError> {
     use diet_core::codec::Message;
     use diet_core::transport::Duplex;
 
-    diet_core::transport::TcpServer::spawn("127.0.0.1:0", move |conn| {
-        while let Ok(msg) = conn.recv() {
-            match msg {
-                Message::Call {
-                    request_id,
-                    ctx,
-                    profile,
-                } => {
-                    let reply = match sed.submit_traced(profile, ctx) {
-                        Ok(rx) => match rx.recv() {
-                            Ok(outcome) => Message::CallReply {
-                                request_id,
-                                queue_wait: outcome.queue_wait,
-                                solve: outcome.solve_time,
-                                result: outcome.result.map_err(|e| e.to_string()),
-                            },
-                            // Worker crashed while holding the request: the
-                            // reply can never come. Sever the connection so
-                            // the client sees a transport fault and retries
-                            // elsewhere, and count the undeliverable reply.
-                            Err(_) => {
-                                sed.note_reply_failure();
-                                // Breaking severs the connection (TcpServer
-                                // shuts the socket down when the handler
-                                // returns), so the client sees EOF at once.
-                                break;
-                            }
-                        },
-                        Err(e) => Message::CallReply {
+    diet_core::transport::TcpServer::spawn_with_config("127.0.0.1:0", cfg, move |conn| {
+        let conn = Arc::new(conn);
+        // One reply pump per connection ships completed solves back to the
+        // client. The SeD worker drains its queue in FIFO order, so waiting
+        // on completion receivers in submission order never stalls a ready
+        // reply; a single persistent thread replaces a thread-spawn per
+        // request on the hot path.
+        type PumpItem = (
+            u64,
+            obs::TraceCtx,
+            crossbeam::channel::Receiver<diet_core::sed::SolveOutcome>,
+        );
+        let (pump_tx, pump_rx) = std::sync::mpsc::channel::<PumpItem>();
+        let pump = {
+            let conn = conn.clone();
+            let sed = sed.clone();
+            std::thread::spawn(move || {
+                while let Ok((request_id, ctx, rx)) = pump_rx.recv() {
+                    let reply = match rx.recv() {
+                        Ok(outcome) => Message::CallReply {
                             request_id,
-                            queue_wait: 0.0,
-                            solve: 0.0,
-                            result: Err(e.to_string()),
+                            queue_wait: outcome.queue_wait,
+                            solve: outcome.solve_time,
+                            result: outcome.result.map_err(|e| e.to_string()),
                         },
+                        // Worker crashed while holding the request: the
+                        // reply can never come. Sever the connection so
+                        // every caller on it sees a transport fault and
+                        // retries elsewhere.
+                        Err(_) => {
+                            sed.note_reply_failure();
+                            conn.shutdown();
+                            return;
+                        }
                     };
                     // The reply frame *is* the result-return phase: span it
                     // so the trace covers the wire time back to the client.
@@ -521,33 +542,105 @@ pub fn serve_sed_over_tcp(
                         );
                     }
                     if sent.is_err() {
+                        // Client gone: record it and stop pumping — the
+                        // read loop will notice the dead socket too.
                         sed.note_reply_failure();
-                        break;
+                        conn.shutdown();
+                        return;
+                    }
+                }
+            })
+        };
+        while let Ok(msg) = conn.recv() {
+            match msg {
+                Message::Call {
+                    request_id,
+                    ctx,
+                    profile,
+                } => {
+                    // Admission control: a full queue answers Busy (echoing
+                    // the id so the mux client wakes exactly this caller)
+                    // instead of queueing without bound. The fault plan can
+                    // force it to simulate overload.
+                    if sed.faults().force_busy() || !sed.admits() {
+                        sed.obs().metrics.counter("diet_sed_busy_total").inc();
+                        if conn.send(&Message::Busy { request_id }).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    match sed.submit_traced(profile, ctx) {
+                        Ok(rx) => {
+                            // Pipelining: hand the completion to the reply
+                            // pump and keep reading. The pump owns the
+                            // reply leg; the transport's write lock keeps
+                            // its frames whole against the inline
+                            // Busy/error replies below.
+                            if pump_tx.send((request_id, ctx, rx)).is_err() {
+                                // Pump exited (worker crash or dead
+                                // socket): the connection is being severed.
+                                break;
+                            }
+                        }
+                        // A submit failure that is itself a transport fault
+                        // means the SeD worker is gone — a crash, not an
+                        // application rejection. Sever without replying so
+                        // every caller resubmits through the MA instead of
+                        // treating "SeD is down" as a final rejection.
+                        Err(diet_core::DietError::Transport(_)) => {
+                            sed.note_reply_failure();
+                            conn.shutdown();
+                            break;
+                        }
+                        Err(e) => {
+                            let reply = Message::CallReply {
+                                request_id,
+                                queue_wait: 0.0,
+                                solve: 0.0,
+                                result: Err(e.to_string()),
+                            };
+                            if conn.send(&reply).is_err() {
+                                sed.note_reply_failure();
+                                break;
+                            }
+                        }
                     }
                 }
                 // DAGDA's SeD-to-SeD pull: another SeD (or a client) asks
                 // for a catalogued item by id; serve it out of the local
                 // store. A miss is an application-level `Err`, not a
                 // dropped connection — the puller falls back to re-shipping.
-                Message::GetData { id } => {
-                    let result = sed
-                        .datamgr
-                        .get_with_mode(&id)
-                        .map_err(|e| e.to_string());
-                    if conn.send(&Message::DataReply { id, result }).is_err() {
+                Message::GetData { request_id, id } => {
+                    let result = sed.datamgr.get_with_mode(&id).map_err(|e| e.to_string());
+                    let reply = Message::DataReply {
+                        request_id,
+                        id,
+                        result,
+                    };
+                    if conn.send(&reply).is_err() {
                         break;
                     }
                 }
                 // The client-side `store_data` leg: retain + publish to the
                 // catalog, ack with an empty DataReply. Volatile payloads
                 // are refused — there is nothing to persist.
-                Message::PutData { id, mode, value } => {
+                Message::PutData {
+                    request_id,
+                    id,
+                    mode,
+                    value,
+                } => {
                     let result = if sed.store_data(&id, value, mode) {
                         Ok((DietValue::Null, mode))
                     } else {
                         Err(format!("store_data({id}): volatile data is not retained"))
                     };
-                    if conn.send(&Message::DataReply { id, result }).is_err() {
+                    let reply = Message::DataReply {
+                        request_id,
+                        id,
+                        result,
+                    };
+                    if conn.send(&reply).is_err() {
                         break;
                     }
                 }
@@ -559,14 +652,17 @@ pub fn serve_sed_over_tcp(
                         break;
                     }
                 }
-                Message::Ping
-                    if conn.send(&Message::Pong).is_err() => {
-                        break;
-                    }
+                Message::Ping if conn.send(&Message::Pong).is_err() => {
+                    break;
+                }
                 Message::Shutdown => break,
                 _ => {}
             }
         }
+        // Let the pump drain any in-flight completions, then wait for it so
+        // the last replies hit the socket before the handler returns.
+        drop(pump_tx);
+        let _ = pump.join();
     })
 }
 
@@ -593,10 +689,7 @@ mod tests {
         let cat = archive::find(&entries, "halos/catalog.txt").unwrap();
         let text = String::from_utf8_lossy(&cat.data);
         assert!(text.starts_with("# id npart"));
-        assert!(
-            text.lines().count() > 1,
-            "no halos found in zoom1: {text}"
-        );
+        assert!(text.lines().count() > 1, "no halos found in zoom1: {text}");
         assert!(archive::find(&entries, "snapshots/final.bin").is_some());
     }
 
@@ -669,7 +762,10 @@ mod tests {
         // At a_end = 0.2 halos may not exist yet; OK or NO_HALOS are both
         // valid contract outcomes here — what matters is the run completed.
         let code = p.get_i32(3).unwrap();
-        assert!(code == status::OK || code == status::NO_HALOS, "code {code}");
+        assert!(
+            code == status::OK || code == status::NO_HALOS,
+            "code {code}"
+        );
         let (_, tar) = p.get_file(2).unwrap();
         assert!(!tar.is_empty() || code == status::NO_HALOS);
     }

@@ -10,7 +10,11 @@ use std::sync::Arc;
 fn e1_headline_numbers() {
     let r = run_campaign(CampaignConfig::default());
     // Paper: makespan 16h18m43s = 58 723 s; ours must land within 10%.
-    assert!((r.makespan - 58723.0).abs() < 0.10 * 58723.0, "makespan {}", r.makespan);
+    assert!(
+        (r.makespan - 58723.0).abs() < 0.10 * 58723.0,
+        "makespan {}",
+        r.makespan
+    );
     // Paper: part-2 mean 1h24m01s = 5041 s within 10%.
     assert!((r.part2_mean_s - 5041.0).abs() < 0.10 * 5041.0);
     // Paper: sequential > 141 h; speedup ~8.6×.

@@ -118,10 +118,7 @@ fn unknown_service_and_dead_sed_are_reported() {
     // Unknown service.
     let d = diet_core::profile::ProfileDesc::alloc("noSuchService", -1, -1, 0);
     let p = diet_core::profile::Profile::alloc(&d);
-    assert!(matches!(
-        client.call(p),
-        Err(DietError::ServiceNotFound(_))
-    ));
+    assert!(matches!(client.call(p), Err(DietError::ServiceNotFound(_))));
 
     for s in &seds {
         s.shutdown();

@@ -39,7 +39,11 @@ fn miniature_campaign_end_to_end() {
     // Part 1 found halos and every zoom completed with status 0.
     assert!(report.halos_found >= 1, "no halos from part 1");
     assert!(!report.zooms.is_empty());
-    assert!(report.all_succeeded(), "some zooms failed: {:?}", report.zooms);
+    assert!(
+        report.all_succeeded(),
+        "some zooms failed: {:?}",
+        report.zooms
+    );
 
     // The zooms were spread over distinct SeDs (round-robin) and each
     // produced a merger tree and a galaxy catalog.

@@ -76,6 +76,7 @@ fn persistent_blob_is_pulled_sed_to_sed_and_reshipped_after_holder_death() {
         max_retries: 3,
         backoff_base: Duration::from_millis(5),
         backoff_cap: Duration::from_millis(50),
+        ..RetryPolicy::default()
     };
 
     // --- Store the shared namelist once, via SeD A. ---
@@ -114,7 +115,11 @@ fn persistent_blob_is_pulled_sed_to_sed_and_reshipped_after_holder_death() {
 
     // --- A solve forced onto SeD B pulls the blob from A, SeD-to-SeD. ---
     let out = pool
-        .call("dg/1", quick_ref_profile("nml-shared"), Duration::from_secs(10))
+        .call(
+            "dg/1",
+            quick_ref_profile("nml-shared"),
+            Duration::from_secs(10),
+        )
         .unwrap();
     assert_eq!(out.get_i32(8).unwrap(), status::BAD_RESOLUTION);
     // The reply collapses the resolved slot back to the reference: the
@@ -128,7 +133,11 @@ fn persistent_blob_is_pulled_sed_to_sed_and_reshipped_after_holder_death() {
 
     // A second solve on B is a pure local hit — no new pull.
     let out = pool
-        .call("dg/1", quick_ref_profile("nml-shared"), Duration::from_secs(10))
+        .call(
+            "dg/1",
+            quick_ref_profile("nml-shared"),
+            Duration::from_secs(10),
+        )
         .unwrap();
     assert_eq!(out.get_i32(8).unwrap(), status::BAD_RESOLUTION);
     assert_eq!(b.metrics.counter_value("diet_data_hits_total"), 1);

@@ -73,7 +73,10 @@ fn tcp_errors_are_reported_not_fatal() {
     match client.recv().unwrap() {
         Message::CallReply { result, .. } => {
             let err = result.expect_err("ghost service must fail");
-            assert!(err.contains("ghost"), "error should name the service: {err}");
+            assert!(
+                err.contains("ghost"),
+                "error should name the service: {err}"
+            );
         }
         other => panic!("unexpected reply {other:?}"),
     }

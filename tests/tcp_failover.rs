@@ -71,6 +71,7 @@ fn sed_killed_mid_burst_over_tcp_loses_no_requests() {
         max_retries: 3,
         backoff_base: Duration::from_millis(5),
         backoff_cap: Duration::from_millis(50),
+        ..RetryPolicy::default()
     };
 
     let mut total_retries = 0u32;
@@ -171,6 +172,7 @@ fn tcp_timeout_resubmits_to_another_server() {
         max_retries: 2,
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(5),
+        ..RetryPolicy::default()
     };
 
     let (out, stats) = client

@@ -50,12 +50,7 @@ fn resubmitted_request_keeps_its_trace_id_across_the_wire() {
     }
 
     let la = AgentNode::leaf("LA", seds.clone());
-    let ma = MasterAgent::new_with_obs(
-        "MA",
-        vec![la],
-        Arc::new(RoundRobin::new()),
-        shared.clone(),
-    );
+    let ma = MasterAgent::new_with_obs("MA", vec![la], Arc::new(RoundRobin::new()), shared.clone());
     let client = DietClient::initialize_with_obs(ma.clone(), shared.clone());
 
     // The victim's worker dies while holding its first request, so some
@@ -68,6 +63,7 @@ fn resubmitted_request_keeps_its_trace_id_across_the_wire() {
         max_retries: 3,
         backoff_base: Duration::from_millis(5),
         backoff_cap: Duration::from_millis(50),
+        ..RetryPolicy::default()
     };
 
     let mut resubmitted: Option<CallStats> = None;
@@ -119,16 +115,23 @@ fn resubmitted_request_keeps_its_trace_id_across_the_wire() {
     // The SeD-side spans prove the context crossed the TCP frame: Queued,
     // Execution and ResultReturn all carry the client's trace id and parent
     // under one of the client's attempt spans.
-    for phase in ["Finding", "Submission", "Queued", "Execution", "ResultReturn"] {
+    for phase in [
+        "Finding",
+        "Submission",
+        "Queued",
+        "Execution",
+        "ResultReturn",
+    ] {
         assert!(
             mine.iter().any(|s| s.name == phase),
             "trace {:#x} is missing phase {phase}",
             stats.trace_id
         );
     }
-    for s in mine.iter().filter(|s| {
-        matches!(s.name, "Queued" | "Execution" | "ResultReturn")
-    }) {
+    for s in mine
+        .iter()
+        .filter(|s| matches!(s.name, "Queued" | "Execution" | "ResultReturn"))
+    {
         assert!(
             attempt_ids.contains(&s.parent),
             "{} span should parent under an attempt span, got parent {}",

@@ -48,7 +48,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { nanos_per_iter: 0.0 };
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
         f(&mut b);
         report(name.as_ref(), b.nanos_per_iter);
         self
@@ -73,9 +75,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { nanos_per_iter: 0.0 };
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
         f(&mut b);
-        report(&format!("{}/{}", self.prefix, name.as_ref()), b.nanos_per_iter);
+        report(
+            &format!("{}/{}", self.prefix, name.as_ref()),
+            b.nanos_per_iter,
+        );
         self
     }
 

@@ -29,7 +29,9 @@ fn label_str(labels: &Labels, extra: Option<(&str, &str)>) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Merge several registries into one Prometheus text dump, grouped by
@@ -144,7 +146,8 @@ mod tests {
     fn prometheus_merges_registries_and_renders_histograms() {
         let a = Registry::new();
         let b = Registry::new();
-        a.counter_with("requests_total", &[("who", "client")]).add(5);
+        a.counter_with("requests_total", &[("who", "client")])
+            .add(5);
         b.counter_with("requests_total", &[("who", "sed")]).add(7);
         let h = a.histogram_with_bounds("lat_seconds", &[], vec![0.1, 1.0]);
         h.observe(0.05);

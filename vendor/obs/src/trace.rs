@@ -79,7 +79,9 @@ pub struct Tracer {
 
 impl std::fmt::Debug for Ring {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ring").field("len", &self.buf.len()).finish()
+        f.debug_struct("Ring")
+            .field("len", &self.buf.len())
+            .finish()
     }
 }
 
@@ -280,7 +282,11 @@ mod tests {
         let t = Tracer::new(4);
         assert_eq!(t.new_trace(), 1);
         assert!(!TraceCtx::default().is_active());
-        assert!(TraceCtx { trace_id: 1, parent_span: 0 }.is_active());
+        assert!(TraceCtx {
+            trace_id: 1,
+            parent_span: 0
+        }
+        .is_active());
     }
 
     #[test]

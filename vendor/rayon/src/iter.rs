@@ -266,13 +266,18 @@ where
         acc: A,
         mut f: impl FnMut(A, S::Item) -> A,
     ) -> A {
-        self.src.fold_range(start, end, acc, |a, x| {
-            if (self.p)(&x) {
-                f(a, x)
-            } else {
-                a
-            }
-        })
+        self.src.fold_range(
+            start,
+            end,
+            acc,
+            |a, x| {
+                if (self.p)(&x) {
+                    f(a, x)
+                } else {
+                    a
+                }
+            },
+        )
     }
 }
 

@@ -232,10 +232,12 @@ pub(crate) fn run_chunked<R: Send>(
         return Vec::new();
     }
     let (size, n_chunks) = partition(len, min_len, max_len);
-    let threads = if in_parallel() { 1 } else { effective_threads() };
-    let helpers = threads
-        .saturating_sub(1)
-        .min(n_chunks.saturating_sub(1));
+    let threads = if in_parallel() {
+        1
+    } else {
+        effective_threads()
+    };
+    let helpers = threads.saturating_sub(1).min(n_chunks.saturating_sub(1));
     if helpers == 0 {
         // Inline path: identical chunk partition and combine order, so the
         // results are bitwise-identical to any multi-threaded run.

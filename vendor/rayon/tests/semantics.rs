@@ -74,10 +74,7 @@ fn fold_identity_is_fresh_per_chunk() {
             )
     });
     assert_eq!(hist, vec![1024; 4]);
-    assert!(
-        calls.load(Ordering::Relaxed) >= 1,
-        "identity never called"
-    );
+    assert!(calls.load(Ordering::Relaxed) >= 1, "identity never called");
 }
 
 #[test]
@@ -177,7 +174,9 @@ fn nested_parallelism_runs_inline_without_deadlock() {
             })
             .reduce(|| 0, |a, b| a + b)
     });
-    let expect: usize = (0..64).map(|i| (0..100).map(|j| i * j).sum::<usize>()).sum();
+    let expect: usize = (0..64)
+        .map(|i| (0..100).map(|j| i * j).sum::<usize>())
+        .sum();
     assert_eq!(total, expect);
 }
 
