@@ -111,7 +111,22 @@ stage_throughput() {
      grep -q '"speedup"' target/experiments/BENCH_throughput_quick.json)
 }
 
-ALL_STAGES="build test lint determinism obs data throughput"
+stage_hierarchy() {
+    # Distributed-tree gate: MAs/LAs/SeDs as separate TCP processes. The
+    # test suite covers the 3-level resolve through two remote hops, the
+    # interior-LA kill mid-burst (zero lost requests), MA-to-MA federation,
+    # heartbeat mark/restore of whole subtrees, and per-agent Busy
+    # admission, at both thread widths. The finding-depth bench self-checks
+    # that all submits resolve at depths 1/2/3 and validates its artifact.
+    (set -x
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --test hierarchy_tcp
+     RAYON_NUM_THREADS=4 cargo test -q -p diet-core --test hierarchy_tcp
+     cargo run --release -p bench --bin exp_finding_depth -- --quick
+     test -s target/experiments/BENCH_finding_quick.json
+     grep -q '"finding_p50_ms"' target/experiments/BENCH_finding_quick.json)
+}
+
+ALL_STAGES="build test lint determinism obs data throughput hierarchy"
 if [ $# -eq 0 ]; then
     set -- $ALL_STAGES
 fi

@@ -1,0 +1,195 @@
+//! Finding time vs. hierarchy depth over the live distributed tree.
+//!
+//! The paper's "finding time" is the submit phase: the request's traversal
+//! down the agent hierarchy, the estimates' trip back up, and the
+//! scheduling decision. This experiment stands up chains of depth 1
+//! (MA with local SeDs), 2 (MA → LA), and 3 (MA → LA → LA) as separate
+//! local TCP processes — every hop a real socket speaking
+//! `Forward`/`EstimateBatch` frames — and measures the client-observed
+//! finding time per depth. The solve is a near-zero-cost echo, so what
+//! grows with depth is pure middleware: one extra mux round-trip and one
+//! extra `EstimateBatch` aggregation per level.
+//!
+//! Writes `BENCH_finding.json` (validated with `bench::validate_json`)
+//! with per-depth p50/p95/max finding times, and exits non-zero if any
+//! submit fails to resolve, any call loses its result, or a deeper chain
+//! is implausibly faster than depth 1 at the median (sanity floor: depth
+//! adds work, it cannot remove it; a generous 0.5x slack absorbs noise).
+//! `--quick` shrinks the request count for the CI gate.
+
+use diet_core::client::{DietClient, RetryPolicy};
+use diet_core::data::{DietValue, Persistence};
+use diet_core::deploy::TcpTopologySpec;
+use diet_core::profile::{ArgTag, Profile, ProfileDesc};
+use diet_core::sched::RoundRobin;
+use diet_core::sed::{ServiceTable, SolveFn};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn echo_desc() -> ProfileDesc {
+    let mut d = ProfileDesc::alloc("echo", 0, 0, 1);
+    d.set_arg(0, ArgTag::Scalar).unwrap();
+    d.set_arg(1, ArgTag::Scalar).unwrap();
+    d
+}
+
+fn echo_table() -> ServiceTable {
+    let solve: SolveFn = Arc::new(|p: &mut Profile| {
+        let x = p.get_i32(0)?;
+        p.set(1, DietValue::ScalarI32(x), Persistence::Volatile)?;
+        Ok(0)
+    });
+    let mut t = ServiceTable::init(1);
+    t.add(echo_desc(), solve).unwrap();
+    t
+}
+
+fn echo_profile(x: i32) -> Profile {
+    let mut p = Profile::alloc(&echo_desc());
+    p.set(0, DietValue::ScalarI32(x), Persistence::Volatile)
+        .unwrap();
+    p
+}
+
+struct DepthStats {
+    depth: usize,
+    requests: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    max_ms: f64,
+    lost: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_depth(depth: usize, requests: usize) -> DepthStats {
+    let spec = TcpTopologySpec::chain(depth, 2);
+    let deployment = spec
+        .deploy(Arc::new(RoundRobin::new()), |_| echo_table())
+        .unwrap_or_else(|e| panic!("deploy depth {depth}: {e}"));
+    let client = DietClient::initialize_distributed(deployment.obs.clone());
+    let policy = RetryPolicy {
+        attempt_timeout: Duration::from_secs(10),
+        max_retries: 4,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(100),
+        jitter: 0.3,
+    };
+    let mut findings = Vec::with_capacity(requests);
+    let mut lost = 0usize;
+    for i in 0..requests {
+        match client.call_distributed(
+            &deployment.ma_client,
+            &deployment.pool,
+            echo_profile(i as i32),
+            &policy,
+        ) {
+            Ok((out, stats)) => {
+                if out.get_i32(1).unwrap_or(-1) != i as i32 {
+                    lost += 1;
+                } else {
+                    findings.push(stats.finding * 1e3);
+                }
+            }
+            Err(_) => lost += 1,
+        }
+    }
+    deployment.shutdown();
+    findings.sort_by(|a, b| a.total_cmp(b));
+    DepthStats {
+        depth,
+        requests,
+        p50_ms: percentile(&findings, 0.50),
+        p95_ms: percentile(&findings, 0.95),
+        max_ms: findings.last().copied().unwrap_or(0.0),
+        lost,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 40 } else { 200 };
+
+    println!("== exp_finding_depth: finding time vs. agent-hierarchy depth (N = {requests}) ==");
+    println!(
+        "  {:>5} {:>8} {:>9} {:>9} {:>9} {:>5}",
+        "depth", "requests", "p50 ms", "p95 ms", "max ms", "lost"
+    );
+    let mut rows = Vec::new();
+    for depth in [1usize, 2, 3] {
+        let s = run_depth(depth, requests);
+        println!(
+            "  {:>5} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>5}",
+            s.depth, s.requests, s.p50_ms, s.p95_ms, s.max_ms, s.lost
+        );
+        rows.push(s);
+    }
+
+    // ---- artifact ----
+    let mut json = String::from("{\n  \"experiment\": \"finding_depth\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"requests_per_depth\": {requests},\n"));
+    json.push_str("  \"depths\": [\n");
+    for (i, s) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"depth\": {}, \"requests\": {}, \"finding_p50_ms\": {:.4}, \
+             \"finding_p95_ms\": {:.4}, \"finding_max_ms\": {:.4}, \"lost\": {}}}{}\n",
+            s.depth,
+            s.requests,
+            s.p50_ms,
+            s.p95_ms,
+            s.max_ms,
+            s.lost,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    bench::validate_json(&json).expect("generated artifact is not valid JSON");
+
+    let path = if quick {
+        bench::artifact_dir().join("BENCH_finding_quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_finding.json")
+    };
+    std::fs::write(&path, &json).expect("failed to write artifact");
+    println!("wrote {}", path.display());
+
+    // ---- self-checks ----
+    let mut failed = false;
+    for s in &rows {
+        if s.lost > 0 {
+            eprintln!(
+                "FAIL: depth {} lost {} of {} requests",
+                s.depth, s.lost, s.requests
+            );
+            failed = true;
+        }
+        if s.p50_ms <= 0.0 {
+            eprintln!("FAIL: depth {} recorded no finding time", s.depth);
+            failed = true;
+        }
+    }
+    let d1 = rows[0].p50_ms;
+    for s in &rows[1..] {
+        if s.p50_ms < 0.5 * d1 {
+            eprintln!(
+                "FAIL: depth {} median finding {:.3} ms implausibly below depth-1 {:.3} ms",
+                s.depth, s.p50_ms, d1
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: finding medians {:.3} / {:.3} / {:.3} ms at depths 1/2/3",
+        rows[0].p50_ms, rows[1].p50_ms, rows[2].p50_ms
+    );
+}

@@ -13,23 +13,89 @@
 
 use crate::dagda::ReplicaCatalog;
 use crate::error::DietError;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::monitor::Estimate;
 use crate::sched::Scheduler;
 use crate::sed::SedHandle;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
-use obs::Obs;
+use obs::{Obs, TraceCtx};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A child agent that lives in another process and is reachable only over
+/// the wire. The local tree sees it as an opaque estimate source: `collect`
+/// carries a submit down to it (a `Forward` frame, in the TCP
+/// implementation) and returns the subtree's aggregated estimates.
+/// [`crate::hierarchy::RemoteAgentClient`] is the TCP implementation;
+/// tests can plug in in-process fakes.
+pub trait RemoteSubtree: Send + Sync {
+    /// Agent name (for liveness bookkeeping and diagnostics).
+    fn name(&self) -> String;
+    /// Gather estimates for `service` from the whole remote subtree.
+    /// An error means the subtree is unreachable — callers treat it as
+    /// empty, never as fatal.
+    fn collect(
+        &self,
+        service: &str,
+        exclude: &[String],
+        ctx: TraceCtx,
+    ) -> Result<Vec<Estimate>, DietError>;
+    /// Liveness probe of the remote agent process.
+    fn ping(&self, timeout: Duration) -> bool;
+}
+
+/// A [`RemoteSubtree`] plus its availability bit, flipped by the heartbeat
+/// monitor: an agent that misses its heartbeats has its whole subtree's
+/// SeDs pulled from routing (collect skips the slot), and a successful
+/// probe later re-registers them — the slot is marked, never removed.
+pub struct RemoteSlot {
+    remote: Arc<dyn RemoteSubtree>,
+    available: AtomicBool,
+}
+
+impl RemoteSlot {
+    pub fn new(remote: Arc<dyn RemoteSubtree>) -> Arc<Self> {
+        Arc::new(RemoteSlot {
+            remote,
+            available: AtomicBool::new(true),
+        })
+    }
+
+    pub fn name(&self) -> String {
+        self.remote.name()
+    }
+
+    pub fn remote(&self) -> &Arc<dyn RemoteSubtree> {
+        &self.remote
+    }
+
+    /// Is this subtree currently part of routing?
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::Acquire)
+    }
+
+    pub fn set_available(&self, v: bool) {
+        self.available.store(v, Ordering::Release);
+    }
+}
 
 /// An interior node of the hierarchy: a Local Agent with SeDs and/or child
 /// agents below it. SeD membership is dynamic — agents deregister servers
 /// that die (heartbeat misses or failed calls) and can attach new ones.
+/// Children come in two flavours: in-process [`AgentNode`]s and
+/// [`RemoteSlot`]s fronting agents in other processes.
 pub struct AgentNode {
     pub name: String,
     seds: RwLock<Vec<Arc<SedHandle>>>,
     pub children: Vec<Arc<AgentNode>>,
+    /// Remote child agents (other processes), attached at runtime.
+    remotes: RwLock<Vec<Arc<RemoteSlot>>>,
+    /// Failure injection for the *agent itself* (stall/kill during estimate
+    /// collection) — how tests make a whole subtree go quiet.
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl AgentNode {
@@ -38,6 +104,8 @@ impl AgentNode {
             name: name.to_string(),
             seds: RwLock::new(seds),
             children: vec![],
+            remotes: RwLock::new(vec![]),
+            faults: RwLock::new(None),
         })
     }
 
@@ -46,6 +114,8 @@ impl AgentNode {
             name: name.to_string(),
             seds: RwLock::new(vec![]),
             children,
+            remotes: RwLock::new(vec![]),
+            faults: RwLock::new(None),
         })
     }
 
@@ -59,46 +129,113 @@ impl AgentNode {
         self.seds.write().push(sed);
     }
 
-    /// Remove the SeD with this label from the subtree. Returns true if it
-    /// was found (and removed) anywhere below this node.
-    pub fn remove_sed(&self, label: &str) -> bool {
-        {
+    /// Attach a remote child agent; returns its slot so deployment code
+    /// (or the heartbeat monitor) can flip its availability.
+    pub fn add_remote(&self, remote: Arc<dyn RemoteSubtree>) -> Arc<RemoteSlot> {
+        let slot = RemoteSlot::new(remote);
+        self.remotes.write().push(slot.clone());
+        slot
+    }
+
+    /// Snapshot of the remote child slots attached directly to this agent.
+    pub fn remotes(&self) -> Vec<Arc<RemoteSlot>> {
+        self.remotes.read().clone()
+    }
+
+    /// Arm failure injection on this agent's collection path.
+    pub fn set_faults(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Remove every SeD with this label from the subtree — all of them,
+    /// not just the first: a label accidentally registered at two nodes
+    /// (double registration) must not leave a stale handle the scheduler
+    /// can still pick. Returns how many handles were removed.
+    pub fn remove_sed(&self, label: &str) -> usize {
+        let mut removed = {
             let mut seds = self.seds.write();
             let before = seds.len();
             seds.retain(|s| s.config.label != label);
-            if seds.len() < before {
-                return true;
-            }
+            before - seds.len()
+        };
+        for child in &self.children {
+            removed += child.remove_sed(label);
         }
-        self.children.iter().any(|c| c.remove_sed(label))
+        removed
     }
 
     /// Depth-first collection of estimates for a service, skipping excluded
-    /// labels (servers a retrying client has just seen fail).
-    fn collect(
+    /// labels (servers a retrying client has just seen fail). Local SeDs
+    /// carry their handle; estimates from remote subtrees carry `None` —
+    /// the caller reaches those SeDs by label over the wire. An unreachable
+    /// remote subtree contributes nothing (it is skipped, never fatal).
+    pub(crate) fn collect(
         &self,
         service: &str,
         exclude: &[String],
-        out: &mut Vec<(Estimate, Arc<SedHandle>)>,
+        ctx: TraceCtx,
+        out: &mut Vec<(Estimate, Option<Arc<SedHandle>>)>,
     ) {
+        if let Some(plan) = self.faults.read().clone() {
+            // Stall is applied inside on_request; Kill makes the whole
+            // subtree go dark mid-collection.
+            if plan.on_request() == FaultAction::Kill {
+                return;
+            }
+        }
         for sed in self.seds.read().iter() {
             if exclude.iter().any(|l| *l == sed.config.label) {
                 continue;
             }
             if let Some(e) = sed.estimate(service) {
-                out.push((e, sed.clone()));
+                out.push((e, Some(sed.clone())));
             }
         }
         for child in &self.children {
-            child.collect(service, exclude, out);
+            child.collect(service, exclude, ctx, out);
+        }
+        for slot in self.remotes.read().iter() {
+            if !slot.is_available() {
+                continue;
+            }
+            let t0 = Instant::now();
+            if let Ok(ests) = slot.remote.collect(service, exclude, ctx) {
+                // The measured hop round-trip is this parent's proximity
+                // signal for everything below the remote agent.
+                let hop = t0.elapsed().as_secs_f64();
+                for mut e in ests {
+                    if exclude.contains(&e.server) {
+                        continue;
+                    }
+                    e.probe_rtt += hop;
+                    out.push((e, None));
+                }
+            }
         }
     }
 
-    /// Every SeD in this subtree (for liveness sweeps).
+    /// Public estimate collection (the LA-side serving loop aggregates
+    /// these into an `EstimateBatch` frame).
+    pub fn estimates(&self, service: &str, exclude: &[String], ctx: TraceCtx) -> Vec<Estimate> {
+        let mut out = Vec::new();
+        self.collect(service, exclude, ctx, &mut out);
+        out.into_iter().map(|(e, _)| e).collect()
+    }
+
+    /// Every SeD in this subtree (for liveness sweeps). Remote subtrees'
+    /// SeDs are not visible here — their own process monitors them.
     fn collect_all(&self, out: &mut Vec<Arc<SedHandle>>) {
         out.extend(self.seds.read().iter().cloned());
         for child in &self.children {
             child.collect_all(out);
+        }
+    }
+
+    /// Every remote slot in this subtree (for agent liveness sweeps).
+    fn collect_remote_slots(&self, out: &mut Vec<Arc<RemoteSlot>>) {
+        out.extend(self.remotes.read().iter().cloned());
+        for child in &self.children {
+            child.collect_remote_slots(out);
         }
     }
 
@@ -156,6 +293,12 @@ pub struct MasterAgent {
     /// Hierarchy-wide replica catalog (DAGDA). When registered, estimates
     /// gain locality terms and deregistration drops the dead SeD's replicas.
     catalog: RwLock<Option<Arc<ReplicaCatalog>>>,
+    /// Per-subtree estimate-collection deadline. When set, each direct
+    /// child is collected on its own thread and a subtree that fails to
+    /// answer in time is treated exactly like an empty one — skipped, never
+    /// fatal. `None` (the default) collects synchronously, preserving the
+    /// in-process fast path.
+    collect_timeout: RwLock<Option<Duration>>,
 }
 
 impl MasterAgent {
@@ -185,6 +328,7 @@ impl MasterAgent {
             strikes: Mutex::new(HashMap::new()),
             obs,
             catalog: RwLock::new(None),
+            collect_timeout: RwLock::new(None),
         })
     }
 
@@ -200,7 +344,15 @@ impl MasterAgent {
             strikes: Mutex::new(HashMap::new()),
             obs: self.obs.clone(),
             catalog: RwLock::new(self.catalog.read().clone()),
+            collect_timeout: RwLock::new(*self.collect_timeout.read()),
         })
+    }
+
+    /// Bound how long a submit waits for any one child subtree's estimates.
+    /// Mandatory once children are remote: a stalled or dead LA must cost
+    /// one deadline, not the whole submit.
+    pub fn set_collect_timeout(&self, d: Duration) {
+        *self.collect_timeout.write() = Some(d);
     }
 
     /// Register the hierarchy-wide replica catalog and attach it to every
@@ -255,16 +407,102 @@ impl MasterAgent {
         data_ids: &[String],
         exclude: &[String],
     ) -> Result<Arc<SedHandle>, DietError> {
+        let (est, handle) = self.schedule(service, data_ids, exclude, TraceCtx::default())?;
+        handle.ok_or_else(|| {
+            DietError::Rejected(format!(
+                "chosen server {} lives behind a remote agent; resolve by label instead",
+                est.server
+            ))
+        })
+    }
+
+    /// Submit returning only the winning SeD's *label* — the form the wire
+    /// protocol needs (a `SubmitReply` carries a name, and the client
+    /// reaches the SeD through its own connection pool). Works whether the
+    /// winner is a local handle or an estimate that travelled up from a
+    /// remote subtree.
+    pub fn resolve(
+        &self,
+        service: &str,
+        data_ids: &[String],
+        exclude: &[String],
+        ctx: TraceCtx,
+    ) -> Result<String, DietError> {
+        self.schedule(service, data_ids, exclude, ctx)
+            .map(|(est, _)| est.server)
+    }
+
+    /// Collect candidates from every child subtree, honouring the
+    /// per-subtree deadline when one is armed.
+    fn collect_candidates(
+        &self,
+        service: &str,
+        exclude: &[String],
+        ctx: TraceCtx,
+    ) -> Vec<(Estimate, Option<Arc<SedHandle>>)> {
+        let timeout = *self.collect_timeout.read();
+        let Some(deadline) = timeout else {
+            let mut out = Vec::new();
+            for child in &self.children {
+                child.collect(service, exclude, ctx, &mut out);
+            }
+            return out;
+        };
+        // One collector thread per direct child: a subtree that stalls past
+        // the deadline is skipped (its thread finishes in the background and
+        // its late answer is discarded with the channel).
+        let (tx, rx) = bounded::<Vec<(Estimate, Option<Arc<SedHandle>>)>>(self.children.len());
+        let expected = self.children.len();
+        for child in &self.children {
+            let child = child.clone();
+            let tx = tx.clone();
+            let service = service.to_string();
+            let exclude = exclude.to_vec();
+            std::thread::spawn(move || {
+                let mut part = Vec::new();
+                child.collect(&service, &exclude, ctx, &mut part);
+                let _ = tx.send(part);
+            });
+        }
+        drop(tx);
+        let hard_deadline = Instant::now() + deadline;
+        let mut out = Vec::new();
+        let mut received = 0usize;
+        while received < expected {
+            let remaining = hard_deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(part) => {
+                    out.extend(part);
+                    received += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if received < expected {
+            self.obs
+                .metrics
+                .counter("diet_ma_subtree_timeouts_total")
+                .add((expected - received) as u64);
+        }
+        out
+    }
+
+    /// The scheduling core every submit variant funnels through: collect,
+    /// inject locality, drop saturated candidates, pick.
+    fn schedule(
+        &self,
+        service: &str,
+        data_ids: &[String],
+        exclude: &[String],
+        ctx: TraceCtx,
+    ) -> Result<(Estimate, Option<Arc<SedHandle>>), DietError> {
         let started = Instant::now();
         let request_id = {
             let mut id = self.next_id.lock();
             *id += 1;
             *id
         };
-        let mut candidates: Vec<(Estimate, Arc<SedHandle>)> = Vec::new();
-        for child in &self.children {
-            child.collect(service, exclude, &mut candidates);
-        }
+        let mut candidates = self.collect_candidates(service, exclude, ctx);
         if !data_ids.is_empty() {
             if let Some(cat) = self.catalog.read().as_ref() {
                 for (est, _) in candidates.iter_mut() {
@@ -315,18 +553,14 @@ impl MasterAgent {
         }
         let ests: Vec<Estimate> = candidates.iter().map(|(e, _)| e.clone()).collect();
         let pick = self.scheduler.select(&ests);
-        let chosen = candidates
-            .get(pick)
-            .ok_or_else(|| {
-                DietError::Rejected(format!(
-                    "scheduler {} returned out-of-range index {pick}",
-                    self.scheduler.name()
-                ))
-            })?
-            .1
-            .clone();
+        let (chosen_est, chosen_handle) = candidates.get(pick).cloned().ok_or_else(|| {
+            DietError::Rejected(format!(
+                "scheduler {} returned out-of-range index {pick}",
+                self.scheduler.name()
+            ))
+        })?;
         let mut rec = record_base;
-        rec.chosen = Some(chosen.config.label.clone());
+        rec.chosen = Some(chosen_est.server.clone());
         rec.finding_time = started.elapsed().as_secs_f64();
         // Every scheduler decision is a labelled counter tick; the finding
         // time feeds the histogram the Figure-5 percentiles come from.
@@ -335,7 +569,7 @@ impl MasterAgent {
             .counter_with(
                 "diet_ma_scheduled_total",
                 &[
-                    ("sed", &chosen.config.label),
+                    ("sed", &chosen_est.server),
                     ("policy", self.scheduler.name()),
                 ],
             )
@@ -345,7 +579,7 @@ impl MasterAgent {
             .histogram("diet_ma_finding_seconds")
             .observe(rec.finding_time);
         self.requests.lock().push(rec);
-        Ok(chosen)
+        Ok((chosen_est, chosen_handle))
     }
 
     /// All submit records so far (the Figure 5 "finding time" series).
@@ -355,6 +589,22 @@ impl MasterAgent {
 
     pub fn scheduler_name(&self) -> &'static str {
         self.scheduler.name()
+    }
+
+    /// The scheduling policy itself — the federation path schedules
+    /// peer-collected estimates with the same policy local submits use.
+    pub fn scheduler_handle(&self) -> Arc<dyn Scheduler> {
+        self.scheduler.clone()
+    }
+
+    /// This MA's whole tree reduced to bare estimates — what it answers
+    /// when consulted *as* a federation peer (or as a remote subtree of a
+    /// larger hierarchy). Honours the collect deadline when one is armed.
+    pub fn estimates(&self, service: &str, exclude: &[String], ctx: TraceCtx) -> Vec<Estimate> {
+        self.collect_candidates(service, exclude, ctx)
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect()
     }
 
     pub fn sed_count(&self) -> usize {
@@ -376,10 +626,26 @@ impl MasterAgent {
         out
     }
 
-    /// Remove a SeD from the hierarchy by label. Returns true if it was
-    /// registered. Deregistered labels never reappear in candidate sets.
+    /// Every remote agent slot anywhere in the local tree (for liveness
+    /// sweeps — each process monitors its own direct view of the wire).
+    pub fn remote_slots(&self) -> Vec<Arc<RemoteSlot>> {
+        let mut out = Vec::new();
+        for child in &self.children {
+            child.collect_remote_slots(&mut out);
+        }
+        out
+    }
+
+    /// Remove a SeD from the hierarchy by label — every registration of it,
+    /// across the whole tree. Returns true if at least one handle was
+    /// removed. Deregistered labels never reappear in candidate sets.
     pub fn deregister(&self, label: &str) -> bool {
-        let removed = self.children.iter().any(|c| c.remove_sed(label));
+        let removed = self
+            .children
+            .iter()
+            .map(|c| c.remove_sed(label))
+            .sum::<usize>()
+            > 0;
         if removed {
             let mut dead = self.deregistered.lock();
             if !dead.iter().any(|l| l == label) {
@@ -463,10 +729,17 @@ impl HeartbeatMonitor {
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let thread = std::thread::spawn(move || {
             let mut misses: HashMap<String, u32> = HashMap::new();
+            let mut agent_misses: HashMap<String, u32> = HashMap::new();
             let metrics = ma.obs();
             let m_beats = metrics.metrics.counter("diet_heartbeat_beats_total");
             let m_missed = metrics.metrics.counter("diet_heartbeat_misses_total");
             let m_evicted = metrics.metrics.counter("diet_heartbeat_evictions_total");
+            let m_agent_evicted = metrics
+                .metrics
+                .counter("diet_heartbeat_agent_evictions_total");
+            let m_agent_restored = metrics
+                .metrics
+                .counter("diet_heartbeat_agent_restorations_total");
             // Runs until a stop is requested or the monitor is dropped.
             while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
                 for sed in ma.all_seds() {
@@ -486,6 +759,33 @@ impl HeartbeatMonitor {
                                 m_evicted.inc();
                             }
                             misses.remove(&label);
+                        }
+                    }
+                }
+                // Remote agent sweep: an interior agent that misses its
+                // heartbeats takes its whole subtree's SeDs out of routing
+                // (the slot is marked unavailable); a probe answered later
+                // puts them straight back — agents are marked, not removed,
+                // because the far process may just have restarted.
+                for slot in ma.remote_slots() {
+                    let name = slot.name();
+                    m_beats.inc();
+                    if slot.remote().ping(ping_timeout) {
+                        if !slot.is_available() {
+                            slot.set_available(true);
+                            m_agent_restored.inc();
+                        }
+                        agent_misses.remove(&name);
+                    } else {
+                        m_missed.inc();
+                        let n = agent_misses.entry(name.clone()).or_insert(0);
+                        *n += 1;
+                        if *n >= miss_threshold {
+                            if slot.is_available() {
+                                slot.set_available(false);
+                                m_agent_evicted.inc();
+                            }
+                            agent_misses.remove(&name);
                         }
                     }
                 }
@@ -859,6 +1159,182 @@ mod tests {
             ma.metrics().counter_value("diet_ma_catalog_dropped_total"),
             2
         );
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_fully_removed() {
+        // The same label accidentally attached at two nodes (double
+        // registration): deregistration must purge *both* handles, not just
+        // the first match, or the scheduler can still pick the stale one.
+        let sed = SedHandle::spawn(SedConfig::new("dup/0", 1.0), echo_table());
+        let twin = SedHandle::spawn(SedConfig::new("dup/0", 1.0), echo_table());
+        let la0 = AgentNode::leaf("LA0", vec![sed.clone()]);
+        let la1 = AgentNode::leaf("LA1", vec![twin.clone()]);
+        let ma = MasterAgent::new("MA", vec![la0.clone(), la1], Arc::new(RoundRobin::new()));
+        assert_eq!(ma.sed_count(), 2);
+        assert!(ma.deregister("dup/0"));
+        assert_eq!(ma.sed_count(), 0, "every registration of the label gone");
+        assert!(matches!(
+            ma.submit("echo"),
+            Err(DietError::ServiceNotFound(_))
+        ));
+        // The node-level API reports the count directly.
+        let a = AgentNode::leaf("A", vec![sed.clone()]);
+        let b = AgentNode::leaf("B", vec![sed.clone(), twin.clone()]);
+        let root = AgentNode::interior("root", vec![a, b]);
+        assert_eq!(root.remove_sed("dup/0"), 3);
+        assert_eq!(root.remove_sed("dup/0"), 0);
+        sed.shutdown();
+        twin.shutdown();
+    }
+
+    #[test]
+    fn stalled_subtree_is_skipped_not_fatal() {
+        // One LA wedges during estimate collection (the FaultPlan stall
+        // hook); with a collect timeout armed the submit must treat that
+        // subtree as empty and schedule from the healthy one.
+        let (ma, seds) = hierarchy(&[1, 1]);
+        let stalled_la = &ma.children[0];
+        let plan = FaultPlan::new();
+        plan.set_stall(Duration::from_secs(2));
+        stalled_la.set_faults(plan);
+        ma.set_collect_timeout(Duration::from_millis(100));
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            let chosen = ma.submit("echo").unwrap();
+            assert_eq!(chosen.config.label, "la1/sed0");
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "submits must not wait out the stall"
+        );
+        assert!(ma.metrics().counter_value("diet_ma_subtree_timeouts_total") >= 2);
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    struct FakeRemote {
+        name: String,
+        label: String,
+        fail: AtomicBool,
+    }
+
+    impl RemoteSubtree for FakeRemote {
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+        fn collect(
+            &self,
+            service: &str,
+            exclude: &[String],
+            _ctx: TraceCtx,
+        ) -> Result<Vec<Estimate>, DietError> {
+            if self.fail.load(Ordering::Relaxed) {
+                return Err(DietError::Transport("remote agent unreachable".into()));
+            }
+            if service != "echo" || exclude.contains(&self.label) {
+                return Ok(vec![]);
+            }
+            Ok(vec![Estimate {
+                server: self.label.clone(),
+                speed_factor: 10.0,
+                ..Estimate::default()
+            }])
+        }
+        fn ping(&self, _timeout: Duration) -> bool {
+            !self.fail.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn remote_subtree_estimates_join_local_candidates() {
+        use crate::sched::WeightedSpeed;
+        let (ma, seds) = hierarchy(&[1]);
+        let ma = ma.with_scheduler(Arc::new(WeightedSpeed));
+        let remote = Arc::new(FakeRemote {
+            name: "LA-remote".into(),
+            label: "remote/sed0".into(),
+            fail: AtomicBool::new(false),
+        });
+        let slot = ma.children[0].add_remote(remote.clone());
+        // The remote SeD is 10x faster: the scheduler picks it, and the
+        // label-only resolve path hands its name back.
+        let label = ma
+            .resolve("echo", &[], &[], TraceCtx::default())
+            .expect("resolve");
+        assert_eq!(label, "remote/sed0");
+        // The handle-returning path cannot hand out a remote SeD.
+        assert!(matches!(ma.submit("echo"), Err(DietError::Rejected(_))));
+        // Excluding the remote label falls back to the local SeD.
+        let label = ma
+            .resolve(
+                "echo",
+                &[],
+                &["remote/sed0".to_string()],
+                TraceCtx::default(),
+            )
+            .unwrap();
+        assert_eq!(label, "la0/sed0");
+        // An unreachable remote subtree is skipped, never fatal.
+        remote.fail.store(true, Ordering::Relaxed);
+        let label = ma.resolve("echo", &[], &[], TraceCtx::default()).unwrap();
+        assert_eq!(label, "la0/sed0");
+        remote.fail.store(false, Ordering::Relaxed);
+        // An unavailable slot (heartbeat evicted) is out of routing even
+        // though the far process would answer.
+        slot.set_available(false);
+        let label = ma.resolve("echo", &[], &[], TraceCtx::default()).unwrap();
+        assert_eq!(label, "la0/sed0");
+        slot.set_available(true);
+        assert_eq!(
+            ma.resolve("echo", &[], &[], TraceCtx::default()).unwrap(),
+            "remote/sed0"
+        );
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn heartbeat_monitor_marks_and_restores_remote_agents() {
+        let (ma, seds) = hierarchy(&[1]);
+        let remote = Arc::new(FakeRemote {
+            name: "LA-remote".into(),
+            label: "remote/sed0".into(),
+            fail: AtomicBool::new(false),
+        });
+        let slot = ma.children[0].add_remote(remote.clone());
+        let monitor = HeartbeatMonitor::spawn(
+            ma.clone(),
+            Duration::from_millis(10),
+            Duration::from_millis(50),
+            2,
+        );
+        // Healthy: stays available.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(slot.is_available());
+        // Goes quiet: evicted after the miss threshold.
+        remote.fail.store(true, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while slot.is_available() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!slot.is_available(), "agent eviction never happened");
+        // Comes back: restored on the next successful probe.
+        remote.fail.store(false, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !slot.is_available() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(slot.is_available(), "agent restoration never happened");
+        let mm = ma.metrics();
+        assert!(mm.counter_value("diet_heartbeat_agent_evictions_total") >= 1);
+        assert!(mm.counter_value("diet_heartbeat_agent_restorations_total") >= 1);
+        monitor.stop();
         for s in seds {
             s.shutdown();
         }

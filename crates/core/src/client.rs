@@ -226,6 +226,20 @@ impl DietClient {
         }
     }
 
+    /// A session with no in-process MA: every finding phase must go through
+    /// a remote Master Agent process via
+    /// [`call_distributed`](Self::call_distributed). The in-process entry
+    /// points (`call`, `call_with_retry`, …) answer
+    /// [`DietError::NotInitialized`].
+    pub fn initialize_distributed(obs: Arc<Obs>) -> Self {
+        DietClient {
+            ma: None,
+            history: parking_lot::Mutex::new(Vec::new()),
+            obs,
+            stored: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
     /// A lightweight handle to grid data previously stored with
     /// [`DietClient::store_data`]: what a profile carries instead of the
     /// payload (only the id crosses the wire).
@@ -439,6 +453,147 @@ impl DietClient {
                 )
             },
         )
+    }
+
+    /// Fault-tolerant synchronous call over the *fully distributed* path:
+    /// finding goes through a remote Master Agent process (`ma`, speaking
+    /// `Submit`/`SubmitReply` frames over its multiplexed connection), the
+    /// solve goes directly to the chosen SeD through `pool` — the DIET
+    /// shortcut where data never relays through the agents. Needs no
+    /// in-process MA, so it works from a bare
+    /// [`DietClient::initialize_distributed`] session.
+    ///
+    /// Retry semantics mirror [`call_with_retry`](Self::call_with_retry):
+    /// `Busy` (from the MA's or the SeD's admission control) backs off
+    /// without blaming anyone; transport faults and timeouts exclude the
+    /// failed label and resubmit; an MA answering `SubmitReply(None)` — no
+    /// candidate *right now*, e.g. a subtree momentarily marked
+    /// unavailable — also backs off and resubmits, since the next attempt
+    /// may find a recovered or alternative subtree.
+    pub fn call_distributed(
+        &self,
+        ma: &crate::hierarchy::RemoteAgentClient,
+        pool: &TcpSedPool,
+        profile: Profile,
+        policy: &RetryPolicy,
+    ) -> Result<(Profile, CallStats), DietError> {
+        let tracer = &self.obs.tracer;
+        let m = &self.obs.metrics;
+        let m_requests = m.counter("diet_client_requests_total");
+        let m_failures = m.counter("diet_client_failures_total");
+        let m_resubmits = m.counter("diet_client_resubmissions_total");
+        let m_busy = m.counter("diet_client_busy_total");
+        let service = profile.service.clone();
+        let issued = Instant::now();
+        let trace_id = tracer.new_trace();
+        let mut excluded: Vec<String> = Vec::new();
+        let mut finding_total = 0.0;
+        let mut last_err: Option<DietError> = None;
+        for attempt_no in 0..=policy.max_retries {
+            if attempt_no > 0 {
+                std::thread::sleep(policy.backoff_jittered(attempt_no - 1, trace_id));
+                m_resubmits.inc();
+            }
+            let attempt_span = tracer.span(trace_id, 0, "attempt", "client");
+            let ctx = attempt_span.ctx();
+            let finding_start_ns = tracer.now_ns();
+            let t0 = Instant::now();
+            let label = match ma.submit(&service, &excluded, ctx) {
+                Ok(Some(label)) => label,
+                Ok(None) => {
+                    last_err = Some(DietError::NoServerAvailable(service.clone()));
+                    continue;
+                }
+                Err(e @ DietError::Busy) => {
+                    m_busy.inc();
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) if is_retryable(&e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => {
+                    m_failures.inc();
+                    return Err(e);
+                }
+            };
+            finding_total += t0.elapsed().as_secs_f64();
+            tracer.record_window(
+                trace_id,
+                attempt_span.id(),
+                "Finding",
+                "agents",
+                finding_start_ns,
+                tracer.now_ns(),
+            );
+            let submit_start_ns = tracer.now_ns();
+            let t1 = Instant::now();
+            match pool.call_traced(&label, profile.clone(), policy.attempt_timeout, ctx) {
+                Ok((out, queue_wait, solve)) => {
+                    let attempt_time = t1.elapsed().as_secs_f64();
+                    let send = (attempt_time - queue_wait - solve).max(0.0);
+                    tracer.record_window(
+                        trace_id,
+                        attempt_span.id(),
+                        "Submission",
+                        &label,
+                        submit_start_ns,
+                        submit_start_ns + (send * 1e9) as u64,
+                    );
+                    drop(attempt_span);
+                    let stats = CallStats {
+                        finding: finding_total,
+                        send,
+                        queue_wait,
+                        solve,
+                        total: issued.elapsed().as_secs_f64(),
+                        retries: attempt_no,
+                        trace_id,
+                    };
+                    m_requests.inc();
+                    m.histogram("diet_client_finding_seconds")
+                        .observe(stats.finding);
+                    m.histogram("diet_client_latency_seconds")
+                        .observe(stats.latency());
+                    m.histogram("diet_client_solve_seconds")
+                        .observe(stats.solve);
+                    m.histogram("diet_client_total_seconds")
+                        .observe(stats.total);
+                    self.history.lock().push((label.clone(), stats));
+                    return Ok((out, stats));
+                }
+                Err(e @ DietError::Busy) => {
+                    m_busy.inc();
+                    last_err = Some(e);
+                }
+                Err(e) if is_retryable(&e) => {
+                    // The sunk data-shipping time still leaves a footprint
+                    // in the trace; the label is blamed and excluded so the
+                    // resubmit must route elsewhere.
+                    tracer.record_window(
+                        trace_id,
+                        attempt_span.id(),
+                        "Submission",
+                        &label,
+                        submit_start_ns,
+                        tracer.now_ns(),
+                    );
+                    excluded.push(label);
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    m_failures.inc();
+                    return Err(e);
+                }
+            }
+        }
+        m_failures.inc();
+        Err(DietError::RetriesExhausted {
+            service,
+            attempts: policy.max_retries + 1,
+            last: last_err.map(|e| e.to_string()).unwrap_or_default(),
+        })
     }
 
     /// The shared retry engine. `attempt` runs one bounded attempt against

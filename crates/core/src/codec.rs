@@ -7,6 +7,7 @@
 
 use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
+use crate::monitor::Estimate;
 use crate::profile::Profile;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use obs::TraceCtx;
@@ -15,14 +16,38 @@ use obs::TraceCtx;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client → MA: where can `service` run? (the "finding" phase).
+    /// `ctx` joins the MA-side spans to the client's trace; `exclude`
+    /// carries the labels a retrying client has just seen fail, so the
+    /// hierarchy skips them when collecting estimates.
     Submit {
         service: String,
         request_id: u64,
+        ctx: TraceCtx,
+        exclude: Vec<String>,
     },
     /// MA → client: chosen server (label) or failure.
     SubmitReply {
         request_id: u64,
         server: Option<String>,
+    },
+    /// Agent → child agent: carry a submit one hop down the tree (or
+    /// MA → MA federation when the local tree has no matching service).
+    /// The child answers with an [`Message::EstimateBatch`] aggregating
+    /// its whole subtree. `ttl` bounds further forwarding: an agent
+    /// receiving `ttl == 0` consults only its own tree — forwarding loops
+    /// between federated MAs die after one hop.
+    Forward {
+        request_id: u64,
+        ctx: TraceCtx,
+        service: String,
+        exclude: Vec<String>,
+        ttl: u8,
+    },
+    /// Child agent → parent: every estimate its subtree produced for the
+    /// forwarded request (empty = nothing matches / everything excluded).
+    EstimateBatch {
+        request_id: u64,
+        estimates: Vec<Estimate>,
     },
     /// Client → SeD: run this profile. `ctx` carries the trace context
     /// (16 bytes in the frame header, after the request id) so SeD-side
@@ -107,6 +132,8 @@ const MSG_GET_DATA: u8 = 19;
 const MSG_DATA_REPLY: u8 = 20;
 const MSG_PUT_DATA: u8 = 21;
 const MSG_BUSY: u8 = 22;
+const MSG_FORWARD: u8 = 23;
+const MSG_ESTIMATE_BATCH: u8 = 24;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -256,6 +283,93 @@ fn get_persistence(buf: &mut Bytes) -> Result<Persistence, DietError> {
     }
 }
 
+fn put_str_list(buf: &mut BytesMut, xs: &[String]) {
+    buf.put_u32_le(xs.len() as u32);
+    for x in xs {
+        put_str(buf, x);
+    }
+}
+
+fn get_str_list(buf: &mut Bytes) -> Result<Vec<String>, DietError> {
+    if buf.remaining() < 4 {
+        return Err(DietError::Codec("truncated string-list length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| get_str(buf)).collect()
+}
+
+/// Wire form of an [`Estimate`] — the payload the agent hierarchy ships
+/// back up the tree in [`Message::EstimateBatch`] frames. `Option`s use
+/// the codec's usual one-byte presence flag.
+fn put_estimate(buf: &mut BytesMut, e: &Estimate) {
+    put_str(buf, &e.server);
+    buf.put_f64_le(e.speed_factor);
+    buf.put_u64_le(e.free_memory);
+    buf.put_u64_le(e.queue_length as u64);
+    buf.put_u64_le(e.completed);
+    match e.known_mean_duration {
+        Some(d) => {
+            buf.put_u8(1);
+            buf.put_f64_le(d);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_f64_le(e.probe_rtt);
+    buf.put_u64_le(e.data_local_bytes);
+    buf.put_u64_le(e.data_miss_bytes);
+    match e.admission_limit {
+        Some(cap) => {
+            buf.put_u8(1);
+            buf.put_u64_le(cap as u64);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_estimate(buf: &mut Bytes) -> Result<Estimate, DietError> {
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(DietError::Codec("truncated estimate".into()))
+        } else {
+            Ok(())
+        }
+    };
+    let server = get_str(buf)?;
+    need(buf, 8 * 4 + 1)?;
+    let speed_factor = buf.get_f64_le();
+    let free_memory = buf.get_u64_le();
+    let queue_length = buf.get_u64_le() as usize;
+    let completed = buf.get_u64_le();
+    let known_mean_duration = if buf.get_u8() == 1 {
+        need(buf, 8)?;
+        Some(buf.get_f64_le())
+    } else {
+        None
+    };
+    need(buf, 8 * 3 + 1)?;
+    let probe_rtt = buf.get_f64_le();
+    let data_local_bytes = buf.get_u64_le();
+    let data_miss_bytes = buf.get_u64_le();
+    let admission_limit = if buf.get_u8() == 1 {
+        need(buf, 8)?;
+        Some(buf.get_u64_le() as usize)
+    } else {
+        None
+    };
+    Ok(Estimate {
+        server,
+        speed_factor,
+        free_memory,
+        queue_length,
+        completed,
+        known_mean_duration,
+        probe_rtt,
+        data_local_bytes,
+        data_miss_bytes,
+        admission_limit,
+    })
+}
+
 /// Encode a single value (tag-prefixed). Used by the data layer for
 /// checksumming replicas independently of any enclosing frame.
 pub fn encode_value(v: &DietValue) -> Bytes {
@@ -301,10 +415,41 @@ pub fn encode_message(m: &Message) -> Bytes {
         Message::Submit {
             service,
             request_id,
+            ctx,
+            exclude,
         } => {
             buf.put_u8(MSG_SUBMIT);
             buf.put_u64_le(*request_id);
+            buf.put_u64_le(ctx.trace_id);
+            buf.put_u64_le(ctx.parent_span);
             put_str(&mut buf, service);
+            put_str_list(&mut buf, exclude);
+        }
+        Message::Forward {
+            request_id,
+            ctx,
+            service,
+            exclude,
+            ttl,
+        } => {
+            buf.put_u8(MSG_FORWARD);
+            buf.put_u64_le(*request_id);
+            buf.put_u64_le(ctx.trace_id);
+            buf.put_u64_le(ctx.parent_span);
+            put_str(&mut buf, service);
+            put_str_list(&mut buf, exclude);
+            buf.put_u8(*ttl);
+        }
+        Message::EstimateBatch {
+            request_id,
+            estimates,
+        } => {
+            buf.put_u8(MSG_ESTIMATE_BATCH);
+            buf.put_u64_le(*request_id);
+            buf.put_u32_le(estimates.len() as u32);
+            for e in estimates {
+                put_estimate(&mut buf, e);
+            }
         }
         Message::SubmitReply { request_id, server } => {
             buf.put_u8(MSG_SUBMIT_REPLY);
@@ -418,9 +563,48 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
     match tag {
         MSG_SUBMIT => {
             let request_id = need_u64(&mut buf)?;
+            let ctx = TraceCtx {
+                trace_id: need_u64(&mut buf)?,
+                parent_span: need_u64(&mut buf)?,
+            };
             Ok(Message::Submit {
                 request_id,
+                ctx,
                 service: get_str(&mut buf)?,
+                exclude: get_str_list(&mut buf)?,
+            })
+        }
+        MSG_FORWARD => {
+            let request_id = need_u64(&mut buf)?;
+            let ctx = TraceCtx {
+                trace_id: need_u64(&mut buf)?,
+                parent_span: need_u64(&mut buf)?,
+            };
+            let service = get_str(&mut buf)?;
+            let exclude = get_str_list(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated forward ttl".into()));
+            }
+            Ok(Message::Forward {
+                request_id,
+                ctx,
+                service,
+                exclude,
+                ttl: buf.get_u8(),
+            })
+        }
+        MSG_ESTIMATE_BATCH => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DietError::Codec("truncated estimate count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let estimates = (0..n)
+                .map(|_| get_estimate(&mut buf))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Message::EstimateBatch {
+                request_id,
+                estimates,
             })
         }
         MSG_SUBMIT_REPLY => {
@@ -566,6 +750,60 @@ mod tests {
             Message::Submit {
                 service: "ramsesZoom2".into(),
                 request_id: 42,
+                ctx: TraceCtx::default(),
+                exclude: vec![],
+            },
+            Message::Submit {
+                service: "ramsesZoom2".into(),
+                request_id: 43,
+                ctx: TraceCtx {
+                    trace_id: 9,
+                    parent_span: 4,
+                },
+                exclude: vec!["lyon/0".into(), "orsay-gdx/3".into()],
+            },
+            Message::Forward {
+                request_id: 50,
+                ctx: TraceCtx {
+                    trace_id: 9,
+                    parent_span: 4,
+                },
+                service: "ramsesZoom2".into(),
+                exclude: vec!["lyon/0".into()],
+                ttl: 1,
+            },
+            Message::Forward {
+                request_id: 51,
+                ctx: TraceCtx::default(),
+                service: "echo".into(),
+                exclude: vec![],
+                ttl: 0,
+            },
+            Message::EstimateBatch {
+                request_id: 50,
+                estimates: vec![],
+            },
+            Message::EstimateBatch {
+                request_id: 50,
+                estimates: vec![
+                    Estimate {
+                        server: "toulouse-violette/0".into(),
+                        speed_factor: 1.25,
+                        free_memory: 1 << 34,
+                        queue_length: 3,
+                        completed: 812,
+                        known_mean_duration: Some(417.5),
+                        probe_rtt: 0.031,
+                        data_local_bytes: 100 << 20,
+                        data_miss_bytes: 0,
+                        admission_limit: Some(16),
+                    },
+                    Estimate {
+                        server: "lyon/1".into(),
+                        speed_factor: 0.8,
+                        ..Estimate::default()
+                    },
+                ],
             },
             Message::SubmitReply {
                 request_id: 42,
@@ -707,6 +945,42 @@ mod tests {
                 decode_message(enc.slice(0..cut)).is_err(),
                 "cut at {cut} decoded successfully"
             );
+        }
+    }
+
+    #[test]
+    fn hierarchy_frames_detect_truncation() {
+        // Forward and EstimateBatch travel agent-to-agent; cut them at
+        // every byte boundary and none may decode (or panic).
+        let frames = [
+            encode_message(&Message::Forward {
+                request_id: 5,
+                ctx: TraceCtx {
+                    trace_id: 2,
+                    parent_span: 3,
+                },
+                service: "ramsesZoom2".into(),
+                exclude: vec!["lyon/0".into()],
+                ttl: 1,
+            }),
+            encode_message(&Message::EstimateBatch {
+                request_id: 5,
+                estimates: vec![Estimate {
+                    server: "sophia/2".into(),
+                    speed_factor: 1.0,
+                    known_mean_duration: Some(12.5),
+                    admission_limit: Some(4),
+                    ..Estimate::default()
+                }],
+            }),
+        ];
+        for enc in frames {
+            for cut in 0..enc.len() {
+                assert!(
+                    decode_message(enc.slice(0..cut)).is_err(),
+                    "cut at {cut} decoded successfully"
+                );
+            }
         }
     }
 

@@ -8,10 +8,17 @@
 
 use crate::agent::{AgentNode, MasterAgent};
 use crate::error::DietError;
+use crate::hierarchy::{
+    serve_agent_over_tcp, serve_ma_over_tcp, serve_sed_over_tcp, AgentConfig, RemoteAgentClient,
+};
 use crate::sched::Scheduler;
 use crate::sed::{SedConfig, SedHandle, ServiceTable};
+use crate::transport::{TcpSedPool, TcpServer};
+use obs::Obs;
 use std::collections::HashSet;
+use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One SeD placement.
 #[derive(Debug, Clone)]
@@ -115,6 +122,317 @@ impl DeploymentSpec {
             las.push(AgentNode::leaf(&la.name, seds));
         }
         Ok((MasterAgent::new(&self.ma_name, las, scheduler), all))
+    }
+}
+
+// ------------------------------------------------------- distributed topology
+
+/// The SeD-spawning callback threaded through the recursive site builder:
+/// spawns and serves one site's SeDs, returning their local handles.
+type SpawnSeds<'a> = dyn FnMut(
+        &[SedSpec],
+        &mut Vec<Arc<SedHandle>>,
+        &mut Vec<TcpServer>,
+    ) -> Result<Vec<Arc<SedHandle>>, DietError>
+    + 'a;
+
+/// One simulated site in a distributed topology: an agent process serving
+/// its local SeD processes and the agents of its child sites. Nesting
+/// `children` builds arbitrarily deep trees (the paper's multi-site
+/// Grid'5000 shape).
+#[derive(Debug, Clone)]
+pub struct TcpSiteSpec {
+    pub name: String,
+    pub seds: Vec<SedSpec>,
+    pub children: Vec<TcpSiteSpec>,
+}
+
+/// A whole multi-site deployment to stand up as local TCP processes: one
+/// MA process at the top (optionally with MA-local SeDs — a depth-1
+/// hierarchy), one agent process per site, one server per SeD. Every edge
+/// is a real socket; nothing shares memory except through the wire.
+#[derive(Debug, Clone)]
+pub struct TcpTopologySpec {
+    pub ma_name: String,
+    /// SeDs attached directly to the MA (depth-1 deployments).
+    pub ma_seds: Vec<SedSpec>,
+    pub sites: Vec<TcpSiteSpec>,
+    /// Per-agent concurrent-forward cap (the `Busy` backpressure bound).
+    pub admission_limit: Option<usize>,
+    /// Per-hop deadline: how long any agent waits on one child subtree.
+    pub child_timeout_ms: u64,
+}
+
+impl TcpTopologySpec {
+    /// A linear chain of the given depth with `seds_per_leaf` SeDs at the
+    /// bottom — the shape the finding-depth experiment sweeps. Depth 1 is
+    /// an MA with local SeDs; depth `d` adds `d - 1` agent hops above them.
+    pub fn chain(depth: usize, seds_per_leaf: usize) -> Self {
+        let seds = |d: usize| {
+            (0..seds_per_leaf)
+                .map(|i| SedSpec {
+                    label: format!("d{d}/s{i}"),
+                    speed_factor: 1.0,
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut spec = TcpTopologySpec {
+            ma_name: format!("MA-d{depth}"),
+            ma_seds: vec![],
+            sites: vec![],
+            admission_limit: None,
+            child_timeout_ms: 2_000,
+        };
+        if depth <= 1 {
+            spec.ma_seds = seds(depth);
+            return spec;
+        }
+        // Build the chain bottom-up: the leaf site holds the SeDs, each
+        // level above wraps it as its only child.
+        let mut site = TcpSiteSpec {
+            name: format!("la{}", depth - 1),
+            seds: seds(depth),
+            children: vec![],
+        };
+        for level in (1..depth - 1).rev() {
+            site = TcpSiteSpec {
+                name: format!("la{level}"),
+                seds: vec![],
+                children: vec![site],
+            };
+        }
+        spec.sites = vec![site];
+        spec
+    }
+
+    /// Validate: at least one SeD somewhere, unique labels and site names,
+    /// positive speeds, no empty sites (a site must hold SeDs or children).
+    pub fn validate(&self) -> Result<(), DietError> {
+        fn walk(
+            site: &TcpSiteSpec,
+            labels: &mut HashSet<String>,
+            names: &mut HashSet<String>,
+        ) -> Result<usize, DietError> {
+            if !names.insert(site.name.clone()) {
+                return Err(DietError::Deployment(format!(
+                    "duplicate site name {}",
+                    site.name
+                )));
+            }
+            if site.seds.is_empty() && site.children.is_empty() {
+                return Err(DietError::Deployment(format!(
+                    "site {} has neither SeDs nor children",
+                    site.name
+                )));
+            }
+            let mut count = 0;
+            for sed in &site.seds {
+                check_sed(sed, labels)?;
+                count += 1;
+            }
+            for child in &site.children {
+                count += walk(child, labels, names)?;
+            }
+            Ok(count)
+        }
+        fn check_sed(sed: &SedSpec, labels: &mut HashSet<String>) -> Result<(), DietError> {
+            if sed.speed_factor <= 0.0 {
+                return Err(DietError::Deployment(format!(
+                    "SeD {} has non-positive speed",
+                    sed.label
+                )));
+            }
+            if !labels.insert(sed.label.clone()) {
+                return Err(DietError::Deployment(format!(
+                    "duplicate SeD label {}",
+                    sed.label
+                )));
+            }
+            Ok(())
+        }
+        let mut labels = HashSet::new();
+        let mut names = HashSet::new();
+        let mut total = 0;
+        for sed in &self.ma_seds {
+            check_sed(sed, &mut labels)?;
+            total += 1;
+        }
+        for site in &self.sites {
+            total += walk(site, &mut labels, &mut names)?;
+        }
+        if total == 0 {
+            return Err(DietError::Deployment("topology has no SeDs".into()));
+        }
+        Ok(())
+    }
+
+    /// Stand the whole topology up as local TCP processes, bottom-up: SeD
+    /// servers first, then each site's agent server (its node holding local
+    /// SeD handles plus [`RemoteAgentClient`] stubs for its children), the
+    /// MA process last. One shared [`Obs`] sink means a single trace
+    /// snapshot shows every hop of a finding phase.
+    pub fn deploy(
+        &self,
+        scheduler: Arc<dyn Scheduler>,
+        mut table_for: impl FnMut(&SedSpec) -> ServiceTable,
+    ) -> Result<TcpDeployment, DietError> {
+        self.validate()?;
+        let obs = Arc::new(Obs::new());
+        let pool = Arc::new(TcpSedPool::new());
+        let timeout = Duration::from_millis(self.child_timeout_ms.max(1));
+        let agent_cfg = AgentConfig {
+            admission_limit: self.admission_limit,
+            obs: obs.clone(),
+            ..AgentConfig::default()
+        };
+        let mut seds = Vec::new();
+        let mut sed_servers = Vec::new();
+        let mut agent_servers = Vec::new();
+
+        let spawn_seds = |specs: &[SedSpec],
+                          table_for: &mut dyn FnMut(&SedSpec) -> ServiceTable,
+                          seds: &mut Vec<Arc<SedHandle>>,
+                          sed_servers: &mut Vec<TcpServer>|
+         -> Result<Vec<Arc<SedHandle>>, DietError> {
+            let mut local = Vec::new();
+            for spec in specs {
+                let sed = SedHandle::spawn_with_obs(
+                    SedConfig::new(&spec.label, spec.speed_factor),
+                    table_for(spec),
+                    obs.clone(),
+                );
+                let server = serve_sed_over_tcp(sed.clone())?;
+                pool.register(&spec.label, server.local_addr);
+                sed_servers.push(server);
+                seds.push(sed.clone());
+                local.push(sed);
+            }
+            Ok(local)
+        };
+
+        fn build_site(
+            site: &TcpSiteSpec,
+            timeout: Duration,
+            agent_cfg: &AgentConfig,
+            spawn_seds: &mut SpawnSeds<'_>,
+            seds: &mut Vec<Arc<SedHandle>>,
+            sed_servers: &mut Vec<TcpServer>,
+            agent_servers: &mut Vec<(String, TcpServer)>,
+        ) -> Result<Arc<RemoteAgentClient>, DietError> {
+            let mut child_stubs = Vec::new();
+            for child in &site.children {
+                child_stubs.push(build_site(
+                    child,
+                    timeout,
+                    agent_cfg,
+                    spawn_seds,
+                    seds,
+                    sed_servers,
+                    agent_servers,
+                )?);
+            }
+            let local = spawn_seds(&site.seds, seds, sed_servers)?;
+            let node = AgentNode::leaf(&site.name, local);
+            for stub in child_stubs {
+                node.add_remote(stub);
+            }
+            let server = serve_agent_over_tcp(node, agent_cfg.clone())?;
+            let stub = RemoteAgentClient::with_timeout(&site.name, server.local_addr, timeout);
+            agent_servers.push((site.name.clone(), server));
+            Ok(stub)
+        }
+
+        let mut site_stubs = Vec::new();
+        for site in &self.sites {
+            site_stubs.push(build_site(
+                site,
+                timeout,
+                &agent_cfg,
+                &mut |specs, seds, servers| spawn_seds(specs, &mut table_for, seds, servers),
+                &mut seds,
+                &mut sed_servers,
+                &mut agent_servers,
+            )?);
+        }
+        let ma_local = spawn_seds(&self.ma_seds, &mut table_for, &mut seds, &mut sed_servers)?;
+        let root = AgentNode::leaf(&format!("{}/local", self.ma_name), ma_local);
+        for stub in site_stubs {
+            root.add_remote(stub);
+        }
+        let ma = MasterAgent::new_with_obs(&self.ma_name, vec![root], scheduler, obs.clone());
+        ma.set_collect_timeout(timeout);
+        let ma_server = serve_ma_over_tcp(ma.clone(), vec![], agent_cfg)?;
+        let ma_client =
+            RemoteAgentClient::with_timeout(&self.ma_name, ma_server.local_addr, timeout);
+        Ok(TcpDeployment {
+            obs,
+            ma,
+            ma_client,
+            ma_server,
+            agent_servers,
+            pool,
+            seds,
+            sed_servers,
+        })
+    }
+}
+
+/// A running multi-site topology of local TCP processes: every agent and
+/// SeD behind its own listener, held together only by sockets. Tests kill
+/// individual servers (via [`TcpDeployment::kill_agent`]) to simulate site
+/// failures.
+pub struct TcpDeployment {
+    /// The sink every component records into (one trace per finding phase).
+    pub obs: Arc<Obs>,
+    /// The MA's in-process handle (for heartbeat monitors and assertions).
+    pub ma: Arc<MasterAgent>,
+    /// Client stub for the MA process — what submits go through.
+    pub ma_client: Arc<RemoteAgentClient>,
+    pub ma_server: TcpServer,
+    /// `(site name, server)` per agent process, leaf-to-root order.
+    pub agent_servers: Vec<(String, TcpServer)>,
+    /// Endpoint registry for every SeD in the topology (clients call the
+    /// chosen SeD directly through this).
+    pub pool: Arc<TcpSedPool>,
+    pub seds: Vec<Arc<SedHandle>>,
+    pub sed_servers: Vec<TcpServer>,
+}
+
+impl TcpDeployment {
+    /// The listening address of the named site's agent process.
+    pub fn agent_addr(&self, name: &str) -> Option<SocketAddr> {
+        self.agent_servers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.local_addr)
+    }
+
+    /// Crash the named site's agent process: stop accepting and sever every
+    /// live connection, exactly like the host dying. The SeDs below it keep
+    /// running (clients already holding their labels can still call them);
+    /// only the finding path through this agent goes dark.
+    pub fn kill_agent(&self, name: &str) -> bool {
+        match self.agent_servers.iter().find(|(n, _)| n == name) {
+            Some((_, server)) => {
+                server.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Orderly teardown: agents first (no new findings), then the SeDs.
+    pub fn shutdown(self) {
+        self.ma_server.kill();
+        for (_, server) in &self.agent_servers {
+            server.kill();
+        }
+        for server in &self.sed_servers {
+            server.kill();
+        }
+        for sed in &self.seds {
+            sed.shutdown();
+        }
     }
 }
 

@@ -1,0 +1,680 @@
+//! The distributed MA/LA hierarchy: agents as separate TCP processes.
+//!
+//! The in-process tree ([`crate::agent`]) models the paper's hierarchy
+//! inside one address space. This module puts each agent behind a real
+//! socket, the deployment shape DIET ran on the grid: a Master Agent
+//! process at the top, Local Agent processes per site, SeD processes at
+//! the leaves, every edge a TCP connection speaking the frame codec.
+//!
+//! Frame flow for one finding phase (client submit, depth 2):
+//!
+//! ```text
+//! client ──Submit──────────▶ MA process
+//!                             │  Forward (mux, rid)
+//!                             ▼
+//!                            LA process ──estimates()──▶ local SeDs
+//!                             │                 │ Forward to its own
+//!                             │                 ▼ remote children...
+//!                             │  EstimateBatch (echoes rid)
+//!                             ▼
+//!                            MA schedules over the aggregate
+//! client ◀─SubmitReply(label)┘
+//! client ──Call(label)──────▶ chosen SeD directly (the DIET shortcut:
+//!                             data never relays through the agents)
+//! ```
+//!
+//! Estimates hop up the tree inside [`Message::EstimateBatch`] frames;
+//! each parent adds the measured hop RTT to every child estimate's
+//! `probe_rtt`, so by the time an estimate reaches the scheduler its
+//! probe time reflects the real path down the tree. Trace contexts ride
+//! inside `Forward` frames, so one trace covers the whole finding phase
+//! across every process.
+//!
+//! Federation: when an MA cannot resolve a service in its own tree
+//! (`ServiceNotFound`), it forwards the request to its federation peers
+//! (other MAs) with `ttl = 0` — peers consult only their own trees, so
+//! a cycle of MAs cannot loop a request. `NoServerAvailable` (declared
+//! but currently saturated/excluded) does **not** federate: the service
+//! exists here, the client should back off and retry locally.
+//!
+//! Failure semantics: every agent process answers `Ping` on a dedicated
+//! connection so [`crate::agent::HeartbeatMonitor`] can probe it; a
+//! subtree whose agent misses its deadline is marked unavailable and
+//! skipped by collection (never removed — a returning agent is restored
+//! on its next successful probe). A stalled or dead subtree costs one
+//! collection deadline, not the whole submit.
+
+use crate::agent::{AgentNode, MasterAgent, RemoteSubtree};
+use crate::codec::Message;
+use crate::data::DietValue;
+use crate::error::DietError;
+use crate::monitor::Estimate;
+use crate::sed::SedHandle;
+use crate::transport::{Duplex, MuxConn, ServerConfig, TcpServer, TcpTransport};
+use obs::{Obs, TraceCtx};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- SeD serving
+
+/// Expose a live SeD over TCP — the serving half of the CORBA role in the
+/// original DIET. Each accepted connection streams `Call`/`CallReply` frames
+/// and answers `Ping` with `Pong` so remote heartbeat monitors can probe the
+/// node. Uses [`ServerConfig::default`] pool sizing; see
+/// [`serve_sed_over_tcp_with_config`].
+pub fn serve_sed_over_tcp(sed: Arc<SedHandle>) -> Result<TcpServer, DietError> {
+    serve_sed_over_tcp_with_config(sed, ServerConfig::default())
+}
+
+/// [`serve_sed_over_tcp`] with explicit worker-pool sizing and fault hooks.
+///
+/// The serving loop is **pipelined**: a `Call` frame is admitted into the
+/// SeD's solve queue and the loop immediately goes back to reading, so one
+/// multiplexed connection carries many in-flight requests. Each completed
+/// solve is shipped back by a per-request completion waiter, correlated by
+/// the request id it echoes (replies may overtake each other — that is the
+/// point). Data and control frames (`GetData`/`PutData`/`Ping`/
+/// `DumpMetrics`) are cheap and stay inline on the read loop.
+///
+/// Admission control: when the SeD's `admission_limit` is reached (or the
+/// fault plan forces it), a `Call` is answered with [`Message::Busy`]
+/// echoing its id instead of queueing without bound — the client backs off
+/// and resubmits; the MA meanwhile sees the saturation in `Estimate` and
+/// routes around it.
+///
+/// Failure semantics, chosen so clients can tell application errors from
+/// crashes:
+///
+/// * Submission rejections and solve errors travel back as `CallReply` with
+///   an `Err` string — the request *was* handled, it just failed, so the
+///   client must not silently resubmit it.
+/// * If the SeD worker dies mid-call the connection is severed **without** a
+///   reply: the client observes a transport error, which the retry layer
+///   treats as retryable and resubmits through the Master Agent.
+/// * Reply frames that cannot be delivered (client gone, socket reset) are
+///   recorded on the SeD's load tracker via
+///   [`SedHandle::note_reply_failure`] instead of being swallowed.
+pub fn serve_sed_over_tcp_with_config(
+    sed: Arc<SedHandle>,
+    cfg: ServerConfig,
+) -> Result<TcpServer, DietError> {
+    TcpServer::spawn_with_config("127.0.0.1:0", cfg, move |conn| {
+        let conn = Arc::new(conn);
+        // One reply pump per connection ships completed solves back to the
+        // client. The SeD worker drains its queue in FIFO order, so waiting
+        // on completion receivers in submission order never stalls a ready
+        // reply; a single persistent thread replaces a thread-spawn per
+        // request on the hot path.
+        type PumpItem = (
+            u64,
+            TraceCtx,
+            crossbeam::channel::Receiver<crate::sed::SolveOutcome>,
+        );
+        let (pump_tx, pump_rx) = std::sync::mpsc::channel::<PumpItem>();
+        let pump = {
+            let conn = conn.clone();
+            let sed = sed.clone();
+            std::thread::spawn(move || {
+                while let Ok((request_id, ctx, rx)) = pump_rx.recv() {
+                    let reply = match rx.recv() {
+                        Ok(outcome) => Message::CallReply {
+                            request_id,
+                            queue_wait: outcome.queue_wait,
+                            solve: outcome.solve_time,
+                            result: outcome.result.map_err(|e| e.to_string()),
+                        },
+                        // Worker crashed while holding the request: the
+                        // reply can never come. Sever the connection so
+                        // every caller on it sees a transport fault and
+                        // retries elsewhere.
+                        Err(_) => {
+                            sed.note_reply_failure();
+                            conn.shutdown();
+                            return;
+                        }
+                    };
+                    // The reply frame *is* the result-return phase: span it
+                    // so the trace covers the wire time back to the client.
+                    let obs = sed.obs();
+                    let ret_start_ns = obs.tracer.now_ns();
+                    let sent = conn.send(&reply);
+                    if ctx.is_active() {
+                        obs.tracer.record_window(
+                            ctx.trace_id,
+                            ctx.parent_span,
+                            "ResultReturn",
+                            &sed.config.label,
+                            ret_start_ns,
+                            obs.tracer.now_ns(),
+                        );
+                    }
+                    if sent.is_err() {
+                        // Client gone: record it and stop pumping — the
+                        // read loop will notice the dead socket too.
+                        sed.note_reply_failure();
+                        conn.shutdown();
+                        return;
+                    }
+                }
+            })
+        };
+        while let Ok(msg) = conn.recv() {
+            match msg {
+                Message::Call {
+                    request_id,
+                    ctx,
+                    profile,
+                } => {
+                    // Admission control: a full queue answers Busy (echoing
+                    // the id so the mux client wakes exactly this caller)
+                    // instead of queueing without bound. The fault plan can
+                    // force it to simulate overload.
+                    if sed.faults().force_busy() || !sed.admits() {
+                        sed.obs().metrics.counter("diet_sed_busy_total").inc();
+                        if conn.send(&Message::Busy { request_id }).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    match sed.submit_traced(profile, ctx) {
+                        Ok(rx) => {
+                            // Pipelining: hand the completion to the reply
+                            // pump and keep reading. The pump owns the
+                            // reply leg; the transport's write lock keeps
+                            // its frames whole against the inline
+                            // Busy/error replies below.
+                            if pump_tx.send((request_id, ctx, rx)).is_err() {
+                                // Pump exited (worker crash or dead
+                                // socket): the connection is being severed.
+                                break;
+                            }
+                        }
+                        // A submit failure that is itself a transport fault
+                        // means the SeD worker is gone — a crash, not an
+                        // application rejection. Sever without replying so
+                        // every caller resubmits through the MA instead of
+                        // treating "SeD is down" as a final rejection.
+                        Err(DietError::Transport(_)) => {
+                            sed.note_reply_failure();
+                            conn.shutdown();
+                            break;
+                        }
+                        Err(e) => {
+                            let reply = Message::CallReply {
+                                request_id,
+                                queue_wait: 0.0,
+                                solve: 0.0,
+                                result: Err(e.to_string()),
+                            };
+                            if conn.send(&reply).is_err() {
+                                sed.note_reply_failure();
+                                break;
+                            }
+                        }
+                    }
+                }
+                // DAGDA's SeD-to-SeD pull: another SeD (or a client) asks
+                // for a catalogued item by id; serve it out of the local
+                // store. A miss is an application-level `Err`, not a
+                // dropped connection — the puller falls back to re-shipping.
+                Message::GetData { request_id, id } => {
+                    let result = sed.datamgr.get_with_mode(&id).map_err(|e| e.to_string());
+                    let reply = Message::DataReply {
+                        request_id,
+                        id,
+                        result,
+                    };
+                    if conn.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                // The client-side `store_data` leg: retain + publish to the
+                // catalog, ack with an empty DataReply. Volatile payloads
+                // are refused — there is nothing to persist.
+                Message::PutData {
+                    request_id,
+                    id,
+                    mode,
+                    value,
+                } => {
+                    let result = if sed.store_data(&id, value, mode) {
+                        Ok((DietValue::Null, mode))
+                    } else {
+                        Err(format!("store_data({id}): volatile data is not retained"))
+                    };
+                    let reply = Message::DataReply {
+                        request_id,
+                        id,
+                        result,
+                    };
+                    if conn.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                // The `dump-metrics` request: ship this SeD's registry as
+                // Prometheus text over the same transport the solves use.
+                Message::DumpMetrics => {
+                    let text = sed.obs().metrics.render_prometheus();
+                    if conn.send(&Message::MetricsReply { text }).is_err() {
+                        break;
+                    }
+                }
+                Message::Ping if conn.send(&Message::Pong).is_err() => {
+                    break;
+                }
+                Message::Shutdown => break,
+                _ => {}
+            }
+        }
+        // Let the pump drain any in-flight completions, then wait for it so
+        // the last replies hit the socket before the handler returns.
+        drop(pump_tx);
+        let _ = pump.join();
+    })
+}
+
+// --------------------------------------------------------------- agent client
+
+/// Client stub for a remote agent process: one multiplexed connection
+/// carrying `Forward`/`Submit` frames, redialed transparently when it dies.
+///
+/// A parent agent holds one of these per remote child (via the
+/// [`RemoteSubtree`] impl); a client holds one for the MA it submits
+/// through; an MA holds one per federation peer.
+pub struct RemoteAgentClient {
+    name: String,
+    addr: SocketAddr,
+    mux: Mutex<Option<Arc<MuxConn>>>,
+    next_id: AtomicU64,
+    timeout: Duration,
+}
+
+impl RemoteAgentClient {
+    /// A stub for the agent at `addr`. Dials lazily on first use, so the
+    /// stub can be built before (or while) the agent process comes up.
+    pub fn new(name: &str, addr: SocketAddr) -> Arc<Self> {
+        Self::with_timeout(name, addr, Duration::from_secs(5))
+    }
+
+    /// [`RemoteAgentClient::new`] with an explicit per-request deadline —
+    /// the bound on how long one hop down the tree may take.
+    pub fn with_timeout(name: &str, addr: SocketAddr, timeout: Duration) -> Arc<Self> {
+        Arc::new(RemoteAgentClient {
+            name: name.to_string(),
+            addr,
+            mux: Mutex::new(None),
+            next_id: AtomicU64::new(0),
+            timeout,
+        })
+    }
+
+    /// The remote agent's address (for heartbeat probes and redials).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live multiplexed connection, dialing if absent or dead.
+    fn mux(&self) -> Result<Arc<MuxConn>, DietError> {
+        let mut slot = self.mux.lock();
+        if let Some(mux) = slot.as_ref() {
+            if !mux.is_dead() {
+                return Ok(mux.clone());
+            }
+        }
+        let fresh = Arc::new(MuxConn::connect(self.addr)?);
+        *slot = Some(fresh.clone());
+        Ok(fresh)
+    }
+
+    fn rid(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// One finding hop: forward a request down to this agent and wait for
+    /// the aggregated estimates of its whole subtree. `ttl` bounds
+    /// *sideways* (federation) forwarding at the receiver; tree-downward
+    /// collection always recurses.
+    pub fn forward(
+        &self,
+        service: &str,
+        exclude: &[String],
+        ctx: TraceCtx,
+        ttl: u8,
+    ) -> Result<Vec<Estimate>, DietError> {
+        let mux = self.mux()?;
+        let request_id = self.rid();
+        let reply = mux.request(
+            &Message::Forward {
+                request_id,
+                ctx,
+                service: service.to_string(),
+                exclude: exclude.to_vec(),
+                ttl,
+            },
+            request_id,
+            self.timeout,
+        )?;
+        match reply {
+            Message::EstimateBatch { estimates, .. } => Ok(estimates),
+            Message::Busy { .. } => Err(DietError::Busy),
+            other => Err(DietError::Transport(format!(
+                "unexpected reply to forward: {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit through a remote MA: returns the winning SeD's label
+    /// (`None` when the MA found no server — the remote analog of
+    /// [`DietError::NoServerAvailable`]).
+    pub fn submit(
+        &self,
+        service: &str,
+        exclude: &[String],
+        ctx: TraceCtx,
+    ) -> Result<Option<String>, DietError> {
+        let mux = self.mux()?;
+        let request_id = self.rid();
+        let reply = mux.request(
+            &Message::Submit {
+                service: service.to_string(),
+                request_id,
+                ctx,
+                exclude: exclude.to_vec(),
+            },
+            request_id,
+            self.timeout,
+        )?;
+        match reply {
+            Message::SubmitReply { server, .. } => Ok(server),
+            Message::Busy { .. } => Err(DietError::Busy),
+            other => Err(DietError::Transport(format!(
+                "unexpected reply to submit: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl RemoteSubtree for RemoteAgentClient {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn collect(
+        &self,
+        service: &str,
+        exclude: &[String],
+        ctx: TraceCtx,
+    ) -> Result<Vec<Estimate>, DietError> {
+        self.forward(service, exclude, ctx, 0)
+    }
+
+    /// Liveness probe on a dedicated short-lived connection: `Pong`
+    /// carries no correlation id, so it cannot ride the multiplexed
+    /// stream (the demux thread would drop it).
+    fn ping(&self, timeout: Duration) -> bool {
+        let Ok(conn) = TcpTransport::connect(self.addr) else {
+            return false;
+        };
+        if conn.send(&Message::Ping).is_err() {
+            return false;
+        }
+        matches!(conn.recv_timeout(timeout), Ok(Some(Message::Pong)))
+    }
+}
+
+// --------------------------------------------------------------- agent serving
+
+/// Sizing and admission policy for one served agent process.
+#[derive(Clone)]
+pub struct AgentConfig {
+    /// Concurrent forwards this agent admits before answering `Busy`
+    /// (echoing the request id, so exactly the over-limit caller backs
+    /// off). `None` admits without bound.
+    pub admission_limit: Option<usize>,
+    /// Connection-pool sizing for the agent's listener.
+    pub server: ServerConfig,
+    /// Observability sink the serving loop records into (busy counters,
+    /// per-hop trace windows). Share one across a deployment so a single
+    /// trace snapshot shows every hop.
+    pub obs: Arc<Obs>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            admission_limit: None,
+            server: ServerConfig::default(),
+            obs: Arc::new(Obs::new()),
+        }
+    }
+}
+
+/// Serve an agent subtree (a Local Agent process) on an ephemeral port.
+/// See [`serve_agent_over_tcp_at`].
+pub fn serve_agent_over_tcp(
+    node: Arc<AgentNode>,
+    cfg: AgentConfig,
+) -> Result<TcpServer, DietError> {
+    serve_agent_over_tcp_at(node, "127.0.0.1:0", cfg)
+}
+
+/// Serve an agent subtree at an explicit address — the restart path: a
+/// recovered agent rebinds its old address so parents' stubs (which hold
+/// the address, not the connection) find it again without re-registration.
+///
+/// Protocol: `Forward` frames are answered with `EstimateBatch` carrying
+/// the whole subtree's estimates (local SeDs, in-process children, and
+/// remote children reached through this node's [`RemoteSubtree`] slots);
+/// over-admission answers `Busy`. `Ping`/`Pong` serves heartbeat probes,
+/// `DumpMetrics` ships the agent's registry.
+pub fn serve_agent_over_tcp_at(
+    node: Arc<AgentNode>,
+    addr: impl std::net::ToSocketAddrs + Clone + Send + Sync + 'static,
+    cfg: AgentConfig,
+) -> Result<TcpServer, DietError> {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let admission_limit = cfg.admission_limit;
+    let obs = cfg.obs.clone();
+    TcpServer::spawn_with_config(addr, cfg.server, move |conn| {
+        while let Ok(msg) = conn.recv() {
+            match msg {
+                Message::Forward {
+                    request_id,
+                    ctx,
+                    service,
+                    exclude,
+                    ttl: _,
+                } => {
+                    // Per-agent admission: the PR-5 Busy backpressure,
+                    // applied one level up — an overloaded *agent* (not
+                    // just an overloaded SeD) pushes back explicitly.
+                    let admitted = inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                    if admission_limit.is_some_and(|cap| admitted > cap) {
+                        inflight.fetch_sub(1, Ordering::AcqRel);
+                        obs.metrics.counter("diet_agent_busy_total").inc();
+                        if conn.send(&Message::Busy { request_id }).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    let t0 = obs.tracer.now_ns();
+                    let estimates = node.estimates(&service, &exclude, ctx);
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    if ctx.is_active() {
+                        obs.tracer.record_window(
+                            ctx.trace_id,
+                            ctx.parent_span,
+                            "AgentEstimate",
+                            &node.name,
+                            t0,
+                            obs.tracer.now_ns(),
+                        );
+                    }
+                    if conn
+                        .send(&Message::EstimateBatch {
+                            request_id,
+                            estimates,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Message::DumpMetrics => {
+                    let text = obs.metrics.render_prometheus();
+                    if conn.send(&Message::MetricsReply { text }).is_err() {
+                        break;
+                    }
+                }
+                Message::Ping if conn.send(&Message::Pong).is_err() => {
+                    break;
+                }
+                Message::Shutdown => break,
+                _ => {}
+            }
+        }
+    })
+}
+
+/// Serve a Master Agent process on an ephemeral port. See
+/// [`serve_ma_over_tcp_at`].
+pub fn serve_ma_over_tcp(
+    ma: Arc<MasterAgent>,
+    peers: Vec<Arc<RemoteAgentClient>>,
+    cfg: AgentConfig,
+) -> Result<TcpServer, DietError> {
+    serve_ma_over_tcp_at(ma, peers, "127.0.0.1:0", cfg)
+}
+
+/// Serve a Master Agent at an explicit address: the top of the tree, the
+/// process clients submit to.
+///
+/// `Submit` frames resolve through the MA's whole (possibly remote) tree
+/// and answer `SubmitReply` with the winning label. When resolution fails
+/// with `ServiceNotFound` and `peers` is non-empty, the request
+/// **federates**: each peer MA is consulted with a `Forward` at `ttl = 0`
+/// (so a cycle of MAs cannot loop), the aggregated estimates are
+/// scheduled with this MA's own policy, and the winner's label is
+/// returned as if it were local. `NoServerAvailable` does not federate —
+/// the service is declared here, the client should retry locally.
+///
+/// `Forward` frames make this MA usable *as* a federation peer (and as a
+/// remote subtree of an even larger tree): they are answered with the
+/// estimates of the MA's own tree only.
+pub fn serve_ma_over_tcp_at(
+    ma: Arc<MasterAgent>,
+    peers: Vec<Arc<RemoteAgentClient>>,
+    addr: impl std::net::ToSocketAddrs + Clone + Send + Sync + 'static,
+    cfg: AgentConfig,
+) -> Result<TcpServer, DietError> {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let admission_limit = cfg.admission_limit;
+    let obs = cfg.obs.clone();
+    TcpServer::spawn_with_config(addr, cfg.server, move |conn| {
+        while let Ok(msg) = conn.recv() {
+            match msg {
+                Message::Submit {
+                    service,
+                    request_id,
+                    ctx,
+                    exclude,
+                } => {
+                    let admitted = inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                    if admission_limit.is_some_and(|cap| admitted > cap) {
+                        inflight.fetch_sub(1, Ordering::AcqRel);
+                        obs.metrics.counter("diet_agent_busy_total").inc();
+                        if conn.send(&Message::Busy { request_id }).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    let server = match ma.resolve(&service, &[], &exclude, ctx) {
+                        Ok(label) => Some(label),
+                        Err(DietError::ServiceNotFound(_)) if !peers.is_empty() => {
+                            federate(&ma, &peers, &service, &exclude, ctx, &obs)
+                        }
+                        Err(_) => None,
+                    };
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    if conn
+                        .send(&Message::SubmitReply { request_id, server })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                // Acting as a federation peer (or as somebody's remote
+                // subtree): answer with our own tree's estimates. ttl = 0
+                // forbids consulting *our* peers in turn, which is the only
+                // ttl federation sends — requests die after one hop.
+                Message::Forward {
+                    request_id,
+                    ctx,
+                    service,
+                    exclude,
+                    ttl: _,
+                } => {
+                    let estimates = ma.estimates(&service, &exclude, ctx);
+                    if conn
+                        .send(&Message::EstimateBatch {
+                            request_id,
+                            estimates,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Message::DumpMetrics => {
+                    let text = ma.metrics().render_prometheus();
+                    if conn.send(&Message::MetricsReply { text }).is_err() {
+                        break;
+                    }
+                }
+                Message::Ping if conn.send(&Message::Pong).is_err() => {
+                    break;
+                }
+                Message::Shutdown => break,
+                _ => {}
+            }
+        }
+    })
+}
+
+/// The MA-to-MA forwarding leg: consult every federation peer, schedule
+/// over whatever came back with the local MA's policy. Returns the winning
+/// label, or `None` when no peer had a usable candidate.
+fn federate(
+    ma: &Arc<MasterAgent>,
+    peers: &[Arc<RemoteAgentClient>],
+    service: &str,
+    exclude: &[String],
+    ctx: TraceCtx,
+    obs: &Arc<Obs>,
+) -> Option<String> {
+    obs.metrics.counter("diet_ma_federated_total").inc();
+    let mut candidates: Vec<Estimate> = Vec::new();
+    for peer in peers {
+        match peer.forward(service, exclude, ctx, 0) {
+            Ok(ests) => {
+                candidates.extend(
+                    ests.into_iter()
+                        .filter(|e| !exclude.contains(&e.server) && !e.is_saturated()),
+                );
+            }
+            // A dead or busy peer is an empty peer — federation is
+            // best-effort over whoever answers.
+            Err(_) => continue,
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let pick = ma.scheduler_handle().select(&candidates);
+    let winner = candidates.get(pick)?;
+    obs.metrics.counter("diet_ma_federated_hits_total").add(1);
+    Some(winner.server.clone())
+}

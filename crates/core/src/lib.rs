@@ -51,6 +51,7 @@ pub mod deploy;
 pub mod error;
 pub mod faults;
 pub mod gridrpc;
+pub mod hierarchy;
 pub mod monitor;
 pub mod naming;
 pub mod probe;
@@ -68,6 +69,10 @@ pub use datamgr::DataManager;
 pub use error::DietError;
 pub use faults::{FaultAction, FaultPlan};
 pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
+pub use hierarchy::{
+    serve_agent_over_tcp, serve_agent_over_tcp_at, serve_ma_over_tcp, serve_ma_over_tcp_at,
+    serve_sed_over_tcp, serve_sed_over_tcp_with_config, AgentConfig, RemoteAgentClient,
+};
 pub use monitor::Estimate;
 pub use naming::NameServer;
 pub use obs::{Obs, TraceCtx};

@@ -49,7 +49,21 @@ impl Estimate {
     /// duration is unknown — previously that fallback dropped `probe_rtt`
     /// entirely, making a distant idle SeD look free.
     pub fn expected_finish(&self) -> f64 {
-        let per_task = self.known_mean_duration.unwrap_or(1.0) / self.speed_factor;
+        self.finish_with_task_time(self.known_mean_duration.unwrap_or(1.0) / self.speed_factor)
+    }
+
+    /// The cold-start variant of [`Estimate::expected_finish`]: unit task
+    /// cost scaled by processor speed, ignoring any known duration. This is
+    /// THE fallback formula — schedulers that cannot compare mixed
+    /// known/unknown durations call this instead of re-deriving it inline
+    /// (two inline copies drifted once already over the `probe_rtt` term).
+    pub fn expected_finish_unit(&self) -> f64 {
+        self.finish_with_task_time(1.0 / self.speed_factor)
+    }
+
+    /// The single source of truth both estimates share: backlog × per-task
+    /// time, plus the probe round-trip.
+    fn finish_with_task_time(&self, per_task: f64) -> f64 {
         (self.queue_length as f64 + 1.0) * per_task + self.probe_rtt
     }
 

@@ -152,15 +152,15 @@ impl Scheduler for WeightedSpeed {
     fn select(&self, candidates: &[Estimate]) -> usize {
         // Durations from different servers are only comparable when every
         // candidate has one; on a (partially) cold start fall back to the
-        // unit-cost ranking (queue+1)/speed for all of them, otherwise the
-        // one server that happens to have history is ranked in different
-        // units from the rest.
+        // unit-cost ranking for all of them, otherwise the one server that
+        // happens to have history is ranked in different units from the
+        // rest. Both rankings live in `Estimate` — never inline the formula.
         let all_known = candidates.iter().all(|c| c.known_mean_duration.is_some());
         let key = |c: &Estimate| -> f64 {
             if all_known {
                 c.expected_finish()
             } else {
-                (c.queue_length as f64 + 1.0) / c.speed_factor
+                c.expected_finish_unit()
             }
         };
         candidates
@@ -212,12 +212,15 @@ impl Scheduler for DataLocal {
         // Same comparability guard as WeightedSpeed: mixed known/unknown
         // durations are not in the same units, so fall back to unit-cost
         // ranking for the compute term — the transfer term always applies.
+        // The compute term is `Estimate`'s, not a local re-derivation: an
+        // inline copy here once dropped `probe_rtt` and drifted from
+        // `expected_finish` (see `monitor.rs`).
         let all_known = candidates.iter().all(|c| c.known_mean_duration.is_some());
         let key = |c: &Estimate| -> f64 {
             let compute = if all_known {
                 c.expected_finish()
             } else {
-                (c.queue_length as f64 + 1.0) / c.speed_factor + c.probe_rtt
+                c.expected_finish_unit()
             };
             compute + c.data_miss_bytes as f64 / self.bandwidth_bps.max(1.0)
         };
@@ -388,6 +391,28 @@ mod tests {
         assert_eq!(s.select(&c), 1);
         let c = vec![est("fast", 1.15, 4), est("slow", 0.8, 0)];
         assert_eq!(s.select(&c), 1);
+    }
+
+    #[test]
+    fn data_local_fallback_is_exactly_expected_finish_unit() {
+        // Regression for the formula drift: with no catalog info the
+        // DataLocal compute term must equal `Estimate::expected_finish_unit`
+        // — including the probe_rtt term an inline copy once dropped. A
+        // nearby slow server must beat a distant fast one when the rtt gap
+        // dominates the speed gap.
+        let s = DataLocal::default();
+        let mut near = est("near", 1.0, 0); // 1.0 + 0.0 = 1.0
+        near.probe_rtt = 0.0;
+        let mut far = est("far", 1.25, 0); // 0.8 + 0.5 = 1.3
+        far.probe_rtt = 0.5;
+        assert_eq!(s.select(&[far.clone(), near.clone()]), 1);
+        // WeightedSpeed ranks the same pair identically: one formula.
+        assert_eq!(WeightedSpeed.select(&[far.clone(), near.clone()]), 1);
+        assert_eq!(near.expected_finish_unit(), 1.0);
+        assert_eq!(far.expected_finish_unit(), 0.8 + 0.5);
+        // With an unknown duration, expected_finish degenerates to the unit
+        // ranking too — the fallback is the same function, not a copy.
+        assert_eq!(near.expected_finish(), near.expected_finish_unit());
     }
 
     #[test]

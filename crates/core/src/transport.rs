@@ -484,6 +484,8 @@ impl MuxConn {
                     let rid = match &msg {
                         Message::CallReply { request_id, .. } => *request_id,
                         Message::DataReply { request_id, .. } => *request_id,
+                        Message::SubmitReply { request_id, .. } => *request_id,
+                        Message::EstimateBatch { request_id, .. } => *request_id,
                         Message::Busy { request_id } => *request_id,
                         // Uncorrelated frames (Pong, MetricsReply) have no
                         // waiter on a mux connection; drop them.
@@ -859,6 +861,8 @@ mod tests {
         let m = Message::Submit {
             service: "ramsesZoom1".into(),
             request_id: 9,
+            ctx: obs::TraceCtx::default(),
+            exclude: vec![],
         };
         client.send(&m).unwrap();
         assert_eq!(client.recv().unwrap(), m);
@@ -890,6 +894,8 @@ mod tests {
             let msg = Message::Submit {
                 service: "ramsesZoom2".into(),
                 request_id: 77,
+                ctx: obs::TraceCtx::default(),
+                exclude: vec![],
             };
             let payload = encode_message(&msg);
             s.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
@@ -917,6 +923,8 @@ mod tests {
             Message::Submit {
                 service: "ramsesZoom2".into(),
                 request_id: 77,
+                ctx: obs::TraceCtx::default(),
+                exclude: vec![],
             }
         );
         writer.join().unwrap();

@@ -60,11 +60,83 @@ fn arb_finite_f64() -> impl Strategy<Value = f64> {
     any::<f64>().prop_map(|f| if f.is_nan() { 0.0 } else { f })
 }
 
+/// Estimates as they travel inside `EstimateBatch` frames: finite floats
+/// (NaN breaks the equality-checked roundtrip) and both `Option` arms.
+fn arb_wire_estimates() -> impl Strategy<Value = Vec<Estimate>> {
+    prop::collection::vec(
+        (
+            "[a-z/0-9]{1,20}",
+            0.01f64..100.0,
+            any::<u64>(),
+            0usize..1000,
+            prop::option::of(0.0f64..1e6),
+            0.0f64..10.0,
+            prop::option::of(0usize..64),
+        ),
+        0..8,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(server, speed, mem, queue, known, rtt, cap)| Estimate {
+                server,
+                speed_factor: speed,
+                free_memory: mem,
+                queue_length: queue,
+                completed: queue as u64,
+                known_mean_duration: known,
+                probe_rtt: rtt,
+                data_local_bytes: mem / 2,
+                data_miss_bytes: mem / 3,
+                admission_limit: cap,
+            })
+            .collect()
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        ("[a-z]{1,20}", any::<u64>()).prop_map(|(service, request_id)| Message::Submit {
-            service,
-            request_id
+        (
+            "[a-z]{1,20}",
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec("[a-z/0-9]{1,20}", 0..6)
+        )
+            .prop_map(|(service, request_id, trace_id, parent_span, exclude)| {
+                Message::Submit {
+                    service,
+                    request_id,
+                    ctx: obs::TraceCtx {
+                        trace_id,
+                        parent_span,
+                    },
+                    exclude,
+                }
+            }),
+        (
+            "[a-z]{1,20}",
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec("[a-z/0-9]{1,20}", 0..6),
+            any::<u8>()
+        )
+            .prop_map(
+                |(service, request_id, trace_id, exclude, ttl)| Message::Forward {
+                    request_id,
+                    ctx: obs::TraceCtx {
+                        trace_id,
+                        parent_span: 0,
+                    },
+                    service,
+                    exclude,
+                    ttl,
+                }
+            ),
+        (any::<u64>(), arb_wire_estimates()).prop_map(|(request_id, estimates)| {
+            Message::EstimateBatch {
+                request_id,
+                estimates,
+            }
         }),
         (any::<u64>(), prop::option::of("[a-z/0-9]{1,20}"))
             .prop_map(|(request_id, server)| Message::SubmitReply { request_id, server }),

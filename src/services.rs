@@ -445,225 +445,23 @@ pub fn namelist_value(namelist: &Namelist) -> DietValue {
 }
 
 /// Expose a live SeD over TCP — the serving half of the CORBA role in the
-/// original DIET. Each accepted connection streams `Call`/`CallReply` frames
-/// and answers `Ping` with `Pong` so remote heartbeat monitors can probe the
-/// node. Uses [`ServerConfig::default`] pool sizing; see
-/// [`serve_sed_over_tcp_with_config`].
+/// original DIET. The serving loop itself now lives in
+/// [`diet_core::hierarchy`] (it serves any SeD, not just the cosmology
+/// services); these wrappers keep the original entry points.
 pub fn serve_sed_over_tcp(
     sed: Arc<diet_core::sed::SedHandle>,
 ) -> Result<diet_core::transport::TcpServer, diet_core::DietError> {
-    serve_sed_over_tcp_with_config(sed, diet_core::transport::ServerConfig::default())
+    diet_core::hierarchy::serve_sed_over_tcp(sed)
 }
 
 /// [`serve_sed_over_tcp`] with explicit worker-pool sizing and fault hooks.
-///
-/// The serving loop is **pipelined**: a `Call` frame is admitted into the
-/// SeD's solve queue and the loop immediately goes back to reading, so one
-/// multiplexed connection carries many in-flight requests. Each completed
-/// solve is shipped back by a per-request completion waiter, correlated by
-/// the request id it echoes (replies may overtake each other — that is the
-/// point). Data and control frames (`GetData`/`PutData`/`Ping`/
-/// `DumpMetrics`) are cheap and stay inline on the read loop.
-///
-/// Admission control: when the SeD's `admission_limit` is reached (or the
-/// fault plan forces it), a `Call` is answered with [`Message::Busy`]
-/// echoing its id instead of queueing without bound — the client backs off
-/// and resubmits; the MA meanwhile sees the saturation in `Estimate` and
-/// routes around it.
-///
-/// Failure semantics, chosen so clients can tell application errors from
-/// crashes:
-///
-/// * Submission rejections and solve errors travel back as `CallReply` with
-///   an `Err` string — the request *was* handled, it just failed, so the
-///   client must not silently resubmit it.
-/// * If the SeD worker dies mid-call the connection is severed **without** a
-///   reply: the client observes a transport error, which the retry layer
-///   treats as retryable and resubmits through the Master Agent.
-/// * Reply frames that cannot be delivered (client gone, socket reset) are
-///   recorded on the SeD's load tracker via
-///   [`diet_core::sed::SedHandle::note_reply_failure`] instead of being
-///   swallowed.
+/// See [`diet_core::hierarchy::serve_sed_over_tcp_with_config`] for the
+/// pipelining, admission-control, and failure semantics.
 pub fn serve_sed_over_tcp_with_config(
     sed: Arc<diet_core::sed::SedHandle>,
     cfg: diet_core::transport::ServerConfig,
 ) -> Result<diet_core::transport::TcpServer, diet_core::DietError> {
-    use diet_core::codec::Message;
-    use diet_core::transport::Duplex;
-
-    diet_core::transport::TcpServer::spawn_with_config("127.0.0.1:0", cfg, move |conn| {
-        let conn = Arc::new(conn);
-        // One reply pump per connection ships completed solves back to the
-        // client. The SeD worker drains its queue in FIFO order, so waiting
-        // on completion receivers in submission order never stalls a ready
-        // reply; a single persistent thread replaces a thread-spawn per
-        // request on the hot path.
-        type PumpItem = (
-            u64,
-            obs::TraceCtx,
-            crossbeam::channel::Receiver<diet_core::sed::SolveOutcome>,
-        );
-        let (pump_tx, pump_rx) = std::sync::mpsc::channel::<PumpItem>();
-        let pump = {
-            let conn = conn.clone();
-            let sed = sed.clone();
-            std::thread::spawn(move || {
-                while let Ok((request_id, ctx, rx)) = pump_rx.recv() {
-                    let reply = match rx.recv() {
-                        Ok(outcome) => Message::CallReply {
-                            request_id,
-                            queue_wait: outcome.queue_wait,
-                            solve: outcome.solve_time,
-                            result: outcome.result.map_err(|e| e.to_string()),
-                        },
-                        // Worker crashed while holding the request: the
-                        // reply can never come. Sever the connection so
-                        // every caller on it sees a transport fault and
-                        // retries elsewhere.
-                        Err(_) => {
-                            sed.note_reply_failure();
-                            conn.shutdown();
-                            return;
-                        }
-                    };
-                    // The reply frame *is* the result-return phase: span it
-                    // so the trace covers the wire time back to the client.
-                    let obs = sed.obs();
-                    let ret_start_ns = obs.tracer.now_ns();
-                    let sent = conn.send(&reply);
-                    if ctx.is_active() {
-                        obs.tracer.record_window(
-                            ctx.trace_id,
-                            ctx.parent_span,
-                            "ResultReturn",
-                            &sed.config.label,
-                            ret_start_ns,
-                            obs.tracer.now_ns(),
-                        );
-                    }
-                    if sent.is_err() {
-                        // Client gone: record it and stop pumping — the
-                        // read loop will notice the dead socket too.
-                        sed.note_reply_failure();
-                        conn.shutdown();
-                        return;
-                    }
-                }
-            })
-        };
-        while let Ok(msg) = conn.recv() {
-            match msg {
-                Message::Call {
-                    request_id,
-                    ctx,
-                    profile,
-                } => {
-                    // Admission control: a full queue answers Busy (echoing
-                    // the id so the mux client wakes exactly this caller)
-                    // instead of queueing without bound. The fault plan can
-                    // force it to simulate overload.
-                    if sed.faults().force_busy() || !sed.admits() {
-                        sed.obs().metrics.counter("diet_sed_busy_total").inc();
-                        if conn.send(&Message::Busy { request_id }).is_err() {
-                            break;
-                        }
-                        continue;
-                    }
-                    match sed.submit_traced(profile, ctx) {
-                        Ok(rx) => {
-                            // Pipelining: hand the completion to the reply
-                            // pump and keep reading. The pump owns the
-                            // reply leg; the transport's write lock keeps
-                            // its frames whole against the inline
-                            // Busy/error replies below.
-                            if pump_tx.send((request_id, ctx, rx)).is_err() {
-                                // Pump exited (worker crash or dead
-                                // socket): the connection is being severed.
-                                break;
-                            }
-                        }
-                        // A submit failure that is itself a transport fault
-                        // means the SeD worker is gone — a crash, not an
-                        // application rejection. Sever without replying so
-                        // every caller resubmits through the MA instead of
-                        // treating "SeD is down" as a final rejection.
-                        Err(diet_core::DietError::Transport(_)) => {
-                            sed.note_reply_failure();
-                            conn.shutdown();
-                            break;
-                        }
-                        Err(e) => {
-                            let reply = Message::CallReply {
-                                request_id,
-                                queue_wait: 0.0,
-                                solve: 0.0,
-                                result: Err(e.to_string()),
-                            };
-                            if conn.send(&reply).is_err() {
-                                sed.note_reply_failure();
-                                break;
-                            }
-                        }
-                    }
-                }
-                // DAGDA's SeD-to-SeD pull: another SeD (or a client) asks
-                // for a catalogued item by id; serve it out of the local
-                // store. A miss is an application-level `Err`, not a
-                // dropped connection — the puller falls back to re-shipping.
-                Message::GetData { request_id, id } => {
-                    let result = sed.datamgr.get_with_mode(&id).map_err(|e| e.to_string());
-                    let reply = Message::DataReply {
-                        request_id,
-                        id,
-                        result,
-                    };
-                    if conn.send(&reply).is_err() {
-                        break;
-                    }
-                }
-                // The client-side `store_data` leg: retain + publish to the
-                // catalog, ack with an empty DataReply. Volatile payloads
-                // are refused — there is nothing to persist.
-                Message::PutData {
-                    request_id,
-                    id,
-                    mode,
-                    value,
-                } => {
-                    let result = if sed.store_data(&id, value, mode) {
-                        Ok((DietValue::Null, mode))
-                    } else {
-                        Err(format!("store_data({id}): volatile data is not retained"))
-                    };
-                    let reply = Message::DataReply {
-                        request_id,
-                        id,
-                        result,
-                    };
-                    if conn.send(&reply).is_err() {
-                        break;
-                    }
-                }
-                // The `dump-metrics` request: ship this SeD's registry as
-                // Prometheus text over the same transport the solves use.
-                Message::DumpMetrics => {
-                    let text = sed.obs().metrics.render_prometheus();
-                    if conn.send(&Message::MetricsReply { text }).is_err() {
-                        break;
-                    }
-                }
-                Message::Ping if conn.send(&Message::Pong).is_err() => {
-                    break;
-                }
-                Message::Shutdown => break,
-                _ => {}
-            }
-        }
-        // Let the pump drain any in-flight completions, then wait for it so
-        // the last replies hit the socket before the handler returns.
-        drop(pump_tx);
-        let _ = pump.join();
-    })
+    diet_core::hierarchy::serve_sed_over_tcp_with_config(sed, cfg)
 }
 
 #[cfg(test)]
