@@ -5,7 +5,7 @@
 #   ./ci.sh              # run every stage, print per-stage wall-clock times
 #   ./ci.sh build test   # run only the named stages, in the given order
 #
-# Stages: build test lint determinism obs data throughput
+# Stages: build test lint determinism obs data throughput hierarchy serving
 set -eu
 
 STAGE_NAMES=""
@@ -126,7 +126,22 @@ stage_hierarchy() {
      grep -q '"finding_p50_ms"' target/experiments/BENCH_finding_quick.json)
 }
 
-ALL_STAGES="build test lint determinism obs data throughput hierarchy"
+stage_serving() {
+    # Readiness-driven serving-core gate: the adversarial reactor suite
+    # (byte-trickled frames, slow-loris under a single worker, mid-frame
+    # disconnect pruning, hostile length prefixes, the pooled server's
+    # conn-map regression) at both thread widths, then the quick throughput
+    # run whose idle-connection sweep self-checks that foreground rps holds
+    # across a held herd and that the process thread count stays flat.
+    (set -x
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --test reactor_adversarial
+     RAYON_NUM_THREADS=4 cargo test -q -p diet-core --test reactor_adversarial
+     cargo run --release -p bench --bin exp_throughput -- --quick
+     test -s target/experiments/BENCH_throughput_quick.json
+     grep -q '"idle_sweep"' target/experiments/BENCH_throughput_quick.json)
+}
+
+ALL_STAGES="build test lint determinism obs data throughput hierarchy serving"
 if [ $# -eq 0 ]; then
     set -- $ALL_STAGES
 fi

@@ -23,7 +23,10 @@ use grafic::fft::{Complex, Direction, Grid3};
 use grafic::CosmoParams;
 use ramses::hydro::{HydroGrid, Prim, Riemann, GAMMA_DEFAULT};
 use ramses::particles::{cic_deposit, cic_interp_force, Mesh, Particles};
-use ramses::poisson::{gradient_force, solve, MgConfig};
+use ramses::poisson::{
+    gradient_force, residual_mesh, residual_unblocked, smooth_sweep, smooth_sweep_unblocked, solve,
+    MgConfig,
+};
 use std::time::Instant;
 
 /// Order-sensitive checksum over f64 bit patterns: any single-bit change in
@@ -189,6 +192,39 @@ fn main() {
         }),
     });
 
+    // Cache-blocked, wrap-free smoother + residual versus the pre-tiling
+    // reference (full-width loops, per-cell `% n` neighbour indexing): the
+    // same fixture on a larger mesh (where row working sets exceed L1),
+    // 4 red-black sweeps plus one residual per rep. The checksum covers the
+    // smoothed mesh and the residual, so the assertion below pins the
+    // blocked and unblocked orderings bitwise-equal at the benchmark scale.
+    let sn = if quick { 16 } else { 64 };
+    let s_smooth = fixture_source(sn);
+    let smooth_rounds = |blocked: bool| {
+        let mut phi = Mesh::zeros(sn);
+        for _ in 0..4 {
+            if blocked {
+                smooth_sweep(&mut phi, &s_smooth);
+            } else {
+                smooth_sweep_unblocked(&mut phi, &s_smooth);
+            }
+        }
+        let r = if blocked {
+            residual_mesh(&phi, &s_smooth)
+        } else {
+            residual_unblocked(&phi, &s_smooth)
+        };
+        checksum(phi.data.iter().chain(r.data.iter()).copied())
+    };
+    reports.push(KernelReport {
+        name: "poisson_smooth_blocked",
+        samples: sweep(threads, reps, || smooth_rounds(true)),
+    });
+    reports.push(KernelReport {
+        name: "poisson_smooth_unblocked",
+        samples: sweep(threads, reps, || smooth_rounds(false)),
+    });
+
     // 3-D FFT roundtrip.
     let mut grid0 = Grid3::zeros(n);
     for (i, v) in grid0.data.iter_mut().enumerate() {
@@ -224,6 +260,24 @@ fn main() {
         }
     }
 
+    // The blocked and unblocked smoother orderings must agree bit-for-bit —
+    // cache blocking and wrap-free indexing are locality/instruction
+    // changes, not numerical ones.
+    let find = |name: &str| reports.iter().find(|r| r.name == name).expect("report");
+    let blocked = find("poisson_smooth_blocked");
+    let unblocked = find("poisson_smooth_unblocked");
+    if blocked.samples[0].check != unblocked.samples[0].check {
+        println!("  blocked vs unblocked smoother: checksum MISMATCH");
+        ok = false;
+    } else {
+        println!("  blocked vs unblocked smoother: bitwise identical");
+    }
+    let tile_speedup =
+        unblocked.samples[0].median_ns.max(1) as f64 / blocked.samples[0].median_ns.max(1) as f64;
+    println!(
+        "  blocked + wrap-free smoother speedup at 1 thread: {tile_speedup:.3}x (mesh n = {sn})"
+    );
+
     let avail = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -231,12 +285,16 @@ fn main() {
         "{{\n  \"experiment\": \"kernel_scaling\",\n  \"mesh_n\": {n},\n  \
          \"threads_swept\": [{}],\n  \"reps\": {reps},\n  \
          \"available_parallelism\": {avail},\n  \
+         \"smoother_blocking\": {{\"mesh_n\": {sn}, \"tile\": 32, \"sweeps\": 4, \
+         \"bitwise_equal\": {}, \"speedup_vs_unblocked\": {:.3}}},\n  \
          \"rayon_default_threads\": {},\n  \"kernels\": [\n    {}\n  ]\n}}\n",
         threads
             .iter()
             .map(|t| t.to_string())
             .collect::<Vec<_>>()
             .join(", "),
+        blocked.samples[0].check == unblocked.samples[0].check,
+        tile_speedup,
         rayon::current_num_threads(),
         reports
             .iter()

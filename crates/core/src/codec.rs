@@ -9,7 +9,7 @@ use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
 use crate::monitor::Estimate;
 use crate::profile::Profile;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, ByteStr, Bytes, BytesMut};
 use obs::TraceCtx;
 
 /// Control messages exchanged between client, agents and SeDs.
@@ -141,6 +141,14 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 }
 
 fn get_str(buf: &mut Bytes) -> Result<String, DietError> {
+    // One copy (slice -> String); validation happens on the borrowed slice
+    // so no throwaway Vec is built for the error path.
+    Ok(get_bytestr(buf)?.as_str().to_owned())
+}
+
+/// Zero-copy string decode: the returned [`ByteStr`] is an O(1) slice of
+/// the frame's backing buffer, UTF-8 validated exactly once here.
+fn get_bytestr(buf: &mut Bytes) -> Result<ByteStr, DietError> {
     if buf.remaining() < 4 {
         return Err(DietError::Codec("truncated string length".into()));
     }
@@ -149,7 +157,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, DietError> {
         return Err(DietError::Codec("truncated string body".into()));
     }
     let raw = buf.copy_to_bytes(n);
-    String::from_utf8(raw.to_vec()).map_err(|e| DietError::Codec(format!("utf8: {e}")))
+    ByteStr::from_utf8(raw).map_err(|e| DietError::Codec(format!("utf8: {e}")))
 }
 
 fn put_value(buf: &mut BytesMut, v: &DietValue) {
@@ -247,7 +255,8 @@ fn get_value(buf: &mut Bytes) -> Result<DietValue, DietError> {
                 (0..n).map(|_| buf.get_i32_le()).collect(),
             ))
         }
-        TAG_STR => Ok(DietValue::Str(get_str(buf)?)),
+        // Zero-copy: the string payload stays a slice of the frame buffer.
+        TAG_STR => Ok(DietValue::Str(get_bytestr(buf)?)),
         TAG_FILE => {
             let name = get_str(buf)?;
             need(buf, 4)?;
@@ -545,6 +554,23 @@ pub fn encode_message(m: &Message) -> Bytes {
         }
     }
     buf.freeze()
+}
+
+/// Cheap correlation-id peek on an undecoded frame: correlated messages
+/// carry their request id LE at bytes `[1..9]` right after the tag byte.
+/// Uncorrelated frames (Ping, Shutdown, DumpMetrics, …) and frames too
+/// short to carry an id return 0 — which is never a live request id.
+pub fn peek_request_id(frame: &[u8]) -> u64 {
+    if frame.len() < 9 {
+        return 0;
+    }
+    match frame[0] {
+        MSG_SUBMIT | MSG_SUBMIT_REPLY | MSG_CALL | MSG_CALL_REPLY | MSG_GET_DATA
+        | MSG_DATA_REPLY | MSG_PUT_DATA | MSG_BUSY | MSG_FORWARD | MSG_ESTIMATE_BATCH => {
+            u64::from_le_bytes(frame[1..9].try_into().unwrap())
+        }
+        _ => 0,
+    }
 }
 
 /// Decode a message.

@@ -6,7 +6,7 @@
 //! (`DIET_VOLATILE` vs `DIET_PERSISTENT`/`DIET_STICKY`). The paper's
 //! `ramsesZoom2` service uses files and `DIET_INT` scalars, all volatile.
 
-use bytes::Bytes;
+use bytes::{ByteStr, Bytes};
 use std::sync::Arc;
 
 /// Element base types (the `diet_base_type_t` analog).
@@ -67,8 +67,10 @@ pub enum DietValue {
     VectorF64(Arc<[f64]>),
     /// Dense vector of 32-bit ints. Arc-backed like `VectorF64`.
     VectorI32(Arc<[i32]>),
-    /// UTF-8 string (paramstring).
-    Str(String),
+    /// UTF-8 string (paramstring). [`ByteStr`]-backed so a decoded wire
+    /// frame hands out an O(1) slice of the receive buffer instead of a
+    /// fresh `String` allocation + copy.
+    Str(ByteStr),
     /// A file: logical name plus contents. DIET ships files by content; the
     /// `name` mirrors the client-side path for diagnostics.
     File {
@@ -148,7 +150,7 @@ impl DietValue {
 
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            DietValue::Str(s) => Some(s),
+            DietValue::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }

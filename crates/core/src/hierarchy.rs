@@ -49,6 +49,7 @@ use crate::codec::Message;
 use crate::data::DietValue;
 use crate::error::DietError;
 use crate::monitor::Estimate;
+use crate::reactor::ConnHandle;
 use crate::sed::SedHandle;
 use crate::transport::{Duplex, MuxConn, ServerConfig, TcpServer, TcpTransport};
 use obs::{Obs, TraceCtx};
@@ -71,13 +72,18 @@ pub fn serve_sed_over_tcp(sed: Arc<SedHandle>) -> Result<TcpServer, DietError> {
 
 /// [`serve_sed_over_tcp`] with explicit worker-pool sizing and fault hooks.
 ///
-/// The serving loop is **pipelined**: a `Call` frame is admitted into the
-/// SeD's solve queue and the loop immediately goes back to reading, so one
-/// multiplexed connection carries many in-flight requests. Each completed
-/// solve is shipped back by a per-request completion waiter, correlated by
-/// the request id it echoes (replies may overtake each other — that is the
-/// point). Data and control frames (`GetData`/`PutData`/`Ping`/
-/// `DumpMetrics`) are cheap and stay inline on the read loop.
+/// Rides the readiness-driven serving core ([`TcpServer::spawn_framed`]):
+/// one reactor thread owns every connection, and complete frames are
+/// dispatched to the bounded worker pool. The path is **pipelined** end to
+/// end — a `Call` frame is admitted into the SeD's solve queue via
+/// [`SedHandle::submit_with_callback`] and the dispatch worker is free
+/// immediately; when the solve completes, its callback queues the
+/// `CallReply` straight onto the connection's write queue (replies may
+/// overtake each other — that is the point; the request id pairs them).
+/// No per-connection pump thread, no parked worker: an idle connection
+/// costs a registered buffer. Data and control frames (`GetData`/
+/// `PutData`/`Ping`/`DumpMetrics`) are answered inline on the dispatch
+/// workers.
 ///
 /// Admission control: when the SeD's `admission_limit` is reached (or the
 /// fault plan forces it), a `Call` is answered with [`Message::Busy`]
@@ -91,9 +97,10 @@ pub fn serve_sed_over_tcp(sed: Arc<SedHandle>) -> Result<TcpServer, DietError> {
 /// * Submission rejections and solve errors travel back as `CallReply` with
 ///   an `Err` string — the request *was* handled, it just failed, so the
 ///   client must not silently resubmit it.
-/// * If the SeD worker dies mid-call the connection is severed **without** a
-///   reply: the client observes a transport error, which the retry layer
-///   treats as retryable and resubmits through the Master Agent.
+/// * If the SeD worker dies mid-call its completion fires `None` and the
+///   connection is severed **without** a reply: the client observes a
+///   transport error, which the retry layer treats as retryable and
+///   resubmits through the Master Agent.
 /// * Reply frames that cannot be delivered (client gone, socket reset) are
 ///   recorded on the SeD's load tracker via
 ///   [`SedHandle::note_reply_failure`] instead of being swallowed.
@@ -101,178 +108,117 @@ pub fn serve_sed_over_tcp_with_config(
     sed: Arc<SedHandle>,
     cfg: ServerConfig,
 ) -> Result<TcpServer, DietError> {
-    TcpServer::spawn_with_config("127.0.0.1:0", cfg, move |conn| {
-        let conn = Arc::new(conn);
-        // One reply pump per connection ships completed solves back to the
-        // client. The SeD worker drains its queue in FIFO order, so waiting
-        // on completion receivers in submission order never stalls a ready
-        // reply; a single persistent thread replaces a thread-spawn per
-        // request on the hot path.
-        type PumpItem = (
-            u64,
-            TraceCtx,
-            crossbeam::channel::Receiver<crate::sed::SolveOutcome>,
-        );
-        let (pump_tx, pump_rx) = std::sync::mpsc::channel::<PumpItem>();
-        let pump = {
-            let conn = conn.clone();
-            let sed = sed.clone();
-            std::thread::spawn(move || {
-                while let Ok((request_id, ctx, rx)) = pump_rx.recv() {
-                    let reply = match rx.recv() {
-                        Ok(outcome) => Message::CallReply {
-                            request_id,
-                            queue_wait: outcome.queue_wait,
-                            solve: outcome.solve_time,
-                            result: outcome.result.map_err(|e| e.to_string()),
-                        },
-                        // Worker crashed while holding the request: the
-                        // reply can never come. Sever the connection so
-                        // every caller on it sees a transport fault and
-                        // retries elsewhere.
-                        Err(_) => {
-                            sed.note_reply_failure();
-                            conn.shutdown();
-                            return;
-                        }
-                    };
-                    // The reply frame *is* the result-return phase: span it
-                    // so the trace covers the wire time back to the client.
-                    let obs = sed.obs();
-                    let ret_start_ns = obs.tracer.now_ns();
-                    let sent = conn.send(&reply);
-                    if ctx.is_active() {
-                        obs.tracer.record_window(
-                            ctx.trace_id,
-                            ctx.parent_span,
-                            "ResultReturn",
-                            &sed.config.label,
-                            ret_start_ns,
-                            obs.tracer.now_ns(),
-                        );
-                    }
-                    if sent.is_err() {
-                        // Client gone: record it and stop pumping — the
-                        // read loop will notice the dead socket too.
-                        sed.note_reply_failure();
-                        conn.shutdown();
-                        return;
-                    }
+    TcpServer::spawn_framed("127.0.0.1:0", cfg, move |handle, msg| {
+        match msg {
+            Message::Call {
+                request_id,
+                ctx,
+                profile,
+            } => {
+                // Admission control: a full queue answers Busy (echoing
+                // the id so the mux client wakes exactly this caller)
+                // instead of queueing without bound. The fault plan can
+                // force it to simulate overload.
+                if sed.faults().force_busy() || !sed.admits() {
+                    sed.obs().metrics.counter("diet_sed_busy_total").inc();
+                    let _ = handle.send(&Message::Busy { request_id });
+                    return;
                 }
-            })
-        };
-        while let Ok(msg) = conn.recv() {
-            match msg {
-                Message::Call {
-                    request_id,
-                    ctx,
-                    profile,
-                } => {
-                    // Admission control: a full queue answers Busy (echoing
-                    // the id so the mux client wakes exactly this caller)
-                    // instead of queueing without bound. The fault plan can
-                    // force it to simulate overload.
-                    if sed.faults().force_busy() || !sed.admits() {
-                        sed.obs().metrics.counter("diet_sed_busy_total").inc();
-                        if conn.send(&Message::Busy { request_id }).is_err() {
-                            break;
-                        }
-                        continue;
-                    }
-                    match sed.submit_traced(profile, ctx) {
-                        Ok(rx) => {
-                            // Pipelining: hand the completion to the reply
-                            // pump and keep reading. The pump owns the
-                            // reply leg; the transport's write lock keeps
-                            // its frames whole against the inline
-                            // Busy/error replies below.
-                            if pump_tx.send((request_id, ctx, rx)).is_err() {
-                                // Pump exited (worker crash or dead
-                                // socket): the connection is being severed.
-                                break;
-                            }
-                        }
-                        // A submit failure that is itself a transport fault
-                        // means the SeD worker is gone — a crash, not an
-                        // application rejection. Sever without replying so
-                        // every caller resubmits through the MA instead of
-                        // treating "SeD is down" as a final rejection.
-                        Err(DietError::Transport(_)) => {
-                            sed.note_reply_failure();
-                            conn.shutdown();
-                            break;
-                        }
-                        Err(e) => {
+                let h = handle.clone();
+                let cb_sed = sed.clone();
+                let res = sed.submit_with_callback(profile, ctx, move |outcome| {
+                    match outcome {
+                        Some(o) => {
                             let reply = Message::CallReply {
                                 request_id,
-                                queue_wait: 0.0,
-                                solve: 0.0,
-                                result: Err(e.to_string()),
+                                queue_wait: o.queue_wait,
+                                solve: o.solve_time,
+                                result: o.result.map_err(|e| e.to_string()),
                             };
-                            if conn.send(&reply).is_err() {
-                                sed.note_reply_failure();
-                                break;
+                            // The reply frame *is* the result-return phase:
+                            // span it so the trace covers the hand-off back
+                            // toward the client.
+                            let obs = cb_sed.obs();
+                            let ret_start_ns = obs.tracer.now_ns();
+                            let sent = h.send(&reply);
+                            if ctx.is_active() {
+                                obs.tracer.record_window(
+                                    ctx.trace_id,
+                                    ctx.parent_span,
+                                    "ResultReturn",
+                                    &cb_sed.config.label,
+                                    ret_start_ns,
+                                    obs.tracer.now_ns(),
+                                );
+                            }
+                            if sent.is_err() {
+                                // Client gone: record the lost delivery.
+                                cb_sed.note_reply_failure();
+                                h.close();
                             }
                         }
+                        // Worker crashed while holding the request (or the
+                        // queue rejected it): the reply can never come.
+                        // Sever the connection so every caller on it sees a
+                        // transport fault and retries elsewhere.
+                        None => {
+                            cb_sed.note_reply_failure();
+                            h.close();
+                        }
                     }
+                });
+                if res.is_err() {
+                    // The SeD worker is gone — a crash, not an application
+                    // rejection. The rejected job's completion has already
+                    // fired `None` above (counting the failure and closing
+                    // the connection); this close is an idempotent backstop.
+                    handle.close();
                 }
-                // DAGDA's SeD-to-SeD pull: another SeD (or a client) asks
-                // for a catalogued item by id; serve it out of the local
-                // store. A miss is an application-level `Err`, not a
-                // dropped connection — the puller falls back to re-shipping.
-                Message::GetData { request_id, id } => {
-                    let result = sed.datamgr.get_with_mode(&id).map_err(|e| e.to_string());
-                    let reply = Message::DataReply {
-                        request_id,
-                        id,
-                        result,
-                    };
-                    if conn.send(&reply).is_err() {
-                        break;
-                    }
-                }
-                // The client-side `store_data` leg: retain + publish to the
-                // catalog, ack with an empty DataReply. Volatile payloads
-                // are refused — there is nothing to persist.
-                Message::PutData {
+            }
+            // DAGDA's SeD-to-SeD pull: another SeD (or a client) asks
+            // for a catalogued item by id; serve it out of the local
+            // store. A miss is an application-level `Err`, not a
+            // dropped connection — the puller falls back to re-shipping.
+            Message::GetData { request_id, id } => {
+                let result = sed.datamgr.get_with_mode(&id).map_err(|e| e.to_string());
+                let _ = handle.send(&Message::DataReply {
                     request_id,
                     id,
-                    mode,
-                    value,
-                } => {
-                    let result = if sed.store_data(&id, value, mode) {
-                        Ok((DietValue::Null, mode))
-                    } else {
-                        Err(format!("store_data({id}): volatile data is not retained"))
-                    };
-                    let reply = Message::DataReply {
-                        request_id,
-                        id,
-                        result,
-                    };
-                    if conn.send(&reply).is_err() {
-                        break;
-                    }
-                }
-                // The `dump-metrics` request: ship this SeD's registry as
-                // Prometheus text over the same transport the solves use.
-                Message::DumpMetrics => {
-                    let text = sed.obs().metrics.render_prometheus();
-                    if conn.send(&Message::MetricsReply { text }).is_err() {
-                        break;
-                    }
-                }
-                Message::Ping if conn.send(&Message::Pong).is_err() => {
-                    break;
-                }
-                Message::Shutdown => break,
-                _ => {}
+                    result,
+                });
             }
+            // The client-side `store_data` leg: retain + publish to the
+            // catalog, ack with an empty DataReply. Volatile payloads
+            // are refused — there is nothing to persist.
+            Message::PutData {
+                request_id,
+                id,
+                mode,
+                value,
+            } => {
+                let result = if sed.store_data(&id, value, mode) {
+                    Ok((DietValue::Null, mode))
+                } else {
+                    Err(format!("store_data({id}): volatile data is not retained"))
+                };
+                let _ = handle.send(&Message::DataReply {
+                    request_id,
+                    id,
+                    result,
+                });
+            }
+            // The `dump-metrics` request: ship this SeD's registry as
+            // Prometheus text over the same transport the solves use.
+            Message::DumpMetrics => {
+                let text = sed.obs().metrics.render_prometheus();
+                let _ = handle.send(&Message::MetricsReply { text });
+            }
+            Message::Ping => {
+                let _ = handle.send(&Message::Pong);
+            }
+            Message::Shutdown => handle.close(),
+            _ => {}
         }
-        // Let the pump drain any in-flight completions, then wait for it so
-        // the last replies hit the socket before the handler returns.
-        drop(pump_tx);
-        let _ = pump.join();
     })
 }
 
@@ -478,63 +424,55 @@ pub fn serve_agent_over_tcp_at(
     let inflight = Arc::new(AtomicUsize::new(0));
     let admission_limit = cfg.admission_limit;
     let obs = cfg.obs.clone();
-    TcpServer::spawn_with_config(addr, cfg.server, move |conn| {
-        while let Ok(msg) = conn.recv() {
-            match msg {
-                Message::Forward {
-                    request_id,
-                    ctx,
-                    service,
-                    exclude,
-                    ttl: _,
-                } => {
-                    // Per-agent admission: the PR-5 Busy backpressure,
-                    // applied one level up — an overloaded *agent* (not
-                    // just an overloaded SeD) pushes back explicitly.
-                    let admitted = inflight.fetch_add(1, Ordering::AcqRel) + 1;
-                    if admission_limit.is_some_and(|cap| admitted > cap) {
-                        inflight.fetch_sub(1, Ordering::AcqRel);
-                        obs.metrics.counter("diet_agent_busy_total").inc();
-                        if conn.send(&Message::Busy { request_id }).is_err() {
-                            break;
-                        }
-                        continue;
-                    }
-                    let t0 = obs.tracer.now_ns();
-                    let estimates = node.estimates(&service, &exclude, ctx);
+    TcpServer::spawn_framed(addr, cfg.server, move |handle: &ConnHandle, msg| {
+        match msg {
+            Message::Forward {
+                request_id,
+                ctx,
+                service,
+                exclude,
+                ttl: _,
+            } => {
+                // Per-agent admission: the PR-5 Busy backpressure,
+                // applied one level up — an overloaded *agent* (not
+                // just an overloaded SeD) pushes back explicitly.
+                let admitted = inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                if admission_limit.is_some_and(|cap| admitted > cap) {
                     inflight.fetch_sub(1, Ordering::AcqRel);
-                    if ctx.is_active() {
-                        obs.tracer.record_window(
-                            ctx.trace_id,
-                            ctx.parent_span,
-                            "AgentEstimate",
-                            &node.name,
-                            t0,
-                            obs.tracer.now_ns(),
-                        );
-                    }
-                    if conn
-                        .send(&Message::EstimateBatch {
-                            request_id,
-                            estimates,
-                        })
-                        .is_err()
-                    {
-                        break;
-                    }
+                    obs.metrics.counter("diet_agent_busy_total").inc();
+                    let _ = handle.send(&Message::Busy { request_id });
+                    return;
                 }
-                Message::DumpMetrics => {
-                    let text = obs.metrics.render_prometheus();
-                    if conn.send(&Message::MetricsReply { text }).is_err() {
-                        break;
-                    }
+                // Collection blocks this dispatch worker while the subtree
+                // answers — concurrency stays bounded by `cfg.workers`,
+                // exactly the bound the pooled server had.
+                let t0 = obs.tracer.now_ns();
+                let estimates = node.estimates(&service, &exclude, ctx);
+                inflight.fetch_sub(1, Ordering::AcqRel);
+                if ctx.is_active() {
+                    obs.tracer.record_window(
+                        ctx.trace_id,
+                        ctx.parent_span,
+                        "AgentEstimate",
+                        &node.name,
+                        t0,
+                        obs.tracer.now_ns(),
+                    );
                 }
-                Message::Ping if conn.send(&Message::Pong).is_err() => {
-                    break;
-                }
-                Message::Shutdown => break,
-                _ => {}
+                let _ = handle.send(&Message::EstimateBatch {
+                    request_id,
+                    estimates,
+                });
             }
+            Message::DumpMetrics => {
+                let text = obs.metrics.render_prometheus();
+                let _ = handle.send(&Message::MetricsReply { text });
+            }
+            Message::Ping => {
+                let _ = handle.send(&Message::Pong);
+            }
+            Message::Shutdown => handle.close(),
+            _ => {}
         }
     })
 }
@@ -573,73 +511,57 @@ pub fn serve_ma_over_tcp_at(
     let inflight = Arc::new(AtomicUsize::new(0));
     let admission_limit = cfg.admission_limit;
     let obs = cfg.obs.clone();
-    TcpServer::spawn_with_config(addr, cfg.server, move |conn| {
-        while let Ok(msg) = conn.recv() {
-            match msg {
-                Message::Submit {
-                    service,
-                    request_id,
-                    ctx,
-                    exclude,
-                } => {
-                    let admitted = inflight.fetch_add(1, Ordering::AcqRel) + 1;
-                    if admission_limit.is_some_and(|cap| admitted > cap) {
-                        inflight.fetch_sub(1, Ordering::AcqRel);
-                        obs.metrics.counter("diet_agent_busy_total").inc();
-                        if conn.send(&Message::Busy { request_id }).is_err() {
-                            break;
-                        }
-                        continue;
-                    }
-                    let server = match ma.resolve(&service, &[], &exclude, ctx) {
-                        Ok(label) => Some(label),
-                        Err(DietError::ServiceNotFound(_)) if !peers.is_empty() => {
-                            federate(&ma, &peers, &service, &exclude, ctx, &obs)
-                        }
-                        Err(_) => None,
-                    };
+    TcpServer::spawn_framed(addr, cfg.server, move |handle: &ConnHandle, msg| {
+        match msg {
+            Message::Submit {
+                service,
+                request_id,
+                ctx,
+                exclude,
+            } => {
+                let admitted = inflight.fetch_add(1, Ordering::AcqRel) + 1;
+                if admission_limit.is_some_and(|cap| admitted > cap) {
                     inflight.fetch_sub(1, Ordering::AcqRel);
-                    if conn
-                        .send(&Message::SubmitReply { request_id, server })
-                        .is_err()
-                    {
-                        break;
+                    obs.metrics.counter("diet_agent_busy_total").inc();
+                    let _ = handle.send(&Message::Busy { request_id });
+                    return;
+                }
+                let server = match ma.resolve(&service, &[], &exclude, ctx) {
+                    Ok(label) => Some(label),
+                    Err(DietError::ServiceNotFound(_)) if !peers.is_empty() => {
+                        federate(&ma, &peers, &service, &exclude, ctx, &obs)
                     }
-                }
-                // Acting as a federation peer (or as somebody's remote
-                // subtree): answer with our own tree's estimates. ttl = 0
-                // forbids consulting *our* peers in turn, which is the only
-                // ttl federation sends — requests die after one hop.
-                Message::Forward {
-                    request_id,
-                    ctx,
-                    service,
-                    exclude,
-                    ttl: _,
-                } => {
-                    let estimates = ma.estimates(&service, &exclude, ctx);
-                    if conn
-                        .send(&Message::EstimateBatch {
-                            request_id,
-                            estimates,
-                        })
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-                Message::DumpMetrics => {
-                    let text = ma.metrics().render_prometheus();
-                    if conn.send(&Message::MetricsReply { text }).is_err() {
-                        break;
-                    }
-                }
-                Message::Ping if conn.send(&Message::Pong).is_err() => {
-                    break;
-                }
-                Message::Shutdown => break,
-                _ => {}
+                    Err(_) => None,
+                };
+                inflight.fetch_sub(1, Ordering::AcqRel);
+                let _ = handle.send(&Message::SubmitReply { request_id, server });
             }
+            // Acting as a federation peer (or as somebody's remote
+            // subtree): answer with our own tree's estimates. ttl = 0
+            // forbids consulting *our* peers in turn, which is the only
+            // ttl federation sends — requests die after one hop.
+            Message::Forward {
+                request_id,
+                ctx,
+                service,
+                exclude,
+                ttl: _,
+            } => {
+                let estimates = ma.estimates(&service, &exclude, ctx);
+                let _ = handle.send(&Message::EstimateBatch {
+                    request_id,
+                    estimates,
+                });
+            }
+            Message::DumpMetrics => {
+                let text = ma.metrics().render_prometheus();
+                let _ = handle.send(&Message::MetricsReply { text });
+            }
+            Message::Ping => {
+                let _ = handle.send(&Message::Pong);
+            }
+            Message::Shutdown => handle.close(),
+            _ => {}
         }
     })
 }

@@ -56,6 +56,7 @@ pub mod monitor;
 pub mod naming;
 pub mod probe;
 pub mod profile;
+pub mod reactor;
 pub mod sched;
 pub mod sed;
 pub mod transport;
@@ -77,5 +78,6 @@ pub use monitor::Estimate;
 pub use naming::NameServer;
 pub use obs::{Obs, TraceCtx};
 pub use profile::{ArgDesc, ArgMode, Profile, ProfileDesc};
+pub use reactor::ConnHandle;
 pub use sched::{DataLocal, MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
 pub use sed::{SedConfig, SedHandle, ServiceTable};

@@ -1,0 +1,1039 @@
+//! Readiness-driven serving core.
+//!
+//! The PR-5 server parked one OS worker thread per accepted connection for
+//! the connection's whole lifetime, so a process could hold at most
+//! `workers` peers — nowhere near the "thousands of SeDs across sites"
+//! topology the roadmap targets. This module replaces that model with a
+//! single reactor thread multiplexing every connection through an
+//! `epoll`-style readiness loop (std + a thin FFI shim; no external deps):
+//!
+//! * An **idle connection costs a registered buffer**, not a thread. The
+//!   reactor owns the listener and every accepted socket in non-blocking
+//!   mode; `epoll_wait` wakes it only for sockets with work to do, so the
+//!   wakeup cost is O(ready), not O(connections).
+//! * **Reads are state machines.** Bytes accumulate in a per-connection
+//!   [`FrameBuf`]; only once a complete `[u32 length][payload]` frame is
+//!   buffered is it dispatched to the bounded worker pool. A peer that
+//!   trickles one byte at a time (or never completes its header) costs
+//!   buffer space, never a worker.
+//! * **The receive path is zero-copy.** `FrameBuf` freezes its fill buffer
+//!   into [`Bytes`] and hands out O(1) frame slices; the codec decodes
+//!   strings and file blobs as further slices of the same allocation.
+//! * **Replies are queued writes.** A handler calls [`ConnHandle::send`]
+//!   from any thread; the frame lands in the connection's write queue and
+//!   the reactor flushes it when the socket is writable, registering for
+//!   write-readiness only while bytes are actually queued.
+//!
+//! Backpressure and failure semantics carry over from the thread-per-
+//! connection core: a full dispatch queue answers `Busy` echoing the
+//! frame's request id (uncorrelated frames are dropped — a `Busy{0}` would
+//! poison the whole client-side mux); `kill` severs every socket so peers
+//! observe a crash; an oversized length prefix closes the connection
+//! before any body byte is buffered; a closed peer is pruned from the
+//! reactor's table immediately (the old kill-list grew without bound).
+
+use crate::codec::{decode_message, encode_message, peek_request_id, Message};
+use crate::error::DietError;
+use crate::transport::{ServerConfig, DEFAULT_MAX_FRAME};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Per-`read` chunk size — bounds transient allocation to what arrived.
+const READ_CHUNK: usize = 64 << 10;
+
+/// Reads one connection may consume per readiness event before the reactor
+/// moves on (level-triggered polling re-arms it). Keeps a firehose peer
+/// from starving everyone else on the loop.
+const READ_BUDGET: usize = 16;
+
+/// Cap on queued-but-unsent reply bytes per connection. A peer that stops
+/// reading while replies pile up is disconnected instead of ballooning the
+/// server's memory.
+const WRITE_QUEUE_CAP: usize = 64 << 20;
+
+/// A readiness event: which registration fired and how.
+pub(crate) struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+// ------------------------------------------------------------------- poller
+//
+// Linux gets epoll: with thousands of idle connections on one core, a
+// poll(2) scan would be O(n) per wakeup and eat the CPU the foreground
+// workload is being benchmarked on. Other unixes fall back to poll(2).
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    // The kernel ABI packs epoll_event on x86-64 only.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(r: i32) -> io::Result<i32> {
+        if r < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(r)
+        }
+    }
+
+    pub struct Poller {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(
+            &mut self,
+            op: i32,
+            fd: RawFd,
+            token: u64,
+            read: bool,
+            write: bool,
+        ) -> io::Result<()> {
+            let mut events = 0;
+            if read {
+                events |= EPOLLIN | EPOLLRDHUP;
+            }
+            if write {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, read, write)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, read, write)
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false, false)
+        }
+
+        /// Block until a registered fd is ready (`timeout_ms < 0` blocks
+        /// indefinitely), appending events to `out`. Errors and hangups
+        /// report as readable so the read path observes them as EOF.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms,
+                    )
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.buf[..n] {
+                let events = ev.events;
+                let token = ev.data;
+                out.push(Event {
+                    token,
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                });
+            }
+            if n == self.buf.len() {
+                // Saturated the event buffer: grow so a big ready set
+                // drains in one syscall next time.
+                self.buf.resize(n * 2, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// poll(2)-backed fallback: O(registered) per wakeup, fine for the
+    /// modest fd counts non-Linux dev machines see in tests.
+    pub struct Poller {
+        reg: Vec<(RawFd, u64, bool, bool)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller { reg: Vec::new() })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            self.reg.push((fd, token, read, write));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+            for r in &mut self.reg {
+                if r.0 == fd {
+                    *r = (fd, token, read, write);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            self.reg.retain(|r| r.0 != fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .reg
+                .iter()
+                .map(|&(fd, _, read, write)| PollFd {
+                    fd,
+                    events: if read { POLLIN } else { 0 } | if write { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = loop {
+                match unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) } {
+                    -1 => {
+                        let e = io::Error::last_os_error();
+                        if e.kind() == io::ErrorKind::Interrupted {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                    n => break n,
+                }
+            };
+            if n <= 0 {
+                return Ok(());
+            }
+            for (pfd, &(_, token, _, _)) in fds.iter().zip(&self.reg) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub(crate) use sys::Poller;
+
+// -------------------------------------------------------------------- waker
+
+/// Cross-thread wakeup for a thread parked in [`Poller::wait`]. std has no
+/// pipe, so the wake channel is a self-connected loopback TCP pair; an
+/// atomic coalesces bursts of wakes into one in-flight byte.
+pub(crate) struct Waker {
+    tx: TcpStream,
+    rx: TcpStream,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nodelay(true).ok();
+        Ok(Waker {
+            tx,
+            rx,
+            pending: AtomicBool::new(false),
+        })
+    }
+
+    /// Nudge the poller out of its wait. Coalesced: while a byte is already
+    /// in flight further wakes are a single atomic read-modify-write.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+
+    /// Poller side: swallow pending wake bytes and re-arm. Level-triggered
+    /// polling makes the ordering forgiving — a byte written after the
+    /// drain simply triggers the next wait.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        self.pending.store(false, Ordering::Release);
+    }
+
+    /// The fd the poller registers (read side of the pair).
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+// ----------------------------------------------------------------- framebuf
+
+/// Accumulates raw socket bytes and slices out complete
+/// `[u32 length][payload]` frames with zero per-frame copies.
+///
+/// The completed prefix of the fill buffer is frozen into one [`Bytes`]
+/// (an O(1) ownership transfer — the vendored `Bytes` is `Arc<Vec<u8>>`
+/// backed) and each frame is an O(1) slice of it; only the partial tail of
+/// an in-progress frame is carried over by copy, and that copy is bounded
+/// by one frame. Length prefixes are validated against `max_frame` as soon
+/// as the 4 header bytes arrive — before any body byte is waited for, so a
+/// hostile peer advertising a gigabyte frame is rejected without any
+/// allocation tracking it.
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameBuf {
+    pub fn new(max_frame: usize) -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Append raw bytes read off the socket.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Change the frame-size cap (applies to frames not yet drained).
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = max_frame;
+    }
+
+    /// Bytes buffered but not yet sliced into frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Slice every complete frame into `out`. `Err` means the stream is
+    /// unrecoverable (oversized length prefix) and the connection must be
+    /// closed.
+    pub fn drain_frames(&mut self, out: &mut Vec<Bytes>) -> io::Result<()> {
+        // First pass: validate headers and find the complete prefix.
+        let mut end = 0;
+        loop {
+            let rest = self.buf.len() - end;
+            if rest < 4 {
+                break;
+            }
+            let n = u32::from_le_bytes(self.buf[end..end + 4].try_into().unwrap()) as usize;
+            if n > self.max_frame {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("oversized frame: {n} > max {}", self.max_frame),
+                ));
+            }
+            if rest < 4 + n {
+                break;
+            }
+            end += 4 + n;
+        }
+        if end == 0 {
+            return Ok(());
+        }
+        // Freeze the complete prefix in O(1); the partial tail becomes the
+        // next fill buffer.
+        let tail = self.buf.split_off(end);
+        let whole = Bytes::from(std::mem::replace(&mut self.buf, tail));
+        let mut p = 0;
+        while p < whole.len() {
+            let n = u32::from_le_bytes(whole[p..p + 4].try_into().unwrap()) as usize;
+            out.push(whole.slice(p + 4..p + 4 + n));
+            p += 4 + n;
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------- conn handle
+
+#[derive(Default)]
+struct WriteQ {
+    bufs: VecDeque<Bytes>,
+    /// Bytes of `bufs[0]` already written to the socket.
+    head: usize,
+    /// Total unsent bytes across the queue.
+    bytes: usize,
+}
+
+/// State shared between a connection's [`ConnHandle`]s (held by workers and
+/// handler callbacks) and the reactor thread that owns the socket.
+struct ConnShared {
+    token: u64,
+    peer: SocketAddr,
+    /// A dup of the reactor-owned socket for the sender-side fast path:
+    /// when the write queue is empty, `send` writes the frame here directly
+    /// instead of paying a waker round-trip through the reactor. Every
+    /// write — fast path and reactor flush alike — happens under the `wq`
+    /// lock, so frames from concurrent senders never interleave.
+    stream: TcpStream,
+    wq: Mutex<WriteQ>,
+    /// Set by the reactor once the socket is gone; sends fail fast after.
+    closed: AtomicBool,
+    /// Set by [`ConnHandle::close`]: the reactor flushes queued replies and
+    /// then shuts the socket down.
+    close_requested: AtomicBool,
+}
+
+/// A handle to one reactor-owned connection, cheap to clone and safe to use
+/// from any thread. Sending writes straight to the (non-blocking) socket
+/// while the queue is empty; anything the socket won't take is queued for
+/// the reactor to flush on writability.
+#[derive(Clone)]
+pub struct ConnHandle {
+    conn: Arc<ConnShared>,
+    reactor: Arc<ReactorShared>,
+}
+
+impl ConnHandle {
+    /// Deliver `m`: direct non-blocking write when nothing is queued ahead
+    /// of it, queued for the reactor otherwise. Fails once the connection
+    /// is closed or its write queue overflows [`WRITE_QUEUE_CAP`] (the
+    /// peer stopped reading; it is disconnected rather than buffered
+    /// without bound).
+    pub fn send(&self, m: &Message) -> Result<(), DietError> {
+        if self.conn.closed.load(Ordering::Acquire) {
+            return Err(DietError::Transport("connection closed".into()));
+        }
+        let payload = encode_message(m);
+        // The prefix and the payload travel as two buffers: the payload
+        // Bytes is used as-is, no copy into a frame vec.
+        let bufs = [
+            Bytes::from((payload.len() as u32).to_le_bytes().to_vec()),
+            payload,
+        ];
+        let total = bufs[0].len() + bufs[1].len();
+
+        let mut wq = self.conn.wq.lock();
+        if wq.bytes + total > WRITE_QUEUE_CAP {
+            drop(wq);
+            self.close();
+            return Err(DietError::Transport("write queue overflow".into()));
+        }
+        // Fast path: queue empty and no close pending — write as much as
+        // the socket takes right now, from the sender's thread.
+        let mut idx = 0;
+        let mut off = 0;
+        if wq.bufs.is_empty() && !self.conn.close_requested.load(Ordering::Acquire) {
+            'direct: while idx < bufs.len() {
+                let b = &bufs[idx];
+                while off < b.len() {
+                    match (&self.conn.stream).write(&b[off..]) {
+                        Ok(0) => {
+                            drop(wq);
+                            self.close();
+                            return Err(DietError::Transport("connection closed".into()));
+                        }
+                        Ok(n) => off += n,
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break 'direct,
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            drop(wq);
+                            self.close();
+                            return Err(DietError::Transport(format!("send: {e}")));
+                        }
+                    }
+                }
+                idx += 1;
+                off = 0;
+            }
+            if idx == bufs.len() {
+                return Ok(()); // fully written, reactor never involved
+            }
+        }
+        // Queue the remainder (possibly everything) for the reactor.
+        let [prefix, payload] = bufs;
+        if idx == 0 {
+            wq.bytes += prefix.len() - off + payload.len();
+            wq.bufs.push_back(if off == 0 {
+                prefix
+            } else {
+                prefix.slice(off..)
+            });
+            wq.bufs.push_back(payload);
+        } else {
+            wq.bytes += payload.len() - off;
+            wq.bufs.push_back(if off == 0 {
+                payload
+            } else {
+                payload.slice(off..)
+            });
+        }
+        drop(wq);
+        self.reactor.mark_dirty(self.conn.token);
+        Ok(())
+    }
+
+    /// Flush queued replies, then close the connection. Idempotent; safe
+    /// from any thread.
+    pub fn close(&self) {
+        self.conn.close_requested.store(true, Ordering::Release);
+        self.reactor.mark_dirty(self.conn.token);
+    }
+
+    /// Has the reactor torn this connection down?
+    pub fn is_closed(&self) -> bool {
+        self.conn.closed.load(Ordering::Acquire)
+    }
+
+    /// The remote peer (diagnostics).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.conn.peer
+    }
+}
+
+// ------------------------------------------------------------------ reactor
+
+/// Reactor-side state shared with [`TcpServer`](crate::transport::TcpServer)
+/// and every [`ConnHandle`].
+pub(crate) struct ReactorShared {
+    waker: Waker,
+    /// Tokens with freshly queued writes or close requests.
+    dirty: Mutex<Vec<u64>>,
+    stop: AtomicBool,
+    kill: AtomicBool,
+    conn_count: AtomicUsize,
+}
+
+impl ReactorShared {
+    fn mark_dirty(&self, token: u64) {
+        self.dirty.lock().push(token);
+        self.waker.wake();
+    }
+
+    /// Stop accepting; existing connections keep being served. The reactor
+    /// exits once the last one closes.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+
+    /// Simulated crash: sever every connection and exit immediately.
+    pub fn request_kill(&self) {
+        self.kill.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+
+    /// Live connections currently registered with the reactor.
+    pub fn connections(&self) -> usize {
+        self.conn_count.load(Ordering::Acquire)
+    }
+}
+
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKER: u64 = 1;
+const TOK_FIRST_CONN: u64 = 2;
+
+struct Conn {
+    stream: TcpStream,
+    fb: FrameBuf,
+    shared: Arc<ConnShared>,
+    /// Registered for write-readiness (only while bytes are queued).
+    want_write: bool,
+}
+
+type Handler = Arc<dyn Fn(&ConnHandle, Message) + Send + Sync>;
+
+/// Spawn the reactor thread plus `cfg.workers` dispatch workers for
+/// `listener`. Frames are decoded zero-copy on the workers and handed to
+/// `handler`; the returned [`ReactorShared`] is the control surface
+/// (`stop`/`kill`/connection count).
+pub(crate) fn spawn(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    handler: Handler,
+    busy_rejections: Arc<AtomicU64>,
+) -> Result<Arc<ReactorShared>, DietError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DietError::Transport(format!("set_nonblocking: {e}")))?;
+    let waker = Waker::new().map_err(|e| DietError::Transport(format!("waker: {e}")))?;
+    let mut poller = Poller::new().map_err(|e| DietError::Transport(format!("poller: {e}")))?;
+    poller
+        .add(listener.as_raw_fd(), TOK_LISTENER, true, false)
+        .and_then(|_| poller.add(waker.fd(), TOK_WAKER, true, false))
+        .map_err(|e| DietError::Transport(format!("poller register: {e}")))?;
+    let shared = Arc::new(ReactorShared {
+        waker,
+        dirty: Mutex::new(Vec::new()),
+        stop: AtomicBool::new(false),
+        kill: AtomicBool::new(false),
+        conn_count: AtomicUsize::new(0),
+    });
+
+    // Dispatch workers: complete frames only — no worker ever blocks on a
+    // half-read socket.
+    let (work_tx, work_rx) = bounded::<(ConnHandle, Bytes)>(cfg.accept_queue.max(1));
+    for _ in 0..cfg.workers.max(1) {
+        let rx = work_rx.clone();
+        let h = handler.clone();
+        std::thread::spawn(move || {
+            while let Ok((handle, frame)) = rx.recv() {
+                match decode_message(frame) {
+                    Ok(msg) => h(&handle, msg),
+                    // Garbage that framed correctly but does not decode:
+                    // the stream is not trustworthy past this point.
+                    Err(_) => handle.close(),
+                }
+            }
+        });
+    }
+
+    let reactor = Reactor {
+        poller,
+        listener,
+        shared: shared.clone(),
+        conns: HashMap::new(),
+        next_token: TOK_FIRST_CONN,
+        work_tx,
+        busy: busy_rejections,
+        faults: cfg.faults.clone(),
+        accepting: true,
+        events: Vec::new(),
+        frames: Vec::new(),
+    };
+    std::thread::spawn(move || reactor.run());
+    Ok(shared)
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    shared: Arc<ReactorShared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    work_tx: Sender<(ConnHandle, Bytes)>,
+    busy: Arc<AtomicU64>,
+    faults: Option<Arc<crate::faults::FaultPlan>>,
+    accepting: bool,
+    events: Vec<Event>,
+    frames: Vec<Bytes>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        loop {
+            let mut events = std::mem::take(&mut self.events);
+            events.clear();
+            if self.poller.wait(&mut events, -1).is_err() {
+                break;
+            }
+            if self.shared.kill.load(Ordering::Acquire) {
+                break;
+            }
+            if self.shared.stop.load(Ordering::Acquire) && self.accepting {
+                self.accepting = false;
+                let _ = self.poller.delete(self.listener.as_raw_fd());
+            }
+            for ev in &events {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => self.shared.waker.drain(),
+                    token => {
+                        if ev.writable {
+                            self.flush(token);
+                        }
+                        if ev.readable {
+                            self.read_ready(token);
+                        }
+                    }
+                }
+            }
+            self.events = events;
+            // Writes and closes queued by handler threads since last wake.
+            let dirty: Vec<u64> = std::mem::take(&mut *self.shared.dirty.lock());
+            for token in dirty {
+                self.flush(token);
+            }
+            if !self.accepting && self.conns.is_empty() {
+                break;
+            }
+        }
+        // Kill or orderly exit: sever whatever is left so peers observe a
+        // dead server instead of a silent one.
+        for (_, conn) in self.conns.drain() {
+            conn.shared.closed.store(true, Ordering::Release);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.shared.conn_count.store(0, Ordering::Release);
+    }
+
+    fn accept_ready(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Some(d) = self.faults.as_ref().and_then(|f| f.accept_delay()) {
+                        // The fault models a wedged host: the whole loop
+                        // stalls, exactly like the process it simulates.
+                        std::thread::sleep(d);
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let Ok(sender_stream) = stream.try_clone() else {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    };
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+                    let shared = Arc::new(ConnShared {
+                        token,
+                        peer,
+                        stream: sender_stream,
+                        wq: Mutex::new(WriteQ::default()),
+                        closed: AtomicBool::new(false),
+                        close_requested: AtomicBool::new(false),
+                    });
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            fb: FrameBuf::new(DEFAULT_MAX_FRAME),
+                            shared,
+                            want_write: false,
+                        },
+                    );
+                    self.shared.conn_count.fetch_add(1, Ordering::AcqRel);
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let mut dead = false;
+        let mut frames = std::mem::take(&mut self.frames);
+        frames.clear();
+        let handle = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                self.frames = frames;
+                return;
+            };
+            if conn.shared.close_requested.load(Ordering::Acquire) {
+                // Closing: stop consuming input; flush() owns teardown.
+                self.frames = frames;
+                return;
+            }
+            let mut scratch = [0u8; READ_CHUNK];
+            let mut budget = READ_BUDGET;
+            while budget > 0 {
+                budget -= 1;
+                match (&conn.stream).read(&mut scratch) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.fb.push(&scratch[..n]),
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.fb.drain_frames(&mut frames).is_err() {
+                // Oversized length prefix: cut the peer off before any
+                // body accumulates. Frames already sliced die with it.
+                frames.clear();
+                dead = true;
+            }
+            ConnHandle {
+                conn: conn.shared.clone(),
+                reactor: self.shared.clone(),
+            }
+        };
+        for frame in frames.drain(..) {
+            match self.work_tx.try_send((handle.clone(), frame)) {
+                Ok(()) => {}
+                Err(TrySendError::Full((h, frame))) => {
+                    // Dispatch queue full: explicit backpressure per
+                    // request, echoing its id so exactly that caller backs
+                    // off. Uncorrelated frames (rid 0: Ping, DumpMetrics)
+                    // are dropped — Busy{0} would poison the peer's whole
+                    // mux connection.
+                    self.busy.fetch_add(1, Ordering::Relaxed);
+                    let rid = peek_request_id(&frame);
+                    if rid != 0 {
+                        let _ = h.send(&Message::Busy { request_id: rid });
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        self.frames = frames;
+        if dead {
+            self.prune(token);
+        }
+    }
+
+    /// Write queued bytes until the socket would block; toggle the write-
+    /// readiness registration to match whether anything remains queued.
+    fn flush(&mut self, token: u64) {
+        let mut dead = false;
+        let flushed;
+        let mut toggle: Option<(RawFd, bool)> = None;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            let mut wq = conn.shared.wq.lock();
+            'write: while let Some(front) = wq.bufs.front() {
+                let off = wq.head;
+                let front_len = front.len();
+                match (&conn.stream).write(&front[off..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        wq.head += n;
+                        wq.bytes -= n;
+                        if wq.head == front_len {
+                            wq.head = 0;
+                            wq.bufs.pop_front();
+                        }
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break 'write,
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            flushed = wq.bufs.is_empty();
+            drop(wq);
+            if !dead {
+                if !flushed && !conn.want_write {
+                    conn.want_write = true;
+                    toggle = Some((conn.stream.as_raw_fd(), true));
+                } else if flushed && conn.want_write {
+                    conn.want_write = false;
+                    toggle = Some((conn.stream.as_raw_fd(), false));
+                }
+            }
+        } else {
+            return;
+        }
+        if let Some((fd, write)) = toggle {
+            let _ = self.poller.modify(fd, token, true, write);
+        }
+        let close_req = self
+            .conns
+            .get(&token)
+            .is_some_and(|c| c.shared.close_requested.load(Ordering::Acquire));
+        if dead || (flushed && close_req) {
+            self.prune(token);
+        }
+    }
+
+    fn prune(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            conn.shared.closed.store(true, Ordering::Release);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framebuf_slices_whole_frames_zero_copy() {
+        let mut fb = FrameBuf::new(1 << 20);
+        let mut wire = Vec::new();
+        for payload in [&b"abc"[..], &b""[..], &b"defgh"[..]] {
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(payload);
+        }
+        fb.push(&wire);
+        let mut out = Vec::new();
+        fb.drain_frames(&mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(&out[0][..], b"abc");
+        assert_eq!(&out[1][..], b"");
+        assert_eq!(&out[2][..], b"defgh");
+        assert_eq!(fb.buffered(), 0);
+        // Frames share one backing allocation: slices of the same freeze.
+        // Frame 1 starts len("abc") + one 4-byte header past frame 0.
+        assert_eq!(
+            out[0].as_ptr() as usize + 3 + 4,
+            out[1].as_ptr() as usize,
+            "frame slices must come from one frozen buffer"
+        );
+    }
+
+    #[test]
+    fn framebuf_keeps_partial_tail() {
+        let mut fb = FrameBuf::new(1 << 20);
+        let payload = b"hello world";
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(payload);
+        // Deliver one byte at a time: no frame until the last byte lands.
+        let mut out = Vec::new();
+        for (i, b) in wire.iter().enumerate() {
+            fb.push(std::slice::from_ref(b));
+            fb.drain_frames(&mut out).unwrap();
+            if i + 1 < wire.len() {
+                assert!(out.is_empty(), "premature frame at byte {i}");
+            }
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out[0][..], &payload[..]);
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn framebuf_partial_frame_after_complete_ones() {
+        let mut fb = FrameBuf::new(1 << 20);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        wire.extend_from_slice(b"one");
+        wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(b"partial body");
+        fb.push(&wire);
+        let mut out = Vec::new();
+        fb.drain_frames(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out[0][..], b"one");
+        // The in-progress frame's bytes carried over.
+        assert_eq!(fb.buffered(), 4 + "partial body".len());
+        // Completing it later yields the second frame.
+        fb.push(&[b'x'; 100 - "partial body".len()]);
+        fb.drain_frames(&mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].len(), 100);
+    }
+
+    #[test]
+    fn framebuf_rejects_oversized_header_before_body() {
+        let mut fb = FrameBuf::new(1024);
+        // Header only — no body byte ever arrives, and none is needed to
+        // reject.
+        fb.push(&(usize::MAX as u32).to_le_bytes());
+        let mut out = Vec::new();
+        let err = fb.drain_frames(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn waker_coalesces_and_rearms() {
+        let w = Waker::new().unwrap();
+        w.wake();
+        w.wake();
+        w.wake();
+        // Give loopback delivery a moment.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut buf = [0u8; 16];
+        let n = (&w.rx).read(&mut buf).unwrap();
+        assert_eq!(n, 1, "coalesced wakes must produce one in-flight byte");
+        w.pending.store(false, Ordering::Release);
+        w.wake();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!((&w.rx).read(&mut buf), Ok(1)));
+    }
+}

@@ -140,7 +140,38 @@ struct Job {
     /// Trace context propagated from the caller (possibly across the wire);
     /// inactive (`trace_id == 0`) jobs record no spans.
     ctx: TraceCtx,
-    reply: Sender<SolveOutcome>,
+    reply: Completion,
+}
+
+/// One-shot delivery of a job's outcome.
+///
+/// Fired exactly once: with `Some(outcome)` when the worker completes the
+/// job, or with `None` if the job is abandoned before completion — the
+/// worker died mid-job (kill fault), the reply was deliberately dropped
+/// (`DropReply` fault), or the command queue rejected the job. `None` is
+/// the crash signal a serving layer turns into a severed connection, so a
+/// remote caller observes exactly what a host death looks like.
+pub struct Completion(Option<Box<dyn FnOnce(Option<SolveOutcome>) + Send>>);
+
+impl Completion {
+    pub fn new(f: impl FnOnce(Option<SolveOutcome>) + Send + 'static) -> Self {
+        Completion(Some(Box::new(f)))
+    }
+
+    /// Deliver the outcome.
+    fn fire(mut self, outcome: SolveOutcome) {
+        if let Some(f) = self.0.take() {
+            f(Some(outcome));
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f(None);
+        }
+    }
 }
 
 /// What the worker sends back.
@@ -422,20 +453,17 @@ impl SedHandle {
                         if action == FaultAction::DropReply {
                             worker_load.reply_failed();
                             m_reply_fail.inc();
-                        } else if job
-                            .reply
-                            .send(SolveOutcome {
+                            // Dropping the completion unfired delivers
+                            // `None`: an in-process caller sees its channel
+                            // disconnect, a TCP serving loop severs the
+                            // connection — the same observable as a crash
+                            // between solve and reply.
+                        } else {
+                            job.reply.fire(SolveOutcome {
                                 result: solved,
                                 queue_wait,
                                 solve_time,
-                            })
-                            .is_err()
-                        {
-                            // The client abandoned the call (timeout); the
-                            // SeD keeps serving, but the lost delivery is
-                            // counted so operators can see it.
-                            worker_load.reply_failed();
-                            m_reply_fail.inc();
+                            });
                         }
                     }
                 }
@@ -551,16 +579,52 @@ impl SedHandle {
         ctx: TraceCtx,
     ) -> Result<Receiver<SolveOutcome>, DietError> {
         let (rtx, rrx) = unbounded();
+        let load = self.load.clone();
+        let m_fail = self.obs.metrics.counter_with(
+            "diet_sed_reply_failures_total",
+            &[("sed", &self.config.label)],
+        );
+        // On `None` (abandoned job) the sender drops unsent, disconnecting
+        // the receiver — the caller observes exactly a worker crash.
+        self.submit_with_callback(profile, ctx, move |outcome| {
+            if let Some(o) = outcome {
+                if rtx.send(o).is_err() {
+                    // The client abandoned the call (timeout); the SeD
+                    // keeps serving, but the lost delivery is counted so
+                    // operators can see it.
+                    load.reply_failed();
+                    m_fail.inc();
+                }
+            }
+        })?;
+        Ok(rrx)
+    }
+
+    /// Enqueue a solve whose outcome is delivered through a one-shot
+    /// callback instead of a channel — the readiness-driven serving path
+    /// uses this so a completed job queues its reply frame directly,
+    /// without a per-connection pump thread parked on a receiver.
+    ///
+    /// `cb` runs exactly once, on the worker thread: `Some(outcome)` on
+    /// completion, `None` if the job is abandoned (worker killed mid-job,
+    /// reply dropped by fault injection, or — even when this returns
+    /// `Err` — the command queue rejected the job, since the rejected
+    /// job's completion still fires `None` as it drops).
+    pub fn submit_with_callback(
+        &self,
+        profile: Profile,
+        ctx: TraceCtx,
+        cb: impl FnOnce(Option<SolveOutcome>) + Send + 'static,
+    ) -> Result<(), DietError> {
         self.load.enqueue();
         self.tx
             .send(Command::Run(Job {
                 profile,
                 submitted: Instant::now(),
                 ctx,
-                reply: rtx,
+                reply: Completion::new(cb),
             }))
-            .map_err(|_| DietError::Transport(format!("SeD {} is down", self.config.label)))?;
-        Ok(rrx)
+            .map_err(|_| DietError::Transport(format!("SeD {} is down", self.config.label)))
     }
 
     /// Current queue length (jobs pending + running).

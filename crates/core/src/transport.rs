@@ -7,17 +7,27 @@
 //! * [`InProcTransport`] — crossbeam channels; zero-copy, deterministic,
 //!   used by tests and the campaign simulator.
 //! * [`TcpTransport`] — `std::net::TcpStream` with `[u32 length][payload]`
-//!   frames; one OS thread per connection on the server side.
+//!   frames.
+//!
+//! Server side, [`TcpServer`] runs in one of two modes: the legacy pooled
+//! mode (`spawn`/`spawn_with_config`) hands each accepted connection to a
+//! worker thread for its lifetime — simple, and what the blocking-handler
+//! tests exercise — while the framed mode ([`TcpServer::spawn_framed`])
+//! multiplexes every connection through the readiness-driven
+//! [`reactor`](crate::reactor), so idle connections cost a buffer instead
+//! of a thread. The live hierarchy serving path rides the framed mode.
 
 use crate::codec::{decode_message, encode_message, Message};
 use crate::error::DietError;
 use crate::profile::Profile;
+use crate::reactor::{self, ConnHandle, FrameBuf, Poller, ReactorShared, Waker};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -107,12 +117,20 @@ const READ_CHUNK: usize = 64 << 10;
 pub struct TcpTransport {
     stream: TcpStream,
     /// Bytes read off the socket but not yet returned as a frame.
-    rbuf: Mutex<Vec<u8>>,
+    rbuf: Mutex<RecvBuf>,
     /// Serialises writers: a frame is two `write_all` calls (length prefix
     /// then payload), and a multiplexed connection has many concurrent
     /// senders whose frames must not interleave.
     wlock: Mutex<()>,
     max_frame: usize,
+}
+
+/// Receive-side state: the shared [`FrameBuf`] accumulator plus frames
+/// already sliced out of it but not yet handed to a caller (one read burst
+/// can complete several frames).
+struct RecvBuf {
+    fb: FrameBuf,
+    pending: VecDeque<Bytes>,
 }
 
 impl TcpTransport {
@@ -127,7 +145,10 @@ impl TcpTransport {
         stream.set_nodelay(true).ok();
         TcpTransport {
             stream,
-            rbuf: Mutex::new(Vec::new()),
+            rbuf: Mutex::new(RecvBuf {
+                fb: FrameBuf::new(DEFAULT_MAX_FRAME),
+                pending: VecDeque::new(),
+            }),
             wlock: Mutex::new(()),
             max_frame: DEFAULT_MAX_FRAME,
         }
@@ -137,6 +158,7 @@ impl TcpTransport {
     /// should agree on it).
     pub fn with_max_frame(mut self, max_frame: usize) -> Self {
         self.max_frame = max_frame;
+        self.rbuf.lock().fb.set_max_frame(max_frame);
         self
     }
 
@@ -165,26 +187,23 @@ impl TcpTransport {
     /// The length prefix is validated against `max_frame` *before* any body
     /// allocation, so a hostile or corrupted peer advertising a huge frame
     /// is rejected immediately instead of triggering an eager
-    /// gigabyte-sized `vec![0; n]`. The body is then accumulated in
-    /// [`READ_CHUNK`]-sized reads — memory growth tracks bytes actually
-    /// received.
+    /// gigabyte-sized `vec![0; n]`. Complete frames come out of the shared
+    /// [`FrameBuf`] as zero-copy slices of the receive buffer — a read
+    /// burst that completes several frames slices them all at once and
+    /// queues the extras for the next call; no per-frame `Vec` is built.
     fn read_frame(&self) -> Result<Bytes, std::io::Error> {
-        let mut buf = self.rbuf.lock();
+        let mut rb = self.rbuf.lock();
+        let rb = &mut *rb;
         let mut scratch = [0u8; READ_CHUNK];
+        let mut frames = Vec::new();
         loop {
-            if buf.len() >= 4 {
-                let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-                if n > self.max_frame {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("oversized frame: {n} > max {}", self.max_frame),
-                    ));
-                }
-                if buf.len() >= 4 + n {
-                    let frame = buf[4..4 + n].to_vec();
-                    buf.drain(..4 + n);
-                    return Ok(Bytes::from(frame));
-                }
+            if let Some(f) = rb.pending.pop_front() {
+                return Ok(f);
+            }
+            rb.fb.drain_frames(&mut frames)?;
+            if !frames.is_empty() {
+                rb.pending.extend(frames.drain(..));
+                continue;
             }
             let got = (&self.stream).read(&mut scratch)?;
             if got == 0 {
@@ -193,7 +212,7 @@ impl TcpTransport {
                     "peer closed mid-frame",
                 ));
             }
-            buf.extend_from_slice(&scratch[..got]);
+            rb.fb.push(&scratch[..got]);
         }
     }
 }
@@ -296,9 +315,25 @@ impl Default for ServerConfig {
 /// that simulates a host crash for fault-tolerance tests.
 pub struct TcpServer {
     pub local_addr: std::net::SocketAddr,
-    stop: Sender<()>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
     busy_rejections: Arc<AtomicU64>,
+    inner: ServerInner,
+}
+
+enum ServerInner {
+    /// Thread-per-connection pool: a worker owns each accepted socket for
+    /// its whole lifetime. Kept for blocking handlers (tests, simple
+    /// echo-style services).
+    Pooled {
+        stop: Arc<AtomicBool>,
+        waker: Arc<Waker>,
+        /// Live connections by id, for `kill` — pruned when the serving
+        /// worker finishes with the socket (the pre-reactor version pushed
+        /// into a `Vec` on accept and never removed, so a long-running
+        /// server leaked one stream clone per connection ever accepted).
+        conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    },
+    /// Readiness-driven reactor: see [`crate::reactor`].
+    Framed { reactor: Arc<ReactorShared> },
 }
 
 impl TcpServer {
@@ -310,7 +345,31 @@ impl TcpServer {
         Self::spawn_with_config(addr, ServerConfig::default(), handler)
     }
 
-    /// Spawn with explicit worker-pool sizing and fault hooks.
+    /// Spawn the readiness-driven serving core: one reactor thread owns the
+    /// listener and every accepted socket; `cfg.workers` dispatch threads
+    /// run `handler` on complete, already-decoded frames. The handler must
+    /// not block on the peer — replies go through [`ConnHandle::send`],
+    /// which queues them for the reactor to flush on writability.
+    pub fn spawn_framed(
+        addr: impl ToSocketAddrs + Clone,
+        cfg: ServerConfig,
+        handler: impl Fn(&ConnHandle, Message) + Send + Sync + 'static,
+    ) -> Result<Self, DietError> {
+        let listener = bind_with_retry(addr, 5)?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DietError::Transport(format!("local_addr: {e}")))?;
+        let busy_rejections = Arc::new(AtomicU64::new(0));
+        let reactor = reactor::spawn(listener, cfg, Arc::new(handler), busy_rejections.clone())?;
+        Ok(TcpServer {
+            local_addr,
+            busy_rejections,
+            inner: ServerInner::Framed { reactor },
+        })
+    }
+
+    /// Spawn the pooled (thread-per-connection) server with explicit
+    /// worker-pool sizing and fault hooks.
     pub fn spawn_with_config(
         addr: impl ToSocketAddrs + Clone,
         cfg: ServerConfig,
@@ -320,82 +379,123 @@ impl TcpServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| DietError::Transport(format!("local_addr: {e}")))?;
-        listener.set_nonblocking(true).ok();
-        let (stop_tx, stop_rx) = bounded::<()>(1);
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DietError::Transport(format!("set_nonblocking: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let waker =
+            Arc::new(Waker::new().map_err(|e| DietError::Transport(format!("waker: {e}")))?);
+        let mut poller = Poller::new().map_err(|e| DietError::Transport(format!("poller: {e}")))?;
+        poller
+            .add(listener.as_raw_fd(), 0, true, false)
+            .and_then(|_| poller.add(waker.fd(), 1, true, false))
+            .map_err(|e| DietError::Transport(format!("poller register: {e}")))?;
         let handler = std::sync::Arc::new(handler);
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let busy_rejections = Arc::new(AtomicU64::new(0));
 
         // Admission queue: accepted sockets waiting for a worker.
-        let (work_tx, work_rx) = bounded::<TcpStream>(cfg.accept_queue.max(1));
+        let (work_tx, work_rx) = bounded::<(u64, TcpStream)>(cfg.accept_queue.max(1));
         for _ in 0..cfg.workers.max(1) {
             let rx = work_rx.clone();
             let h = handler.clone();
+            let worker_conns = conns.clone();
             std::thread::spawn(move || {
                 // Exits when the acceptor drops its sender and the queue
                 // drains.
-                while let Ok(stream) = rx.recv() {
+                while let Ok((id, stream)) = rx.recv() {
                     let sock = stream.try_clone().ok();
                     h(TcpTransport::from_stream(stream));
                     // The kill list holds a clone of this stream, so
                     // dropping the transport alone would leave the socket
                     // open and the peer blocked on a read that can never
-                    // complete — sever it explicitly.
+                    // complete — sever it explicitly, then prune the entry
+                    // so the list tracks live connections only.
                     if let Some(s) = sock {
                         let _ = s.shutdown(std::net::Shutdown::Both);
                     }
+                    worker_conns.lock().remove(&id);
                 }
             });
         }
 
         let accept_conns = conns.clone();
         let accept_busy = busy_rejections.clone();
+        let accept_stop = stop.clone();
+        let accept_waker = waker.clone();
         std::thread::spawn(move || {
-            loop {
-                if stop_rx.try_recv().is_ok() {
+            // Readiness-driven accept: the thread parks in `poller.wait`
+            // until the listener has a pending connection or the waker is
+            // poked at stop — no sleep-poll, no accept latency floor.
+            let mut events = Vec::new();
+            let mut next_id: u64 = 0;
+            'acceptor: loop {
+                events.clear();
+                if poller.wait(&mut events, -1).is_err() {
                     break;
                 }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if let Some(d) = cfg.faults.as_ref().and_then(|f| f.accept_delay()) {
-                            std::thread::sleep(d);
-                        }
-                        stream.set_nonblocking(false).ok();
-                        if let Ok(clone) = stream.try_clone() {
-                            accept_conns.lock().push(clone);
-                        }
-                        if let Err(full) = work_tx.try_send(stream) {
-                            // Queue full: explicit backpressure. Tell the
-                            // client before closing so it backs off rather
-                            // than timing out.
-                            accept_busy.fetch_add(1, Ordering::Relaxed);
-                            let stream = match full {
-                                crossbeam::channel::TrySendError::Full(s)
-                                | crossbeam::channel::TrySendError::Disconnected(s) => s,
-                            };
-                            let t = TcpTransport::from_stream(stream);
-                            let _ = t.send(&Message::Busy { request_id: 0 });
-                            t.shutdown();
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                for ev in &events {
+                    if ev.token == 1 {
+                        accept_waker.drain();
+                        continue;
+                    }
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if let Some(d) = cfg.faults.as_ref().and_then(|f| f.accept_delay())
+                                {
+                                    std::thread::sleep(d);
+                                }
+                                stream.set_nonblocking(false).ok();
+                                let id = next_id;
+                                next_id += 1;
+                                if let Ok(clone) = stream.try_clone() {
+                                    accept_conns.lock().insert(id, clone);
+                                }
+                                if let Err(full) = work_tx.try_send((id, stream)) {
+                                    // Queue full: explicit backpressure.
+                                    // Tell the client before closing so it
+                                    // backs off rather than timing out.
+                                    accept_busy.fetch_add(1, Ordering::Relaxed);
+                                    accept_conns.lock().remove(&id);
+                                    let stream = match full {
+                                        crossbeam::channel::TrySendError::Full((_, s))
+                                        | crossbeam::channel::TrySendError::Disconnected((_, s)) => {
+                                            s
+                                        }
+                                    };
+                                    let t = TcpTransport::from_stream(stream);
+                                    let _ = t.send(&Message::Busy { request_id: 0 });
+                                    t.shutdown();
+                                }
+                            }
+                            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => break 'acceptor,
                         }
                     }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
                 }
             }
             // Dropping work_tx lets idle workers exit once the queue drains.
         });
         Ok(TcpServer {
             local_addr,
-            stop: stop_tx,
-            conns,
             busy_rejections,
+            inner: ServerInner::Pooled { stop, waker, conns },
         })
     }
 
     pub fn stop(&self) {
-        self.stop.try_send(()).ok();
+        match &self.inner {
+            ServerInner::Pooled { stop, waker, .. } => {
+                stop.store(true, Ordering::Release);
+                waker.wake();
+            }
+            ServerInner::Framed { reactor } => reactor.request_stop(),
+        }
     }
 
     /// Connections refused with `Busy` because the admission queue was full.
@@ -403,13 +503,29 @@ impl TcpServer {
         self.busy_rejections.load(Ordering::Relaxed)
     }
 
+    /// Live connections the server currently tracks. In pooled mode this is
+    /// the kill list (pruned as workers finish); in framed mode it is the
+    /// reactor's registered-socket count. Either way it must track actual
+    /// live peers, not every connection ever accepted.
+    pub fn tracked_connections(&self) -> usize {
+        match &self.inner {
+            ServerInner::Pooled { conns, .. } => conns.lock().len(),
+            ServerInner::Framed { reactor } => reactor.connections(),
+        }
+    }
+
     /// Simulate a crash: stop accepting and sever every live connection.
     /// In-flight requests on this server are lost, exactly as when the
     /// paper's Grid'5000 nodes died mid-campaign.
     pub fn kill(&self) {
-        self.stop();
-        for s in self.conns.lock().drain(..) {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        match &self.inner {
+            ServerInner::Pooled { conns, .. } => {
+                self.stop();
+                for (_, s) in conns.lock().drain() {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            ServerInner::Framed { reactor } => reactor.request_kill(),
         }
     }
 }
@@ -615,16 +731,19 @@ impl TcpSedPool {
             .endpoint(label)
             .ok_or_else(|| DietError::Transport(format!("no endpoint registered for {label}")))?;
         let fresh = Arc::new(MuxConn::connect(addr)?);
-        self.dials.fetch_add(1, Ordering::Relaxed);
         let mut muxes = self.muxes.lock();
         // A concurrent caller may have redialed while we were connecting;
         // prefer whichever live connection is installed so everyone
-        // converges on one stream per label.
+        // converges on one stream per label. The discarded dial is not
+        // counted: `dials` measures installed connections (pooling
+        // effectiveness), and a lost install race still leaves every
+        // caller pipelining on the one winning stream.
         if let Some(existing) = muxes.get(label) {
             if !existing.is_dead() {
                 return Ok(existing.clone());
             }
         }
+        self.dials.fetch_add(1, Ordering::Relaxed);
         muxes.insert(label.to_string(), fresh.clone());
         Ok(fresh)
     }

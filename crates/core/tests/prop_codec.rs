@@ -18,7 +18,7 @@ fn arb_value() -> impl Strategy<Value = DietValue> {
         any::<u8>().prop_map(DietValue::ScalarChar),
         prop::collection::vec(-1e12f64..1e12, 0..50).prop_map(DietValue::vec_f64),
         prop::collection::vec(any::<i32>(), 0..50).prop_map(DietValue::vec_i32),
-        ".*".prop_map(DietValue::Str),
+        ".*".prop_map(|s: String| DietValue::Str(s.into())),
         (
             "[a-z./_-]{0,40}",
             prop::collection::vec(any::<u8>(), 0..256)

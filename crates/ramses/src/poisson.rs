@@ -37,6 +37,33 @@ fn plane_min_len(n: usize) -> usize {
     (4096 / (n * n)).max(1)
 }
 
+/// Tile edge for the cache-blocked j/k sweeps in [`smooth`] and
+/// [`residual`]. A (TILE × TILE) tile of one i-plane plus its stencil halo
+/// (five rows of `TILE` doubles per j line) stays resident in L1/L2 while
+/// the neighbouring-plane rows for the same j/k window are streamed once,
+/// instead of being evicted between full-length j passes on large meshes.
+/// The tiled kernels also drop the per-cell `% n` periodic-wrap arithmetic
+/// of the reference sweep (a hardware divide per neighbour index, the
+/// dominant per-cell cost) in favour of boundary conditionals that the
+/// branch predictor eats for free. Neither change touches the arithmetic
+/// per cell — tiling only reorders *which* cells are visited, and the wrap
+/// conditionals produce the very same neighbour indices — and both kernels
+/// are order-independent across cells of one pass (red-black reads only
+/// the opposite colour; the residual only reads), so the result is
+/// bitwise-identical to the unblocked sweep — a constant, like
+/// `plane_min_len`, that tunes locality without entering the determinism
+/// contract.
+const TILE: usize = 32;
+
+/// Periodic neighbour pair `(idx+1 mod n, idx-1 mod n)` via predictable
+/// comparisons instead of two hardware divides; `idx < n` required.
+#[inline(always)]
+fn wrap_pm(idx: usize, n: usize) -> (usize, usize) {
+    let up = if idx + 1 == n { 0 } else { idx + 1 };
+    let dn = if idx == 0 { n - 1 } else { idx - 1 };
+    (up, dn)
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct MgConfig {
@@ -146,7 +173,83 @@ fn v_cycle(phi: &mut Mesh, s: &Mesh, cfg: &MgConfig) {
 /// so every read targets memory that is stable for the whole pass and every
 /// write is unique. The update is order-independent within a pass, making
 /// the result bitwise-identical at any thread count.
+///
+/// Within a plane the j/k loops walk (TILE × TILE) cache blocks so that a
+/// tile's five stencil rows (j, j±1 of this plane, j of planes i±1) are
+/// revisited while still hot instead of once per full-width j pass, and the
+/// periodic wrap is handled with [`wrap_pm`] conditionals instead of the
+/// reference sweep's per-cell `% n` divides. The per-cell expression is
+/// unchanged and every neighbour index is the same value, so — by the same
+/// order-independence argument — the blocked sweep is bitwise-identical to
+/// the unblocked one (pinned by
+/// `blocked_smoother_bitwise_matches_unblocked_reference`).
 fn smooth(phi: &mut Mesh, s: &Mesh) {
+    let n = phi.n;
+    let h2 = 1.0 / (n as f64 * n as f64);
+    let min_len = plane_min_len(n);
+    for color in 0..2usize {
+        let out = RawMut(phi.data.as_mut_ptr());
+        (0..n)
+            .into_par_iter()
+            .with_min_len(min_len)
+            .for_each(move |i| {
+                let p = out.ptr();
+                let ip = (i + 1) % n;
+                let im = (i + n - 1) % n;
+                for jt in (0..n).step_by(TILE) {
+                    let j_end = (jt + TILE).min(n);
+                    for kt in (0..n).step_by(TILE) {
+                        let k_end = (kt + TILE).min(n);
+                        for j in jt..j_end {
+                            let (jp, jm) = wrap_pm(j, n);
+                            let row = (i * n + j) * n;
+                            let row_ip = (ip * n + j) * n;
+                            let row_im = (im * n + j) * n;
+                            let row_jp = (i * n + jp) * n;
+                            let row_jm = (i * n + jm) * n;
+                            // First k of this colour at or after kt:
+                            // (i+j+k) ≡ color (mod 2).
+                            let mut k = kt + (color + i + j + kt) % 2;
+                            while k < k_end {
+                                let (kp, km) = wrap_pm(k, n);
+                                // SAFETY: writes touch only `color` cells of
+                                // plane i (each claimed by one worker); reads
+                                // touch only opposite-colour cells, never
+                                // written this pass.
+                                unsafe {
+                                    let nb = *p.add(row_ip + k)
+                                        + *p.add(row_im + k)
+                                        + *p.add(row_jp + k)
+                                        + *p.add(row_jm + k)
+                                        + *p.add(row + kp)
+                                        + *p.add(row + km);
+                                    *p.add(row + k) = (nb - h2 * s.data[row + k]) / 6.0;
+                                }
+                                k += 2;
+                            }
+                        }
+                    }
+                }
+            });
+    }
+}
+
+/// One production red–black sweep (cache-blocked). Exposed so the kernel
+/// benchmark can time the smoother in isolation from the V-cycle.
+pub fn smooth_sweep(phi: &mut Mesh, s: &Mesh) {
+    smooth(phi, s)
+}
+
+/// The production residual (cache-blocked), exposed for the same reason.
+pub fn residual_mesh(phi: &Mesh, s: &Mesh) -> Mesh {
+    residual(phi, s)
+}
+
+/// Pre-tiling reference sweep: identical arithmetic and i-plane parallelism
+/// to [`smooth_sweep`], full-width j/k loops. Kept so the kernel benchmark
+/// can report the cache-blocking before/after on the same fixture and pin
+/// bitwise equality between the two orderings outside the unit tests.
+pub fn smooth_sweep_unblocked(phi: &mut Mesh, s: &Mesh) {
     let n = phi.n;
     let h2 = 1.0 / (n as f64 * n as f64);
     let min_len = plane_min_len(n);
@@ -167,14 +270,11 @@ fn smooth(phi: &mut Mesh, s: &Mesh) {
                     let row_im = (im * n + j) * n;
                     let row_jp = (i * n + jp) * n;
                     let row_jm = (i * n + jm) * n;
-                    // First k of this colour in the row: (i+j+k) ≡ color (mod 2).
                     let mut k = (color + i + j) % 2;
                     while k < n {
                         let kp = (k + 1) % n;
                         let km = (k + n - 1) % n;
-                        // SAFETY: writes touch only `color` cells of plane i
-                        // (each claimed by one worker); reads touch only
-                        // opposite-colour cells, never written this pass.
+                        // SAFETY: same disjointness argument as `smooth`.
                         unsafe {
                             let nb = *p.add(row_ip + k)
                                 + *p.add(row_im + k)
@@ -191,9 +291,9 @@ fn smooth(phi: &mut Mesh, s: &Mesh) {
     }
 }
 
-/// Residual r = S − ∇²φ. Parallel over i-planes of the fresh output mesh;
-/// `phi` and `s` are only read.
-fn residual(phi: &Mesh, s: &Mesh) -> Mesh {
+/// Pre-tiling reference residual (full-width j/k loops), the before-side of
+/// the benchmark pair for [`residual_mesh`].
+pub fn residual_unblocked(phi: &Mesh, s: &Mesh) -> Mesh {
     let n = phi.n;
     let inv_h2 = (n as f64) * (n as f64);
     let mut r = Mesh::zeros(n);
@@ -221,6 +321,58 @@ fn residual(phi: &Mesh, s: &Mesh) -> Mesh {
                     // SAFETY: plane i of the output is written by one worker.
                     unsafe {
                         *out.ptr().add((i * n + j) * n + k) = s.get(i, j, k) - lap;
+                    }
+                }
+            }
+        });
+    r
+}
+
+/// Residual r = S − ∇²φ. Parallel over i-planes of the fresh output mesh;
+/// `phi` and `s` are only read. The j/k loops walk the same (TILE × TILE)
+/// cache blocks as [`smooth`], with row bases hoisted out of the k loop and
+/// the periodic wrap via [`wrap_pm`]; each output cell is computed
+/// independently with the identical summation order, so the visit order —
+/// and hence the blocking — cannot change a bit.
+fn residual(phi: &Mesh, s: &Mesh) -> Mesh {
+    let n = phi.n;
+    let inv_h2 = (n as f64) * (n as f64);
+    let mut r = Mesh::zeros(n);
+    let out = RawMut(r.data.as_mut_ptr());
+    (0..n)
+        .into_par_iter()
+        .with_min_len(plane_min_len(n))
+        .for_each(move |i| {
+            let p = &phi.data[..];
+            let sv = &s.data[..];
+            let (ip, im) = wrap_pm(i, n);
+            for jt in (0..n).step_by(TILE) {
+                let j_end = (jt + TILE).min(n);
+                for kt in (0..n).step_by(TILE) {
+                    let k_end = (kt + TILE).min(n);
+                    for j in jt..j_end {
+                        let (jp, jm) = wrap_pm(j, n);
+                        let row = (i * n + j) * n;
+                        let row_ip = (ip * n + j) * n;
+                        let row_im = (im * n + j) * n;
+                        let row_jp = (i * n + jp) * n;
+                        let row_jm = (i * n + jm) * n;
+                        for k in kt..k_end {
+                            let (kp, km) = wrap_pm(k, n);
+                            let lap = (p[row_ip + k]
+                                + p[row_im + k]
+                                + p[row_jp + k]
+                                + p[row_jm + k]
+                                + p[row + kp]
+                                + p[row + km]
+                                - 6.0 * p[row + k])
+                                * inv_h2;
+                            // SAFETY: plane i of the output is written by one
+                            // worker.
+                            unsafe {
+                                *out.ptr().add(row + k) = sv[row + k] - lap;
+                            }
+                        }
                     }
                 }
             }
@@ -548,6 +700,84 @@ mod tests {
             let other = run(threads);
             for (a, b) in base.data.iter().zip(&other.data) {
                 assert_eq!(a.to_bits(), b.to_bits(), "mismatch at {threads} threads");
+            }
+        }
+    }
+
+    /// Serial, unblocked red-black sweep: the pre-tiling reference ordering.
+    fn smooth_rb_unblocked(phi: &mut Mesh, s: &Mesh) {
+        let n = phi.n;
+        let h2 = 1.0 / (n as f64 * n as f64);
+        for color in 0..2usize {
+            for i in 0..n {
+                for j in 0..n {
+                    let mut k = (color + i + j) % 2;
+                    while k < n {
+                        let ip = (i + 1) % n;
+                        let im = (i + n - 1) % n;
+                        let jp = (j + 1) % n;
+                        let jm = (j + n - 1) % n;
+                        let kp = (k + 1) % n;
+                        let km = (k + n - 1) % n;
+                        let nb = phi.get(ip, j, k)
+                            + phi.get(im, j, k)
+                            + phi.get(i, jp, k)
+                            + phi.get(i, jm, k)
+                            + phi.get(i, j, kp)
+                            + phi.get(i, j, km);
+                        let ix = phi.idx(i, j, k);
+                        phi.data[ix] = (nb - h2 * s.get(i, j, k)) / 6.0;
+                        k += 2;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cache-blocked j/k sweep only reorders cell visits within a colour
+    /// pass, and the residual only reorders pure reads — so both must match
+    /// the unblocked reference bit-for-bit. n = 48 is deliberately not a
+    /// multiple of TILE, exercising the partial tiles at the mesh edge.
+    #[test]
+    fn blocked_smoother_bitwise_matches_unblocked_reference() {
+        let n = 48;
+        assert!(n % super::TILE != 0, "fixture must exercise partial tiles");
+        let s = fixture_source(n);
+        let mut blocked = Mesh::zeros(n);
+        let mut reference = Mesh::zeros(n);
+        for _ in 0..4 {
+            smooth(&mut blocked, &s);
+            smooth_rb_unblocked(&mut reference, &s);
+        }
+        for (ix, (a, b)) in blocked.data.iter().zip(&reference.data).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "smooth mismatch at cell {ix}");
+        }
+        let r_blocked = residual(&blocked, &s);
+        let inv_h2 = (n as f64) * (n as f64);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let ip = (i + 1) % n;
+                    let im = (i + n - 1) % n;
+                    let jp = (j + 1) % n;
+                    let jm = (j + n - 1) % n;
+                    let kp = (k + 1) % n;
+                    let km = (k + n - 1) % n;
+                    let lap = (blocked.get(ip, j, k)
+                        + blocked.get(im, j, k)
+                        + blocked.get(i, jp, k)
+                        + blocked.get(i, jm, k)
+                        + blocked.get(i, j, kp)
+                        + blocked.get(i, j, km)
+                        - 6.0 * blocked.get(i, j, k))
+                        * inv_h2;
+                    let expect = s.get(i, j, k) - lap;
+                    assert_eq!(
+                        r_blocked.get(i, j, k).to_bits(),
+                        expect.to_bits(),
+                        "residual mismatch at ({i},{j},{k})"
+                    );
+                }
             }
         }
     }

@@ -9,9 +9,15 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Immutable, reference-counted byte slice.
+///
+/// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `Bytes::from(vec)` and
+/// `BytesMut::freeze` take ownership of the vector's allocation in O(1)
+/// instead of copying into a fresh slice allocation — the property the
+/// zero-copy receive path relies on when it freezes a connection's read
+/// buffer and hands out frame slices.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -81,12 +87,13 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// O(1): adopts the vector's allocation without copying.
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
+        let end = v.len();
         Bytes {
             start: 0,
-            end: data.len(),
-            data,
+            end,
+            data: Arc::new(v),
         }
     }
 }
@@ -357,6 +364,117 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// An immutable UTF-8 string backed by [`Bytes`]: a `String` analog whose
+/// clone is a refcount bump and whose construction from a decoded wire
+/// frame is an O(1) slice of the receive buffer (UTF-8 validity is checked
+/// once, at construction).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct ByteStr {
+    bytes: Bytes,
+}
+
+impl ByteStr {
+    pub fn new() -> Self {
+        ByteStr::default()
+    }
+
+    /// Wrap already-received bytes without copying. Errors on invalid
+    /// UTF-8; the bytes are returned untouched inside the error.
+    pub fn from_utf8(bytes: Bytes) -> Result<Self, std::str::Utf8Error> {
+        std::str::from_utf8(&bytes)?;
+        Ok(ByteStr { bytes })
+    }
+
+    pub fn as_str(&self) -> &str {
+        // Validity was established at construction; re-checking on every
+        // access would put a UTF-8 scan on the hot path.
+        unsafe { std::str::from_utf8_unchecked(&self.bytes) }
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The backing [`Bytes`] (shares storage).
+    pub fn into_bytes(self) -> Bytes {
+        self.bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl Deref for ByteStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for ByteStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for ByteStr {
+    fn from(s: String) -> Self {
+        ByteStr {
+            bytes: Bytes::from(s.into_bytes()),
+        }
+    }
+}
+
+impl From<&str> for ByteStr {
+    fn from(s: &str) -> Self {
+        ByteStr {
+            bytes: Bytes::from(s.as_bytes().to_vec()),
+        }
+    }
+}
+
+impl From<ByteStr> for String {
+    fn from(s: ByteStr) -> Self {
+        s.as_str().to_string()
+    }
+}
+
+impl PartialEq<str> for ByteStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for ByteStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for ByteStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl std::fmt::Display for ByteStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for ByteStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +510,29 @@ mod tests {
         let head = b.copy_to_bytes(2);
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&b[..], &[3, 4]);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 128];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "Vec allocation must be adopted");
+        let s = b.slice(10..20);
+        assert_eq!(s.as_slice().as_ptr(), unsafe { ptr.add(10) });
+    }
+
+    #[test]
+    fn bytestr_validates_and_shares() {
+        let b = Bytes::from(b"hello world".to_vec());
+        let s = ByteStr::from_utf8(b.slice(0..5)).unwrap();
+        assert_eq!(s, "hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(&*s, "hello");
+        assert!(ByteStr::from_utf8(Bytes::from(vec![0xFF, 0xFE])).is_err());
+        let owned: ByteStr = "grid".into();
+        assert_eq!(String::from(owned.clone()), "grid");
+        assert_eq!(owned, String::from("grid"));
+        assert_eq!(format!("{owned}/{owned:?}"), "grid/\"grid\"");
     }
 }
