@@ -6,6 +6,7 @@
 #   ./ci.sh build test   # run only the named stages, in the given order
 #
 # Stages: build test lint determinism obs data throughput hierarchy serving
+#         telemetry
 set -eu
 
 STAGE_NAMES=""
@@ -141,7 +142,23 @@ stage_serving() {
      grep -q '"idle_sweep"' target/experiments/BENCH_throughput_quick.json)
 }
 
-ALL_STAGES="build test lint determinism obs data throughput hierarchy serving"
+stage_telemetry() {
+    # Distributed-telemetry gate: the collector suite (every component a
+    # private Obs flushing over the wire; the collector must stitch one
+    # cross-process trace per request, merge counters to the per-process
+    # sums, and expose its own reactor's instrumentation) at both thread
+    # widths, then the quick overhead bench, which self-checks that
+    # telemetry-enabled mux throughput stays within its floor of disabled
+    # and validates its JSON artifact before writing it.
+    (set -x
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --test telemetry_tcp
+     RAYON_NUM_THREADS=4 cargo test -q -p diet-core --test telemetry_tcp
+     cargo run --release -p bench --bin exp_telemetry -- --quick
+     test -s target/experiments/BENCH_telemetry_quick.json
+     grep -q '"stitching"' target/experiments/BENCH_telemetry_quick.json)
+}
+
+ALL_STAGES="build test lint determinism obs data throughput hierarchy serving telemetry"
 if [ $# -eq 0 ]; then
     set -- $ALL_STAGES
 fi

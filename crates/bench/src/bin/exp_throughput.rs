@@ -367,6 +367,7 @@ fn run_idle_sweep(quick: bool) -> Vec<IdleStats> {
             workers: 8,
             accept_queue: 64,
             faults: None,
+            obs: None,
         },
     )
     .expect("bind idle-sweep server");
@@ -460,6 +461,7 @@ fn main() {
             workers: 96,
             accept_queue: 128,
             faults: None,
+            obs: None,
         },
     )
     .expect("bind throughput server");

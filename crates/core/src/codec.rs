@@ -10,7 +10,23 @@ use crate::error::DietError;
 use crate::monitor::Estimate;
 use crate::profile::Profile;
 use bytes::{Buf, BufMut, ByteStr, Bytes, BytesMut};
-use obs::TraceCtx;
+use obs::{intern_name, Labels, MetricSnapshot, SpanRecord, TraceCtx};
+
+/// Identity of the process a telemetry batch came from — the LogCentral
+/// "component name" analogue. The collector keys its per-source health
+/// table on `(role, label, pid)`; `site` groups components for the
+/// topology snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSource {
+    /// Component kind: "ma", "la", "sed", "client", "collector".
+    pub role: String,
+    /// Component label, e.g. a SeD's `lyon/0` or an agent's site name.
+    pub label: String,
+    /// OS process id, distinguishing restarts of the same label.
+    pub pid: u32,
+    /// Deployment site this component belongs to (empty if none).
+    pub site: String,
+}
 
 /// Control messages exchanged between client, agents and SeDs.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +122,43 @@ pub enum Message {
     Busy {
         request_id: u64,
     },
+    /// Any component → collector: a batch of completed spans drained from
+    /// the sender's ring. Correlated (acked with [`Message::PushAck`]) so a
+    /// flusher can confirm delivery over a shared mux connection. Span ids
+    /// are process-unique only within `source`; the collector stitches
+    /// across processes by `trace_id`.
+    PushSpans {
+        request_id: u64,
+        source: ProcessSource,
+        spans: Vec<SpanRecord>,
+    },
+    /// Any component → collector: metric *deltas* since the sender's last
+    /// flush (counters/histograms ship increments, gauges ship the current
+    /// value — see `obs::Registry::delta_since`). Acked with
+    /// [`Message::PushAck`].
+    PushMetricDeltas {
+        request_id: u64,
+        source: ProcessSource,
+        deltas: Vec<(String, Labels, MetricSnapshot)>,
+    },
+    /// Collector → component: delivery ack for a push batch.
+    PushAck {
+        request_id: u64,
+    },
+    /// Correlated [`Message::DumpMetrics`]: carries a request id so it can
+    /// ride a shared `MuxConn` like `Call` does, plus a selector — `""` or
+    /// `"prometheus"` for the metrics text, `"chrome"` for the Chrome trace
+    /// JSON, `"topology"` for the collector's plaintext hierarchy/health
+    /// snapshot.
+    DumpMetricsRid {
+        request_id: u64,
+        what: String,
+    },
+    /// Reply to [`Message::DumpMetricsRid`], echoing its correlation id.
+    MetricsReplyRid {
+        request_id: u64,
+        text: String,
+    },
 }
 
 const TAG_NULL: u8 = 0;
@@ -134,6 +187,11 @@ const MSG_PUT_DATA: u8 = 21;
 const MSG_BUSY: u8 = 22;
 const MSG_FORWARD: u8 = 23;
 const MSG_ESTIMATE_BATCH: u8 = 24;
+const MSG_PUSH_SPANS: u8 = 25;
+const MSG_PUSH_METRIC_DELTAS: u8 = 26;
+const MSG_PUSH_ACK: u8 = 27;
+const MSG_DUMP_METRICS_RID: u8 = 28;
+const MSG_METRICS_REPLY_RID: u8 = 29;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -379,6 +437,157 @@ fn get_estimate(buf: &mut Bytes) -> Result<Estimate, DietError> {
     })
 }
 
+fn put_source(buf: &mut BytesMut, s: &ProcessSource) {
+    put_str(buf, &s.role);
+    put_str(buf, &s.label);
+    buf.put_u32_le(s.pid);
+    put_str(buf, &s.site);
+}
+
+fn get_source(buf: &mut Bytes) -> Result<ProcessSource, DietError> {
+    let role = get_str(buf)?;
+    let label = get_str(buf)?;
+    if buf.remaining() < 4 {
+        return Err(DietError::Codec("truncated source pid".into()));
+    }
+    let pid = buf.get_u32_le();
+    let site = get_str(buf)?;
+    Ok(ProcessSource {
+        role,
+        label,
+        pid,
+        site,
+    })
+}
+
+fn put_span(buf: &mut BytesMut, s: &SpanRecord) {
+    buf.put_u64_le(s.trace_id);
+    buf.put_u64_le(s.span_id);
+    buf.put_u64_le(s.parent);
+    put_str(buf, s.name);
+    put_str(buf, &s.resource);
+    buf.put_u64_le(s.start_ns);
+    buf.put_u64_le(s.end_ns);
+}
+
+fn get_span(buf: &mut Bytes) -> Result<SpanRecord, DietError> {
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(DietError::Codec("truncated span".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 8 * 3)?;
+    let trace_id = buf.get_u64_le();
+    let span_id = buf.get_u64_le();
+    let parent = buf.get_u64_le();
+    // Span names are `&'static str`; intern_name maps the known phase
+    // names to their static literals without leaking per-frame strings.
+    let name = intern_name(get_bytestr(buf)?.as_str());
+    let resource = get_str(buf)?;
+    need(buf, 8 * 2)?;
+    Ok(SpanRecord {
+        trace_id,
+        span_id,
+        parent,
+        name,
+        resource,
+        start_ns: buf.get_u64_le(),
+        end_ns: buf.get_u64_le(),
+    })
+}
+
+fn put_labels(buf: &mut BytesMut, labels: &Labels) {
+    buf.put_u32_le(labels.len() as u32);
+    for (k, v) in labels {
+        put_str(buf, k);
+        put_str(buf, v);
+    }
+}
+
+fn get_labels(buf: &mut Bytes) -> Result<Labels, DietError> {
+    if buf.remaining() < 4 {
+        return Err(DietError::Codec("truncated label count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| Ok((get_str(buf)?, get_str(buf)?))).collect()
+}
+
+const SNAP_COUNTER: u8 = 0;
+const SNAP_GAUGE: u8 = 1;
+const SNAP_HISTOGRAM: u8 = 2;
+
+fn put_snapshot(buf: &mut BytesMut, snap: &MetricSnapshot) {
+    match snap {
+        MetricSnapshot::Counter(v) => {
+            buf.put_u8(SNAP_COUNTER);
+            buf.put_u64_le(*v);
+        }
+        MetricSnapshot::Gauge(v) => {
+            buf.put_u8(SNAP_GAUGE);
+            buf.put_f64_le(*v);
+        }
+        MetricSnapshot::Histogram {
+            bounds,
+            counts,
+            sum,
+            count,
+        } => {
+            buf.put_u8(SNAP_HISTOGRAM);
+            buf.put_u32_le(bounds.len() as u32);
+            for b in bounds {
+                buf.put_f64_le(*b);
+            }
+            buf.put_u32_le(counts.len() as u32);
+            for c in counts {
+                buf.put_u64_le(*c);
+            }
+            buf.put_f64_le(*sum);
+            buf.put_u64_le(*count);
+        }
+    }
+}
+
+fn get_snapshot(buf: &mut Bytes) -> Result<MetricSnapshot, DietError> {
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(DietError::Codec("truncated metric snapshot".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 1)?;
+    match buf.get_u8() {
+        SNAP_COUNTER => {
+            need(buf, 8)?;
+            Ok(MetricSnapshot::Counter(buf.get_u64_le()))
+        }
+        SNAP_GAUGE => {
+            need(buf, 8)?;
+            Ok(MetricSnapshot::Gauge(buf.get_f64_le()))
+        }
+        SNAP_HISTOGRAM => {
+            need(buf, 4)?;
+            let nb = buf.get_u32_le() as usize;
+            need(buf, nb * 8)?;
+            let bounds = (0..nb).map(|_| buf.get_f64_le()).collect();
+            need(buf, 4)?;
+            let nc = buf.get_u32_le() as usize;
+            need(buf, nc * 8)?;
+            let counts = (0..nc).map(|_| buf.get_u64_le()).collect();
+            need(buf, 16)?;
+            Ok(MetricSnapshot::Histogram {
+                bounds,
+                counts,
+                sum: buf.get_f64_le(),
+                count: buf.get_u64_le(),
+            })
+        }
+        t => Err(DietError::Codec(format!("unknown snapshot kind {t}"))),
+    }
+}
+
 /// Encode a single value (tag-prefixed). Used by the data layer for
 /// checksumming replicas independently of any enclosing frame.
 pub fn encode_value(v: &DietValue) -> Bytes {
@@ -552,23 +761,78 @@ pub fn encode_message(m: &Message) -> Bytes {
             buf.put_u8(MSG_BUSY);
             buf.put_u64_le(*request_id);
         }
+        Message::PushSpans {
+            request_id,
+            source,
+            spans,
+        } => {
+            buf.put_u8(MSG_PUSH_SPANS);
+            buf.put_u64_le(*request_id);
+            put_source(&mut buf, source);
+            buf.put_u32_le(spans.len() as u32);
+            for s in spans {
+                put_span(&mut buf, s);
+            }
+        }
+        Message::PushMetricDeltas {
+            request_id,
+            source,
+            deltas,
+        } => {
+            buf.put_u8(MSG_PUSH_METRIC_DELTAS);
+            buf.put_u64_le(*request_id);
+            put_source(&mut buf, source);
+            buf.put_u32_le(deltas.len() as u32);
+            for (name, labels, snap) in deltas {
+                put_str(&mut buf, name);
+                put_labels(&mut buf, labels);
+                put_snapshot(&mut buf, snap);
+            }
+        }
+        Message::PushAck { request_id } => {
+            buf.put_u8(MSG_PUSH_ACK);
+            buf.put_u64_le(*request_id);
+        }
+        Message::DumpMetricsRid { request_id, what } => {
+            buf.put_u8(MSG_DUMP_METRICS_RID);
+            buf.put_u64_le(*request_id);
+            put_str(&mut buf, what);
+        }
+        Message::MetricsReplyRid { request_id, text } => {
+            buf.put_u8(MSG_METRICS_REPLY_RID);
+            buf.put_u64_le(*request_id);
+            put_str(&mut buf, text);
+        }
     }
     buf.freeze()
 }
 
 /// Cheap correlation-id peek on an undecoded frame: correlated messages
 /// carry their request id LE at bytes `[1..9]` right after the tag byte.
-/// Uncorrelated frames (Ping, Shutdown, DumpMetrics, …) and frames too
-/// short to carry an id return 0 — which is never a live request id.
+/// The only remaining uncorrelated frames (Ping/Pong, Shutdown, and the
+/// legacy dedicated-connection DumpMetrics/MetricsReply pair — use
+/// [`Message::DumpMetricsRid`] on a mux) and frames too short to carry an
+/// id return 0 — which is never a live request id.
 pub fn peek_request_id(frame: &[u8]) -> u64 {
     if frame.len() < 9 {
         return 0;
     }
     match frame[0] {
-        MSG_SUBMIT | MSG_SUBMIT_REPLY | MSG_CALL | MSG_CALL_REPLY | MSG_GET_DATA
-        | MSG_DATA_REPLY | MSG_PUT_DATA | MSG_BUSY | MSG_FORWARD | MSG_ESTIMATE_BATCH => {
-            u64::from_le_bytes(frame[1..9].try_into().unwrap())
-        }
+        MSG_SUBMIT
+        | MSG_SUBMIT_REPLY
+        | MSG_CALL
+        | MSG_CALL_REPLY
+        | MSG_GET_DATA
+        | MSG_DATA_REPLY
+        | MSG_PUT_DATA
+        | MSG_BUSY
+        | MSG_FORWARD
+        | MSG_ESTIMATE_BATCH
+        | MSG_PUSH_SPANS
+        | MSG_PUSH_METRIC_DELTAS
+        | MSG_PUSH_ACK
+        | MSG_DUMP_METRICS_RID
+        | MSG_METRICS_REPLY_RID => u64::from_le_bytes(frame[1..9].try_into().unwrap()),
         _ => 0,
     }
 }
@@ -725,6 +989,60 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
         MSG_BUSY => Ok(Message::Busy {
             request_id: need_u64(&mut buf)?,
         }),
+        MSG_PUSH_SPANS => {
+            let request_id = need_u64(&mut buf)?;
+            let source = get_source(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DietError::Codec("truncated span count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let spans = (0..n)
+                .map(|_| get_span(&mut buf))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Message::PushSpans {
+                request_id,
+                source,
+                spans,
+            })
+        }
+        MSG_PUSH_METRIC_DELTAS => {
+            let request_id = need_u64(&mut buf)?;
+            let source = get_source(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DietError::Codec("truncated delta count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let deltas = (0..n)
+                .map(|_| {
+                    let name = get_str(&mut buf)?;
+                    let labels = get_labels(&mut buf)?;
+                    let snap = get_snapshot(&mut buf)?;
+                    Ok((name, labels, snap))
+                })
+                .collect::<Result<Vec<_>, DietError>>()?;
+            Ok(Message::PushMetricDeltas {
+                request_id,
+                source,
+                deltas,
+            })
+        }
+        MSG_PUSH_ACK => Ok(Message::PushAck {
+            request_id: need_u64(&mut buf)?,
+        }),
+        MSG_DUMP_METRICS_RID => {
+            let request_id = need_u64(&mut buf)?;
+            Ok(Message::DumpMetricsRid {
+                request_id,
+                what: get_str(&mut buf)?,
+            })
+        }
+        MSG_METRICS_REPLY_RID => {
+            let request_id = need_u64(&mut buf)?;
+            Ok(Message::MetricsReplyRid {
+                request_id,
+                text: get_str(&mut buf)?,
+            })
+        }
         t => Err(DietError::Codec(format!("unknown message tag {t}"))),
     }
 }
@@ -899,6 +1217,84 @@ mod tests {
             },
             Message::Busy { request_id: 0 },
             Message::Busy { request_id: 81 },
+            Message::PushSpans {
+                request_id: 90,
+                source: ProcessSource {
+                    role: "sed".into(),
+                    label: "lyon/0".into(),
+                    pid: 4242,
+                    site: "lyon".into(),
+                },
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 7,
+                        span_id: 2,
+                        parent: 1,
+                        name: "Execution",
+                        resource: "lyon/0".into(),
+                        start_ns: 1_000,
+                        end_ns: 5_000,
+                    },
+                    SpanRecord {
+                        trace_id: 7,
+                        span_id: 3,
+                        parent: 2,
+                        name: "ResultReturn",
+                        resource: "lyon/0".into(),
+                        start_ns: 5_000,
+                        end_ns: 5_500,
+                    },
+                ],
+            },
+            Message::PushSpans {
+                request_id: 91,
+                source: ProcessSource::default(),
+                spans: vec![],
+            },
+            Message::PushMetricDeltas {
+                request_id: 92,
+                source: ProcessSource {
+                    role: "client".into(),
+                    label: "client".into(),
+                    pid: 1,
+                    site: String::new(),
+                },
+                deltas: vec![
+                    (
+                        "diet_client_requests_total".into(),
+                        vec![],
+                        MetricSnapshot::Counter(3),
+                    ),
+                    (
+                        "diet_sed_queue_length".into(),
+                        vec![("sed".into(), "lyon/0".into())],
+                        MetricSnapshot::Gauge(2.0),
+                    ),
+                    (
+                        "diet_client_finding_seconds".into(),
+                        vec![],
+                        MetricSnapshot::Histogram {
+                            bounds: vec![0.1, 1.0],
+                            counts: vec![1, 0, 2],
+                            sum: 4.25,
+                            count: 3,
+                        },
+                    ),
+                ],
+            },
+            Message::PushAck { request_id: 90 },
+            Message::DumpMetricsRid {
+                request_id: 93,
+                what: "topology".into(),
+            },
+            Message::DumpMetricsRid {
+                request_id: 94,
+                what: String::new(),
+            },
+            Message::MetricsReplyRid {
+                request_id: 93,
+                text: "# TYPE x counter\nx 1\n".into(),
+            },
         ];
         for m in msgs {
             let enc = encode_message(&m);
@@ -1008,6 +1404,115 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn telemetry_frames_detect_truncation() {
+        // Push batches and the correlated dump pair travel on shared mux
+        // connections; cut them at every byte and none may decode or panic.
+        let src = ProcessSource {
+            role: "sed".into(),
+            label: "lyon/0".into(),
+            pid: 7,
+            site: "lyon".into(),
+        };
+        let frames = [
+            encode_message(&Message::PushSpans {
+                request_id: 5,
+                source: src.clone(),
+                spans: vec![SpanRecord {
+                    trace_id: 1,
+                    span_id: 2,
+                    parent: 0,
+                    name: "Queued",
+                    resource: "lyon/0".into(),
+                    start_ns: 10,
+                    end_ns: 20,
+                }],
+            }),
+            encode_message(&Message::PushMetricDeltas {
+                request_id: 6,
+                source: src,
+                deltas: vec![
+                    (
+                        "c".into(),
+                        vec![("k".into(), "v".into())],
+                        MetricSnapshot::Counter(1),
+                    ),
+                    (
+                        "h".into(),
+                        vec![],
+                        MetricSnapshot::Histogram {
+                            bounds: vec![1.0],
+                            counts: vec![0, 1],
+                            sum: 2.0,
+                            count: 1,
+                        },
+                    ),
+                ],
+            }),
+            encode_message(&Message::DumpMetricsRid {
+                request_id: 7,
+                what: "chrome".into(),
+            }),
+            encode_message(&Message::MetricsReplyRid {
+                request_id: 7,
+                text: "x 1\n".into(),
+            }),
+        ];
+        for enc in frames {
+            for cut in 0..enc.len() {
+                assert!(
+                    decode_message(enc.slice(0..cut)).is_err(),
+                    "cut at {cut} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_frames_are_correlated() {
+        // Every new telemetry frame must expose its id to peek_request_id
+        // so the reactor's Busy-on-overflow path and the client mux demux
+        // can route it without decoding.
+        let frames = [
+            (
+                encode_message(&Message::PushSpans {
+                    request_id: 41,
+                    source: ProcessSource::default(),
+                    spans: vec![],
+                }),
+                41,
+            ),
+            (
+                encode_message(&Message::PushMetricDeltas {
+                    request_id: 42,
+                    source: ProcessSource::default(),
+                    deltas: vec![],
+                }),
+                42,
+            ),
+            (encode_message(&Message::PushAck { request_id: 43 }), 43),
+            (
+                encode_message(&Message::DumpMetricsRid {
+                    request_id: 44,
+                    what: String::new(),
+                }),
+                44,
+            ),
+            (
+                encode_message(&Message::MetricsReplyRid {
+                    request_id: 45,
+                    text: String::new(),
+                }),
+                45,
+            ),
+        ];
+        for (enc, rid) in frames {
+            assert_eq!(peek_request_id(&enc), rid);
+        }
+        // The legacy pair stays uncorrelated.
+        assert_eq!(peek_request_id(&encode_message(&Message::DumpMetrics)), 0);
     }
 
     #[test]

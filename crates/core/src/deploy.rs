@@ -13,6 +13,7 @@ use crate::hierarchy::{
 };
 use crate::sched::Scheduler;
 use crate::sed::{SedConfig, SedHandle, ServiceTable};
+use crate::telemetry::{TelemetryConfig, TelemetryFlusher};
 use crate::transport::{TcpSedPool, TcpServer};
 use obs::Obs;
 use std::collections::HashSet;
@@ -127,12 +128,23 @@ impl DeploymentSpec {
 
 // ------------------------------------------------------- distributed topology
 
+/// How a distributed deployment reports to a telemetry collector: every
+/// component (MA, each LA, each SeD) gets its own private [`Obs`] and a
+/// [`TelemetryFlusher`] shipping it to `collector` every `interval`.
+#[derive(Debug, Clone)]
+pub struct TelemetrySpec {
+    pub collector: SocketAddr,
+    pub interval: Duration,
+}
+
 /// The SeD-spawning callback threaded through the recursive site builder:
 /// spawns and serves one site's SeDs, returning their local handles.
 type SpawnSeds<'a> = dyn FnMut(
+        &str,
         &[SedSpec],
         &mut Vec<Arc<SedHandle>>,
         &mut Vec<TcpServer>,
+        &mut Vec<TelemetryFlusher>,
     ) -> Result<Vec<Arc<SedHandle>>, DietError>
     + 'a;
 
@@ -274,7 +286,32 @@ impl TcpTopologySpec {
     pub fn deploy(
         &self,
         scheduler: Arc<dyn Scheduler>,
+        table_for: impl FnMut(&SedSpec) -> ServiceTable,
+    ) -> Result<TcpDeployment, DietError> {
+        self.deploy_inner(scheduler, table_for, None)
+    }
+
+    /// Like [`deploy`](Self::deploy), but distributed-observability style:
+    /// instead of one shared in-memory sink, every component keeps a
+    /// *private* [`Obs`] and reports it to `telemetry.collector` through its
+    /// own [`TelemetryFlusher`] — the shape a real multi-host deployment
+    /// has, where nothing but the wire connects the processes. The unified
+    /// view lives at the collector; [`TcpDeployment::obs`] only sees the
+    /// MA's slice.
+    pub fn deploy_with_telemetry(
+        &self,
+        scheduler: Arc<dyn Scheduler>,
+        table_for: impl FnMut(&SedSpec) -> ServiceTable,
+        telemetry: &TelemetrySpec,
+    ) -> Result<TcpDeployment, DietError> {
+        self.deploy_inner(scheduler, table_for, Some(telemetry))
+    }
+
+    fn deploy_inner(
+        &self,
+        scheduler: Arc<dyn Scheduler>,
         mut table_for: impl FnMut(&SedSpec) -> ServiceTable,
+        telemetry: Option<&TelemetrySpec>,
     ) -> Result<TcpDeployment, DietError> {
         self.validate()?;
         let obs = Arc::new(Obs::new());
@@ -288,20 +325,44 @@ impl TcpTopologySpec {
         let mut seds = Vec::new();
         let mut sed_servers = Vec::new();
         let mut agent_servers = Vec::new();
+        let mut flushers = Vec::new();
 
-        let spawn_seds = |specs: &[SedSpec],
+        let flusher_for = |component_obs: Arc<Obs>, role: &str, label: &str, site: &str| {
+            telemetry.map(|t| {
+                TelemetryFlusher::spawn(
+                    component_obs,
+                    TelemetryConfig::new(t.collector, role, label)
+                        .site(site)
+                        .interval(t.interval),
+                )
+            })
+        };
+
+        let spawn_seds = |site: &str,
+                          specs: &[SedSpec],
                           table_for: &mut dyn FnMut(&SedSpec) -> ServiceTable,
                           seds: &mut Vec<Arc<SedHandle>>,
-                          sed_servers: &mut Vec<TcpServer>|
+                          sed_servers: &mut Vec<TcpServer>,
+                          flushers: &mut Vec<TelemetryFlusher>|
          -> Result<Vec<Arc<SedHandle>>, DietError> {
             let mut local = Vec::new();
             for spec in specs {
+                // Telemetry mode: the SeD records into its own island of
+                // state and ships it; shared mode: everyone writes the one
+                // deployment-wide sink directly.
+                let sed_obs = match telemetry {
+                    Some(_) => Arc::new(Obs::new()),
+                    None => obs.clone(),
+                };
                 let sed = SedHandle::spawn_with_obs(
                     SedConfig::new(&spec.label, spec.speed_factor),
                     table_for(spec),
-                    obs.clone(),
+                    sed_obs.clone(),
                 );
                 let server = serve_sed_over_tcp(sed.clone())?;
+                if let Some(f) = flusher_for(sed_obs, "sed", &spec.label, site) {
+                    flushers.push(f);
+                }
                 pool.register(&spec.label, server.local_addr);
                 sed_servers.push(server);
                 seds.push(sed.clone());
@@ -310,14 +371,20 @@ impl TcpTopologySpec {
             Ok(local)
         };
 
+        // Recursion over the site tree threads every accumulator explicitly
+        // (it can't capture: `spawn_seds` is already a &mut closure).
+        #[allow(clippy::too_many_arguments)]
         fn build_site(
             site: &TcpSiteSpec,
             timeout: Duration,
             agent_cfg: &AgentConfig,
+            per_component_obs: bool,
             spawn_seds: &mut SpawnSeds<'_>,
             seds: &mut Vec<Arc<SedHandle>>,
             sed_servers: &mut Vec<TcpServer>,
             agent_servers: &mut Vec<(String, TcpServer)>,
+            agent_obs: &mut Vec<(String, Arc<Obs>)>,
+            flushers: &mut Vec<TelemetryFlusher>,
         ) -> Result<Arc<RemoteAgentClient>, DietError> {
             let mut child_stubs = Vec::new();
             for child in &site.children {
@@ -325,47 +392,93 @@ impl TcpTopologySpec {
                     child,
                     timeout,
                     agent_cfg,
+                    per_component_obs,
                     spawn_seds,
                     seds,
                     sed_servers,
                     agent_servers,
+                    agent_obs,
+                    flushers,
                 )?);
             }
-            let local = spawn_seds(&site.seds, seds, sed_servers)?;
+            let local = spawn_seds(&site.name, &site.seds, seds, sed_servers, flushers)?;
             let node = AgentNode::leaf(&site.name, local);
             for stub in child_stubs {
                 node.add_remote(stub);
             }
-            let server = serve_agent_over_tcp(node, agent_cfg.clone())?;
+            let site_cfg = if per_component_obs {
+                AgentConfig {
+                    obs: Arc::new(Obs::new()),
+                    ..agent_cfg.clone()
+                }
+            } else {
+                agent_cfg.clone()
+            };
+            agent_obs.push((site.name.clone(), site_cfg.obs.clone()));
+            let server = serve_agent_over_tcp(node, site_cfg)?;
             let stub = RemoteAgentClient::with_timeout(&site.name, server.local_addr, timeout);
             agent_servers.push((site.name.clone(), server));
             Ok(stub)
         }
 
+        // Agent flushers are attached after the recursive build — the
+        // builder only records which Obs each site's agent got.
+        let mut agent_obs: Vec<(String, Arc<Obs>)> = Vec::new();
         let mut site_stubs = Vec::new();
         for site in &self.sites {
             site_stubs.push(build_site(
                 site,
                 timeout,
                 &agent_cfg,
-                &mut |specs, seds, servers| spawn_seds(specs, &mut table_for, seds, servers),
+                telemetry.is_some(),
+                &mut |site_name, specs, seds, servers, flushers| {
+                    spawn_seds(site_name, specs, &mut table_for, seds, servers, flushers)
+                },
                 &mut seds,
                 &mut sed_servers,
                 &mut agent_servers,
+                &mut agent_obs,
+                &mut flushers,
             )?);
         }
-        let ma_local = spawn_seds(&self.ma_seds, &mut table_for, &mut seds, &mut sed_servers)?;
+        for (name, site_obs) in agent_obs {
+            if let Some(f) = flusher_for(site_obs, "la", &name, &name) {
+                flushers.push(f);
+            }
+        }
+        let ma_local = spawn_seds(
+            &self.ma_name,
+            &self.ma_seds,
+            &mut table_for,
+            &mut seds,
+            &mut sed_servers,
+            &mut flushers,
+        )?;
         let root = AgentNode::leaf(&format!("{}/local", self.ma_name), ma_local);
         for stub in site_stubs {
             root.add_remote(stub);
         }
-        let ma = MasterAgent::new_with_obs(&self.ma_name, vec![root], scheduler, obs.clone());
+        let ma_obs = match telemetry {
+            Some(_) => Arc::new(Obs::new()),
+            None => obs.clone(),
+        };
+        let ma = MasterAgent::new_with_obs(&self.ma_name, vec![root], scheduler, ma_obs.clone());
         ma.set_collect_timeout(timeout);
-        let ma_server = serve_ma_over_tcp(ma.clone(), vec![], agent_cfg)?;
+        let ma_cfg = AgentConfig {
+            obs: ma_obs.clone(),
+            ..agent_cfg
+        };
+        let ma_server = serve_ma_over_tcp(ma.clone(), vec![], ma_cfg)?;
+        if let Some(f) = flusher_for(ma_obs.clone(), "ma", &self.ma_name, &self.ma_name) {
+            flushers.push(f);
+        }
         let ma_client =
             RemoteAgentClient::with_timeout(&self.ma_name, ma_server.local_addr, timeout);
         Ok(TcpDeployment {
-            obs,
+            obs: match telemetry {
+                Some(_) => ma_obs,
+                None => obs,
+            },
             ma,
             ma_client,
             ma_server,
@@ -373,6 +486,7 @@ impl TcpTopologySpec {
             pool,
             seds,
             sed_servers,
+            flushers,
         })
     }
 }
@@ -382,7 +496,10 @@ impl TcpTopologySpec {
 /// individual servers (via [`TcpDeployment::kill_agent`]) to simulate site
 /// failures.
 pub struct TcpDeployment {
-    /// The sink every component records into (one trace per finding phase).
+    /// With [`TcpTopologySpec::deploy`]: the one sink every component
+    /// records into. With
+    /// [`deploy_with_telemetry`](TcpTopologySpec::deploy_with_telemetry):
+    /// just the MA's private slice — the unified view is at the collector.
     pub obs: Arc<Obs>,
     /// The MA's in-process handle (for heartbeat monitors and assertions).
     pub ma: Arc<MasterAgent>,
@@ -396,6 +513,8 @@ pub struct TcpDeployment {
     pub pool: Arc<TcpSedPool>,
     pub seds: Vec<Arc<SedHandle>>,
     pub sed_servers: Vec<TcpServer>,
+    /// One per component when deployed with telemetry; empty otherwise.
+    pub flushers: Vec<TelemetryFlusher>,
 }
 
 impl TcpDeployment {
@@ -421,8 +540,20 @@ impl TcpDeployment {
         }
     }
 
-    /// Orderly teardown: agents first (no new findings), then the SeDs.
-    pub fn shutdown(self) {
+    /// Push every component's pending telemetry to the collector right now
+    /// (tests call this instead of sleeping out the flush interval).
+    /// Returns how many component flushes failed.
+    pub fn flush_telemetry(&self) -> usize {
+        self.flushers
+            .iter()
+            .filter(|f| f.flush_now().is_err())
+            .count()
+    }
+
+    /// Orderly teardown: agents first (no new findings), then the SeDs,
+    /// then the telemetry flushers (each ships its final batch on the way
+    /// out, so the collector sees the tail of the run).
+    pub fn shutdown(mut self) {
         self.ma_server.kill();
         for (_, server) in &self.agent_servers {
             server.kill();
@@ -432,6 +563,9 @@ impl TcpDeployment {
         }
         for sed in &self.seds {
             sed.shutdown();
+        }
+        for flusher in &mut self.flushers {
+            flusher.shutdown();
         }
     }
 }

@@ -106,8 +106,14 @@ pub fn serve_sed_over_tcp(sed: Arc<SedHandle>) -> Result<TcpServer, DietError> {
 ///   [`SedHandle::note_reply_failure`] instead of being swallowed.
 pub fn serve_sed_over_tcp_with_config(
     sed: Arc<SedHandle>,
-    cfg: ServerConfig,
+    mut cfg: ServerConfig,
 ) -> Result<TcpServer, DietError> {
+    // Unless the caller routed the reactor's instrumentation elsewhere, it
+    // lands in this SeD's own registry — so a telemetry flusher ships tick
+    // latency and queue depths to the collector alongside the solve metrics.
+    if cfg.obs.is_none() {
+        cfg.obs = Some(sed.obs());
+    }
     TcpServer::spawn_framed("127.0.0.1:0", cfg, move |handle, msg| {
         match msg {
             Message::Call {
@@ -213,6 +219,12 @@ pub fn serve_sed_over_tcp_with_config(
                 let text = sed.obs().metrics.render_prometheus();
                 let _ = handle.send(&Message::MetricsReply { text });
             }
+            // Correlated variant: rides a shared mux like `Call`, and the
+            // selector picks the exported view.
+            Message::DumpMetricsRid { request_id, what } => {
+                let text = component_view(&sed.obs(), &what);
+                let _ = handle.send(&Message::MetricsReplyRid { request_id, text });
+            }
             Message::Ping => {
                 let _ = handle.send(&Message::Pong);
             }
@@ -220,6 +232,18 @@ pub fn serve_sed_over_tcp_with_config(
             _ => {}
         }
     })
+}
+
+/// Shared [`Message::DumpMetricsRid`] view dispatch for single-component
+/// processes (SeDs and agents): the selector picks the Prometheus text or
+/// the Chrome trace of the component's own spans. (`"topology"` is a
+/// collector-level view; see `crate::collector`.)
+fn component_view(obs: &Obs, what: &str) -> String {
+    match what {
+        "" | "prometheus" => obs.metrics.render_prometheus(),
+        "chrome" => obs::chrome_trace(&obs.tracer.snapshot()),
+        other => format!("unknown metrics view {other:?}\n"),
+    }
 }
 
 // --------------------------------------------------------------- agent client
@@ -424,7 +448,11 @@ pub fn serve_agent_over_tcp_at(
     let inflight = Arc::new(AtomicUsize::new(0));
     let admission_limit = cfg.admission_limit;
     let obs = cfg.obs.clone();
-    TcpServer::spawn_framed(addr, cfg.server, move |handle: &ConnHandle, msg| {
+    let mut server_cfg = cfg.server;
+    if server_cfg.obs.is_none() {
+        server_cfg.obs = Some(obs.clone());
+    }
+    TcpServer::spawn_framed(addr, server_cfg, move |handle: &ConnHandle, msg| {
         match msg {
             Message::Forward {
                 request_id,
@@ -467,6 +495,10 @@ pub fn serve_agent_over_tcp_at(
             Message::DumpMetrics => {
                 let text = obs.metrics.render_prometheus();
                 let _ = handle.send(&Message::MetricsReply { text });
+            }
+            Message::DumpMetricsRid { request_id, what } => {
+                let text = component_view(&obs, &what);
+                let _ = handle.send(&Message::MetricsReplyRid { request_id, text });
             }
             Message::Ping => {
                 let _ = handle.send(&Message::Pong);
@@ -511,7 +543,11 @@ pub fn serve_ma_over_tcp_at(
     let inflight = Arc::new(AtomicUsize::new(0));
     let admission_limit = cfg.admission_limit;
     let obs = cfg.obs.clone();
-    TcpServer::spawn_framed(addr, cfg.server, move |handle: &ConnHandle, msg| {
+    let mut server_cfg = cfg.server;
+    if server_cfg.obs.is_none() {
+        server_cfg.obs = Some(obs.clone());
+    }
+    TcpServer::spawn_framed(addr, server_cfg, move |handle: &ConnHandle, msg| {
         match msg {
             Message::Submit {
                 service,
@@ -556,6 +592,10 @@ pub fn serve_ma_over_tcp_at(
             Message::DumpMetrics => {
                 let text = ma.metrics().render_prometheus();
                 let _ = handle.send(&Message::MetricsReply { text });
+            }
+            Message::DumpMetricsRid { request_id, what } => {
+                let text = component_view(&obs, &what);
+                let _ = handle.send(&Message::MetricsReplyRid { request_id, text });
             }
             Message::Ping => {
                 let _ = handle.send(&Message::Pong);

@@ -33,16 +33,24 @@
 //!   platform, following the paper's Grid'5000 deployment.
 //! * [`error`] — the crate's error type.
 //! * [`faults`] — failure injection hooks for fault-tolerance testing.
+//! * [`telemetry`] — per-process background flusher shipping spans and
+//!   metric deltas to the collector (the LogComponent role).
+//! * [`collector`] — the LogCentral analogue: merges every process's
+//!   telemetry into one registry/trace store and serves Prometheus,
+//!   Chrome-trace, and topology views.
 //!
 //! Observability (the LogService/VizDIET analogue) comes from the vendored
 //! std-only [`obs`] crate: every component owns an [`obs::Obs`] (tracer +
 //! metrics registry), trace context crosses the wire inside `Call` frames
 //! ([`codec::Message::Call`]), and a deployment that wants one unified view
-//! injects a single shared `Arc<Obs>` via the `*_with_obs` constructors.
+//! either injects a single shared `Arc<Obs>` via the `*_with_obs`
+//! constructors (single-process) or runs a [`collector::Collector`] that
+//! distributed components report to over TCP ([`telemetry`]).
 
 pub mod agent;
 pub mod client;
 pub mod codec;
+pub mod collector;
 pub mod config;
 pub mod dagda;
 pub mod data;
@@ -59,14 +67,18 @@ pub mod profile;
 pub mod reactor;
 pub mod sched;
 pub mod sed;
+pub mod telemetry;
 pub mod transport;
 
 pub use agent::{AgentNode, HeartbeatMonitor, MasterAgent};
 pub use client::{CallHandle, CallStats, DietClient, RetryPolicy};
+pub use codec::ProcessSource;
+pub use collector::{serve_collector_over_tcp, Collector, SourceHealth};
 pub use config::DietConfig;
 pub use dagda::{DataResolver, ReplicaCatalog, ReplicaInfo};
 pub use data::{BaseType, DietValue, Persistence};
 pub use datamgr::DataManager;
+pub use deploy::TelemetrySpec;
 pub use error::DietError;
 pub use faults::{FaultAction, FaultPlan};
 pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
@@ -81,3 +93,4 @@ pub use profile::{ArgDesc, ArgMode, Profile, ProfileDesc};
 pub use reactor::ConnHandle;
 pub use sched::{DataLocal, MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
 pub use sed::{SedConfig, SedHandle, ServiceTable};
+pub use telemetry::{TelemetryConfig, TelemetryFlusher};

@@ -37,6 +37,7 @@ use crate::error::DietError;
 use crate::transport::{ServerConfig, DEFAULT_MAX_FRAME};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender, TrySendError};
+use obs::{Counter, Gauge, Histogram, Obs, Registry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -44,6 +45,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-`read` chunk size — bounds transient allocation to what arrived.
 const READ_CHUNK: usize = 64 << 10;
@@ -57,6 +59,50 @@ const READ_BUDGET: usize = 16;
 /// reading while replies pile up is disconnected instead of ballooning the
 /// server's memory.
 const WRITE_QUEUE_CAP: usize = 64 << 20;
+
+/// First-class reactor instrumentation (ISSUE 8): every counter here was
+/// previously a silent drop or an unobservable loop property. Handles are
+/// interned once at spawn so the hot loop touches only atomics.
+pub(crate) struct ReactorMetrics {
+    /// Wall time spent servicing one wakeup (accept + reads + dispatch +
+    /// flushes) — the loop's scheduling latency floor for everyone on it.
+    tick_seconds: Arc<Histogram>,
+    /// Size of the last ready set handed back by the poller.
+    ready_events: Arc<Gauge>,
+    /// Frames sitting in the bounded dispatch queue awaiting a worker.
+    dispatch_depth: Arc<Gauge>,
+    /// Unsent reply bytes queued across all connections (the sum the
+    /// 64 MiB per-connection cap bounds).
+    write_queue_bytes: Arc<Gauge>,
+    /// `Busy` answered because the dispatch queue was full.
+    busy_rejections: Arc<Counter>,
+    /// Peers severed because their write queue hit [`WRITE_QUEUE_CAP`].
+    write_overflow_severed: Arc<Counter>,
+    /// Connections cut off for advertising an oversized length prefix.
+    oversized_frames: Arc<Counter>,
+    /// Uncorrelated (rid 0) frames dropped on dispatch overflow — the
+    /// cases where a `Busy{0}` would have poisoned the peer's mux.
+    rid0_drops: Arc<Counter>,
+    /// Connections torn down abnormally (overflow, oversized frame, I/O
+    /// error, kill) — peer-initiated EOF is a normal close, not a sever.
+    severed_conns: Arc<Counter>,
+}
+
+impl ReactorMetrics {
+    fn new(reg: &Registry) -> Self {
+        ReactorMetrics {
+            tick_seconds: reg.histogram("diet_reactor_tick_seconds"),
+            ready_events: reg.gauge("diet_reactor_ready_events"),
+            dispatch_depth: reg.gauge("diet_reactor_dispatch_depth"),
+            write_queue_bytes: reg.gauge("diet_reactor_write_queue_bytes"),
+            busy_rejections: reg.counter("diet_reactor_busy_rejections_total"),
+            write_overflow_severed: reg.counter("diet_reactor_write_overflow_severed_total"),
+            oversized_frames: reg.counter("diet_reactor_oversized_frames_total"),
+            rid0_drops: reg.counter("diet_reactor_rid0_drops_total"),
+            severed_conns: reg.counter("diet_reactor_severed_conns_total"),
+        }
+    }
+}
 
 /// A readiness event: which registration fired and how.
 pub(crate) struct Event {
@@ -489,8 +535,16 @@ impl ConnHandle {
         let total = bufs[0].len() + bufs[1].len();
 
         let mut wq = self.conn.wq.lock();
+        // Re-check under the lock: prune() sets `closed` before reading the
+        // queue's byte count, so bailing here keeps the reactor-wide
+        // queued-bytes accounting exact (nothing queued after the snapshot).
+        if self.conn.closed.load(Ordering::Acquire) {
+            return Err(DietError::Transport("connection closed".into()));
+        }
         if wq.bytes + total > WRITE_QUEUE_CAP {
             drop(wq);
+            self.reactor.metrics.write_overflow_severed.inc();
+            self.reactor.metrics.severed_conns.inc();
             self.close();
             return Err(DietError::Transport("write queue overflow".into()));
         }
@@ -527,22 +581,31 @@ impl ConnHandle {
         }
         // Queue the remainder (possibly everything) for the reactor.
         let [prefix, payload] = bufs;
-        if idx == 0 {
-            wq.bytes += prefix.len() - off + payload.len();
+        let queued = if idx == 0 {
+            let queued = prefix.len() - off + payload.len();
+            wq.bytes += queued;
             wq.bufs.push_back(if off == 0 {
                 prefix
             } else {
                 prefix.slice(off..)
             });
             wq.bufs.push_back(payload);
+            queued
         } else {
-            wq.bytes += payload.len() - off;
+            let queued = payload.len() - off;
+            wq.bytes += queued;
             wq.bufs.push_back(if off == 0 {
                 payload
             } else {
                 payload.slice(off..)
             });
-        }
+            queued
+        };
+        // Account while still holding the queue lock: prune() snapshots
+        // `wq.bytes` under the same lock, so add and snapshot cannot cross.
+        self.reactor
+            .queued_total
+            .fetch_add(queued as u64, Ordering::Relaxed);
         drop(wq);
         self.reactor.mark_dirty(self.conn.token);
         Ok(())
@@ -577,6 +640,11 @@ pub(crate) struct ReactorShared {
     stop: AtomicBool,
     kill: AtomicBool,
     conn_count: AtomicUsize,
+    /// Unsent bytes queued across every connection, maintained O(1) at the
+    /// send/flush/prune sites so the per-tick gauge update never iterates
+    /// the connection table (which may hold thousands of idle conns).
+    queued_total: AtomicU64,
+    metrics: ReactorMetrics,
 }
 
 impl ReactorShared {
@@ -637,22 +705,34 @@ pub(crate) fn spawn(
         .add(listener.as_raw_fd(), TOK_LISTENER, true, false)
         .and_then(|_| poller.add(waker.fd(), TOK_WAKER, true, false))
         .map_err(|e| DietError::Transport(format!("poller register: {e}")))?;
+    // Instrumentation lands in the injected registry when the server has
+    // one; a throwaway Obs otherwise keeps the hot loop branchless.
+    let obs = cfg
+        .obs
+        .clone()
+        .unwrap_or_else(|| Arc::new(Obs::with_capacity(16)));
     let shared = Arc::new(ReactorShared {
         waker,
         dirty: Mutex::new(Vec::new()),
         stop: AtomicBool::new(false),
         kill: AtomicBool::new(false),
         conn_count: AtomicUsize::new(0),
+        queued_total: AtomicU64::new(0),
+        metrics: ReactorMetrics::new(&obs.metrics),
     });
 
     // Dispatch workers: complete frames only — no worker ever blocks on a
-    // half-read socket.
+    // half-read socket. `depth` mirrors the bounded channel's occupancy for
+    // the dispatch-depth gauge (the vendored channel exposes no len()).
+    let depth = Arc::new(AtomicU64::new(0));
     let (work_tx, work_rx) = bounded::<(ConnHandle, Bytes)>(cfg.accept_queue.max(1));
     for _ in 0..cfg.workers.max(1) {
         let rx = work_rx.clone();
         let h = handler.clone();
+        let depth = depth.clone();
         std::thread::spawn(move || {
             while let Ok((handle, frame)) = rx.recv() {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 match decode_message(frame) {
                     Ok(msg) => h(&handle, msg),
                     // Garbage that framed correctly but does not decode:
@@ -670,6 +750,7 @@ pub(crate) fn spawn(
         conns: HashMap::new(),
         next_token: TOK_FIRST_CONN,
         work_tx,
+        depth,
         busy: busy_rejections,
         faults: cfg.faults.clone(),
         accepting: true,
@@ -687,6 +768,9 @@ struct Reactor {
     conns: HashMap<u64, Conn>,
     next_token: u64,
     work_tx: Sender<(ConnHandle, Bytes)>,
+    /// Occupancy of the bounded dispatch channel (inc on send, dec on
+    /// worker receive).
+    depth: Arc<AtomicU64>,
     busy: Arc<AtomicU64>,
     faults: Option<Arc<crate::faults::FaultPlan>>,
     accepting: bool,
@@ -702,6 +786,9 @@ impl Reactor {
             if self.poller.wait(&mut events, -1).is_err() {
                 break;
             }
+            // The tick clock starts once the poller hands work back: time
+            // blocked waiting is idleness, not loop latency.
+            let tick_start = Instant::now();
             if self.shared.kill.load(Ordering::Acquire) {
                 break;
             }
@@ -709,6 +796,7 @@ impl Reactor {
                 self.accepting = false;
                 let _ = self.poller.delete(self.listener.as_raw_fd());
             }
+            self.shared.metrics.ready_events.set(events.len() as f64);
             for ev in &events {
                 match ev.token {
                     TOK_LISTENER => self.accept_ready(),
@@ -729,17 +817,29 @@ impl Reactor {
             for token in dirty {
                 self.flush(token);
             }
+            let m = &self.shared.metrics;
+            m.dispatch_depth
+                .set(self.depth.load(Ordering::Relaxed) as f64);
+            m.write_queue_bytes
+                .set(self.shared.queued_total.load(Ordering::Relaxed) as f64);
+            m.tick_seconds.observe(tick_start.elapsed().as_secs_f64());
             if !self.accepting && self.conns.is_empty() {
                 break;
             }
         }
         // Kill or orderly exit: sever whatever is left so peers observe a
         // dead server instead of a silent one.
+        let leftover = self.conns.len() as u64;
+        if leftover > 0 {
+            self.shared.metrics.severed_conns.add(leftover);
+        }
         for (_, conn) in self.conns.drain() {
             conn.shared.closed.store(true, Ordering::Release);
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
         self.shared.conn_count.store(0, Ordering::Release);
+        self.shared.queued_total.store(0, Ordering::Release);
+        self.shared.metrics.write_queue_bytes.set(0.0);
     }
 
     fn accept_ready(&mut self) {
@@ -800,6 +900,7 @@ impl Reactor {
 
     fn read_ready(&mut self, token: u64) {
         let mut dead = false;
+        let mut severed = false;
         let mut frames = std::mem::take(&mut self.frames);
         frames.clear();
         let handle = {
@@ -818,6 +919,7 @@ impl Reactor {
                 budget -= 1;
                 match (&conn.stream).read(&mut scratch) {
                     Ok(0) => {
+                        // Peer-initiated EOF: a normal close, not a sever.
                         dead = true;
                         break;
                     }
@@ -826,6 +928,7 @@ impl Reactor {
                     Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
                         dead = true;
+                        severed = true;
                         break;
                     }
                 }
@@ -833,8 +936,10 @@ impl Reactor {
             if conn.fb.drain_frames(&mut frames).is_err() {
                 // Oversized length prefix: cut the peer off before any
                 // body accumulates. Frames already sliced die with it.
+                self.shared.metrics.oversized_frames.inc();
                 frames.clear();
                 dead = true;
+                severed = true;
             }
             ConnHandle {
                 conn: conn.shared.clone(),
@@ -842,6 +947,7 @@ impl Reactor {
             }
         };
         for frame in frames.drain(..) {
+            self.depth.fetch_add(1, Ordering::Relaxed);
             match self.work_tx.try_send((handle.clone(), frame)) {
                 Ok(()) => {}
                 Err(TrySendError::Full((h, frame))) => {
@@ -849,14 +955,19 @@ impl Reactor {
                     // request, echoing its id so exactly that caller backs
                     // off. Uncorrelated frames (rid 0: Ping, DumpMetrics)
                     // are dropped — Busy{0} would poison the peer's whole
-                    // mux connection.
+                    // mux connection — but the drop is counted, not silent.
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
                     self.busy.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.busy_rejections.inc();
                     let rid = peek_request_id(&frame);
                     if rid != 0 {
                         let _ = h.send(&Message::Busy { request_id: rid });
+                    } else {
+                        self.shared.metrics.rid0_drops.inc();
                     }
                 }
                 Err(TrySendError::Disconnected(_)) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
                     dead = true;
                     break;
                 }
@@ -864,6 +975,9 @@ impl Reactor {
         }
         self.frames = frames;
         if dead {
+            if severed {
+                self.shared.metrics.severed_conns.inc();
+            }
             self.prune(token);
         }
     }
@@ -887,6 +1001,9 @@ impl Reactor {
                     Ok(n) => {
                         wq.head += n;
                         wq.bytes -= n;
+                        self.shared
+                            .queued_total
+                            .fetch_sub(n as u64, Ordering::Relaxed);
                         if wq.head == front_len {
                             wq.head = 0;
                             wq.bufs.pop_front();
@@ -902,6 +1019,10 @@ impl Reactor {
             }
             flushed = wq.bufs.is_empty();
             drop(wq);
+            if dead {
+                // The peer died with replies still owed: an abnormal end.
+                self.shared.metrics.severed_conns.inc();
+            }
             if !dead {
                 if !flushed && !conn.want_write {
                     conn.want_write = true;
@@ -930,6 +1051,15 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
             conn.shared.closed.store(true, Ordering::Release);
+            // Un-account reply bytes dying with the connection. `closed`
+            // is set first, so a racing `send` either queued before (its
+            // bytes are in this snapshot) or fails fast without queuing.
+            let abandoned = conn.shared.wq.lock().bytes;
+            if abandoned > 0 {
+                self.shared
+                    .queued_total
+                    .fetch_sub(abandoned as u64, Ordering::Relaxed);
+            }
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
             self.shared.conn_count.fetch_sub(1, Ordering::AcqRel);
         }

@@ -290,6 +290,10 @@ pub struct ServerConfig {
     /// Optional fault injection consulted by the accept loop
     /// (`accept_delay`); per-request faults stay with the SeD's own plan.
     pub faults: Option<Arc<crate::faults::FaultPlan>>,
+    /// Registry the reactor's instrumentation (tick latency, queue depths,
+    /// drop counters) lands in. `None` keeps the metrics in a private
+    /// throwaway registry — the loop is instrumented either way.
+    pub obs: Option<Arc<obs::Obs>>,
 }
 
 impl Default for ServerConfig {
@@ -298,6 +302,7 @@ impl Default for ServerConfig {
             workers: 8,
             accept_queue: 64,
             faults: None,
+            obs: None,
         }
     }
 }
@@ -603,8 +608,11 @@ impl MuxConn {
                         Message::SubmitReply { request_id, .. } => *request_id,
                         Message::EstimateBatch { request_id, .. } => *request_id,
                         Message::Busy { request_id } => *request_id,
-                        // Uncorrelated frames (Pong, MetricsReply) have no
-                        // waiter on a mux connection; drop them.
+                        Message::MetricsReplyRid { request_id, .. } => *request_id,
+                        Message::PushAck { request_id } => *request_id,
+                        // Uncorrelated frames (Pong, the legacy
+                        // MetricsReply) have no waiter on a mux connection;
+                        // drop them.
                         _ => 0,
                     };
                     if rid != 0 {
@@ -828,9 +836,11 @@ impl TcpSedPool {
     }
 
     /// Fetch a Prometheus-format metrics dump from the server behind
-    /// `label` (the `dump-metrics` request). Metrics dumps are rare and
-    /// carry no correlation id, so they use a short-lived dedicated
-    /// connection rather than riding the multiplexed stream.
+    /// `label` (the `dump-metrics` request). This legacy variant carries no
+    /// correlation id, so it uses a short-lived dedicated connection rather
+    /// than riding the multiplexed stream; prefer
+    /// [`dump_metrics_correlated`](Self::dump_metrics_correlated), which
+    /// shares the label's pooled connection with in-flight calls.
     pub fn dump_metrics(&self, label: &str, deadline: Duration) -> Result<String, DietError> {
         let addr = self
             .endpoint(label)
@@ -845,6 +855,39 @@ impl TcpSedPool {
             None => Err(DietError::Timeout {
                 after_secs: deadline.as_secs_f64(),
             }),
+        }
+    }
+
+    /// Correlated metrics dump riding the label's shared [`MuxConn`] like
+    /// `Call` does — no extra connection, and concurrent dumps from many
+    /// threads demux cleanly by request id. `what` selects the view
+    /// (`""`/`"prometheus"`, `"chrome"`, `"topology"` on a collector).
+    pub fn dump_metrics_correlated(
+        &self,
+        label: &str,
+        what: &str,
+        deadline: Duration,
+    ) -> Result<String, DietError> {
+        let mux = self.mux_for(label)?;
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let reply = mux.request(
+            &Message::DumpMetricsRid {
+                request_id,
+                what: what.to_string(),
+            },
+            request_id,
+            deadline,
+        );
+        match reply {
+            Ok(Message::MetricsReplyRid { text, .. }) => Ok(text),
+            Ok(Message::Busy { .. }) => Err(DietError::Busy),
+            Ok(other) => Err(DietError::Transport(format!(
+                "unexpected reply to dump-metrics: {other:?}"
+            ))),
+            Err(e) => {
+                self.evict_if_dead(label);
+                Err(e)
+            }
         }
     }
 
@@ -1317,6 +1360,7 @@ mod tests {
             workers: 1,
             accept_queue: 1,
             faults: None,
+            obs: None,
         };
         let server = TcpServer::spawn_with_config("127.0.0.1:0", cfg, |conn| {
             // Hold the worker until the connection dies.

@@ -38,6 +38,7 @@ fn spawn_echo(workers: usize) -> TcpServer {
             workers,
             accept_queue: 8,
             faults: None,
+            obs: None,
         },
         |handle: &ConnHandle, msg: Message| {
             if matches!(msg, Message::Ping) {
@@ -164,6 +165,7 @@ fn pooled_server_prunes_closed_connections() {
             workers: 2,
             accept_queue: 8,
             faults: None,
+            obs: None,
         },
         |t: TcpTransport| {
             while let Ok(msg) = t.recv() {

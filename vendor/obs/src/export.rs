@@ -165,6 +165,89 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Registry::new();
+        r.counter_with("weird_total", &[("who", "a\\b\"c\nd")])
+            .inc();
+        let txt = render_prometheus_multi(&[&r]);
+        // Backslash, quote and newline must all be escaped, in that order
+        // of precedence (escaping the backslash first must not corrupt the
+        // later escapes).
+        assert!(
+            txt.contains("weird_total{who=\"a\\\\b\\\"c\\nd\"} 1"),
+            "escaped label missing from:\n{txt}"
+        );
+        assert!(!txt.contains('\r'));
+        // The raw newline inside the value must not split the sample line.
+        let sample_lines: Vec<&str> = txt.lines().filter(|l| l.contains("weird_total{")).collect();
+        assert_eq!(sample_lines.len(), 1);
+    }
+
+    #[test]
+    fn prometheus_output_is_deterministic_regardless_of_registration_order() {
+        let forward = Registry::new();
+        forward.counter_with("a_total", &[("x", "1")]).inc();
+        forward.gauge("b_gauge").set(2.0);
+        forward.counter_with("c_total", &[("x", "2")]).add(3);
+        let reverse = Registry::new();
+        reverse.counter_with("c_total", &[("x", "2")]).add(3);
+        reverse.gauge("b_gauge").set(2.0);
+        reverse.counter_with("a_total", &[("x", "1")]).inc();
+        let t1 = render_prometheus_multi(&[&forward]);
+        let t2 = render_prometheus_multi(&[&reverse]);
+        assert_eq!(t1, t2, "output must not depend on registration order");
+        let pos = |needle: &str| {
+            t1.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
+        assert!(pos("# TYPE a_total") < pos("# TYPE b_gauge"));
+        assert!(pos("# TYPE b_gauge") < pos("# TYPE c_total"));
+    }
+
+    #[test]
+    fn histogram_quantiles_hold_under_concurrent_recording() {
+        let r = std::sync::Arc::new(Registry::new());
+        let h = r.histogram_with_bounds("work_seconds", &[], vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        // 4 threads x 250 observations with a known distribution:
+        // totals 500 @ le=1, 460 @ le=4, 32 @ le=8, 8 @ le=16.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..125 {
+                        h.observe(0.5);
+                    }
+                    for _ in 0..115 {
+                        h.observe(3.0);
+                    }
+                    for _ in 0..8 {
+                        h.observe(7.0);
+                    }
+                    for _ in 0..2 {
+                        h.observe(15.0);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.p50(), 1.0);
+        assert_eq!(h.p95(), 4.0);
+        assert_eq!(h.p99(), 8.0);
+        // sum = 4 * (125*0.5 + 115*3 + 8*7 + 2*15) = 1974, exactly
+        // representable so no observation may be lost to a race.
+        assert_eq!(h.sum(), 1974.0);
+        let txt = render_prometheus_multi(&[&r]);
+        assert!(txt.contains("work_seconds_bucket{le=\"1.0\"} 500"));
+        assert!(txt.contains("work_seconds_bucket{le=\"4.0\"} 960"));
+        assert!(txt.contains("work_seconds_bucket{le=\"8.0\"} 992"));
+        assert!(txt.contains("work_seconds_bucket{le=\"+Inf\"} 1000"));
+        assert!(txt.contains("work_seconds_count 1000"));
+    }
+
+    #[test]
     fn chrome_trace_emits_thread_names_and_events() {
         let t = Tracer::new(8);
         let trace = t.new_trace();

@@ -24,8 +24,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use export::{chrome_trace, render_prometheus_multi};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use trace::{Span, SpanRecord, TraceCtx, Tracer};
+pub use metrics::{Counter, DeltaTracker, Gauge, Histogram, Labels, MetricSnapshot, Registry};
+pub use trace::{intern_name, Span, SpanRecord, TraceCtx, Tracer};
 
 /// Default span ring capacity: enough for a few thousand requests at the
 /// five-spans-per-request rate of the live path.
@@ -54,8 +54,49 @@ impl Obs {
     }
 }
 
+impl Obs {
+    /// Drain spans recorded since the last drain (the flusher's export
+    /// step) and account any spans the ring overwrote before they could be
+    /// exported in the `diet_obs_spans_dropped_total` counter — so a
+    /// truncated trace is visible in the metrics instead of silent.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        let spans = self.tracer.drain();
+        let lost = self.tracer.lost_unexported();
+        let c = self.metrics.counter("diet_obs_spans_dropped_total");
+        let reported = c.get();
+        if lost > reported {
+            c.add(lost - reported);
+        }
+        spans
+    }
+}
+
 impl Default for Obs {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_spans_accounts_unexported_overwrites() {
+        let obs = Obs::with_capacity(2);
+        for i in 1..=5 {
+            obs.tracer.record_window(i, 0, "x", "r", 0, 1);
+        }
+        let drained = obs.drain_spans();
+        assert_eq!(drained.len(), 2, "only the retained tail is exportable");
+        assert_eq!(
+            obs.metrics.counter_value("diet_obs_spans_dropped_total"),
+            3,
+            "spans 1..=3 were overwritten before any export"
+        );
+        // Draining again without new losses must not double-count.
+        obs.tracer.record_window(6, 0, "x", "r", 0, 1);
+        let _ = obs.drain_spans();
+        assert_eq!(obs.metrics.counter_value("diet_obs_spans_dropped_total"), 3);
     }
 }

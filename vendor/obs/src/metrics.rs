@@ -157,6 +157,39 @@ impl Histogram {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    /// Merge a batch of per-bucket count deltas (last entry = overflow) and
+    /// a sum delta into this histogram — the collector-side half of delta
+    /// shipping. Bucket layouts must match; Err carries a description.
+    pub fn absorb(&self, counts: &[u64], sum: f64) -> Result<(), String> {
+        if counts.len() != self.counts.len() {
+            return Err(format!(
+                "histogram bucket mismatch: {} deltas vs {} buckets",
+                counts.len(),
+                self.counts.len()
+            ));
+        }
+        let mut added = 0u64;
+        for (slot, &d) in self.counts.iter().zip(counts) {
+            slot.fetch_add(d, Ordering::Relaxed);
+            added += d;
+        }
+        self.count.fetch_add(added, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + sum).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Sorted label pairs; part of the interning key.
@@ -170,7 +203,13 @@ enum Metric {
 }
 
 /// Read-only view of one metric at snapshot time (used by the exporters).
-#[derive(Debug, Clone)]
+///
+/// Doubles as the unit of *delta shipping* (see
+/// [`Registry::delta_since`]): a `Counter` delta carries the increment
+/// since the last flush, a `Histogram` delta carries per-bucket count
+/// increments and the sum increment, and a `Gauge` always carries its
+/// current value (gauges are last-write-wins, not accumulated).
+#[derive(Debug, Clone, PartialEq)]
 pub enum MetricSnapshot {
     Counter(u64),
     Gauge(f64),
@@ -296,6 +335,125 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         crate::export::render_prometheus_multi(&[self])
     }
+
+    /// Apply one shipped metric (a delta or a gauge value) to this
+    /// registry — the collector's merge step. Counters and histogram
+    /// buckets *add* (so merged totals equal the sum over processes);
+    /// gauges *overwrite* (last flush wins). A histogram whose bucket
+    /// layout disagrees with an existing registration is rejected.
+    pub fn apply(&self, name: &str, labels: &Labels, snap: &MetricSnapshot) -> Result<(), String> {
+        let lref: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        match snap {
+            MetricSnapshot::Counter(d) => {
+                self.counter_with(name, &lref).add(*d);
+                Ok(())
+            }
+            MetricSnapshot::Gauge(v) => {
+                self.gauge_with(name, &lref).set(*v);
+                Ok(())
+            }
+            MetricSnapshot::Histogram {
+                bounds,
+                counts,
+                sum,
+                ..
+            } => {
+                let h = self.histogram_with_bounds(name, &lref, bounds.clone());
+                if h.bounds() != bounds.as_slice() {
+                    return Err(format!(
+                        "histogram {name}: bounds mismatch across processes"
+                    ));
+                }
+                h.absorb(counts, *sum)
+            }
+        }
+    }
+
+    /// Everything that changed since `tracker` last saw this registry, as
+    /// shippable deltas: counters and histograms as increments (entries
+    /// with no change are omitted), gauges always at current value. The
+    /// tracker is advanced, so repeated calls ship each increment once.
+    pub fn delta_since(&self, tracker: &mut DeltaTracker) -> Vec<(String, Labels, MetricSnapshot)> {
+        let mut out = Vec::new();
+        for (name, labels, snap) in self.snapshot() {
+            let k = (name.clone(), labels.clone());
+            match snap {
+                MetricSnapshot::Counter(cur) => {
+                    let last = match tracker.last.get(&k) {
+                        Some(MetricSnapshot::Counter(v)) => *v,
+                        _ => 0,
+                    };
+                    if cur > last {
+                        out.push((name, labels, MetricSnapshot::Counter(cur - last)));
+                    }
+                    tracker.last.insert(k, MetricSnapshot::Counter(cur));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    out.push((name, labels, MetricSnapshot::Gauge(v)));
+                    tracker.last.insert(k, MetricSnapshot::Gauge(v));
+                }
+                MetricSnapshot::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let (last_counts, last_sum, last_count) = match tracker.last.get(&k) {
+                        Some(MetricSnapshot::Histogram {
+                            counts: lc,
+                            sum: ls,
+                            count: ln,
+                            ..
+                        }) => (lc.clone(), *ls, *ln),
+                        _ => (vec![0; counts.len()], 0.0, 0),
+                    };
+                    if count > last_count {
+                        let dcounts: Vec<u64> = counts
+                            .iter()
+                            .zip(&last_counts)
+                            .map(|(c, l)| c.saturating_sub(*l))
+                            .collect();
+                        out.push((
+                            name,
+                            labels,
+                            MetricSnapshot::Histogram {
+                                bounds: bounds.clone(),
+                                counts: dcounts,
+                                sum: sum - last_sum,
+                                count: count - last_count,
+                            },
+                        ));
+                    }
+                    tracker.last.insert(
+                        k,
+                        MetricSnapshot::Histogram {
+                            bounds,
+                            counts,
+                            sum,
+                            count,
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-flusher memory of the last shipped cumulative values, so
+/// [`Registry::delta_since`] ships every increment exactly once.
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    last: BTreeMap<(String, Labels), MetricSnapshot>,
+}
+
+impl DeltaTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 #[cfg(test)]
@@ -332,5 +490,76 @@ mod tests {
         let r = Registry::new();
         r.counter("x").inc();
         let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn delta_since_ships_each_increment_exactly_once() {
+        let r = Registry::new();
+        let mut t = DeltaTracker::new();
+        r.counter("reqs").add(3);
+        r.gauge("depth").set(2.0);
+        r.histogram_with_bounds("lat", &[], vec![1.0, 2.0])
+            .observe(0.5);
+
+        let d1 = r.delta_since(&mut t);
+        assert!(d1
+            .iter()
+            .any(|(n, _, s)| n == "reqs" && *s == MetricSnapshot::Counter(3)));
+        assert!(d1
+            .iter()
+            .any(|(n, _, s)| n == "lat"
+                && matches!(s, MetricSnapshot::Histogram { count: 1, counts, .. } if counts == &vec![1, 0, 0])));
+
+        // Nothing changed: counters/histograms go quiet, gauges re-ship.
+        let d2 = r.delta_since(&mut t);
+        assert!(d2.iter().all(|(n, _, _)| n == "depth"));
+
+        r.counter("reqs").add(2);
+        let d3 = r.delta_since(&mut t);
+        assert!(d3
+            .iter()
+            .any(|(n, _, s)| n == "reqs" && *s == MetricSnapshot::Counter(2)));
+    }
+
+    #[test]
+    fn apply_merges_deltas_into_process_sums() {
+        // Two "processes" flush into one collector registry; merged values
+        // must equal the per-process sums (counters/histograms) or the last
+        // write (gauges).
+        let a = Registry::new();
+        let b = Registry::new();
+        let merged = Registry::new();
+        a.counter_with("solves", &[("sed", "s0")]).add(4);
+        b.counter_with("solves", &[("sed", "s1")]).add(6);
+        a.gauge("queue").set(1.0);
+        b.gauge("queue").set(7.0);
+        a.histogram_with_bounds("lat", &[], vec![1.0, 2.0])
+            .observe(0.5);
+        b.histogram_with_bounds("lat", &[], vec![1.0, 2.0])
+            .observe(1.5);
+        b.histogram_with_bounds("lat", &[], vec![1.0, 2.0])
+            .observe(9.0);
+
+        for r in [&a, &b] {
+            let mut t = DeltaTracker::new();
+            for (name, labels, snap) in r.delta_since(&mut t) {
+                merged.apply(&name, &labels, &snap).unwrap();
+            }
+        }
+        assert_eq!(merged.counter_value("solves"), 10);
+        assert_eq!(merged.gauge("queue").get(), 7.0);
+        let h = merged.histogram_with_bounds("lat", &[], vec![1.0, 2.0]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+        assert!((h.sum() - 11.0).abs() < 1e-12);
+
+        // A layout disagreement is an explicit error, not a silent merge.
+        let bad = MetricSnapshot::Histogram {
+            bounds: vec![5.0],
+            counts: vec![1, 0],
+            sum: 1.0,
+            count: 1,
+        };
+        assert!(merged.apply("lat", &Labels::new(), &bad).is_err());
     }
 }

@@ -5,6 +5,7 @@
 //! (its construction instant). Within one process — or one shared
 //! [`crate::Obs`] — all spans are therefore on a single consistent axis.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -15,6 +16,44 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 fn alloc_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Cap on distinct non-built-in span names the process-global intern table
+/// will leak; names beyond it collapse to `"span"` so a hostile peer cannot
+/// grow memory without bound through [`intern_name`].
+const INTERN_CAP: usize = 1024;
+
+/// Intern table for span names that arrive over the wire (a [`SpanRecord`]
+/// stores `&'static str`, which a decoded frame cannot provide directly).
+static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+
+/// Map a wire-decoded span name onto a `&'static str`. The live path's
+/// phase names hit the fast match; anything else is leaked once into a
+/// bounded process-global table (overflow collapses to `"span"`).
+pub fn intern_name(name: &str) -> &'static str {
+    match name {
+        "Finding" => "Finding",
+        "Submission" => "Submission",
+        "Queued" => "Queued",
+        "Execution" => "Execution",
+        "ResultReturn" => "ResultReturn",
+        "AgentEstimate" => "AgentEstimate",
+        "attempt" => "attempt",
+        "request" => "request",
+        "span" => "span",
+        other => {
+            let mut table = INTERNED.lock().unwrap();
+            if let Some(s) = table.get(other) {
+                return s;
+            }
+            if table.len() >= INTERN_CAP {
+                return "span";
+            }
+            let leaked: &'static str = Box::leak(other.to_string().into_boxed_str());
+            table.insert(other.to_string(), leaked);
+            leaked
+        }
+    }
 }
 
 /// Trace context propagated across frame boundaries (16 bytes on the wire:
@@ -63,6 +102,11 @@ struct Ring {
     buf: Vec<SpanRecord>,
     /// Next slot to write once `buf.len() == capacity`.
     next: usize,
+    /// Spans ever pushed (monotonic logical index of the next push).
+    total: u64,
+    /// Logical index up to which spans have been handed out by
+    /// [`Tracer::drain`]; everything below it is exported.
+    drained: u64,
 }
 
 /// Fixed-capacity collector of completed spans. When full, the oldest span
@@ -75,6 +119,8 @@ pub struct Tracer {
     ring: Mutex<Ring>,
     next_trace: AtomicU64,
     dropped: AtomicU64,
+    /// Overwritten spans that had never been drained — truncated exports.
+    lost_unexported: AtomicU64,
 }
 
 impl std::fmt::Debug for Ring {
@@ -93,9 +139,12 @@ impl Tracer {
             ring: Mutex::new(Ring {
                 buf: Vec::new(),
                 next: 0,
+                total: 0,
+                drained: 0,
             }),
             next_trace: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
+            lost_unexported: AtomicU64::new(0),
         }
     }
 
@@ -155,11 +204,28 @@ impl Tracer {
         if ring.buf.len() < self.capacity {
             ring.buf.push(rec);
         } else {
+            // The overwritten span's logical index is the oldest retained
+            // one; if the drain cursor never reached it, an exporter has
+            // permanently lost it — count that separately from plain
+            // overwrites so truncated traces are detectable.
+            let overwritten = ring.total - self.capacity as u64;
+            if overwritten >= ring.drained {
+                self.lost_unexported.fetch_add(1, Ordering::Relaxed);
+            }
             let next = ring.next;
             ring.buf[next] = rec;
             ring.next = (next + 1) % self.capacity;
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
+        ring.total += 1;
+    }
+
+    /// Append a span recorded by *another* process (a wire-shipped record):
+    /// ids and timestamps are preserved verbatim — they are only meaningful
+    /// relative to the originating process, which is why stitched views key
+    /// on `trace_id`, never on span ids or clocks.
+    pub fn ingest(&self, rec: SpanRecord) {
+        self.push(rec);
     }
 
     /// All retained spans, oldest first.
@@ -171,15 +237,50 @@ impl Tracer {
         out
     }
 
+    /// Spans pushed since the previous `drain`, oldest first, advancing the
+    /// drain cursor — the flusher's incremental export. Spans the ring
+    /// overwrote before they could be drained are gone; they are accounted
+    /// in [`Tracer::lost_unexported`].
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut ring = self.ring.lock().unwrap();
+        let len = ring.buf.len() as u64;
+        let oldest = ring.total - len;
+        let start = ring.drained.max(oldest);
+        let take = (ring.total - start) as usize;
+        let mut out = Vec::with_capacity(take);
+        // Map logical index `start` onto its ring position and walk forward.
+        let mut pos = if len < self.capacity as u64 {
+            (start - oldest) as usize
+        } else {
+            (ring.next + (start - oldest) as usize) % self.capacity
+        };
+        for _ in 0..take {
+            out.push(ring.buf[pos].clone());
+            pos = (pos + 1) % self.capacity.max(1);
+        }
+        ring.drained = ring.total;
+        out
+    }
+
     /// Spans overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Overwritten spans that had never been handed out by
+    /// [`Tracer::drain`] — the count of spans an exporter can never see.
+    pub fn lost_unexported(&self) -> u64 {
+        self.lost_unexported.load(Ordering::Relaxed)
     }
 
     pub fn clear(&self) {
         let mut ring = self.ring.lock().unwrap();
         ring.buf.clear();
         ring.next = 0;
+        // Everything ever pushed counts as consumed: a fresh drain after
+        // clear starts from the next push, not from resurrected indices.
+        let total = ring.total;
+        ring.drained = total;
     }
 }
 
@@ -297,5 +398,93 @@ mod tests {
         assert_eq!(s[0].start_ns, 100);
         assert_eq!(s[0].end_ns, 100);
         assert_eq!(s[0].duration_s(), 0.0);
+    }
+
+    #[test]
+    fn drain_is_incremental_and_oldest_first() {
+        let t = Tracer::new(8);
+        t.record_window(1, 0, "a", "r", 0, 1);
+        t.record_window(2, 0, "b", "r", 1, 2);
+        let first = t.drain();
+        assert_eq!(
+            first.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(t.drain().is_empty(), "second drain must start after 2");
+        t.record_window(3, 0, "c", "r", 2, 3);
+        let second = t.drain();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].trace_id, 3);
+        // snapshot still sees everything retained.
+        assert_eq!(t.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn overwrites_of_undrained_spans_are_lost_unexported() {
+        let t = Tracer::new(4);
+        for i in 1..=4 {
+            t.record_window(i, 0, "x", "r", 0, 1);
+        }
+        assert_eq!(t.drain().len(), 4);
+        assert_eq!(t.lost_unexported(), 0);
+        // Four more fit exactly: they overwrite only already-drained spans.
+        for i in 5..=8 {
+            t.record_window(i, 0, "x", "r", 0, 1);
+        }
+        assert_eq!(t.dropped(), 4);
+        assert_eq!(t.lost_unexported(), 0);
+        // Two beyond capacity without a drain: spans 5 and 6 are gone
+        // before any exporter saw them.
+        for i in 9..=10 {
+            t.record_window(i, 0, "x", "r", 0, 1);
+        }
+        assert_eq!(t.lost_unexported(), 2);
+        let drained = t.drain();
+        assert_eq!(
+            drained.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+    }
+
+    #[test]
+    fn drain_after_wrap_starts_at_oldest_retained() {
+        let t = Tracer::new(3);
+        for i in 1..=7 {
+            t.record_window(i, 0, "x", "r", 0, 1);
+        }
+        let drained = t.drain();
+        assert_eq!(
+            drained.iter().map(|s| s.trace_id).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!(t.lost_unexported(), 4);
+    }
+
+    #[test]
+    fn ingest_preserves_foreign_ids_verbatim() {
+        let t = Tracer::new(4);
+        t.ingest(SpanRecord {
+            trace_id: 42,
+            span_id: 9_999,
+            parent: 123,
+            name: intern_name("Execution"),
+            resource: "remote/s0".into(),
+            start_ns: 5,
+            end_ns: 10,
+        });
+        let s = t.snapshot();
+        assert_eq!(s[0].span_id, 9_999);
+        assert_eq!(s[0].parent, 123);
+        assert_eq!(s[0].name, "Execution");
+    }
+
+    #[test]
+    fn intern_name_is_stable_for_known_and_unknown_names() {
+        assert_eq!(intern_name("Finding"), "Finding");
+        let a = intern_name("custom-phase");
+        let b = intern_name("custom-phase");
+        assert_eq!(a, b);
+        // Pointer-identical: the same leak is reused, not re-leaked.
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
     }
 }
