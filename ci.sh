@@ -6,7 +6,7 @@
 #   ./ci.sh build test   # run only the named stages, in the given order
 #
 # Stages: build test lint determinism obs data throughput hierarchy serving
-#         telemetry
+#         telemetry workflow
 set -eu
 
 STAGE_NAMES=""
@@ -158,7 +158,27 @@ stage_telemetry() {
      grep -q '"stitching"' target/experiments/BENCH_telemetry_quick.json)
 }
 
-ALL_STAGES="build test lint determinism obs data throughput hierarchy serving telemetry"
+stage_workflow() {
+    # MA-DAG engine gate: the over-the-wire dag suite (SeD-to-SeD-only
+    # intermediates, straggler speculation with zero lost dags, event
+    # polling + trace stitching, client-disconnect cancellation) and the
+    # application-level fan-out tests, at both thread widths, then the
+    # quick makespan bench, which self-checks the dag-vs-per-stage speedup
+    # floor and that zero intermediate bytes crossed the client link, and
+    # validates its JSON artifact before writing it.
+    (set -x
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --test dag_tcp
+     RAYON_NUM_THREADS=4 cargo test -q -p diet-core --test dag_tcp
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --lib dag
+     RAYON_NUM_THREADS=4 cargo test -q -p diet-core --lib dag
+     RAYON_NUM_THREADS=1 cargo test -q -p cosmogrid --lib workflow
+     RAYON_NUM_THREADS=4 cargo test -q -p cosmogrid --lib workflow
+     cargo run --release -p bench --bin exp_workflow -- --quick
+     test -s target/experiments/BENCH_workflow_quick.json
+     grep -q '"speedup"' target/experiments/BENCH_workflow_quick.json)
+}
+
+ALL_STAGES="build test lint determinism obs data throughput hierarchy serving telemetry workflow"
 if [ $# -eq 0 ]; then
     set -- $ALL_STAGES
 fi

@@ -1,0 +1,400 @@
+//! MA-DAG workflow engine vs per-stage-through-client zoom pipelines.
+//!
+//! The paper's client drives the two-part protocol itself: it pulls the
+//! part-1 result tarball over its access link, extracts the halo catalog,
+//! and pushes one `ramsesZoom2` request per halo — every intermediate
+//! snapshot crosses the client's WAN link twice. The MA-DAG engine keeps
+//! the whole pipeline inside the grid: the client submits one dag, the
+//! engine fans out part 2 where the data already lives, and only status
+//! frames and grid *references* ever reach the client.
+//!
+//! This experiment runs N concurrent zoom pipelines both ways over a real
+//! TCP deployment and compares makespans under an emulated client access
+//! link (shared serialized bandwidth + per-exchange RTT — the grid's
+//! internal links stay native). Control frames pay RTT in both modes;
+//! payload bytes pay bandwidth. The gate: with >= 8 concurrent pipelines
+//! the dag path must beat the per-stage path by >= 1.5x.
+//!
+//! Writes `BENCH_workflow.json` (validated with `bench::validate_json`);
+//! `--quick` shrinks the fleet for CI and writes to the artifact dir.
+
+use cosmogrid::archive;
+use cosmogrid::namelist::{default_run_namelist, Namelist};
+use cosmogrid::services::{cosmology_service_table, status, zoom1_profile, zoom2_profile};
+use cosmogrid::workflow::{zoom_fanout_expander, ZoomWorkflow};
+use diet_core::client::RetryPolicy;
+use diet_core::deploy::{SedSpec, TcpSiteSpec, TcpTopologySpec};
+use diet_core::sched::RoundRobin;
+use diet_core::DietClient;
+use obs::Obs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The client's WAN access link: every synchronous exchange pays `rtt`
+/// (latency, concurrent), payload bytes pay `bytes_per_sec` on ONE shared
+/// pipe (occupancy, serialized). Grid-internal transfers are not charged.
+struct WanLink {
+    rtt: Duration,
+    bytes_per_sec: f64,
+    pipe: Mutex<()>,
+    /// Intermediate-data bytes (tarballs, namelists) through the link.
+    payload_bytes: AtomicU64,
+    /// Protocol-frame bytes (submits, polls, outcomes) through the link.
+    control_bytes: AtomicU64,
+}
+
+impl WanLink {
+    fn new(rtt: Duration, bytes_per_sec: f64) -> Arc<Self> {
+        Arc::new(WanLink {
+            rtt,
+            bytes_per_sec,
+            pipe: Mutex::new(()),
+            payload_bytes: AtomicU64::new(0),
+            control_bytes: AtomicU64::new(0),
+        })
+    }
+
+    fn exchange(&self, bytes: usize) {
+        std::thread::sleep(self.rtt);
+        if bytes > 0 {
+            let _pipe = self.pipe.lock().unwrap();
+            std::thread::sleep(Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec));
+        }
+    }
+
+    /// A data transfer: simulation inputs/outputs crossing the client link.
+    fn payload(&self, bytes: usize) {
+        self.payload_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.exchange(bytes);
+    }
+
+    /// A protocol exchange: request/status/outcome frames.
+    fn control(&self, bytes: usize) {
+        self.control_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.exchange(bytes);
+    }
+
+    fn reset(&self) {
+        self.payload_bytes.store(0, Ordering::Relaxed);
+        self.control_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+fn bench_namelist() -> Namelist {
+    let mut nl = default_run_namelist(8, 50.0);
+    nl.set("INIT_PARAMS", "aexp_ini", 0.4);
+    nl.set("OUTPUT_PARAMS", "aout", "0.6, 1.0");
+    nl
+}
+
+fn two_site_topology() -> TcpTopologySpec {
+    let site = |name: &str, n: usize| TcpSiteSpec {
+        name: name.into(),
+        seds: (0..n)
+            .map(|i| SedSpec {
+                label: format!("{name}/{i}"),
+                speed_factor: 1.0,
+            })
+            .collect(),
+        children: vec![],
+    };
+    TcpTopologySpec {
+        ma_name: "ma".into(),
+        ma_seds: vec![],
+        sites: vec![site("nancy", 2), site("sophia", 2)],
+        admission_limit: None,
+        child_timeout_ms: 30_000,
+    }
+}
+
+const MAX_ZOOMS: usize = 2;
+
+fn workflow() -> ZoomWorkflow {
+    ZoomWorkflow {
+        namelist: bench_namelist(),
+        resolution: 8,
+        size_mpc_h: 50,
+        nb_box: 1,
+        max_zooms: MAX_ZOOMS,
+    }
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        attempt_timeout: Duration::from_secs(120),
+        ..RetryPolicy::default()
+    }
+}
+
+/// One per-stage-through-client pipeline: the paper's flow, with every
+/// payload charged to the WAN link. Returns the number of OK zooms.
+fn baseline_pipeline(
+    client: &DietClient,
+    d: &diet_core::deploy::TcpDeployment,
+    link: &WanLink,
+) -> usize {
+    let wf = workflow();
+    let nml_len = wf.namelist.render().len();
+
+    // Part 1: namelist up, full result tarball down.
+    link.payload(nml_len);
+    let (r1, _) = client
+        .call_distributed(
+            &d.ma_client,
+            &d.pool,
+            zoom1_profile(&wf.namelist, wf.resolution),
+            &policy(),
+        )
+        .expect("zoom1 call");
+    assert_eq!(r1.get_i32(3).unwrap(), status::OK);
+    let (_, tar) = r1.get_file(2).unwrap();
+    link.payload(tar.len());
+
+    // Client-side catalog extraction, then one zoom2 round-trip per halo —
+    // namelist up, result tarball down, each through the same pipe.
+    let entries = archive::unpack(tar).unwrap();
+    let cat = archive::find(&entries, "halos/catalog.txt").unwrap();
+    let halos = ZoomWorkflow::parse_catalog(&String::from_utf8_lossy(&cat.data));
+
+    // Part-2 requests all in flight at once, as the paper's client does.
+    let targets: Vec<_> = halos.iter().take(wf.max_zooms).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = targets
+            .iter()
+            .map(|h| {
+                let p = zoom2_profile(
+                    &wf.namelist,
+                    wf.resolution,
+                    wf.size_mpc_h,
+                    h.center_pct,
+                    wf.nb_box,
+                );
+                s.spawn(move || {
+                    link.payload(nml_len);
+                    let (r2, _) = client
+                        .call_distributed(&d.ma_client, &d.pool, p, &policy())
+                        .expect("zoom2 call");
+                    let ok = r2.get_i32(8).unwrap() == status::OK;
+                    let (_, tar) = r2.get_file(7).unwrap();
+                    link.payload(tar.len());
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count()
+    })
+}
+
+/// One engine-scheduled pipeline: submit the dag, poll status frames over
+/// the link, receive an outcome of codes and refs. No payload is charged
+/// because none crosses the client link — that is the point.
+fn dag_pipeline(
+    client: &DietClient,
+    d: &diet_core::deploy::TcpDeployment,
+    link: &WanLink,
+) -> usize {
+    let wf = workflow();
+    let spec = wf.dag_spec();
+    // The submit frame carries the part-1 profile (namelist included) —
+    // the same upload the baseline pays once.
+    link.payload(wf.namelist.render().len());
+    link.control(256);
+    let handle = client.submit_dag(&d.ma_client, &spec).expect("submit dag");
+
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut since = 0;
+    let outcome = loop {
+        // Each status poll is one small control exchange on the link.
+        link.control(128);
+        let (events, outcome) = client
+            .poll_dag(&d.ma_client, handle.dag_id, since)
+            .expect("poll dag");
+        if let Some(e) = events.last() {
+            since = e.seq;
+        }
+        if let Some(o) = outcome {
+            // The terminal outcome frame: status codes, grid refs, event
+            // tail — still control-plane sized.
+            link.control(2048);
+            break o;
+        }
+        assert!(Instant::now() < deadline, "dag never finished");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    let report = cosmogrid::workflow::DagWorkflowReport::from_outcome(handle.trace_id, outcome);
+    assert!(report.all_succeeded(), "dag pipeline failed: {report:?}");
+    // Intermediates stayed on the grid: the client holds references only.
+    for z in &report.zooms {
+        let id = z.tar_id.as_deref().expect("zoom output published as ref");
+        assert!(id.contains("ramsesZoom2@d"), "not a tagged grid id: {id}");
+    }
+    report
+        .zooms
+        .iter()
+        .filter(|z| z.status == status::OK)
+        .count()
+}
+
+/// Run `n` concurrent pipelines through `f`; returns (makespan_s, total OK
+/// zooms, payload bytes, control bytes).
+fn fleet(
+    n: usize,
+    d: &Arc<diet_core::deploy::TcpDeployment>,
+    link: &Arc<WanLink>,
+    f: fn(&DietClient, &diet_core::deploy::TcpDeployment, &WanLink) -> usize,
+) -> (f64, usize, u64, u64) {
+    link.reset();
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let d = d.clone();
+            let link = link.clone();
+            std::thread::spawn(move || {
+                let client = DietClient::initialize_distributed(Arc::new(Obs::new()));
+                f(&client, &d, &link)
+            })
+        })
+        .collect();
+    let oks: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (
+        wall.elapsed().as_secs_f64(),
+        oks,
+        link.payload_bytes.load(Ordering::Relaxed),
+        link.control_bytes.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let pipelines = if quick { 3 } else { 8 };
+    // A paper-era WAN access link: ~40 ms RTT, 256 KB/s sustained.
+    let link = WanLink::new(Duration::from_millis(40), 32.0 * 1024.0);
+
+    let d = Arc::new(
+        two_site_topology()
+            .deploy(Arc::new(RoundRobin::new()), |_| cosmology_service_table())
+            .expect("deploy 2-site topology"),
+    );
+    d.dag
+        .register_expander("zoom_fanout", zoom_fanout_expander());
+
+    println!("== exp_workflow: {pipelines} concurrent zoom pipelines, 4 SeDs, 2 sites ==");
+
+    // Warm-up: one pipeline of each flavor, untimed, so neither timed run
+    // pays first-touch costs (thread pools, lazy dials, page faults).
+    baseline_pipeline(
+        &DietClient::initialize_distributed(Arc::new(Obs::new())),
+        &d,
+        &WanLink::new(Duration::ZERO, f64::INFINITY),
+    );
+    dag_pipeline(
+        &DietClient::initialize_distributed(Arc::new(Obs::new())),
+        &d,
+        &WanLink::new(Duration::ZERO, f64::INFINITY),
+    );
+
+    let (dag_s, dag_oks, dag_payload, dag_ctl) = fleet(pipelines, &d, &link, dag_pipeline);
+    println!(
+        "  dag      : {dag_s:>7.2}s makespan | {dag_oks} zooms OK | {dag_payload:>9} B payload + {dag_ctl} B control"
+    );
+    let (base_s, base_oks, base_payload, base_ctl) = fleet(pipelines, &d, &link, baseline_pipeline);
+    println!(
+        "  per-stage: {base_s:>7.2}s makespan | {base_oks} zooms OK | {base_payload:>9} B payload + {base_ctl} B control"
+    );
+
+    let speedup = base_s / dag_s;
+    let expected_oks = pipelines * MAX_ZOOMS;
+    // In dag mode the only payload on the link is each pipeline's namelist
+    // upload — every snapshot/tarball intermediate stays on the grid.
+    let nml_len = bench_namelist().render().len() as u64;
+    let intermediate_bytes = dag_payload.saturating_sub(pipelines as u64 * nml_len);
+    println!(
+        "  speedup {speedup:.2}x | intermediate bytes through client: dag {intermediate_bytes}, per-stage {}",
+        base_payload - pipelines as u64 * nml_len * (1 + MAX_ZOOMS as u64)
+    );
+
+    let dags_completed = d.obs.metrics.counter("diet_dag_completed_total").get();
+    let dags_failed = d.obs.metrics.counter("diet_dag_failed_total").get();
+    Arc::into_inner(d)
+        .expect("all pipeline threads joined")
+        .shutdown();
+
+    // ---- artifact ----
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n  \"experiment\": \"workflow\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    json.push_str(&format!("  \"pipelines\": {pipelines},\n"));
+    json.push_str(&format!("  \"zooms_per_pipeline\": {MAX_ZOOMS},\n"));
+    json.push_str("  \"wan\": {\"rtt_ms\": 40, \"bytes_per_sec\": 32768},\n");
+    json.push_str(&format!(
+        "  \"dag\": {{\"makespan_s\": {dag_s:.3}, \"zooms_ok\": {dag_oks}, \"payload_bytes\": {dag_payload}, \"control_bytes\": {dag_ctl}, \"intermediate_bytes\": {intermediate_bytes}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"per_stage\": {{\"makespan_s\": {base_s:.3}, \"zooms_ok\": {base_oks}, \"payload_bytes\": {base_payload}, \"control_bytes\": {base_ctl}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup\": {speedup:.4},\n  \"dags_completed\": {dags_completed},\n  \"dags_failed\": {dags_failed}\n}}\n"
+    ));
+    bench::validate_json(&json).expect("generated artifact is not valid JSON");
+
+    let path = if quick {
+        bench::artifact_dir().join("BENCH_workflow_quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_workflow.json")
+    };
+    std::fs::write(&path, &json).expect("failed to write artifact");
+    println!("wrote {}", path.display());
+
+    // ---- gates ----
+    let mut failed = false;
+    // Headline gate: >= 1.5x at the full fleet. Quick mode keeps a looser
+    // floor — 3 pipelines on a shared CI box move far fewer bytes, so the
+    // structural win shrinks while a real regression still trips it.
+    let floor = if quick { 1.1 } else { 1.5 };
+    if speedup < floor {
+        eprintln!("FAIL: dag speedup {speedup:.2}x under the {floor:.1}x floor");
+        failed = true;
+    }
+    if dag_oks != expected_oks || base_oks != expected_oks {
+        eprintln!(
+            "FAIL: lost zooms — dag {dag_oks}/{expected_oks}, per-stage {base_oks}/{expected_oks}"
+        );
+        failed = true;
+    }
+    if intermediate_bytes != 0 {
+        eprintln!(
+            "FAIL: {intermediate_bytes} intermediate bytes crossed the client link in dag mode — \
+             snapshots are not staying on the grid"
+        );
+        failed = true;
+    }
+    if base_payload <= dag_payload * 10 {
+        eprintln!(
+            "FAIL: baseline moved only {base_payload} payload B vs dag {dag_payload} B — \
+             the per-stage flow is not exercising the client link"
+        );
+        failed = true;
+    }
+    if dags_failed > 0 {
+        eprintln!("FAIL: {dags_failed} dags lost by the engine");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {pipelines} concurrent zoom dags {speedup:.2}x faster than per-stage; \
+         client link carried {dag_payload} B (dag) vs {base_payload} B (per-stage)"
+    );
+}

@@ -12,8 +12,10 @@
 //! service initiation + queue wait) — the two quantities of Figure 5.
 
 use crate::agent::MasterAgent;
+use crate::dag::{DagEventRec, DagOutcome, WorkflowSpec};
 use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
+use crate::hierarchy::RemoteAgentClient;
 use crate::profile::Profile;
 use crate::sed::{SedHandle, SolveOutcome};
 use crate::transport::TcpSedPool;
@@ -56,6 +58,15 @@ impl CallStats {
     pub fn overhead(&self) -> f64 {
         self.finding + self.send
     }
+}
+
+/// Handle to a workflow DAG admitted by a remote MA's engine
+/// ([`DietClient::submit_dag`]): the engine-assigned dag id plus the
+/// workflow trace id every node span stitches under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagHandle {
+    pub dag_id: u64,
+    pub trace_id: u64,
 }
 
 /// Per-call fault-tolerance knobs for [`DietClient::call_with_retry`] and
@@ -594,6 +605,67 @@ impl DietClient {
             attempts: policy.max_retries + 1,
             last: last_err.map(|e| e.to_string()).unwrap_or_default(),
         })
+    }
+
+    /// Ship a workflow DAG to a remote MA's engine. Returns immediately
+    /// with a [`DagHandle`]; the engine schedules every node inside the
+    /// hierarchy (intermediates move SeD-to-SeD, never through this
+    /// client) while the caller polls with [`poll_dag`](Self::poll_dag) or
+    /// blocks in [`wait_dag`](Self::wait_dag). The handle's trace id is
+    /// the workflow trace every node span stitches under.
+    pub fn submit_dag(
+        &self,
+        ma: &RemoteAgentClient,
+        spec: &WorkflowSpec,
+    ) -> Result<DagHandle, DietError> {
+        let trace_id = self.obs.tracer.new_trace();
+        let ctx = TraceCtx {
+            trace_id,
+            parent_span: 0,
+        };
+        let dag_id = ma.submit_dag(spec, ctx)?;
+        self.obs.metrics.counter("diet_client_dags_total").inc();
+        Ok(DagHandle { dag_id, trace_id })
+    }
+
+    /// One progress poll: events after the `since` cursor plus the outcome
+    /// once the dag finished.
+    pub fn poll_dag(
+        &self,
+        ma: &RemoteAgentClient,
+        dag_id: u64,
+        since: u64,
+    ) -> Result<(Vec<DagEventRec>, Option<DagOutcome>), DietError> {
+        ma.dag_status(dag_id, since)
+    }
+
+    /// Block until the dag finishes (polling the event stream) or `timeout`
+    /// elapses. Returns the outcome and every event observed.
+    pub fn wait_dag(
+        &self,
+        ma: &RemoteAgentClient,
+        handle: &DagHandle,
+        timeout: Duration,
+    ) -> Result<(DagOutcome, Vec<DagEventRec>), DietError> {
+        let deadline = Instant::now() + timeout;
+        let mut seen: Vec<DagEventRec> = Vec::new();
+        let mut cursor = 0u64;
+        loop {
+            let (events, outcome) = ma.dag_status(handle.dag_id, cursor)?;
+            if let Some(last) = events.last() {
+                cursor = last.seq;
+            }
+            seen.extend(events);
+            if let Some(outcome) = outcome {
+                return Ok((outcome, seen));
+            }
+            if Instant::now() >= deadline {
+                return Err(DietError::Timeout {
+                    after_secs: timeout.as_secs_f64(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
     }
 
     /// The shared retry engine. `attempt` runs one bounded attempt against

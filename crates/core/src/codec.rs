@@ -5,6 +5,9 @@
 //! `[u32 length][u8 tag][payload]`; values and profiles use a tag-prefixed
 //! recursive encoding. All integers are little-endian.
 
+use crate::dag::{
+    DagEventRec, DagInput, DagNodeOutcome, DagNodeSpec, DagNodeState, DagOutcome, WorkflowSpec,
+};
 use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
 use crate::monitor::Estimate;
@@ -159,6 +162,36 @@ pub enum Message {
         request_id: u64,
         text: String,
     },
+    /// Client → MA: admit a workflow DAG for engine-side scheduling. `ctx`
+    /// carries the workflow trace id every node span stitches under.
+    SubmitDag {
+        request_id: u64,
+        ctx: TraceCtx,
+        spec: WorkflowSpec,
+    },
+    /// MA → client: submission ack — the engine-assigned dag id, or a
+    /// rejection string (validation failure, no engine at this MA, or an
+    /// unknown dag id on a later [`Message::DagStatus`] poll).
+    DagReply {
+        request_id: u64,
+        result: Result<u64, String>,
+    },
+    /// Client → MA: poll a dag's progress. `since` is the last event
+    /// sequence number already seen (0 for everything).
+    DagStatus {
+        request_id: u64,
+        dag_id: u64,
+        since: u64,
+    },
+    /// MA → client: reply to [`Message::DagStatus`] — the events after the
+    /// poll cursor plus, once the dag finished, its outcome. Only ever sent
+    /// as a correlated reply (a shared mux would drop an unsolicited push).
+    DagEvent {
+        request_id: u64,
+        dag_id: u64,
+        events: Vec<DagEventRec>,
+        outcome: Option<DagOutcome>,
+    },
 }
 
 const TAG_NULL: u8 = 0;
@@ -192,6 +225,10 @@ const MSG_PUSH_METRIC_DELTAS: u8 = 26;
 const MSG_PUSH_ACK: u8 = 27;
 const MSG_DUMP_METRICS_RID: u8 = 28;
 const MSG_METRICS_REPLY_RID: u8 = 29;
+const MSG_SUBMIT_DAG: u8 = 30;
+const MSG_DAG_REPLY: u8 = 31;
+const MSG_DAG_STATUS: u8 = 32;
+const MSG_DAG_EVENT: u8 = 33;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -803,8 +840,278 @@ pub fn encode_message(m: &Message) -> Bytes {
             buf.put_u64_le(*request_id);
             put_str(&mut buf, text);
         }
+        Message::SubmitDag {
+            request_id,
+            ctx,
+            spec,
+        } => {
+            buf.put_u8(MSG_SUBMIT_DAG);
+            buf.put_u64_le(*request_id);
+            buf.put_u64_le(ctx.trace_id);
+            buf.put_u64_le(ctx.parent_span);
+            put_workflow_spec(&mut buf, spec);
+        }
+        Message::DagReply { request_id, result } => {
+            buf.put_u8(MSG_DAG_REPLY);
+            buf.put_u64_le(*request_id);
+            match result {
+                Ok(dag_id) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(*dag_id);
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Message::DagStatus {
+            request_id,
+            dag_id,
+            since,
+        } => {
+            buf.put_u8(MSG_DAG_STATUS);
+            buf.put_u64_le(*request_id);
+            buf.put_u64_le(*dag_id);
+            buf.put_u64_le(*since);
+        }
+        Message::DagEvent {
+            request_id,
+            dag_id,
+            events,
+            outcome,
+        } => {
+            buf.put_u8(MSG_DAG_EVENT);
+            buf.put_u64_le(*request_id);
+            buf.put_u64_le(*dag_id);
+            buf.put_u32_le(events.len() as u32);
+            for e in events {
+                put_dag_event(&mut buf, e);
+            }
+            match outcome {
+                Some(o) => {
+                    buf.put_u8(1);
+                    put_dag_outcome(&mut buf, o);
+                }
+                None => buf.put_u8(0),
+            }
+        }
     }
     buf.freeze()
+}
+
+fn put_workflow_spec(buf: &mut BytesMut, spec: &WorkflowSpec) {
+    put_str(buf, &spec.name);
+    buf.put_u32_le(spec.nodes.len() as u32);
+    for n in &spec.nodes {
+        buf.put_u32_le(n.id);
+        encode_profile(buf, &n.profile);
+        buf.put_u32_le(n.deps.len() as u32);
+        for d in &n.deps {
+            buf.put_u32_le(*d);
+        }
+        buf.put_u32_le(n.inputs.len() as u32);
+        for i in &n.inputs {
+            buf.put_u32_le(i.arg);
+            buf.put_u32_le(i.from_node);
+            buf.put_u32_le(i.from_arg);
+        }
+        match &n.expander {
+            Some(name) => {
+                buf.put_u8(1);
+                put_str(buf, name);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u32_le(n.params.len() as u32);
+        for (k, v) in &n.params {
+            put_str(buf, k);
+            put_str(buf, v);
+        }
+        buf.put_u32_le(n.max_retries);
+    }
+}
+
+fn get_workflow_spec(buf: &mut Bytes) -> Result<WorkflowSpec, DietError> {
+    let need_u32 = |buf: &mut Bytes, what: &str| -> Result<u32, DietError> {
+        if buf.remaining() < 4 {
+            Err(DietError::Codec(format!("truncated {what}")))
+        } else {
+            Ok(buf.get_u32_le())
+        }
+    };
+    let name = get_str(buf)?;
+    let n_nodes = need_u32(buf, "workflow node count")? as usize;
+    let mut nodes = Vec::with_capacity(n_nodes.min(1024));
+    for _ in 0..n_nodes {
+        let id = need_u32(buf, "dag node id")?;
+        let profile = decode_profile(buf)?;
+        let n_deps = need_u32(buf, "dag dep count")? as usize;
+        let mut deps = Vec::with_capacity(n_deps.min(1024));
+        for _ in 0..n_deps {
+            deps.push(need_u32(buf, "dag dep")?);
+        }
+        let n_inputs = need_u32(buf, "dag input count")? as usize;
+        let mut inputs = Vec::with_capacity(n_inputs.min(1024));
+        for _ in 0..n_inputs {
+            inputs.push(DagInput {
+                arg: need_u32(buf, "dag input arg")?,
+                from_node: need_u32(buf, "dag input node")?,
+                from_arg: need_u32(buf, "dag input from-arg")?,
+            });
+        }
+        if buf.remaining() < 1 {
+            return Err(DietError::Codec("truncated expander flag".into()));
+        }
+        let expander = if buf.get_u8() == 1 {
+            Some(get_str(buf)?)
+        } else {
+            None
+        };
+        let n_params = need_u32(buf, "dag param count")? as usize;
+        let mut params = Vec::with_capacity(n_params.min(1024));
+        for _ in 0..n_params {
+            let k = get_str(buf)?;
+            let v = get_str(buf)?;
+            params.push((k, v));
+        }
+        let max_retries = need_u32(buf, "dag retry budget")?;
+        nodes.push(DagNodeSpec {
+            id,
+            profile,
+            deps,
+            inputs,
+            expander,
+            params,
+            max_retries,
+        });
+    }
+    Ok(WorkflowSpec { name, nodes })
+}
+
+fn put_dag_event(buf: &mut BytesMut, e: &DagEventRec) {
+    buf.put_u64_le(e.seq);
+    buf.put_u32_le(e.node);
+    buf.put_u8(e.state as u8);
+    put_str(buf, &e.detail);
+    buf.put_u64_le(e.at_ms);
+}
+
+fn get_dag_event(buf: &mut Bytes) -> Result<DagEventRec, DietError> {
+    if buf.remaining() < 13 {
+        return Err(DietError::Codec("truncated dag event".into()));
+    }
+    let seq = buf.get_u64_le();
+    let node = buf.get_u32_le();
+    let state = DagNodeState::from_u8(buf.get_u8())
+        .ok_or_else(|| DietError::Codec("bad dag node state".into()))?;
+    let detail = get_str(buf)?;
+    if buf.remaining() < 8 {
+        return Err(DietError::Codec("truncated dag event timestamp".into()));
+    }
+    Ok(DagEventRec {
+        seq,
+        node,
+        state,
+        detail,
+        at_ms: buf.get_u64_le(),
+    })
+}
+
+fn put_dag_outcome(buf: &mut BytesMut, o: &DagOutcome) {
+    buf.put_u64_le(o.dag_id);
+    buf.put_u8(o.ok as u8);
+    buf.put_u64_le(o.makespan_ms);
+    buf.put_u32_le(o.cancelled);
+    buf.put_u32_le(o.nodes.len() as u32);
+    for n in &o.nodes {
+        buf.put_u32_le(n.node);
+        put_str(buf, &n.service);
+        put_str(buf, &n.sed);
+        buf.put_i32_le(n.status);
+        buf.put_u32_le(n.attempts);
+        buf.put_u8(n.speculated as u8);
+        buf.put_u64_le(n.duration_ms);
+        buf.put_u32_le(n.outputs.len() as u32);
+        for (arg, id) in &n.outputs {
+            buf.put_u32_le(*arg);
+            put_str(buf, id);
+        }
+        buf.put_u32_le(n.scalars.len() as u32);
+        for (arg, v) in &n.scalars {
+            buf.put_u32_le(*arg);
+            buf.put_i64_le(*v);
+        }
+    }
+}
+
+fn get_dag_outcome(buf: &mut Bytes) -> Result<DagOutcome, DietError> {
+    if buf.remaining() < 25 {
+        return Err(DietError::Codec("truncated dag outcome".into()));
+    }
+    let dag_id = buf.get_u64_le();
+    let ok = buf.get_u8() == 1;
+    let makespan_ms = buf.get_u64_le();
+    let cancelled = buf.get_u32_le();
+    let n_nodes = buf.get_u32_le() as usize;
+    let mut nodes = Vec::with_capacity(n_nodes.min(1024));
+    for _ in 0..n_nodes {
+        if buf.remaining() < 4 {
+            return Err(DietError::Codec("truncated node outcome".into()));
+        }
+        let node = buf.get_u32_le();
+        let service = get_str(buf)?;
+        let sed = get_str(buf)?;
+        if buf.remaining() < 17 {
+            return Err(DietError::Codec("truncated node outcome tail".into()));
+        }
+        let status = buf.get_i32_le();
+        let attempts = buf.get_u32_le();
+        let speculated = buf.get_u8() == 1;
+        let duration_ms = buf.get_u64_le();
+        if buf.remaining() < 4 {
+            return Err(DietError::Codec("truncated output count".into()));
+        }
+        let n_out = buf.get_u32_le() as usize;
+        let mut outputs = Vec::with_capacity(n_out.min(1024));
+        for _ in 0..n_out {
+            if buf.remaining() < 4 {
+                return Err(DietError::Codec("truncated output arg".into()));
+            }
+            let arg = buf.get_u32_le();
+            outputs.push((arg, get_str(buf)?));
+        }
+        if buf.remaining() < 4 {
+            return Err(DietError::Codec("truncated scalar count".into()));
+        }
+        let n_scalar = buf.get_u32_le() as usize;
+        let mut scalars = Vec::with_capacity(n_scalar.min(1024));
+        for _ in 0..n_scalar {
+            if buf.remaining() < 12 {
+                return Err(DietError::Codec("truncated scalar".into()));
+            }
+            let arg = buf.get_u32_le();
+            scalars.push((arg, buf.get_i64_le()));
+        }
+        nodes.push(DagNodeOutcome {
+            node,
+            service,
+            sed,
+            status,
+            attempts,
+            speculated,
+            duration_ms,
+            outputs,
+            scalars,
+        });
+    }
+    Ok(DagOutcome {
+        dag_id,
+        ok,
+        makespan_ms,
+        cancelled,
+        nodes,
+    })
 }
 
 /// Cheap correlation-id peek on an undecoded frame: correlated messages
@@ -832,7 +1139,11 @@ pub fn peek_request_id(frame: &[u8]) -> u64 {
         | MSG_PUSH_METRIC_DELTAS
         | MSG_PUSH_ACK
         | MSG_DUMP_METRICS_RID
-        | MSG_METRICS_REPLY_RID => u64::from_le_bytes(frame[1..9].try_into().unwrap()),
+        | MSG_METRICS_REPLY_RID
+        | MSG_SUBMIT_DAG
+        | MSG_DAG_REPLY
+        | MSG_DAG_STATUS
+        | MSG_DAG_EVENT => u64::from_le_bytes(frame[1..9].try_into().unwrap()),
         _ => 0,
     }
 }
@@ -1041,6 +1352,60 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
             Ok(Message::MetricsReplyRid {
                 request_id,
                 text: get_str(&mut buf)?,
+            })
+        }
+        MSG_SUBMIT_DAG => {
+            let request_id = need_u64(&mut buf)?;
+            let ctx = TraceCtx {
+                trace_id: need_u64(&mut buf)?,
+                parent_span: need_u64(&mut buf)?,
+            };
+            Ok(Message::SubmitDag {
+                request_id,
+                ctx,
+                spec: get_workflow_spec(&mut buf)?,
+            })
+        }
+        MSG_DAG_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated dag reply flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                Ok(need_u64(&mut buf)?)
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::DagReply { request_id, result })
+        }
+        MSG_DAG_STATUS => Ok(Message::DagStatus {
+            request_id: need_u64(&mut buf)?,
+            dag_id: need_u64(&mut buf)?,
+            since: need_u64(&mut buf)?,
+        }),
+        MSG_DAG_EVENT => {
+            let request_id = need_u64(&mut buf)?;
+            let dag_id = need_u64(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DietError::Codec("truncated dag event count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let events = (0..n)
+                .map(|_| get_dag_event(&mut buf))
+                .collect::<Result<Vec<_>, _>>()?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated dag outcome flag".into()));
+            }
+            let outcome = if buf.get_u8() == 1 {
+                Some(get_dag_outcome(&mut buf)?)
+            } else {
+                None
+            };
+            Ok(Message::DagEvent {
+                request_id,
+                dag_id,
+                events,
+                outcome,
             })
         }
         t => Err(DietError::Codec(format!("unknown message tag {t}"))),
@@ -1295,6 +1660,61 @@ mod tests {
                 request_id: 93,
                 text: "# TYPE x counter\nx 1\n".into(),
             },
+            Message::SubmitDag {
+                request_id: 95,
+                ctx: TraceCtx {
+                    trace_id: 11,
+                    parent_span: 12,
+                },
+                spec: sample_workflow(),
+            },
+            Message::DagReply {
+                request_id: 95,
+                result: Ok(3),
+            },
+            Message::DagReply {
+                request_id: 96,
+                result: Err("cycle through nodes [0, 1]".into()),
+            },
+            Message::DagStatus {
+                request_id: 97,
+                dag_id: 3,
+                since: 17,
+            },
+            Message::DagEvent {
+                request_id: 97,
+                dag_id: 3,
+                events: vec![DagEventRec {
+                    seq: 18,
+                    node: 1,
+                    state: DagNodeState::Running,
+                    detail: "lyon/0".into(),
+                    at_ms: 250,
+                }],
+                outcome: Some(DagOutcome {
+                    dag_id: 3,
+                    ok: true,
+                    makespan_ms: 900,
+                    cancelled: 0,
+                    nodes: vec![DagNodeOutcome {
+                        node: 1,
+                        service: "ramsesZoom1".into(),
+                        sed: "lyon/0".into(),
+                        status: 0,
+                        attempts: 2,
+                        speculated: true,
+                        duration_ms: 640,
+                        outputs: vec![(2, "ramsesZoom1@d3.n1#2".into())],
+                        scalars: vec![(3, 0)],
+                    }],
+                }),
+            },
+            Message::DagEvent {
+                request_id: 98,
+                dag_id: 4,
+                events: vec![],
+                outcome: None,
+            },
         ];
         for m in msgs {
             let enc = encode_message(&m);
@@ -1521,5 +1941,144 @@ mod tests {
         put_value(&mut buf, &DietValue::ScalarI64(-1234567890123));
         let v = get_value(&mut buf.freeze()).unwrap();
         assert_eq!(v, DietValue::ScalarI64(-1234567890123));
+    }
+
+    fn sample_workflow() -> WorkflowSpec {
+        let mut part1 = DagNodeSpec::new(0, sample_profile());
+        part1.expander = Some("zoom_fanout".into());
+        part1.params = vec![("max_zooms".into(), "4".into())];
+        let mut part2 = DagNodeSpec::new(1, sample_profile());
+        part2.deps = vec![0];
+        part2.inputs = vec![DagInput {
+            arg: 0,
+            from_node: 0,
+            from_arg: 7,
+        }];
+        part2.max_retries = 1;
+        WorkflowSpec {
+            name: "zoom".into(),
+            nodes: vec![part1, part2],
+        }
+    }
+
+    #[test]
+    fn dag_frames_detect_truncation() {
+        // Dag frames ride the same mux connections as everything else; cut
+        // them at every byte boundary and none may decode or panic.
+        let frames = [
+            encode_message(&Message::SubmitDag {
+                request_id: 5,
+                ctx: TraceCtx {
+                    trace_id: 2,
+                    parent_span: 3,
+                },
+                spec: sample_workflow(),
+            }),
+            encode_message(&Message::DagReply {
+                request_id: 6,
+                result: Ok(9),
+            }),
+            encode_message(&Message::DagReply {
+                request_id: 6,
+                result: Err("no engine".into()),
+            }),
+            encode_message(&Message::DagStatus {
+                request_id: 7,
+                dag_id: 9,
+                since: 3,
+            }),
+            encode_message(&Message::DagEvent {
+                request_id: 7,
+                dag_id: 9,
+                events: vec![DagEventRec {
+                    seq: 4,
+                    node: 0,
+                    state: DagNodeState::Done,
+                    detail: "lyon/0".into(),
+                    at_ms: 77,
+                }],
+                outcome: Some(DagOutcome {
+                    dag_id: 9,
+                    ok: false,
+                    makespan_ms: 10,
+                    cancelled: 1,
+                    nodes: vec![DagNodeOutcome {
+                        node: 0,
+                        service: "s".into(),
+                        sed: "x/0".into(),
+                        status: -1,
+                        attempts: 3,
+                        speculated: false,
+                        duration_ms: 5,
+                        outputs: vec![(0, "s@d9.n0#0".into())],
+                        scalars: vec![(1, -4)],
+                    }],
+                }),
+            }),
+        ];
+        for enc in frames {
+            for cut in 0..enc.len() {
+                assert!(
+                    decode_message(enc.slice(0..cut)).is_err(),
+                    "cut at {cut} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_frames_are_correlated() {
+        // All four dag frames must expose their id to peek_request_id so
+        // they demux off a shared client connection.
+        let frames = [
+            (
+                encode_message(&Message::SubmitDag {
+                    request_id: 51,
+                    ctx: TraceCtx::default(),
+                    spec: sample_workflow(),
+                }),
+                51,
+            ),
+            (
+                encode_message(&Message::DagReply {
+                    request_id: 52,
+                    result: Ok(1),
+                }),
+                52,
+            ),
+            (
+                encode_message(&Message::DagStatus {
+                    request_id: 53,
+                    dag_id: 1,
+                    since: 0,
+                }),
+                53,
+            ),
+            (
+                encode_message(&Message::DagEvent {
+                    request_id: 54,
+                    dag_id: 1,
+                    events: vec![],
+                    outcome: None,
+                }),
+                54,
+            ),
+        ];
+        for (enc, rid) in frames {
+            assert_eq!(peek_request_id(&enc), rid);
+        }
+    }
+
+    #[test]
+    fn bad_dag_state_byte_rejected() {
+        let mut enc = BytesMut::new();
+        enc.put_u8(MSG_DAG_EVENT);
+        enc.put_u64_le(1); // request id
+        enc.put_u64_le(1); // dag id
+        enc.put_u32_le(1); // one event
+        enc.put_u64_le(1); // seq
+        enc.put_u32_le(0); // node
+        enc.put_u8(200); // invalid state byte
+        assert!(decode_message(enc.freeze()).is_err());
     }
 }

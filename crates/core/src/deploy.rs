@@ -7,9 +7,12 @@
 //! it, and instantiates the live hierarchy given a service-table factory.
 
 use crate::agent::{AgentNode, MasterAgent};
+use crate::dag::{DagEngine, DagEngineConfig};
+use crate::dagda::ReplicaCatalog;
 use crate::error::DietError;
 use crate::hierarchy::{
-    serve_agent_over_tcp, serve_ma_over_tcp, serve_sed_over_tcp, AgentConfig, RemoteAgentClient,
+    serve_agent_over_tcp, serve_ma_over_tcp_with_dag, serve_sed_over_tcp, AgentConfig,
+    RemoteAgentClient,
 };
 use crate::sched::Scheduler;
 use crate::sed::{SedConfig, SedHandle, ServiceTable};
@@ -464,11 +467,24 @@ impl TcpTopologySpec {
         };
         let ma = MasterAgent::new_with_obs(&self.ma_name, vec![root], scheduler, ma_obs.clone());
         ma.set_collect_timeout(timeout);
+        // Grid-wide data plane: one replica catalog shared by every SeD in
+        // the topology (remote-subtree SeDs included — `register_catalog`
+        // alone only reaches the MA-local ones), with the endpoint pool as
+        // the SeD-to-SeD transfer resolver. This is what lets the workflow
+        // engine keep intermediates on the grid.
+        let catalog = Arc::new(ReplicaCatalog::new());
+        for sed in &seds {
+            sed.attach_catalog(catalog.clone());
+            sed.set_resolver(pool.clone());
+        }
+        ma.register_catalog(catalog);
+        let dag = DagEngine::new(ma.clone(), pool.clone(), DagEngineConfig::default());
         let ma_cfg = AgentConfig {
             obs: ma_obs.clone(),
             ..agent_cfg
         };
-        let ma_server = serve_ma_over_tcp(ma.clone(), vec![], ma_cfg)?;
+        let ma_server =
+            serve_ma_over_tcp_with_dag(ma.clone(), vec![], "127.0.0.1:0", ma_cfg, dag.clone())?;
         if let Some(f) = flusher_for(ma_obs.clone(), "ma", &self.ma_name, &self.ma_name) {
             flushers.push(f);
         }
@@ -487,6 +503,7 @@ impl TcpTopologySpec {
             seds,
             sed_servers,
             flushers,
+            dag,
         })
     }
 }
@@ -515,6 +532,9 @@ pub struct TcpDeployment {
     pub sed_servers: Vec<TcpServer>,
     /// One per component when deployed with telemetry; empty otherwise.
     pub flushers: Vec<TelemetryFlusher>,
+    /// The MA-side workflow engine `SubmitDag` frames land in (also usable
+    /// directly by in-process tests: expander registration, assertions).
+    pub dag: Arc<DagEngine>,
 }
 
 impl TcpDeployment {
@@ -554,6 +574,7 @@ impl TcpDeployment {
     /// then the telemetry flushers (each ships its final batch on the way
     /// out, so the collector sees the tail of the run).
     pub fn shutdown(mut self) {
+        self.dag.shutdown();
         self.ma_server.kill();
         for (_, server) in &self.agent_servers {
             server.kill();

@@ -46,6 +46,7 @@
 
 use crate::agent::{AgentNode, MasterAgent, RemoteSubtree};
 use crate::codec::Message;
+use crate::dag::{DagEngine, DagEventRec, DagOutcome, WorkflowSpec};
 use crate::data::DietValue;
 use crate::error::DietError;
 use crate::monitor::Estimate;
@@ -365,6 +366,60 @@ impl RemoteAgentClient {
             ))),
         }
     }
+
+    /// Admit a workflow DAG into the remote MA's engine; returns the
+    /// engine-assigned dag id. A validation failure (or an MA served
+    /// without an engine) comes back as [`DietError::Rejected`].
+    pub fn submit_dag(&self, spec: &WorkflowSpec, ctx: TraceCtx) -> Result<u64, DietError> {
+        let mux = self.mux()?;
+        let request_id = self.rid();
+        let reply = mux.request(
+            &Message::SubmitDag {
+                request_id,
+                ctx,
+                spec: spec.clone(),
+            },
+            request_id,
+            self.timeout,
+        )?;
+        match reply {
+            Message::DagReply { result, .. } => result.map_err(DietError::Rejected),
+            Message::Busy { .. } => Err(DietError::Busy),
+            other => Err(DietError::Transport(format!(
+                "unexpected reply to submit_dag: {other:?}"
+            ))),
+        }
+    }
+
+    /// Poll a dag's progress: events with sequence numbers after `since`,
+    /// plus the outcome once the dag finished.
+    pub fn dag_status(
+        &self,
+        dag_id: u64,
+        since: u64,
+    ) -> Result<(Vec<DagEventRec>, Option<DagOutcome>), DietError> {
+        let mux = self.mux()?;
+        let request_id = self.rid();
+        let reply = mux.request(
+            &Message::DagStatus {
+                request_id,
+                dag_id,
+                since,
+            },
+            request_id,
+            self.timeout,
+        )?;
+        match reply {
+            Message::DagEvent {
+                events, outcome, ..
+            } => Ok((events, outcome)),
+            Message::DagReply { result: Err(e), .. } => Err(DietError::Rejected(e)),
+            Message::Busy { .. } => Err(DietError::Busy),
+            other => Err(DietError::Transport(format!(
+                "unexpected reply to dag_status: {other:?}"
+            ))),
+        }
+    }
 }
 
 impl RemoteSubtree for RemoteAgentClient {
@@ -540,6 +595,31 @@ pub fn serve_ma_over_tcp_at(
     addr: impl std::net::ToSocketAddrs + Clone + Send + Sync + 'static,
     cfg: AgentConfig,
 ) -> Result<TcpServer, DietError> {
+    serve_ma_inner(ma, peers, addr, cfg, None)
+}
+
+/// [`serve_ma_over_tcp_at`] plus a workflow engine: `SubmitDag` frames are
+/// admitted into `engine` (tied to the submitting connection, so a client
+/// disconnect cancels the dag's unplaced nodes) and `DagStatus` polls are
+/// answered with the engine's event stream. An MA served without an engine
+/// rejects dag frames with an explanatory `DagReply`.
+pub fn serve_ma_over_tcp_with_dag(
+    ma: Arc<MasterAgent>,
+    peers: Vec<Arc<RemoteAgentClient>>,
+    addr: impl std::net::ToSocketAddrs + Clone + Send + Sync + 'static,
+    cfg: AgentConfig,
+    engine: Arc<DagEngine>,
+) -> Result<TcpServer, DietError> {
+    serve_ma_inner(ma, peers, addr, cfg, Some(engine))
+}
+
+fn serve_ma_inner(
+    ma: Arc<MasterAgent>,
+    peers: Vec<Arc<RemoteAgentClient>>,
+    addr: impl std::net::ToSocketAddrs + Clone + Send + Sync + 'static,
+    cfg: AgentConfig,
+    engine: Option<Arc<DagEngine>>,
+) -> Result<TcpServer, DietError> {
     let inflight = Arc::new(AtomicUsize::new(0));
     let admission_limit = cfg.admission_limit;
     let obs = cfg.obs.clone();
@@ -597,6 +677,45 @@ pub fn serve_ma_over_tcp_at(
                 let text = component_view(&obs, &what);
                 let _ = handle.send(&Message::MetricsReplyRid { request_id, text });
             }
+            Message::SubmitDag {
+                request_id,
+                ctx,
+                spec,
+            } => {
+                let result = match &engine {
+                    Some(eng) => eng
+                        .submit(spec, ctx, Some(handle.clone()))
+                        .map_err(|e| e.to_string()),
+                    None => Err("no workflow engine at this MA".into()),
+                };
+                let _ = handle.send(&Message::DagReply { request_id, result });
+            }
+            Message::DagStatus {
+                request_id,
+                dag_id,
+                since,
+            } => match engine.as_ref().map(|eng| eng.status(dag_id, since)) {
+                Some(Ok((events, outcome))) => {
+                    let _ = handle.send(&Message::DagEvent {
+                        request_id,
+                        dag_id,
+                        events,
+                        outcome,
+                    });
+                }
+                Some(Err(e)) => {
+                    let _ = handle.send(&Message::DagReply {
+                        request_id,
+                        result: Err(e.to_string()),
+                    });
+                }
+                None => {
+                    let _ = handle.send(&Message::DagReply {
+                        request_id,
+                        result: Err("no workflow engine at this MA".into()),
+                    });
+                }
+            },
             Message::Ping => {
                 let _ = handle.send(&Message::Pong);
             }

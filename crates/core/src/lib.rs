@@ -29,6 +29,9 @@
 //!   LRU store, sticky pinning).
 //! * [`dagda`] — hierarchy-wide data management (DAGDA analog): replica
 //!   catalog at the MA, SeD-to-SeD pull resolution, locality accounting.
+//! * [`dag`] — the MA-DAG workflow engine: typed task DAGs submitted over
+//!   the wire, scheduled node-by-node inside the hierarchy with
+//!   data-locality placement, retry, and straggler speculation.
 //! * [`deploy`] — deployment descriptions mapping a hierarchy onto a
 //!   platform, following the paper's Grid'5000 deployment.
 //! * [`error`] — the crate's error type.
@@ -52,6 +55,7 @@ pub mod client;
 pub mod codec;
 pub mod collector;
 pub mod config;
+pub mod dag;
 pub mod dagda;
 pub mod data;
 pub mod datamgr;
@@ -71,10 +75,14 @@ pub mod telemetry;
 pub mod transport;
 
 pub use agent::{AgentNode, HeartbeatMonitor, MasterAgent};
-pub use client::{CallHandle, CallStats, DietClient, RetryPolicy};
+pub use client::{CallHandle, CallStats, DagHandle, DietClient, RetryPolicy};
 pub use codec::ProcessSource;
 pub use collector::{serve_collector_over_tcp, Collector, SourceHealth};
 pub use config::DietConfig;
+pub use dag::{
+    DagEngine, DagEngineConfig, DagEventRec, DagExpander, DagInput, DagNodeOutcome, DagNodeSpec,
+    DagNodeState, DagOutcome, ExpandCtx, WorkflowSpec,
+};
 pub use dagda::{DataResolver, ReplicaCatalog, ReplicaInfo};
 pub use data::{BaseType, DietValue, Persistence};
 pub use datamgr::DataManager;
@@ -84,7 +92,8 @@ pub use faults::{FaultAction, FaultPlan};
 pub use gridrpc::{grpc_initialize, FunctionHandle, GridRpcSession};
 pub use hierarchy::{
     serve_agent_over_tcp, serve_agent_over_tcp_at, serve_ma_over_tcp, serve_ma_over_tcp_at,
-    serve_sed_over_tcp, serve_sed_over_tcp_with_config, AgentConfig, RemoteAgentClient,
+    serve_ma_over_tcp_with_dag, serve_sed_over_tcp, serve_sed_over_tcp_with_config, AgentConfig,
+    RemoteAgentClient,
 };
 pub use monitor::Estimate;
 pub use naming::NameServer;

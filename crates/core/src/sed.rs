@@ -369,53 +369,117 @@ impl SedHandle {
                         let solved = if let Some(e) = resolve_err {
                             Err(e)
                         } else {
+                            // A dag-tagged request (`svc@d<dag>.n<node>`)
+                            // executes the canonical service but keeps the
+                            // tag as its publication namespace, so outputs
+                            // of concurrent workflows never collide.
+                            let canonical = job
+                                .profile
+                                .service
+                                .split('@')
+                                .next()
+                                .unwrap_or_default()
+                                .to_string();
+                            let tagged = canonical.len() != job.profile.service.len();
                             let t = worker_table.read();
-                            match t.lookup(&job.profile.service) {
+                            match t.lookup(&canonical) {
                                 None => {
                                     Err(DietError::ServiceNotFound(job.profile.service.clone()))
                                 }
-                                Some((desc, solve)) => match desc.validate(&job.profile) {
-                                    Err(e) => Err(e),
-                                    Ok(()) => {
-                                        let solve = solve.clone();
-                                        drop(t);
-                                        match solve(&mut job.profile) {
-                                            Ok(0) => {
-                                                // Retain PERSISTENT/STICKY
-                                                // arguments (DTM behaviour);
-                                                // VOLATILE data is dropped
-                                                // with the job. Args that
-                                                // arrived as refs are already
-                                                // resident under their own id.
-                                                let skip: Vec<usize> =
-                                                    resolved_refs.iter().map(|(i, _)| *i).collect();
-                                                retain_and_publish(
-                                                    &worker_dm,
-                                                    worker_catalog.read().as_deref(),
-                                                    &worker_label,
-                                                    &job.profile,
-                                                    &skip,
-                                                );
-                                                // The reply re-collapses
-                                                // resolved args back to refs:
-                                                // the client sent an id and
-                                                // gets an id back, never the
-                                                // payload.
-                                                let mut reply = job.profile.clone();
-                                                for (i, id) in &resolved_refs {
-                                                    reply.values[*i] =
-                                                        DietValue::DataRef { id: id.clone() };
+                                Some((desc, solve)) => {
+                                    let validated = if tagged {
+                                        let mut d = desc.clone();
+                                        d.service = job.profile.service.clone();
+                                        d.validate(&job.profile)
+                                    } else {
+                                        desc.validate(&job.profile)
+                                    };
+                                    match validated {
+                                        Err(e) => Err(e),
+                                        Ok(()) => {
+                                            let solve = solve.clone();
+                                            drop(t);
+                                            match solve(&mut job.profile) {
+                                                Ok(0) => {
+                                                    // Retain PERSISTENT/STICKY
+                                                    // arguments (DTM behaviour);
+                                                    // VOLATILE data is dropped
+                                                    // with the job. Args that
+                                                    // arrived as refs are already
+                                                    // resident under their own id.
+                                                    let skip: Vec<usize> = resolved_refs
+                                                        .iter()
+                                                        .map(|(i, _)| *i)
+                                                        .collect();
+                                                    if tagged {
+                                                        publish_all_tagged(
+                                                            &worker_dm,
+                                                            worker_catalog.read().as_deref(),
+                                                            &worker_label,
+                                                            &job.profile,
+                                                            &skip,
+                                                        );
+                                                    } else {
+                                                        retain_and_publish(
+                                                            &worker_dm,
+                                                            worker_catalog.read().as_deref(),
+                                                            &worker_label,
+                                                            &job.profile,
+                                                            &skip,
+                                                        );
+                                                    }
+                                                    // The reply re-collapses
+                                                    // resolved args back to refs:
+                                                    // the client sent an id and
+                                                    // gets an id back, never the
+                                                    // payload. Tagged requests
+                                                    // additionally collapse every
+                                                    // heavy output to its
+                                                    // published ref — scalars
+                                                    // stay inline so the engine
+                                                    // reads status codes without
+                                                    // payload bytes.
+                                                    let mut reply = job.profile.clone();
+                                                    if tagged {
+                                                        for (i, v) in
+                                                            reply.values.iter_mut().enumerate()
+                                                        {
+                                                            if resolved_refs
+                                                                .iter()
+                                                                .any(|(ri, _)| *ri == i)
+                                                            {
+                                                                continue;
+                                                            }
+                                                            if matches!(
+                                                                v,
+                                                                DietValue::File { .. }
+                                                                    | DietValue::VectorF64(_)
+                                                                    | DietValue::VectorI32(_)
+                                                            ) {
+                                                                *v = DietValue::DataRef {
+                                                                    id: format!(
+                                                                        "{}#{i}",
+                                                                        job.profile.service
+                                                                    ),
+                                                                };
+                                                            }
+                                                        }
+                                                    }
+                                                    for (i, id) in &resolved_refs {
+                                                        reply.values[*i] =
+                                                            DietValue::DataRef { id: id.clone() };
+                                                    }
+                                                    Ok(reply)
                                                 }
-                                                Ok(reply)
+                                                Ok(status) => Err(DietError::SolveFailed {
+                                                    service: job.profile.service.clone(),
+                                                    status,
+                                                }),
+                                                Err(e) => Err(e),
                                             }
-                                            Ok(status) => Err(DietError::SolveFailed {
-                                                service: job.profile.service.clone(),
-                                                status,
-                                            }),
-                                            Err(e) => Err(e),
                                         }
                                     }
-                                },
+                                }
                             }
                         };
                         let solve_time = started.elapsed().as_secs_f64();
@@ -751,6 +815,31 @@ pub fn retain_and_publish(
         }
         let id = format!("{}#{}", profile.service, i);
         if dm.retain(&id, v.clone(), *m) {
+            if let Some(cat) = catalog {
+                cat.publish(&id, sed_label, v.payload_bytes(), dagda::checksum(v));
+            }
+        }
+    }
+}
+
+/// The dag-tagged variant of [`retain_and_publish`]: a workflow node's
+/// outputs are the *only* copy of its intermediates on the grid, so every
+/// non-null argument is retained — VOLATILE upgraded to PERSISTENT — under
+/// the tagged id (`svc@d<dag>.n<node>#index`). `skip` holds arg indices
+/// that arrived as refs and are already resident under their own id.
+pub fn publish_all_tagged(
+    dm: &DataManager,
+    catalog: Option<&ReplicaCatalog>,
+    sed_label: &str,
+    profile: &Profile,
+    skip: &[usize],
+) {
+    for (i, v) in profile.values.iter().enumerate() {
+        if skip.contains(&i) || matches!(v, DietValue::Null) {
+            continue;
+        }
+        let id = format!("{}#{}", profile.service, i);
+        if dm.retain(&id, v.clone(), Persistence::Persistent) {
             if let Some(cat) = catalog {
                 cat.publish(&id, sed_label, v.payload_bytes(), dagda::checksum(v));
             }

@@ -610,6 +610,8 @@ impl MuxConn {
                         Message::Busy { request_id } => *request_id,
                         Message::MetricsReplyRid { request_id, .. } => *request_id,
                         Message::PushAck { request_id } => *request_id,
+                        Message::DagReply { request_id, .. } => *request_id,
+                        Message::DagEvent { request_id, .. } => *request_id,
                         // Uncorrelated frames (Pong, the legacy
                         // MetricsReply) have no waiter on a mux connection;
                         // drop them.

@@ -1,0 +1,118 @@
+//! The zoom workflow as an engine-scheduled DAG — the MA-DAG counterpart
+//! of `zoom_pipeline.rs`. Instead of the client driving the two-part
+//! protocol (pulling the part-1 tarball, extracting the halo catalog,
+//! pushing one `ramsesZoom2` per halo), the client submits a one-node
+//! workflow whose `zoom_fanout` expander grows the part-2 stages *inside*
+//! the middleware when part 1 completes. Intermediate snapshots never
+//! cross the client link: the outcome carries status codes and grid refs.
+//!
+//! Every process ships private telemetry to a collector, so the run ends
+//! by printing the stitched workflow trace — one trace id covering the
+//! engine's per-node windows across both sites.
+//!
+//! Run with: `cargo run --release --example dag_zoom`
+
+use cosmogrid::namelist::default_run_namelist;
+use cosmogrid::services::cosmology_service_table;
+use cosmogrid::workflow::{zoom_fanout_expander, ZoomWorkflow};
+use diet_core::deploy::{SedSpec, TcpSiteSpec, TcpTopologySpec, TelemetrySpec};
+use diet_core::sched::RoundRobin;
+use diet_core::transport::ServerConfig;
+use diet_core::{serve_collector_over_tcp, Collector, DietClient};
+use obs::Obs;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A collector process: the LogCentral role, one sink for every
+    // component's spans and metrics.
+    let collector = Arc::new(Collector::new());
+    let col_server =
+        serve_collector_over_tcp(collector.clone(), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind collector");
+
+    // Two sites, two SeDs each — the miniature Grid'5000 shape.
+    let site = |name: &str| TcpSiteSpec {
+        name: name.into(),
+        seds: (0..2)
+            .map(|i| SedSpec {
+                label: format!("{name}/{i}"),
+                speed_factor: 1.0,
+            })
+            .collect(),
+        children: vec![],
+    };
+    let spec = TcpTopologySpec {
+        ma_name: "ma".into(),
+        ma_seds: vec![],
+        sites: vec![site("nancy"), site("sophia")],
+        admission_limit: None,
+        child_timeout_ms: 30_000,
+    };
+    let d = spec
+        .deploy_with_telemetry(
+            Arc::new(RoundRobin::new()),
+            |_| cosmology_service_table(),
+            &TelemetrySpec {
+                collector: col_server.local_addr,
+                interval: Duration::from_millis(200),
+            },
+        )
+        .expect("deploy 2-site topology");
+    // The MA-side engine needs the fan-out hook the workflow names.
+    d.dag
+        .register_expander("zoom_fanout", zoom_fanout_expander());
+
+    // One zoom pipeline, submitted as a dag and awaited over the wire.
+    let mut namelist = default_run_namelist(8, 50.0);
+    namelist.set("INIT_PARAMS", "aexp_ini", 0.1);
+    namelist.set("OUTPUT_PARAMS", "aout", "0.5, 1.0");
+    let workflow = ZoomWorkflow::new(namelist, 8, 50);
+
+    let client = DietClient::initialize_distributed(Arc::new(Obs::new()));
+    println!("submitting zoom workflow as a dag ...");
+    let report = workflow
+        .run_dag(&client, &d.ma_client, Duration::from_secs(300))
+        .expect("dag workflow failed");
+
+    println!(
+        "dag {} finished in {} ms (ok: {}), part-1 status {}",
+        report.dag_id, report.makespan_ms, report.ok, report.part1_status
+    );
+    for z in &report.zooms {
+        println!(
+            "  zoom node {:>2} on {:<9} status {} in {:>5} ms (attempts {}, speculated {}) -> {}",
+            z.node,
+            z.server,
+            z.status,
+            z.duration_ms,
+            z.attempts,
+            z.speculated,
+            z.tar_id.as_deref().unwrap_or("<no ref>")
+        );
+    }
+    assert!(report.all_succeeded(), "zoom dag did not fully succeed");
+
+    // Ship the telemetry tail, then print the stitched workflow trace:
+    // every engine-side node window shares the dag's one trace id.
+    assert_eq!(d.flush_telemetry(), 0, "telemetry flushes failed");
+    let trace = collector.trace(report.trace_id);
+    println!("\nstitched workflow trace {:#018x}:", report.trace_id);
+    for s in &trace {
+        println!(
+            "  {:>10.1} ms  {:<14} {:<12} ({:.1} ms)",
+            s.start_ns as f64 / 1e6,
+            s.name,
+            s.resource,
+            (s.end_ns - s.start_ns) as f64 / 1e6
+        );
+    }
+    assert!(
+        trace.iter().filter(|s| s.name == "DagNode").count() > report.zooms.len(),
+        "expected one DagNode window per workflow node in the stitched trace"
+    );
+
+    d.shutdown();
+    col_server.stop();
+    println!("\nOK: zoom dag ran grid-side; client saw refs and one stitched trace");
+}

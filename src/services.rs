@@ -309,6 +309,61 @@ pub fn cosmology_service_table() -> ServiceTable {
     t
 }
 
+/// Campaign-wide "fail exactly one solve" trip-wire for
+/// [`zoom2_failure_table`]: cloned into every SeD's table, it fires true
+/// exactly once across all clones.
+#[derive(Clone)]
+pub struct FailOnce(Arc<std::sync::atomic::AtomicBool>);
+
+impl FailOnce {
+    pub fn new() -> Self {
+        FailOnce(Arc::new(std::sync::atomic::AtomicBool::new(false)))
+    }
+
+    /// True on the first call across every clone, false afterwards.
+    pub fn trip(&self) -> bool {
+        !self.0.swap(true, std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl Default for FailOnce {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cosmology table whose `ramsesZoom2` fails **in-band** (empty result
+/// tarball + `BAD_ZOOM` code, middleware rc 0) the first time any SeD
+/// sharing `trip` runs it — the fault-injection table behind the
+/// partial-failure workflow tests. Mirrors how the real service reports
+/// application errors: through the profile, never through the transport.
+pub fn zoom2_failure_table(trip: FailOnce) -> ServiceTable {
+    let mut t = ServiceTable::init(2);
+    let z1: SolveFn = Arc::new(solve_ramses_zoom1);
+    let z2: SolveFn = Arc::new(move |p: &mut Profile| {
+        if trip.trip() {
+            p.set(
+                7,
+                DietValue::File {
+                    name: "zoom2_results.tar".into(),
+                    data: Bytes::new(),
+                },
+                Persistence::Volatile,
+            )?;
+            p.set(
+                8,
+                DietValue::ScalarI32(status::BAD_ZOOM),
+                Persistence::Volatile,
+            )?;
+            return Ok(0);
+        }
+        solve_ramses_zoom2(p)
+    });
+    t.add(ramses_zoom1_desc(), z1).expect("table size 2");
+    t.add(ramses_zoom2_desc(), z2).expect("table size 2");
+    t
+}
+
 /// Like [`cosmology_service_table`], but the solve functions also write each
 /// result tarball into `workdir` before returning it — the paper's NFS
 /// working-directory behaviour ("the results of the simulation are packed

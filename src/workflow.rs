@@ -10,7 +10,13 @@ use crate::archive;
 use crate::namelist::Namelist;
 use crate::services::{status, zoom1_profile, zoom2_profile};
 use diet_core::client::{CallStats, DietClient};
+use diet_core::dag::{DagExpander, DagInput, DagNodeSpec, DagOutcome, WorkflowSpec};
+use diet_core::data::DietValue;
 use diet_core::error::DietError;
+use diet_core::hierarchy::RemoteAgentClient;
+use diet_core::profile::{ramses_zoom2_desc, Profile};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One halo parsed back from a `ramsesZoom1` result catalog.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,8 +128,8 @@ impl ZoomWorkflow {
             });
         }
         let (_, tar) = r1.get_file(2)?;
-        let entries = archive::unpack(&tar.clone())
-            .map_err(|e| DietError::Codec(format!("result tar: {e}")))?;
+        let entries =
+            archive::unpack(tar).map_err(|e| DietError::Codec(format!("result tar: {e}")))?;
         let catalog = archive::find(&entries, "halos/catalog.txt")
             .ok_or_else(|| DietError::Codec("missing halo catalog".into()))?;
         let halos = Self::parse_catalog(&String::from_utf8_lossy(&catalog.data));
@@ -150,8 +156,8 @@ impl ZoomWorkflow {
             let code = r2.get_i32(8)?;
             let (n_galaxies, n_tree_nodes) = if code == status::OK {
                 let (_, tar) = r2.get_file(7)?;
-                let entries = archive::unpack(&tar.clone())
-                    .map_err(|e| DietError::Codec(format!("zoom tar: {e}")))?;
+                let entries =
+                    archive::unpack(tar).map_err(|e| DietError::Codec(format!("zoom tar: {e}")))?;
                 let count_rows = |name: &str| {
                     archive::find(&entries, name)
                         .map(|e| {
@@ -185,6 +191,201 @@ impl ZoomWorkflow {
             part1,
         })
     }
+
+    /// The workflow as a task DAG for the MA-side engine: one `ramsesZoom1`
+    /// root carrying the [`zoom_fanout_expander`] hook — the part-2 fan-out
+    /// is only known once part 1's halo catalog exists, so the zoom2 nodes
+    /// are added engine-side when the root completes. Each zoom2 node wires
+    /// its namelist (arg 0) from the root's published copy: the catalog and
+    /// every intermediate stay on the grid.
+    pub fn dag_spec(&self) -> WorkflowSpec {
+        let mut root = DagNodeSpec::new(0, zoom1_profile(&self.namelist, self.resolution));
+        root.expander = Some("zoom_fanout".into());
+        root.params = vec![
+            ("resolution".into(), self.resolution.to_string()),
+            ("size_mpc_h".into(), self.size_mpc_h.to_string()),
+            ("nb_box".into(), self.nb_box.to_string()),
+            ("max_zooms".into(), self.max_zooms.to_string()),
+        ];
+        WorkflowSpec {
+            name: "zoom-pipeline".into(),
+            nodes: vec![root],
+        }
+    }
+
+    /// Run the protocol as an engine-scheduled DAG (the MA-DAG path):
+    /// submit [`dag_spec`](Self::dag_spec) through `ma`, block until the
+    /// engine finishes every node, and fold the outcome into a
+    /// [`DagWorkflowReport`]. Unlike [`run`](Self::run), no intermediate
+    /// snapshot crosses the client link — the report carries status codes
+    /// and grid data-refs, with payloads fetchable on demand.
+    pub fn run_dag(
+        &self,
+        client: &DietClient,
+        ma: &RemoteAgentClient,
+        timeout: Duration,
+    ) -> Result<DagWorkflowReport, DietError> {
+        let handle = client.submit_dag(ma, &self.dag_spec())?;
+        let (outcome, _events) = client.wait_dag(ma, &handle, timeout)?;
+        Ok(DagWorkflowReport::from_outcome(handle.trace_id, outcome))
+    }
+}
+
+/// One zoom2 node folded out of a [`DagOutcome`].
+#[derive(Debug, Clone)]
+pub struct DagZoomResult {
+    pub node: u32,
+    /// SeD whose reply won.
+    pub server: String,
+    /// Service status code (arg 8), or -1 when the node never completed.
+    pub status: i32,
+    /// Grid ref of the result tarball (fetch via the pool if wanted).
+    pub tar_id: Option<String>,
+    pub duration_ms: u64,
+    pub speculated: bool,
+    pub attempts: u32,
+}
+
+/// Outcome of [`ZoomWorkflow::run_dag`]: the engine-side counterpart of
+/// [`WorkflowReport`] — refs and codes instead of payloads.
+#[derive(Debug, Clone)]
+pub struct DagWorkflowReport {
+    pub dag_id: u64,
+    /// The workflow trace every node span stitched under.
+    pub trace_id: u64,
+    pub ok: bool,
+    pub makespan_ms: u64,
+    /// Part-1 status code (arg 3), or -1 when the root failed outright.
+    pub part1_status: i32,
+    pub zooms: Vec<DagZoomResult>,
+}
+
+impl DagWorkflowReport {
+    pub fn from_outcome(trace_id: u64, outcome: DagOutcome) -> Self {
+        let scalar = |n: &diet_core::dag::DagNodeOutcome, arg: u32| {
+            n.scalars
+                .iter()
+                .find(|(a, _)| *a == arg)
+                .map(|(_, v)| *v as i32)
+        };
+        let part1_status = outcome
+            .nodes
+            .iter()
+            .find(|n| n.service == "ramsesZoom1")
+            .and_then(|n| scalar(n, 3))
+            .unwrap_or(-1);
+        let zooms = outcome
+            .nodes
+            .iter()
+            .filter(|n| n.service == "ramsesZoom2")
+            .map(|n| DagZoomResult {
+                node: n.node,
+                server: n.sed.clone(),
+                status: scalar(n, 8).unwrap_or(n.status),
+                tar_id: n
+                    .outputs
+                    .iter()
+                    .find(|(a, _)| *a == 7)
+                    .map(|(_, id)| id.clone()),
+                duration_ms: n.duration_ms,
+                speculated: n.speculated,
+                attempts: n.attempts,
+            })
+            .collect();
+        DagWorkflowReport {
+            dag_id: outcome.dag_id,
+            trace_id,
+            ok: outcome.ok,
+            makespan_ms: outcome.makespan_ms,
+            part1_status,
+            zooms,
+        }
+    }
+
+    pub fn all_succeeded(&self) -> bool {
+        self.ok
+            && self.part1_status == status::OK
+            && !self.zooms.is_empty()
+            && self.zooms.iter().all(|z| z.status == status::OK)
+    }
+}
+
+/// The dynamic fan-out hook behind [`ZoomWorkflow::dag_spec`], registered
+/// engine-side under the name `"zoom_fanout"`. When the `ramsesZoom1` root
+/// completes, the expander pulls the result tarball *within the grid*
+/// (catalog lookup + SeD fetch — nothing reaches the client), parses the
+/// halo catalog, and emits one `ramsesZoom2` node per selected halo. Each
+/// node's namelist argument is wired from the root's published copy, so
+/// the engine places zooms by data locality.
+pub fn zoom_fanout_expander() -> DagExpander {
+    Arc::new(|ctx| {
+        let param_i32 = |key: &str, default: i32| {
+            ctx.param(key)
+                .and_then(|s| s.parse::<i32>().ok())
+                .unwrap_or(default)
+        };
+        let resolution = param_i32("resolution", 8);
+        let size_mpc_h = param_i32("size_mpc_h", 50);
+        let nb_box = param_i32("nb_box", 2);
+        let max_zooms = param_i32("max_zooms", 3).max(0) as usize;
+
+        let code = ctx.reply.get_i32(3)?;
+        if code != status::OK {
+            return Err(DietError::SolveFailed {
+                service: "ramsesZoom1".into(),
+                status: code,
+            });
+        }
+        let tar_id = ctx
+            .output_id(2)
+            .ok_or_else(|| DietError::Rejected("zoom1 published no result tarball".into()))?;
+        let tar = match (ctx.fetch)(tar_id)? {
+            DietValue::File { data, .. } => data,
+            other => {
+                return Err(DietError::Rejected(format!(
+                    "zoom1 tarball ref resolved to {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let entries =
+            archive::unpack(&tar).map_err(|e| DietError::Codec(format!("result tar: {e}")))?;
+        let catalog = archive::find(&entries, "halos/catalog.txt")
+            .ok_or_else(|| DietError::Codec("missing halo catalog".into()))?;
+        let halos = ZoomWorkflow::parse_catalog(&String::from_utf8_lossy(&catalog.data));
+
+        let mut nodes = Vec::new();
+        for (k, halo) in halos.iter().take(max_zooms).enumerate() {
+            let d = ramses_zoom2_desc();
+            let mut p = Profile::alloc(&d);
+            // Arg 0 (the namelist) stays Null here: the engine wires it to
+            // the root's published copy at launch.
+            let scalars = [
+                (1, resolution),
+                (2, size_mpc_h),
+                (3, halo.center_pct[0]),
+                (4, halo.center_pct[1]),
+                (5, halo.center_pct[2]),
+                (6, nb_box),
+            ];
+            for (i, v) in scalars {
+                p.set(
+                    i,
+                    DietValue::ScalarI32(v),
+                    diet_core::data::Persistence::Volatile,
+                )?;
+            }
+            let mut n = DagNodeSpec::new(ctx.next_id + k as u32, p);
+            n.deps = vec![ctx.node];
+            n.inputs = vec![DagInput {
+                arg: 0,
+                from_node: ctx.node,
+                from_arg: 0,
+            }];
+            nodes.push(n);
+        }
+        Ok(nodes)
+    })
 }
 
 #[cfg(test)]
@@ -216,5 +417,132 @@ mod tests {
     fn empty_catalog_gives_no_targets() {
         let halos = ZoomWorkflow::parse_catalog("# header only\n");
         assert!(halos.is_empty());
+    }
+
+    use crate::namelist::default_run_namelist;
+    use crate::services::{cosmology_service_table, zoom2_failure_table, FailOnce};
+    use diet_core::deploy::DeploymentSpec;
+    use diet_core::sched::RoundRobin;
+
+    fn quick_namelist() -> Namelist {
+        let mut nl = default_run_namelist(8, 50.0);
+        nl.set("INIT_PARAMS", "aexp_ini", 0.1);
+        nl.set("OUTPUT_PARAMS", "aout", "0.5, 1.0");
+        nl
+    }
+
+    fn quick_workflow(nb_box: i32) -> ZoomWorkflow {
+        ZoomWorkflow {
+            namelist: quick_namelist(),
+            resolution: 8,
+            size_mpc_h: 50,
+            nb_box,
+            max_zooms: 3,
+        }
+    }
+
+    // A part-2 zoom failing must come back as an in-band status code on
+    // that zoom, not abort the rest of the fan-out: `nb_box = 0` makes
+    // every `ramsesZoom2` reply BAD_ZOOM, yet the report still carries
+    // one entry per planned zoom.
+    #[test]
+    fn part2_failures_do_not_abort_the_fanout() {
+        let spec = DeploymentSpec::paper_shape(&[("nancy", 1.15, 2), ("orsay", 1.0, 2)]);
+        let (ma, seds) = spec
+            .instantiate(Arc::new(RoundRobin::new()), |_| cosmology_service_table())
+            .unwrap();
+        let client = DietClient::initialize(ma);
+
+        let workflow = quick_workflow(0);
+        let report = workflow.run(&client).unwrap();
+
+        assert!(!report.all_succeeded());
+        assert!(!report.zooms.is_empty());
+        assert_eq!(
+            report.zooms.len(),
+            report.halos_found.min(workflow.max_zooms),
+            "a failing zoom must not abort the remaining zooms"
+        );
+        for z in &report.zooms {
+            assert_eq!(z.status, status::BAD_ZOOM);
+            assert_eq!(z.n_galaxies, 0, "failed zooms yield no galaxy counts");
+            assert_eq!(z.n_tree_nodes, 0);
+        }
+
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    // Mixed outcome: exactly one zoom2 solve (campaign-wide) fails, the
+    // siblings run to completion with OK status — partial failure is
+    // isolated per zoom.
+    #[test]
+    fn single_zoom_failure_leaves_siblings_ok() {
+        let trip = FailOnce::new();
+        let spec = DeploymentSpec::paper_shape(&[("nancy", 1.15, 2), ("orsay", 1.0, 2)]);
+        let (ma, seds) = spec
+            .instantiate(Arc::new(RoundRobin::new()), {
+                let trip = trip.clone();
+                move |_| zoom2_failure_table(trip.clone())
+            })
+            .unwrap();
+        let client = DietClient::initialize(ma);
+
+        let report = quick_workflow(2).run(&client).unwrap();
+
+        assert!(!report.all_succeeded());
+        let failed: Vec<_> = report
+            .zooms
+            .iter()
+            .filter(|z| z.status != status::OK)
+            .collect();
+        assert_eq!(failed.len(), 1, "exactly one zoom should have failed");
+        assert_eq!(failed[0].status, status::BAD_ZOOM);
+        assert_eq!(failed[0].n_galaxies, 0);
+        assert!(
+            report.zooms.len() > 1,
+            "need sibling zooms to observe isolation"
+        );
+        for z in report.zooms.iter().filter(|z| z.status == status::OK) {
+            // Siblings completed their full post-processing.
+            assert!(z.n_tree_nodes > 0 || z.n_galaxies > 0 || z.status == status::OK);
+        }
+
+        for s in seds {
+            s.shutdown();
+        }
+    }
+
+    // The expander variant of the same contract: a non-OK part-1 reply is
+    // a hard error (nothing to fan out), surfaced as SolveFailed.
+    #[test]
+    fn fanout_expander_rejects_failed_part1() {
+        let d = diet_core::profile::ramses_zoom1_desc();
+        let mut reply = Profile::alloc(&d);
+        reply
+            .set(
+                3,
+                DietValue::ScalarI32(status::BAD_RESOLUTION),
+                diet_core::data::Persistence::Volatile,
+            )
+            .unwrap();
+        let ctx = diet_core::dag::ExpandCtx {
+            dag_id: 1,
+            node: 0,
+            reply: &reply,
+            outputs: &[],
+            params: &[],
+            next_id: 1,
+            fetch: &|_id: &str| Err(DietError::DataNotFound("unused".into())),
+        };
+        let err = zoom_fanout_expander()(&ctx).unwrap_err();
+        match err {
+            DietError::SolveFailed { service, status } => {
+                assert_eq!(service, "ramsesZoom1");
+                assert_eq!(status, crate::services::status::BAD_RESOLUTION);
+            }
+            other => panic!("expected SolveFailed, got {other:?}"),
+        }
     }
 }
