@@ -6,7 +6,7 @@
 #   ./ci.sh build test   # run only the named stages, in the given order
 #
 # Stages: build test lint determinism obs data throughput hierarchy serving
-#         telemetry workflow
+#         telemetry workflow jobserver
 set -eu
 
 STAGE_NAMES=""
@@ -24,11 +24,27 @@ run_stage() {
 
 report() {
     echo "==> stage timings (wall-clock seconds)"
+    # shellcheck disable=SC2086 # parallel word lists, splitting intended
     set -- $STAGE_TIMES
     for name in $STAGE_NAMES; do
         printf '    %-12s %ss\n' "$name" "$1"
         shift
     done
+    # On GitHub Actions, publish the same table as job-summary markdown.
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        {
+            echo "### ci.sh stage timings"
+            echo ""
+            echo "| stage | wall-clock (s) |"
+            echo "| --- | ---: |"
+            # shellcheck disable=SC2086
+            set -- $STAGE_TIMES
+            for name in $STAGE_NAMES; do
+                echo "| $name | $1 |"
+                shift
+            done
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
 }
 
 stage_build() {
@@ -53,6 +69,22 @@ stage_lint() {
          grep -q '^jobs:' .github/workflows/ci.yml
          grep -q 'RAYON_NUM_THREADS' .github/workflows/ci.yml)
     fi
+    # This script is part of the gate too: shellcheck when available,
+    # otherwise at least a parse check.
+    if command -v shellcheck >/dev/null 2>&1; then
+        (set -x; shellcheck ci.sh)
+    else
+        (set -x; sh -n ci.sh)
+    fi
+    # Drift guard: every stage_* function defined here must be reachable
+    # through ALL_STAGES, or `./ci.sh` silently stops running it.
+    for fn in $(grep -o '^stage_[a-z_]*' ci.sh | sort -u); do
+        name="${fn#stage_}"
+        case " $ALL_STAGES " in
+            *" $name "*) ;;
+            *) echo "ci.sh drift: $fn() is not listed in ALL_STAGES" >&2; exit 1 ;;
+        esac
+    done
 }
 
 stage_determinism() {
@@ -178,8 +210,30 @@ stage_workflow() {
      grep -q '"speedup"' target/experiments/BENCH_workflow_quick.json)
 }
 
-ALL_STAGES="build test lint determinism obs data throughput hierarchy serving telemetry workflow"
+stage_jobserver() {
+    # Durable-campaign gate: the WAL/snapshot recovery property suite
+    # (byte-level torn-tail truncation, snapshot+tail equivalence) and the
+    # over-the-wire jobserver suite (mixed campaigns through the MA
+    # hierarchy, idempotent resubmission, dead-SeD requeue, restart with
+    # zero recompute) at both thread widths, then the crash-recovery
+    # experiment: a separate diet_jobserver process SIGKILLed mid-campaign
+    # must restart from its log, recompute nothing already Done, and
+    # finish. The binary validates its JSON artifact before writing it.
+    (set -x
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --test jobserver_log --test jobserver_tcp
+     RAYON_NUM_THREADS=4 cargo test -q -p diet-core --test jobserver_log --test jobserver_tcp
+     RAYON_NUM_THREADS=1 cargo test -q -p diet-core --lib jobserver
+     RAYON_NUM_THREADS=4 cargo test -q -p cosmogrid --test tcp_jobserver
+     cargo build --release -p diet-core --bin diet_jobserver
+     cargo run --release -p bench --bin exp_jobserver -- --quick
+     test -s target/experiments/BENCH_jobserver_quick.json
+     grep -q '"recomputed": 0' target/experiments/BENCH_jobserver_quick.json
+     grep -q '"failed": 0' target/experiments/BENCH_jobserver_quick.json)
+}
+
+ALL_STAGES="build test lint determinism obs data throughput hierarchy serving telemetry workflow jobserver"
 if [ $# -eq 0 ]; then
+    # shellcheck disable=SC2086 # stage list is a word list by design
     set -- $ALL_STAGES
 fi
 for stage in "$@"; do

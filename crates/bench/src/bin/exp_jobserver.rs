@@ -1,0 +1,310 @@
+//! E14 — durable campaign jobserver: `kill -9` mid-campaign, restart,
+//! prove zero recomputation of completed work and bounded recovery.
+//!
+//! The parent deploys a real MA + SeD fleet over TCP with a counting
+//! `echo` service (every solve of input `x` is tallied), then launches
+//! the `diet_jobserver` binary as a separate OS process pointed at that
+//! hierarchy. A campaign of N tasks is submitted over the wire; once a
+//! third of it is done, the jobserver is killed with SIGKILL — no
+//! shutdown path, possibly a torn WAL record. A fresh process on the same
+//! directory must replay the log, keep every logged-Done task done, and
+//! finish the remainder.
+//!
+//! Gates:
+//!   * the campaign drains: done == N, failed == 0;
+//!   * zero recomputation — no task that was logged Done before the kill
+//!     was ever solved again (solve tallies stay at 1);
+//!   * recovery is bounded — the restarted server answers an attach
+//!     within the recovery budget;
+//!   * the kill landed mid-run (0 < done-before-kill < N), else the
+//!     experiment proved nothing.
+//!
+//! Writes `BENCH_jobserver.json` (validated with `bench::validate_json`);
+//! `--quick` shrinks the campaign for CI and writes to the artifact dir.
+
+use diet_core::data::{DietValue, Persistence};
+use diet_core::deploy::TcpTopologySpec;
+use diet_core::jobserver::{JobClient, TaskPayload, TaskState};
+use diet_core::profile::{ArgTag, Profile, ProfileDesc};
+use diet_core::sched::RoundRobin;
+use diet_core::sed::{ServiceTable, SolveFn};
+use std::collections::{HashMap, HashSet};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type SolveCounts = Arc<Mutex<HashMap<i32, u32>>>;
+
+fn counting_table(counts: &SolveCounts, delay: Duration) -> ServiceTable {
+    let mut d = ProfileDesc::alloc("echo", 0, 0, 1);
+    d.set_arg(0, ArgTag::Scalar).unwrap();
+    let counts = counts.clone();
+    let solve: SolveFn = Arc::new(move |p: &mut Profile| {
+        let x = p.get_i32(0)?;
+        *counts.lock().unwrap().entry(x).or_insert(0) += 1;
+        std::thread::sleep(delay);
+        p.set(1, DietValue::ScalarI32(x + 1), Persistence::Volatile)?;
+        Ok(0)
+    });
+    let mut t = ServiceTable::init(2);
+    t.add(d, solve).unwrap();
+    t
+}
+
+fn call_task(x: i32) -> TaskPayload {
+    let mut d = ProfileDesc::alloc("echo", 0, 0, 1);
+    d.set_arg(0, ArgTag::Scalar).unwrap();
+    let mut p = Profile::alloc(&d);
+    p.set(0, DietValue::ScalarI32(x), Persistence::Volatile)
+        .unwrap();
+    TaskPayload::Call(p)
+}
+
+/// Launch `diet_jobserver` (a sibling binary in the same target dir) and
+/// scrape its bound address from stdout.
+fn spawn_jobserver(
+    dir: &std::path::Path,
+    ma: SocketAddr,
+    seds: &[(String, SocketAddr)],
+) -> (Child, SocketAddr) {
+    let exe = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("target dir")
+        .join("diet_jobserver");
+    assert!(
+        exe.exists(),
+        "{} not built — build the diet_jobserver bin first",
+        exe.display()
+    );
+    let mut cmd = Command::new(exe);
+    cmd.arg("--dir")
+        .arg(dir)
+        .arg("--ma")
+        .arg(ma.to_string())
+        .arg("--snapshot-every")
+        .arg("64")
+        .arg("--heartbeat-ms")
+        .arg("200")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    for (label, addr) in seds {
+        cmd.arg("--sed").arg(format!("{label}={addr}"));
+    }
+    let mut child = cmd.spawn().expect("spawn diet_jobserver");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("jobserver exited before announcing its address")
+        .expect("read jobserver stdout");
+    let addr = line
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("cannot parse jobserver address from {line:?}"));
+    // Drain any further output so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    (child, addr)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: i32 = if quick { 48 } else { 240 };
+    let solve_delay = Duration::from_millis(if quick { 8 } else { 5 });
+    let recovery_budget_ms: u128 = 15_000;
+
+    println!("E14: durable jobserver crash recovery — {n} tasks, SIGKILL at ~1/3 done\n");
+
+    // Real hierarchy in this process: MA + 3 SeDs over TCP.
+    let counts: SolveCounts = Arc::new(Mutex::new(HashMap::new()));
+    let d = TcpTopologySpec::chain(1, 3)
+        .deploy(Arc::new(RoundRobin::new()), |_| {
+            counting_table(&counts, solve_delay)
+        })
+        .expect("deploy hierarchy");
+    let seds: Vec<(String, SocketAddr)> = d
+        .pool
+        .labels()
+        .into_iter()
+        .map(|l| {
+            let a = d.pool.endpoint(&l).expect("endpoint");
+            (l, a)
+        })
+        .collect();
+    let ma_addr = d.ma_server.local_addr;
+    let dir = std::env::temp_dir().join(format!("diet-exp-jobserver-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // ---- phase 1: run until ~1/3 done, then SIGKILL ----------------------
+    let t0 = Instant::now();
+    let (mut child, addr) = spawn_jobserver(&dir, ma_addr, &seds);
+    let client = JobClient::with_timeout(addr, Duration::from_secs(5));
+    let (cid, _ids) = client
+        .submit_tasks("crash-campaign", (0..n).map(call_task).collect())
+        .expect("submit");
+
+    let kill_at = n as u64 / 3;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = client.attach("crash-campaign").expect("attach");
+        if s.done >= kill_at {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign never reached {kill_at} done"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // What the log says is durably Done right now. The kill may land after
+    // further completions — read the feed again post-mortem for the true
+    // "done before kill" set; this pre-kill snapshot only gates progress.
+    child.kill().expect("SIGKILL jobserver");
+    let _ = child.wait();
+    let phase1_ms = t0.elapsed().as_millis();
+
+    // Post-mortem: replay the WAL offline to learn exactly which tasks the
+    // dead server had logged Done. (Reading the file is safe — the process
+    // is gone.) This is the recomputation baseline.
+    let done_before: HashSet<u64> = {
+        use diet_core::Obs;
+        let probe = diet_core::JobStore::open(
+            &dir,
+            diet_core::JobStoreConfig::default(),
+            Arc::new(Obs::new()),
+        )
+        .expect("offline replay of the dead server's log");
+        (0..n as u64)
+            .filter(|&tid| probe.task_status(cid, tid).map(|t| t.state) == Some(TaskState::Done))
+            .collect()
+    };
+    let solves_at_kill: HashMap<i32, u32> = counts.lock().unwrap().clone();
+    println!(
+        "  killed jobserver at {} / {n} logged done ({} solves started)",
+        done_before.len(),
+        solves_at_kill.len()
+    );
+
+    // ---- phase 2: restart on the same dir, recover, finish ---------------
+    let t1 = Instant::now();
+    let (mut child2, addr2) = spawn_jobserver(&dir, ma_addr, &seds);
+    let client2 = JobClient::with_timeout(addr2, Duration::from_secs(5));
+    let att = client2
+        .attach("crash-campaign")
+        .expect("attach after restart");
+    let recovery_ms = t1.elapsed().as_millis();
+    assert_eq!(att.campaign_id, cid, "campaign lost in restart");
+
+    let (summary, events) = client2
+        .wait(cid, Duration::from_millis(10), Duration::from_secs(120))
+        .expect("campaign never finished after restart");
+    let phase2_ms = t1.elapsed().as_millis();
+    child2.kill().expect("stop jobserver");
+    let _ = child2.wait();
+
+    // ---- analysis --------------------------------------------------------
+    let final_counts = counts.lock().unwrap().clone();
+    // Recomputed = a task the dead server had logged Done that was solved
+    // AGAIN after the kill (comparing against the at-kill tallies, so
+    // phase-1 in-round retries can't masquerade as recovery recompute).
+    let recomputed: Vec<u64> = done_before
+        .iter()
+        .copied()
+        .filter(|&tid| {
+            let x = tid as i32;
+            final_counts.get(&x).copied().unwrap_or(0)
+                > solves_at_kill.get(&x).copied().unwrap_or(0)
+        })
+        .collect();
+    let max_solves = final_counts.values().copied().max().unwrap_or(0);
+    let resubmissions = summary.resubmissions;
+    let wal_bytes = std::fs::metadata(dir.join("wal.log"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let snapshot_bytes = std::fs::metadata(dir.join("snapshot.bin"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let done_events = events.iter().filter(|e| e.state == TaskState::Done).count();
+
+    println!(
+        "  recovered in {recovery_ms} ms; finished {}/{} ({} failed)",
+        summary.done, n, summary.failed
+    );
+    println!(
+        "  done-before-kill {} | recomputed {} | max solves/task {} | resubmissions {}",
+        done_before.len(),
+        recomputed.len(),
+        max_solves,
+        resubmissions
+    );
+    println!("  wal {wal_bytes} B, snapshot {snapshot_bytes} B, {done_events} Done events in feed");
+
+    // ---- artifact --------------------------------------------------------
+    let mut json = String::from("{\n  \"experiment\": \"jobserver\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"tasks\": {n},\n"));
+    json.push_str(&format!("  \"done_before_kill\": {},\n", done_before.len()));
+    json.push_str(&format!("  \"done\": {},\n", summary.done));
+    json.push_str(&format!("  \"failed\": {},\n", summary.failed));
+    json.push_str(&format!("  \"recomputed\": {},\n", recomputed.len()));
+    json.push_str(&format!("  \"max_solves_per_task\": {max_solves},\n"));
+    json.push_str(&format!("  \"resubmissions\": {resubmissions},\n"));
+    json.push_str(&format!("  \"recovery_ms\": {recovery_ms},\n"));
+    json.push_str(&format!("  \"phase1_ms\": {phase1_ms},\n"));
+    json.push_str(&format!("  \"phase2_ms\": {phase2_ms},\n"));
+    json.push_str(&format!("  \"wal_bytes\": {wal_bytes},\n"));
+    json.push_str(&format!("  \"snapshot_bytes\": {snapshot_bytes}\n}}\n"));
+    bench::validate_json(&json).expect("generated artifact is not valid JSON");
+
+    let path = if quick {
+        bench::artifact_dir().join("BENCH_jobserver_quick.json")
+    } else {
+        std::path::PathBuf::from("BENCH_jobserver.json")
+    };
+    std::fs::write(&path, &json).expect("failed to write artifact");
+    println!("wrote {}", path.display());
+
+    // ---- gates -----------------------------------------------------------
+    let mut failed = false;
+    if summary.done != n as u64 || summary.failed != 0 {
+        eprintln!(
+            "FAIL: campaign did not drain — done {}/{n}, failed {}",
+            summary.done, summary.failed
+        );
+        failed = true;
+    }
+    if !recomputed.is_empty() {
+        eprintln!(
+            "FAIL: {} tasks logged Done before the kill were solved again: {:?}",
+            recomputed.len(),
+            &recomputed[..recomputed.len().min(8)]
+        );
+        failed = true;
+    }
+    if done_before.is_empty() || done_before.len() >= n as usize {
+        eprintln!(
+            "FAIL: kill landed outside the campaign ({} of {n} done) — nothing proven",
+            done_before.len()
+        );
+        failed = true;
+    }
+    if recovery_ms > recovery_budget_ms {
+        eprintln!("FAIL: recovery took {recovery_ms} ms (budget {recovery_budget_ms} ms)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: SIGKILL at {}/{n} done; restart recovered in {recovery_ms} ms, \
+         finished {}/{n} with 0 recomputed completions",
+        done_before.len(),
+        summary.done
+    );
+    d.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,7 @@ use crate::dag::{
 };
 use crate::data::{DietValue, Persistence};
 use crate::error::DietError;
+use crate::jobserver::{CampaignSummary, TaskEventRec, TaskPayload, TaskState, TaskStatusRec};
 use crate::monitor::Estimate;
 use crate::profile::Profile;
 use bytes::{Buf, BufMut, ByteStr, Bytes, BytesMut};
@@ -192,6 +193,56 @@ pub enum Message {
         events: Vec<DagEventRec>,
         outcome: Option<DagOutcome>,
     },
+    /// Client → jobserver: create (or idempotently re-attach to) the
+    /// campaign called `campaign`, seeding it with `tasks`. A name that
+    /// already exists returns the existing campaign untouched, so a
+    /// client that died mid-submit can simply resubmit.
+    SubmitTasks {
+        request_id: u64,
+        campaign: String,
+        tasks: Vec<TaskPayload>,
+    },
+    /// Jobserver → client: the campaign id and per-campaign task ids, or
+    /// a rejection string.
+    SubmitTasksReply {
+        request_id: u64,
+        result: Result<(u64, Vec<u64>), String>,
+    },
+    /// Client → jobserver: point-in-time status of one task.
+    TaskStatus {
+        request_id: u64,
+        campaign_id: u64,
+        task_id: u64,
+    },
+    /// Jobserver → client: reply to [`Message::TaskStatus`].
+    TaskStatusReply {
+        request_id: u64,
+        result: Result<TaskStatusRec, String>,
+    },
+    /// Client → jobserver: look up a campaign by name (late-joining or
+    /// reconnecting clients).
+    AttachCampaign {
+        request_id: u64,
+        campaign: String,
+    },
+    /// Jobserver → client: the campaign's summary, or an unknown-name
+    /// rejection.
+    AttachReply {
+        request_id: u64,
+        result: Result<CampaignSummary, String>,
+    },
+    /// Client → jobserver: poll the progress feed; `cursor` is the last
+    /// event sequence number already seen (0 for everything retained).
+    CampaignProgress {
+        request_id: u64,
+        campaign_id: u64,
+        cursor: u64,
+    },
+    /// Jobserver → client: summary plus the events after the cursor.
+    ProgressReply {
+        request_id: u64,
+        result: Result<(CampaignSummary, Vec<TaskEventRec>), String>,
+    },
 }
 
 const TAG_NULL: u8 = 0;
@@ -229,6 +280,14 @@ const MSG_SUBMIT_DAG: u8 = 30;
 const MSG_DAG_REPLY: u8 = 31;
 const MSG_DAG_STATUS: u8 = 32;
 const MSG_DAG_EVENT: u8 = 33;
+const MSG_SUBMIT_TASKS: u8 = 34;
+const MSG_SUBMIT_TASKS_REPLY: u8 = 35;
+const MSG_TASK_STATUS: u8 = 36;
+const MSG_TASK_STATUS_REPLY: u8 = 37;
+const MSG_ATTACH_CAMPAIGN: u8 = 38;
+const MSG_ATTACH_REPLY: u8 = 39;
+const MSG_CAMPAIGN_PROGRESS: u8 = 40;
+const MSG_PROGRESS_REPLY: u8 = 41;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -896,8 +955,205 @@ pub fn encode_message(m: &Message) -> Bytes {
                 None => buf.put_u8(0),
             }
         }
+        Message::SubmitTasks {
+            request_id,
+            campaign,
+            tasks,
+        } => {
+            buf.put_u8(MSG_SUBMIT_TASKS);
+            buf.put_u64_le(*request_id);
+            put_str(&mut buf, campaign);
+            buf.put_u32_le(tasks.len() as u32);
+            for t in tasks {
+                encode_task_payload(&mut buf, t);
+            }
+        }
+        Message::SubmitTasksReply { request_id, result } => {
+            buf.put_u8(MSG_SUBMIT_TASKS_REPLY);
+            buf.put_u64_le(*request_id);
+            match result {
+                Ok((cid, ids)) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(*cid);
+                    buf.put_u32_le(ids.len() as u32);
+                    for id in ids {
+                        buf.put_u64_le(*id);
+                    }
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Message::TaskStatus {
+            request_id,
+            campaign_id,
+            task_id,
+        } => {
+            buf.put_u8(MSG_TASK_STATUS);
+            buf.put_u64_le(*request_id);
+            buf.put_u64_le(*campaign_id);
+            buf.put_u64_le(*task_id);
+        }
+        Message::TaskStatusReply { request_id, result } => {
+            buf.put_u8(MSG_TASK_STATUS_REPLY);
+            buf.put_u64_le(*request_id);
+            match result {
+                Ok(rec) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(rec.task_id);
+                    buf.put_u8(rec.state as u8);
+                    buf.put_u32_le(rec.attempts);
+                    put_str(&mut buf, &rec.sed);
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Message::AttachCampaign {
+            request_id,
+            campaign,
+        } => {
+            buf.put_u8(MSG_ATTACH_CAMPAIGN);
+            buf.put_u64_le(*request_id);
+            put_str(&mut buf, campaign);
+        }
+        Message::AttachReply { request_id, result } => {
+            buf.put_u8(MSG_ATTACH_REPLY);
+            buf.put_u64_le(*request_id);
+            match result {
+                Ok(s) => {
+                    buf.put_u8(1);
+                    put_campaign_summary(&mut buf, s);
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Message::CampaignProgress {
+            request_id,
+            campaign_id,
+            cursor,
+        } => {
+            buf.put_u8(MSG_CAMPAIGN_PROGRESS);
+            buf.put_u64_le(*request_id);
+            buf.put_u64_le(*campaign_id);
+            buf.put_u64_le(*cursor);
+        }
+        Message::ProgressReply { request_id, result } => {
+            buf.put_u8(MSG_PROGRESS_REPLY);
+            buf.put_u64_le(*request_id);
+            match result {
+                Ok((summary, events)) => {
+                    buf.put_u8(1);
+                    put_campaign_summary(&mut buf, summary);
+                    buf.put_u32_le(events.len() as u32);
+                    for e in events {
+                        put_task_event(&mut buf, e);
+                    }
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
     }
     buf.freeze()
+}
+
+/// Encode a jobserver task payload (also the WAL's on-disk encoding for
+/// task bodies): a kind byte then a profile or a workflow spec.
+pub fn encode_task_payload(buf: &mut BytesMut, p: &TaskPayload) {
+    match p {
+        TaskPayload::Call(profile) => {
+            buf.put_u8(0);
+            encode_profile(buf, profile);
+        }
+        TaskPayload::Dag(spec) => {
+            buf.put_u8(1);
+            put_workflow_spec(buf, spec);
+        }
+    }
+}
+
+/// Decode a jobserver task payload.
+pub fn decode_task_payload(buf: &mut Bytes) -> Result<TaskPayload, DietError> {
+    if buf.remaining() < 1 {
+        return Err(DietError::Codec("truncated task payload kind".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(TaskPayload::Call(decode_profile(buf)?)),
+        1 => Ok(TaskPayload::Dag(get_workflow_spec(buf)?)),
+        k => Err(DietError::Codec(format!("unknown task payload kind {k}"))),
+    }
+}
+
+fn put_campaign_summary(buf: &mut BytesMut, s: &CampaignSummary) {
+    buf.put_u64_le(s.campaign_id);
+    put_str(buf, &s.name);
+    buf.put_u64_le(s.total);
+    buf.put_u64_le(s.done);
+    buf.put_u64_le(s.failed);
+    buf.put_u64_le(s.resubmissions);
+    buf.put_u8(s.finished as u8);
+}
+
+fn get_campaign_summary(buf: &mut Bytes) -> Result<CampaignSummary, DietError> {
+    if buf.remaining() < 8 {
+        return Err(DietError::Codec("truncated campaign summary".into()));
+    }
+    let campaign_id = buf.get_u64_le();
+    let name = get_str(buf)?;
+    if buf.remaining() < 33 {
+        return Err(DietError::Codec("truncated campaign summary tail".into()));
+    }
+    Ok(CampaignSummary {
+        campaign_id,
+        name,
+        total: buf.get_u64_le(),
+        done: buf.get_u64_le(),
+        failed: buf.get_u64_le(),
+        resubmissions: buf.get_u64_le(),
+        finished: buf.get_u8() == 1,
+    })
+}
+
+fn put_task_event(buf: &mut BytesMut, e: &TaskEventRec) {
+    buf.put_u64_le(e.seq);
+    buf.put_u64_le(e.task_id);
+    buf.put_u8(e.state as u8);
+    buf.put_u32_le(e.attempt);
+    put_str(buf, &e.sed);
+    buf.put_u64_le(e.ms);
+}
+
+fn get_task_event(buf: &mut Bytes) -> Result<TaskEventRec, DietError> {
+    if buf.remaining() < 21 {
+        return Err(DietError::Codec("truncated task event".into()));
+    }
+    let seq = buf.get_u64_le();
+    let task_id = buf.get_u64_le();
+    let state = TaskState::from_u8(buf.get_u8())
+        .ok_or_else(|| DietError::Codec("bad task state".into()))?;
+    let attempt = buf.get_u32_le();
+    let sed = get_str(buf)?;
+    if buf.remaining() < 8 {
+        return Err(DietError::Codec("truncated task event tail".into()));
+    }
+    Ok(TaskEventRec {
+        seq,
+        task_id,
+        state,
+        attempt,
+        sed,
+        ms: buf.get_u64_le(),
+    })
 }
 
 fn put_workflow_spec(buf: &mut BytesMut, spec: &WorkflowSpec) {
@@ -1143,7 +1399,15 @@ pub fn peek_request_id(frame: &[u8]) -> u64 {
         | MSG_SUBMIT_DAG
         | MSG_DAG_REPLY
         | MSG_DAG_STATUS
-        | MSG_DAG_EVENT => u64::from_le_bytes(frame[1..9].try_into().unwrap()),
+        | MSG_DAG_EVENT
+        | MSG_SUBMIT_TASKS
+        | MSG_SUBMIT_TASKS_REPLY
+        | MSG_TASK_STATUS
+        | MSG_TASK_STATUS_REPLY
+        | MSG_ATTACH_CAMPAIGN
+        | MSG_ATTACH_REPLY
+        | MSG_CAMPAIGN_PROGRESS
+        | MSG_PROGRESS_REPLY => u64::from_le_bytes(frame[1..9].try_into().unwrap()),
         _ => 0,
     }
 }
@@ -1408,6 +1672,116 @@ pub fn decode_message(mut buf: Bytes) -> Result<Message, DietError> {
                 outcome,
             })
         }
+        MSG_SUBMIT_TASKS => {
+            let request_id = need_u64(&mut buf)?;
+            let campaign = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DietError::Codec("truncated task count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let tasks = (0..n)
+                .map(|_| decode_task_payload(&mut buf))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Message::SubmitTasks {
+                request_id,
+                campaign,
+                tasks,
+            })
+        }
+        MSG_SUBMIT_TASKS_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated submit-tasks flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                let cid = need_u64(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(DietError::Codec("truncated task id count".into()));
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut ids = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    ids.push(need_u64(&mut buf)?);
+                }
+                Ok((cid, ids))
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::SubmitTasksReply { request_id, result })
+        }
+        MSG_TASK_STATUS => Ok(Message::TaskStatus {
+            request_id: need_u64(&mut buf)?,
+            campaign_id: need_u64(&mut buf)?,
+            task_id: need_u64(&mut buf)?,
+        }),
+        MSG_TASK_STATUS_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated task-status flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                let task_id = need_u64(&mut buf)?;
+                if buf.remaining() < 5 {
+                    return Err(DietError::Codec("truncated task status".into()));
+                }
+                let state = TaskState::from_u8(buf.get_u8())
+                    .ok_or_else(|| DietError::Codec("bad task state".into()))?;
+                let attempts = buf.get_u32_le();
+                Ok(TaskStatusRec {
+                    task_id,
+                    state,
+                    attempts,
+                    sed: get_str(&mut buf)?,
+                })
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::TaskStatusReply { request_id, result })
+        }
+        MSG_ATTACH_CAMPAIGN => {
+            let request_id = need_u64(&mut buf)?;
+            Ok(Message::AttachCampaign {
+                request_id,
+                campaign: get_str(&mut buf)?,
+            })
+        }
+        MSG_ATTACH_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated attach flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                Ok(get_campaign_summary(&mut buf)?)
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::AttachReply { request_id, result })
+        }
+        MSG_CAMPAIGN_PROGRESS => Ok(Message::CampaignProgress {
+            request_id: need_u64(&mut buf)?,
+            campaign_id: need_u64(&mut buf)?,
+            cursor: need_u64(&mut buf)?,
+        }),
+        MSG_PROGRESS_REPLY => {
+            let request_id = need_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DietError::Codec("truncated progress flag".into()));
+            }
+            let result = if buf.get_u8() == 1 {
+                let summary = get_campaign_summary(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(DietError::Codec("truncated event count".into()));
+                }
+                let n = buf.get_u32_le() as usize;
+                let events = (0..n)
+                    .map(|_| get_task_event(&mut buf))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((summary, events))
+            } else {
+                Err(get_str(&mut buf)?)
+            };
+            Ok(Message::ProgressReply { request_id, result })
+        }
         t => Err(DietError::Codec(format!("unknown message tag {t}"))),
     }
 }
@@ -1451,6 +1825,96 @@ mod tests {
         encode_profile(&mut buf, &p);
         let back = decode_profile(&mut buf.freeze()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn jobserver_frame_roundtrips() {
+        let summary = CampaignSummary {
+            campaign_id: 7,
+            name: "zoom-sweep".into(),
+            total: 100,
+            done: 42,
+            failed: 1,
+            resubmissions: 5,
+            finished: false,
+        };
+        let event = TaskEventRec {
+            seq: 9,
+            task_id: 3,
+            state: TaskState::Done,
+            attempt: 2,
+            sed: "lyon/0".into(),
+            ms: 123,
+        };
+        let spec = WorkflowSpec {
+            name: "w".into(),
+            nodes: vec![],
+        };
+        let msgs = vec![
+            Message::SubmitTasks {
+                request_id: 1,
+                campaign: "camp".into(),
+                tasks: vec![TaskPayload::Call(sample_profile()), TaskPayload::Dag(spec)],
+            },
+            Message::SubmitTasksReply {
+                request_id: 2,
+                result: Ok((7, vec![0, 1, 2])),
+            },
+            Message::SubmitTasksReply {
+                request_id: 3,
+                result: Err("nope".into()),
+            },
+            Message::TaskStatus {
+                request_id: 4,
+                campaign_id: 7,
+                task_id: 3,
+            },
+            Message::TaskStatusReply {
+                request_id: 5,
+                result: Ok(TaskStatusRec {
+                    task_id: 3,
+                    state: TaskState::Dispatched,
+                    attempts: 2,
+                    sed: "lyon/1".into(),
+                }),
+            },
+            Message::TaskStatusReply {
+                request_id: 6,
+                result: Err("unknown task".into()),
+            },
+            Message::AttachCampaign {
+                request_id: 7,
+                campaign: "camp".into(),
+            },
+            Message::AttachReply {
+                request_id: 8,
+                result: Ok(summary.clone()),
+            },
+            Message::AttachReply {
+                request_id: 9,
+                result: Err("unknown campaign".into()),
+            },
+            Message::CampaignProgress {
+                request_id: 10,
+                campaign_id: 7,
+                cursor: 41,
+            },
+            Message::ProgressReply {
+                request_id: 11,
+                result: Ok((summary, vec![event])),
+            },
+            Message::ProgressReply {
+                request_id: 12,
+                result: Err("unknown campaign".into()),
+            },
+        ];
+        for m in msgs {
+            let enc = encode_message(&m);
+            // Every jobserver frame is correlated: the id peeks out.
+            assert_ne!(peek_request_id(&enc), 0, "{m:?}");
+            let back = decode_message(enc).unwrap();
+            assert_eq!(back, m);
+        }
     }
 
     #[test]

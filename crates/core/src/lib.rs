@@ -32,6 +32,8 @@
 //! * [`dag`] — the MA-DAG workflow engine: typed task DAGs submitted over
 //!   the wire, scheduled node-by-node inside the hierarchy with
 //!   data-locality placement, retry, and straggler speculation.
+//! * [`jobserver`] — durable campaign jobserver: a crash-recoverable
+//!   task queue (WAL + snapshots) dispatching through the hierarchy.
 //! * [`deploy`] — deployment descriptions mapping a hierarchy onto a
 //!   platform, following the paper's Grid'5000 deployment.
 //! * [`error`] — the crate's error type.
@@ -64,6 +66,7 @@ pub mod error;
 pub mod faults;
 pub mod gridrpc;
 pub mod hierarchy;
+pub mod jobserver;
 pub mod monitor;
 pub mod naming;
 pub mod probe;
@@ -94,6 +97,11 @@ pub use hierarchy::{
     serve_agent_over_tcp, serve_agent_over_tcp_at, serve_ma_over_tcp, serve_ma_over_tcp_at,
     serve_ma_over_tcp_with_dag, serve_sed_over_tcp, serve_sed_over_tcp_with_config, AgentConfig,
     RemoteAgentClient,
+};
+pub use jobserver::{
+    serve_jobserver_over_tcp, CampaignSummary, FailOutcome, JobClient, JobLog, JobServer,
+    JobServerConfig, JobStore, JobStoreConfig, MachinePool, TaskEventRec, TaskPayload, TaskState,
+    TaskStatusRec,
 };
 pub use monitor::Estimate;
 pub use naming::NameServer;

@@ -612,6 +612,10 @@ impl MuxConn {
                         Message::PushAck { request_id } => *request_id,
                         Message::DagReply { request_id, .. } => *request_id,
                         Message::DagEvent { request_id, .. } => *request_id,
+                        Message::SubmitTasksReply { request_id, .. } => *request_id,
+                        Message::TaskStatusReply { request_id, .. } => *request_id,
+                        Message::AttachReply { request_id, .. } => *request_id,
+                        Message::ProgressReply { request_id, .. } => *request_id,
                         // Uncorrelated frames (Pong, the legacy
                         // MetricsReply) have no waiter on a mux connection;
                         // drop them.
@@ -727,6 +731,12 @@ impl TcpSedPool {
 
     pub fn endpoint(&self, label: &str) -> Option<SocketAddr> {
         self.endpoints.read().get(label).copied()
+    }
+
+    /// Every registered label — the jobserver's machine pool enumerates
+    /// these for its heartbeat probes.
+    pub fn labels(&self) -> Vec<String> {
+        self.endpoints.read().keys().cloned().collect()
     }
 
     /// The live multiplexed connection for `label`, dialing if absent or

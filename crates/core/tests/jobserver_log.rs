@@ -1,0 +1,270 @@
+//! Log-recovery properties for the jobserver's durable store.
+//!
+//! The crash model is byte-level: a process can die mid-append, leaving a
+//! torn final record. Replay must recover the full prefix and drop only
+//! the tail — never panic, never reconstruct corrupted state. And a
+//! snapshot must be pure compaction: snapshot + WAL tail replays to
+//! exactly the state the WAL alone would have produced.
+
+use diet_core::jobserver::{scan_records, JobStore, JobStoreConfig, TaskPayload, TaskState};
+use diet_core::profile::{ArgTag, Profile, ProfileDesc};
+use diet_core::{DietValue, Obs, Persistence};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "diet-joblog-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn payload(x: i32) -> TaskPayload {
+    let mut d = ProfileDesc::alloc("echo", 0, 0, 1);
+    d.set_arg(0, ArgTag::Scalar).unwrap();
+    d.set_arg(1, ArgTag::Scalar).unwrap();
+    let mut p = Profile::alloc(&d);
+    p.set(0, DietValue::ScalarI32(x), Persistence::Volatile)
+        .unwrap();
+    TaskPayload::Call(p)
+}
+
+fn open(dir: &Path) -> Arc<JobStore> {
+    JobStore::open(dir, JobStoreConfig::default(), Arc::new(Obs::new())).unwrap()
+}
+
+/// Deterministic op script: submit `n` tasks, then drive the first
+/// `outcomes.len()` of them through one dispatch each (true = done,
+/// false = failed attempt, which re-queues). FIFO pops make the claim
+/// order equal task order.
+fn drive(store: &JobStore, n: usize, outcomes: &[bool]) {
+    let (cid, _ids) = store
+        .submit("camp", (0..n as i32).map(payload).collect())
+        .unwrap();
+    for (i, &ok) in outcomes.iter().enumerate().take(n) {
+        let t = store.next_task(Duration::from_millis(50)).unwrap();
+        assert_eq!(t.task_id as usize, i);
+        let a = store
+            .dispatched(cid, t.task_id, t.epoch, None, "lyon/0")
+            .unwrap();
+        if ok {
+            assert!(store.complete(cid, t.task_id, t.epoch, a, "lyon/0", 3));
+        } else {
+            store.fail(cid, t.task_id, t.epoch, "injected", 8, false);
+        }
+    }
+}
+
+/// Everything observable about a store's recovered state, for equality
+/// checks across recovery paths. Queue order is not part of the signature
+/// (recovery re-queues by scan order), so pending task ids are sorted.
+fn signature(store: &JobStore) -> String {
+    let mut out = String::new();
+    for s in store.campaigns() {
+        out.push_str(&format!(
+            "campaign {} {:?} total={} done={} failed={} resub={} finished={}\n",
+            s.campaign_id, s.name, s.total, s.done, s.failed, s.resubmissions, s.finished
+        ));
+        for tid in 0..s.total {
+            let t = store.task_status(s.campaign_id, tid).unwrap();
+            out.push_str(&format!(
+                "  task {tid} state={:?} attempts={} sed={:?}\n",
+                t.state, t.attempts, t.sed
+            ));
+        }
+    }
+    out
+}
+
+/// Copy a store directory, truncating the WAL to `wal_len` bytes.
+fn clone_dir_truncated(src: &Path, dst: &Path, wal_len: u64) -> std::io::Result<()> {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        std::fs::copy(entry.path(), dst.join(entry.file_name()))?;
+    }
+    let wal = dst.join("wal.log");
+    if wal.exists() {
+        let f = std::fs::OpenOptions::new().write(true).open(&wal)?;
+        f.set_len(wal_len)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Truncate the WAL at EVERY byte boundary of the final record:
+    /// replay recovers the full record set or exactly the prefix without
+    /// it — nothing else, and never a panic.
+    #[test]
+    fn torn_final_record_recovers_prefix(
+        n in 1usize..6,
+        outcomes in prop::collection::vec(any::<bool>(), 0..6),
+    ) {
+        let src = tmpdir("torn-src");
+        {
+            let s = open(&src);
+            drive(&s, n, &outcomes);
+        }
+        let wal_bytes = std::fs::read(src.join("wal.log")).unwrap();
+        let (records, good_len) = scan_records(&wal_bytes);
+        prop_assert_eq!(good_len as usize, wal_bytes.len());
+        prop_assert!(!records.is_empty());
+        let final_start = wal_bytes.len() - (8 + records.last().unwrap().len());
+
+        // Reference signatures: all records, and all-but-the-last.
+        let full_sig = signature(&open(&src));
+        let work = tmpdir("torn-work");
+        clone_dir_truncated(&src, &work, final_start as u64).unwrap();
+        let prefix_sig = signature(&open(&work));
+
+        for cut in final_start..wal_bytes.len() {
+            clone_dir_truncated(&src, &work, cut as u64).unwrap();
+            let store = open(&work); // must not panic
+            let sig = signature(&store);
+            prop_assert_eq!(
+                &sig, &prefix_sig,
+                "cut at byte {} of [{}, {}) must drop exactly the torn tail",
+                cut, final_start, wal_bytes.len()
+            );
+            // The torn tail is truncated away on open: a second open sees
+            // a clean log ending at the last good record.
+            drop(store);
+            let reread = std::fs::read(work.join("wal.log")).unwrap();
+            let (_, rescan_len) = scan_records(&reread);
+            prop_assert_eq!(rescan_len as usize, reread.len());
+        }
+        // And the untruncated file replays everything.
+        clone_dir_truncated(&src, &work, wal_bytes.len() as u64).unwrap();
+        prop_assert_eq!(signature(&open(&work)), full_sig);
+
+        let _ = std::fs::remove_dir_all(&src);
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    /// Snapshot + tail replay ≡ pure WAL replay: the same op script run
+    /// with and without a mid-way compaction recovers identical state.
+    #[test]
+    fn snapshot_plus_tail_equals_pure_wal(
+        n in 1usize..8,
+        outcomes in prop::collection::vec(any::<bool>(), 0..8),
+        snap_after in 0usize..8,
+    ) {
+        let with_snap = tmpdir("snap-a");
+        let without = tmpdir("snap-b");
+        {
+            let s = open(&with_snap);
+            let (cid, _) = s.submit("camp", (0..n as i32).map(payload).collect()).unwrap();
+            for (i, &ok) in outcomes.iter().enumerate().take(n) {
+                if i == snap_after {
+                    s.snapshot_now().unwrap();
+                }
+                let t = s.next_task(Duration::from_millis(50)).unwrap();
+                let a = s.dispatched(cid, t.task_id, t.epoch, None, "lyon/0").unwrap();
+                if ok {
+                    assert!(s.complete(cid, t.task_id, t.epoch, a, "lyon/0", 3));
+                } else {
+                    s.fail(cid, t.task_id, t.epoch, "injected", 8, false);
+                }
+            }
+        }
+        {
+            let s = open(&without);
+            drive(&s, n, &outcomes);
+        }
+        prop_assert!(with_snap.join("snapshot.bin").exists() || snap_after >= n);
+        prop_assert_eq!(signature(&open(&with_snap)), signature(&open(&without)));
+        let _ = std::fs::remove_dir_all(&with_snap);
+        let _ = std::fs::remove_dir_all(&without);
+    }
+}
+
+/// A crash between the snapshot rename and the WAL truncate leaves the
+/// old records in front of the snapshot — replay must skip everything the
+/// snapshot already absorbed (LSN guard), not double-apply it.
+#[test]
+fn stale_wal_records_after_snapshot_are_skipped() {
+    let dir = tmpdir("lsn");
+    let pre_wal;
+    {
+        let s = open(&dir);
+        let (cid, _) = s.submit("camp", (0..4).map(payload).collect()).unwrap();
+        for _ in 0..2 {
+            let t = s.next_task(Duration::from_millis(50)).unwrap();
+            let a = s
+                .dispatched(cid, t.task_id, t.epoch, None, "lyon/0")
+                .unwrap();
+            assert!(s.complete(cid, t.task_id, t.epoch, a, "lyon/0", 3));
+        }
+        pre_wal = std::fs::read(s.wal_path()).unwrap();
+        s.snapshot_now().unwrap();
+        // Post-snapshot tail: one more completion.
+        let t = s.next_task(Duration::from_millis(50)).unwrap();
+        let a = s
+            .dispatched(cid, t.task_id, t.epoch, None, "lyon/0")
+            .unwrap();
+        assert!(s.complete(cid, t.task_id, t.epoch, a, "lyon/0", 3));
+    }
+    let reference = signature(&open(&dir));
+
+    // Undo the truncate: prepend the absorbed records to the tail, as if
+    // the process died right after the rename.
+    let tail = std::fs::read(dir.join("wal.log")).unwrap();
+    let mut merged = pre_wal;
+    merged.extend_from_slice(&tail);
+    std::fs::write(dir.join("wal.log"), &merged).unwrap();
+
+    let s = open(&dir);
+    assert_eq!(signature(&s), reference);
+    let sum = s.campaigns().pop().unwrap();
+    assert_eq!(
+        sum.done, 3,
+        "snapshot-absorbed completions must not double-apply"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Arbitrary garbage appended to a healthy log never panics replay and
+/// never corrupts the recovered prefix.
+#[test]
+fn garbage_tail_is_dropped() {
+    let src = tmpdir("garbage");
+    {
+        let s = open(&src);
+        drive(&s, 3, &[true, false]);
+    }
+    let reference = signature(&open(&src));
+    let healthy = std::fs::read(src.join("wal.log")).unwrap();
+    for garbage in [
+        &b"\x00"[..],
+        &b"\xff\xff\xff\xff"[..],
+        &b"\x10\x00\x00\x00\x01\x02\x03\x04 only half a record"[..4],
+        &[0x10, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3][..],
+    ] {
+        let mut bytes = healthy.clone();
+        bytes.extend_from_slice(garbage);
+        std::fs::write(src.join("wal.log"), &bytes).unwrap();
+        assert_eq!(signature(&open(&src)), reference);
+    }
+    let _ = std::fs::remove_dir_all(&src);
+}
+
+#[test]
+fn state_enum_is_stable_on_disk() {
+    // The WAL encodes states as u8: renumbering the enum would corrupt
+    // every existing log. Pin the mapping.
+    assert_eq!(TaskState::Pending as u8, 0);
+    assert_eq!(TaskState::Dispatched as u8, 1);
+    assert_eq!(TaskState::Done as u8, 2);
+    assert_eq!(TaskState::Failed as u8, 3);
+    assert_eq!(TaskState::from_u8(2), Some(TaskState::Done));
+    assert_eq!(TaskState::from_u8(4), None);
+}

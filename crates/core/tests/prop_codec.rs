@@ -4,6 +4,7 @@
 use bytes::Bytes;
 use diet_core::codec::{decode_message, encode_message, Message};
 use diet_core::data::{DietValue, Persistence};
+use diet_core::jobserver::{CampaignSummary, TaskEventRec, TaskPayload, TaskState, TaskStatusRec};
 use diet_core::monitor::Estimate;
 use diet_core::profile::Profile;
 use diet_core::sched::{DataLocal, MinQueue, RandomSched, RoundRobin, Scheduler, WeightedSpeed};
@@ -208,7 +209,164 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 value,
             },),
         any::<u64>().prop_map(|request_id| Message::Busy { request_id }),
+        (
+            any::<u64>(),
+            "[a-z][a-z0-9-]{0,24}",
+            prop::collection::vec(arb_task_payload(), 0..6)
+        )
+            .prop_map(|(request_id, campaign, tasks)| Message::SubmitTasks {
+                request_id,
+                campaign,
+                tasks,
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..32)
+        )
+            .prop_map(|(request_id, cid, ids)| Message::SubmitTasksReply {
+                request_id,
+                result: Ok((cid, ids)),
+            }),
+        (any::<u64>(), ".*").prop_map(|(request_id, e)| Message::SubmitTasksReply {
+            request_id,
+            result: Err(e),
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(request_id, campaign_id, task_id)| Message::TaskStatus {
+                request_id,
+                campaign_id,
+                task_id,
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_task_state(),
+            any::<u32>(),
+            "[a-z/0-9]{0,20}"
+        )
+            .prop_map(|(request_id, task_id, state, attempts, sed)| {
+                Message::TaskStatusReply {
+                    request_id,
+                    result: Ok(TaskStatusRec {
+                        task_id,
+                        state,
+                        attempts,
+                        sed,
+                    }),
+                }
+            }),
+        (any::<u64>(), "[a-z][a-z0-9-]{0,24}").prop_map(|(request_id, campaign)| {
+            Message::AttachCampaign {
+                request_id,
+                campaign,
+            }
+        }),
+        (any::<u64>(), arb_campaign_summary()).prop_map(|(request_id, s)| Message::AttachReply {
+            request_id,
+            result: Ok(s),
+        }),
+        (any::<u64>(), ".*").prop_map(|(request_id, e)| Message::AttachReply {
+            request_id,
+            result: Err(e),
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(request_id, campaign_id, cursor)| {
+            Message::CampaignProgress {
+                request_id,
+                campaign_id,
+                cursor,
+            }
+        }),
+        (
+            any::<u64>(),
+            arb_campaign_summary(),
+            prop::collection::vec(arb_task_event(), 0..16)
+        )
+            .prop_map(|(request_id, summary, events)| Message::ProgressReply {
+                request_id,
+                result: Ok((summary, events)),
+            }),
     ]
+}
+
+fn arb_task_state() -> impl Strategy<Value = TaskState> {
+    prop_oneof![
+        Just(TaskState::Pending),
+        Just(TaskState::Dispatched),
+        Just(TaskState::Done),
+        Just(TaskState::Failed),
+    ]
+}
+
+fn arb_task_payload() -> impl Strategy<Value = TaskPayload> {
+    // DAG payloads exercise the WorkflowSpec sub-encoding via the simplest
+    // spec shape; node-level coverage lives in the dag codec tests.
+    prop_oneof![
+        arb_profile().prop_map(TaskPayload::Call),
+        (
+            "[a-z][a-z0-9-]{0,16}",
+            prop::collection::vec(arb_profile(), 0..3)
+        )
+            .prop_map(|(name, profiles)| {
+                let nodes = profiles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, profile)| diet_core::dag::DagNodeSpec {
+                        id: i as u32,
+                        profile,
+                        deps: if i == 0 { vec![] } else { vec![i as u32 - 1] },
+                        inputs: vec![],
+                        expander: None,
+                        params: vec![],
+                        max_retries: i as u32,
+                    })
+                    .collect();
+                TaskPayload::Dag(diet_core::dag::WorkflowSpec { name, nodes })
+            }),
+    ]
+}
+
+fn arb_task_event() -> impl Strategy<Value = TaskEventRec> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        arb_task_state(),
+        any::<u32>(),
+        "[a-z/0-9]{0,20}",
+        any::<u64>(),
+    )
+        .prop_map(|(seq, task_id, state, attempt, sed, ms)| TaskEventRec {
+            seq,
+            task_id,
+            state,
+            attempt,
+            sed,
+            ms,
+        })
+}
+
+fn arb_campaign_summary() -> impl Strategy<Value = CampaignSummary> {
+    (
+        any::<u64>(),
+        "[a-z][a-z0-9-]{0,24}",
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(campaign_id, name, total, done, failed, resubmissions, finished)| CampaignSummary {
+                campaign_id,
+                name,
+                total,
+                done,
+                failed,
+                resubmissions,
+                finished,
+            },
+        )
 }
 
 proptest! {

@@ -115,11 +115,8 @@ impl ZoomWorkflow {
         out
     }
 
-    /// Run the whole protocol: part 1, catalog extraction, simultaneous
-    /// part-2 calls, result collection.
-    pub fn run(&self, client: &DietClient) -> Result<WorkflowReport, DietError> {
-        // ---- part 1 -------------------------------------------------------
-        let (r1, part1) = client.call(zoom1_profile(&self.namelist, self.resolution))?;
+    /// Extract the halo catalog from a completed `ramsesZoom1` profile.
+    fn halos_from_part1(r1: &Profile) -> Result<Vec<CatalogHalo>, DietError> {
         let code = r1.get_i32(3)?;
         if code != status::OK {
             return Err(DietError::SolveFailed {
@@ -132,7 +129,15 @@ impl ZoomWorkflow {
             archive::unpack(tar).map_err(|e| DietError::Codec(format!("result tar: {e}")))?;
         let catalog = archive::find(&entries, "halos/catalog.txt")
             .ok_or_else(|| DietError::Codec("missing halo catalog".into()))?;
-        let halos = Self::parse_catalog(&String::from_utf8_lossy(&catalog.data));
+        Ok(Self::parse_catalog(&String::from_utf8_lossy(&catalog.data)))
+    }
+
+    /// Run the whole protocol: part 1, catalog extraction, simultaneous
+    /// part-2 calls, result collection.
+    pub fn run(&self, client: &DietClient) -> Result<WorkflowReport, DietError> {
+        // ---- part 1 -------------------------------------------------------
+        let (r1, part1) = client.call(zoom1_profile(&self.namelist, self.resolution))?;
+        let halos = Self::halos_from_part1(&r1)?;
 
         // ---- part 2: all requests issued before any wait ------------------
         let targets: Vec<CatalogHalo> = halos.iter().take(self.max_zooms).copied().collect();
@@ -228,6 +233,71 @@ impl ZoomWorkflow {
         let handle = client.submit_dag(ma, &self.dag_spec())?;
         let (outcome, _events) = client.wait_dag(ma, &handle, timeout)?;
         Ok(DagWorkflowReport::from_outcome(handle.trace_id, outcome))
+    }
+
+    /// Run the protocol as a durable campaign: part 1 is called directly
+    /// (its halo catalog must come back to the client to plan the
+    /// fan-out), then every `ramsesZoom2` request is submitted to the
+    /// jobserver as one crash-recoverable campaign. The jobserver owns
+    /// dispatch, retries, SeD failover, and — because every transition is
+    /// WAL-logged — survives its own `kill -9` mid-campaign without
+    /// recomputing finished zooms. Re-running with the same `name` after
+    /// a *client* crash re-attaches instead of duplicating the work.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_via_jobserver(
+        &self,
+        client: &DietClient,
+        ma: &RemoteAgentClient,
+        pool: &diet_core::transport::TcpSedPool,
+        policy: &diet_core::RetryPolicy,
+        job: &diet_core::jobserver::JobClient,
+        name: &str,
+        poll: Duration,
+        timeout: Duration,
+    ) -> Result<JobWorkflowReport, DietError> {
+        let (r1, part1) = client.call_distributed(
+            ma,
+            pool,
+            zoom1_profile(&self.namelist, self.resolution),
+            policy,
+        )?;
+        let halos = Self::halos_from_part1(&r1)?;
+        let tasks: Vec<diet_core::jobserver::TaskPayload> = halos
+            .iter()
+            .take(self.max_zooms)
+            .map(|h| {
+                diet_core::jobserver::TaskPayload::Call(zoom2_profile(
+                    &self.namelist,
+                    self.resolution,
+                    self.size_mpc_h,
+                    h.center_pct,
+                    self.nb_box,
+                ))
+            })
+            .collect();
+        let campaign = crate::campaign::run_live_campaign(job, name, tasks, poll, timeout)?;
+        Ok(JobWorkflowReport {
+            halos_found: halos.len(),
+            part1,
+            campaign,
+        })
+    }
+}
+
+/// Outcome of [`ZoomWorkflow::run_via_jobserver`]: the direct part-1 call
+/// plus the durable part-2 campaign.
+#[derive(Debug, Clone)]
+pub struct JobWorkflowReport {
+    pub halos_found: usize,
+    /// Part-1 call stats (direct client call, as in [`ZoomWorkflow::run`]).
+    pub part1: CallStats,
+    /// The jobserver-executed zoom fan-out.
+    pub campaign: crate::campaign::LiveCampaignReport,
+}
+
+impl JobWorkflowReport {
+    pub fn all_succeeded(&self) -> bool {
+        self.campaign.all_done()
     }
 }
 

@@ -1,0 +1,132 @@
+//! The live zoom campaign run through the durable jobserver: part 1
+//! called directly (the halo catalog plans the fan-out), part 2 submitted
+//! as a crash-recoverable campaign that the jobserver drives through the
+//! MA hierarchy over real sockets.
+
+use cosmogrid::namelist::default_run_namelist;
+use cosmogrid::services::cosmology_service_table;
+use cosmogrid::workflow::ZoomWorkflow;
+use diet_core::deploy::TcpTopologySpec;
+use diet_core::jobserver::{
+    serve_jobserver_over_tcp, JobClient, JobServer, JobServerConfig, TaskState,
+};
+use diet_core::sched::RoundRobin;
+use diet_core::transport::ServerConfig;
+use diet_core::{DietClient, Obs, RetryPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "diet-livejob-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        attempt_timeout: Duration::from_secs(30),
+        max_retries: 3,
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(200),
+        jitter: 0.5,
+    }
+}
+
+#[test]
+fn live_zoom_campaign_through_jobserver() {
+    // Three real SeDs behind an MA, everything over TCP.
+    let d = TcpTopologySpec::chain(1, 3)
+        .deploy(Arc::new(RoundRobin::new()), |_| cosmology_service_table())
+        .unwrap();
+
+    let dir = tmpdir("zoom");
+    let mut cfg = JobServerConfig::new(&dir);
+    cfg.workers = 3;
+    cfg.retry.attempt_timeout = Duration::from_secs(30);
+    let obs = Arc::new(Obs::new());
+    let js = JobServer::spawn(cfg, d.ma_client.clone(), d.pool.clone(), obs.clone()).unwrap();
+    let server =
+        serve_jobserver_over_tcp(js.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let job = JobClient::connect(server.local_addr);
+
+    let client = DietClient::initialize_distributed(Arc::new(Obs::new()));
+    let mut nl = default_run_namelist(8, 50.0);
+    nl.set("OUTPUT_PARAMS", "aout", "0.5, 1.0");
+    let workflow = ZoomWorkflow {
+        nb_box: 2,
+        max_zooms: 3,
+        ..ZoomWorkflow::new(nl, 8, 50)
+    };
+
+    let report = workflow
+        .run_via_jobserver(
+            &client,
+            &d.ma_client,
+            &d.pool,
+            &policy(),
+            &job,
+            "zoom-live",
+            Duration::from_millis(25),
+            Duration::from_secs(120),
+        )
+        .expect("live campaign failed");
+
+    // Part 1 found halos; the campaign ran one zoom per selected halo.
+    assert!(report.halos_found >= 1, "no halos from part 1");
+    let n = report.halos_found.min(3) as u64;
+    assert!(
+        report.all_succeeded(),
+        "campaign: {:?}",
+        report.campaign.summary
+    );
+    assert_eq!(report.campaign.summary.total, n);
+    assert_eq!(report.campaign.summary.done, n);
+    assert!(report.part1.solve > 0.0);
+
+    // Completions carry real SeD labels and per-task solve times; the
+    // sed_rows view (the live Figure 4-right analogue) accounts for all.
+    let rows = report.campaign.sed_rows();
+    assert_eq!(rows.iter().map(|(_, c, _)| *c).sum::<usize>(), n as usize);
+    for (label, _, _) in &rows {
+        assert!(label.starts_with("d1/"), "unexpected SeD {label}");
+    }
+    assert!(report
+        .campaign
+        .events
+        .iter()
+        .any(|e| e.state == TaskState::Done && e.ms > 0));
+
+    // Re-running under the same campaign name (a restarted client)
+    // re-attaches to the finished campaign: same id, nothing recomputed.
+    let done_before = obs.metrics.counter("diet_jobserver_tasks_done_total").get();
+    let again = workflow
+        .run_via_jobserver(
+            &client,
+            &d.ma_client,
+            &d.pool,
+            &policy(),
+            &job,
+            "zoom-live",
+            Duration::from_millis(25),
+            Duration::from_secs(30),
+        )
+        .expect("re-attach failed");
+    assert_eq!(again.campaign.campaign_id, report.campaign.campaign_id);
+    assert_eq!(again.campaign.summary.done, n);
+    assert_eq!(
+        obs.metrics.counter("diet_jobserver_tasks_done_total").get(),
+        done_before,
+        "re-attaching recomputed finished zooms"
+    );
+
+    js.shutdown();
+    server.kill();
+    d.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
